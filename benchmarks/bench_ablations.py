@@ -1,0 +1,22 @@
+"""Ablation benches (DESIGN.md §4): queue discipline, ParMax threshold,
+MultiLists parRatio, dynamic chunk size, degree definition."""
+
+
+def test_queue_discipline(benchmark, run_and_report):
+    run_and_report(benchmark, "queue-discipline")
+
+
+def test_parmax_threshold(benchmark, run_and_report):
+    run_and_report(benchmark, "parmax-threshold")
+
+
+def test_multilists_parratio(benchmark, run_and_report):
+    run_and_report(benchmark, "multilists-parratio")
+
+
+def test_chunk_size(benchmark, run_and_report):
+    run_and_report(benchmark, "chunk-size")
+
+
+def test_degree_kind(benchmark, run_and_report):
+    run_and_report(benchmark, "degree-kind")

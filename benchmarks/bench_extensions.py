@@ -1,0 +1,13 @@
+"""Extension benches: the adaptive variant and the §7 distributed study."""
+
+
+def test_adaptive_vs_opt(benchmark, run_and_report):
+    run_and_report(benchmark, "adaptive-vs-opt")
+
+
+def test_distributed_scaling(benchmark, run_and_report):
+    run_and_report(benchmark, "distributed-scaling")
+
+
+def test_related_work(benchmark, run_and_report):
+    run_and_report(benchmark, "related-work")

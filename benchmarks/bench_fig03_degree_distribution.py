@@ -1,0 +1,4 @@
+"""Figure 3: WordNet degree distribution — regenerates the experiment and asserts its shape."""
+
+def test_fig3(benchmark, run_and_report):
+    run_and_report(benchmark, "fig3")

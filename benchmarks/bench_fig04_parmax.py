@@ -1,0 +1,4 @@
+"""Figure 4: ParBuckets vs ParMax ordering time — regenerates the experiment and asserts its shape."""
+
+def test_fig4(benchmark, run_and_report):
+    run_and_report(benchmark, "fig4")

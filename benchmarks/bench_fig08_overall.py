@@ -1,0 +1,4 @@
+"""Figure 8: overall elapsed time of the three algorithms — regenerates the experiment and asserts its shape."""
+
+def test_fig8(benchmark, run_and_report):
+    run_and_report(benchmark, "fig8")

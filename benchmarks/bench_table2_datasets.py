@@ -1,0 +1,4 @@
+"""Table 2: dataset inventory — regenerates the experiment and asserts its shape."""
+
+def test_table2(benchmark, run_and_report):
+    run_and_report(benchmark, "table2")

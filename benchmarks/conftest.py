@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_*`` module pairs micro-benchmarks (pytest-benchmark
+timings of the real kernels) with one *experiment* benchmark that
+regenerates a paper table/figure, writes its report under
+``benchmarks/results/`` and asserts the paper's qualitative shape.
+
+Experiments run on the ``quick`` profile so the whole suite stays in
+the minutes range; ``python -m repro bench --profile full`` regenerates
+the EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import get_profile, run_experiment
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return get_profile("quick")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def run_and_report(profile, results_dir):
+    """Run one experiment exactly once under the benchmark timer, save
+    its report and assert the paper's shape holds."""
+
+    def _run(benchmark, exp_id: str) -> None:
+        result = benchmark.pedantic(
+            run_experiment, args=(exp_id, profile), rounds=1, iterations=1
+        )
+        path = os.path.join(results_dir, f"{exp_id}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(result.render() + "\n")
+        assert result.holds, (
+            f"{exp_id}: paper shape did not hold — {result.observed}"
+        )
+
+    return _run

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Seeing §4.2 instead of reading it: Gantt charts + lock attribution.
+
+Runs ParBuckets and MultiLists on the simulated 8-thread machine with
+tracing enabled, renders each run as an ASCII Gantt chart (busy / lock
+wait / idle per thread) and prints the per-lock wait attribution —
+which shows the lowest degree buckets absorbing essentially all of
+ParBuckets' waiting, while MultiLists has no locks to wait on.
+
+Run:  python examples/contention_gantt.py
+"""
+
+from repro.analysis import attribute_contention
+from repro.graphs import degree_array, load_dataset
+from repro.order import simulate_multilists, simulate_par_buckets
+from repro.simx import MACHINE_I, render_gantt
+
+
+def main() -> None:
+    graph = load_dataset("WordNet", scale=3000)
+    degrees = degree_array(graph)
+    threads = 8
+    print(f"graph: {graph!r}, {threads} simulated threads\n")
+
+    # --- ParBuckets: shared buckets, per-bucket locks ---------------------
+    pb = simulate_par_buckets(
+        degrees, MACHINE_I, num_threads=threads, trace=True
+    )
+    print("ParBuckets (Algorithm 5) — shared buckets behind locks")
+    print(render_gantt(pb.sim, width=64))
+    print()
+    print(attribute_contention(pb.sim).render(k=4))
+    print(
+        f"\nmakespan: {pb.virtual_time:,.0f} work units, "
+        f"{int(pb.stats['lock_contended']):,} contended acquisitions\n"
+    )
+
+    # --- MultiLists: thread-private buckets, no locks ---------------------
+    ml = simulate_multilists(degrees, MACHINE_I, num_threads=threads)
+    print("MultiLists (Algorithm 7) — private buckets, lock-free")
+    print(
+        f"makespan: {ml.virtual_time:,.0f} work units, "
+        f"{ml.sim.total_acquisitions} lock acquisitions"
+    )
+    print(
+        f"\nParBuckets / MultiLists = "
+        f"{pb.virtual_time / ml.virtual_time:.1f}x — the whole §4 story "
+        "in one ratio."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one go.
+
+Thin wrapper around the benchmark harness: runs all registered
+experiments (Tables 1–2, Figures 1 and 3–10, plus the ablations) on the
+chosen profile and prints each report.  Equivalent to::
+
+    python -m repro bench --profile quick
+
+Run:  python examples/reproduce_paper.py [quick|full]
+"""
+
+import sys
+
+from repro.bench import experiment_ids, run_many
+
+
+def main() -> None:
+    profile = sys.argv[1] if len(sys.argv) > 1 else "quick"
+    print(
+        f"running {len(experiment_ids())} experiments on the "
+        f"'{profile}' profile — see DESIGN.md for the per-experiment "
+        "index and EXPERIMENTS.md for paper-vs-measured notes\n"
+    )
+    results = run_many(profile=profile, verbose=True)
+    failed = [eid for eid, r, _ in results if not r.holds]
+    print("=" * 72)
+    print(f"{len(results) - len(failed)}/{len(results)} experiment shapes "
+          "hold" + (f"; deviations: {', '.join(failed)}" if failed else ""))
+
+
+if __name__ == "__main__":
+    main()

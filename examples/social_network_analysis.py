@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Complex-network analysis on top of the APSP matrix.
+
+The paper's motivation (§1): shortest paths between all vertex pairs
+are the raw material of complex-network analysis — centrality,
+eccentricity, diameter, average path length.  This example runs ParAPSP
+on a synthetic social network and derives exactly those metrics.
+
+Run:  python examples/social_network_analysis.py
+"""
+
+import numpy as np
+
+from repro import solve_apsp
+from repro.graphs import barabasi_albert, degree_array
+
+
+def main() -> None:
+    # a preferential-attachment "social network": early joiners become hubs
+    n = 500
+    graph = barabasi_albert(n, m=3, seed=42, name="social-net")
+    degrees = degree_array(graph)
+    print(f"network: {graph!r}, max degree {degrees.max()}")
+
+    result = solve_apsp(graph, algorithm="parapsp", backend="serial")
+    dist = result.dist
+
+    # --- classic APSP-derived metrics -------------------------------------
+    off_diag = ~np.eye(n, dtype=bool)
+    finite = np.isfinite(dist) & off_diag
+    if not finite.any():
+        raise SystemExit("graph is fully disconnected?")
+
+    avg_path = dist[finite].mean()
+    # eccentricity of v: the farthest reachable vertex from v
+    ecc = np.where(
+        finite.any(axis=1), np.where(finite, dist, -np.inf).max(axis=1), np.nan
+    )
+    diameter = np.nanmax(ecc)
+    radius = np.nanmin(ecc)
+
+    # closeness centrality: reachable-count / total distance (Wasserman-Faust
+    # normalisation for possibly-disconnected graphs)
+    reach = finite.sum(axis=1)
+    totals = np.where(finite, dist, 0.0).sum(axis=1)
+    closeness = np.where(
+        totals > 0, (reach / (n - 1)) * (reach / np.maximum(totals, 1e-12)), 0.0
+    )
+
+    print(f"average shortest-path length : {avg_path:.3f}")
+    print(f"diameter / radius            : {diameter:.0f} / {radius:.0f}")
+    print("small world check            : "
+          f"{avg_path:.2f} ≈ O(log n) = {np.log(n):.2f}")
+
+    top = np.argsort(-closeness)[:5]
+    print("\ntop-5 by closeness centrality (hub degree in parentheses):")
+    for rank, v in enumerate(top, 1):
+        print(
+            f"  {rank}. vertex {v:4d}  closeness={closeness[v]:.4f}  "
+            f"(degree {degrees[v]})"
+        )
+
+    # hubs should dominate the centrality ranking in a scale-free network
+    hubs = set(np.argsort(-degrees)[:20])
+    overlap = len(hubs & set(top.tolist()))
+    print(f"\n{overlap}/5 of the closeness top-5 are degree top-20 hubs — "
+          "the structural fact the paper's optimized ordering exploits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — ParAPSP: Efficient Parallel All-Pairs Shortest Paths for
+Complex Graph Analysis (Kim, Choi & Bae, ICPP'18 Companion).
+
+Reproduction of the paper's full system: Peng et al.'s modified-Dijkstra
+APSP family (basic, optimized), its shared-memory parallelisations
+(ParAlg1, ParAlg2, **ParAPSP**), the parallel degree-ordering procedures
+(ParBuckets, ParMax, MultiLists), a general bounded-key parallel sort,
+and — since this host has one core — a discrete-event simulated
+multicore machine that regenerates every table and figure of the
+evaluation (see DESIGN.md).
+
+Quickstart::
+
+    from repro import load_dataset, solve_apsp
+    graph = load_dataset("WordNet")
+    result = solve_apsp(graph, algorithm="parapsp",
+                        num_threads=16, backend="sim")
+    result.dist            # exact APSP matrix
+    result.phase_times     # ordering vs Dijkstra-phase breakdown
+"""
+
+from ._version import __version__
+from .core import (
+    apsp_with_paths,
+    par_alg1,
+    par_alg2,
+    par_apsp,
+    seq_adaptive,
+    seq_basic,
+    seq_optimized,
+    solve_apsp,
+)
+from .dist import ClusterSpec, simulate_distributed_apsp
+from .core.state import APSPResult
+from .graphs import CSRGraph, from_edges, load_dataset
+from .order import compute_order, simulate_order
+from .simx import MACHINE_I, MACHINE_II, MachineSpec
+from .sort import counting_argsort, multilists_argsort
+from .types import Backend, Schedule
+
+__all__ = [
+    "__version__",
+    "apsp_with_paths",
+    "par_alg1",
+    "par_alg2",
+    "par_apsp",
+    "seq_adaptive",
+    "seq_basic",
+    "seq_optimized",
+    "solve_apsp",
+    "ClusterSpec",
+    "simulate_distributed_apsp",
+    "APSPResult",
+    "CSRGraph",
+    "from_edges",
+    "load_dataset",
+    "compute_order",
+    "simulate_order",
+    "MACHINE_I",
+    "MACHINE_II",
+    "MachineSpec",
+    "counting_argsort",
+    "multilists_argsort",
+    "Backend",
+    "Schedule",
+]

@@ -1,0 +1,56 @@
+"""Analysis utilities: parallel metrics, degree distributions,
+complexity fits, run statistics, ASCII tables and plots."""
+
+from .centrality import (
+    NetworkSummary,
+    closeness_centrality,
+    eccentricity,
+    harmonic_centrality,
+    summarize_network,
+)
+from .complexity import ExponentFit, fit_exponent
+from .contention import ContentionReport, LockStats, attribute_contention
+from .distribution import (
+    DegreeDistribution,
+    degree_distribution,
+    powerlaw_slope,
+)
+from .metrics import (
+    amdahl_fit,
+    amdahl_predict,
+    efficiency,
+    is_hyperlinear,
+    speedup,
+    speedup_curve,
+)
+from .plots import ascii_plot
+from .stats import RunStats, aggregate, measure_repeats
+from .tables import format_number, format_table
+
+__all__ = [
+    "NetworkSummary",
+    "closeness_centrality",
+    "eccentricity",
+    "harmonic_centrality",
+    "summarize_network",
+    "ExponentFit",
+    "fit_exponent",
+    "ContentionReport",
+    "LockStats",
+    "attribute_contention",
+    "DegreeDistribution",
+    "degree_distribution",
+    "powerlaw_slope",
+    "amdahl_fit",
+    "amdahl_predict",
+    "efficiency",
+    "is_hyperlinear",
+    "speedup",
+    "speedup_curve",
+    "ascii_plot",
+    "RunStats",
+    "aggregate",
+    "measure_repeats",
+    "format_number",
+    "format_table",
+]

@@ -1,0 +1,120 @@
+"""APSP-derived complex-network metrics (the paper's §1 motivation).
+
+Everything here consumes a finished distance matrix — the library's
+output — so the metrics cost O(n²) post-processing, not another graph
+traversal.  Disconnected graphs are handled with the standard
+conventions (Wasserman–Faust closeness normalisation, harmonic
+centrality, eccentricity over the reachable set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "NetworkSummary",
+    "closeness_centrality",
+    "harmonic_centrality",
+    "eccentricity",
+    "summarize_network",
+]
+
+
+def _check_matrix(dist: np.ndarray) -> int:
+    dist = np.asarray(dist)
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise ValidationError(f"distance matrix must be square, got {dist.shape}")
+    if dist.shape[0] and not np.all(np.diag(dist) == 0.0):
+        raise ValidationError("distance matrix diagonal must be zero")
+    return dist.shape[0]
+
+
+def closeness_centrality(dist: np.ndarray) -> np.ndarray:
+    """Wasserman–Faust closeness: ``(r/(n-1)) · (r/Σd)`` where ``r`` is
+    the number of vertices reachable from v and the sum runs over them.
+
+    Handles disconnected graphs gracefully; isolated vertices get 0.
+    """
+    n = _check_matrix(dist)
+    if n <= 1:
+        return np.zeros(n)
+    off = ~np.eye(n, dtype=bool)
+    finite = np.isfinite(dist) & off
+    reach = finite.sum(axis=1).astype(np.float64)
+    totals = np.where(finite, dist, 0.0).sum(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        closeness = (reach / (n - 1)) * np.where(totals > 0, reach / totals, 0.0)
+    return np.nan_to_num(closeness)
+
+
+def harmonic_centrality(dist: np.ndarray) -> np.ndarray:
+    """``Σ 1/d(v, u)`` over ``u ≠ v`` (unreachable terms contribute 0)."""
+    n = _check_matrix(dist)
+    if n <= 1:
+        return np.zeros(n)
+    off = ~np.eye(n, dtype=bool)
+    with np.errstate(divide="ignore"):
+        inv = np.where(off & np.isfinite(dist) & (dist > 0), 1.0 / dist, 0.0)
+    return inv.sum(axis=1)
+
+
+def eccentricity(dist: np.ndarray) -> np.ndarray:
+    """Farthest *reachable* vertex per source; NaN for isolated sources."""
+    n = _check_matrix(dist)
+    off = ~np.eye(n, dtype=bool)
+    finite = np.isfinite(dist) & off
+    masked = np.where(finite, dist, -np.inf)
+    ecc = masked.max(axis=1)
+    return np.where(finite.any(axis=1), ecc, np.nan)
+
+
+@dataclass(frozen=True)
+class NetworkSummary:
+    """Headline APSP-derived statistics of one graph."""
+
+    num_vertices: int
+    reachable_pairs: int  # ordered pairs, excluding the diagonal
+    average_path_length: float
+    diameter: float
+    radius: float
+    global_efficiency: float
+
+    @property
+    def reachability(self) -> float:
+        n = self.num_vertices
+        total = n * (n - 1)
+        return self.reachable_pairs / total if total else 1.0
+
+
+def summarize_network(dist: np.ndarray) -> NetworkSummary:
+    """Characteristic path length, diameter, radius, efficiency."""
+    n = _check_matrix(dist)
+    off = ~np.eye(n, dtype=bool)
+    finite = np.isfinite(dist) & off
+    reachable = int(finite.sum())
+    if reachable == 0:
+        return NetworkSummary(
+            num_vertices=n,
+            reachable_pairs=0,
+            average_path_length=float("nan"),
+            diameter=float("nan"),
+            radius=float("nan"),
+            global_efficiency=0.0,
+        )
+    values = dist[finite]
+    ecc = eccentricity(dist)
+    with np.errstate(divide="ignore"):
+        eff = np.where(finite & (dist > 0), 1.0 / dist, 0.0).sum()
+    total = n * (n - 1)
+    return NetworkSummary(
+        num_vertices=n,
+        reachable_pairs=reachable,
+        average_path_length=float(values.mean()),
+        diameter=float(np.nanmax(ecc)),
+        radius=float(np.nanmin(ecc)),
+        global_efficiency=float(eff / total) if total else 0.0,
+    )

@@ -1,0 +1,61 @@
+"""Empirical complexity-exponent regression.
+
+Peng et al. measured their basic algorithm at ≈O(n^2.4) on scale-free
+graphs by fitting runtime against n on log–log axes; the paper quotes
+that figure throughout.  :func:`fit_exponent` reproduces the
+methodology: run a solver over a size sweep, regress
+``log(work) ~ log(n)``, report the slope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["ExponentFit", "fit_exponent"]
+
+
+@dataclass(frozen=True)
+class ExponentFit:
+    """Result of a log–log complexity regression."""
+
+    exponent: float
+    coefficient: float  # work ≈ coefficient * n^exponent
+    r_squared: float
+    sizes: Tuple[int, ...]
+    measurements: Tuple[float, ...]
+
+    def predict(self, n: int) -> float:
+        return self.coefficient * n**self.exponent
+
+
+def fit_exponent(
+    sizes: Sequence[int], measurements: Sequence[float]
+) -> ExponentFit:
+    """Fit ``measurements ≈ c · sizes^k`` by least squares in log space."""
+    sizes = [int(s) for s in sizes]
+    measurements = [float(m) for m in measurements]
+    if len(sizes) != len(measurements):
+        raise ValidationError("sizes and measurements must align")
+    if len(sizes) < 3:
+        raise ValidationError("need at least 3 sizes for an exponent fit")
+    if min(sizes) <= 0 or min(measurements) <= 0:
+        raise ValidationError("sizes and measurements must be positive")
+    x = np.log(np.asarray(sizes, dtype=np.float64))
+    y = np.log(np.asarray(measurements, dtype=np.float64))
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ExponentFit(
+        exponent=float(slope),
+        coefficient=float(np.exp(intercept)),
+        r_squared=r2,
+        sizes=tuple(sizes),
+        measurements=tuple(measurements),
+    )

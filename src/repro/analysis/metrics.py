@@ -1,0 +1,97 @@
+"""Parallel-performance metrics: speedup, efficiency, Amdahl fits.
+
+The paper's Figures 9–10(b) plot *speedup* ``S(T) = t(1) / t(T)``;
+"linear" means ``S(T) = T``, "hyper-linear" ``S(T) > T``.  Efficiency
+is ``S(T) / T``.  :func:`amdahl_fit` recovers the apparent sequential
+fraction from a measured speedup curve — the diagnostic that pins
+ParAlg2's sub-linear curve on its O(n²) ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "speedup_curve",
+    "amdahl_predict",
+    "amdahl_fit",
+    "is_hyperlinear",
+]
+
+
+def speedup(t1: float, t_parallel: float) -> float:
+    """``t1 / t_parallel``; requires positive times."""
+    if t1 <= 0 or t_parallel <= 0:
+        raise ValidationError(
+            f"times must be positive, got t1={t1}, tT={t_parallel}"
+        )
+    return t1 / t_parallel
+
+
+def efficiency(t1: float, t_parallel: float, num_threads: int) -> float:
+    """Speedup normalised by the thread count."""
+    if num_threads < 1:
+        raise ValidationError(f"num_threads must be >= 1, got {num_threads}")
+    return speedup(t1, t_parallel) / num_threads
+
+
+def speedup_curve(
+    threads: Sequence[int], times: Sequence[float]
+) -> Dict[int, float]:
+    """Speedup per thread count, relative to the entry with T=1.
+
+    Raises if no single-thread measurement is present (a speedup curve
+    without its own baseline is meaningless).
+    """
+    threads = list(threads)
+    times = list(times)
+    if len(threads) != len(times):
+        raise ValidationError("threads and times must align")
+    if 1 not in threads:
+        raise ValidationError("speedup curve needs a T=1 baseline")
+    t1 = times[threads.index(1)]
+    return {t: speedup(t1, x) for t, x in zip(threads, times)}
+
+
+def is_hyperlinear(threads: Sequence[int], times: Sequence[float]) -> bool:
+    """True when any T>1 point exceeds linear speedup."""
+    curve = speedup_curve(threads, times)
+    return any(s > t for t, s in curve.items() if t > 1)
+
+
+def amdahl_predict(serial_fraction: float, num_threads: int) -> float:
+    """Amdahl's law speedup for a given sequential fraction."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValidationError(
+            f"serial fraction must be in [0, 1], got {serial_fraction}"
+        )
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / num_threads)
+
+
+def amdahl_fit(threads: Sequence[int], times: Sequence[float]) -> float:
+    """Least-squares estimate of the apparent sequential fraction.
+
+    Model: ``t(T) = t1 * (f + (1-f)/T)``, solved for ``f`` in closed
+    form (linear in ``f``).  Values are clipped to [0, 1]; hyper-linear
+    curves fit to 0.
+    """
+    curve = speedup_curve(threads, times)
+    xs, ys = [], []
+    for t, s in curve.items():
+        if t == 1:
+            continue
+        # 1/s = f + (1-f)/T  ->  1/s - 1/T = f (1 - 1/T)
+        xs.append(1.0 - 1.0 / t)
+        ys.append(1.0 / s - 1.0 / t)
+    if not xs:
+        raise ValidationError("need at least one T>1 measurement")
+    x = np.asarray(xs)
+    y = np.asarray(ys)
+    f = float((x @ y) / (x @ x))
+    return min(1.0, max(0.0, f))

@@ -1,0 +1,81 @@
+"""ASCII line/scatter plots for the benchmark reports.
+
+No matplotlib offline, so the harness renders each figure's series as a
+compact character plot: good enough to eyeball the shapes the paper's
+figures carry (who is above whom, where curves cross, log-scale decay).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, size: int, log: bool) -> int:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi == lo:
+        return 0
+    pos = (value - lo) / (hi - lo)
+    return min(size - 1, max(0, int(round(pos * (size - 1)))))
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[tuple]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    log_x: bool = False,
+    title: Optional[str] = None,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Plot named series of ``(x, y)`` points as ASCII art.
+
+    Each series gets a marker; the legend maps markers back to names.
+    ``log_y`` reproduces the paper's log-scale runtime axes (Figure 7).
+    """
+    xs = [p[0] for pts in series.values() for p in pts]
+    ys = [p[1] for pts in series.values() for p in pts]
+    if not xs:
+        return "(empty plot)"
+    if log_y and min(ys) <= 0:
+        raise ValueError("log-scale y needs positive values")
+    if log_x and min(xs) <= 0:
+        raise ValueError("log-scale x needs positive values")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    legend: List[str] = []
+    for idx, (name, pts) in enumerate(series.items()):
+        mark = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"{mark} = {name}")
+        for x, y in pts:
+            col = _scale(float(x), x_lo, x_hi, width, log_x)
+            row = _scale(float(y), y_lo, y_hi, height, log_y)
+            grid[height - 1 - row][col] = mark
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_hi:.3g}"
+    y_bot = f"{y_lo:.3g}"
+    label_w = max(len(y_top), len(y_bot)) + 1
+    for r, row_chars in enumerate(grid):
+        label = y_top if r == 0 else (y_bot if r == height - 1 else "")
+        lines.append(f"{label.rjust(label_w)}|{''.join(row_chars)}")
+    lines.append(" " * label_w + "+" + "-" * width)
+    x_line = f"{x_lo:g}".ljust(width - 8) + f"{x_hi:g}".rjust(8)
+    lines.append(" " * (label_w + 1) + x_line)
+    if xlabel or ylabel:
+        lines.append(
+            " " * (label_w + 1)
+            + (f"x: {xlabel}" if xlabel else "")
+            + (f"   y: {ylabel}{' (log)' if log_y else ''}" if ylabel else "")
+        )
+    lines.append(" " * (label_w + 1) + "   ".join(legend))
+    return "\n".join(lines)

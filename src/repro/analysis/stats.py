@@ -1,0 +1,49 @@
+"""Run statistics: the paper averages every measurement over 10 runs
+(§5.1); this module provides the same aggregation plus dispersion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["RunStats", "aggregate", "measure_repeats"]
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Mean/min/max/std of repeated measurements."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    repeats: int
+
+    @property
+    def relative_std(self) -> float:
+        return self.std / self.mean if self.mean else 0.0
+
+
+def aggregate(samples: Sequence[float]) -> RunStats:
+    """Summarise a sample list (the paper's 10-run average)."""
+    if not samples:
+        raise ValidationError("cannot aggregate zero samples")
+    arr = np.asarray(list(samples), dtype=np.float64)
+    return RunStats(
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        repeats=int(arr.size),
+    )
+
+
+def measure_repeats(fn: Callable[[], float], repeats: int = 10) -> RunStats:
+    """Call ``fn`` (which returns one measurement) ``repeats`` times."""
+    if repeats < 1:
+        raise ValidationError(f"repeats must be >= 1, got {repeats}")
+    return aggregate([fn() for _ in range(repeats)])

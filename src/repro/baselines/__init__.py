@@ -1,0 +1,23 @@
+"""Baseline APSP/SSSP algorithms and golden references (paper §2)."""
+
+from .bellman_ford import bellman_ford_apsp, bellman_ford_sssp
+from .blocked_floyd_warshall import blocked_floyd_warshall
+from .floyd_warshall import floyd_warshall
+from .partitioned import PartitionedResult, partitioned_apsp
+from .repeated_dijkstra import repeated_dijkstra
+from .scipy_ref import assert_matches_reference, reference_apsp
+from .spfa import spfa_apsp, spfa_sssp
+
+__all__ = [
+    "bellman_ford_apsp",
+    "bellman_ford_sssp",
+    "blocked_floyd_warshall",
+    "floyd_warshall",
+    "PartitionedResult",
+    "partitioned_apsp",
+    "repeated_dijkstra",
+    "assert_matches_reference",
+    "reference_apsp",
+    "spfa_apsp",
+    "spfa_sssp",
+]

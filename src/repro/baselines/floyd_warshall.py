@@ -1,0 +1,27 @@
+"""Floyd–Warshall APSP — the classic O(n³) baseline (paper §2).
+
+Vectorised over rows: for each pivot ``k`` the update
+``D = min(D, D[:, k, None] + D[k, None, :])`` is two numpy broadcasts,
+so the Python loop runs only n times.  Exact for positive weights and
+for graphs with unreachable pairs (inf arithmetic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.build import to_dense
+from ..graphs.csr import CSRGraph
+
+__all__ = ["floyd_warshall"]
+
+
+def floyd_warshall(graph: CSRGraph) -> np.ndarray:
+    """All-pairs shortest distances by Floyd–Warshall."""
+    dist = to_dense(graph)
+    n = dist.shape[0]
+    for k in range(n):
+        # paths through pivot k; numpy handles inf + x = inf
+        via = dist[:, k, None] + dist[None, k, :]
+        np.minimum(dist, via, out=dist)
+    return dist

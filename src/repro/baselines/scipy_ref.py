@@ -1,0 +1,56 @@
+"""Golden-reference APSP solvers from scipy / networkx.
+
+Every algorithm in :mod:`repro.core` is validated against these in the
+test suite; :func:`reference_apsp` is also what the examples use to
+show end users how to double-check results on their own graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..graphs.build import to_scipy_csr
+from ..graphs.csr import CSRGraph
+
+__all__ = ["reference_apsp", "assert_matches_reference"]
+
+
+def reference_apsp(graph: CSRGraph, *, method: str = "D") -> np.ndarray:
+    """APSP via ``scipy.sparse.csgraph.shortest_path``.
+
+    ``method`` is scipy's: ``"D"`` Dijkstra, ``"BF"`` Bellman–Ford,
+    ``"FW"`` Floyd–Warshall, ``"J"`` Johnson.
+    """
+    import scipy.sparse.csgraph as csgraph
+
+    return csgraph.shortest_path(
+        to_scipy_csr(graph), method=method, directed=graph.directed
+    )
+
+
+def assert_matches_reference(
+    dist: np.ndarray,
+    graph: CSRGraph,
+    *,
+    rtol: float = 1e-9,
+    atol: float = 1e-9,
+) -> None:
+    """Raise :class:`ValidationError` unless ``dist`` equals the scipy
+    reference (inf patterns must match exactly)."""
+    ref = reference_apsp(graph)
+    ours_inf = ~np.isfinite(dist)
+    ref_inf = ~np.isfinite(ref)
+    if not np.array_equal(ours_inf, ref_inf):
+        k = int(np.flatnonzero(ours_inf != ref_inf)[0])
+        raise ValidationError(
+            f"reachability mismatch at flat index {k}: "
+            f"ours={'inf' if ours_inf.flat[k] else 'finite'}, "
+            f"reference={'inf' if ref_inf.flat[k] else 'finite'}"
+        )
+    finite = ~ref_inf
+    if not np.allclose(dist[finite], ref[finite], rtol=rtol, atol=atol):
+        diff = np.abs(dist[finite] - ref[finite])
+        raise ValidationError(
+            f"distance mismatch: max abs error {diff.max():g}"
+        )

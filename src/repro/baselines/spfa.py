@@ -1,0 +1,58 @@
+"""SPFA (queue-based Bellman–Ford) SSSP — the queue discipline the
+modified Dijkstra inherits, without the flag machinery.  The apples-to-
+apples "no reuse" reference for measuring what the paper's dynamic-
+programming shortcut buys."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..exceptions import AlgorithmError
+from ..graphs.csr import CSRGraph
+from ..types import INF, OpCounts
+
+__all__ = ["spfa_sssp", "spfa_apsp"]
+
+
+def spfa_sssp(graph: CSRGraph, source: int) -> tuple[np.ndarray, OpCounts]:
+    """Single-source shortest distances by SPFA."""
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise AlgorithmError(f"source {source} outside [0, {n})")
+    dist = np.full(n, INF)
+    dist[source] = 0.0
+    counts = OpCounts()
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    in_queue = np.zeros(n, dtype=bool)
+    q: deque = deque([source])
+    in_queue[source] = True
+    while q:
+        t = q.popleft()
+        in_queue[t] = False
+        counts.pops += 1
+        base = dist[t]
+        for k in range(indptr[t], indptr[t + 1]):
+            v = indices[k]
+            counts.edge_relaxations += 1
+            nd = base + weights[k]
+            if nd < dist[v]:
+                dist[v] = nd
+                counts.edge_improvements += 1
+                if not in_queue[v]:
+                    in_queue[v] = True
+                    q.append(int(v))
+    return dist, counts
+
+
+def spfa_apsp(graph: CSRGraph) -> tuple[np.ndarray, OpCounts]:
+    """APSP by n independent SPFA runs."""
+    n = graph.num_vertices
+    dist = np.empty((n, n))
+    total = OpCounts()
+    for s in range(n):
+        row, counts = spfa_sssp(graph, s)
+        dist[s] = row
+        total += counts
+    return dist, total

@@ -1,0 +1,22 @@
+"""Benchmark harness: one experiment per paper table/figure + ablations."""
+
+from .experiments import EXPERIMENTS, ExperimentResult, experiment_ids, run_experiment
+from .report import export_all, write_csv, write_series_csv, write_summary
+from .runner import run_many, save_report
+from .workloads import PROFILES, Profile, get_profile
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "experiment_ids",
+    "run_experiment",
+    "export_all",
+    "write_csv",
+    "write_series_csv",
+    "write_summary",
+    "run_many",
+    "save_report",
+    "PROFILES",
+    "Profile",
+    "get_profile",
+]

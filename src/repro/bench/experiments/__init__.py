@@ -1,0 +1,63 @@
+"""Experiment registry: every table and figure of the paper plus the
+DESIGN.md §4 ablations, keyed by experiment id."""
+
+from typing import Callable, Dict, Tuple
+
+from ..workloads import Profile
+from . import (
+    ablations,
+    extensions,
+    related_work,
+    fig01_scheduling,
+    fig03_degree_distribution,
+    fig04_parmax,
+    fig05_dijkstra_part,
+    fig06_multilists,
+    fig07_paralg1_vs_paralg2,
+    fig08_overall,
+    fig09_speedup,
+    fig10_parapsp,
+    table1_ordering,
+    table2_datasets,
+)
+from .common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "experiment_ids", "run_experiment", "ExperimentResult"]
+
+EXPERIMENTS: Dict[str, Callable[[Profile], ExperimentResult]] = {
+    "table1": table1_ordering.run,
+    "table2": table2_datasets.run,
+    "fig1": fig01_scheduling.run,
+    "fig3": fig03_degree_distribution.run,
+    "fig4": fig04_parmax.run,
+    "fig5": fig05_dijkstra_part.run,
+    "fig6": fig06_multilists.run,
+    "fig7": fig07_paralg1_vs_paralg2.run,
+    "fig8": fig08_overall.run,
+    "fig9": fig09_speedup.run,
+    "fig10": fig10_parapsp.run,
+    "seq-basic-vs-opt": ablations.run_seq_basic_vs_opt,
+    "complexity-exponent": ablations.run_complexity_exponent,
+    "queue-discipline": ablations.run_queue_discipline,
+    "parmax-threshold": ablations.run_parmax_threshold,
+    "multilists-parratio": ablations.run_multilists_parratio,
+    "chunk-size": ablations.run_chunk_size,
+    "degree-kind": ablations.run_degree_kind,
+    "adaptive-vs-opt": extensions.run_adaptive_vs_opt,
+    "related-work": related_work.run_related_work,
+    "distributed-scaling": extensions.run_distributed_scaling,
+}
+
+
+def experiment_ids() -> Tuple[str, ...]:
+    return tuple(EXPERIMENTS)
+
+
+def run_experiment(exp_id: str, profile: Profile) -> ExperimentResult:
+    from ...exceptions import BenchmarkError
+
+    if exp_id not in EXPERIMENTS:
+        raise BenchmarkError(
+            f"unknown experiment {exp_id!r}; known: {', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[exp_id](profile)

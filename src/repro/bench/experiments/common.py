@@ -1,0 +1,111 @@
+"""Shared plumbing for the per-figure experiment modules.
+
+Every experiment returns an :class:`ExperimentResult`: the table rows
+it reproduces, optional plot series, the paper's qualitative claim and
+the checks that claim implies.  The simulated APSP runs are memoised so
+figures that share data (8 and 9, for instance) pay for it once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...analysis.plots import ascii_plot
+from ...analysis.tables import format_table
+from ...core.runner import solve_apsp
+from ...graphs.datasets import load_dataset
+from ...simx.machine import MACHINE_I, MACHINE_II, MachineSpec
+from ...types import Backend
+
+__all__ = ["ExperimentResult", "apsp_sim", "machine_by_name"]
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    id: str
+    title: str
+    paper_claim: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    #: optional named series of (x, y) points for the ASCII plot
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    log_y: bool = False
+    xlabel: str = "threads"
+    ylabel: str = "time"
+    notes: List[str] = field(default_factory=list)
+    #: outcome of the shape checks ("holds" / explanation)
+    observed: str = ""
+    #: did every qualitative shape check pass?
+    holds: bool = True
+
+    def render(self) -> str:
+        parts = [
+            f"== {self.id}: {self.title} ==",
+            f"paper claim : {self.paper_claim}",
+            f"shape holds : {self.holds}",
+        ]
+        if self.observed:
+            parts.append(f"observed    : {self.observed}")
+        parts.append("")
+        parts.append(format_table(self.headers, self.rows))
+        if self.series:
+            parts.append("")
+            parts.append(
+                ascii_plot(
+                    self.series,
+                    log_y=self.log_y,
+                    xlabel=self.xlabel,
+                    ylabel=self.ylabel,
+                )
+            )
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+
+def machine_by_name(name: str) -> MachineSpec:
+    if name == "I":
+        return MACHINE_I
+    if name == "II":
+        return MACHINE_II
+    raise ValueError(f"unknown machine {name!r}")
+
+
+@lru_cache(maxsize=4096)
+def apsp_sim(
+    dataset: str,
+    scale: Optional[int],
+    algorithm: str,
+    num_threads: int,
+    schedule: str,
+    machine: str,
+    ordering: Optional[str] = None,
+    chunk: int = 1,
+    queue: str = "fifo",
+) -> Tuple[float, float, float]:
+    """Memoised simulated APSP run.
+
+    Returns ``(ordering_time, dijkstra_time, total_time)`` in virtual
+    work units.
+    """
+    graph = load_dataset(dataset, scale=scale)
+    result = solve_apsp(
+        graph,
+        algorithm=algorithm,
+        num_threads=num_threads,
+        backend=Backend.SIM,
+        schedule=schedule,
+        ordering=ordering,
+        machine=machine_by_name(machine),
+        chunk=chunk,
+        queue=queue,
+    )
+    return (
+        result.phase_times.ordering,
+        result.phase_times.dijkstra,
+        result.total_time,
+    )

@@ -1,0 +1,79 @@
+"""Figure 6 — ordering time: ParMax vs MultiLists.
+
+Paper: MultiLists beats ParMax; on WordNet it improves with threads up
+to 8 and dips slightly at 16 (fork/join overheads on a small graph);
+on the much larger soc-Pokec and soc-LiveJournal1 it keeps improving
+with more threads (§4.3).
+"""
+
+from __future__ import annotations
+
+from ...graphs.degree import degree_array
+from ...order import simulate_order
+from ..workloads import Profile
+from .common import ExperimentResult
+
+EXPERIMENT_ID = "fig6"
+DATASETS = ("WordNet", "soc-Pokec", "soc-LiveJournal1")
+
+
+def run(profile: Profile) -> ExperimentResult:
+    rows = []
+    series = {}
+    ml_times = {}
+    pm_times = {}
+    sizes = {}
+    for dataset in DATASETS:
+        graph = profile.ordering_graph(dataset)
+        sizes[dataset] = graph.num_vertices
+        degrees = degree_array(graph)
+        for T in profile.threads_machine_i:
+            pm = simulate_order(
+                "parmax", degrees, profile.machine_i, num_threads=T
+            ).virtual_time
+            ml = simulate_order(
+                "multilists", degrees, profile.machine_i, num_threads=T
+            ).virtual_time
+            pm_times[(dataset, T)] = pm
+            ml_times[(dataset, T)] = ml
+            rows.append((dataset, T, pm, ml, round(pm / ml, 1)))
+            series.setdefault(f"multilists:{dataset}", []).append((T, ml))
+    ts = list(profile.threads_machine_i)
+    wn_better = all(
+        ml_times[("WordNet", t)] < pm_times[("WordNet", t)] for t in ts
+    )
+    big_scales = all(
+        ml_times[(d, ts[-1])] < ml_times[(d, ts[0])]
+        for d in ("soc-Pokec", "soc-LiveJournal1")
+    )
+    wn = [ml_times[("WordNet", t)] for t in ts]
+    wn_improves_then_flattens = min(wn) < wn[0]
+    observed = (
+        f"MultiLists < ParMax on WordNet at every T: {wn_better}; "
+        f"WordNet curve improves from 1 thread (min at "
+        f"T={ts[wn.index(min(wn))]}): {wn_improves_then_flattens}; "
+        f"large graphs keep improving at {ts[-1]} threads: {big_scales}"
+    )
+    return ExperimentResult(
+        id=EXPERIMENT_ID,
+        title="ordering time, ParMax vs MultiLists "
+        f"(WordNet @ {sizes['WordNet']}, soc-Pokec @ {sizes['soc-Pokec']}, "
+        f"soc-LiveJournal1 @ {sizes['soc-LiveJournal1']})",
+        paper_claim=(
+            "MultiLists outperforms ParMax; small-graph curve dips after "
+            "8 threads, million-vertex graphs keep scaling"
+        ),
+        headers=(
+            "dataset",
+            "threads",
+            "ParMax (work units)",
+            "MultiLists (work units)",
+            "ratio",
+        ),
+        rows=rows,
+        series=series,
+        log_y=True,
+        ylabel="ordering time",
+        observed=observed,
+        holds=bool(wn_better and wn_improves_then_flattens and big_scales),
+    )

@@ -1,0 +1,103 @@
+"""Related-work comparison (paper §6).
+
+The paper positions ParAPSP against three families: classic O(n³)
+Floyd–Warshall (and its blocked GPU variant, Katz & Kider), repeated
+Dijkstra, and partition-and-correct schemes (Tang et al., Abdelghany
+et al.).  This experiment runs all of them on one graph and reports
+
+* algorithmic work (operation counts where defined, measured wall time
+  otherwise) and
+* the coordination cost of the partitioned scheme (boundary-correcting
+  rounds) that ParAPSP's shared-memory design avoids.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ...baselines import (
+    blocked_floyd_warshall,
+    floyd_warshall,
+    partitioned_apsp,
+    repeated_dijkstra,
+)
+from ...core.runner import solve_apsp
+from ..workloads import Profile
+from .common import ExperimentResult
+
+__all__ = ["run_related_work"]
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def run_related_work(profile: Profile) -> ExperimentResult:
+    graph = profile.apsp_graph("WordNet")
+    n = graph.num_vertices
+    rows = []
+
+    _, fw_time = _timed(lambda: floyd_warshall(graph))
+    rows.append(("Floyd–Warshall", "O(n^3)", fw_time, None, None))
+
+    _, bfw_time = _timed(lambda: blocked_floyd_warshall(graph, block_size=64))
+    rows.append(
+        ("blocked Floyd–Warshall (Katz & Kider)", "O(n^3), tiled",
+         bfw_time, None, None)
+    )
+
+    (rd_dist, rd_counts), rd_time = _timed(lambda: repeated_dijkstra(graph))
+    rows.append(
+        ("repeated Dijkstra", "O(n (n+m) log n)", rd_time,
+         rd_counts.total_work(), None)
+    )
+
+    part, part_time = _timed(lambda: partitioned_apsp(graph, num_parts=8))
+    rows.append(
+        ("partition + correct (Tang et al.)", "decompose/correct",
+         part_time, None, part.rounds)
+    )
+
+    apsp, apsp_time = _timed(lambda: solve_apsp(graph, algorithm="parapsp"))
+    rows.append(
+        ("ParAPSP (this paper)", "≈O(n^2.4)", apsp_time,
+         apsp.ops.total_work(), None)
+    )
+
+    parapsp_wins_fw = apsp_time < fw_time
+    no_partitioning = part.rounds > 1
+    observed = (
+        f"ParAPSP wall time {apsp_time:.3f}s vs Floyd–Warshall "
+        f"{fw_time:.3f}s (faster: {parapsp_wins_fw}); the partitioned "
+        f"scheme needed {part.rounds} boundary-correcting rounds over "
+        f"{part.cut_arcs} cut arcs — the coordination ParAPSP avoids: "
+        f"{no_partitioning}"
+    )
+    return ExperimentResult(
+        id="related-work",
+        title=f"ParAPSP vs the §6 baseline families (WordNet @ {n})",
+        paper_claim=(
+            "ParAPSP needs no partitioning/correcting machinery and its "
+            "algorithm family is asymptotically below the O(n^3) "
+            "approaches"
+        ),
+        headers=(
+            "algorithm",
+            "complexity class",
+            "wall time (s)",
+            "op-count work",
+            "correcting rounds",
+        ),
+        rows=rows,
+        observed=observed,
+        holds=bool(parapsp_wins_fw and no_partitioning),
+        notes=[
+            "wall times are single-core Python/numpy and favour "
+            "matrix-vectorised algorithms; op counts are the "
+            "implementation-independent comparison"
+        ],
+    )

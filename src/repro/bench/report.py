@@ -1,0 +1,81 @@
+"""Report writers: CSV rows for plotting, and a summary index.
+
+The text reports (``ExperimentResult.render``) are for reading; the CSV
+export feeds external plotting (matplotlib, gnuplot, a spreadsheet) so
+the paper's figures can be redrawn graphically from the same data.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List, Tuple
+
+from .experiments import ExperimentResult
+
+__all__ = ["write_csv", "write_series_csv", "write_summary", "export_all"]
+
+
+def write_csv(result: ExperimentResult, target: str) -> None:
+    """Write the experiment's table rows as CSV (headers included)."""
+    with open(target, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(result.headers)
+        for row in result.rows:
+            writer.writerow(row)
+
+
+def write_series_csv(result: ExperimentResult, target: str) -> None:
+    """Write the plot series in long format: series,x,y."""
+    with open(target, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(("series", "x", "y"))
+        for name, points in result.series.items():
+            for x, y in points:
+                writer.writerow((name, x, y))
+
+
+def write_summary(
+    results: List[Tuple[str, ExperimentResult, float]],
+    target: str,
+) -> None:
+    """One-page markdown index of a harness run: id, verdict, observed."""
+    lines = [
+        "# Experiment summary",
+        "",
+        "| experiment | shape holds | runtime (s) |",
+        "|---|---|---|",
+    ]
+    for exp_id, result, seconds in results:
+        lines.append(f"| {exp_id} | {result.holds} | {seconds:.1f} |")
+    lines.append("")
+    for exp_id, result, _seconds in results:
+        lines.append(f"## {exp_id}: {result.title}")
+        lines.append("")
+        lines.append(f"*claim*: {result.paper_claim}")
+        lines.append("")
+        lines.append(f"*observed*: {result.observed}")
+        lines.append("")
+    with open(target, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines))
+
+
+def export_all(
+    results: List[Tuple[str, ExperimentResult, float]],
+    directory: str,
+) -> List[str]:
+    """Write CSV (rows + series) and the markdown summary for a run."""
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    for exp_id, result, _ in results:
+        rows_path = os.path.join(directory, f"{exp_id}.csv")
+        write_csv(result, rows_path)
+        written.append(rows_path)
+        if result.series:
+            series_path = os.path.join(directory, f"{exp_id}_series.csv")
+            write_series_csv(result, series_path)
+            written.append(series_path)
+    summary_path = os.path.join(directory, "SUMMARY.md")
+    write_summary(results, summary_path)
+    written.append(summary_path)
+    return written

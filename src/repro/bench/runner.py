@@ -1,0 +1,54 @@
+"""Harness driver: run experiments, collect reports, save them.
+
+Used by the CLI (``python -m repro bench``) and by the pytest benchmark
+modules under ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Iterable, List, Optional, Tuple
+
+from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
+from .workloads import Profile, get_profile
+
+__all__ = ["run_many", "save_report"]
+
+
+def run_many(
+    ids: Optional[Iterable[str]] = None,
+    *,
+    profile: "Profile | str" = "quick",
+    verbose: bool = False,
+) -> List[Tuple[str, ExperimentResult, float]]:
+    """Run a set of experiments; returns (id, result, seconds) triples."""
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    targets = list(ids) if ids is not None else list(EXPERIMENTS)
+    out: List[Tuple[str, ExperimentResult, float]] = []
+    for exp_id in targets:
+        t0 = time.perf_counter()
+        result = run_experiment(exp_id, profile)
+        dt = time.perf_counter() - t0
+        out.append((exp_id, result, dt))
+        if verbose:
+            print(result.render())
+            print(f"[{exp_id} finished in {dt:.1f}s]\n")
+    return out
+
+
+def save_report(
+    results: List[Tuple[str, ExperimentResult, float]],
+    directory: str,
+) -> List[str]:
+    """Write one text file per experiment; returns the paths written."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for exp_id, result, dt in results:
+        path = os.path.join(directory, f"{exp_id}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(result.render())
+            fh.write(f"\n\n[harness runtime: {dt:.1f}s]\n")
+        paths.append(path)
+    return paths

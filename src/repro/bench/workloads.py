@@ -1,0 +1,96 @@
+"""Workload profiles for the experiment harness.
+
+Every experiment in :mod:`repro.bench.experiments` reads its graph
+scale, thread sweep and machine from here.  Two profiles:
+
+* ``quick`` — sizes tuned so the whole suite finishes in a few minutes
+  under ``pytest benchmarks/``; shapes (who wins, crossovers) are
+  already stable at these scales.
+* ``full``  — the scales EXPERIMENTS.md quotes; the CLI default.
+
+Ordering-only experiments use much larger graphs than APSP experiments:
+an ordering pass is O(n) while an APSP solve is ≈O(n^2.4), and the
+paper does the same (§4.3 tests ordering alone on soc-Pokec /
+soc-LiveJournal1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..exceptions import BenchmarkError
+from ..graphs.csr import CSRGraph
+from ..graphs.datasets import load_dataset
+from ..simx.machine import MACHINE_I, MACHINE_II, MachineSpec
+
+__all__ = ["Profile", "PROFILES", "get_profile"]
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Scales and sweeps for one harness run."""
+
+    name: str
+    #: vertex count for APSP experiments (per dataset; None = registry default)
+    apsp_scale: int | None
+    #: vertex count for ordering-only experiments
+    ordering_scale: int
+    #: vertex count for the big §4.3 ordering graphs (soc-Pokec / soc-LJ)
+    large_ordering_scale: int
+    #: thread sweep on Machine-I (16 cores)
+    threads_machine_i: Tuple[int, ...]
+    #: thread sweep on Machine-II (32 cores)
+    threads_machine_ii: Tuple[int, ...]
+    #: sizes for the complexity-exponent sweep
+    complexity_sizes: Tuple[int, ...]
+
+    @property
+    def machine_i(self) -> MachineSpec:
+        return MACHINE_I
+
+    @property
+    def machine_ii(self) -> MachineSpec:
+        return MACHINE_II
+
+    def apsp_graph(self, name: str) -> CSRGraph:
+        return load_dataset(name, scale=self.apsp_scale)
+
+    def ordering_graph(self, name: str) -> CSRGraph:
+        scale = (
+            self.large_ordering_scale
+            if name.lower().startswith("soc")
+            else self.ordering_scale
+        )
+        return load_dataset(name, scale=scale)
+
+
+PROFILES = {
+    "quick": Profile(
+        name="quick",
+        apsp_scale=500,
+        ordering_scale=20_000,
+        large_ordering_scale=40_000,
+        threads_machine_i=(1, 2, 4, 8, 16),
+        threads_machine_ii=(1, 2, 4, 8, 16, 32),
+        complexity_sizes=(100, 160, 250, 400, 640),
+    ),
+    "full": Profile(
+        name="full",
+        apsp_scale=None,  # registry defaults (≈900–1400 vertices)
+        ordering_scale=50_000,
+        large_ordering_scale=100_000,
+        threads_machine_i=(1, 2, 4, 8, 16),
+        threads_machine_ii=(1, 2, 4, 8, 16, 32),
+        complexity_sizes=(150, 250, 400, 650, 1000, 1600),
+    ),
+}
+
+
+def get_profile(name: str) -> Profile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown profile {name!r}; known: {', '.join(PROFILES)}"
+        ) from None

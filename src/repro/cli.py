@@ -1,0 +1,277 @@
+"""Command-line interface: ``repro-apsp`` / ``python -m repro``.
+
+Subcommands
+-----------
+``solve``    — run one APSP algorithm on a dataset or edge-list file.
+``order``    — run one ordering procedure and report its statistics.
+``analyze``  — APSP-derived network metrics (closeness, diameter, ...).
+``paths``    — shortest path between two vertices (with the route).
+``bench``    — regenerate paper tables/figures (the harness).
+``datasets`` — list the dataset registry.
+``info``     — library and algorithm inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis.tables import format_table
+from .bench import experiment_ids, get_profile, run_many, save_report
+from .core.runner import algorithm_names, solve_apsp
+from .graphs.datasets import dataset_info, dataset_names, load_dataset
+from .graphs.degree import degree_array
+from .graphs.io import read_edgelist
+from .order import ORDERINGS, compute_order
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-apsp",
+        description="ParAPSP: parallel all-pairs shortest paths "
+        "(ICPP'18 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve APSP on a graph")
+    src = solve.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", choices=dataset_names(), help="registry graph")
+    src.add_argument("--edgelist", help="path to a SNAP-format edge list")
+    solve.add_argument("--scale", type=int, default=None)
+    solve.add_argument(
+        "--algorithm", choices=algorithm_names(), default="parapsp"
+    )
+    solve.add_argument("--threads", type=int, default=1)
+    solve.add_argument(
+        "--backend",
+        choices=("serial", "threads", "process", "sim"),
+        default="serial",
+    )
+    solve.add_argument(
+        "--schedule",
+        choices=("block", "static-cyclic", "dynamic"),
+        default=None,
+    )
+    solve.add_argument("--directed", action="store_true")
+    solve.add_argument("--out", help="write the distance matrix (.npy)")
+
+    order = sub.add_parser("order", help="run an ordering procedure")
+    order.add_argument("--dataset", choices=dataset_names(), required=True)
+    order.add_argument("--scale", type=int, default=None)
+    order.add_argument("--method", choices=ORDERINGS, default="multilists")
+    order.add_argument("--threads", type=int, default=1)
+
+    analyze = sub.add_parser(
+        "analyze", help="network metrics from the APSP matrix"
+    )
+    _add_graph_source(analyze)
+    analyze.add_argument("--top", type=int, default=5,
+                         help="how many top-centrality vertices to list")
+
+    paths = sub.add_parser("paths", help="shortest path between two vertices")
+    _add_graph_source(paths)
+    paths.add_argument("--source", type=int, required=True)
+    paths.add_argument("--target", type=int, required=True)
+
+    bench = sub.add_parser("bench", help="regenerate paper tables/figures")
+    bench.add_argument(
+        "--experiment",
+        "-e",
+        action="append",
+        choices=experiment_ids(),
+        help="experiment id (repeatable); default: all",
+    )
+    bench.add_argument(
+        "--profile", choices=("quick", "full"), default="full"
+    )
+    bench.add_argument("--save", help="directory for per-experiment reports")
+    bench.add_argument(
+        "--csv", help="directory for CSV exports + SUMMARY.md"
+    )
+
+    sub.add_parser("datasets", help="list the dataset registry")
+    sub.add_parser("info", help="algorithm and experiment inventory")
+    return parser
+
+
+def _add_graph_source(parser: argparse.ArgumentParser) -> None:
+    src = parser.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", choices=dataset_names())
+    src.add_argument("--edgelist", help="path to a SNAP-format edge list")
+    parser.add_argument("--scale", type=int, default=None)
+    parser.add_argument("--directed", action="store_true")
+
+
+def _load_graph(args: argparse.Namespace):
+    if args.dataset:
+        return load_dataset(args.dataset, scale=args.scale)
+    graph, _ = read_edgelist(args.edgelist, directed=args.directed)
+    return graph
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.dataset:
+        graph = load_dataset(args.dataset, scale=args.scale)
+    else:
+        graph, _ = read_edgelist(args.edgelist, directed=args.directed)
+    result = solve_apsp(
+        graph,
+        algorithm=args.algorithm,
+        num_threads=args.threads,
+        backend=args.backend,
+        schedule=args.schedule,
+    )
+    finite = np.isfinite(result.dist)
+    off_diag = finite.sum() - graph.num_vertices
+    unit = "work units" if args.backend == "sim" else "s"
+    print(f"graph        : {graph!r}")
+    print(f"algorithm    : {result.algorithm} ({result.backend}, "
+          f"{result.num_threads} threads, schedule={result.schedule})")
+    print(f"ordering     : {result.ordering_method} "
+          f"[{result.phase_times.ordering:.6g} {unit}]")
+    print(f"dijkstra     : {result.phase_times.dijkstra:.6g} {unit}")
+    print(f"total        : {result.total_time:.6g} {unit}")
+    print(f"reachable    : {off_diag} of "
+          f"{graph.num_vertices * (graph.num_vertices - 1)} ordered pairs")
+    fin_vals = result.dist[finite & ~np.eye(len(graph), dtype=bool)]
+    if fin_vals.size:
+        print(f"distances    : mean {fin_vals.mean():.4g}, "
+              f"max {fin_vals.max():.4g}")
+    if args.out:
+        np.save(args.out, result.dist)
+        print(f"matrix saved : {args.out}")
+    return 0
+
+
+def _cmd_order(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    degrees = degree_array(graph)
+    result = compute_order(
+        args.method, degrees, num_threads=args.threads, backend="threads"
+    )
+    seq = degrees[result.order[: min(10, result.n)]]
+    print(f"graph   : {graph!r}")
+    print(f"method  : {result.method} (exact={result.exact}, "
+          f"{result.num_threads} threads)")
+    print(f"head degrees: {seq.tolist()}")
+    for key, value in sorted(result.stats.items()):
+        print(f"{key:18s}: {value:g}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .analysis.centrality import (
+        closeness_centrality,
+        summarize_network,
+    )
+
+    graph = _load_graph(args)
+    result = solve_apsp(graph, algorithm="parapsp")
+    summary = summarize_network(result.dist)
+    print(f"graph                : {graph!r}")
+    print(f"reachable pairs      : {summary.reachable_pairs} "
+          f"({summary.reachability:.1%})")
+    print(f"average path length  : {summary.average_path_length:.4g}")
+    print(f"diameter / radius    : {summary.diameter:g} / {summary.radius:g}")
+    print(f"global efficiency    : {summary.global_efficiency:.4g}")
+    closeness = closeness_centrality(result.dist)
+    top = np.argsort(-closeness)[: max(0, args.top)]
+    if top.size:
+        print(f"top-{top.size} closeness centrality:")
+        for rank, v in enumerate(top, 1):
+            print(f"  {rank}. vertex {int(v)} ({closeness[v]:.4f})")
+    return 0
+
+
+def _cmd_paths(args: argparse.Namespace) -> int:
+    from .core.paths import apsp_with_paths
+
+    graph = _load_graph(args)
+    result = apsp_with_paths(graph)
+    route = result.path(args.source, args.target)
+    if route is None:
+        print(f"{args.target} is unreachable from {args.source}")
+        return 1
+    print(f"distance : {result.dist[args.source, args.target]:g}")
+    print(f"path     : {' -> '.join(map(str, route))}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    profile = get_profile(args.profile)
+    results = run_many(args.experiment, profile=profile, verbose=True)
+    if args.save:
+        paths = save_report(results, args.save)
+        print(f"saved {len(paths)} report(s) under {args.save}")
+    if args.csv:
+        from .bench import export_all
+
+        paths = export_all(results, args.csv)
+        print(f"exported {len(paths)} CSV/summary file(s) under {args.csv}")
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in dataset_names():
+        spec = dataset_info(name)
+        rows.append(
+            (
+                spec.name,
+                spec.kind,
+                spec.real_vertices,
+                spec.real_edges,
+                spec.default_scale,
+                spec.source,
+            )
+        )
+    print(
+        format_table(
+            ("name", "type", "paper |V|", "paper |E|", "default scale",
+             "source"),
+            rows,
+            title="dataset registry (synthetic stand-ins; see DESIGN.md)",
+        )
+    )
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    from .core.runner import ALGORITHMS
+
+    rows = [
+        (spec.name, spec.ordering, spec.schedule.value, spec.description)
+        for spec in ALGORITHMS.values()
+    ]
+    print(format_table(
+        ("algorithm", "ordering", "schedule", "description"), rows,
+        title="algorithms",
+    ))
+    print()
+    print("experiments:", ", ".join(experiment_ids()))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "order": _cmd_order,
+        "analyze": _cmd_analyze,
+        "paths": _cmd_paths,
+        "bench": _cmd_bench,
+        "datasets": _cmd_datasets,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Algorithm 2 — the sequential *basic* APSP algorithm.
+
+Initialise D and flag, then run the modified Dijkstra from every vertex
+in index order.  Every later sweep reuses the rows finished before it,
+which is what drops the empirical complexity to ≈O(n^2.4) on scale-free
+graphs (Peng et al.'s measurement, re-checked by
+``benchmarks/bench_complexity_exponent.py``).
+"""
+
+from __future__ import annotations
+
+from ..graphs.csr import CSRGraph
+from ..types import Backend
+from .state import APSPResult
+from .runner import solve_apsp
+
+__all__ = ["seq_basic"]
+
+
+def seq_basic(graph: CSRGraph, *, queue: str = "fifo") -> APSPResult:
+    """Run the basic APSP algorithm sequentially (Algorithm 2)."""
+    return solve_apsp(
+        graph, algorithm="seq-basic", backend=Backend.SERIAL, queue=queue
+    )

@@ -1,0 +1,67 @@
+"""Vectorised inner kernels of the modified Dijkstra's algorithm.
+
+The two hot operations of Algorithm 1, expressed as numpy row
+operations so a pure-Python APSP run stays tractable at the scales the
+benchmark harness uses:
+
+* :func:`merge_row` — lines 7–11: fold a finalised row ``D[t, :]`` into
+  the working row ``D[s, :]`` through the known prefix ``D[s, t]``.
+* :func:`relax_edges` — lines 13–18: relax every arc out of ``t`` and
+  report which targets improved (they must be enqueued).
+
+Both return enough information to maintain exact operation counts, so
+the cost model is independent of the numpy implementation strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["merge_row", "relax_edges"]
+
+
+def merge_row(
+    ds: np.ndarray, dt: np.ndarray, ds_t: float
+) -> int:
+    """``ds[v] = min(ds[v], ds_t + dt[v])`` for all v; returns the number
+    of improved entries.
+
+    ``dt`` must be a *final* distance row (its owner set ``flag``), so no
+    vertex needs re-enqueueing: for any continuation v→x the final row
+    already dominates, ``dt[x] ≤ dt[v] + d(v, x)``.
+    """
+    cand = ds_t + dt
+    mask = cand < ds
+    improved = int(np.count_nonzero(mask))
+    if improved:
+        np.copyto(ds, cand, where=mask)
+    return improved
+
+
+def relax_edges(
+    ds: np.ndarray,
+    neighbors: np.ndarray,
+    weights: np.ndarray,
+    ds_t: float,
+) -> Tuple[np.ndarray, int]:
+    """Relax the out-arcs of one vertex.
+
+    Returns ``(improved_targets, improved_count)`` where
+    ``improved_targets`` are the neighbour ids whose distance got
+    smaller (the Enqueue set of Algorithm 1 line 16).  Rows of a
+    :class:`~repro.graphs.csr.CSRGraph` are duplicate-free, so the
+    scatter-assign below has no write conflicts.
+    """
+    if neighbors.size == 0:
+        return neighbors, 0
+    cand = ds_t + weights
+    current = ds[neighbors]
+    mask = cand < current
+    improved = int(np.count_nonzero(mask))
+    if improved == 0:
+        return neighbors[:0], 0
+    targets = neighbors[mask]
+    ds[targets] = cand[mask]
+    return targets, improved

@@ -1,0 +1,167 @@
+"""Algorithm 1 — Peng *et al.*'s modified Dijkstra with flag reuse.
+
+One SSSP sweep from source ``s`` over the shared distance matrix:
+dequeue a vertex ``t``; if ``flag[t]`` says row ``t`` is already a final
+SSSP solution, fold that whole row into row ``s`` (dynamic-programming
+shortcut) and *prune* — do not expand ``t``'s edges; otherwise relax
+``t``'s out-arcs and enqueue improved targets.  After the queue drains,
+row ``s`` is final and ``flag[s]`` is raised.
+
+**Pseudocode erratum** (DESIGN.md §1): as printed in the companion
+paper, both loops sit inside ``if flag[t] = 1``, which would make the
+whole algorithm a no-op on a fresh flag vector.  We implement the only
+consistent reading — the one in Peng et al.'s original paper — where the
+merge-and-prune happens *when* the flag is set and the edge relaxation
+happens *otherwise*.
+
+Queue discipline: the paper describes a plain queue ("based on a
+breadth-first search approach"), i.e. SPFA-style label correcting, which
+is what ``queue="fifo"`` implements (with the standard in-queue
+deduplication).  ``queue="heap"`` is a binary-heap variant (closer to
+textbook Dijkstra) provided for the ablation benches; both are exact for
+positive weights and both honour the flag shortcut.
+
+Correctness of the prune without re-enqueue: when ``flag[t]`` holds, row
+``t`` is a *complete* SSSP solution, so for any continuation through an
+improved vertex ``v`` the row already dominates:
+``D[t, x] ≤ D[t, v] + d(v, x)`` hence
+``D[s, t] + D[t, x] ≤ newD[s, v] + d(v, x)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..exceptions import AlgorithmError
+from ..graphs.csr import CSRGraph
+from ..types import OpCounts
+from .kernels import merge_row, relax_edges
+from .state import APSPState
+
+__all__ = ["modified_dijkstra_sssp"]
+
+#: predicate deciding whether a raised flag may be *used* by this run —
+#: the simulator passes "was that row complete before my dispatch time?"
+FlagGate = Callable[[int], bool]
+
+
+def modified_dijkstra_sssp(
+    graph: CSRGraph,
+    source: int,
+    state: APSPState,
+    *,
+    queue: str = "fifo",
+    flag_gate: Optional[FlagGate] = None,
+    use_flags: bool = True,
+    set_flag: bool = True,
+) -> OpCounts:
+    """Run one modified-Dijkstra sweep from ``source``.
+
+    Parameters
+    ----------
+    queue:
+        ``"fifo"`` (SPFA label-correcting, the paper's discipline) or
+        ``"heap"`` (binary heap by tentative distance).
+    flag_gate:
+        Extra predicate ANDed with ``flag[t]``; lets the simulator
+        restrict reuse to rows finished before this run started.
+    use_flags:
+        ``False`` turns the sweep into a plain SSSP (no reuse) — the
+        baseline for measuring how much the DP shortcut saves.
+    set_flag:
+        Whether to raise ``flag[source]`` on completion (Algorithm 1
+        line 21).  Real runs always do; ablations may not.
+
+    Returns the operation counts of this sweep.
+    """
+    n = state.n
+    if not 0 <= source < n:
+        raise AlgorithmError(f"source {source} outside [0, {n})")
+    if graph.num_vertices != n:
+        raise AlgorithmError(
+            f"state sized for {n} vertices but graph has {graph.num_vertices}"
+        )
+    counts = OpCounts()
+    dist = state.dist
+    ds = dist[source]
+    ds[source] = 0.0  # Algorithm 1 line 2
+    flag = state.flag
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+
+    if queue == "fifo":
+        _run_fifo(
+            dist, ds, flag, indptr, indices, weights, source, counts,
+            flag_gate, use_flags, n,
+        )
+    elif queue == "heap":
+        _run_heap(
+            dist, ds, flag, indptr, indices, weights, source, counts,
+            flag_gate, use_flags, n,
+        )
+    else:
+        raise AlgorithmError(f"unknown queue discipline {queue!r}")
+
+    if set_flag:
+        flag[source] = 1  # line 21: row `source` is now final
+    return counts
+
+
+def _run_fifo(
+    dist, ds, flag, indptr, indices, weights, source, counts,
+    flag_gate, use_flags, n,
+) -> None:
+    in_queue = np.zeros(n, dtype=bool)
+    q: deque = deque([source])
+    in_queue[source] = True
+    while q:
+        t = q.popleft()
+        in_queue[t] = False
+        counts.pops += 1
+        if use_flags and t != source and flag[t] and (
+            flag_gate is None or flag_gate(t)
+        ):
+            counts.row_merges += 1
+            counts.merge_comparisons += n
+            counts.flag_hits += 1
+            merge_row(ds, dist[t], float(ds[t]))
+            continue  # prune: the final row covers every continuation
+        lo, hi = indptr[t], indptr[t + 1]
+        nbrs = indices[lo:hi]
+        counts.edge_relaxations += int(nbrs.size)
+        improved, k = relax_edges(ds, nbrs, weights[lo:hi], float(ds[t]))
+        counts.edge_improvements += k
+        for v in improved:
+            if not in_queue[v]:
+                in_queue[v] = True
+                q.append(int(v))
+
+
+def _run_heap(
+    dist, ds, flag, indptr, indices, weights, source, counts,
+    flag_gate, use_flags, n,
+) -> None:
+    heap = [(0.0, source)]
+    while heap:
+        d, t = heapq.heappop(heap)
+        counts.pops += 1
+        if d > ds[t]:
+            continue  # stale entry (lazy deletion)
+        if use_flags and t != source and flag[t] and (
+            flag_gate is None or flag_gate(t)
+        ):
+            counts.row_merges += 1
+            counts.merge_comparisons += n
+            counts.flag_hits += 1
+            merge_row(ds, dist[t], float(ds[t]))
+            continue
+        lo, hi = indptr[t], indptr[t + 1]
+        nbrs = indices[lo:hi]
+        counts.edge_relaxations += int(nbrs.size)
+        improved, k = relax_edges(ds, nbrs, weights[lo:hi], float(ds[t]))
+        counts.edge_improvements += k
+        for v in improved:
+            heapq.heappush(heap, (float(ds[v]), int(v)))

@@ -1,0 +1,40 @@
+"""Algorithm 3 — the sequential *optimized* APSP algorithm.
+
+Identical to the basic algorithm except the sources are issued in
+descending-degree order (computed by the original O(n²) partial
+selection sort with ratio ``r``).  High-degree hubs finish first, their
+rows are reused by almost every later sweep, and the paper reports a
+2–4× end-to-end win over the basic algorithm.
+"""
+
+from __future__ import annotations
+
+from ..graphs.csr import CSRGraph
+from ..graphs.degree import DegreeKind
+from ..types import Backend
+from .state import APSPResult
+from .runner import solve_apsp
+
+__all__ = ["seq_optimized"]
+
+
+def seq_optimized(
+    graph: CSRGraph,
+    *,
+    ratio: float = 1.0,
+    queue: str = "fifo",
+    degree_kind: "DegreeKind | str" = DegreeKind.OUT,
+) -> APSPResult:
+    """Run the optimized APSP algorithm sequentially (Algorithm 3).
+
+    ``ratio`` is the paper's ``r`` — the fraction of positions the
+    selection sort actually orders.
+    """
+    return solve_apsp(
+        graph,
+        algorithm="seq-opt",
+        backend=Backend.SERIAL,
+        ratio=ratio,
+        queue=queue,
+        degree_kind=degree_kind,
+    )

@@ -1,0 +1,128 @@
+"""Simulated (virtual-time) execution of the APSP sweep phase.
+
+This is where the paper's multi-thread Figures 7–10 come from on a
+single-core host: the *real* modified-Dijkstra sweeps run one by one in
+the order a T-thread machine would dispatch them, and each sweep's
+measured operation counts are priced by the cost model into its virtual
+duration.
+
+Flag-availability interleaving — the operational version of the paper's
+dynamic-programming argument — is what distinguishes this from a plain
+"divide the serial time by T" model: a sweep dispatched at virtual time
+τ may only merge rows of sweeps that *completed* by τ, exactly like a
+thread on the real machine (approximation: flags that arrive mid-sweep
+are not used; they only add reuse, so the simulated work is a slight
+over-estimate of the real machine's).
+
+The memory-hierarchy effects (aggregate LLC growth across sockets vs.
+bandwidth contention) enter through
+:meth:`~repro.simx.MachineSpec.memory_cost_multiplier`, which is the
+mechanism behind the hyper-linear speedups of Figures 9–10.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import AlgorithmError
+from ..graphs.csr import CSRGraph
+from ..simx.machine import MachineSpec
+from ..simx.parfor import ParForOutcome, simulate_parallel_for
+from ..types import OpCounts, Schedule
+from .costs import DEFAULT_COST_MODEL, DijkstraCostModel
+from .modified_dijkstra import modified_dijkstra_sssp
+from .state import new_state
+
+__all__ = ["SimulatedSweep", "simulate_sweep"]
+
+
+class SimulatedSweep:
+    """Result bundle of a simulated sweep phase."""
+
+    __slots__ = ("dist", "per_source", "outcome")
+
+    def __init__(
+        self,
+        dist: np.ndarray,
+        per_source: list,
+        outcome: ParForOutcome,
+    ) -> None:
+        self.dist = dist
+        self.per_source = per_source
+        self.outcome = outcome
+
+    @property
+    def makespan(self) -> float:
+        return self.outcome.result.makespan
+
+    def total_ops(self) -> OpCounts:
+        total = OpCounts()
+        for c in self.per_source:
+            total += c
+        return total
+
+
+def simulate_sweep(
+    graph: CSRGraph,
+    order: np.ndarray,
+    machine: MachineSpec,
+    *,
+    num_threads: int,
+    schedule: "Schedule | str" = Schedule.DYNAMIC,
+    chunk: int = 1,
+    queue: str = "fifo",
+    use_flags: bool = True,
+    cost_model: DijkstraCostModel = DEFAULT_COST_MODEL,
+) -> SimulatedSweep:
+    """Play the sweep phase on the simulated machine.
+
+    The produced distance matrix is the exact APSP solution (reuse
+    affects only *work*, never results); the virtual makespan reflects
+    the T-thread schedule, flag interleaving and memory effects.
+    """
+    schedule = Schedule.coerce(schedule)
+    order = np.asarray(order, dtype=np.int64)
+    n = graph.num_vertices
+    if order.shape != (n,):
+        raise AlgorithmError(
+            f"order must list all {n} sources, got shape {order.shape}"
+        )
+    state = new_state(n)
+    per_source: list = [OpCounts() for _ in range(n)]
+    #: completion virtual time per vertex id; +inf = not finished yet
+    completed_at = np.full(n, np.inf)
+    multiplier = machine.memory_cost_multiplier(num_threads)
+
+    def cost_fn(i: int, dispatch_time: float, _thread: int) -> float:
+        s = int(order[i])
+
+        def gate(t: int) -> bool:
+            return completed_at[t] <= dispatch_time
+
+        counts = modified_dijkstra_sssp(
+            graph,
+            s,
+            state,
+            queue=queue,
+            use_flags=use_flags,
+            flag_gate=gate,
+        )
+        per_source[s] = counts
+        duration = cost_model.sweep_cost(counts)
+        # the parfor applies cost_multiplier after this returns; record
+        # the completion time in final (multiplied) units
+        completed_at[s] = dispatch_time + duration * multiplier
+        return duration
+
+    outcome = simulate_parallel_for(
+        n,
+        cost_fn,
+        machine,
+        num_threads=num_threads,
+        schedule=schedule,
+        chunk=chunk,
+        cost_multiplier=multiplier,
+    )
+    return SimulatedSweep(state.dist, per_source, outcome)

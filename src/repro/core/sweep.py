@@ -1,0 +1,179 @@
+"""The iterative-Dijkstra phase: n SSSP sweeps in a given source order.
+
+This module is the engine behind ParAlg1/ParAlg2/ParAPSP's main loop
+(Algorithm 4 / Algorithm 8 lines 4–8) on the *real* execution backends.
+The simulated counterpart lives in :mod:`repro.core.simulate`.
+
+Concurrency notes (threads backend): every sweep writes only its own
+row of the distance matrix; rows of *other* sources are only read after
+their ``flag`` was observed set, and a flag is set strictly after its
+row's final write (program order under the GIL).  A reader that misses
+a freshly-set flag merely forgoes a reuse opportunity — the output is
+exact either way, which is the paper's §5 claim and is asserted
+bitwise in the test suite.
+
+Process backend: the matrix and the flag vector live in
+``multiprocessing.shared_memory``; workers inherit the mapping via
+fork.  Flags are single bytes, so torn reads are impossible; x86-TSO
+(and the CPython interpreter's own synchronisation) preserve the
+row-then-flag write order.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import AlgorithmError, BackendError
+from ..graphs.csr import CSRGraph
+from ..parallel import Backend, Schedule, parallel_for
+from ..parallel.backends.process import SharedArray, fork_available, run_parallel_map
+from ..types import OpCounts
+from .costs import DEFAULT_COST_MODEL, DijkstraCostModel
+from .modified_dijkstra import modified_dijkstra_sssp
+from .state import APSPState, new_state
+
+__all__ = ["SweepOutcome", "run_sweep"]
+
+
+class SweepOutcome:
+    """Distance matrix + per-source op accounting of one sweep phase."""
+
+    __slots__ = ("dist", "per_source", "elapsed_seconds")
+
+    def __init__(
+        self,
+        dist: np.ndarray,
+        per_source: List[OpCounts],
+        elapsed_seconds: float,
+    ) -> None:
+        self.dist = dist
+        self.per_source = per_source
+        self.elapsed_seconds = elapsed_seconds
+
+    def total_ops(self) -> OpCounts:
+        total = OpCounts()
+        for c in self.per_source:
+            total += c
+        return total
+
+    def work_vector(
+        self, model: DijkstraCostModel = DEFAULT_COST_MODEL
+    ) -> np.ndarray:
+        return np.asarray(
+            [model.sweep_cost(c) for c in self.per_source], dtype=np.float64
+        )
+
+
+def run_sweep(
+    graph: CSRGraph,
+    order: np.ndarray,
+    *,
+    backend: "Backend | str" = Backend.SERIAL,
+    num_threads: int = 1,
+    schedule: "Schedule | str" = Schedule.DYNAMIC,
+    chunk: int = 1,
+    queue: str = "fifo",
+    use_flags: bool = True,
+) -> SweepOutcome:
+    """Run the full APSP sweep phase on a real backend.
+
+    ``order[i]`` is the i-th source to issue (Algorithm 8 line 6–7).
+    Returns per-source counts indexed by *vertex id* (not position).
+    """
+    backend = Backend.coerce(backend)
+    schedule = Schedule.coerce(schedule)
+    order = np.asarray(order, dtype=np.int64)
+    n = graph.num_vertices
+    if order.shape != (n,):
+        raise AlgorithmError(
+            f"order must list all {n} sources, got shape {order.shape}"
+        )
+    if backend is Backend.SIM:
+        raise BackendError("use repro.core.simulate for the SIM backend")
+    if backend is Backend.PROCESS:
+        return _sweep_process(
+            graph,
+            order,
+            num_threads=num_threads,
+            schedule=schedule,
+            chunk=chunk,
+            queue=queue,
+            use_flags=use_flags,
+        )
+
+    state = new_state(n)
+    per_source: List[Optional[OpCounts]] = [None] * n
+
+    def body(i: int, _thread: int) -> None:
+        s = int(order[i])
+        per_source[s] = modified_dijkstra_sssp(
+            graph, s, state, queue=queue, use_flags=use_flags
+        )
+
+    t0 = time.perf_counter()
+    parallel_for(
+        n,
+        body,
+        num_threads=num_threads,
+        schedule=schedule,
+        chunk=chunk,
+        backend=backend,
+    )
+    elapsed = time.perf_counter() - t0
+    counts = [c if c is not None else OpCounts() for c in per_source]
+    return SweepOutcome(state.dist, counts, elapsed)
+
+
+def _sweep_process(
+    graph: CSRGraph,
+    order: np.ndarray,
+    *,
+    num_threads: int,
+    schedule: Schedule,
+    chunk: int,
+    queue: str,
+    use_flags: bool,
+) -> SweepOutcome:
+    """Shared-memory multiprocessing sweep.
+
+    The distance matrix and flag vector are allocated in shared memory
+    *before* forking, so every worker mutates the same physical pages;
+    per-source op counts travel back through the result pipe.
+    """
+    n = graph.num_vertices
+    if num_threads <= 1 or not fork_available():
+        return run_sweep(
+            graph,
+            order,
+            backend=Backend.SERIAL,
+            num_threads=1,
+            schedule=schedule,
+            chunk=chunk,
+            queue=queue,
+            use_flags=use_flags,
+        )
+    with SharedArray.allocate((n, n), np.float64) as shared_dist, \
+            SharedArray.allocate((n,), np.uint8) as shared_flag:
+        state = APSPState(dist=shared_dist.array, flag=shared_flag.array)
+        state.reset()
+
+        def work(i: int) -> Tuple[int, OpCounts]:
+            s = int(order[i])
+            counts = modified_dijkstra_sssp(
+                graph, s, state, queue=queue, use_flags=use_flags
+            )
+            return s, counts
+
+        t0 = time.perf_counter()
+        results = run_parallel_map(
+            n, work, num_threads=num_threads, schedule=schedule, chunk=chunk
+        )
+        elapsed = time.perf_counter() - t0
+        per_source: List[OpCounts] = [OpCounts() for _ in range(n)]
+        for s, counts in results:
+            per_source[s] = counts
+        dist = shared_dist.array.copy()  # segment dies with the context
+    return SweepOutcome(dist, per_source, elapsed)

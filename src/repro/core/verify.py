@@ -1,0 +1,119 @@
+"""Self-contained APSP result verification (no scipy required).
+
+Downstream users of the library need a cheap way to convince themselves
+a distance matrix is right without installing the reference stack.
+A full check would be another APSP solve, so :func:`verify_apsp`
+combines complete *local* checks with sampled *global* ones:
+
+1. **diagonal**: ``D[v, v] == 0``;
+2. **edge consistency** (complete): for every arc (u, v, w) and every
+   source s, ``D[s, v] ≤ D[s, u] + w`` — the fixpoint condition of all
+   shortest-path algorithms, vectorised to O(n·m);
+3. **realisability** (sampled): for sampled pairs with finite
+   ``D[s, t]`` there must exist a neighbour u of t with
+   ``D[s, t] == D[s, u] + w(u, t)`` — every claimed distance is
+   witnessed by an actual incoming arc;
+4. **symmetry** for undirected graphs (complete).
+
+Conditions 1–3 together are exactly the Bellman optimality conditions:
+any matrix satisfying them *is* the shortest-path matrix.  Condition 3
+is sampled for speed (its full version is O(n·m) too but constant-heavy
+in Python); ``sample=None`` runs it completely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..graphs.csr import CSRGraph
+
+__all__ = ["verify_apsp"]
+
+
+def verify_apsp(
+    graph: CSRGraph,
+    dist: np.ndarray,
+    *,
+    sample: Optional[int] = 64,
+    rtol: float = 1e-9,
+    atol: float = 1e-9,
+) -> None:
+    """Raise :class:`ValidationError` unless ``dist`` is a plausible —
+    and for the checked conditions, provably consistent — APSP matrix
+    of ``graph``."""
+    n = graph.num_vertices
+    dist = np.asarray(dist)
+    if dist.shape != (n, n):
+        raise ValidationError(
+            f"distance matrix shape {dist.shape} != ({n}, {n})"
+        )
+    if n == 0:
+        return
+    if not np.all(np.diag(dist) == 0.0):
+        raise ValidationError("diagonal must be exactly zero")
+    if np.isnan(dist).any():
+        raise ValidationError("distance matrix contains NaN")
+    finite = np.isfinite(dist)
+    if (dist[finite] < 0).any():
+        raise ValidationError("negative distances with positive weights")
+
+    # --- condition 2: no arc can improve any distance (vectorised) -----
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    dst = graph.indices
+    w = graph.weights
+    # D[:, dst] vs D[:, src] + w — broadcast over all sources at once
+    lhs = dist[:, dst]
+    rhs = dist[:, src] + w[None, :]
+    viol = lhs > rhs * (1 + rtol) + atol
+    if viol.any():
+        s, k = np.unravel_index(int(np.argmax(viol)), viol.shape)
+        raise ValidationError(
+            f"arc ({src[k]}, {dst[k]}, {w[k]:g}) improves "
+            f"D[{s}, {dst[k]}]: {lhs[s, k]:g} > {rhs[s, k]:g} — "
+            "matrix is not a relaxation fixpoint"
+        )
+
+    # --- reachability consistency: finite D[s,t] needs t reachable ------
+    # (condition 3 witnesses): every finite off-diagonal distance must
+    # be witnessed by an incoming arc achieving it exactly
+    rng = np.random.default_rng(0)
+    sources = (
+        np.arange(n)
+        if sample is None
+        else rng.choice(n, size=min(sample, n), replace=False)
+    )
+    rev = graph.reverse() if graph.directed else graph
+    for s in sources:
+        row = dist[int(s)]
+        targets = np.flatnonzero(np.isfinite(row))
+        for t in targets:
+            if t == s:
+                continue
+            in_nbrs = rev.neighbors(int(t))
+            in_wts = rev.neighbor_weights(int(t))
+            if in_nbrs.size == 0:
+                raise ValidationError(
+                    f"D[{s}, {t}] = {row[t]:g} is finite but {t} has no "
+                    "incoming arcs"
+                )
+            best = (row[in_nbrs] + in_wts).min()
+            if not np.isclose(row[t], best, rtol=rtol, atol=atol):
+                raise ValidationError(
+                    f"D[{s}, {t}] = {row[t]:g} has no witnessing arc "
+                    f"(best incoming gives {best:g})"
+                )
+
+    # --- symmetry for undirected graphs ---------------------------------
+    if not graph.directed:
+        if not np.allclose(
+            np.where(finite, dist, -1.0),
+            np.where(finite.T, dist.T, -1.0),
+            rtol=rtol,
+            atol=atol,
+        ):
+            raise ValidationError(
+                "undirected graph but asymmetric distance matrix"
+            )

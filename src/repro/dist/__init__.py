@@ -1,0 +1,12 @@
+"""Distributed-memory ParAPSP exploration (paper §7 future work)."""
+
+from .cluster import CLUSTER_COMMODITY, CLUSTER_FAST, ClusterSpec
+from .simulate import DistributedResult, simulate_distributed_apsp
+
+__all__ = [
+    "CLUSTER_COMMODITY",
+    "CLUSTER_FAST",
+    "ClusterSpec",
+    "DistributedResult",
+    "simulate_distributed_apsp",
+]

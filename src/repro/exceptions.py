@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` from misuse of the Python API itself)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "GraphFormatError",
+    "DatasetError",
+    "OrderingError",
+    "ScheduleError",
+    "BackendError",
+    "SimulationError",
+    "AlgorithmError",
+    "ValidationError",
+    "BenchmarkError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph structure or graph construction failure."""
+
+
+class GraphFormatError(GraphError):
+    """Malformed on-disk graph data (edge lists, headers)."""
+
+
+class DatasetError(ReproError):
+    """Unknown dataset name or unsatisfiable dataset request."""
+
+
+class OrderingError(ReproError):
+    """An ordering procedure produced or received invalid data."""
+
+
+class ScheduleError(ReproError):
+    """Unknown or invalid loop-scheduling specification."""
+
+
+class BackendError(ReproError):
+    """Unknown or unusable parallel execution backend."""
+
+
+class SimulationError(ReproError):
+    """Inconsistent state inside the discrete-event machine simulator."""
+
+
+class AlgorithmError(ReproError):
+    """An APSP algorithm was invoked with invalid inputs."""
+
+
+class ValidationError(ReproError):
+    """A result failed validation against a reference solution."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark experiment specification is invalid or failed to run."""

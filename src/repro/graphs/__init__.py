@@ -1,0 +1,80 @@
+"""Graph substrate: CSR container, builders, generators, datasets, IO."""
+
+from .csr import CSRGraph
+from .build import (
+    from_arc_arrays,
+    from_dense,
+    from_edges,
+    from_networkx,
+    to_dense,
+    to_networkx,
+    to_scipy_csr,
+)
+from .degree import DegreeKind, degree_array, degree_bounds, degree_histogram
+from .generators import (
+    attach_random_weights,
+    barabasi_albert,
+    complete,
+    cycle,
+    erdos_renyi,
+    grid_2d,
+    path,
+    powerlaw_configuration,
+    random_weighted,
+    star,
+    watts_strogatz,
+)
+from .rmat import rmat
+from .io import (
+    load_graph_npz,
+    parse_edgelist_text,
+    read_edgelist,
+    save_graph_npz,
+    write_edgelist,
+)
+from .datasets import (
+    DATASETS,
+    DatasetSpec,
+    dataset_info,
+    dataset_names,
+    load_dataset,
+    table2_names,
+)
+
+__all__ = [
+    "CSRGraph",
+    "from_arc_arrays",
+    "from_dense",
+    "from_edges",
+    "from_networkx",
+    "to_dense",
+    "to_networkx",
+    "to_scipy_csr",
+    "DegreeKind",
+    "degree_array",
+    "degree_bounds",
+    "degree_histogram",
+    "attach_random_weights",
+    "barabasi_albert",
+    "complete",
+    "cycle",
+    "erdos_renyi",
+    "grid_2d",
+    "path",
+    "powerlaw_configuration",
+    "random_weighted",
+    "star",
+    "watts_strogatz",
+    "rmat",
+    "load_graph_npz",
+    "parse_edgelist_text",
+    "save_graph_npz",
+    "read_edgelist",
+    "write_edgelist",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_info",
+    "dataset_names",
+    "load_dataset",
+    "table2_names",
+]

@@ -1,0 +1,243 @@
+"""Constructors that build :class:`~repro.graphs.csr.CSRGraph` objects.
+
+All builders are pure functions; nothing here mutates its inputs.  Edge
+lists may contain duplicates and self loops — policy flags decide what
+happens to them, defaulting to the conventions of the paper's datasets
+(simple graphs: duplicates merged keeping the minimum weight, self loops
+dropped, undirected edges symmetrised).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import GraphError
+from ..types import VERTEX_DTYPE, WEIGHT_DTYPE
+from .csr import CSRGraph
+
+__all__ = [
+    "from_edges",
+    "from_arc_arrays",
+    "from_dense",
+    "from_networkx",
+    "to_networkx",
+    "to_dense",
+    "to_scipy_csr",
+]
+
+EdgeLike = Union[Tuple[int, int], Tuple[int, int, float], Sequence[float]]
+
+
+def from_edges(
+    edges: Iterable[EdgeLike],
+    *,
+    num_vertices: Optional[int] = None,
+    directed: bool = False,
+    default_weight: float = 1.0,
+    drop_self_loops: bool = True,
+    dedup: str = "min",
+    name: str = "",
+) -> CSRGraph:
+    """Build a graph from ``(u, v)`` or ``(u, v, w)`` tuples.
+
+    Parameters
+    ----------
+    num_vertices:
+        Vertex count; inferred as ``max id + 1`` when omitted.
+    directed:
+        When ``False`` each input edge is stored as two arcs.
+    dedup:
+        Duplicate-arc policy: ``"min"`` keeps the lightest parallel arc,
+        ``"first"`` keeps the first occurrence, ``"error"`` raises.
+    """
+    if dedup not in ("min", "first", "error"):
+        raise GraphError(f"unknown dedup policy {dedup!r}")
+    us, vs, ws = [], [], []
+    for edge in edges:
+        if len(edge) == 2:
+            u, v = edge  # type: ignore[misc]
+            w = default_weight
+        elif len(edge) == 3:
+            u, v, w = edge  # type: ignore[misc]
+        else:
+            raise GraphError(f"edge {edge!r} is not a 2- or 3-tuple")
+        u, v, w = int(u), int(v), float(w)
+        if u < 0 or v < 0:
+            raise GraphError(f"negative vertex id in edge ({u}, {v})")
+        if u == v:
+            if drop_self_loops:
+                continue
+            raise GraphError(
+                f"self loop at vertex {u}; pass drop_self_loops=True to "
+                "silently drop self loops"
+            )
+        us.append(u)
+        vs.append(v)
+        ws.append(w)
+    src = np.asarray(us, dtype=VERTEX_DTYPE)
+    dst = np.asarray(vs, dtype=VERTEX_DTYPE)
+    wts = np.asarray(ws, dtype=WEIGHT_DTYPE)
+    if num_vertices is None:
+        num_vertices = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+    return from_arc_arrays(
+        src,
+        dst,
+        wts,
+        num_vertices=num_vertices,
+        directed=directed,
+        dedup=dedup,
+        name=name,
+    )
+
+
+def from_arc_arrays(
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    *,
+    num_vertices: int,
+    directed: bool = False,
+    dedup: str = "min",
+    name: str = "",
+) -> CSRGraph:
+    """Build a graph from parallel source/destination/weight arrays."""
+    src = np.asarray(src, dtype=VERTEX_DTYPE)
+    dst = np.asarray(dst, dtype=VERTEX_DTYPE)
+    if src.shape != dst.shape or src.ndim != 1:
+        raise GraphError("src and dst must be equal-length 1-D arrays")
+    if weights is None:
+        weights = np.ones(src.size, dtype=WEIGHT_DTYPE)
+    else:
+        weights = np.asarray(weights, dtype=WEIGHT_DTYPE)
+        if weights.shape != src.shape:
+            raise GraphError("weights must align with src/dst")
+    if src.size and (
+        min(src.min(), dst.min()) < 0
+        or max(src.max(), dst.max()) >= num_vertices
+    ):
+        raise GraphError(
+            f"arc endpoints outside [0, {num_vertices})"
+        )
+    if not directed:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        weights = np.concatenate([weights, weights])
+    # sort arcs by (src, dst) so duplicates become adjacent and the CSR
+    # rows come out sorted — sorted rows make equality checks and the
+    # vectorised kernels cache-friendly.
+    order = np.lexsort((dst, src))
+    src, dst, weights = src[order], dst[order], weights[order]
+    if src.size:
+        same = (src[1:] == src[:-1]) & (dst[1:] == dst[:-1])
+        if np.any(same):
+            if dedup == "error":
+                k = int(np.flatnonzero(same)[0])
+                raise GraphError(
+                    f"duplicate arc ({src[k]}, {dst[k]}) with dedup='error'"
+                )
+            keep = np.concatenate([[True], ~same])
+            if dedup == "min":
+                # group-minimum over runs of identical (src, dst)
+                group = np.cumsum(keep) - 1
+                mins = np.full(group[-1] + 1, np.inf)
+                np.minimum.at(mins, group, weights)
+                src, dst = src[keep], dst[keep]
+                weights = mins.astype(WEIGHT_DTYPE)
+            else:  # "first"
+                src, dst, weights = src[keep], dst[keep], weights[keep]
+    counts = np.bincount(src, minlength=num_vertices)
+    indptr = np.zeros(num_vertices + 1, dtype=VERTEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRGraph(indptr, dst, weights, directed=directed, name=name)
+
+
+def from_dense(
+    matrix: np.ndarray,
+    *,
+    directed: Optional[bool] = None,
+    name: str = "",
+) -> CSRGraph:
+    """Build a graph from a dense weight matrix.
+
+    Entries that are ``0``, ``inf`` or ``nan`` mean "no arc".  The
+    diagonal is ignored.  ``directed`` defaults to whether the matrix is
+    asymmetric.
+    """
+    matrix = np.asarray(matrix, dtype=WEIGHT_DTYPE)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise GraphError(f"weight matrix must be square, got {matrix.shape}")
+    n = matrix.shape[0]
+    present = np.isfinite(matrix) & (matrix != 0)
+    np.fill_diagonal(present, False)
+    if directed is None:
+        sym = np.array_equal(present, present.T) and np.allclose(
+            np.where(present, matrix, 0.0),
+            np.where(present.T, matrix.T, 0.0),
+        )
+        directed = not sym
+    src, dst = np.nonzero(present)
+    weights = matrix[src, dst]
+    if not directed:
+        # keep each undirected edge once; from_arc_arrays re-symmetrises
+        keep = src < dst
+        src, dst, weights = src[keep], dst[keep], weights[keep]
+    return from_arc_arrays(
+        src.astype(VERTEX_DTYPE),
+        dst.astype(VERTEX_DTYPE),
+        weights,
+        num_vertices=n,
+        directed=directed,
+        name=name,
+    )
+
+
+def from_networkx(nx_graph, *, weight: str = "weight", name: str = "") -> CSRGraph:
+    """Convert a networkx (Di)Graph with integer-labellable nodes."""
+    import networkx as nx  # local import: networkx is a test-only dep
+
+    directed = nx_graph.is_directed()
+    nodes = list(nx_graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    edges = [
+        (index[u], index[v], float(data.get(weight, 1.0)))
+        for u, v, data in nx_graph.edges(data=True)
+    ]
+    return from_edges(
+        edges,
+        num_vertices=len(nodes),
+        directed=directed,
+        name=name or str(getattr(nx_graph, "name", "")),
+    )
+
+
+def to_networkx(graph: CSRGraph):
+    """Convert to a networkx graph (test/validation helper)."""
+    import networkx as nx
+
+    out = nx.DiGraph() if graph.directed else nx.Graph()
+    out.add_nodes_from(range(graph.num_vertices))
+    for u, v, w in graph.iter_arcs():
+        out.add_edge(u, v, weight=w)
+    return out
+
+
+def to_dense(graph: CSRGraph) -> np.ndarray:
+    """Dense weight matrix with ``inf`` off-diagonal absences, 0 diagonal."""
+    n = graph.num_vertices
+    dense = np.full((n, n), np.inf, dtype=WEIGHT_DTYPE)
+    src = np.repeat(np.arange(n, dtype=VERTEX_DTYPE), np.diff(graph.indptr))
+    # parallel arcs were deduplicated at construction; plain assignment ok
+    dense[src, graph.indices] = graph.weights
+    np.fill_diagonal(dense, 0.0)
+    return dense
+
+
+def to_scipy_csr(graph: CSRGraph):
+    """The graph as a ``scipy.sparse.csr_matrix`` (validation helper)."""
+    import scipy.sparse as sp
+
+    n = graph.num_vertices
+    return sp.csr_matrix(
+        (graph.weights, graph.indices, graph.indptr), shape=(n, n)
+    )

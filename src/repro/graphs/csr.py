@@ -1,0 +1,259 @@
+"""Compressed sparse row (CSR) graph container.
+
+The whole library operates on one immutable graph representation: CSR
+adjacency with parallel weight storage.  CSR gives O(1) access to a
+vertex's out-neighbour slice as a numpy view, which is what both the
+modified Dijkstra's inner loop and the vectorised kernels need.
+
+The container deliberately does *not* subclass or wrap networkx — the
+paper's algorithms stream over raw index arrays, and keeping the data as
+three numpy arrays makes the multiprocessing backend's shared-memory
+story trivial (arrays are sent once, via pickle of the buffers).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import GraphError
+from ..types import VERTEX_DTYPE, WEIGHT_DTYPE
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Immutable directed or undirected graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64[n+1]`` — ``indices[indptr[v]:indptr[v+1]]`` are the
+        out-neighbours of vertex ``v``.
+    indices:
+        ``int64[m]`` — neighbour vertex ids, one entry per directed arc.
+        For an undirected graph every edge appears twice (both arcs).
+    weights:
+        ``float64[m]`` — positive arc weights aligned with ``indices``.
+    directed:
+        Whether the graph semantics are directed.  Undirected graphs must
+        store both arcs of every edge; this is validated lazily by
+        :func:`repro.graphs.validate.check_symmetry`.
+    name:
+        Optional human-readable label (dataset registry name).
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "directed", "name")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        *,
+        directed: bool = False,
+        name: str = "",
+    ) -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=VERTEX_DTYPE)
+        indices = np.ascontiguousarray(indices, dtype=VERTEX_DTYPE)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise GraphError("indptr and indices must be one-dimensional")
+        if indptr.size == 0:
+            raise GraphError("indptr must have at least one entry")
+        if indptr[0] != 0:
+            raise GraphError(f"indptr[0] must be 0, got {indptr[0]}")
+        if indptr[-1] != indices.size:
+            raise GraphError(
+                f"indptr[-1] ({indptr[-1]}) must equal len(indices) "
+                f"({indices.size})"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        n = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise GraphError(
+                "indices contains vertex ids outside [0, n); "
+                f"n={n}, min={indices.min()}, max={indices.max()}"
+            )
+        if weights is None:
+            weights = np.ones(indices.size, dtype=WEIGHT_DTYPE)
+        else:
+            weights = np.ascontiguousarray(weights, dtype=WEIGHT_DTYPE)
+            if weights.shape != indices.shape:
+                raise GraphError(
+                    f"weights shape {weights.shape} does not match "
+                    f"indices shape {indices.shape}"
+                )
+            if indices.size and not np.all(weights > 0):
+                raise GraphError(
+                    "edge weights must be strictly positive (Dijkstra-"
+                    "family algorithms require non-negative weights; "
+                    "zero-weight self-reinforcing cycles are excluded)"
+                )
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.directed = bool(directed)
+        self.name = str(name)
+        # freeze the buffers: the algorithms rely on the graph never
+        # mutating under a running sweep (and the SIM backend replays it)
+        self.indptr.setflags(write=False)
+        self.indices.setflags(write=False)
+        self.weights.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of stored directed arcs (2×edges for undirected)."""
+        return self.indices.size
+
+    @property
+    def num_edges(self) -> int:
+        """Logical edge count: arcs for directed, arcs/2 for undirected."""
+        if self.directed:
+            return self.num_arcs
+        return self.num_arcs // 2
+
+    # ------------------------------------------------------------------
+    # adjacency access
+    # ------------------------------------------------------------------
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbour ids of ``v`` as a read-only numpy view."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Arc weights aligned with :meth:`neighbors`."""
+        return self.weights[self.indptr[v] : self.indptr[v + 1]]
+
+    def out_degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def out_degrees(self) -> np.ndarray:
+        """Vector of out-degrees for every vertex (``int64[n]``)."""
+        return np.diff(self.indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """Vector of in-degrees (equals out-degrees when undirected)."""
+        return np.bincount(
+            self.indices, minlength=self.num_vertices
+        ).astype(VERTEX_DTYPE)
+
+    def iter_arcs(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield every stored arc as ``(u, v, w)``."""
+        indptr, indices, weights = self.indptr, self.indices, self.weights
+        for u in range(self.num_vertices):
+            for k in range(indptr[u], indptr[u + 1]):
+                yield u, int(indices[k]), float(weights[k])
+
+    def arc_array(self) -> np.ndarray:
+        """All arcs as an ``(m, 2)`` int array of ``(u, v)`` pairs."""
+        src = np.repeat(
+            np.arange(self.num_vertices, dtype=VERTEX_DTYPE),
+            np.diff(self.indptr),
+        )
+        return np.column_stack([src, self.indices])
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def reverse(self) -> "CSRGraph":
+        """Graph with every arc reversed (undirected graphs round-trip)."""
+        n = self.num_vertices
+        counts = np.bincount(self.indices, minlength=n)
+        indptr = np.zeros(n + 1, dtype=VERTEX_DTYPE)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(self.num_arcs, dtype=VERTEX_DTYPE)
+        weights = np.empty(self.num_arcs, dtype=WEIGHT_DTYPE)
+        cursor = indptr[:-1].copy()
+        src = np.repeat(np.arange(n, dtype=VERTEX_DTYPE), np.diff(self.indptr))
+        for k in range(self.num_arcs):
+            dst = self.indices[k]
+            pos = cursor[dst]
+            indices[pos] = src[k]
+            weights[pos] = self.weights[k]
+            cursor[dst] += 1
+        return CSRGraph(
+            indptr,
+            indices,
+            weights,
+            directed=self.directed,
+            name=self.name and f"{self.name}:reversed",
+        )
+
+    def with_unit_weights(self) -> "CSRGraph":
+        """Copy of the graph with all weights set to 1.0."""
+        return CSRGraph(
+            self.indptr.copy(),
+            self.indices.copy(),
+            None,
+            directed=self.directed,
+            name=self.name,
+        )
+
+    def subgraph(self, vertices: Iterable[int]) -> "CSRGraph":
+        """Induced subgraph on ``vertices`` with relabelled ids 0..k-1."""
+        keep = np.asarray(sorted(set(int(v) for v in vertices)), dtype=VERTEX_DTYPE)
+        if keep.size and (keep[0] < 0 or keep[-1] >= self.num_vertices):
+            raise GraphError("subgraph vertex ids out of range")
+        remap = -np.ones(self.num_vertices, dtype=VERTEX_DTYPE)
+        remap[keep] = np.arange(keep.size, dtype=VERTEX_DTYPE)
+        rows = []
+        for new_u, old_u in enumerate(keep):
+            nbrs = self.neighbors(int(old_u))
+            wts = self.neighbor_weights(int(old_u))
+            mask = remap[nbrs] >= 0
+            rows.append((remap[nbrs[mask]], wts[mask]))
+        indptr = np.zeros(keep.size + 1, dtype=VERTEX_DTYPE)
+        for i, (nbrs, _) in enumerate(rows):
+            indptr[i + 1] = indptr[i] + nbrs.size
+        indices = (
+            np.concatenate([r[0] for r in rows])
+            if rows
+            else np.empty(0, dtype=VERTEX_DTYPE)
+        )
+        weights = (
+            np.concatenate([r[1] for r in rows])
+            if rows
+            else np.empty(0, dtype=WEIGHT_DTYPE)
+        )
+        return CSRGraph(
+            indptr,
+            indices,
+            weights,
+            directed=self.directed,
+            name=self.name and f"{self.name}:sub{keep.size}",
+        )
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<CSRGraph{label} {kind} n={self.num_vertices} "
+            f"m={self.num_edges}>"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            self.directed == other.directed
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.weights, other.weights)
+        )
+
+    def __hash__(self) -> int:  # identity hash: contents are big arrays
+        return id(self)

@@ -1,0 +1,305 @@
+"""Synthetic stand-ins for the paper's real-world datasets.
+
+The paper evaluates on SNAP / KONECT graphs (Table 2 plus ca-HepPh for
+Figure 1 and soc-Pokec / soc-LiveJournal1 for the large-scale ordering
+test in §4.3).  Those files are not available offline, and at full scale
+the APSP result matrix would not fit in this container anyway (the paper
+itself needs 160 GB for sx-superuser).
+
+Each registry entry therefore records the *published* statistics of the
+real graph (for Table 2 reproduction) together with a seeded generative
+recipe that produces a scaled-down graph with the same directedness and a
+matching degree-distribution shape — the properties all of the paper's
+effects flow from.  Generation is deterministic per (name, scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, Optional, Tuple
+
+from ..exceptions import DatasetError
+from . import generators as gen
+from .csr import CSRGraph
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_names",
+    "table2_names",
+    "load_dataset",
+    "dataset_info",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One entry of the dataset registry.
+
+    ``real_vertices`` / ``real_edges`` are the published full-scale counts
+    (Table 2 / §3.2 / §4.3 of the paper); ``default_scale`` is the vertex
+    count the synthetic stand-in uses when no explicit scale is given.
+    """
+
+    name: str
+    kind: str  # "Directed" / "Undirected", as printed in Table 2
+    real_vertices: int
+    real_edges: int
+    default_scale: int
+    #: builds the synthetic graph: (n, seed) -> CSRGraph
+    recipe: Callable[[int, int], CSRGraph]
+    source: str = ""
+    in_table2: bool = False
+
+    @property
+    def directed(self) -> bool:
+        return self.kind == "Directed"
+
+    @property
+    def real_avg_degree(self) -> float:
+        """Average degree of the full-scale graph (arcs per vertex)."""
+        mult = 1 if self.directed else 2
+        return mult * self.real_edges / self.real_vertices
+
+
+def _ba_recipe(avg_degree: float, directed: bool) -> Callable[[int, int], CSRGraph]:
+    """Barabási–Albert recipe matched to a target average degree.
+
+    BA with parameter m has average degree ≈ 2m (undirected); we pick m
+    so the stand-in's mean degree tracks the real graph's.  Note BA's
+    minimum degree is m, so BA stand-ins lack the degree-1 tail — use
+    :func:`_plc_recipe` for datasets whose low-degree pile-up matters.
+    """
+    m = max(1, int(round(avg_degree / 2)))
+
+    def build(n: int, seed: int) -> CSRGraph:
+        return gen.barabasi_albert(n, min(m, n - 1), seed=seed, directed=directed)
+
+    return build
+
+
+#: hub spectrum planted into every power-law stand-in: one vertex at the
+#: degree ceiling, then a geometric cascade below it — the hub-dominance
+#: profile of real scale-free graphs that a small-n tail sample misses
+_HUB_SPECTRUM = (1.0, 0.7, 0.5, 0.36, 0.26, 0.18, 0.13, 0.09, 0.065, 0.045)
+
+
+#: hub degrees in real scale-free graphs grow sublinearly in n; this
+#: exponent anchors the stand-ins' hub ceiling when rescaling a dataset
+#: away from its default scale (calibrated so e.g. WordNet's ~1000-max
+#: degree at n=146k and a ~600-max at n=1200 sit on the same curve)
+_HUB_GROWTH_EXPONENT = 0.32
+
+
+def _plc_recipe(
+    exponent: float,
+    min_degree: int,
+    directed: bool,
+    max_degree_frac: float = 0.2,
+    ref_scale: int = 1000,
+) -> Callable[[int, int], CSRGraph]:
+    """Power-law configuration recipe with planted hubs.
+
+    At the dataset's reference scale the hub ceiling is
+    ``max_degree_frac × ref_scale``; away from it the ceiling follows
+    the sublinear :data:`_HUB_GROWTH_EXPONENT` curve.  Real scale-free
+    graphs have hubs orders of magnitude above the median degree;
+    planting a hub cascade preserves the two effects the paper leans
+    on — approximate 101-bin bucketing is genuinely approximate, and
+    ParMax's 1 %-of-max threshold really separates the hubs from the
+    power-law tail — without letting the hub ceiling outgrow its share
+    of the graph when experiments scale n up.
+    """
+
+    def build(n: int, seed: int) -> CSRGraph:
+        ceiling = max_degree_frac * ref_scale * (n / ref_scale) ** _HUB_GROWTH_EXPONENT
+        max_degree = max(min_degree + 2, min(n - 1, int(ceiling)))
+        return gen.powerlaw_configuration(
+            n,
+            exponent,
+            min_degree=min_degree,
+            max_degree=max_degree,
+            planted_hubs=_HUB_SPECTRUM,
+            seed=seed,
+            directed=directed,
+        )
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# Registry.  Real counts are quoted from the paper (Table 2, §3.2 for
+# ca-HepPh, §4.3 for soc-Pokec / soc-LiveJournal1).
+# ----------------------------------------------------------------------
+DATASETS: Dict[str, DatasetSpec] = {}
+
+
+def _register(spec: DatasetSpec) -> None:
+    if spec.name in DATASETS:
+        raise DatasetError(f"duplicate dataset name {spec.name!r}")
+    DATASETS[spec.name] = spec
+
+
+_register(
+    DatasetSpec(
+        name="ego-Twitter",
+        kind="Directed",
+        real_vertices=81_306,
+        real_edges=1_768_149,
+        default_scale=900,
+        # dense ego networks: elevated minimum degree, heavy hubs
+        recipe=_plc_recipe(2.0, min_degree=6, directed=True, max_degree_frac=0.25, ref_scale=900),
+        source="SNAP",
+        in_table2=True,
+    )
+)
+_register(
+    DatasetSpec(
+        name="Livemocha",
+        kind="Undirected",
+        real_vertices=104_103,
+        real_edges=2_193_083,
+        default_scale=1000,
+        recipe=_plc_recipe(2.0, min_degree=8, directed=False, max_degree_frac=0.25, ref_scale=1000),
+        source="KONECT",
+        in_table2=True,
+    )
+)
+_register(
+    DatasetSpec(
+        name="Flickr",
+        kind="Undirected",
+        real_vertices=105_938,
+        real_edges=2_316_948,
+        default_scale=1000,
+        recipe=_plc_recipe(2.0, min_degree=8, directed=False, max_degree_frac=0.3, ref_scale=1000),
+        source="KONECT",
+        in_table2=True,
+    )
+)
+_register(
+    DatasetSpec(
+        name="WordNet",
+        kind="Undirected",
+        real_vertices=146_005,
+        real_edges=656_999,
+        default_scale=1200,
+        # sparse (avg degree 9.0) with a heavy power-law tail (Figure 3)
+        recipe=_plc_recipe(2.4, min_degree=2, directed=False, max_degree_frac=0.5, ref_scale=1200),
+        source="KONECT",
+        in_table2=True,
+    )
+)
+_register(
+    DatasetSpec(
+        name="sx-superuser",
+        kind="Directed",
+        real_vertices=194_085,
+        real_edges=1_443_339,
+        default_scale=1400,
+        # real avg degree ≈ 7.4 (1.44M arcs / 194k vertices)
+        recipe=_plc_recipe(1.9, min_degree=2, directed=True, max_degree_frac=0.25, ref_scale=1400),
+        source="SNAP",
+        in_table2=True,
+    )
+)
+_register(
+    DatasetSpec(
+        name="ca-HepPh",
+        kind="Undirected",
+        real_vertices=12_008,
+        real_edges=118_521,
+        default_scale=700,
+        recipe=_plc_recipe(2.1, min_degree=4, directed=False, max_degree_frac=0.25, ref_scale=700),
+        source="SNAP (Figure 1 scheduling study)",
+    )
+)
+_register(
+    DatasetSpec(
+        name="soc-Pokec",
+        kind="Directed",
+        real_vertices=1_632_803,
+        real_edges=30_622_564,
+        default_scale=20_000,
+        recipe=_plc_recipe(2.3, min_degree=2, directed=True, max_degree_frac=0.1, ref_scale=20_000),
+        source="SNAP (§4.3 large ordering test)",
+    )
+)
+_register(
+    DatasetSpec(
+        name="soc-LiveJournal1",
+        kind="Directed",
+        real_vertices=4_847_571,
+        real_edges=68_993_773,
+        default_scale=50_000,
+        recipe=_plc_recipe(2.3, min_degree=2, directed=True, max_degree_frac=0.08, ref_scale=50_000),
+        source="SNAP (§4.3 large ordering test)",
+    )
+)
+
+#: canonical lower-case lookup, tolerant of underscores vs hyphens
+_ALIASES = {
+    name.lower().replace("-", "_"): name for name in DATASETS
+}
+
+
+def dataset_names() -> Tuple[str, ...]:
+    """All registered dataset names, registry order."""
+    return tuple(DATASETS)
+
+
+def table2_names() -> Tuple[str, ...]:
+    """The five datasets of the paper's Table 2, in table order."""
+    return tuple(s.name for s in DATASETS.values() if s.in_table2)
+
+
+def _resolve(name: str) -> DatasetSpec:
+    key = name.lower().replace("-", "_")
+    if key not in _ALIASES:
+        known = ", ".join(DATASETS)
+        raise DatasetError(f"unknown dataset {name!r}; known: {known}")
+    return DATASETS[_ALIASES[key]]
+
+
+def dataset_info(name: str) -> DatasetSpec:
+    """Registry entry for ``name`` (case/hyphen tolerant)."""
+    return _resolve(name)
+
+
+@lru_cache(maxsize=32)
+def _cached_build(name: str, scale: int, seed: int) -> CSRGraph:
+    spec = DATASETS[name]
+    graph = spec.recipe(scale, seed)
+    return CSRGraph(
+        graph.indptr,
+        graph.indices,
+        graph.weights,
+        directed=graph.directed,
+        name=f"{spec.name}@{scale}",
+    )
+
+
+def load_dataset(
+    name: str,
+    *,
+    scale: Optional[int] = None,
+    seed: int = 20180813,  # ICPP'18 started 2018-08-13
+) -> CSRGraph:
+    """Build the synthetic stand-in for dataset ``name``.
+
+    Parameters
+    ----------
+    scale:
+        Number of vertices of the scaled-down graph; defaults to the
+        registry's ``default_scale``.  Pass a larger value to stress the
+        ordering procedures (the §4.3 soc-Pokec experiment).
+    seed:
+        RNG seed; the default is fixed so every harness run sees the
+        exact same graphs.
+    """
+    spec = _resolve(name)
+    n = spec.default_scale if scale is None else int(scale)
+    if n < 4:
+        raise DatasetError(f"scale must be >= 4, got {n}")
+    return _cached_build(spec.name, n, seed)

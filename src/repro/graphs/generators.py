@@ -1,0 +1,334 @@
+"""Seeded random-graph generators.
+
+The paper's datasets are real SNAP/KONECT graphs; offline we stand in for
+them with seeded generative models that match the property the algorithms
+exploit — the scale-free power-law degree distribution (paper §2.2, §4.2).
+
+All generators take an integer ``seed`` and are fully deterministic for a
+given (parameters, seed) pair, which the dataset registry and the
+benchmark harness rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import GraphError
+from ..types import VERTEX_DTYPE, WEIGHT_DTYPE
+from .build import from_arc_arrays, from_edges
+from .csr import CSRGraph
+
+__all__ = [
+    "barabasi_albert",
+    "erdos_renyi",
+    "powerlaw_configuration",
+    "watts_strogatz",
+    "random_weighted",
+    "star",
+    "path",
+    "cycle",
+    "complete",
+    "grid_2d",
+    "attach_random_weights",
+]
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def barabasi_albert(
+    n: int,
+    m: int,
+    *,
+    seed: Optional[int] = None,
+    directed: bool = False,
+    name: str = "",
+) -> CSRGraph:
+    """Barabási–Albert preferential-attachment graph (scale-free).
+
+    Each new vertex attaches to ``m`` existing vertices chosen with
+    probability proportional to their current degree (implemented with
+    the standard repeated-endpoints urn, which yields the exact BA
+    process).  The result is connected and has the power-law degree
+    tail the paper's optimized ordering exploits.
+    """
+    if m < 1 or n < m + 1:
+        raise GraphError(f"barabasi_albert requires n > m >= 1; n={n}, m={m}")
+    rng = _rng(seed)
+    # urn of endpoints: every arc endpoint is one ball; sampling uniform
+    # balls == sampling vertices proportional to degree
+    targets = list(range(m))
+    urn: list[int] = []
+    edges = []
+    for source in range(m, n):
+        for t in targets:
+            edges.append((source, t))
+        urn.extend(targets)
+        urn.extend([source] * m)
+        # sample m distinct targets from the urn for the next vertex
+        chosen: set[int] = set()
+        while len(chosen) < m:
+            chosen.add(urn[int(rng.integers(len(urn)))])
+        targets = list(chosen)
+    return from_edges(
+        edges, num_vertices=n, directed=directed, name=name or f"ba-{n}-{m}"
+    )
+
+
+def erdos_renyi(
+    n: int,
+    p: float,
+    *,
+    seed: Optional[int] = None,
+    directed: bool = False,
+    name: str = "",
+) -> CSRGraph:
+    """Erdős–Rényi G(n, p) via geometric edge skipping (O(m) expected)."""
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"edge probability must be in [0, 1], got {p}")
+    rng = _rng(seed)
+    us, vs = [], []
+    if p > 0.0:
+        # iterate over the strictly-upper-triangular (or full off-diagonal
+        # for directed) index space, skipping ahead geometrically
+        total = n * (n - 1) if directed else n * (n - 1) // 2
+        log1mp = math.log1p(-p) if p < 1.0 else -math.inf
+        k = -1
+        while True:
+            if p < 1.0:
+                r = rng.random()
+                skip = int(math.floor(math.log1p(-r) / log1mp))
+                k += 1 + skip
+            else:
+                k += 1
+            if k >= total:
+                break
+            if directed:
+                u, rem = divmod(k, n - 1)
+                v = rem if rem < u else rem + 1
+            else:
+                # invert the triangular index: k -> (u, v) with u < v
+                u = int(
+                    (2 * n - 1 - math.sqrt((2 * n - 1) ** 2 - 8 * k)) // 2
+                )
+                # adjust for floating error at triangle boundaries
+                while k >= (u + 1) * n - (u + 1) * (u + 2) // 2:
+                    u += 1
+                while u > 0 and k < u * n - u * (u + 1) // 2:
+                    u -= 1
+                v = k - (u * n - u * (u + 1) // 2) + u + 1
+            us.append(u)
+            vs.append(v)
+    return from_arc_arrays(
+        np.asarray(us, dtype=VERTEX_DTYPE),
+        np.asarray(vs, dtype=VERTEX_DTYPE),
+        None,
+        num_vertices=n,
+        directed=directed,
+        name=name or f"er-{n}-{p:g}",
+    )
+
+
+def powerlaw_configuration(
+    n: int,
+    exponent: float = 2.5,
+    *,
+    min_degree: int = 1,
+    max_degree: Optional[int] = None,
+    planted_hubs: tuple = (),
+    seed: Optional[int] = None,
+    directed: bool = False,
+    name: str = "",
+) -> CSRGraph:
+    """Configuration-model graph with a power-law degree sequence.
+
+    Degrees are drawn from ``P(k) ∝ k^-exponent`` on
+    ``[min_degree, max_degree]``, stubs are paired uniformly at random,
+    and self loops / parallel edges are dropped (the standard "erased"
+    configuration model).  This gives direct control over the degree
+    exponent, which drives the lock-contention effects in §4.
+
+    ``planted_hubs`` is a tuple of fractions of ``max_degree``; for each
+    fraction one vertex's degree is pinned to ``round(f × max_degree)``.
+    Real scale-free graphs carry hubs far above what an n-vertex sample
+    of the tail distribution would produce — planting restores the
+    hub-to-median degree ratio when generating scaled-down stand-ins.
+    """
+    if exponent <= 1.0:
+        raise GraphError(f"power-law exponent must exceed 1, got {exponent}")
+    if min_degree < 1:
+        raise GraphError("min_degree must be >= 1")
+    if len(planted_hubs) >= n:
+        raise GraphError("more planted hubs than vertices")
+    rng = _rng(seed)
+    if max_degree is None:
+        max_degree = max(min_degree + 1, int(round(math.sqrt(n))))
+    if max_degree >= n:
+        max_degree = n - 1
+    ks = np.arange(min_degree, max_degree + 1, dtype=np.float64)
+    probs = ks ** (-exponent)
+    probs /= probs.sum()
+    degrees = rng.choice(ks.astype(np.int64), size=n, p=probs)
+    if planted_hubs:
+        hub_ids = rng.choice(n, size=len(planted_hubs), replace=False)
+        for vid, frac in zip(hub_ids, planted_hubs):
+            if not 0.0 < frac <= 1.0:
+                raise GraphError(
+                    f"planted hub fraction must be in (0, 1], got {frac}"
+                )
+            degrees[vid] = max(min_degree, int(round(frac * max_degree)))
+    if degrees.sum() % 2 == 1:  # stub count must be even
+        degrees[int(rng.integers(n))] += 1
+    stubs = np.repeat(np.arange(n, dtype=VERTEX_DTYPE), degrees)
+    rng.shuffle(stubs)
+    half = stubs.size // 2
+    src, dst = stubs[:half], stubs[half : 2 * half]
+    keep = src != dst
+    return from_arc_arrays(
+        src[keep],
+        dst[keep],
+        None,
+        num_vertices=n,
+        directed=directed,
+        name=name or f"plc-{n}-{exponent:g}",
+    )
+
+
+def watts_strogatz(
+    n: int,
+    k: int,
+    p: float,
+    *,
+    seed: Optional[int] = None,
+    name: str = "",
+) -> CSRGraph:
+    """Watts–Strogatz small-world ring with rewiring probability ``p``."""
+    if k % 2 or k < 2 or k >= n:
+        raise GraphError(f"watts_strogatz needs even k with 2 <= k < n; k={k}")
+    rng = _rng(seed)
+    edges = set()
+    for u in range(n):
+        for j in range(1, k // 2 + 1):
+            v = (u + j) % n
+            if rng.random() < p:
+                w = int(rng.integers(n))
+                tries = 0
+                while (w == u or (min(u, w), max(u, w)) in edges) and tries < 32:
+                    w = int(rng.integers(n))
+                    tries += 1
+                if w != u and (min(u, w), max(u, w)) not in edges:
+                    v = w
+            if v != u:
+                edges.add((min(u, v), max(u, v)))
+    return from_edges(
+        sorted(edges), num_vertices=n, directed=False, name=name or f"ws-{n}-{k}-{p:g}"
+    )
+
+
+def random_weighted(
+    n: int,
+    p: float,
+    *,
+    weight_range: tuple[float, float] = (0.5, 10.0),
+    seed: Optional[int] = None,
+    directed: bool = False,
+    name: str = "",
+) -> CSRGraph:
+    """ER graph with uniform random positive weights (property tests)."""
+    g = erdos_renyi(n, p, seed=seed, directed=directed, name=name)
+    return attach_random_weights(g, weight_range=weight_range, seed=seed)
+
+
+def attach_random_weights(
+    graph: CSRGraph,
+    *,
+    weight_range: tuple[float, float] = (0.5, 10.0),
+    seed: Optional[int] = None,
+) -> CSRGraph:
+    """Replace a graph's weights with seeded uniform random weights.
+
+    For undirected graphs the two arcs of each edge get the same weight
+    (keyed on the unordered endpoint pair) so symmetry is preserved.
+    """
+    lo, hi = weight_range
+    if not (0 < lo <= hi):
+        raise GraphError(f"weight range must satisfy 0 < lo <= hi, got {weight_range}")
+    rng = _rng(seed)
+    n = graph.num_vertices
+    src = np.repeat(np.arange(n, dtype=VERTEX_DTYPE), np.diff(graph.indptr))
+    dst = graph.indices
+    if graph.directed:
+        weights = rng.uniform(lo, hi, size=graph.num_arcs)
+    else:
+        # deterministic per-undirected-edge weight: draw per canonical
+        # (min, max) pair, then broadcast to both arcs
+        a = np.minimum(src, dst)
+        b = np.maximum(src, dst)
+        key = a * n + b
+        uniq, inverse = np.unique(key, return_inverse=True)
+        per_edge = rng.uniform(lo, hi, size=uniq.size)
+        weights = per_edge[inverse]
+    return CSRGraph(
+        graph.indptr.copy(),
+        graph.indices.copy(),
+        weights.astype(WEIGHT_DTYPE),
+        directed=graph.directed,
+        name=graph.name and f"{graph.name}:weighted",
+    )
+
+
+# ----------------------------------------------------------------------
+# deterministic toy topologies (unit tests, examples)
+# ----------------------------------------------------------------------
+
+def star(n: int, *, name: str = "") -> CSRGraph:
+    """Star graph: hub 0 connected to vertices 1..n-1."""
+    if n < 2:
+        raise GraphError("star needs at least 2 vertices")
+    edges = [(0, v) for v in range(1, n)]
+    return from_edges(edges, num_vertices=n, name=name or f"star-{n}")
+
+
+def path(n: int, *, name: str = "") -> CSRGraph:
+    """Path graph 0-1-...-(n-1)."""
+    if n < 1:
+        raise GraphError("path needs at least 1 vertex")
+    edges = [(v, v + 1) for v in range(n - 1)]
+    return from_edges(edges, num_vertices=n, name=name or f"path-{n}")
+
+
+def cycle(n: int, *, name: str = "") -> CSRGraph:
+    """Cycle graph of n vertices."""
+    if n < 3:
+        raise GraphError("cycle needs at least 3 vertices")
+    edges = [(v, (v + 1) % n) for v in range(n)]
+    return from_edges(edges, num_vertices=n, name=name or f"cycle-{n}")
+
+
+def complete(n: int, *, name: str = "") -> CSRGraph:
+    """Complete graph K_n."""
+    if n < 1:
+        raise GraphError("complete needs at least 1 vertex")
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return from_edges(edges, num_vertices=n, name=name or f"k-{n}")
+
+
+def grid_2d(rows: int, cols: int, *, name: str = "") -> CSRGraph:
+    """rows×cols 4-neighbour grid (a decidedly non-scale-free baseline)."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return from_edges(
+        edges, num_vertices=rows * cols, name=name or f"grid-{rows}x{cols}"
+    )

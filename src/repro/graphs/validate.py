@@ -1,0 +1,102 @@
+"""Structural validation helpers for CSR graphs.
+
+These checks are used by tests and by the dataset registry's self-checks;
+they are deliberately separate from construction so hot paths never pay
+for them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .csr import CSRGraph
+
+__all__ = [
+    "check_structure",
+    "check_symmetry",
+    "check_sorted_rows",
+    "check_no_self_loops",
+    "is_connected",
+    "connected_components",
+]
+
+
+def check_structure(graph: CSRGraph) -> None:
+    """Re-run the CSR invariants (indptr monotone, ids in range)."""
+    indptr, indices = graph.indptr, graph.indices
+    n = graph.num_vertices
+    if indptr[0] != 0 or indptr[-1] != indices.size:
+        raise GraphError("indptr endpoints inconsistent with indices")
+    if np.any(np.diff(indptr) < 0):
+        raise GraphError("indptr not monotone")
+    if indices.size and (indices.min() < 0 or indices.max() >= n):
+        raise GraphError("indices out of range")
+    if graph.weights.shape != indices.shape:
+        raise GraphError("weights misaligned")
+    if indices.size and not np.all(graph.weights > 0):
+        raise GraphError("non-positive weights present")
+
+
+def check_sorted_rows(graph: CSRGraph) -> None:
+    """Every adjacency row must be sorted and duplicate-free."""
+    for v in range(graph.num_vertices):
+        row = graph.neighbors(v)
+        if row.size > 1 and np.any(np.diff(row) <= 0):
+            raise GraphError(f"adjacency row of vertex {v} not strictly sorted")
+
+
+def check_no_self_loops(graph: CSRGraph) -> None:
+    for v in range(graph.num_vertices):
+        if v in graph.neighbors(v):
+            raise GraphError(f"self loop at vertex {v}")
+
+
+def check_symmetry(graph: CSRGraph) -> None:
+    """Undirected graphs must store both arcs with equal weights."""
+    if graph.directed:
+        return
+    arcs = {}
+    for u, v, w in graph.iter_arcs():
+        arcs[(u, v)] = w
+    for (u, v), w in arcs.items():
+        back = arcs.get((v, u))
+        if back is None:
+            raise GraphError(f"missing reverse arc for ({u}, {v})")
+        if back != w:
+            raise GraphError(
+                f"asymmetric weights on edge ({u}, {v}): {w} vs {back}"
+            )
+
+
+def connected_components(graph: CSRGraph) -> np.ndarray:
+    """Component label per vertex (weak components for directed graphs)."""
+    n = graph.num_vertices
+    labels = -np.ones(n, dtype=np.int64)
+    # weak connectivity needs both directions; build reverse adjacency
+    # lazily only for directed graphs
+    rev = graph.reverse() if graph.directed else None
+    current = 0
+    for start in range(n):
+        if labels[start] >= 0:
+            continue
+        stack = [start]
+        labels[start] = current
+        while stack:
+            u = stack.pop()
+            nbrs = graph.neighbors(u)
+            if rev is not None:
+                nbrs = np.concatenate([nbrs, rev.neighbors(u)])
+            for v in nbrs:
+                if labels[v] < 0:
+                    labels[v] = current
+                    stack.append(int(v))
+        current += 1
+    return labels
+
+
+def is_connected(graph: CSRGraph) -> bool:
+    """True when the graph is (weakly) connected."""
+    if graph.num_vertices == 0:
+        return True
+    return bool(connected_components(graph).max() == 0)

@@ -1,0 +1,136 @@
+"""Common result types and invariants for the ordering procedures.
+
+Every ordering procedure in this package answers the same question: in
+what order should the modified Dijkstra visit source vertices?  The
+optimized algorithm wants descending degree (§2.2).  The procedures
+differ in *how* they compute that permutation and what it costs in
+parallel — which is the subject of the paper's §4.
+
+Invariants (checked by :func:`check_ordering`):
+
+* the result is a permutation of ``0..n-1``;
+* *exact* procedures (selection, exact buckets, ParMax, MultiLists)
+  produce non-increasing degrees along the order;
+* *approximate* procedures (ParBuckets with 100 bins) produce
+  non-increasing *bucket indices* along the order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..exceptions import OrderingError
+from ..simx.trace import SimResult
+
+__all__ = [
+    "OrderingCosts",
+    "OrderingResult",
+    "is_permutation",
+    "check_ordering",
+    "check_descending",
+]
+
+
+@dataclass(frozen=True)
+class OrderingCosts:
+    """Work-unit costs of the primitive ordering operations.
+
+    Used by the simulated variants; one unit is one simple machine
+    operation, the same currency as :class:`repro.simx.MachineSpec`.
+    """
+
+    #: evaluating Eq. (1) — the bin index with the division (ParBuckets)
+    find_bin: float = 8.0
+    #: direct bucket index = degree (ParMax / MultiLists / exact buckets)
+    direct_bin: float = 2.0
+    #: appending a vertex to a (local, unlocked) bucket list
+    append: float = 4.0
+    #: one comparison of the selection-sort ordering (Algorithm 3)
+    compare: float = 1.0
+    #: swap in the selection sort
+    swap: float = 3.0
+    #: writing one entry of the global order[] array
+    emit: float = 2.0
+    #: scanning one (possibly empty) bucket header
+    bucket_scan: float = 1.0
+    #: checking one entry of the added[] array (ParMax second loop)
+    added_check: float = 1.5
+    #: ParMax first loop per-vertex work: load degree, compare against
+    #: the threshold, write added[] on the taken branch
+    threshold_check: float = 5.0
+    #: computing one orderPos[][] prefix entry (MultiLists phase 2 setup)
+    prefix: float = 2.0
+
+
+DEFAULT_COSTS = OrderingCosts()
+
+
+@dataclass
+class OrderingResult:
+    """Outcome of one ordering procedure run.
+
+    ``order`` maps position → vertex id (``order[0]`` is the first SSSP
+    source).  ``sim`` is present for simulated runs and for real runs of
+    the parallel procedures when a machine model was supplied; ``stats``
+    carries procedure-specific counters (lock acquisitions, contention,
+    comparisons...).
+    """
+
+    method: str
+    order: np.ndarray
+    exact: bool
+    num_threads: int = 1
+    sim: Optional[SimResult] = None
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.order = np.asarray(self.order, dtype=np.int64)
+
+    @property
+    def n(self) -> int:
+        return self.order.size
+
+    @property
+    def virtual_time(self) -> Optional[float]:
+        """Simulated makespan of the procedure, if simulated."""
+        return None if self.sim is None else self.sim.makespan
+
+
+def is_permutation(order: np.ndarray, n: int) -> bool:
+    """True when ``order`` contains each of ``0..n-1`` exactly once."""
+    order = np.asarray(order)
+    if order.shape != (n,):
+        return False
+    seen = np.zeros(n, dtype=bool)
+    valid = (order >= 0) & (order < n)
+    if not valid.all():
+        return False
+    seen[order] = True
+    return bool(seen.all())
+
+
+def check_descending(order: np.ndarray, degrees: np.ndarray) -> None:
+    """Raise unless degrees are non-increasing along ``order``."""
+    seq = degrees[np.asarray(order, dtype=np.int64)]
+    if seq.size > 1 and np.any(np.diff(seq) > 0):
+        bad = int(np.flatnonzero(np.diff(seq) > 0)[0])
+        raise OrderingError(
+            f"order not descending at position {bad}: "
+            f"degree {seq[bad]} followed by {seq[bad + 1]}"
+        )
+
+
+def check_ordering(
+    result: OrderingResult, degrees: np.ndarray
+) -> None:
+    """Validate an :class:`OrderingResult` against its contract."""
+    n = degrees.size
+    if not is_permutation(result.order, n):
+        raise OrderingError(
+            f"{result.method}: order is not a permutation of 0..{n - 1}"
+        )
+    if result.exact:
+        check_descending(result.order, degrees)

@@ -1,0 +1,59 @@
+"""Tiny atomic primitives for the real-thread backend."""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["AtomicCounter", "AtomicFlagArray"]
+
+
+class AtomicCounter:
+    """Lock-guarded integer counter (fetch-and-add semantics)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, start: int = 0) -> None:
+        self._value = int(start)
+        self._lock = threading.Lock()
+
+    def fetch_add(self, delta: int = 1) -> int:
+        """Add ``delta`` and return the *previous* value."""
+        with self._lock:
+            old = self._value
+            self._value += delta
+        return old
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class AtomicFlagArray:
+    """Boolean flag vector with release-after-write semantics.
+
+    The parallel APSP algorithms publish "row ``t`` of D is final" by
+    setting ``flag[t]``.  Readers that observe a set flag may read the
+    row; readers that miss it merely lose a reuse opportunity — the
+    algorithm stays correct either way (the paper's exactness claim, §5).
+    Under CPython the GIL already serialises the byte-sized stores, so a
+    plain bytearray suffices; the class exists so the intent is explicit
+    and so the simulator can share the same interface.
+    """
+
+    __slots__ = ("_flags",)
+
+    def __init__(self, size: int) -> None:
+        self._flags = bytearray(size)
+
+    def __len__(self) -> int:
+        return len(self._flags)
+
+    def set(self, index: int) -> None:
+        self._flags[index] = 1
+
+    def get(self, index: int) -> bool:
+        return self._flags[index] != 0
+
+    def count_set(self) -> int:
+        return sum(self._flags)

@@ -1,0 +1,5 @@
+"""Execution backends for the parallel runtime."""
+
+from . import process, serial, threads
+
+__all__ = ["serial", "threads", "process"]

@@ -1,0 +1,62 @@
+"""Single-threaded reference executor.
+
+Runs the loop body in exactly the order the requested schedule would
+issue iterations with one thread — which for every schedule is plain
+index order — but still reports per-"thread" assignment so callers can
+unit-test scheduling math through the same interface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ...types import Schedule
+from ..schedule import DynamicCounter, static_assignment
+
+__all__ = ["run_parallel_for"]
+
+
+def run_parallel_for(
+    n: int,
+    body: Callable[[int, int], None],
+    *,
+    num_threads: int,
+    schedule: Schedule,
+    chunk: int = 1,
+) -> List[List[int]]:
+    """Execute ``body(i, thread_id)`` for ``i in range(n)`` serially.
+
+    Even though execution is serial, iterations are issued in the order a
+    *real* run of the requested schedule would interleave them if every
+    iteration took equal time: block/static schedules round-robin through
+    the per-thread assignments, dynamic hands out indices in order to a
+    rotating thread.  Returns the executed ``(thread -> iterations)``
+    assignment for inspection.
+    """
+    executed: List[List[int]] = [[] for _ in range(num_threads)]
+    if schedule is Schedule.DYNAMIC:
+        counter = DynamicCounter(n, chunk)
+        t = 0
+        while True:
+            chunk_range = counter.next_chunk()
+            if not chunk_range:
+                break
+            for i in chunk_range:
+                body(i, t)
+                executed[t].append(i)
+            t = (t + 1) % num_threads
+        return executed
+
+    assignment = static_assignment(schedule, n, num_threads, chunk)
+    cursors = [0] * num_threads
+    remaining = n
+    # interleave round-robin across threads to mimic lockstep progress
+    while remaining:
+        for t in range(num_threads):
+            if cursors[t] < len(assignment[t]):
+                i = int(assignment[t][cursors[t]])
+                body(i, t)
+                executed[t].append(i)
+                cursors[t] += 1
+                remaining -= 1
+    return executed

@@ -1,0 +1,136 @@
+"""Loop-iteration scheduling policies (the OpenMP ``schedule`` clause).
+
+The paper's Figure 1 shows that the choice between the default *block*
+partitioning, ``schedule(static, 1)`` (static-cyclic) and
+``schedule(dynamic, 1)`` (dynamic-cyclic) changes ParAlg2's runtime
+substantially, because the optimized algorithm's benefit depends on
+issuing SSSP sources in (approximately) descending-degree order.
+
+This module provides the *static* assignment math used by every backend
+and by the simulator.  Dynamic scheduling has no static assignment — the
+mapping from iterations to threads emerges at runtime — so it is
+expressed as a shared work counter (:class:`DynamicCounter`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List
+
+import numpy as np
+
+from ..exceptions import ScheduleError
+from ..types import Schedule
+
+__all__ = [
+    "block_assignment",
+    "static_cyclic_assignment",
+    "static_assignment",
+    "DynamicCounter",
+]
+
+
+def _check(n: int, num_threads: int, chunk: int) -> None:
+    if n < 0:
+        raise ScheduleError(f"iteration count must be >= 0, got {n}")
+    if num_threads < 1:
+        raise ScheduleError(f"num_threads must be >= 1, got {num_threads}")
+    if chunk < 1:
+        raise ScheduleError(f"chunk must be >= 1, got {chunk}")
+
+
+def block_assignment(n: int, num_threads: int) -> List[np.ndarray]:
+    """OpenMP default: split ``range(n)`` into ``num_threads`` contiguous
+    blocks, the first ``n % num_threads`` blocks one element longer.
+
+    Returns one int64 index array per thread (possibly empty).
+    """
+    _check(n, num_threads, 1)
+    base, extra = divmod(n, num_threads)
+    out: List[np.ndarray] = []
+    start = 0
+    for t in range(num_threads):
+        size = base + (1 if t < extra else 0)
+        out.append(np.arange(start, start + size, dtype=np.int64))
+        start += size
+    return out
+
+
+def static_cyclic_assignment(
+    n: int, num_threads: int, chunk: int = 1
+) -> List[np.ndarray]:
+    """``schedule(static, chunk)``: chunks dealt round-robin to threads.
+
+    With ``chunk=1`` thread ``t`` gets iterations ``t, t+T, t+2T, ...`` —
+    the static-cyclic scheme of the paper.
+    """
+    _check(n, num_threads, chunk)
+    out: List[List[int]] = [[] for _ in range(num_threads)]
+    pos = 0
+    t = 0
+    while pos < n:
+        end = min(pos + chunk, n)
+        out[t].extend(range(pos, end))
+        pos = end
+        t = (t + 1) % num_threads
+    return [np.asarray(ix, dtype=np.int64) for ix in out]
+
+
+def static_assignment(
+    schedule: "Schedule | str", n: int, num_threads: int, chunk: int = 1
+) -> List[np.ndarray]:
+    """Static per-thread assignment for ``BLOCK`` / ``STATIC_CYCLIC``.
+
+    Raises :class:`ScheduleError` for ``DYNAMIC``, which has no static
+    assignment — use :class:`DynamicCounter` (real backends) or the
+    simulator's event loop instead.
+    """
+    schedule = Schedule.coerce(schedule)
+    if schedule is Schedule.BLOCK:
+        return block_assignment(n, num_threads)
+    if schedule is Schedule.STATIC_CYCLIC:
+        return static_cyclic_assignment(n, num_threads, chunk)
+    raise ScheduleError(
+        "dynamic schedule has no static assignment; use DynamicCounter"
+    )
+
+
+class DynamicCounter:
+    """Shared fetch-and-add work counter for ``schedule(dynamic, chunk)``.
+
+    Threads repeatedly call :meth:`next_chunk` and process the returned
+    half-open range until it is empty.  With ``chunk=1`` iterations are
+    handed out strictly in index order — exactly the property the paper
+    relies on to preserve the descending-degree issue order (§3.2).
+    """
+
+    __slots__ = ("_n", "_chunk", "_next", "_lock")
+
+    def __init__(self, n: int, chunk: int = 1) -> None:
+        _check(n, 1, chunk)
+        self._n = n
+        self._chunk = chunk
+        self._next = 0
+        self._lock = threading.Lock()
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def chunk(self) -> int:
+        return self._chunk
+
+    def next_chunk(self) -> range:
+        """Claim the next chunk; empty range means the loop is drained."""
+        with self._lock:
+            start = self._next
+            if start >= self._n:
+                return range(self._n, self._n)
+            end = min(start + self._chunk, self._n)
+            self._next = end
+        return range(start, end)
+
+    def remaining(self) -> int:
+        with self._lock:
+            return max(0, self._n - self._next)

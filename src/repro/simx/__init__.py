@@ -1,0 +1,34 @@
+"""Discrete-event simulator of a shared-memory multicore machine.
+
+This package is the substitution for the paper's 16/32-core OpenMP
+testbeds (DESIGN.md §1): deterministic virtual-time execution of
+parallel loops and lock-guarded thread programs on a parameterised
+:class:`MachineSpec`.
+
+Layering: ``simx`` is algorithm-agnostic.  The APSP-specific simulation
+(flag-reuse interleaving) lives in :mod:`repro.core.simulate`; the
+ordering-procedure simulations live next to their algorithms in
+:mod:`repro.order`.
+"""
+
+from .engine import ThreadClockQueue
+from .gantt import render_gantt
+from .locksim import Op, run_lock_program
+from .machine import MACHINE_I, MACHINE_II, MachineSpec, default_machine
+from .parfor import ParForOutcome, simulate_parallel_for
+from .trace import SimResult, TraceEvent
+
+__all__ = [
+    "ThreadClockQueue",
+    "render_gantt",
+    "Op",
+    "run_lock_program",
+    "MACHINE_I",
+    "MACHINE_II",
+    "MachineSpec",
+    "default_machine",
+    "ParForOutcome",
+    "simulate_parallel_for",
+    "SimResult",
+    "TraceEvent",
+]

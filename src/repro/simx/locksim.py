@@ -1,0 +1,184 @@
+"""Virtual-time simulation of lock-guarded thread programs.
+
+The ordering procedures of §4 are, from the machine's point of view,
+straight-line programs per thread: *do some private work, take a lock,
+hold it briefly, release, repeat*.  This module plays such programs
+forward on a :class:`~repro.simx.machine.MachineSpec` with FIFO lock
+semantics and the crucial cost asymmetry between an uncontended acquire
+and a contended handoff — the asymmetry that makes ParBuckets *slower*
+at 16 threads than at 1 (Table 1), because nearly every vertex of a
+power-law graph lands in the same few low-degree buckets.
+
+A program is a list (one entry per thread) of :class:`Op` sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from .engine import ThreadClockQueue
+from .machine import MachineSpec
+from .trace import SimResult, TraceEvent
+
+__all__ = ["Op", "run_lock_program"]
+
+
+@dataclass(frozen=True)
+class Op:
+    """One step of a thread program.
+
+    ``work`` is private computation (no sharing).  When ``lock_id`` is
+    not ``None`` the thread then acquires that lock, holds it for the
+    machine's ``critical_section`` cost (times ``cs_scale``), and
+    releases.  ``false_sharing`` adds the machine's false-sharing
+    penalty to the private work (used for adjacent shared-array writes).
+    """
+
+    work: float = 0.0
+    lock_id: Optional[int] = None
+    cs_scale: float = 1.0
+    false_sharing: bool = False
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise SimulationError("op work must be >= 0")
+        if self.cs_scale < 0:
+            raise SimulationError("cs_scale must be >= 0")
+
+
+def run_lock_program(
+    programs: Sequence[Sequence[Op]],
+    machine: MachineSpec,
+    *,
+    num_locks: int = 0,
+    charge_fork_join: bool = True,
+    trace: bool = False,
+) -> SimResult:
+    """Simulate ``len(programs)`` threads running their op lists.
+
+    Lock semantics: a lock is a single server with a FIFO queue in
+    virtual time.  A thread arriving at a free lock pays
+    ``lock_uncontended``; a thread arriving while the lock is busy (or
+    was last released to another waiter "just now") waits until the lock
+    frees and pays ``lock_handoff`` on top — modelling the cache-line
+    bounce and wakeup latency of a contended mutex.
+    """
+    T = len(programs)
+    if T == 0:
+        raise SimulationError("need at least one thread program")
+    if T > machine.num_cores:
+        raise SimulationError(
+            f"{T} thread programs exceed the machine's {machine.num_cores} cores"
+        )
+    max_lock = -1
+    for prog in programs:
+        for op in prog:
+            if op.lock_id is not None and op.lock_id > max_lock:
+                max_lock = op.lock_id
+    if num_locks <= max_lock:
+        num_locks = max_lock + 1
+
+    start = machine.region_overhead(T) if charge_fork_join else 0.0
+    queue = ThreadClockQueue(T, start_time=start)
+    busy = np.zeros(T, dtype=np.float64)
+    overhead = np.full(T, start, dtype=np.float64)
+    lock_free_at = np.zeros(num_locks, dtype=np.float64)
+    cursors = [0] * T
+    # a thread whose current op did private work first parks its lock
+    # request here, so the acquire happens at the *arrival* time and
+    # competing arrivals are granted in true global time order
+    pending_lock: List[Optional[Op]] = [None] * T
+    done = [len(p) == 0 for p in programs]
+    finish = [start] * T
+    contended = 0
+    total_acq = 0
+    events: List[TraceEvent] = []
+
+    while not all(done):
+        time, thread = queue.pop_earliest()
+        if done[thread]:
+            queue.advance(thread, float("inf"))
+            continue
+
+        op = pending_lock[thread]
+        if op is not None:
+            # stage 2: the thread arrived at the lock at `time`
+            pending_lock[thread] = None
+            total_acq += 1
+            free_at = lock_free_at[op.lock_id]  # type: ignore[index]
+            if free_at <= time:
+                acquire_done = time + machine.lock_uncontended
+                overhead[thread] += machine.lock_uncontended
+            else:
+                contended += 1
+                wait = free_at - time
+                # queue depth at this lock, inferred from how far ahead
+                # its release horizon sits; deeper queues mean costlier
+                # handoffs (more cores bouncing the same cache line)
+                hold_est = machine.lock_handoff + machine.critical_section
+                depth = min(wait / hold_est if hold_est else 0.0, T - 1)
+                handoff = machine.lock_handoff * (
+                    1.0
+                    + machine.handoff_waiter_scaling
+                    * depth
+                    / max(1, machine.num_cores - 1)
+                )
+                acquire_done = free_at + handoff
+                overhead[thread] += wait + handoff
+                if trace:
+                    events.append(
+                        TraceEvent(
+                            op.lock_id, thread, time, free_at, kind="lock-wait"
+                        )
+                    )
+            hold = machine.critical_section * op.cs_scale
+            release_at = acquire_done + hold
+            busy[thread] += hold
+            if trace:
+                events.append(
+                    TraceEvent(
+                        op.lock_id, thread, acquire_done, release_at,
+                        kind="lock-hold",
+                    )
+                )
+            lock_free_at[op.lock_id] = release_at  # type: ignore[index]
+            if cursors[thread] >= len(programs[thread]):
+                done[thread] = True
+            finish[thread] = release_at
+            queue.advance(thread, release_at)
+            continue
+
+        # stage 1: start the next op's private work
+        prog = programs[thread]
+        op = prog[cursors[thread]]
+        cursors[thread] += 1
+        work = op.work + (
+            machine.false_sharing_penalty if op.false_sharing else 0.0
+        )
+        if work:
+            busy[thread] += work
+            if trace:
+                events.append(
+                    TraceEvent(cursors[thread] - 1, thread, time, time + work)
+                )
+        if op.lock_id is not None:
+            pending_lock[thread] = op
+        elif cursors[thread] >= len(prog):
+            done[thread] = True
+        finish[thread] = time + work
+        queue.advance(thread, time + work)
+
+    makespan = max(finish)
+    return SimResult(
+        num_threads=T,
+        makespan=float(makespan),
+        busy=busy,
+        overhead=overhead,
+        events=events,
+        contended_acquisitions=contended,
+        total_acquisitions=total_acq,
+    )

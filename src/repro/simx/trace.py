@@ -1,0 +1,128 @@
+"""Execution-trace records produced by the simulator.
+
+Every simulated run returns a :class:`SimResult`; analyses that need to
+see *why* a makespan came out the way it did (Gantt-style inspection,
+contention attribution) enable tracing and get :class:`TraceEvent`
+records per executed item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import SimulationError
+
+__all__ = ["TraceEvent", "SimResult"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One simulated unit of work (a loop iteration or a lock section)."""
+
+    item: int  # iteration index, or lock id for lock events
+    thread: int
+    start: float
+    end: float
+    kind: str = "iter"  # "iter" | "lock-wait" | "lock-hold" | "overhead"
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(
+                f"trace event ends before it starts: {self}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated parallel region (or whole algorithm).
+
+    ``makespan`` is the virtual elapsed time of the region: the latest
+    per-thread finish time.  ``busy`` is per-thread useful work;
+    ``overhead`` is per-thread time lost to fork/join, dispatch, lock
+    waits and handoffs.  Conservation: for every thread,
+    ``busy + overhead + idle == makespan``.
+    """
+
+    num_threads: int
+    makespan: float
+    busy: np.ndarray  # float64[num_threads]
+    overhead: np.ndarray  # float64[num_threads]
+    events: List[TraceEvent] = field(default_factory=list)
+    #: number of lock acquisitions that had to wait (contended)
+    contended_acquisitions: int = 0
+    #: total lock acquisitions
+    total_acquisitions: int = 0
+
+    def __post_init__(self) -> None:
+        self.busy = np.asarray(self.busy, dtype=np.float64)
+        self.overhead = np.asarray(self.overhead, dtype=np.float64)
+        if self.busy.shape != (self.num_threads,):
+            raise SimulationError("busy vector shape mismatch")
+        if self.overhead.shape != (self.num_threads,):
+            raise SimulationError("overhead vector shape mismatch")
+        if self.makespan < 0:
+            raise SimulationError("negative makespan")
+        slack = 1e-6 * max(1.0, self.makespan)
+        if np.any(self.busy + self.overhead > self.makespan + slack):
+            raise SimulationError(
+                "thread busy+overhead exceeds makespan: "
+                f"{(self.busy + self.overhead).max()} > {self.makespan}"
+            )
+
+    @property
+    def idle(self) -> np.ndarray:
+        """Per-thread idle time (load imbalance + waiting at the join)."""
+        return self.makespan - self.busy - self.overhead
+
+    @property
+    def total_busy(self) -> float:
+        return float(self.busy.sum())
+
+    @property
+    def total_overhead(self) -> float:
+        return float(self.overhead.sum())
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of thread-time spent on useful work."""
+        if self.makespan == 0:
+            return 1.0
+        return self.total_busy / (self.makespan * self.num_threads)
+
+    def merge_sequential(self, other: "SimResult") -> "SimResult":
+        """Concatenate two phases executed back to back.
+
+        Thread counts may differ (e.g. a sequential ordering phase
+        followed by a parallel Dijkstra phase); the result reports the
+        wider thread count, padding the narrower phase's vectors.
+        """
+        width = max(self.num_threads, other.num_threads)
+
+        def pad(arr: np.ndarray) -> np.ndarray:
+            out = np.zeros(width)
+            out[: arr.size] = arr
+            return out
+
+        offset = self.makespan
+        shifted = [
+            TraceEvent(e.item, e.thread, e.start + offset, e.end + offset, e.kind)
+            for e in other.events
+        ]
+        return SimResult(
+            num_threads=width,
+            makespan=self.makespan + other.makespan,
+            busy=pad(self.busy) + pad(other.busy),
+            overhead=pad(self.overhead) + pad(other.overhead),
+            events=[*self.events, *shifted],
+            contended_acquisitions=(
+                self.contended_acquisitions + other.contended_acquisitions
+            ),
+            total_acquisitions=self.total_acquisitions + other.total_acquisitions,
+        )

@@ -1,0 +1,52 @@
+"""Validation helpers for sort results (used by tests and benches)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["check_sorted", "check_stable_argsort"]
+
+
+def check_sorted(values: np.ndarray, *, descending: bool = False) -> None:
+    """Raise unless ``values`` is monotone in the requested direction."""
+    values = np.asarray(values)
+    if values.size < 2:
+        return
+    diffs = np.diff(values)
+    bad = diffs > 0 if descending else diffs < 0
+    if np.any(bad):
+        k = int(np.flatnonzero(bad)[0])
+        raise ValidationError(
+            f"not sorted at position {k}: {values[k]} then {values[k + 1]}"
+        )
+
+
+def check_stable_argsort(
+    perm: np.ndarray, keys: np.ndarray, *, descending: bool = False
+) -> None:
+    """Raise unless ``perm`` is a stable argsort of ``keys``.
+
+    Stability: among equal keys, positions appear in ascending input
+    index.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    keys = np.asarray(keys)
+    n = keys.size
+    if perm.shape != (n,):
+        raise ValidationError(f"perm shape {perm.shape} != ({n},)")
+    seen = np.zeros(n, dtype=bool)
+    if n and ((perm < 0).any() or (perm >= n).any()):
+        raise ValidationError("perm contains out-of-range indices")
+    seen[perm] = True
+    if not seen.all():
+        raise ValidationError("perm is not a permutation")
+    check_sorted(keys[perm], descending=descending)
+    for i in range(n - 1):
+        a, b = perm[i], perm[i + 1]
+        if keys[a] == keys[b] and a > b:
+            raise ValidationError(
+                f"unstable tie order at position {i}: index {a} before {b} "
+                f"for equal key {keys[a]}"
+            )

@@ -1,0 +1,175 @@
+"""Shared type aliases and small value objects used across subpackages.
+
+Centralising these avoids circular imports between :mod:`repro.core`,
+:mod:`repro.parallel` and :mod:`repro.simx`, which all need to agree on
+how schedules, backends and timing breakdowns are described.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "INF",
+    "Schedule",
+    "Backend",
+    "OpCounts",
+    "PhaseTimes",
+]
+
+#: Distance value used for "unreachable" throughout the library.  We use
+#: IEEE infinity rather than a sentinel integer so numpy reductions and
+#: comparisons behave naturally.
+INF: float = float(np.inf)
+
+
+class Schedule(enum.Enum):
+    """OpenMP-style loop scheduling policies (paper §3.2, Figure 1).
+
+    * ``BLOCK``          — the OpenMP default: contiguous equal chunks.
+    * ``STATIC_CYCLIC``  — ``schedule(static, 1)``: round-robin by index.
+    * ``DYNAMIC``        — ``schedule(dynamic, 1)``: threads grab the next
+      unclaimed iteration when they become free; preserves the global
+      issue order exactly, which the paper shows matters for ParAlg2.
+    """
+
+    BLOCK = "block"
+    STATIC_CYCLIC = "static-cyclic"
+    DYNAMIC = "dynamic"
+
+    @classmethod
+    def coerce(cls, value: "Schedule | str") -> "Schedule":
+        """Accept either an enum member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value))
+        except ValueError:
+            from .exceptions import ScheduleError
+
+            valid = ", ".join(m.value for m in cls)
+            raise ScheduleError(
+                f"unknown schedule {value!r}; expected one of: {valid}"
+            ) from None
+
+
+class Backend(enum.Enum):
+    """Execution backends for the parallel runtime.
+
+    * ``SERIAL``  — single-threaded reference executor.
+    * ``THREADS`` — real ``threading`` threads (GIL-bound in CPython, but
+      exercises the true locking/scheduling code paths).
+    * ``PROCESS`` — ``multiprocessing`` workers sharing the distance matrix
+      through ``multiprocessing.shared_memory``.
+    * ``SIM``     — the discrete-event machine simulator
+      (:mod:`repro.simx`); deterministic virtual time, used to regenerate
+      the paper's multi-core figures on any host.
+    """
+
+    SERIAL = "serial"
+    THREADS = "threads"
+    PROCESS = "process"
+    SIM = "sim"
+
+    @classmethod
+    def coerce(cls, value: "Backend | str") -> "Backend":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value))
+        except ValueError:
+            from .exceptions import BackendError
+
+            valid = ", ".join(m.value for m in cls)
+            raise BackendError(
+                f"unknown backend {value!r}; expected one of: {valid}"
+            ) from None
+
+
+@dataclass
+class OpCounts:
+    """Operation counters for one run (or one SSSP sweep) of an algorithm.
+
+    These are the currency of the cost model: the simulator converts them
+    into virtual time, and the analysis layer reports them directly when
+    wall-clock numbers would be dominated by interpreter noise.
+    """
+
+    #: queue pop operations in the modified Dijkstra
+    pops: int = 0
+    #: edge relaxations attempted (line 14 of Algorithm 1)
+    edge_relaxations: int = 0
+    #: successful edge relaxations (distance improved, vertex enqueued)
+    edge_improvements: int = 0
+    #: full-row merge operations via a flagged vertex (line 8, Algorithm 1)
+    row_merges: int = 0
+    #: element comparisons inside row merges (n per merge)
+    merge_comparisons: int = 0
+    #: times a flagged vertex let us prune its expansion entirely
+    flag_hits: int = 0
+
+    def total_work(self) -> int:
+        """A scalar work measure used as the default virtual-time cost."""
+        return (
+            self.pops
+            + self.edge_relaxations
+            + self.merge_comparisons
+        )
+
+    def __iadd__(self, other: "OpCounts") -> "OpCounts":
+        self.pops += other.pops
+        self.edge_relaxations += other.edge_relaxations
+        self.edge_improvements += other.edge_improvements
+        self.row_merges += other.row_merges
+        self.merge_comparisons += other.merge_comparisons
+        self.flag_hits += other.flag_hits
+        return self
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        out = OpCounts()
+        out += self
+        out += other
+        return out
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "pops": self.pops,
+            "edge_relaxations": self.edge_relaxations,
+            "edge_improvements": self.edge_improvements,
+            "row_merges": self.row_merges,
+            "merge_comparisons": self.merge_comparisons,
+            "flag_hits": self.flag_hits,
+        }
+
+
+@dataclass
+class PhaseTimes:
+    """Per-phase timing breakdown of an APSP run.
+
+    The paper reports the ordering phase and the iterative-Dijkstra phase
+    separately (Table 1, Figures 4–6 vs Figure 5), so the runner tracks
+    them separately too.  Units are seconds for real backends and virtual
+    time units for the ``SIM`` backend.
+    """
+
+    ordering: float = 0.0
+    dijkstra: float = 0.0
+    #: bookkeeping outside the two main phases (allocation, setup)
+    other: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.ordering + self.dijkstra + self.other
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        return (self.ordering, self.dijkstra, self.other)
+
+
+# Array dtype conventions used across the code base.  Degrees and vertex
+# ids fit comfortably in int64; distances are float64 so INF is exact.
+VERTEX_DTYPE = np.int64
+WEIGHT_DTYPE = np.float64

@@ -1,0 +1,111 @@
+"""APSP-derived network metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    closeness_centrality,
+    eccentricity,
+    harmonic_centrality,
+    summarize_network,
+)
+from repro.baselines import reference_apsp
+from repro.exceptions import ValidationError
+from repro.graphs import from_edges, path, star
+
+
+@pytest.fixture(scope="module")
+def star_dist():
+    return reference_apsp(star(6))
+
+
+@pytest.fixture(scope="module")
+def path_dist():
+    return reference_apsp(path(5))
+
+
+class TestCloseness:
+    def test_hub_highest_on_star(self, star_dist):
+        c = closeness_centrality(star_dist)
+        assert np.argmax(c) == 0
+        assert c[0] == pytest.approx(1.0)  # hub reaches all at distance 1
+        # leaves: (5/5) * (5 / (1 + 4*2)) = 5/9
+        assert c[1] == pytest.approx(5.0 / 9.0)
+
+    def test_matches_networkx(self, small_ba):
+        import networkx as nx
+
+        from repro.graphs import to_networkx
+
+        c = closeness_centrality(reference_apsp(small_ba))
+        ref = nx.closeness_centrality(to_networkx(small_ba))
+        for v, value in ref.items():
+            assert c[v] == pytest.approx(value)
+
+    def test_disconnected_isolated_zero(self):
+        g = from_edges([(0, 1)], num_vertices=3)
+        c = closeness_centrality(reference_apsp(g))
+        assert c[2] == 0.0
+
+    def test_single_vertex(self):
+        assert closeness_centrality(np.zeros((1, 1))).tolist() == [0.0]
+
+    def test_bad_matrix(self):
+        with pytest.raises(ValidationError):
+            closeness_centrality(np.ones((2, 3)))
+        with pytest.raises(ValidationError, match="diagonal"):
+            closeness_centrality(np.ones((2, 2)))
+
+
+class TestHarmonic:
+    def test_star_values(self, star_dist):
+        h = harmonic_centrality(star_dist)
+        assert h[0] == pytest.approx(5.0)
+        assert h[1] == pytest.approx(1.0 + 4 * 0.5)
+
+    def test_unreachable_contributes_zero(self):
+        g = from_edges([(0, 1)], num_vertices=3)
+        h = harmonic_centrality(reference_apsp(g))
+        assert h[2] == 0.0
+        assert h[0] == 1.0
+
+
+class TestEccentricity:
+    def test_path_graph(self, path_dist):
+        e = eccentricity(path_dist)
+        assert e.tolist() == [4.0, 3.0, 2.0, 3.0, 4.0]
+
+    def test_isolated_is_nan(self):
+        g = from_edges([(0, 1)], num_vertices=3)
+        e = eccentricity(reference_apsp(g))
+        assert np.isnan(e[2])
+
+
+class TestSummary:
+    def test_path_graph_summary(self, path_dist):
+        s = summarize_network(path_dist)
+        assert s.num_vertices == 5
+        assert s.diameter == 4.0
+        assert s.radius == 2.0
+        assert s.reachability == 1.0
+        # average of all pairwise distances on a path of 5
+        expected = np.mean(
+            [abs(i - j) for i in range(5) for j in range(5) if i != j]
+        )
+        assert s.average_path_length == pytest.approx(expected)
+
+    def test_fully_disconnected(self):
+        dist = np.full((3, 3), np.inf)
+        np.fill_diagonal(dist, 0.0)
+        s = summarize_network(dist)
+        assert s.reachable_pairs == 0
+        assert np.isnan(s.average_path_length)
+        assert s.global_efficiency == 0.0
+
+    def test_matches_networkx_diameter(self, small_ba):
+        import networkx as nx
+
+        from repro.graphs import to_networkx
+
+        s = summarize_network(reference_apsp(small_ba))
+        assert s.diameter == nx.diameter(to_networkx(small_ba))

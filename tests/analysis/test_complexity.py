@@ -1,0 +1,41 @@
+"""Empirical complexity-exponent regression."""
+
+import pytest
+
+from repro.analysis import fit_exponent
+from repro.exceptions import ValidationError
+
+
+class TestFitExponent:
+    def test_recovers_known_exponent(self):
+        sizes = [100, 200, 400, 800]
+        works = [2.0 * n**2.4 for n in sizes]
+        fit = fit_exponent(sizes, works)
+        assert fit.exponent == pytest.approx(2.4, abs=1e-9)
+        assert fit.coefficient == pytest.approx(2.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_exponent([10, 20, 40], [100.0, 400.0, 1600.0])
+        assert fit.exponent == pytest.approx(2.0, abs=1e-9)
+        assert fit.predict(80) == pytest.approx(6400.0, rel=1e-6)
+
+    def test_noise_reduces_r_squared(self):
+        sizes = [100, 200, 400, 800, 1600]
+        works = [n**2.0 * (1.3 if i % 2 else 0.7) for i, n in enumerate(sizes)]
+        fit = fit_exponent(sizes, works)
+        assert fit.r_squared < 1.0
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValidationError):
+            fit_exponent([10, 20], [1.0, 2.0])
+
+    def test_positive_inputs_required(self):
+        with pytest.raises(ValidationError):
+            fit_exponent([10, 20, 0], [1.0, 2.0, 3.0])
+        with pytest.raises(ValidationError):
+            fit_exponent([10, 20, 30], [1.0, -2.0, 3.0])
+
+    def test_alignment(self):
+        with pytest.raises(ValidationError):
+            fit_exponent([10, 20, 30], [1.0, 2.0])

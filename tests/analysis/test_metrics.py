@@ -1,0 +1,72 @@
+"""Speedup / efficiency / Amdahl fitting."""
+
+import pytest
+
+from repro.analysis import (
+    amdahl_fit,
+    amdahl_predict,
+    efficiency,
+    is_hyperlinear,
+    speedup,
+    speedup_curve,
+)
+from repro.exceptions import ValidationError
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_efficiency(self):
+        assert efficiency(16.0, 2.0, 8) == 1.0
+
+    def test_positive_times_required(self):
+        with pytest.raises(ValidationError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            speedup(1.0, -1.0)
+
+    def test_curve(self):
+        curve = speedup_curve([1, 2, 4], [100.0, 50.0, 25.0])
+        assert curve == {1: 1.0, 2: 2.0, 4: 4.0}
+
+    def test_curve_requires_baseline(self):
+        with pytest.raises(ValidationError, match="T=1"):
+            speedup_curve([2, 4], [50.0, 25.0])
+
+    def test_curve_alignment(self):
+        with pytest.raises(ValidationError):
+            speedup_curve([1, 2], [1.0])
+
+    def test_hyperlinear_detection(self):
+        assert is_hyperlinear([1, 4], [100.0, 20.0])  # 5x on 4 threads
+        assert not is_hyperlinear([1, 4], [100.0, 30.0])
+
+
+class TestAmdahl:
+    def test_prediction(self):
+        assert amdahl_predict(0.0, 8) == 8.0
+        assert amdahl_predict(1.0, 8) == 1.0
+        assert amdahl_predict(0.5, 2) == pytest.approx(1.0 / 0.75)
+
+    def test_prediction_validation(self):
+        with pytest.raises(ValidationError):
+            amdahl_predict(1.5, 4)
+
+    def test_fit_recovers_fraction(self):
+        f = 0.2
+        threads = [1, 2, 4, 8, 16]
+        times = [100.0 * (f + (1 - f) / t) for t in threads]
+        assert amdahl_fit(threads, times) == pytest.approx(f, abs=1e-9)
+
+    def test_fit_perfect_scaling_gives_zero(self):
+        threads = [1, 2, 4]
+        times = [100.0 / t for t in threads]
+        assert amdahl_fit(threads, times) == pytest.approx(0.0, abs=1e-12)
+
+    def test_fit_clips_hyperlinear_to_zero(self):
+        assert amdahl_fit([1, 4], [100.0, 10.0]) == 0.0
+
+    def test_fit_needs_parallel_point(self):
+        with pytest.raises(ValidationError):
+            amdahl_fit([1], [100.0])

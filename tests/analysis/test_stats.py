@@ -1,0 +1,46 @@
+"""Run-statistics aggregation."""
+
+import pytest
+
+from repro.analysis import aggregate, measure_repeats
+from repro.exceptions import ValidationError
+
+
+class TestAggregate:
+    def test_basic_stats(self):
+        stats = aggregate([1.0, 2.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.repeats == 3
+        assert stats.std == pytest.approx(1.0)
+
+    def test_single_sample_zero_std(self):
+        stats = aggregate([5.0])
+        assert stats.std == 0.0
+
+    def test_relative_std(self):
+        stats = aggregate([2.0, 2.0])
+        assert stats.relative_std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            aggregate([])
+
+
+class TestMeasureRepeats:
+    def test_calls_exactly_n_times(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return float(len(calls))
+
+        stats = measure_repeats(fn, repeats=10)  # the paper's 10 runs
+        assert stats.repeats == 10
+        assert len(calls) == 10
+        assert stats.mean == 5.5
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValidationError):
+            measure_repeats(lambda: 1.0, repeats=0)

@@ -1,0 +1,79 @@
+"""ASCII table and plot rendering."""
+
+import pytest
+
+from repro.analysis import ascii_plot, format_number, format_table
+
+
+class TestFormatNumber:
+    def test_ints_grouped(self):
+        assert format_number(1234567) == "1,234,567"
+
+    def test_none_dash(self):
+        assert format_number(None) == "-"
+
+    def test_small_float_scientific(self):
+        assert "e" in format_number(1.5e-7)
+
+    def test_large_float_scientific(self):
+        assert "e" in format_number(2.5e9)
+
+    def test_mid_float_plain(self):
+        assert format_number(3.14159) == "3.14"
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_number("dynamic") == "dynamic"
+
+    def test_bool(self):
+        assert format_number(True) == "True"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ("name", "value"), [("a", 1), ("long-name", 22)], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        # all rows same width
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(("a", "b"), [(1,)])
+
+    def test_empty_rows_ok(self):
+        out = format_table(("a",), [])
+        assert "a" in out
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        out = ascii_plot({"s1": [(1, 1.0), (2, 2.0)]}, width=20, height=5)
+        assert "*" in out
+        assert "s1" in out
+
+    def test_log_scale_needs_positive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": [(1, 0.0), (2, 1.0)]}, log_y=True)
+
+    def test_empty(self):
+        assert ascii_plot({}) == "(empty plot)"
+
+    def test_multiple_series_distinct_markers(self):
+        out = ascii_plot(
+            {"a": [(1, 1.0)], "b": [(2, 2.0)]}, width=20, height=5
+        )
+        assert "* = a" in out
+        assert "o = b" in out
+
+    def test_log_y_renders(self):
+        out = ascii_plot(
+            {"s": [(1, 1.0), (16, 1e6)]}, width=30, height=8, log_y=True
+        )
+        assert "(log)" in out or "*" in out

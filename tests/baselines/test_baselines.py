@@ -1,0 +1,109 @@
+"""Baseline APSP/SSSP algorithms vs each other and vs scipy."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    bellman_ford_apsp,
+    bellman_ford_sssp,
+    floyd_warshall,
+    reference_apsp,
+    repeated_dijkstra,
+    spfa_apsp,
+    spfa_sssp,
+)
+from repro.exceptions import AlgorithmError
+from tests.conftest import assert_same_apsp
+
+
+class TestFloydWarshall:
+    def test_toy(self, toy_graph):
+        d = floyd_warshall(toy_graph)
+        assert d[0].tolist() == [0.0, 1.0, 3.0, 4.0, 6.0]
+
+    def test_matches_scipy(self, small_weighted):
+        assert_same_apsp(
+            floyd_warshall(small_weighted), reference_apsp(small_weighted)
+        )
+
+    def test_directed_unreachable(self, directed_weighted):
+        assert_same_apsp(
+            floyd_warshall(directed_weighted),
+            reference_apsp(directed_weighted),
+        )
+
+
+class TestRepeatedDijkstra:
+    def test_matches_scipy(self, small_weighted):
+        d, counts = repeated_dijkstra(small_weighted)
+        assert_same_apsp(d, reference_apsp(small_weighted))
+        assert counts.pops > small_weighted.num_vertices
+
+
+class TestBellmanFord:
+    def test_sssp_matches_dijkstra(self, small_weighted):
+        from repro.core import dijkstra_sssp
+
+        bf = bellman_ford_sssp(small_weighted, 3)
+        dj, _ = dijkstra_sssp(small_weighted, 3)
+        assert np.allclose(bf, dj)
+
+    def test_apsp_matches_scipy(self, toy_graph):
+        assert_same_apsp(
+            bellman_ford_apsp(toy_graph), reference_apsp(toy_graph)
+        )
+
+    def test_bad_source(self, toy_graph):
+        with pytest.raises(AlgorithmError):
+            bellman_ford_sssp(toy_graph, 99)
+
+    def test_early_exit_on_path(self, path_graph):
+        # a path needs exactly diameter rounds, not n-1 — just verify
+        # correctness (the early exit is internal)
+        d = bellman_ford_sssp(path_graph, 0)
+        assert d.tolist() == list(map(float, range(10)))
+
+
+class TestSPFA:
+    def test_sssp_matches_dijkstra(self, small_weighted):
+        from repro.core import dijkstra_sssp
+
+        sp, counts = spfa_sssp(small_weighted, 7)
+        dj, _ = dijkstra_sssp(small_weighted, 7)
+        assert np.allclose(sp, dj)
+        assert counts.pops > 0
+
+    def test_apsp_matches_scipy(self, toy_graph):
+        d, _ = spfa_apsp(toy_graph)
+        assert_same_apsp(d, reference_apsp(toy_graph))
+
+    def test_bad_source(self, toy_graph):
+        with pytest.raises(AlgorithmError):
+            spfa_sssp(toy_graph, -2)
+
+
+class TestScipyReference:
+    def test_methods_agree(self, small_weighted):
+        d = reference_apsp(small_weighted, method="D")
+        fw = reference_apsp(small_weighted, method="FW")
+        assert np.allclose(d, fw)
+
+    def test_assert_matches_reference_raises_on_bad(self, toy_graph):
+        from repro.baselines import assert_matches_reference
+        from repro.exceptions import ValidationError
+
+        good = reference_apsp(toy_graph)
+        assert_matches_reference(good, toy_graph)
+        bad = good.copy()
+        bad[0, 1] += 1.0
+        with pytest.raises(ValidationError, match="mismatch"):
+            assert_matches_reference(bad, toy_graph)
+
+    def test_reachability_mismatch_detected(self, toy_graph):
+        from repro.baselines import assert_matches_reference
+        from repro.exceptions import ValidationError
+
+        bad = reference_apsp(toy_graph)
+        bad[0, 1] = np.inf
+        with pytest.raises(ValidationError, match="reachability"):
+            assert_matches_reference(bad, toy_graph)

@@ -1,0 +1,82 @@
+"""Related-work baselines (§6): blocked FW and partition-and-correct."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    blocked_floyd_warshall,
+    floyd_warshall,
+    partitioned_apsp,
+    reference_apsp,
+)
+from repro.exceptions import AlgorithmError
+from repro.graphs import from_edges
+from tests.conftest import assert_same_apsp
+
+
+class TestBlockedFloydWarshall:
+    @pytest.mark.parametrize("block_size", [1, 3, 16, 64, 1000])
+    def test_matches_plain_fw(self, small_weighted, block_size):
+        blocked = blocked_floyd_warshall(
+            small_weighted, block_size=block_size
+        )
+        plain = floyd_warshall(small_weighted)
+        fin = np.isfinite(plain)
+        assert np.array_equal(np.isfinite(blocked), fin)
+        assert np.allclose(blocked[fin], plain[fin])
+
+    def test_matches_scipy_directed(self, directed_weighted):
+        assert_same_apsp(
+            blocked_floyd_warshall(directed_weighted, block_size=13),
+            reference_apsp(directed_weighted),
+        )
+
+    def test_block_not_dividing_n(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3), (3, 4)], num_vertices=5)
+        assert_same_apsp(
+            blocked_floyd_warshall(g, block_size=2), reference_apsp(g)
+        )
+
+    def test_bad_block_size(self, toy_graph):
+        with pytest.raises(AlgorithmError):
+            blocked_floyd_warshall(toy_graph, block_size=0)
+
+    def test_unreachable_pairs_kept(self):
+        g = from_edges([(0, 1)], num_vertices=4)
+        d = blocked_floyd_warshall(g, block_size=2)
+        assert np.isinf(d[0, 3])
+
+
+class TestPartitionedAPSP:
+    @pytest.mark.parametrize("parts", [1, 2, 4, 9])
+    def test_exact(self, small_weighted, parts):
+        r = partitioned_apsp(small_weighted, num_parts=parts)
+        assert_same_apsp(r.dist, reference_apsp(small_weighted))
+
+    def test_directed_exact(self, directed_weighted):
+        r = partitioned_apsp(directed_weighted, num_parts=3)
+        assert_same_apsp(r.dist, reference_apsp(directed_weighted))
+
+    def test_single_part_one_round(self, small_weighted):
+        """With one part the local phase is already complete — the
+        correcting loop only confirms the fixpoint."""
+        r = partitioned_apsp(small_weighted, num_parts=1)
+        assert r.rounds == 1
+        assert r.cut_arcs == 0
+
+    def test_more_parts_more_coordination(self, small_weighted):
+        """The §6 story: partitioning forces boundary-correcting rounds
+        — the coordination ParAPSP avoids."""
+        r1 = partitioned_apsp(small_weighted, num_parts=1)
+        r4 = partitioned_apsp(small_weighted, num_parts=4)
+        assert r4.cut_arcs > 0
+        assert r4.rounds > r1.rounds
+
+    def test_parts_clamped_to_n(self, toy_graph):
+        r = partitioned_apsp(toy_graph, num_parts=100)
+        assert r.num_parts == 5
+        assert_same_apsp(r.dist, reference_apsp(toy_graph))
+
+    def test_invalid_parts(self, toy_graph):
+        with pytest.raises(AlgorithmError):
+            partitioned_apsp(toy_graph, num_parts=0)

@@ -1,0 +1,61 @@
+"""Schema contracts every registered experiment must satisfy."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, get_profile, run_experiment
+
+#: experiments cheap enough to execute inside the unit-test suite; the
+#: rest run under `pytest benchmarks/` where their cost is budgeted
+CHEAP = (
+    "table2",
+    "fig3",
+    "adaptive-vs-opt",
+    "queue-discipline",
+    "degree-kind",
+)
+
+
+class TestRegistryCoversThePaper:
+    def test_count(self):
+        # 11 paper artifacts + 7 ablations + 3 extensions
+        assert len(EXPERIMENTS) == 21
+
+    def test_ids_are_kebab_or_figN(self):
+        for exp_id in EXPERIMENTS:
+            assert exp_id == exp_id.lower()
+            assert " " not in exp_id
+
+
+@pytest.fixture(scope="module")
+def cheap_results():
+    profile = get_profile("quick")
+    return {exp_id: run_experiment(exp_id, profile) for exp_id in CHEAP}
+
+
+@pytest.mark.parametrize("exp_id", CHEAP)
+class TestResultSchema:
+    @pytest.fixture()
+    def result(self, cheap_results, exp_id):
+        return cheap_results[exp_id]
+
+    def test_identity(self, result, exp_id):
+        assert result.id == exp_id
+        assert result.title
+        assert result.paper_claim
+
+    def test_rows_match_headers(self, result, exp_id):
+        assert result.headers
+        assert result.rows
+        for row in result.rows:
+            assert len(row) == len(result.headers)
+
+    def test_observed_and_render(self, result, exp_id):
+        assert result.observed
+        text = result.render()
+        assert result.title in text
+        assert "shape holds" in text
+
+    def test_series_points_are_pairs(self, result, exp_id):
+        for points in result.series.values():
+            for point in points:
+                assert len(point) == 2

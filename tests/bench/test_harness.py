@@ -1,0 +1,109 @@
+"""Benchmark harness plumbing: profiles, registry, runner, reports."""
+
+import os
+
+import pytest
+
+from repro.bench import (
+    EXPERIMENTS,
+    experiment_ids,
+    get_profile,
+    run_experiment,
+    run_many,
+    save_report,
+)
+from repro.exceptions import BenchmarkError
+
+
+class TestProfiles:
+    def test_both_profiles_exist(self):
+        assert get_profile("quick").name == "quick"
+        assert get_profile("full").name == "full"
+
+    def test_unknown_profile(self):
+        with pytest.raises(BenchmarkError):
+            get_profile("huge")
+
+    def test_ordering_graph_routing(self):
+        profile = get_profile("quick")
+        small = profile.ordering_graph("WordNet")
+        big = profile.ordering_graph("soc-Pokec")
+        assert big.num_vertices > small.num_vertices
+
+    def test_machines(self):
+        profile = get_profile("quick")
+        assert profile.machine_i.num_cores == 16
+        assert profile.machine_ii.num_cores == 32
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        ids = experiment_ids()
+        for required in (
+            "table1",
+            "table2",
+            "fig1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+        ):
+            assert required in ids
+
+    def test_ablations_registered(self):
+        ids = experiment_ids()
+        for required in (
+            "seq-basic-vs-opt",
+            "complexity-exponent",
+            "queue-discipline",
+            "parmax-threshold",
+            "multilists-parratio",
+            "chunk-size",
+            "degree-kind",
+        ):
+            assert required in ids
+
+    def test_unknown_experiment(self):
+        with pytest.raises(BenchmarkError, match="unknown experiment"):
+            run_experiment("fig99", get_profile("quick"))
+
+
+class TestRunnerAndReport:
+    @pytest.fixture(scope="class")
+    def one_result(self):
+        return run_many(["table2"], profile="quick")
+
+    def test_run_many_returns_triples(self, one_result):
+        (exp_id, result, seconds), = one_result
+        assert exp_id == "table2"
+        assert result.rows
+        assert seconds >= 0
+
+    def test_render_contains_claim_and_table(self, one_result):
+        text = one_result[0][1].render()
+        assert "paper claim" in text
+        assert "shape holds" in text
+        assert "ego-Twitter" in text
+
+    def test_save_report_writes_files(self, one_result, tmp_path):
+        paths = save_report(one_result, str(tmp_path))
+        assert len(paths) == 1
+        assert os.path.exists(paths[0])
+        with open(paths[0]) as fh:
+            assert "table2" in fh.read()
+
+
+class TestExperimentContracts:
+    """Cheap experiments run here end to end; the expensive ones are
+    exercised (and shape-asserted) by the benchmark suite."""
+
+    @pytest.mark.parametrize("exp_id", ["table2", "fig3"])
+    def test_runs_and_holds(self, exp_id):
+        result = run_experiment(exp_id, get_profile("quick"))
+        assert result.holds, result.observed
+        assert result.headers
+        assert result.rows

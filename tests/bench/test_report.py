@@ -1,0 +1,48 @@
+"""CSV/summary report writers."""
+
+import csv
+import os
+
+import pytest
+
+from repro.bench import export_all, run_many, write_csv, write_series_csv
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_many(["table2", "fig3"], profile="quick")
+
+
+class TestCsvExport:
+    def test_rows_csv(self, results, tmp_path):
+        target = tmp_path / "t.csv"
+        write_csv(results[0][1], str(target))
+        with open(target) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == list(results[0][1].headers)
+        assert len(rows) == len(results[0][1].rows) + 1
+
+    def test_series_csv_long_format(self, results, tmp_path):
+        fig3 = results[1][1]
+        target = tmp_path / "s.csv"
+        write_series_csv(fig3, str(target))
+        with open(target) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["series", "x", "y"]
+        total_points = sum(len(pts) for pts in fig3.series.values())
+        assert len(rows) == total_points + 1
+
+    def test_export_all(self, results, tmp_path):
+        paths = export_all(results, str(tmp_path))
+        names = {os.path.basename(p) for p in paths}
+        assert "table2.csv" in names
+        assert "fig3.csv" in names
+        assert "fig3_series.csv" in names
+        assert "SUMMARY.md" in names
+
+    def test_summary_contents(self, results, tmp_path):
+        export_all(results, str(tmp_path))
+        text = (tmp_path / "SUMMARY.md").read_text()
+        assert "| table2 | True |" in text
+        assert "## fig3" in text
+        assert "*observed*" in text

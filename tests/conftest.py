@@ -1,0 +1,92 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    attach_random_weights,
+    barabasi_albert,
+    erdos_renyi,
+    from_edges,
+    load_dataset,
+    path,
+    powerlaw_configuration,
+    star,
+)
+
+
+@pytest.fixture(scope="session")
+def toy_graph():
+    """5 vertices, weighted, one detour that pays off."""
+    return from_edges(
+        [(0, 1, 1.0), (1, 2, 2.0), (0, 3, 4.0), (3, 2, 1.0), (2, 4, 3.0)],
+        num_vertices=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_ba():
+    """Small connected scale-free graph, unit weights."""
+    return barabasi_albert(120, 3, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_weighted():
+    """Small connected scale-free graph, random positive weights."""
+    return attach_random_weights(barabasi_albert(100, 3, seed=9), seed=10)
+
+
+@pytest.fixture(scope="session")
+def directed_weighted():
+    """Directed ER graph with weights and unreachable pairs."""
+    return attach_random_weights(
+        erdos_renyi(80, 0.05, seed=21, directed=True), seed=22
+    )
+
+
+@pytest.fixture(scope="session")
+def powerlaw_graph():
+    """Power-law graph with a real hub spectrum (ordering tests)."""
+    return powerlaw_configuration(
+        600,
+        2.3,
+        min_degree=2,
+        max_degree=200,
+        planted_hubs=(1.0, 0.5, 0.25),
+        seed=33,
+    )
+
+
+@pytest.fixture(scope="session")
+def star_graph():
+    return star(12)
+
+
+@pytest.fixture(scope="session")
+def path_graph():
+    return path(10)
+
+
+@pytest.fixture(scope="session")
+def wordnet_tiny():
+    return load_dataset("WordNet", scale=200)
+
+
+@pytest.fixture(scope="session")
+def reference():
+    """scipy reference APSP solver (lazily imported)."""
+    from repro.baselines import reference_apsp
+
+    return reference_apsp
+
+
+def assert_same_apsp(dist: np.ndarray, ref: np.ndarray) -> None:
+    """Distances equal with matching inf patterns."""
+    assert dist.shape == ref.shape
+    ours_inf = ~np.isfinite(dist)
+    ref_inf = ~np.isfinite(ref)
+    assert np.array_equal(ours_inf, ref_inf)
+    finite = ~ref_inf
+    assert np.allclose(dist[finite], ref[finite])

@@ -1,0 +1,50 @@
+"""The adaptive optimized algorithm (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import reference_apsp
+from repro.core import seq_adaptive, seq_optimized
+from repro.exceptions import AlgorithmError
+from tests.conftest import assert_same_apsp
+
+
+class TestCorrectness:
+    def test_exact_on_weighted(self, small_weighted):
+        r = seq_adaptive(small_weighted)
+        assert_same_apsp(r.dist, reference_apsp(small_weighted))
+
+    def test_exact_on_directed(self, directed_weighted):
+        r = seq_adaptive(directed_weighted)
+        assert_same_apsp(r.dist, reference_apsp(directed_weighted))
+
+    def test_exact_with_frequent_reordering(self, small_ba):
+        r = seq_adaptive(small_ba, reorder_every=1)
+        assert_same_apsp(r.dist, reference_apsp(small_ba))
+
+    def test_invalid_reorder_every(self, toy_graph):
+        with pytest.raises(AlgorithmError):
+            seq_adaptive(toy_graph, reorder_every=0)
+
+
+class TestBehaviour:
+    def test_order_is_permutation(self, powerlaw_graph):
+        r = seq_adaptive(powerlaw_graph)
+        n = powerlaw_graph.num_vertices
+        assert sorted(r.order.tolist()) == list(range(n))
+
+    def test_result_metadata(self, small_ba):
+        r = seq_adaptive(small_ba)
+        assert r.algorithm == "seq-adaptive"
+        assert r.ordering_method == "adaptive"
+        assert r.num_threads == 1
+
+    def test_gain_over_optimized_is_small(self, wordnet_tiny):
+        """The paper's premise (§2.2) for not parallelising it."""
+        opt = seq_optimized(wordnet_tiny).ops.total_work()
+        ada = seq_adaptive(wordnet_tiny).ops.total_work()
+        assert 0.6 <= opt / ada <= 1.6
+
+    def test_heap_queue_variant(self, small_weighted):
+        r = seq_adaptive(small_weighted, queue="heap")
+        assert_same_apsp(r.dist, reference_apsp(small_weighted))

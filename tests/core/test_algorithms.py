@@ -1,0 +1,113 @@
+"""Per-algorithm public wrappers and their paper-mandated behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    par_alg1,
+    par_alg2,
+    par_apsp,
+    seq_basic,
+    seq_optimized,
+    solve_apsp,
+)
+from repro.simx import MACHINE_I
+from tests.conftest import assert_same_apsp
+
+
+class TestSequential:
+    def test_seq_basic(self, small_weighted, reference):
+        r = seq_basic(small_weighted)
+        assert r.algorithm == "seq-basic"
+        assert r.ordering_method == "none"
+        assert_same_apsp(r.dist, reference(small_weighted))
+
+    def test_seq_optimized(self, small_weighted, reference):
+        r = seq_optimized(small_weighted)
+        assert r.ordering_method == "selection"
+        assert_same_apsp(r.dist, reference(small_weighted))
+
+    def test_optimized_orders_sources_by_degree(self, powerlaw_graph):
+        from repro.graphs import degree_array
+
+        r = seq_optimized(powerlaw_graph)
+        deg = degree_array(powerlaw_graph)
+        seq = deg[r.order]
+        assert np.all(np.diff(seq) <= 0)
+
+    def test_optimized_beats_basic_in_work(self, wordnet_tiny):
+        """§2: the optimized algorithm wins on scale-free graphs."""
+        basic = seq_basic(wordnet_tiny)
+        opt = seq_optimized(wordnet_tiny)
+        assert opt.ops.total_work() < basic.ops.total_work()
+
+    def test_heap_queue_variant(self, small_weighted, reference):
+        r = seq_optimized(small_weighted, queue="heap")
+        assert_same_apsp(r.dist, reference(small_weighted))
+
+
+class TestParallelWrappers:
+    def test_paralg1_no_ordering(self, small_weighted, reference):
+        r = par_alg1(small_weighted, num_threads=3, backend="threads")
+        assert r.ordering_method == "none"
+        assert_same_apsp(r.dist, reference(small_weighted))
+
+    def test_paralg2_defaults(self, small_weighted):
+        r = par_alg2(small_weighted, num_threads=2, backend="sim")
+        assert r.ordering_method == "selection"
+        assert r.schedule == "dynamic"
+
+    def test_paralg2_ordering_swap(self, small_weighted, reference):
+        r = par_alg2(
+            small_weighted,
+            num_threads=2,
+            backend="sim",
+            ordering="parbuckets",
+        )
+        assert r.ordering_method == "parbuckets"
+        assert_same_apsp(r.dist, reference(small_weighted))
+
+    def test_parapsp_uses_multilists(self, small_weighted):
+        r = par_apsp(small_weighted, num_threads=4, backend="sim")
+        assert r.ordering_method == "multilists"
+
+
+class TestPaperShapes:
+    """Cross-algorithm behaviours the evaluation section reports."""
+
+    def test_fig8_ordering_overhead_structure(self):
+        """ParAlg2 pays a thread-independent O(n²) ordering cost;
+        ParAPSP's parallel ordering is far below it (needs a graph big
+        enough that the quadratic term dominates the region overheads)."""
+        from repro.graphs import load_dataset
+
+        graph = load_dataset("WordNet", scale=800)
+        alg2 = par_alg2(
+            graph, num_threads=16, backend="sim", machine=MACHINE_I
+        )
+        apsp = par_apsp(
+            graph, num_threads=16, backend="sim", machine=MACHINE_I
+        )
+        assert apsp.phase_times.ordering < alg2.phase_times.ordering / 5
+
+    def test_fig9_speedup_ranking(self, wordnet_tiny):
+        def speedup(fn):
+            t1 = fn(
+                wordnet_tiny, num_threads=1, backend="sim", machine=MACHINE_I
+            ).total_time
+            t16 = fn(
+                wordnet_tiny, num_threads=16, backend="sim", machine=MACHINE_I
+            ).total_time
+            return t1 / t16
+
+        s_alg2 = speedup(par_alg2)
+        s_apsp = speedup(par_apsp)
+        assert s_apsp > s_alg2  # removing the O(n²) ordering helps
+
+    def test_ordered_beats_unordered_work(self, wordnet_tiny):
+        """Figures 7/8: ParAlg2 and ParAPSP below ParAlg1."""
+        w1 = par_alg1(wordnet_tiny, backend="serial").ops.total_work()
+        w2 = par_alg2(wordnet_tiny, backend="serial").ops.total_work()
+        wp = par_apsp(wordnet_tiny, backend="serial").ops.total_work()
+        assert w2 < w1
+        assert wp < w1

@@ -1,0 +1,79 @@
+"""Host cost-model calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CalibrationSample,
+    fit_cost_model,
+    measure_sweeps,
+)
+from repro.exceptions import ValidationError
+from repro.types import OpCounts
+
+
+class TestMeasureSweeps:
+    def test_batching(self, small_ba):
+        samples = measure_sweeps(small_ba, max_sources=40, batch=8)
+        assert len(samples) == 5
+        assert all(s.calls == 8 for s in samples)
+        assert all(s.seconds > 0 for s in samples)
+        assert all(s.counts.pops > 0 for s in samples)
+
+    def test_remainder_batch(self, small_ba):
+        samples = measure_sweeps(small_ba, max_sources=10, batch=4)
+        assert [s.calls for s in samples] == [4, 4, 2]
+
+    def test_validation(self, small_ba):
+        import numpy as np
+
+        from repro.graphs import CSRGraph
+
+        empty = CSRGraph(
+            np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        with pytest.raises(ValidationError):
+            measure_sweeps(empty)
+        with pytest.raises(ValidationError):
+            measure_sweeps(small_ba, batch=0)
+
+
+class TestFitCostModel:
+    def test_recovers_synthetic_costs(self):
+        """Exact synthetic samples must be fit perfectly."""
+        rng = np.random.default_rng(0)
+        true = dict(call=5e-5, pop=2e-6, relax=4e-7, cmp=1e-9, merge=3e-8)
+        samples = []
+        for _ in range(40):
+            counts = OpCounts(
+                pops=int(rng.integers(10, 5000)),
+                edge_relaxations=int(rng.integers(10, 20000)),
+                merge_comparisons=int(rng.integers(0, 300000)),
+                row_merges=int(rng.integers(0, 200)),
+            )
+            calls = int(rng.integers(1, 20))
+            seconds = (
+                calls * true["call"]
+                + counts.pops * true["pop"]
+                + counts.edge_relaxations * true["relax"]
+                + counts.merge_comparisons * true["cmp"]
+                + counts.row_merges * true["merge"]
+            )
+            samples.append(CalibrationSample(counts, seconds, calls=calls))
+        model, r2 = fit_cost_model(samples)
+        assert r2 > 0.999
+        assert model.call == pytest.approx(true["call"], rel=1e-6)
+        assert model.pop == pytest.approx(true["pop"], rel=1e-6)
+        assert model.edge_relaxation == pytest.approx(true["relax"], rel=1e-6)
+
+    def test_real_measurement_fits_well(self, wordnet_tiny):
+        samples = measure_sweeps(wordnet_tiny, batch=16)
+        model, r2 = fit_cost_model(samples)
+        # real timing is noisy; the batched fit should still explain
+        # most of the variance and give non-negative costs
+        assert r2 > 0.5
+        assert model.call >= 0 and model.pop >= 0
+
+    def test_needs_samples(self):
+        with pytest.raises(ValidationError):
+            fit_cost_model([])

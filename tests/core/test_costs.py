@@ -1,0 +1,61 @@
+"""Cost model and op counters."""
+
+import pytest
+
+from repro.core import DEFAULT_COST_MODEL, DijkstraCostModel
+from repro.types import OpCounts
+
+
+class TestOpCounts:
+    def test_addition(self):
+        a = OpCounts(pops=1, edge_relaxations=2, merge_comparisons=3)
+        b = OpCounts(pops=10, row_merges=1, flag_hits=1)
+        c = a + b
+        assert c.pops == 11
+        assert c.edge_relaxations == 2
+        assert c.row_merges == 1
+        # operands untouched
+        assert a.pops == 1 and b.pops == 10
+
+    def test_inplace_addition(self):
+        a = OpCounts(pops=1)
+        a += OpCounts(pops=2, edge_improvements=5)
+        assert a.pops == 3
+        assert a.edge_improvements == 5
+
+    def test_total_work_formula(self):
+        c = OpCounts(pops=2, edge_relaxations=3, merge_comparisons=4)
+        assert c.total_work() == 9
+
+    def test_as_dict_round(self):
+        c = OpCounts(pops=7)
+        assert c.as_dict()["pops"] == 7
+        assert set(c.as_dict()) == {
+            "pops",
+            "edge_relaxations",
+            "edge_improvements",
+            "row_merges",
+            "merge_comparisons",
+            "flag_hits",
+        }
+
+
+class TestCostModel:
+    def test_sweep_cost_linear_combination(self):
+        model = DijkstraCostModel(
+            pop=1.0, edge_relaxation=2.0, merge_comparison=0.5,
+            row_merge=10.0, call=100.0,
+        )
+        counts = OpCounts(
+            pops=4, edge_relaxations=3, merge_comparisons=8, row_merges=2
+        )
+        assert model.sweep_cost(counts) == 100 + 4 + 6 + 4 + 20
+
+    def test_call_overhead_floor(self):
+        assert DEFAULT_COST_MODEL.sweep_cost(OpCounts()) == (
+            DEFAULT_COST_MODEL.call
+        )
+
+    def test_default_model_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_COST_MODEL.pop = 99.0

@@ -1,0 +1,48 @@
+"""Classic Dijkstra reference SSSP."""
+
+import numpy as np
+import pytest
+
+from repro.core import dijkstra_sssp
+from repro.exceptions import AlgorithmError
+
+
+class TestDijkstra:
+    def test_toy_distances(self, toy_graph):
+        dist, _ = dijkstra_sssp(toy_graph, 0)
+        assert dist.tolist() == [0.0, 1.0, 3.0, 4.0, 6.0]
+
+    def test_matches_networkx(self, small_weighted):
+        import networkx as nx
+
+        from repro.graphs import to_networkx
+
+        ref = nx.single_source_dijkstra_path_length(
+            to_networkx(small_weighted), 0
+        )
+        dist, _ = dijkstra_sssp(small_weighted, 0)
+        for v, d in ref.items():
+            assert dist[v] == pytest.approx(d)
+
+    def test_unreachable_inf(self, directed_weighted):
+        dist, _ = dijkstra_sssp(directed_weighted, 0)
+        # directed sparse ER graph: some pairs unreachable
+        assert np.isinf(dist).any() or np.isfinite(dist).all()
+
+    def test_out_buffer(self, toy_graph):
+        buf = np.empty(5)
+        dist, _ = dijkstra_sssp(toy_graph, 0, out=buf)
+        assert dist is buf
+
+    def test_bad_out_buffer(self, toy_graph):
+        with pytest.raises(AlgorithmError):
+            dijkstra_sssp(toy_graph, 0, out=np.empty(3))
+
+    def test_bad_source(self, toy_graph):
+        with pytest.raises(AlgorithmError):
+            dijkstra_sssp(toy_graph, -1)
+
+    def test_counts(self, toy_graph):
+        _, counts = dijkstra_sssp(toy_graph, 0)
+        assert counts.pops >= 5
+        assert counts.edge_relaxations >= 5

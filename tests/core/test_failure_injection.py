@@ -1,0 +1,76 @@
+"""Failure injection: errors in user-supplied callbacks and workers
+must surface, never corrupt results or hang."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_sweep, solve_apsp
+from repro.simx import MACHINE_I, simulate_parallel_for
+
+
+class TestSimulatorCallbackFailures:
+    def test_cost_fn_exception_propagates(self):
+        def cost(i, _t, _w):
+            if i == 3:
+                raise RuntimeError("injected cost failure")
+            return 1.0
+
+        with pytest.raises(RuntimeError, match="injected"):
+            simulate_parallel_for(10, cost, MACHINE_I, num_threads=2)
+
+    def test_cost_fn_nan_rejected(self):
+        # NaN durations would silently poison the virtual clock — the
+        # simulator must reject them at dispatch
+        from repro.exceptions import SimulationError
+
+        def cost(i, _t, _w):
+            return float("nan")
+
+        with pytest.raises(SimulationError, match="invalid cost"):
+            simulate_parallel_for(4, cost, MACHINE_I, num_threads=2)
+
+    def test_cost_fn_nan_rejected_static_schedule(self):
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError, match="invalid cost"):
+            simulate_parallel_for(
+                4,
+                lambda i, t, w: float("nan"),
+                MACHINE_I,
+                num_threads=2,
+                schedule="block",
+            )
+
+
+class TestThreadWorkerFailures:
+    def test_sweep_worker_exception_surfaces(self, small_weighted):
+        """A failure mid-sweep on the thread backend must abort the
+        whole solve with the original exception."""
+        n = small_weighted.num_vertices
+        bad_order = np.arange(n).copy()
+        bad_order[n // 2] = n + 5  # out-of-range source injected
+        with pytest.raises(Exception):
+            run_sweep(
+                small_weighted,
+                bad_order,
+                backend="threads",
+                num_threads=3,
+            )
+
+    def test_partial_failure_does_not_hang(self, small_weighted):
+        """After a failed run the backend is reusable (no poisoned
+        global state, no leaked locks)."""
+        n = small_weighted.num_vertices
+        bad_order = np.arange(n).copy()
+        bad_order[0] = -1
+        with pytest.raises(Exception):
+            run_sweep(
+                small_weighted, bad_order, backend="threads", num_threads=2
+            )
+        good = solve_apsp(
+            small_weighted,
+            algorithm="parapsp",
+            backend="threads",
+            num_threads=2,
+        )
+        assert np.isfinite(good.dist).any()

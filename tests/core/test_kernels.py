@@ -1,0 +1,67 @@
+"""Vectorised merge/relax kernels."""
+
+import numpy as np
+
+from repro.core import merge_row, relax_edges
+from repro.types import INF
+
+
+class TestMergeRow:
+    def test_improves_through_intermediate(self):
+        ds = np.array([0.0, 5.0, INF])
+        dt = np.array([5.0, 0.0, 1.0])  # final row of vertex 1
+        improved = merge_row(ds, dt, ds_t=5.0)
+        assert improved == 1
+        assert ds.tolist() == [0.0, 5.0, 6.0]
+
+    def test_no_improvement_counts_zero(self):
+        ds = np.array([0.0, 1.0, 2.0])
+        dt = np.array([1.0, 0.0, 5.0])
+        assert merge_row(ds, dt, ds_t=1.0) == 0
+        assert ds.tolist() == [0.0, 1.0, 2.0]
+
+    def test_inf_prefix_never_creates_paths(self):
+        ds = np.array([0.0, INF, INF])
+        dt = np.array([INF, 0.0, 1.0])
+        assert merge_row(ds, dt, ds_t=INF) == 0
+        assert np.isinf(ds[1]) and np.isinf(ds[2])
+
+    def test_self_entry_untouched(self):
+        ds = np.array([0.0, 3.0])
+        dt = np.array([3.0, 0.0])
+        merge_row(ds, dt, ds_t=3.0)
+        assert ds[0] == 0.0  # 3 + dt[0] = 6 > 0
+
+
+class TestRelaxEdges:
+    def test_improved_targets_returned(self):
+        ds = np.array([0.0, INF, 4.0, INF])
+        nbrs = np.array([1, 2, 3])
+        wts = np.array([1.0, 9.0, 2.0])
+        targets, k = relax_edges(ds, nbrs, wts, ds_t=0.0)
+        assert k == 2
+        assert sorted(targets.tolist()) == [1, 3]
+        assert ds.tolist() == [0.0, 1.0, 4.0, 2.0]
+
+    def test_nothing_improves(self):
+        ds = np.array([0.0, 0.5])
+        targets, k = relax_edges(
+            ds, np.array([1]), np.array([1.0]), ds_t=0.0
+        )
+        assert k == 0
+        assert targets.size == 0
+
+    def test_empty_neighbourhood(self):
+        ds = np.array([0.0])
+        targets, k = relax_edges(
+            ds, np.array([], dtype=np.int64), np.array([]), ds_t=0.0
+        )
+        assert k == 0
+        assert targets.size == 0
+
+    def test_from_unreached_vertex(self):
+        ds = np.array([0.0, INF, INF])
+        targets, k = relax_edges(
+            ds, np.array([2]), np.array([1.0]), ds_t=INF
+        )
+        assert k == 0

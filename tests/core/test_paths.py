@@ -1,0 +1,91 @@
+"""Path reconstruction (predecessor tracking)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    apsp_with_paths,
+    reconstruct_path,
+    verify_predecessors,
+)
+from repro.baselines import reference_apsp
+from repro.exceptions import AlgorithmError
+from repro.graphs import from_edges
+from tests.conftest import assert_same_apsp
+
+
+class TestDistances:
+    def test_distances_still_exact(self, small_weighted):
+        result = apsp_with_paths(small_weighted)
+        assert_same_apsp(result.dist, reference_apsp(small_weighted))
+
+    def test_directed_distances(self, directed_weighted):
+        result = apsp_with_paths(directed_weighted)
+        assert_same_apsp(result.dist, reference_apsp(directed_weighted))
+
+    def test_arbitrary_order(self, small_weighted):
+        rng = np.random.default_rng(3)
+        order = rng.permutation(small_weighted.num_vertices)
+        result = apsp_with_paths(small_weighted, order=order)
+        assert_same_apsp(result.dist, reference_apsp(small_weighted))
+
+    def test_order_must_be_complete(self, toy_graph):
+        with pytest.raises(AlgorithmError):
+            apsp_with_paths(toy_graph, order=np.array([0, 1]))
+
+
+class TestPaths:
+    def test_toy_path(self, toy_graph):
+        result = apsp_with_paths(toy_graph)
+        # 0 -> 2 goes through 1 (cost 3) not through 3 (cost 5)
+        assert result.path(0, 2) == [0, 1, 2]
+        assert result.path(0, 4) == [0, 1, 2, 4]
+
+    def test_trivial_path(self, toy_graph):
+        result = apsp_with_paths(toy_graph)
+        assert result.path(3, 3) == [3]
+
+    def test_unreachable_is_none(self):
+        g = from_edges([(0, 1)], num_vertices=3)
+        result = apsp_with_paths(g)
+        assert result.path(0, 2) is None
+
+    def test_every_path_is_a_walk_with_right_weight(self, small_weighted):
+        result = apsp_with_paths(small_weighted)
+        verify_predecessors(small_weighted, result, sample=20)
+
+    def test_directed_paths_respect_arcs(self, directed_weighted):
+        result = apsp_with_paths(directed_weighted)
+        verify_predecessors(directed_weighted, result, sample=20)
+
+    def test_paths_verified_on_powerlaw_with_merges(self, powerlaw_graph):
+        """Merge-inherited predecessors must still be consistent."""
+        result = apsp_with_paths(powerlaw_graph)
+        verify_predecessors(powerlaw_graph, result, sample=12)
+
+    def test_out_of_range_endpoints(self, toy_graph):
+        result = apsp_with_paths(toy_graph)
+        with pytest.raises(AlgorithmError):
+            result.path(0, 99)
+
+    def test_path_length_matches_distance(self, small_weighted):
+        result = apsp_with_paths(small_weighted)
+        path = result.path(0, 10)
+        assert path is not None
+        assert path[0] == 0 and path[-1] == 10
+        assert len(path) - 1 <= small_weighted.num_vertices
+
+
+class TestReconstruct:
+    def test_broken_chain_detected(self):
+        pred = np.array([[-1, -1], [-1, -1]])
+        dist = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(AlgorithmError, match="broken"):
+            reconstruct_path(pred, dist, 0, 1)
+
+    def test_cycle_detected(self):
+        pred = np.array([[-1, 1], [0, -1]])  # 1's pred is itself via loop
+        pred[0, 1] = 1  # self-loop in the chain
+        dist = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(AlgorithmError):
+            reconstruct_path(pred, dist, 0, 1)

@@ -1,0 +1,144 @@
+"""The unified solve_apsp entry point."""
+
+import numpy as np
+import pytest
+
+from repro.core import ALGORITHMS, algorithm_names, solve_apsp
+from repro.exceptions import AlgorithmError
+from repro.simx import MACHINE_I
+from tests.conftest import assert_same_apsp
+
+
+class TestAlgorithmRegistry:
+    def test_five_algorithms(self):
+        assert set(algorithm_names()) == {
+            "seq-basic",
+            "seq-opt",
+            "paralg1",
+            "paralg2",
+            "parapsp",
+        }
+
+    def test_paper_configurations(self):
+        assert ALGORITHMS["parapsp"].ordering == "multilists"
+        assert ALGORITHMS["paralg2"].ordering == "selection"
+        assert ALGORITHMS["paralg1"].ordering == "none"
+        assert not ALGORITHMS["seq-basic"].parallel
+
+
+class TestDispatch:
+    def test_unknown_algorithm(self, toy_graph):
+        with pytest.raises(AlgorithmError, match="unknown algorithm"):
+            solve_apsp(toy_graph, algorithm="bellman")
+
+    def test_sequential_algorithms_reject_thread_backends(self, toy_graph):
+        with pytest.raises(AlgorithmError, match="sequential"):
+            solve_apsp(
+                toy_graph, algorithm="seq-basic", backend="threads",
+                num_threads=2,
+            )
+
+    def test_sequential_on_sim_clamps_to_one_thread(self, toy_graph):
+        r = solve_apsp(
+            toy_graph, algorithm="seq-opt", backend="sim", num_threads=8
+        )
+        assert r.num_threads == 1
+
+    def test_ordering_override(self, small_weighted, reference):
+        r = solve_apsp(
+            small_weighted,
+            algorithm="paralg2",
+            ordering="parmax",
+            backend="serial",
+        )
+        assert r.ordering_method == "parmax"
+        assert_same_apsp(r.dist, reference(small_weighted))
+
+    def test_schedule_override_recorded(self, toy_graph):
+        r = solve_apsp(
+            toy_graph,
+            algorithm="parapsp",
+            backend="sim",
+            num_threads=4,
+            schedule="block",
+        )
+        assert r.schedule == "block"
+
+
+class TestResultContents:
+    def test_serial_result_fields(self, small_weighted):
+        r = solve_apsp(small_weighted, algorithm="parapsp")
+        assert r.backend == "serial"
+        assert r.order is not None and r.order.size == small_weighted.num_vertices
+        assert r.phase_times.dijkstra > 0
+        assert r.per_source_work is not None
+        assert r.ops.pops > 0
+
+    def test_sim_result_has_traces(self, small_weighted):
+        r = solve_apsp(
+            small_weighted,
+            algorithm="parapsp",
+            backend="sim",
+            num_threads=8,
+            machine=MACHINE_I,
+        )
+        assert r.sim_ordering is not None
+        assert r.sim_dijkstra is not None
+        assert r.sim_dijkstra.num_threads == 8
+        assert r.total_time == pytest.approx(
+            r.phase_times.ordering + r.phase_times.dijkstra
+        )
+
+    def test_ratio_forwarded(self, small_weighted, reference):
+        r = solve_apsp(small_weighted, algorithm="seq-opt", ratio=0.5)
+        assert_same_apsp(r.dist, reference(small_weighted))
+
+    def test_degree_kind_forwarded(self, directed_weighted, reference):
+        r = solve_apsp(
+            directed_weighted, algorithm="seq-opt", degree_kind="in"
+        )
+        assert_same_apsp(r.dist, reference(directed_weighted))
+
+
+class TestExactnessMatrix:
+    """The paper's §5 claim: identical outputs everywhere."""
+
+    @pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+    def test_every_algorithm_exact(self, small_weighted, reference, algorithm):
+        r = solve_apsp(small_weighted, algorithm=algorithm)
+        assert_same_apsp(r.dist, reference(small_weighted))
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "process", "sim"])
+    def test_every_backend_exact(self, small_weighted, reference, backend):
+        r = solve_apsp(
+            small_weighted,
+            algorithm="parapsp",
+            backend=backend,
+            num_threads=3,
+        )
+        assert_same_apsp(r.dist, reference(small_weighted))
+
+    @pytest.mark.parametrize("schedule", ["block", "static-cyclic", "dynamic"])
+    def test_every_schedule_exact(self, small_weighted, reference, schedule):
+        r = solve_apsp(
+            small_weighted,
+            algorithm="parapsp",
+            backend="sim",
+            num_threads=8,
+            schedule=schedule,
+        )
+        assert_same_apsp(r.dist, reference(small_weighted))
+
+    def test_directed_graph_exact(self, directed_weighted, reference):
+        for algorithm in ("seq-basic", "parapsp"):
+            r = solve_apsp(directed_weighted, algorithm=algorithm)
+            assert_same_apsp(r.dist, reference(directed_weighted))
+
+    def test_bitwise_identical_across_algorithms(self, small_ba):
+        """Unit weights → integer distances → bitwise equality."""
+        mats = [
+            solve_apsp(small_ba, algorithm=a).dist
+            for a in ("seq-basic", "seq-opt", "parapsp")
+        ]
+        assert np.array_equal(mats[0], mats[1])
+        assert np.array_equal(mats[0], mats[2])

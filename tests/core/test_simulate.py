@@ -1,0 +1,92 @@
+"""The simulated sweep: virtual time + flag-availability interleaving."""
+
+import numpy as np
+import pytest
+
+from repro.core import simulate_sweep
+from repro.exceptions import AlgorithmError
+from repro.order import exact_bucket_order
+from repro.graphs import degree_array
+from repro.simx import MACHINE_I, MachineSpec
+from tests.conftest import assert_same_apsp
+
+BARE = MachineSpec(
+    name="bare-apsp",
+    num_cores=16,
+    fork_join_overhead=0.0,
+    dispatch_overhead=0.0,
+    memory_bandwidth_factor=0.0,
+    cache_boost_factor=0.0,
+)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("threads", [1, 2, 8, 16])
+    def test_exact_at_any_thread_count(
+        self, small_weighted, reference, threads
+    ):
+        n = small_weighted.num_vertices
+        sweep = simulate_sweep(
+            small_weighted, np.arange(n), MACHINE_I, num_threads=threads
+        )
+        assert_same_apsp(sweep.dist, reference(small_weighted))
+
+    def test_exact_under_every_schedule(self, small_weighted, reference):
+        n = small_weighted.num_vertices
+        for schedule in ("block", "static-cyclic", "dynamic"):
+            sweep = simulate_sweep(
+                small_weighted,
+                np.arange(n),
+                MACHINE_I,
+                num_threads=4,
+                schedule=schedule,
+            )
+            assert_same_apsp(sweep.dist, reference(small_weighted))
+
+    def test_order_shape_validated(self, toy_graph):
+        with pytest.raises(AlgorithmError):
+            simulate_sweep(
+                toy_graph, np.array([0, 1]), MACHINE_I, num_threads=2
+            )
+
+
+class TestVirtualTime:
+    def test_single_thread_equals_serial_cost_sum(self, small_ba):
+        n = small_ba.num_vertices
+        sweep = simulate_sweep(small_ba, np.arange(n), BARE, num_threads=1)
+        from repro.core.costs import DEFAULT_COST_MODEL
+
+        expected = sum(
+            DEFAULT_COST_MODEL.sweep_cost(c) for c in sweep.per_source
+        )
+        assert sweep.makespan == pytest.approx(expected)
+
+    def test_more_threads_less_time(self, small_ba):
+        n = small_ba.num_vertices
+        order = exact_bucket_order(degree_array(small_ba)).order
+        t1 = simulate_sweep(small_ba, order, MACHINE_I, num_threads=1)
+        t8 = simulate_sweep(small_ba, order, MACHINE_I, num_threads=8)
+        assert t8.makespan < t1.makespan / 4
+
+    def test_flag_interleaving_costs_work(self, small_ba):
+        """With T threads the first T sweeps can't reuse each other —
+        total work at 16 threads must be ≥ the serial total."""
+        n = small_ba.num_vertices
+        order = exact_bucket_order(degree_array(small_ba)).order
+        w1 = simulate_sweep(
+            small_ba, order, BARE, num_threads=1
+        ).total_ops().total_work()
+        w16 = simulate_sweep(
+            small_ba, order, BARE, num_threads=16
+        ).total_ops().total_work()
+        assert w16 >= w1
+
+    def test_completion_respects_dispatch_causality(self, small_ba):
+        n = small_ba.num_vertices
+        sweep = simulate_sweep(
+            small_ba, np.arange(n), MACHINE_I, num_threads=4
+        )
+        out = sweep.outcome
+        assert np.all(out.end_times >= out.start_times)
+        # dynamic chunk-1 dispatch order is index order
+        assert out.issue_order.tolist() == list(range(n))

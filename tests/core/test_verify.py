@@ -1,0 +1,94 @@
+"""The scipy-free APSP result verifier."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve_apsp, verify_apsp
+from repro.exceptions import ValidationError
+from repro.graphs import from_edges
+
+
+@pytest.fixture(scope="module")
+def solved(small_weighted):
+    return solve_apsp(small_weighted, algorithm="parapsp").dist
+
+
+class TestAcceptsValid:
+    def test_weighted(self, small_weighted, solved):
+        verify_apsp(small_weighted, solved)
+
+    def test_full_witness_check(self, toy_graph):
+        dist = solve_apsp(toy_graph, algorithm="seq-basic").dist
+        verify_apsp(toy_graph, dist, sample=None)
+
+    def test_directed_with_unreachable(self, directed_weighted):
+        dist = solve_apsp(directed_weighted, algorithm="parapsp").dist
+        verify_apsp(directed_weighted, dist)
+
+    def test_empty_graph(self):
+        import numpy as np
+
+        from repro.graphs import CSRGraph
+
+        g = CSRGraph(np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64))
+        verify_apsp(g, np.zeros((0, 0)))
+
+
+class TestRejectsCorruption:
+    def test_too_small_distance(self, small_weighted, solved):
+        bad = solved.copy()
+        # a distance smaller than possible has no witnessing arc
+        finite = np.isfinite(bad) & (bad > 0)
+        s, t = np.argwhere(finite)[0]
+        bad[s, t] *= 0.5
+        with pytest.raises(ValidationError):
+            verify_apsp(small_weighted, bad, sample=None)
+
+    def test_too_large_distance(self, small_weighted, solved):
+        bad = solved.copy()
+        finite = np.isfinite(bad) & (bad > 0)
+        s, t = np.argwhere(finite)[-1]
+        bad[s, t] *= 2.0
+        with pytest.raises(ValidationError, match="improves|witness"):
+            verify_apsp(small_weighted, bad, sample=None)
+
+    def test_nonzero_diagonal(self, small_weighted, solved):
+        bad = solved.copy()
+        bad[3, 3] = 1.0
+        with pytest.raises(ValidationError, match="diagonal"):
+            verify_apsp(small_weighted, bad)
+
+    def test_nan(self, small_weighted, solved):
+        bad = solved.copy()
+        bad[0, 1] = np.nan
+        with pytest.raises(ValidationError, match="NaN"):
+            verify_apsp(small_weighted, bad)
+
+    def test_negative(self, small_weighted, solved):
+        bad = solved.copy()
+        bad[0, 1] = -1.0
+        with pytest.raises(ValidationError):
+            verify_apsp(small_weighted, bad)
+
+    def test_shape_mismatch(self, small_weighted):
+        with pytest.raises(ValidationError, match="shape"):
+            verify_apsp(small_weighted, np.zeros((2, 2)))
+
+    def test_phantom_reachability(self):
+        g = from_edges([(0, 1)], num_vertices=3)
+        dist = solve_apsp(g, algorithm="seq-basic").dist
+        bad = dist.copy()
+        bad[0, 2] = 7.0  # claims a path into an isolated vertex
+        with pytest.raises(ValidationError, match="no incoming|witness"):
+            verify_apsp(g, bad, sample=None)
+
+    def test_asymmetric_undirected(self, small_weighted, solved):
+        bad = solved.copy()
+        # corrupt symmetrically-invisible? make a consistent-looking but
+        # asymmetric entry by bumping one direction beyond its mirror
+        s, t = 0, 1
+        # keep relaxation fixpoint: raising is caught earlier; instead
+        # swap rows to break symmetry while keeping shape
+        bad[s], bad[t] = solved[t].copy(), solved[s].copy()
+        with pytest.raises(ValidationError):
+            verify_apsp(small_weighted, bad, sample=None)

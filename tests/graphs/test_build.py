@@ -1,0 +1,144 @@
+"""Graph builders: edge lists, dense matrices, networkx round trips."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import from_dense, from_edges, to_dense, to_networkx
+from repro.graphs.build import from_arc_arrays, from_networkx, to_scipy_csr
+
+
+class TestFromEdges:
+    def test_infers_vertex_count(self):
+        g = from_edges([(0, 5)])
+        assert g.num_vertices == 6
+
+    def test_two_and_three_tuples(self):
+        g = from_edges([(0, 1), (1, 2, 7.5)], num_vertices=3)
+        assert g.neighbor_weights(0)[0] == 1.0
+        w = dict(zip(g.neighbors(1).tolist(), g.neighbor_weights(1).tolist()))
+        assert w[2] == 7.5
+
+    def test_self_loops_dropped_by_default(self):
+        g = from_edges([(0, 0), (0, 1)], num_vertices=2)
+        assert g.num_edges == 1
+
+    def test_self_loops_error_when_requested(self):
+        with pytest.raises(GraphError, match="self loop"):
+            from_edges([(0, 0)], num_vertices=1, drop_self_loops=False)
+
+    def test_duplicate_min_policy(self):
+        g = from_edges([(0, 1, 5.0), (0, 1, 2.0)], num_vertices=2)
+        assert g.neighbor_weights(0)[0] == 2.0
+
+    def test_duplicate_first_policy(self):
+        g = from_edges(
+            [(0, 1, 5.0), (0, 1, 2.0)], num_vertices=2, dedup="first",
+            directed=True,
+        )
+        assert g.neighbor_weights(0)[0] == 5.0
+
+    def test_duplicate_error_policy(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            from_edges(
+                [(0, 1), (0, 1)], num_vertices=2, dedup="error", directed=True
+            )
+
+    def test_unknown_dedup_policy(self):
+        with pytest.raises(GraphError, match="dedup"):
+            from_edges([(0, 1)], num_vertices=2, dedup="bogus")
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(GraphError, match="negative"):
+            from_edges([(-1, 0)])
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(GraphError, match="2- or 3-tuple"):
+            from_edges([(0, 1, 2, 3)])
+
+    def test_undirected_symmetrised(self):
+        g = from_edges([(0, 1, 3.0)], num_vertices=2)
+        assert list(g.neighbors(1)) == [0]
+        assert g.neighbor_weights(1)[0] == 3.0
+
+    def test_directed_not_symmetrised(self):
+        g = from_edges([(0, 1)], num_vertices=2, directed=True)
+        assert g.neighbors(1).size == 0
+
+
+class TestFromArcArrays:
+    def test_out_of_range_endpoint(self):
+        with pytest.raises(GraphError, match="outside"):
+            from_arc_arrays(
+                np.array([0]), np.array([9]), num_vertices=3
+            )
+
+    def test_misaligned_arrays(self):
+        with pytest.raises(GraphError, match="equal-length"):
+            from_arc_arrays(
+                np.array([0, 1]), np.array([1]), num_vertices=3
+            )
+
+    def test_rows_come_out_sorted(self):
+        g = from_arc_arrays(
+            np.array([0, 0, 0]),
+            np.array([3, 1, 2]),
+            num_vertices=4,
+            directed=True,
+        )
+        assert list(g.neighbors(0)) == [1, 2, 3]
+
+
+class TestDenseRoundtrip:
+    def test_roundtrip_undirected(self, small_weighted):
+        g2 = from_dense(to_dense(small_weighted))
+        assert not g2.directed
+        assert np.array_equal(g2.indices, small_weighted.indices)
+        assert np.allclose(g2.weights, small_weighted.weights)
+
+    def test_roundtrip_directed(self, directed_weighted):
+        g2 = from_dense(to_dense(directed_weighted), directed=True)
+        assert np.array_equal(g2.indices, directed_weighted.indices)
+
+    def test_directedness_autodetected(self):
+        asym = np.array([[0, 2.0], [np.inf, 0]])
+        assert from_dense(asym).directed
+        sym = np.array([[0, 2.0], [2.0, 0]])
+        assert not from_dense(sym).directed
+
+    def test_dense_diagonal_zero(self, toy_graph):
+        d = to_dense(toy_graph)
+        assert np.all(np.diag(d) == 0)
+
+    def test_dense_absent_is_inf(self, toy_graph):
+        d = to_dense(toy_graph)
+        assert np.isinf(d[0, 4])
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(GraphError, match="square"):
+            from_dense(np.zeros((2, 3)))
+
+
+class TestNetworkxBridge:
+    def test_roundtrip(self, small_weighted):
+        nx_graph = to_networkx(small_weighted)
+        back = from_networkx(nx_graph)
+        assert back.num_vertices == small_weighted.num_vertices
+        assert back.num_edges == small_weighted.num_edges
+        assert np.allclose(
+            sorted(back.weights), sorted(small_weighted.weights)
+        )
+
+    def test_directed_preserved(self, directed_weighted):
+        nx_graph = to_networkx(directed_weighted)
+        assert nx_graph.is_directed()
+        assert from_networkx(nx_graph).directed
+
+
+class TestScipyBridge:
+    def test_csr_matrix_shape_and_sum(self, small_weighted):
+        m = to_scipy_csr(small_weighted)
+        n = small_weighted.num_vertices
+        assert m.shape == (n, n)
+        assert m.nnz == small_weighted.num_arcs
+        assert np.isclose(m.sum(), small_weighted.weights.sum())

@@ -1,0 +1,171 @@
+"""CSRGraph container invariants and accessors."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import CSRGraph, from_edges
+
+
+def make(edges, n, **kw):
+    return from_edges(edges, num_vertices=n, **kw)
+
+
+class TestConstruction:
+    def test_basic_properties(self, toy_graph):
+        assert toy_graph.num_vertices == 5
+        assert toy_graph.num_edges == 5
+        assert toy_graph.num_arcs == 10  # undirected: both arcs stored
+        assert not toy_graph.directed
+
+    def test_directed_arc_count(self):
+        g = make([(0, 1), (1, 2)], 3, directed=True)
+        assert g.num_arcs == 2
+        assert g.num_edges == 2
+
+    def test_empty_graph(self):
+        g = CSRGraph(np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_isolated_vertices(self):
+        g = make([(0, 1)], 5)
+        assert g.out_degree(4) == 0
+        assert g.out_degree(0) == 1
+
+    def test_default_unit_weights(self):
+        g = make([(0, 1), (1, 2)], 3)
+        assert np.all(g.weights == 1.0)
+
+    def test_repr_mentions_shape(self):
+        g = make([(0, 1)], 2, name="tiny")
+        assert "tiny" in repr(g)
+        assert "n=2" in repr(g)
+
+    def test_len_is_vertex_count(self, toy_graph):
+        assert len(toy_graph) == 5
+
+
+class TestValidation:
+    def test_rejects_bad_indptr_start(self):
+        with pytest.raises(GraphError, match="indptr\\[0\\]"):
+            CSRGraph(np.array([1, 2]), np.array([0, 1]))
+
+    def test_rejects_indptr_indices_mismatch(self):
+        with pytest.raises(GraphError, match="must equal len"):
+            CSRGraph(np.array([0, 5]), np.array([0]))
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(GraphError, match="non-decreasing"):
+            CSRGraph(np.array([0, 2, 1, 3]), np.array([0, 1, 2]))
+
+    def test_rejects_out_of_range_indices(self):
+        with pytest.raises(GraphError, match="outside"):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(GraphError, match="positive"):
+            CSRGraph(
+                np.array([0, 1, 1]),
+                np.array([1]),
+                np.array([0.0]),
+            )
+
+    def test_rejects_misaligned_weights(self):
+        with pytest.raises(GraphError, match="shape"):
+            CSRGraph(
+                np.array([0, 1, 1]),
+                np.array([1]),
+                np.array([1.0, 2.0]),
+            )
+
+    def test_buffers_are_frozen(self, toy_graph):
+        with pytest.raises(ValueError):
+            toy_graph.indices[0] = 0
+        with pytest.raises(ValueError):
+            toy_graph.weights[0] = 5.0
+
+
+class TestAdjacency:
+    def test_neighbors_sorted(self, small_ba):
+        for v in range(small_ba.num_vertices):
+            row = small_ba.neighbors(v)
+            assert np.all(np.diff(row) > 0)
+
+    def test_neighbor_weights_align(self, toy_graph):
+        nbrs = toy_graph.neighbors(0)
+        wts = toy_graph.neighbor_weights(0)
+        assert nbrs.shape == wts.shape
+        lookup = dict(zip(nbrs.tolist(), wts.tolist()))
+        assert lookup[1] == 1.0
+        assert lookup[3] == 4.0
+
+    def test_out_degrees_vector_matches_scalar(self, small_ba):
+        vec = small_ba.out_degrees()
+        for v in range(small_ba.num_vertices):
+            assert vec[v] == small_ba.out_degree(v)
+
+    def test_in_degrees_undirected_equal_out(self, small_ba):
+        assert np.array_equal(small_ba.in_degrees(), small_ba.out_degrees())
+
+    def test_in_degrees_directed(self):
+        g = make([(0, 1), (2, 1), (1, 0)], 3, directed=True)
+        assert g.in_degrees().tolist() == [1, 2, 0]
+
+    def test_iter_arcs_covers_all(self, toy_graph):
+        arcs = list(toy_graph.iter_arcs())
+        assert len(arcs) == toy_graph.num_arcs
+        assert (0, 1, 1.0) in arcs
+        assert (1, 0, 1.0) in arcs  # reverse arc stored
+
+    def test_arc_array_shape(self, small_ba):
+        arr = small_ba.arc_array()
+        assert arr.shape == (small_ba.num_arcs, 2)
+
+
+class TestTransforms:
+    def test_reverse_directed(self):
+        g = make([(0, 1, 2.0), (1, 2, 3.0)], 3, directed=True)
+        r = g.reverse()
+        assert list(r.neighbors(1)) == [0]
+        assert list(r.neighbors(2)) == [1]
+        assert r.neighbor_weights(2)[0] == 3.0
+
+    def test_reverse_undirected_is_same_graph(self, small_ba):
+        r = small_ba.reverse()
+        # same multiset of arcs; rows are sorted in both
+        for v in range(small_ba.num_vertices):
+            assert sorted(r.neighbors(v)) == sorted(small_ba.neighbors(v))
+
+    def test_with_unit_weights(self, small_weighted):
+        g = small_weighted.with_unit_weights()
+        assert np.all(g.weights == 1.0)
+        assert np.array_equal(g.indices, small_weighted.indices)
+
+    def test_subgraph_relabels(self):
+        g = make([(0, 1), (1, 2), (2, 3), (3, 0)], 4)
+        sub = g.subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        # 1-2, 2-3 survive; 0's edges dropped
+        assert sub.num_edges == 2
+
+    def test_subgraph_rejects_bad_ids(self, toy_graph):
+        with pytest.raises(GraphError):
+            toy_graph.subgraph([0, 99])
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = make([(0, 1, 2.0)], 2)
+        b = make([(0, 1, 2.0)], 2)
+        assert a == b
+
+    def test_weight_difference_detected(self):
+        a = make([(0, 1, 2.0)], 2)
+        b = make([(0, 1, 3.0)], 2)
+        assert a != b
+
+    def test_directedness_difference_detected(self):
+        a = make([(0, 1)], 2)
+        b = make([(0, 1)], 2, directed=True)
+        assert a != b

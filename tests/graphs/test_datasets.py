@@ -1,0 +1,109 @@
+"""Dataset registry: stand-in generation, Table 2 metadata."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graphs import (
+    DATASETS,
+    dataset_info,
+    dataset_names,
+    degree_array,
+    load_dataset,
+    table2_names,
+)
+from repro.graphs.validate import check_structure, check_symmetry
+
+
+class TestRegistry:
+    def test_all_eight_registered(self):
+        assert len(dataset_names()) == 8
+
+    def test_table2_is_the_papers_five(self):
+        assert table2_names() == (
+            "ego-Twitter",
+            "Livemocha",
+            "Flickr",
+            "WordNet",
+            "sx-superuser",
+        )
+
+    def test_published_counts_quoted(self):
+        spec = dataset_info("WordNet")
+        assert spec.real_vertices == 146_005
+        assert spec.real_edges == 656_999
+
+    def test_directedness_matches_table2(self):
+        assert dataset_info("ego-Twitter").directed
+        assert dataset_info("sx-superuser").directed
+        assert not dataset_info("Flickr").directed
+        assert not dataset_info("WordNet").directed
+        assert not dataset_info("Livemocha").directed
+
+    def test_real_avg_degree(self):
+        spec = dataset_info("WordNet")
+        assert spec.real_avg_degree == pytest.approx(
+            2 * 656_999 / 146_005
+        )
+
+    def test_name_resolution_tolerant(self):
+        assert dataset_info("wordnet").name == "WordNet"
+        assert dataset_info("SOC-POKEC").name == "soc-Pokec"
+        assert dataset_info("ego_twitter").name == "ego-Twitter"
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            dataset_info("facebook")
+
+
+class TestLoading:
+    def test_default_scale(self):
+        g = load_dataset("WordNet")
+        assert g.num_vertices == DATASETS["WordNet"].default_scale
+
+    def test_explicit_scale(self):
+        g = load_dataset("WordNet", scale=321)
+        assert g.num_vertices == 321
+
+    def test_deterministic(self):
+        a = load_dataset("Flickr", scale=200)
+        b = load_dataset("Flickr", scale=200)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = load_dataset("Flickr", scale=200, seed=1)
+        b = load_dataset("Flickr", scale=200, seed=2)
+        assert a != b
+
+    def test_too_small_scale(self):
+        with pytest.raises(DatasetError, match="scale"):
+            load_dataset("WordNet", scale=2)
+
+    def test_directedness_of_standins(self):
+        assert load_dataset("ego-Twitter", scale=150).directed
+        assert not load_dataset("Livemocha", scale=150).directed
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_every_standin_structurally_valid(self, name):
+        g = load_dataset(name, scale=200)
+        check_structure(g)
+        if not g.directed:
+            check_symmetry(g)
+
+    def test_scale_free_shape(self):
+        """The properties the paper's algorithms exploit must survive
+        the scale-down: hub ≫ median, heavy low-degree mass."""
+        g = load_dataset("WordNet")
+        deg = degree_array(g)
+        assert deg.max() >= 20 * max(1, int(np.median(deg)))
+        assert (deg <= np.median(deg)).mean() >= 0.4
+
+    def test_parmax_threshold_separates_at_ordering_scale(self):
+        """§4.2 needs most vertices below 1% of the max degree at the
+        ordering-experiment scales."""
+        g = load_dataset("WordNet", scale=20000)
+        deg = degree_array(g)
+        assert (deg < 0.01 * deg.max()).mean() > 0.8
+
+    def test_name_embeds_scale(self):
+        assert load_dataset("WordNet", scale=250).name == "WordNet@250"

@@ -1,0 +1,70 @@
+"""Degree utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    DegreeKind,
+    degree_array,
+    degree_bounds,
+    degree_histogram,
+    from_edges,
+)
+
+
+@pytest.fixture(scope="module")
+def digraph():
+    return from_edges(
+        [(0, 1), (0, 2), (1, 2), (3, 0)], num_vertices=4, directed=True
+    )
+
+
+class TestDegreeArray:
+    def test_out_degrees(self, digraph):
+        assert degree_array(digraph, "out").tolist() == [2, 1, 0, 1]
+
+    def test_in_degrees(self, digraph):
+        assert degree_array(digraph, "in").tolist() == [1, 1, 2, 0]
+
+    def test_total_degrees(self, digraph):
+        assert degree_array(digraph, "total").tolist() == [3, 2, 2, 1]
+
+    def test_undirected_kind_irrelevant(self, small_ba):
+        out = degree_array(small_ba, "out")
+        inn = degree_array(small_ba, "in")
+        tot = degree_array(small_ba, "total")
+        assert np.array_equal(out, inn)
+        assert np.array_equal(out, tot)
+
+    def test_enum_and_string_accepted(self, digraph):
+        a = degree_array(digraph, DegreeKind.IN)
+        b = degree_array(digraph, "in")
+        assert np.array_equal(a, b)
+
+    def test_unknown_kind(self, digraph):
+        with pytest.raises(GraphError, match="degree kind"):
+            degree_array(digraph, "sideways")
+
+
+class TestBoundsAndHistogram:
+    def test_bounds(self):
+        assert degree_bounds(np.array([3, 1, 7])) == (1, 7)
+
+    def test_bounds_empty(self):
+        assert degree_bounds(np.array([], dtype=np.int64)) == (0, 0)
+
+    def test_histogram_counts(self):
+        h = degree_histogram(np.array([0, 2, 2, 5]))
+        assert h.tolist() == [1, 0, 2, 0, 0, 1]
+
+    def test_histogram_sums_to_n(self, small_ba):
+        deg = degree_array(small_ba)
+        assert degree_histogram(deg).sum() == small_ba.num_vertices
+
+    def test_histogram_rejects_negative(self):
+        with pytest.raises(GraphError):
+            degree_histogram(np.array([-1, 2]))
+
+    def test_histogram_empty(self):
+        assert degree_histogram(np.array([], dtype=np.int64)).tolist() == [0]

@@ -1,0 +1,218 @@
+"""Random and deterministic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    attach_random_weights,
+    barabasi_albert,
+    complete,
+    cycle,
+    degree_array,
+    erdos_renyi,
+    grid_2d,
+    path,
+    powerlaw_configuration,
+    random_weighted,
+    star,
+    watts_strogatz,
+)
+from repro.graphs.validate import check_structure, check_symmetry, is_connected
+
+
+class TestBarabasiAlbert:
+    def test_size_and_connectivity(self):
+        g = barabasi_albert(200, 3, seed=1)
+        assert g.num_vertices == 200
+        assert is_connected(g)
+        # every vertex beyond the seed attaches m edges
+        assert g.num_edges >= (200 - 3 - 1) * 3
+
+    def test_deterministic_per_seed(self):
+        a = barabasi_albert(80, 2, seed=5)
+        b = barabasi_albert(80, 2, seed=5)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = barabasi_albert(80, 2, seed=5)
+        b = barabasi_albert(80, 2, seed=6)
+        assert a != b
+
+    def test_min_degree_is_m(self):
+        g = barabasi_albert(150, 4, seed=2)
+        assert degree_array(g).min() >= 4
+
+    def test_hub_emerges(self):
+        g = barabasi_albert(300, 2, seed=3)
+        deg = degree_array(g)
+        assert deg.max() > 8 * deg.min()
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(3, 3)
+        with pytest.raises(GraphError):
+            barabasi_albert(10, 0)
+
+    def test_structure_valid(self):
+        g = barabasi_albert(100, 3, seed=4)
+        check_structure(g)
+        check_symmetry(g)
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_expectation(self):
+        n, p = 200, 0.05
+        g = erdos_renyi(n, p, seed=8)
+        expected = p * n * (n - 1) / 2
+        assert 0.7 * expected < g.num_edges < 1.3 * expected
+
+    def test_p_zero_empty(self):
+        assert erdos_renyi(50, 0.0, seed=1).num_edges == 0
+
+    def test_p_one_complete(self):
+        g = erdos_renyi(12, 1.0, seed=1)
+        assert g.num_edges == 12 * 11 // 2
+
+    def test_p_one_complete_directed(self):
+        g = erdos_renyi(8, 1.0, seed=1, directed=True)
+        assert g.num_edges == 8 * 7
+
+    def test_directed_edge_count(self):
+        n, p = 150, 0.04
+        g = erdos_renyi(n, p, seed=9, directed=True)
+        expected = p * n * (n - 1)
+        assert 0.7 * expected < g.num_edges < 1.3 * expected
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(10, 1.5)
+
+    def test_deterministic(self):
+        assert erdos_renyi(60, 0.1, seed=3) == erdos_renyi(60, 0.1, seed=3)
+
+    def test_no_self_loops(self):
+        g = erdos_renyi(40, 0.3, seed=4)
+        for v in range(40):
+            assert v not in g.neighbors(v)
+
+
+class TestPowerlawConfiguration:
+    def test_degree_bounds_respected(self):
+        g = powerlaw_configuration(
+            300, 2.5, min_degree=2, max_degree=40, seed=5
+        )
+        # erased configuration model only *removes* arcs, so max holds
+        assert degree_array(g).max() <= 40 + 1  # +1 for parity fix
+
+    def test_planted_hubs_present(self):
+        g = powerlaw_configuration(
+            400, 2.5, min_degree=1, max_degree=120,
+            planted_hubs=(1.0, 0.5), seed=6,
+        )
+        deg = degree_array(g)
+        # erasure trims the hub but it must remain dominant
+        assert deg.max() >= 60
+
+    def test_bad_exponent(self):
+        with pytest.raises(GraphError):
+            powerlaw_configuration(50, 0.9)
+
+    def test_bad_hub_fraction(self):
+        with pytest.raises(GraphError):
+            powerlaw_configuration(50, 2.5, planted_hubs=(1.5,), seed=1)
+
+    def test_too_many_hubs(self):
+        with pytest.raises(GraphError):
+            powerlaw_configuration(3, 2.5, planted_hubs=(0.5,) * 5, seed=1)
+
+    def test_directed_variant(self):
+        g = powerlaw_configuration(200, 2.3, seed=7, directed=True)
+        assert g.directed
+        check_structure(g)
+
+    def test_power_law_shape(self):
+        g = powerlaw_configuration(
+            2000, 2.5, min_degree=1, max_degree=100, seed=8
+        )
+        deg = degree_array(g)
+        # mass concentrates at the minimum degree
+        assert (deg <= 2).mean() > 0.5
+
+
+class TestWattsStrogatz:
+    def test_ring_structure_p0(self):
+        g = watts_strogatz(30, 4, 0.0, seed=1)
+        assert g.num_edges == 30 * 2
+        assert np.all(degree_array(g) == 4)
+
+    def test_rewiring_keeps_edge_count(self):
+        g = watts_strogatz(50, 4, 0.3, seed=2)
+        assert g.num_edges <= 100
+        assert g.num_edges >= 90  # a few rewires may collide and drop
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(GraphError):
+            watts_strogatz(4, 6, 0.1)  # k >= n
+
+
+class TestWeights:
+    def test_random_weighted_range(self):
+        g = random_weighted(60, 0.1, weight_range=(1.0, 2.0), seed=3)
+        if g.num_arcs:
+            assert g.weights.min() >= 1.0
+            assert g.weights.max() <= 2.0
+
+    def test_attach_preserves_symmetry(self, small_ba):
+        g = attach_random_weights(small_ba, seed=4)
+        check_symmetry(g)
+
+    def test_attach_directed_independent(self, directed_weighted):
+        # directed arcs may carry distinct weights; structure preserved
+        g = attach_random_weights(directed_weighted, seed=5)
+        assert np.array_equal(g.indices, directed_weighted.indices)
+
+    def test_bad_weight_range(self, small_ba):
+        with pytest.raises(GraphError):
+            attach_random_weights(small_ba, weight_range=(0.0, 1.0))
+
+
+class TestDeterministicTopologies:
+    def test_star(self):
+        g = star(6)
+        deg = degree_array(g)
+        assert deg[0] == 5
+        assert np.all(deg[1:] == 1)
+
+    def test_path(self):
+        g = path(5)
+        assert g.num_edges == 4
+        assert degree_array(g).max() == 2
+
+    def test_cycle(self):
+        g = cycle(7)
+        assert g.num_edges == 7
+        assert np.all(degree_array(g) == 2)
+
+    def test_complete(self):
+        g = complete(6)
+        assert g.num_edges == 15
+        assert np.all(degree_array(g) == 5)
+
+    def test_grid(self):
+        g = grid_2d(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    @pytest.mark.parametrize(
+        "factory,bad",
+        [(star, 1), (path, 0), (cycle, 2), (complete, 0), (grid_2d, 0)],
+    )
+    def test_degenerate_sizes_rejected(self, factory, bad):
+        with pytest.raises(GraphError):
+            if factory is grid_2d:
+                factory(bad, 3)
+            else:
+                factory(bad)

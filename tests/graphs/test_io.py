@@ -1,0 +1,109 @@
+"""SNAP-format edge-list IO."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graphs import (
+    parse_edgelist_text,
+    read_edgelist,
+    write_edgelist,
+)
+
+
+class TestRead:
+    def test_basic_parse(self):
+        g, id_map = parse_edgelist_text("0 1\n1 2\n")
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert id_map == {0: 0, 1: 1, 2: 2}
+
+    def test_comments_and_blank_lines(self):
+        text = "# SNAP comment\n% KONECT comment\n\n0 1\n"
+        g, _ = parse_edgelist_text(text)
+        assert g.num_edges == 1
+
+    def test_weighted_rows(self):
+        g, _ = parse_edgelist_text("0 1 2.5\n1 2 0.5\n")
+        assert sorted(set(g.weights.tolist())) == [0.5, 2.5]
+
+    def test_mixed_weighted_unweighted_rejected(self):
+        with pytest.raises(GraphFormatError, match="mixed"):
+            parse_edgelist_text("0 1\n1 2 3.0\n")
+
+    def test_bad_token_count(self):
+        with pytest.raises(GraphFormatError, match="expected"):
+            parse_edgelist_text("0 1 2 3\n")
+
+    def test_non_numeric(self):
+        with pytest.raises(GraphFormatError, match="line 1"):
+            parse_edgelist_text("a b\n")
+
+    def test_self_loops_skipped(self):
+        g, _ = parse_edgelist_text("0 0\n0 1\n")
+        assert g.num_edges == 1
+
+    def test_sparse_ids_compacted(self):
+        g, id_map = parse_edgelist_text("100 200\n200 300\n")
+        assert g.num_vertices == 3
+        assert id_map == {100: 0, 200: 1, 300: 2}
+
+    def test_compact_ids_disabled(self):
+        g, id_map = parse_edgelist_text("0 5\n", compact_ids=False)
+        assert g.num_vertices == 6
+        assert id_map == {0: 0, 5: 5}
+
+    def test_directed_flag(self):
+        g, _ = parse_edgelist_text("0 1\n", directed=True)
+        assert g.directed
+        assert g.neighbors(1).size == 0
+
+    def test_tabs_and_spaces(self):
+        g, _ = parse_edgelist_text("0\t1\n1  2\n")
+        assert g.num_edges == 2
+
+    def test_empty_input(self):
+        g, id_map = parse_edgelist_text("")
+        assert g.num_vertices == 0
+        assert id_map == {}
+
+
+class TestWriteRoundtrip:
+    def test_undirected_roundtrip(self, small_ba):
+        buf = io.StringIO()
+        write_edgelist(small_ba, buf)
+        buf.seek(0)
+        g2, _ = read_edgelist(buf)
+        assert np.array_equal(g2.indptr, small_ba.indptr)
+        assert np.array_equal(g2.indices, small_ba.indices)
+
+    def test_weighted_roundtrip(self, small_weighted):
+        buf = io.StringIO()
+        write_edgelist(small_weighted, buf, write_weights=True)
+        buf.seek(0)
+        g2, _ = read_edgelist(buf)
+        assert np.allclose(g2.weights, small_weighted.weights)
+
+    def test_directed_roundtrip(self, directed_weighted):
+        buf = io.StringIO()
+        write_edgelist(directed_weighted, buf, write_weights=True)
+        buf.seek(0)
+        g2, _ = read_edgelist(buf, directed=True)
+        # ids may compact (isolated vertices dropped); arc count preserved
+        assert g2.num_arcs == np.count_nonzero(
+            np.diff(directed_weighted.indptr)
+            [np.diff(directed_weighted.indptr) > 0]
+        ) or g2.num_edges == directed_weighted.num_edges
+
+    def test_header_written(self, toy_graph):
+        buf = io.StringIO()
+        write_edgelist(toy_graph, buf)
+        assert buf.getvalue().startswith("#")
+
+    def test_file_paths(self, tmp_path, small_ba):
+        target = tmp_path / "graph.txt"
+        write_edgelist(small_ba, target)
+        g2, _ = read_edgelist(target)
+        assert g2.num_edges == small_ba.num_edges

@@ -1,0 +1,58 @@
+"""R-MAT generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import degree_array, rmat
+from repro.graphs.validate import check_structure, check_symmetry
+
+
+class TestRmat:
+    def test_size(self):
+        g = rmat(8, 8, seed=1)
+        assert g.num_vertices == 256
+        # erasure removes duplicates/self-loops: below the nominal count
+        assert 0.3 * 8 * 256 < g.num_edges <= 8 * 256
+
+    def test_structurally_valid(self):
+        g = rmat(7, 4, seed=2)
+        check_structure(g)
+        check_symmetry(g)
+
+    def test_directed(self):
+        g = rmat(7, 4, seed=3, directed=True)
+        assert g.directed
+
+    def test_deterministic(self):
+        assert rmat(6, 4, seed=9) == rmat(6, 4, seed=9)
+        assert rmat(6, 4, seed=9) != rmat(6, 4, seed=10)
+
+    def test_skewed_degrees(self):
+        """Graph500 parameters give a heavy-tailed degree distribution."""
+        g = rmat(10, 16, seed=4)
+        deg = degree_array(g)
+        assert deg.max() > 6 * np.median(deg)
+
+    def test_uniform_parameters_not_skewed(self):
+        """a=b=c=d=0.25 is Erdős–Rényi-like: no heavy tail."""
+        g = rmat(10, 16, a=0.25, b=0.25, c=0.25, seed=5)
+        deg = degree_array(g)
+        assert deg.max() < 4 * np.median(deg)
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            rmat(0)
+        with pytest.raises(GraphError):
+            rmat(8, 0)
+        with pytest.raises(GraphError):
+            rmat(8, 4, a=0.9, b=0.2, c=0.2)  # d < 0
+
+    def test_works_with_apsp(self):
+        from repro.baselines import reference_apsp
+        from repro.core import solve_apsp
+        from tests.conftest import assert_same_apsp
+
+        g = rmat(7, 6, seed=6)
+        r = solve_apsp(g, algorithm="parapsp")
+        assert_same_apsp(r.dist, reference_apsp(g))

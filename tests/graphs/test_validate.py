@@ -1,0 +1,88 @@
+"""Structural validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import CSRGraph, from_edges
+from repro.graphs.validate import (
+    check_no_self_loops,
+    check_sorted_rows,
+    check_structure,
+    check_symmetry,
+    connected_components,
+    is_connected,
+)
+
+
+class TestChecks:
+    def test_valid_graph_passes_everything(self, small_ba):
+        check_structure(small_ba)
+        check_sorted_rows(small_ba)
+        check_no_self_loops(small_ba)
+        check_symmetry(small_ba)
+
+    def test_asymmetric_undirected_detected(self):
+        # build a structurally-undirected graph missing a reverse arc by
+        # constructing CSR manually
+        g = CSRGraph(
+            np.array([0, 1, 1]), np.array([1]), np.array([1.0]),
+            directed=False,
+        )
+        with pytest.raises(GraphError, match="reverse arc"):
+            check_symmetry(g)
+
+    def test_symmetry_skipped_for_directed(self, directed_weighted):
+        check_symmetry(directed_weighted)  # no-op, must not raise
+
+    def test_asymmetric_weights_detected(self):
+        g = CSRGraph(
+            np.array([0, 1, 2]),
+            np.array([1, 0]),
+            np.array([1.0, 2.0]),
+            directed=False,
+        )
+        with pytest.raises(GraphError, match="asymmetric weights"):
+            check_symmetry(g)
+
+    def test_self_loop_detected(self):
+        g = CSRGraph(np.array([0, 1]), np.array([0]), np.array([1.0]))
+        with pytest.raises(GraphError, match="self loop"):
+            check_no_self_loops(g)
+
+    def test_unsorted_row_detected(self):
+        g = CSRGraph(
+            np.array([0, 2, 2, 2]),
+            np.array([2, 1]),
+            directed=True,
+        )
+        with pytest.raises(GraphError, match="not strictly sorted"):
+            check_sorted_rows(g)
+
+
+class TestConnectivity:
+    def test_connected_graph(self, small_ba):
+        assert is_connected(small_ba)
+        assert connected_components(small_ba).max() == 0
+
+    def test_two_components(self):
+        g = from_edges([(0, 1), (2, 3)], num_vertices=4)
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        assert not is_connected(g)
+
+    def test_isolated_vertex_is_own_component(self):
+        g = from_edges([(0, 1)], num_vertices=3)
+        labels = connected_components(g)
+        assert len(set(labels.tolist())) == 2
+
+    def test_weak_connectivity_directed(self):
+        # 0 -> 1 <- 2 : weakly connected despite no directed path 0~2
+        g = from_edges([(0, 1), (2, 1)], num_vertices=3, directed=True)
+        assert is_connected(g)
+
+    def test_empty_graph_connected(self):
+        g = CSRGraph(np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert is_connected(g)

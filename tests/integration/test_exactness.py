@@ -1,0 +1,105 @@
+"""End-to-end exactness: the paper's §5 claim on realistic graphs.
+
+"We found that the APSP solution of our proposed ParAPSP algorithm is
+exactly same as the output of sequential runs."
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import floyd_warshall, reference_apsp
+from repro.core import solve_apsp
+from repro.graphs import attach_random_weights, load_dataset
+from tests.conftest import assert_same_apsp
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    """A representative slice of the dataset registry, small scales."""
+    out = {}
+    for name in ("WordNet", "Flickr", "ego-Twitter", "sx-superuser"):
+        out[name] = load_dataset(name, scale=150)
+    out["WordNet-weighted"] = attach_random_weights(
+        load_dataset("WordNet", scale=150), seed=99
+    )
+    return out
+
+
+@pytest.fixture(scope="module")
+def references(graphs):
+    return {name: reference_apsp(g) for name, g in graphs.items()}
+
+
+class TestSequentialGolden:
+    @pytest.mark.parametrize(
+        "name",
+        ["WordNet", "Flickr", "ego-Twitter", "sx-superuser", "WordNet-weighted"],
+    )
+    def test_seq_opt_matches_scipy(self, graphs, references, name):
+        r = solve_apsp(graphs[name], algorithm="seq-opt")
+        assert_same_apsp(r.dist, references[name])
+
+    def test_floyd_warshall_agrees(self, graphs, references):
+        assert_same_apsp(
+            floyd_warshall(graphs["WordNet-weighted"]),
+            references["WordNet-weighted"],
+        )
+
+
+def assert_equal_matrices(a, b):
+    """Bitwise for unit-weight graphs; last-ulp tolerance for float
+    weights (ties between equally-short paths may round differently
+    depending on merge order)."""
+    assert np.array_equal(np.isfinite(a), np.isfinite(b))
+    fin = np.isfinite(a)
+    np.testing.assert_allclose(a[fin], b[fin], rtol=1e-12, atol=0.0)
+
+
+class TestParallelEqualsSequential:
+    """Sequential and every parallel mode agree exactly."""
+
+    @pytest.mark.parametrize("name", ["WordNet", "WordNet-weighted"])
+    def test_threads_bitwise(self, graphs, name):
+        seq = solve_apsp(graphs[name], algorithm="seq-opt").dist
+        par = solve_apsp(
+            graphs[name],
+            algorithm="parapsp",
+            backend="threads",
+            num_threads=4,
+        ).dist
+        assert_equal_matrices(seq, par)
+
+    def test_process_bitwise(self, graphs):
+        seq = solve_apsp(graphs["WordNet"], algorithm="seq-opt").dist
+        par = solve_apsp(
+            graphs["WordNet"],
+            algorithm="parapsp",
+            backend="process",
+            num_threads=2,
+        ).dist
+        assert_equal_matrices(seq, par)
+
+    @pytest.mark.parametrize("threads", [2, 7, 16])
+    def test_sim_bitwise_across_thread_counts(self, graphs, threads):
+        seq = solve_apsp(graphs["WordNet-weighted"], algorithm="seq-opt").dist
+        par = solve_apsp(
+            graphs["WordNet-weighted"],
+            algorithm="parapsp",
+            backend="sim",
+            num_threads=threads,
+        ).dist
+        assert_equal_matrices(seq, par)
+
+    def test_all_algorithms_one_matrix(self, graphs):
+        """Five algorithms, one exact answer."""
+        g = graphs["ego-Twitter"]
+        mats = [
+            solve_apsp(g, algorithm=a).dist
+            for a in ("seq-basic", "seq-opt", "paralg1", "paralg2", "parapsp")
+        ]
+        for m in mats[1:]:
+            assert np.array_equal(
+                np.isfinite(m), np.isfinite(mats[0])
+            )
+            fin = np.isfinite(mats[0])
+            assert np.array_equal(m[fin], mats[0][fin])

@@ -1,0 +1,40 @@
+"""Every shipped example must run clean end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "matches scipy" in proc.stdout
+
+    def test_social_network_analysis(self):
+        proc = run_example("social_network_analysis.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "closeness" in proc.stdout
+
+    def test_scheduling_study(self):
+        proc = run_example("scheduling_study.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Figure 1" in proc.stdout
+
+    def test_ordering_study(self):
+        proc = run_example("ordering_study.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "counting sort" in proc.stdout

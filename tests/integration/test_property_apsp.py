@@ -1,0 +1,148 @@
+"""Property-based APSP correctness: random graphs vs golden references.
+
+Exactness is the paper's central correctness claim (§5): every
+algorithm, backend, schedule and thread count must produce the same —
+and the *right* — distance matrix.  Hypothesis drives the graph space:
+random topologies, weights, directedness, disconnection.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import reference_apsp
+from repro.core import solve_apsp
+from repro.graphs import from_arc_arrays
+from tests.conftest import assert_same_apsp
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def random_graph(draw, max_n=24, directed=None, weighted=None):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    if directed is None:
+        directed = draw(st.booleans())
+    if weighted is None:
+        weighted = draw(st.booleans())
+    max_arcs = n * (n - 1) // (1 if directed else 2)
+    m = draw(st.integers(min_value=0, max_value=min(3 * n, max_arcs)))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda p: p[0] != p[1]),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    if weighted:
+        weights = draw(
+            st.lists(
+                st.floats(
+                    min_value=0.1,
+                    max_value=50.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                min_size=len(pairs),
+                max_size=len(pairs),
+            )
+        )
+    else:
+        weights = [1.0] * len(pairs)
+    src = np.asarray([p[0] for p in pairs], dtype=np.int64)
+    dst = np.asarray([p[1] for p in pairs], dtype=np.int64)
+    return from_arc_arrays(
+        src,
+        dst,
+        np.asarray(weights),
+        num_vertices=n,
+        directed=directed,
+    )
+
+
+class TestAgainstScipy:
+    @given(graph=random_graph())
+    @settings(**SETTINGS)
+    def test_parapsp_serial(self, graph):
+        result = solve_apsp(graph, algorithm="parapsp")
+        assert_same_apsp(result.dist, reference_apsp(graph))
+
+    @given(graph=random_graph())
+    @settings(**SETTINGS)
+    def test_seq_basic(self, graph):
+        result = solve_apsp(graph, algorithm="seq-basic")
+        assert_same_apsp(result.dist, reference_apsp(graph))
+
+    @given(graph=random_graph())
+    @settings(**SETTINGS)
+    def test_heap_queue(self, graph):
+        result = solve_apsp(graph, algorithm="seq-opt", queue="heap")
+        assert_same_apsp(result.dist, reference_apsp(graph))
+
+    @given(graph=random_graph(), threads=st.integers(2, 8))
+    @settings(**SETTINGS)
+    def test_simulated_parallel(self, graph, threads):
+        result = solve_apsp(
+            graph, algorithm="parapsp", backend="sim", num_threads=threads
+        )
+        assert_same_apsp(result.dist, reference_apsp(graph))
+
+    @given(graph=random_graph(directed=True))
+    @settings(**SETTINGS)
+    def test_directed_graphs(self, graph):
+        result = solve_apsp(graph, algorithm="paralg2", backend="serial")
+        assert_same_apsp(result.dist, reference_apsp(graph))
+
+
+class TestAgainstNetworkx:
+    @given(graph=random_graph(max_n=16, weighted=True))
+    @settings(max_examples=15, deadline=None)
+    def test_all_pairs_dijkstra(self, graph):
+        import networkx as nx
+
+        from repro.graphs import to_networkx
+
+        result = solve_apsp(graph, algorithm="parapsp")
+        nx_graph = to_networkx(graph)
+        for s, lengths in nx.all_pairs_dijkstra_path_length(
+            nx_graph, weight="weight"
+        ):
+            for v, d in lengths.items():
+                assert result.dist[s, v] == pytest.approx(d)
+
+
+class TestCrossAlgorithm:
+    @given(graph=random_graph())
+    @settings(**SETTINGS)
+    def test_all_algorithms_equal(self, graph):
+        mats = [
+            solve_apsp(graph, algorithm=a).dist
+            for a in ("seq-basic", "seq-opt", "paralg1", "paralg2", "parapsp")
+        ]
+        for m in mats[1:]:
+            assert np.array_equal(np.isfinite(m), np.isfinite(mats[0]))
+            fin = np.isfinite(mats[0])
+            # last-ulp tolerance: equally-short paths may round
+            # differently depending on the merge order
+            np.testing.assert_allclose(
+                m[fin], mats[0][fin], rtol=1e-12, atol=0.0
+            )
+
+    @given(graph=random_graph(), seed=st.integers(0, 2**16))
+    @settings(**SETTINGS)
+    def test_any_source_order_is_exact(self, graph, seed):
+        """The optimization is order-sensitive in *cost* only — any
+        permutation of sources must give the same matrix."""
+        from repro.core.sweep import run_sweep
+
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(graph.num_vertices)
+        out = run_sweep(graph, order)
+        assert_same_apsp(out.dist, reference_apsp(graph))

@@ -1,0 +1,104 @@
+"""Property-based tests on the graph substrate."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    from_dense,
+    from_edges,
+    parse_edgelist_text,
+    to_dense,
+    write_edgelist,
+)
+from repro.graphs.validate import (
+    check_no_self_loops,
+    check_sorted_rows,
+    check_structure,
+    check_symmetry,
+)
+
+SETTINGS = dict(max_examples=50, deadline=None)
+
+
+@st.composite
+def edge_lists(draw, max_n=16):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=2 * n))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.floats(min_value=0.25, max_value=9.0, allow_nan=False),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    directed = draw(st.booleans())
+    return n, edges, directed
+
+
+class TestBuilderProperties:
+    @given(data=edge_lists())
+    @settings(**SETTINGS)
+    def test_construction_invariants(self, data):
+        n, edges, directed = data
+        g = from_edges(edges, num_vertices=n, directed=directed)
+        check_structure(g)
+        check_sorted_rows(g)
+        check_no_self_loops(g)
+        check_symmetry(g)
+
+    @given(data=edge_lists())
+    @settings(**SETTINGS)
+    def test_dense_roundtrip(self, data):
+        n, edges, directed = data
+        # "min" dedup makes the dense matrix a faithful representation
+        g = from_edges(edges, num_vertices=n, directed=directed)
+        g2 = from_dense(to_dense(g), directed=directed)
+        assert np.array_equal(g2.indptr, g.indptr)
+        assert np.array_equal(g2.indices, g.indices)
+        assert np.allclose(g2.weights, g.weights)
+
+    @given(data=edge_lists())
+    @settings(**SETTINGS)
+    def test_reverse_involution(self, data):
+        n, edges, directed = data
+        g = from_edges(edges, num_vertices=n, directed=directed)
+        rr = g.reverse().reverse()
+        assert np.array_equal(rr.indptr, g.indptr)
+        assert np.array_equal(np.sort(rr.indices), np.sort(g.indices))
+
+    @given(data=edge_lists())
+    @settings(**SETTINGS)
+    def test_degree_sum_equals_arcs(self, data):
+        n, edges, directed = data
+        g = from_edges(edges, num_vertices=n, directed=directed)
+        assert g.out_degrees().sum() == g.num_arcs
+        assert g.in_degrees().sum() == g.num_arcs
+
+
+class TestIOProperties:
+    @given(data=edge_lists())
+    @settings(**SETTINGS)
+    def test_edgelist_roundtrip_structure(self, data):
+        n, edges, directed = data
+        g = from_edges(edges, num_vertices=n, directed=directed)
+        buf = io.StringIO()
+        write_edgelist(g, buf, write_weights=True)
+        g2, id_map = parse_edgelist_text(buf.getvalue(), directed=directed)
+        # ids compact to the vertices that have arcs; arc multiset
+        # must survive through the id map
+        inverse = {new: old for old, new in id_map.items()}
+        arcs_in = {(u, v, round(w, 9)) for u, v, w in g.iter_arcs()}
+        arcs_out = {
+            (inverse[u], inverse[v], round(w, 9))
+            for u, v, w in g2.iter_arcs()
+        }
+        assert arcs_out <= arcs_in
+        # every arc between surviving vertices round-trips
+        assert len(arcs_out) == g2.num_arcs

@@ -1,0 +1,132 @@
+"""Property-based invariants of the simulated machine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.parallel.schedule import static_assignment
+from repro.simx import MACHINE_I, MachineSpec, Op, run_lock_program, simulate_parallel_for
+from repro.types import Schedule
+
+cost_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=60),
+    elements=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+BARE = MachineSpec(
+    name="bare",
+    num_cores=16,
+    fork_join_overhead=0.0,
+    dispatch_overhead=0.0,
+    memory_bandwidth_factor=0.0,
+    cache_boost_factor=0.0,
+)
+
+
+class TestParForInvariants:
+    @given(
+        costs=cost_arrays,
+        threads=st.integers(1, 16),
+        schedule=st.sampled_from(list(Schedule)),
+    )
+    @settings(**SETTINGS)
+    def test_conservation_and_coverage(self, costs, threads, schedule):
+        out = simulate_parallel_for(
+            costs.size, costs, MACHINE_I, num_threads=threads,
+            schedule=schedule,
+        )
+        r = out.result
+        # every iteration dispatched exactly once
+        assert sorted(out.issue_order.tolist()) == list(range(costs.size))
+        # busy time is conserved: sum of all costs
+        assert r.total_busy == pytest.approx(np.sum(costs))
+        # per-thread accounting
+        assert np.all(r.busy + r.overhead <= r.makespan + 1e-9)
+        # makespan bounds: critical path ≤ makespan ≤ serial + overheads
+        assert r.makespan + 1e-9 >= costs.max()
+        serial_bound = (
+            np.sum(costs)
+            + MACHINE_I.region_overhead(threads)
+            + MACHINE_I.dispatch_overhead * costs.size
+            + 1e-9
+        )
+        assert r.makespan <= serial_bound
+
+    @given(costs=cost_arrays, threads=st.integers(1, 16))
+    @settings(**SETTINGS)
+    def test_more_threads_never_hurt_without_overheads(self, costs, threads):
+        t1 = simulate_parallel_for(
+            costs.size, costs, BARE, num_threads=1
+        ).result.makespan
+        tN = simulate_parallel_for(
+            costs.size, costs, BARE, num_threads=threads
+        ).result.makespan
+        assert tN <= t1 + 1e-9
+
+    @given(costs=cost_arrays, threads=st.integers(1, 8))
+    @settings(**SETTINGS)
+    def test_static_assignment_respected(self, costs, threads):
+        out = simulate_parallel_for(
+            costs.size, costs, BARE, num_threads=threads, schedule="block"
+        )
+        T = out.result.num_threads
+        assignment = static_assignment(Schedule.BLOCK, costs.size, T)
+        for t, indices in enumerate(assignment):
+            for i in indices:
+                assert out.thread_of[i] == t
+
+    @given(costs=cost_arrays)
+    @settings(**SETTINGS)
+    def test_deterministic(self, costs):
+        a = simulate_parallel_for(
+            costs.size, costs, MACHINE_I, num_threads=5
+        ).result.makespan
+        b = simulate_parallel_for(
+            costs.size, costs, MACHINE_I, num_threads=5
+        ).result.makespan
+        assert a == b
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+        st.one_of(st.none(), st.integers(0, 4)),
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+class TestLockSimInvariants:
+    @given(programs=st.lists(ops_strategy, min_size=1, max_size=8))
+    @settings(**SETTINGS)
+    def test_accounting_and_counts(self, programs):
+        progs = [
+            [Op(work=w, lock_id=l) for w, l in prog] for prog in programs
+        ]
+        r = run_lock_program(progs, MACHINE_I)
+        expected_acqs = sum(
+            1 for prog in programs for _, l in prog if l is not None
+        )
+        assert r.total_acquisitions == expected_acqs
+        assert 0 <= r.contended_acquisitions <= expected_acqs
+        assert np.all(r.busy + r.overhead <= r.makespan + 1e-9)
+        # makespan at least the largest single program's pure work
+        for prog in progs:
+            work = sum(op.work for op in prog)
+            assert r.makespan + 1e-9 >= work
+
+    @given(programs=st.lists(ops_strategy, min_size=1, max_size=6))
+    @settings(**SETTINGS)
+    def test_deterministic(self, programs):
+        progs = [
+            [Op(work=w, lock_id=l) for w, l in prog] for prog in programs
+        ]
+        a = run_lock_program(progs, MACHINE_I).makespan
+        b = run_lock_program(progs, MACHINE_I).makespan
+        assert a == b

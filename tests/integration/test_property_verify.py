@@ -1,0 +1,72 @@
+"""Property tests for the scipy-free verifier and the path extension.
+
+Soundness: every genuine APSP matrix passes.  Sensitivity: random
+single-entry corruptions of finite distances are caught (raising an
+entry breaks a witness or the fixpoint; lowering one breaks a witness).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import apsp_with_paths, solve_apsp, verify_apsp
+from repro.exceptions import ValidationError
+from tests.integration.test_property_apsp import random_graph
+
+SETTINGS = dict(max_examples=20, deadline=None)
+
+
+class TestVerifierSoundness:
+    @given(graph=random_graph(max_n=18))
+    @settings(**SETTINGS)
+    def test_accepts_every_genuine_matrix(self, graph):
+        dist = solve_apsp(graph, algorithm="parapsp").dist
+        verify_apsp(graph, dist, sample=None)
+
+    @given(graph=random_graph(max_n=18))
+    @settings(**SETTINGS)
+    def test_accepts_baseline_matrices(self, graph):
+        from repro.baselines import floyd_warshall
+
+        verify_apsp(graph, floyd_warshall(graph), sample=None)
+
+
+class TestVerifierSensitivity:
+    @given(
+        graph=random_graph(max_n=14),
+        seed=st.integers(0, 2**16),
+        factor=st.sampled_from([0.25, 0.5, 1.7, 3.0]),
+    )
+    @settings(**SETTINGS)
+    def test_detects_corrupted_entry(self, graph, seed, factor):
+        dist = solve_apsp(graph, algorithm="seq-basic").dist
+        rng = np.random.default_rng(seed)
+        off = ~np.eye(graph.num_vertices, dtype=bool)
+        candidates = np.argwhere(np.isfinite(dist) & off & (dist > 0))
+        assume(candidates.size > 0)
+        s, t = candidates[rng.integers(len(candidates))]
+        bad = dist.copy()
+        bad[s, t] *= factor
+        with pytest.raises(ValidationError):
+            verify_apsp(graph, bad, sample=None)
+
+
+class TestPathProperty:
+    @given(graph=random_graph(max_n=14))
+    @settings(**SETTINGS)
+    def test_every_reconstructed_path_realises_its_distance(self, graph):
+        result = apsp_with_paths(graph)
+        weight = {(u, v): w for u, v, w in graph.iter_arcs()}
+        n = graph.num_vertices
+        for s in range(n):
+            for t in range(n):
+                if s == t or not np.isfinite(result.dist[s, t]):
+                    continue
+                route = result.path(s, t)
+                assert route is not None
+                total = 0.0
+                for a, b in zip(route, route[1:]):
+                    assert (a, b) in weight
+                    total += weight[(a, b)]
+                assert total == pytest.approx(result.dist[s, t])

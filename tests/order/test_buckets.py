@@ -1,0 +1,110 @@
+"""Sequential bucket orderings and Eq. (1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OrderingError
+from repro.order import (
+    approx_bucket_order,
+    bucket_fill_counts,
+    check_ordering,
+    exact_bucket_order,
+    find_bin,
+    find_bins,
+)
+
+
+class TestFindBin:
+    def test_endpoints(self):
+        assert find_bin(0, 100, 0) == 0
+        assert find_bin(100, 100, 0) == 100
+
+    def test_midpoint(self):
+        assert find_bin(50, 100, 0) == 50
+
+    def test_degenerate_range_maps_to_top(self):
+        assert find_bin(7, 7, 7) == 100
+
+    def test_shifted_range(self):
+        assert find_bin(10, 20, 10) == 0
+        assert find_bin(20, 20, 10) == 100
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(OrderingError):
+            find_bin(5, 4, 0)
+        with pytest.raises(OrderingError):
+            find_bin(-1, 4, 0)
+
+    def test_bad_num_bins(self):
+        with pytest.raises(OrderingError):
+            find_bin(1, 2, 0, num_bins=0)
+
+    def test_vectorised_agrees_with_scalar(self):
+        degrees = np.arange(0, 101)
+        bins = find_bins(degrees, 100, 0)
+        for d in degrees:
+            assert bins[d] == find_bin(int(d), 100, 0)
+
+
+class TestExactBucketOrder:
+    def test_descending_and_exact(self, powerlaw_graph):
+        from repro.graphs import degree_array
+
+        deg = degree_array(powerlaw_graph)
+        result = exact_bucket_order(deg)
+        check_ordering(result, deg)
+        assert result.exact
+
+    def test_ties_ascending_vertex_id(self):
+        deg = np.array([2, 5, 2, 5, 2])
+        result = exact_bucket_order(deg)
+        assert result.order.tolist() == [1, 3, 0, 2, 4]
+
+    def test_matches_stable_lexsort(self):
+        rng = np.random.default_rng(6)
+        deg = rng.integers(0, 40, size=200)
+        result = exact_bucket_order(deg)
+        expected = np.lexsort((np.arange(200), -deg))
+        assert np.array_equal(result.order, expected)
+
+    def test_empty(self):
+        assert exact_bucket_order(np.array([], dtype=np.int64)).order.size == 0
+
+
+class TestApproxBucketOrder:
+    def test_bucket_indices_non_increasing(self):
+        rng = np.random.default_rng(7)
+        deg = rng.integers(0, 500, size=300)
+        result = approx_bucket_order(deg)
+        lo, hi = int(deg.min()), int(deg.max())
+        bins = find_bins(deg[result.order], hi, lo)
+        assert np.all(np.diff(bins) <= 0)
+
+    def test_exact_flag_when_buckets_homogeneous(self):
+        # degree range ≤ bins → each degree its own bucket → exact
+        deg = np.random.default_rng(8).integers(0, 50, size=100)
+        assert approx_bucket_order(deg).exact
+
+    def test_inexact_on_wide_range(self):
+        # 1000 distinct degrees into 101 buckets must mix degrees
+        deg = np.arange(1000)
+        result = approx_bucket_order(deg)
+        assert not result.exact
+
+    def test_is_permutation(self):
+        deg = np.random.default_rng(9).integers(0, 900, size=250)
+        result = approx_bucket_order(deg)
+        check_ordering(result, deg)  # permutation check (non-exact path)
+
+
+class TestBucketFillCounts:
+    def test_power_law_piles_into_bottom_bucket(self, powerlaw_graph):
+        from repro.graphs import degree_array
+
+        deg = degree_array(powerlaw_graph)
+        fills = bucket_fill_counts(deg)
+        assert fills.sum() == deg.size
+        assert fills[0] == fills.max()  # §4.2's hot bucket
+
+    def test_empty(self):
+        assert bucket_fill_counts(np.array([], dtype=np.int64)).sum() == 0

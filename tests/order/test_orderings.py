@@ -1,0 +1,88 @@
+"""Name dispatch and the OrderingResult contract."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OrderingError
+from repro.graphs import degree_array
+from repro.order import (
+    ORDERINGS,
+    OrderingResult,
+    check_descending,
+    check_ordering,
+    compute_order,
+    is_permutation,
+    ordering_names,
+    simulate_order,
+)
+from repro.simx import MACHINE_I
+
+
+@pytest.fixture(scope="module")
+def degrees(powerlaw_graph):
+    return degree_array(powerlaw_graph)
+
+
+class TestDispatch:
+    def test_names_listed(self):
+        assert "multilists" in ordering_names()
+        assert len(ORDERINGS) == 7
+
+    @pytest.mark.parametrize("name", ORDERINGS)
+    def test_every_name_computes(self, name, degrees):
+        result = compute_order(name, degrees, num_threads=2, backend="serial")
+        check_ordering(result, degrees)
+
+    def test_none_is_identity(self, degrees):
+        result = compute_order("none", degrees)
+        assert np.array_equal(result.order, np.arange(degrees.size))
+        assert not result.exact
+
+    def test_unknown_name(self, degrees):
+        with pytest.raises(OrderingError, match="unknown ordering"):
+            compute_order("quicksort", degrees)
+
+    @pytest.mark.parametrize(
+        "name", ["none", "selection", "parbuckets", "parmax", "multilists"]
+    )
+    def test_simulated_names(self, name, degrees):
+        result = simulate_order(name, degrees, MACHINE_I, num_threads=4)
+        assert result.sim is not None
+        check_ordering(result, degrees)
+
+    def test_sequential_reference_has_no_sim(self, degrees):
+        with pytest.raises(OrderingError, match="no simulated variant"):
+            simulate_order("exact-buckets", degrees, MACHINE_I)
+
+    def test_exact_methods_agree_on_degree_profile(self, degrees):
+        exact = [
+            compute_order(name, degrees, num_threads=3, backend="serial")
+            for name in ("selection", "exact-buckets", "parmax", "multilists")
+        ]
+        profiles = [degrees[r.order] for r in exact]
+        for p in profiles[1:]:
+            assert np.array_equal(profiles[0], p)
+
+
+class TestContracts:
+    def test_is_permutation(self):
+        assert is_permutation(np.array([2, 0, 1]), 3)
+        assert not is_permutation(np.array([0, 0, 1]), 3)
+        assert not is_permutation(np.array([0, 1]), 3)
+        assert not is_permutation(np.array([0, 1, 3]), 3)
+
+    def test_check_descending_raises_on_violation(self):
+        deg = np.array([1, 9])
+        with pytest.raises(OrderingError, match="not descending"):
+            check_descending(np.array([0, 1]), deg)
+
+    def test_check_ordering_permutation_failure(self):
+        bad = OrderingResult(
+            method="x", order=np.array([0, 0]), exact=False
+        )
+        with pytest.raises(OrderingError, match="permutation"):
+            check_ordering(bad, np.array([1, 2]))
+
+    def test_virtual_time_none_without_sim(self, degrees):
+        result = compute_order("exact-buckets", degrees)
+        assert result.virtual_time is None

@@ -1,0 +1,99 @@
+"""Algorithm 6 — ParMax."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OrderingError
+from repro.graphs import degree_array
+from repro.order import (
+    check_ordering,
+    exact_bucket_order,
+    par_max_order,
+    simulate_par_max,
+)
+from repro.simx import MACHINE_I
+
+
+@pytest.fixture(scope="module")
+def degrees(powerlaw_graph):
+    return degree_array(powerlaw_graph)
+
+
+class TestRealExecution:
+    def test_exact_descending_always(self, degrees):
+        for backend, threads in (("serial", 1), ("threads", 4)):
+            result = par_max_order(
+                degrees, num_threads=threads, backend=backend
+            )
+            check_ordering(result, degrees)
+            assert result.exact
+
+    def test_serial_matches_exact_buckets(self, degrees):
+        ours = par_max_order(degrees, num_threads=1, backend="serial")
+        ref = exact_bucket_order(degrees)
+        assert np.array_equal(ours.order, ref.order)
+
+    def test_threshold_splits_inserts(self, degrees):
+        result = par_max_order(degrees, backend="serial")
+        par = result.stats["parallel_inserts"]
+        seq = result.stats["sequential_inserts"]
+        assert par + seq == degrees.size
+        assert par == (degrees >= 0.01 * degrees.max()).sum()
+
+    def test_threshold_zero_everything_parallel(self, degrees):
+        result = par_max_order(degrees, threshold=0.0, backend="serial")
+        assert result.stats["sequential_inserts"] == 0
+
+    def test_threshold_above_max_everything_sequential(self, degrees):
+        result = par_max_order(degrees, threshold=1.0, backend="serial")
+        # only vertices at exactly max degree stay parallel
+        assert result.stats["parallel_inserts"] == (
+            degrees == degrees.max()
+        ).sum()
+
+    def test_invalid_threshold(self, degrees):
+        with pytest.raises(OrderingError):
+            par_max_order(degrees, threshold=1.5)
+
+    def test_lock_acquisitions_only_for_high(self, degrees):
+        result = par_max_order(degrees, num_threads=2, backend="threads")
+        assert result.stats["lock_acquisitions"] == result.stats[
+            "parallel_inserts"
+        ]
+
+    def test_empty(self):
+        assert par_max_order(np.array([], dtype=np.int64)).order.size == 0
+
+
+class TestSimulated:
+    def test_order_exact(self, degrees):
+        sim = simulate_par_max(degrees, MACHINE_I, num_threads=8)
+        check_ordering(sim, degrees)
+        assert np.array_equal(
+            sim.order, exact_bucket_order(degrees).order
+        )
+
+    def test_much_cheaper_than_parbuckets_under_contention(self):
+        from repro.graphs import load_dataset
+        from repro.order import simulate_par_buckets
+
+        deg = degree_array(load_dataset("WordNet", scale=5000))
+        pm = simulate_par_max(deg, MACHINE_I, num_threads=16).virtual_time
+        pb = simulate_par_buckets(deg, MACHINE_I, num_threads=16).virtual_time
+        assert pm < pb / 3
+
+    def test_no_thread_blowup(self):
+        """Figure 4: ParMax stays flat-to-improving with threads."""
+        from repro.graphs import load_dataset
+
+        deg = degree_array(load_dataset("WordNet", scale=20000))
+        t1 = simulate_par_max(deg, MACHINE_I, num_threads=1).virtual_time
+        t16 = simulate_par_max(deg, MACHINE_I, num_threads=16).virtual_time
+        assert t16 <= 1.2 * t1
+
+    def test_stats_consistent(self, degrees):
+        sim = simulate_par_max(degrees, MACHINE_I, num_threads=4)
+        assert (
+            sim.stats["parallel_inserts"] + sim.stats["sequential_inserts"]
+            == degrees.size
+        )

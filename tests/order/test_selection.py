@@ -1,0 +1,108 @@
+"""Algorithm 3's selection-sort ordering."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OrderingError
+from repro.order import (
+    check_ordering,
+    selection_comparison_count,
+    selection_order,
+)
+from repro.order.selection import _faithful
+
+
+class TestFaithfulLoop:
+    def test_descending_degrees(self):
+        deg = np.array([3, 1, 4, 1, 5, 9, 2, 6])
+        result = selection_order(deg)
+        check_ordering(result, deg)
+        assert deg[result.order].tolist() == sorted(deg, reverse=True)
+
+    def test_comparison_count_matches_closed_form(self):
+        deg = np.random.default_rng(0).integers(0, 50, size=40)
+        result = selection_order(deg)
+        assert result.stats["comparisons"] == selection_comparison_count(
+            40, 1.0
+        )
+
+    def test_partial_ratio_orders_prefix_only(self):
+        deg = np.random.default_rng(1).integers(0, 100, size=60)
+        result = selection_order(deg, ratio=0.25)
+        prefix = int(np.ceil(0.25 * 60))
+        head = deg[result.order[:prefix]]
+        # head is the top-prefix degrees, descending
+        assert head.tolist() == sorted(deg, reverse=True)[:prefix]
+        assert not result.exact  # tail unordered
+
+    def test_ratio_one_is_exact(self):
+        deg = np.array([5, 5, 5])
+        assert selection_order(deg).exact
+
+    def test_invalid_ratio(self):
+        with pytest.raises(OrderingError):
+            selection_order(np.array([1, 2]), ratio=0.0)
+        with pytest.raises(OrderingError):
+            selection_order(np.array([1, 2]), ratio=1.5)
+
+    def test_swap_count_reported(self):
+        deg = np.array([1, 2, 3])  # ascending input maximises swaps
+        result = selection_order(deg)
+        assert result.stats["swaps"] >= 2
+
+    def test_empty_input(self):
+        result = selection_order(np.array([], dtype=np.int64))
+        assert result.order.size == 0
+
+
+class TestFastEquivalent:
+    def test_same_degree_profile_as_faithful(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            n = int(rng.integers(2, 60))
+            deg = rng.integers(0, 12, size=n)
+            slow = selection_order(deg)
+            fast = selection_order(deg, fast=True)
+            assert np.array_equal(deg[slow.order], deg[fast.order])
+
+    def test_fast_is_stable_on_ties(self):
+        deg = np.array([5, 5, 3, 5])
+        fast = selection_order(deg, fast=True)
+        assert fast.order.tolist() == [0, 1, 3, 2]
+
+    def test_fast_partial_prefix_matches(self):
+        deg = np.random.default_rng(3).integers(0, 30, size=50)
+        slow = selection_order(deg, ratio=0.3)
+        fast = selection_order(deg, fast=True, ratio=0.3)
+        k = int(np.ceil(0.3 * 50))
+        assert np.array_equal(deg[slow.order[:k]], deg[fast.order[:k]])
+
+    def test_fast_reports_closed_form_comparisons(self):
+        deg = np.arange(30)
+        fast = selection_order(deg, fast=True)
+        assert fast.stats["comparisons"] == selection_comparison_count(30, 1.0)
+
+
+class TestSimulatedCost:
+    def test_sim_attached_with_machine(self):
+        from repro.simx import MACHINE_I
+
+        deg = np.random.default_rng(4).integers(0, 20, size=30)
+        result = selection_order(deg, machine=MACHINE_I)
+        assert result.sim is not None
+        assert result.virtual_time > 0
+
+    def test_virtual_time_thread_independent(self):
+        """Table 1's flat selection row: the procedure is sequential."""
+        from repro.simx import MACHINE_I
+
+        deg = np.random.default_rng(5).integers(0, 20, size=30)
+        a = selection_order(deg, machine=MACHINE_I)
+        b = selection_order(deg, machine=MACHINE_I)
+        assert a.virtual_time == b.virtual_time
+        assert a.sim.num_threads == 1
+
+    def test_quadratic_growth(self):
+        assert selection_comparison_count(200, 1.0) > 3.5 * (
+            selection_comparison_count(100, 1.0)
+        )

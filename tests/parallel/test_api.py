@@ -1,0 +1,119 @@
+"""parallel_for / parallel_map across backends."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BackendError
+from repro.parallel import Backend, Schedule, parallel_for, parallel_map
+
+
+class TestParallelFor:
+    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    @pytest.mark.parametrize(
+        "schedule", ["block", "static-cyclic", "dynamic"]
+    )
+    def test_every_index_exactly_once(self, backend, schedule):
+        hits = np.zeros(37, dtype=np.int64)
+
+        def body(i, _t):
+            hits[i] += 1
+
+        executed = parallel_for(
+            37, body, num_threads=3, schedule=schedule, backend=backend
+        )
+        assert np.all(hits == 1)
+        assert sorted(i for part in executed for i in part) == list(range(37))
+
+    def test_thread_ids_in_range(self):
+        seen = set()
+
+        def body(_i, t):
+            seen.add(t)
+
+        parallel_for(20, body, num_threads=4, backend="threads")
+        assert seen <= {0, 1, 2, 3}
+
+    def test_zero_iterations(self):
+        executed = parallel_for(0, lambda i, t: None, num_threads=2)
+        assert all(not part for part in executed)
+
+    def test_negative_iterations(self):
+        with pytest.raises(BackendError):
+            parallel_for(-1, lambda i, t: None)
+
+    def test_worker_exception_propagates(self):
+        def body(i, _t):
+            if i == 7:
+                raise ValueError("boom at 7")
+
+        with pytest.raises(ValueError, match="boom at 7"):
+            parallel_for(20, body, num_threads=3, backend="threads")
+
+    def test_process_backend_rejected(self):
+        with pytest.raises(BackendError, match="process"):
+            parallel_for(4, lambda i, t: None, num_threads=2, backend="process")
+
+    def test_sim_backend_rejected(self):
+        with pytest.raises(BackendError, match="sim"):
+            parallel_for(4, lambda i, t: None, num_threads=2, backend="sim")
+
+    def test_serial_dynamic_issue_order_is_index_order(self):
+        order = []
+        parallel_for(
+            10,
+            lambda i, t: order.append(i),
+            num_threads=3,
+            schedule="dynamic",
+            backend="serial",
+        )
+        assert order == list(range(10))
+
+    def test_single_thread_any_backend_is_serial(self):
+        order = []
+        parallel_for(
+            6,
+            lambda i, t: order.append(i),
+            num_threads=1,
+            schedule="dynamic",
+            backend="threads",
+        )
+        assert order == list(range(6))
+
+
+class TestParallelMap:
+    @pytest.mark.parametrize("backend", ["serial", "threads", "process"])
+    @pytest.mark.parametrize("schedule", ["block", "static-cyclic", "dynamic"])
+    def test_results_ordered(self, backend, schedule):
+        got = parallel_map(
+            15,
+            lambda i: i * i,
+            num_threads=3,
+            schedule=schedule,
+            backend=backend,
+        )
+        assert got == [i * i for i in range(15)]
+
+    def test_closure_over_numpy_array_process(self):
+        data = np.arange(100, dtype=np.float64)
+        got = parallel_map(
+            5,
+            lambda i: float(data[i * 10 : (i + 1) * 10].sum()),
+            num_threads=2,
+            backend="process",
+        )
+        assert got == [
+            float(data[i * 10 : (i + 1) * 10].sum()) for i in range(5)
+        ]
+
+    def test_process_worker_failure_reported(self):
+        with pytest.raises(BackendError, match="worker process"):
+            parallel_map(
+                4, lambda i: 1 // (i - 2), num_threads=2, backend="process"
+            )
+
+    def test_empty(self):
+        assert parallel_map(0, lambda i: i, num_threads=2) == []
+
+    def test_backend_coercion_error(self):
+        with pytest.raises(BackendError, match="unknown backend"):
+            parallel_map(3, lambda i: i, backend="gpu")

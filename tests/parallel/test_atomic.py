@@ -1,0 +1,52 @@
+"""Atomic counter and flag array."""
+
+import threading
+
+from repro.parallel import AtomicCounter, AtomicFlagArray
+
+
+class TestAtomicCounter:
+    def test_fetch_add_returns_previous(self):
+        c = AtomicCounter()
+        assert c.fetch_add() == 0
+        assert c.fetch_add(5) == 1
+        assert c.value == 6
+
+    def test_start_value(self):
+        assert AtomicCounter(10).value == 10
+
+    def test_concurrent_uniqueness(self):
+        c = AtomicCounter()
+        tickets = [[] for _ in range(4)]
+
+        def worker(k):
+            for _ in range(500):
+                tickets[k].append(c.fetch_add())
+
+        threads = [
+            threading.Thread(target=worker, args=(k,)) for k in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        combined = sorted(x for part in tickets for x in part)
+        assert combined == list(range(2000))
+
+
+class TestAtomicFlagArray:
+    def test_set_get(self):
+        flags = AtomicFlagArray(5)
+        assert not flags.get(3)
+        flags.set(3)
+        assert flags.get(3)
+        assert flags.count_set() == 1
+
+    def test_len(self):
+        assert len(AtomicFlagArray(7)) == 7
+
+    def test_idempotent_set(self):
+        flags = AtomicFlagArray(2)
+        flags.set(0)
+        flags.set(0)
+        assert flags.count_set() == 1

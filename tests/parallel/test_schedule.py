@@ -1,0 +1,130 @@
+"""Loop-scheduling math: the OpenMP schedule clause semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.parallel import (
+    DynamicCounter,
+    block_assignment,
+    static_assignment,
+    static_cyclic_assignment,
+)
+from repro.types import Schedule
+
+
+def flatten(assignment):
+    return sorted(int(i) for part in assignment for i in part)
+
+
+class TestBlock:
+    def test_partitions_exactly(self):
+        for n in (0, 1, 7, 10, 16, 23):
+            for t in (1, 2, 3, 8):
+                assert flatten(block_assignment(n, t)) == list(range(n))
+
+    def test_contiguous_blocks(self):
+        for part in block_assignment(17, 4):
+            if part.size > 1:
+                assert np.all(np.diff(part) == 1)
+
+    def test_early_threads_get_remainder(self):
+        sizes = [p.size for p in block_assignment(10, 3)]
+        assert sizes == [4, 3, 3]
+
+    def test_more_threads_than_items(self):
+        parts = block_assignment(2, 5)
+        assert [p.size for p in parts] == [1, 1, 0, 0, 0]
+
+
+class TestStaticCyclic:
+    def test_partitions_exactly(self):
+        for n in (0, 5, 12, 31):
+            for t in (1, 2, 4):
+                assert flatten(static_cyclic_assignment(n, t)) == list(range(n))
+
+    def test_round_robin_chunk1(self):
+        parts = static_cyclic_assignment(10, 3)
+        assert parts[0].tolist() == [0, 3, 6, 9]
+        assert parts[1].tolist() == [1, 4, 7]
+        assert parts[2].tolist() == [2, 5, 8]
+
+    def test_chunked_round_robin(self):
+        parts = static_cyclic_assignment(10, 2, chunk=3)
+        assert parts[0].tolist() == [0, 1, 2, 6, 7, 8]
+        assert parts[1].tolist() == [3, 4, 5, 9]
+
+
+class TestStaticDispatch:
+    def test_block_and_cyclic_selectable(self):
+        assert [
+            p.tolist() for p in static_assignment(Schedule.BLOCK, 4, 2)
+        ] == [[0, 1], [2, 3]]
+        assert [
+            p.tolist()
+            for p in static_assignment("static-cyclic", 4, 2)
+        ] == [[0, 2], [1, 3]]
+
+    def test_dynamic_has_no_static_assignment(self):
+        with pytest.raises(ScheduleError, match="dynamic"):
+            static_assignment(Schedule.DYNAMIC, 4, 2)
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            block_assignment(-1, 2)
+        with pytest.raises(ScheduleError):
+            block_assignment(4, 0)
+        with pytest.raises(ScheduleError):
+            static_cyclic_assignment(4, 2, chunk=0)
+
+    def test_schedule_coercion_error(self):
+        with pytest.raises(ScheduleError, match="unknown schedule"):
+            Schedule.coerce("fifo")
+
+
+class TestDynamicCounter:
+    def test_hands_out_in_order(self):
+        counter = DynamicCounter(5)
+        seen = []
+        while True:
+            chunk = counter.next_chunk()
+            if not chunk:
+                break
+            seen.extend(chunk)
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_chunked(self):
+        counter = DynamicCounter(7, chunk=3)
+        assert list(counter.next_chunk()) == [0, 1, 2]
+        assert list(counter.next_chunk()) == [3, 4, 5]
+        assert list(counter.next_chunk()) == [6]
+        assert not counter.next_chunk()
+
+    def test_remaining(self):
+        counter = DynamicCounter(4, chunk=2)
+        assert counter.remaining() == 4
+        counter.next_chunk()
+        assert counter.remaining() == 2
+
+    def test_thread_safe_no_duplicates(self):
+        import threading
+
+        counter = DynamicCounter(2000)
+        claimed = [[] for _ in range(4)]
+
+        def worker(k):
+            while True:
+                chunk = counter.next_chunk()
+                if not chunk:
+                    return
+                claimed[k].extend(chunk)
+
+        threads = [
+            threading.Thread(target=worker, args=(k,)) for k in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        combined = sorted(i for part in claimed for i in part)
+        assert combined == list(range(2000))

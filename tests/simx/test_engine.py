@@ -1,0 +1,48 @@
+"""Discrete-event core: the thread clock queue."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simx import ThreadClockQueue
+
+
+class TestThreadClockQueue:
+    def test_pops_earliest(self):
+        q = ThreadClockQueue(3)
+        q.advance(0, 10.0)
+        q.advance(1, 5.0)
+        q.advance(2, 7.0)
+        assert q.pop_earliest() == (5.0, 1)
+
+    def test_deterministic_tie_break_by_thread_id(self):
+        q = ThreadClockQueue(4, start_time=2.0)
+        assert q.pop_earliest() == (2.0, 0)
+
+    def test_stale_entries_skipped(self):
+        q = ThreadClockQueue(2)
+        q.pop_earliest()  # thread 0 at 0.0
+        q.advance(0, 3.0)
+        q.advance(0, 5.0)  # 3.0 entry becomes stale
+        time, thread = q.pop_earliest()
+        assert (time, thread) == (0.0, 1)
+        q.advance(1, 10.0)
+        assert q.pop_earliest() == (5.0, 0)
+
+    def test_clock_cannot_go_backwards(self):
+        q = ThreadClockQueue(1)
+        q.advance(0, 4.0)
+        with pytest.raises(SimulationError, match="backwards"):
+            q.advance(0, 3.0)
+
+    def test_latest(self):
+        q = ThreadClockQueue(2)
+        q.advance(0, 9.0)
+        assert q.latest == 9.0
+
+    def test_clocks_snapshot(self):
+        q = ThreadClockQueue(2, start_time=1.0)
+        assert q.clocks() == [1.0, 1.0]
+
+    def test_needs_thread(self):
+        with pytest.raises(SimulationError):
+            ThreadClockQueue(0)

@@ -1,0 +1,62 @@
+"""ASCII Gantt rendering."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simx import (
+    MACHINE_I,
+    Op,
+    render_gantt,
+    run_lock_program,
+    simulate_parallel_for,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    out = simulate_parallel_for(
+        20,
+        np.full(20, 50.0),
+        MACHINE_I,
+        num_threads=4,
+        trace=True,
+    )
+    return out.result
+
+
+class TestRenderGantt:
+    def test_one_row_per_thread(self, traced_result):
+        text = render_gantt(traced_result, width=40)
+        rows = [l for l in text.splitlines() if "|" in l]
+        assert len(rows) == traced_result.num_threads
+
+    def test_busy_glyphs_present(self, traced_result):
+        assert "#" in render_gantt(traced_result)
+
+    def test_width_respected(self, traced_result):
+        text = render_gantt(traced_result, width=30)
+        body = text.splitlines()[0]
+        assert body.count("|") == 2
+        start = body.index("|") + 1
+        assert body.rindex("|") - start == 30
+
+    def test_lock_waits_rendered(self):
+        progs = [[Op(work=1.0, lock_id=0)] * 5 for _ in range(4)]
+        r = run_lock_program(progs, MACHINE_I, trace=True)
+        text = render_gantt(r, width=60)
+        assert "~" in text  # somebody waited
+
+    def test_untraced_rejected(self):
+        out = simulate_parallel_for(
+            5, np.ones(5), MACHINE_I, num_threads=2, trace=False
+        )
+        with pytest.raises(SimulationError, match="trace=True"):
+            render_gantt(out.result)
+
+    def test_tiny_width_rejected(self, traced_result):
+        with pytest.raises(SimulationError):
+            render_gantt(traced_result, width=4)
+
+    def test_legend_line(self, traced_result):
+        assert "busy" in render_gantt(traced_result)

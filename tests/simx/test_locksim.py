@@ -1,0 +1,123 @@
+"""Lock-contention simulation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simx import MACHINE_I, MachineSpec, Op, run_lock_program
+
+BARE = MachineSpec(
+    name="bare",
+    num_cores=16,
+    fork_join_overhead=0.0,
+    lock_uncontended=0.0,
+    lock_handoff=0.0,
+    critical_section=10.0,
+)
+
+
+class TestOpValidation:
+    def test_negative_work_rejected(self):
+        with pytest.raises(SimulationError):
+            Op(work=-1.0)
+
+    def test_negative_cs_scale_rejected(self):
+        with pytest.raises(SimulationError):
+            Op(cs_scale=-0.5)
+
+
+class TestSerialBehaviour:
+    def test_pure_work_sums(self):
+        r = run_lock_program([[Op(work=5.0), Op(work=7.0)]], BARE)
+        assert r.makespan == 12.0
+        assert r.total_acquisitions == 0
+
+    def test_lock_ops_add_critical_sections(self):
+        r = run_lock_program([[Op(work=5.0, lock_id=0)] * 3], BARE)
+        assert r.makespan == 3 * (5.0 + 10.0)
+        assert r.total_acquisitions == 3
+        assert r.contended_acquisitions == 0
+
+    def test_false_sharing_penalty_charged(self):
+        machine = BARE.with_overrides(false_sharing_penalty=100.0)
+        r = run_lock_program([[Op(work=1.0, false_sharing=True)]], machine)
+        assert r.makespan == 101.0
+
+
+class TestContention:
+    def test_single_lock_serialises(self):
+        # two threads, same lock, no private work: strictly serialised
+        progs = [[Op(work=0.0, lock_id=0)] * 4 for _ in range(2)]
+        r = run_lock_program(progs, BARE)
+        assert r.makespan == pytest.approx(8 * 10.0)
+        assert r.contended_acquisitions > 0
+
+    def test_disjoint_locks_run_parallel(self):
+        progs = [
+            [Op(work=0.0, lock_id=0)] * 4,
+            [Op(work=0.0, lock_id=1)] * 4,
+        ]
+        r = run_lock_program(progs, BARE)
+        assert r.makespan == pytest.approx(4 * 10.0)
+        assert r.contended_acquisitions == 0
+
+    def test_handoff_penalty_makes_parallel_worse_than_serial(self):
+        """The Table 1 inversion: hot-lock parallel > serial."""
+        machine = MACHINE_I
+        serial = run_lock_program(
+            [[Op(work=5.0, lock_id=0)] * 400], machine
+        )
+        parallel = run_lock_program(
+            [[Op(work=5.0, lock_id=0)] * 100 for _ in range(4)], machine
+        )
+        assert parallel.makespan > serial.makespan
+
+    def test_contention_grows_with_threads(self):
+        def makespan(T):
+            per = 240 // T
+            return run_lock_program(
+                [[Op(work=5.0, lock_id=0)] * per for _ in range(T)],
+                MACHINE_I,
+            ).makespan
+
+        times = [makespan(t) for t in (2, 4, 8, 16)]
+        assert times == sorted(times)
+
+    def test_fifo_order_respects_arrival_time(self):
+        # thread 1 arrives at the lock later (big private work first);
+        # thread 0 must win the first grant despite same start
+        progs = [
+            [Op(work=1.0, lock_id=0)],
+            [Op(work=50.0, lock_id=0)],
+        ]
+        r = run_lock_program(progs, BARE, trace=True)
+        holds = [e for e in r.events if e.kind == "lock-hold"]
+        assert holds[0].thread == 0
+        # thread 1 arrives at 50 > release 11, so never contends
+        assert r.contended_acquisitions == 0
+
+
+class TestValidation:
+    def test_needs_programs(self):
+        with pytest.raises(SimulationError):
+            run_lock_program([], MACHINE_I)
+
+    def test_too_many_threads(self):
+        with pytest.raises(SimulationError, match="exceed"):
+            run_lock_program([[] for _ in range(99)], MACHINE_I)
+
+    def test_empty_programs_ok(self):
+        r = run_lock_program([[], []], BARE)
+        assert r.makespan == 0.0
+
+    def test_accounting_invariant(self):
+        rng = np.random.default_rng(3)
+        progs = [
+            [
+                Op(work=float(rng.uniform(1, 5)), lock_id=int(rng.integers(3)))
+                for _ in range(20)
+            ]
+            for _ in range(4)
+        ]
+        r = run_lock_program(progs, MACHINE_I)
+        assert np.all(r.busy + r.overhead <= r.makespan + 1e-9)

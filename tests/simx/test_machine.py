@@ -1,0 +1,64 @@
+"""Machine cost-model parameters."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simx import MACHINE_I, MACHINE_II, MachineSpec, default_machine
+
+
+class TestPresets:
+    def test_paper_testbeds(self):
+        assert MACHINE_I.num_cores == 16
+        assert MACHINE_II.num_cores == 32
+
+    def test_default_machine_picks_by_thread_count(self):
+        assert default_machine(8) is MACHINE_I
+        assert default_machine(16) is MACHINE_I
+        assert default_machine(17) is MACHINE_II
+        assert default_machine(32) is MACHINE_II
+
+
+class TestSpec:
+    def test_clamp_threads(self):
+        assert MACHINE_I.clamp_threads(64) == 16
+        assert MACHINE_I.clamp_threads(4) == 4
+        with pytest.raises(SimulationError):
+            MACHINE_I.clamp_threads(0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            MachineSpec(name="bad", num_cores=0)
+        with pytest.raises(SimulationError):
+            MachineSpec(name="bad", num_cores=4, lock_handoff=-1.0)
+
+    def test_region_overhead_grows_with_team(self):
+        assert MACHINE_I.region_overhead(1) == MACHINE_I.fork_join_overhead
+        assert (
+            MACHINE_I.region_overhead(16)
+            > MACHINE_I.region_overhead(8)
+            > MACHINE_I.region_overhead(2)
+        )
+
+    def test_bandwidth_slowdown_monotone(self):
+        vals = [MACHINE_I.bandwidth_slowdown(t) for t in (1, 4, 16)]
+        assert vals[0] == 1.0
+        assert vals[0] <= vals[1] <= vals[2]
+
+    def test_cache_relief_below_one(self):
+        assert MACHINE_I.cache_relief(1) == 1.0
+        assert MACHINE_I.cache_relief(16) < 1.0
+
+    def test_memory_multiplier_hyperlinear_capable(self):
+        # net effect must allow >T speedup: multiplier < 1 at full team
+        assert MACHINE_I.memory_cost_multiplier(16) < 1.0
+
+    def test_single_core_machine_neutral(self):
+        m = MachineSpec(name="uni", num_cores=1)
+        assert m.bandwidth_slowdown(1) == 1.0
+        assert m.cache_relief(1) == 1.0
+
+    def test_with_overrides(self):
+        m = MACHINE_I.with_overrides(lock_handoff=10.0)
+        assert m.lock_handoff == 10.0
+        assert m.num_cores == MACHINE_I.num_cores
+        assert MACHINE_I.lock_handoff != 10.0  # original untouched

@@ -1,0 +1,167 @@
+"""Simulated parallel-for semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simx import MACHINE_I, MachineSpec, simulate_parallel_for
+
+#: overhead-free machine: virtual time equals pure work, which makes
+#: the arithmetic below exact
+BARE = MachineSpec(
+    name="bare",
+    num_cores=16,
+    fork_join_overhead=0.0,
+    dispatch_overhead=0.0,
+    memory_bandwidth_factor=0.0,
+    cache_boost_factor=0.0,
+)
+
+
+class TestBasics:
+    def test_single_thread_sum(self):
+        costs = np.array([5.0, 7.0, 3.0])
+        out = simulate_parallel_for(3, costs, BARE, num_threads=1)
+        assert out.result.makespan == 15.0
+
+    def test_every_iteration_dispatched_once(self):
+        out = simulate_parallel_for(
+            50, np.ones(50), BARE, num_threads=4, schedule="dynamic"
+        )
+        assert sorted(out.issue_order.tolist()) == list(range(50))
+
+    def test_dynamic_issue_order_is_index_order(self):
+        out = simulate_parallel_for(
+            20, np.random.default_rng(0).uniform(1, 9, 20), BARE,
+            num_threads=4, schedule="dynamic",
+        )
+        assert out.issue_order.tolist() == list(range(20))
+
+    def test_perfect_speedup_equal_costs(self):
+        costs = np.full(64, 10.0)
+        t1 = simulate_parallel_for(64, costs, BARE, num_threads=1)
+        t8 = simulate_parallel_for(64, costs, BARE, num_threads=8)
+        assert t1.result.makespan == pytest.approx(8 * t8.result.makespan)
+
+    def test_makespan_bounded_by_critical_path(self):
+        costs = np.array([100.0] + [1.0] * 50)
+        out = simulate_parallel_for(
+            51, costs, BARE, num_threads=8, schedule="dynamic"
+        )
+        assert out.result.makespan >= 100.0
+        assert out.result.makespan < 151.0
+
+    def test_zero_iterations(self):
+        out = simulate_parallel_for(0, np.empty(0), MACHINE_I, num_threads=4)
+        assert out.result.makespan == MACHINE_I.region_overhead(4)
+
+    def test_threads_clamped_to_cores(self):
+        out = simulate_parallel_for(
+            8, np.ones(8), BARE, num_threads=99
+        )
+        assert out.result.num_threads == 16
+
+
+class TestSchedules:
+    def test_block_assignment_respected(self):
+        costs = np.ones(8)
+        out = simulate_parallel_for(
+            8, costs, BARE, num_threads=2, schedule="block"
+        )
+        assert set(out.thread_of[:4].tolist()) == {0}
+        assert set(out.thread_of[4:].tolist()) == {1}
+
+    def test_static_cyclic_assignment_respected(self):
+        out = simulate_parallel_for(
+            8, np.ones(8), BARE, num_threads=2, schedule="static-cyclic"
+        )
+        assert out.thread_of.tolist() == [0, 1] * 4
+
+    def test_block_load_imbalance_visible(self):
+        # thread 0 gets all the heavy items under block partitioning
+        costs = np.concatenate([np.full(10, 100.0), np.full(10, 1.0)])
+        block = simulate_parallel_for(
+            20, costs, BARE, num_threads=2, schedule="block"
+        )
+        dyn = simulate_parallel_for(
+            20, costs, BARE, num_threads=2, schedule="dynamic"
+        )
+        assert block.result.makespan > dyn.result.makespan
+
+    def test_dynamic_chunk_reduces_dispatches(self):
+        machine = BARE.with_overrides(dispatch_overhead=50.0)
+        chunk1 = simulate_parallel_for(
+            64, np.ones(64), machine, num_threads=4, schedule="dynamic",
+            chunk=1,
+        )
+        chunk8 = simulate_parallel_for(
+            64, np.ones(64), machine, num_threads=4, schedule="dynamic",
+            chunk=8,
+        )
+        assert chunk8.result.total_overhead < chunk1.result.total_overhead
+
+
+class TestCostModel:
+    def test_cost_multiplier_scales_busy_time(self):
+        base = simulate_parallel_for(10, np.ones(10), BARE, num_threads=1)
+        doubled = simulate_parallel_for(
+            10, np.ones(10), BARE, num_threads=1, cost_multiplier=2.0
+        )
+        assert doubled.result.makespan == pytest.approx(
+            2 * base.result.makespan
+        )
+
+    def test_cost_callback_sees_dispatch_time(self):
+        seen = []
+
+        def cost(i, time, thread):
+            seen.append((i, time))
+            return 10.0
+
+        simulate_parallel_for(5, cost, BARE, num_threads=1)
+        times = [t for _, t in seen]
+        assert times == sorted(times)
+        assert times[1] - times[0] == pytest.approx(10.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_parallel_for(
+                3, np.array([1.0, -2.0, 1.0]), BARE, num_threads=1
+            )
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(SimulationError):
+            simulate_parallel_for(
+                2, np.ones(2), BARE, num_threads=1, cost_multiplier=0.0
+            )
+
+
+class TestAccounting:
+    def test_busy_plus_overhead_le_makespan(self):
+        out = simulate_parallel_for(
+            40,
+            np.random.default_rng(1).uniform(1, 20, 40),
+            MACHINE_I,
+            num_threads=8,
+        )
+        r = out.result
+        assert np.all(r.busy + r.overhead <= r.makespan + 1e-9)
+        assert np.all(r.idle >= -1e-9)
+
+    def test_total_busy_conserved_across_thread_counts(self):
+        costs = np.random.default_rng(2).uniform(1, 5, 30)
+        t1 = simulate_parallel_for(30, costs, BARE, num_threads=1)
+        t4 = simulate_parallel_for(30, costs, BARE, num_threads=4)
+        assert t1.result.total_busy == pytest.approx(t4.result.total_busy)
+
+    def test_trace_events_cover_iterations(self):
+        out = simulate_parallel_for(
+            12, np.ones(12), BARE, num_threads=3, trace=True
+        )
+        assert len(out.result.events) == 12
+        assert sorted(e.item for e in out.result.events) == list(range(12))
+
+    def test_end_times_consistent(self):
+        costs = np.arange(1.0, 11.0)
+        out = simulate_parallel_for(10, costs, BARE, num_threads=2)
+        assert np.allclose(out.end_times - out.start_times, costs)

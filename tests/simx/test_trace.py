@@ -1,0 +1,95 @@
+"""Trace records and result invariants."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simx import SimResult, TraceEvent
+
+
+class TestTraceEvent:
+    def test_duration(self):
+        e = TraceEvent(item=1, thread=0, start=2.0, end=5.0)
+        assert e.duration == 3.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(SimulationError):
+            TraceEvent(item=0, thread=0, start=5.0, end=2.0)
+
+
+def make_result(**kw):
+    defaults = dict(
+        num_threads=2,
+        makespan=10.0,
+        busy=np.array([6.0, 4.0]),
+        overhead=np.array([1.0, 2.0]),
+    )
+    defaults.update(kw)
+    return SimResult(**defaults)
+
+
+class TestSimResult:
+    def test_idle_completes_the_budget(self):
+        r = make_result()
+        assert np.allclose(r.idle, [3.0, 4.0])
+
+    def test_utilization(self):
+        r = make_result()
+        assert r.utilization == pytest.approx(10.0 / 20.0)
+
+    def test_zero_makespan_utilization(self):
+        r = SimResult(
+            num_threads=1,
+            makespan=0.0,
+            busy=np.zeros(1),
+            overhead=np.zeros(1),
+        )
+        assert r.utilization == 1.0
+
+    def test_rejects_overcommitted_thread(self):
+        with pytest.raises(SimulationError, match="exceeds makespan"):
+            make_result(busy=np.array([9.0, 4.0]), overhead=np.array([5.0, 0.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(SimulationError):
+            make_result(busy=np.array([1.0]))
+
+    def test_rejects_negative_makespan(self):
+        with pytest.raises(SimulationError):
+            make_result(
+                makespan=-1.0,
+                busy=np.zeros(2),
+                overhead=np.zeros(2),
+            )
+
+    def test_merge_sequential_adds_makespans(self):
+        a = make_result()
+        b = make_result(makespan=5.0, busy=np.array([2.0, 1.0]),
+                        overhead=np.array([0.0, 0.0]))
+        merged = a.merge_sequential(b)
+        assert merged.makespan == 15.0
+        assert np.allclose(merged.busy, [8.0, 5.0])
+
+    def test_merge_pads_narrower_phase(self):
+        seq = SimResult(
+            num_threads=1, makespan=3.0, busy=np.array([3.0]),
+            overhead=np.array([0.0]),
+        )
+        par = make_result()
+        merged = seq.merge_sequential(par)
+        assert merged.num_threads == 2
+        assert merged.makespan == 13.0
+        assert np.allclose(merged.busy, [9.0, 4.0])
+
+    def test_merge_shifts_events(self):
+        a = make_result(events=[TraceEvent(0, 0, 0.0, 1.0)])
+        b = make_result(events=[TraceEvent(1, 0, 0.0, 1.0)])
+        merged = a.merge_sequential(b)
+        assert merged.events[1].start == 10.0
+
+    def test_merge_accumulates_lock_stats(self):
+        a = make_result(contended_acquisitions=3, total_acquisitions=10)
+        b = make_result(contended_acquisitions=2, total_acquisitions=5)
+        merged = a.merge_sequential(b)
+        assert merged.contended_acquisitions == 5
+        assert merged.total_acquisitions == 15

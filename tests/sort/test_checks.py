@@ -1,0 +1,50 @@
+"""Sort validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.sort import check_sorted, check_stable_argsort
+
+
+class TestCheckSorted:
+    def test_accepts_sorted(self):
+        check_sorted(np.array([1, 2, 2, 3]))
+        check_sorted(np.array([3, 2, 2, 1]), descending=True)
+        check_sorted(np.array([5]))
+        check_sorted(np.array([]))
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValidationError, match="position 1"):
+            check_sorted(np.array([1, 3, 2]))
+
+    def test_rejects_wrong_direction(self):
+        with pytest.raises(ValidationError):
+            check_sorted(np.array([1, 2]), descending=True)
+
+
+class TestCheckStableArgsort:
+    def test_accepts_valid(self):
+        keys = np.array([2, 1, 2])
+        check_stable_argsort(np.array([1, 0, 2]), keys)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValidationError, match="permutation"):
+            check_stable_argsort(np.array([0, 0, 1]), np.array([1, 2, 3]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError, match="out-of-range"):
+            check_stable_argsort(np.array([0, 5]), np.array([1, 2]))
+
+    def test_rejects_unsorted_result(self):
+        with pytest.raises(ValidationError):
+            check_stable_argsort(np.array([0, 1]), np.array([9, 1]))
+
+    def test_rejects_unstable_ties(self):
+        keys = np.array([4, 4])
+        with pytest.raises(ValidationError, match="unstable"):
+            check_stable_argsort(np.array([1, 0]), keys)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError, match="shape"):
+            check_stable_argsort(np.array([0]), np.array([1, 2]))

@@ -1,0 +1,80 @@
+"""Sequential counting sort."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.sort import check_stable_argsort, counting_argsort, counting_sort
+
+
+class TestCountingArgsort:
+    def test_ascending(self):
+        keys = np.array([3, 1, 2, 1])
+        perm = counting_argsort(keys)
+        assert keys[perm].tolist() == [1, 1, 2, 3]
+
+    def test_descending(self):
+        keys = np.array([3, 1, 2, 1])
+        perm = counting_argsort(keys, descending=True)
+        assert keys[perm].tolist() == [3, 2, 1, 1]
+
+    def test_stability_ascending(self):
+        keys = np.array([2, 1, 2, 1, 2])
+        perm = counting_argsort(keys)
+        assert perm.tolist() == [1, 3, 0, 2, 4]
+
+    def test_stability_descending(self):
+        keys = np.array([2, 1, 2, 1, 2])
+        perm = counting_argsort(keys, descending=True)
+        assert perm.tolist() == [0, 2, 4, 1, 3]
+
+    def test_matches_numpy_stable_sort(self):
+        keys = np.random.default_rng(0).integers(0, 100, size=500)
+        assert np.array_equal(
+            counting_argsort(keys), np.argsort(keys, kind="stable")
+        )
+
+    def test_max_key_predeclared(self):
+        keys = np.array([1, 3])
+        perm = counting_argsort(keys, max_key=10)
+        assert keys[perm].tolist() == [1, 3]
+
+    def test_max_key_violated(self):
+        with pytest.raises(ReproError, match="exceeds"):
+            counting_argsort(np.array([11]), max_key=10)
+
+    def test_negative_keys_rejected(self):
+        with pytest.raises(ReproError, match="non-negative"):
+            counting_argsort(np.array([-1, 2]))
+
+    def test_float_keys_rejected(self):
+        with pytest.raises(ReproError, match="integer"):
+            counting_argsort(np.array([1.5, 2.0]))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ReproError, match="one-dimensional"):
+            counting_argsort(np.zeros((2, 2), dtype=np.int64))
+
+    def test_empty(self):
+        assert counting_argsort(np.array([], dtype=np.int64)).size == 0
+
+    def test_single(self):
+        assert counting_argsort(np.array([7])).tolist() == [0]
+
+    def test_all_equal(self):
+        perm = counting_argsort(np.full(10, 4))
+        assert perm.tolist() == list(range(10))  # stable
+
+    def test_checker_accepts_result(self):
+        keys = np.random.default_rng(1).integers(0, 20, size=100)
+        check_stable_argsort(counting_argsort(keys), keys)
+        check_stable_argsort(
+            counting_argsort(keys, descending=True), keys, descending=True
+        )
+
+
+class TestCountingSort:
+    def test_sorted_values(self):
+        keys = np.array([5, 0, 3])
+        assert counting_sort(keys).tolist() == [0, 3, 5]
+        assert counting_sort(keys, descending=True).tolist() == [5, 3, 0]

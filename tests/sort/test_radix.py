@@ -1,0 +1,81 @@
+"""Radix extension of the bounded-key sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import ReproError
+from repro.sort import check_stable_argsort, radix_argsort, radix_sort
+
+
+class TestRadixArgsort:
+    def test_matches_numpy_stable(self):
+        keys = np.random.default_rng(0).integers(0, 10**12, size=1000)
+        assert np.array_equal(
+            radix_argsort(keys), np.argsort(keys, kind="stable")
+        )
+
+    def test_descending_stable(self):
+        keys = np.array([5, 900, 5, 2, 900])
+        perm = radix_argsort(keys, descending=True)
+        check_stable_argsort(perm, keys, descending=True)
+        assert perm.tolist() == [1, 4, 0, 2, 3]
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_parallel_passes_agree(self, threads):
+        keys = np.random.default_rng(1).integers(0, 10**6, size=500)
+        assert np.array_equal(
+            radix_argsort(keys, num_threads=threads),
+            np.argsort(keys, kind="stable"),
+        )
+
+    def test_huge_keys_beyond_fixed_range(self):
+        """The whole point: keys far beyond any direct bucket count."""
+        keys = np.array([2**62, 1, 2**40, 0, 2**62 - 1])
+        assert radix_sort(keys).tolist() == sorted(keys.tolist())
+
+    def test_single_digit_case(self):
+        keys = np.array([3, 1, 2])
+        assert radix_sort(keys).tolist() == [1, 2, 3]
+
+    def test_empty_and_single(self):
+        assert radix_argsort(np.array([], dtype=np.int64)).size == 0
+        assert radix_argsort(np.array([42])).tolist() == [0]
+
+    def test_all_equal(self):
+        keys = np.full(50, 7)
+        assert radix_argsort(keys).tolist() == list(range(50))
+        assert radix_argsort(keys, descending=True).tolist() == list(range(50))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            radix_argsort(np.array([-1, 2]))
+
+    def test_float_rejected(self):
+        with pytest.raises(ReproError):
+            radix_argsort(np.array([1.5]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ReproError):
+            radix_argsort(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestRadixProperties:
+    @given(
+        keys=hnp.arrays(
+            dtype=np.int64,
+            shape=st.integers(0, 150),
+            elements=st.integers(0, 2**50),
+        ),
+        descending=st.booleans(),
+        threads=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_always_stable_sorted(self, keys, descending, threads):
+        perm = radix_argsort(
+            keys, descending=descending, num_threads=threads,
+            backend="serial",
+        )
+        check_stable_argsort(perm, keys, descending=descending)

@@ -1,0 +1,162 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_present(self):
+        parser = build_parser()
+        for argv in (
+            ["solve", "--dataset", "WordNet"],
+            ["order", "--dataset", "WordNet"],
+            ["bench"],
+            ["datasets"],
+            ["info"],
+        ):
+            assert parser.parse_args(argv).command == argv[0]
+
+    def test_solve_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve"])
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["solve", "--dataset", "WordNet", "--algorithm", "magic"]
+            )
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "WordNet" in out
+        assert "146,005" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "parapsp" in out
+        assert "fig10" in out
+
+    def test_solve_dataset_sim(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--dataset",
+                "WordNet",
+                "--scale",
+                "150",
+                "--threads",
+                "8",
+                "--backend",
+                "sim",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "parapsp" in out
+        assert "work units" in out
+
+    def test_solve_writes_matrix(self, tmp_path, capsys):
+        target = tmp_path / "d.npy"
+        main(
+            [
+                "solve",
+                "--dataset",
+                "WordNet",
+                "--scale",
+                "100",
+                "--out",
+                str(target),
+            ]
+        )
+        dist = np.load(target)
+        assert dist.shape == (100, 100)
+        assert np.all(np.diag(dist) == 0)
+
+    def test_solve_edgelist(self, tmp_path, capsys):
+        src = tmp_path / "g.txt"
+        src.write_text("0 1\n1 2\n2 3\n")
+        assert main(["solve", "--edgelist", str(src)]) == 0
+        assert "n=4" in capsys.readouterr().out
+
+    def test_order_command(self, capsys):
+        code = main(
+            [
+                "order",
+                "--dataset",
+                "WordNet",
+                "--scale",
+                "300",
+                "--method",
+                "multilists",
+                "--threads",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "multilists" in out
+        assert "exact=True" in out
+
+    def test_analyze_command(self, capsys):
+        assert main(
+            ["analyze", "--dataset", "WordNet", "--scale", "150", "--top", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "diameter" in out
+        assert "closeness" in out
+
+    def test_paths_command(self, capsys):
+        code = main(
+            [
+                "paths",
+                "--dataset",
+                "WordNet",
+                "--scale",
+                "150",
+                "--source",
+                "0",
+                "--target",
+                "10",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "->" in out
+
+    def test_paths_unreachable(self, tmp_path, capsys):
+        src = tmp_path / "g.txt"
+        src.write_text("0 1\n2 3\n")
+        code = main(
+            [
+                "paths",
+                "--edgelist",
+                str(src),
+                "--source",
+                "0",
+                "--target",
+                "3",
+            ]
+        )
+        assert code == 1
+        assert "unreachable" in capsys.readouterr().out
+
+    def test_bench_single_experiment(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "-e",
+                "table2",
+                "--profile",
+                "quick",
+                "--save",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "table2.txt").exists()

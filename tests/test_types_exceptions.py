@@ -1,0 +1,82 @@
+"""Shared enums, value objects and the exception hierarchy."""
+
+import pytest
+
+from repro import exceptions as exc
+from repro.types import Backend, OpCounts, PhaseTimes, Schedule
+
+
+class TestScheduleEnum:
+    def test_coerce_accepts_member(self):
+        assert Schedule.coerce(Schedule.BLOCK) is Schedule.BLOCK
+
+    def test_coerce_accepts_string(self):
+        assert Schedule.coerce("dynamic") is Schedule.DYNAMIC
+        assert Schedule.coerce("static-cyclic") is Schedule.STATIC_CYCLIC
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(exc.ScheduleError, match="block"):
+            Schedule.coerce("guided")
+
+    def test_values_are_cli_strings(self):
+        assert {m.value for m in Schedule} == {
+            "block",
+            "static-cyclic",
+            "dynamic",
+        }
+
+
+class TestBackendEnum:
+    def test_coerce(self):
+        assert Backend.coerce("sim") is Backend.SIM
+        assert Backend.coerce(Backend.THREADS) is Backend.THREADS
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(exc.BackendError):
+            Backend.coerce("cuda")
+
+    def test_four_backends(self):
+        assert {m.value for m in Backend} == {
+            "serial",
+            "threads",
+            "process",
+            "sim",
+        }
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            exc.GraphError,
+            exc.GraphFormatError,
+            exc.DatasetError,
+            exc.OrderingError,
+            exc.ScheduleError,
+            exc.BackendError,
+            exc.SimulationError,
+            exc.AlgorithmError,
+            exc.ValidationError,
+            exc.BenchmarkError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, exc.ReproError)
+
+    def test_format_error_is_graph_error(self):
+        assert issubclass(exc.GraphFormatError, exc.GraphError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(exc.ReproError):
+            raise exc.DatasetError("nope")
+
+
+class TestOpCountsAndPhaseTimes:
+    def test_opcounts_defaults_zero(self):
+        c = OpCounts()
+        assert c.total_work() == 0
+        assert all(v == 0 for v in c.as_dict().values())
+
+    def test_phase_times_defaults(self):
+        pt = PhaseTimes()
+        assert pt.total == 0.0
