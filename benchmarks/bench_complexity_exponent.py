@@ -1,4 +1,5 @@
-"""ablation: empirical O(n^2.4) complexity claim — regenerates the experiment and asserts its shape."""
+"""ablation: empirical O(n^2.4) complexity claim —
+regenerates the experiment and asserts its shape."""
 
 def test_complexity_exponent(benchmark, run_and_report):
     run_and_report(benchmark, "complexity-exponent")

@@ -1,4 +1,5 @@
-"""Figure 1: scheduling scheme effect on ParAlg2 — regenerates the experiment and asserts its shape."""
+"""Figure 1: scheduling scheme effect on ParAlg2 —
+regenerates the experiment and asserts its shape."""
 
 def test_fig1(benchmark, run_and_report):
     run_and_report(benchmark, "fig1")

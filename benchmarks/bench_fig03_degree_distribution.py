@@ -1,4 +1,5 @@
-"""Figure 3: WordNet degree distribution — regenerates the experiment and asserts its shape."""
+"""Figure 3: WordNet degree distribution —
+regenerates the experiment and asserts its shape."""
 
 def test_fig3(benchmark, run_and_report):
     run_and_report(benchmark, "fig3")

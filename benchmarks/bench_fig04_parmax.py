@@ -1,4 +1,5 @@
-"""Figure 4: ParBuckets vs ParMax ordering time — regenerates the experiment and asserts its shape."""
+"""Figure 4: ParBuckets vs ParMax ordering time —
+regenerates the experiment and asserts its shape."""
 
 def test_fig4(benchmark, run_and_report):
     run_and_report(benchmark, "fig4")

@@ -1,4 +1,5 @@
-"""Figure 5: Dijkstra-phase time under different orders — regenerates the experiment and asserts its shape."""
+"""Figure 5: Dijkstra-phase time under different orders —
+regenerates the experiment and asserts its shape."""
 
 def test_fig5(benchmark, run_and_report):
     run_and_report(benchmark, "fig5")

@@ -1,4 +1,5 @@
-"""Figure 6: ParMax vs MultiLists ordering time — regenerates the experiment and asserts its shape."""
+"""Figure 6: ParMax vs MultiLists ordering time —
+regenerates the experiment and asserts its shape."""
 
 def test_fig6(benchmark, run_and_report):
     run_and_report(benchmark, "fig6")

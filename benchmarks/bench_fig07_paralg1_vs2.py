@@ -1,4 +1,5 @@
-"""Figure 7: ParAlg1 vs ParAlg2 elapsed time — regenerates the experiment and asserts its shape."""
+"""Figure 7: ParAlg1 vs ParAlg2 elapsed time —
+regenerates the experiment and asserts its shape."""
 
 def test_fig7(benchmark, run_and_report):
     run_and_report(benchmark, "fig7")

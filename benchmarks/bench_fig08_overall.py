@@ -1,4 +1,5 @@
-"""Figure 8: overall elapsed time of the three algorithms — regenerates the experiment and asserts its shape."""
+"""Figure 8: overall elapsed time of the three algorithms —
+regenerates the experiment and asserts its shape."""
 
 def test_fig8(benchmark, run_and_report):
     run_and_report(benchmark, "fig8")

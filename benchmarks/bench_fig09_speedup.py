@@ -1,4 +1,5 @@
-"""Figure 9: speedup of the three algorithms — regenerates the experiment and asserts its shape."""
+"""Figure 9: speedup of the three algorithms —
+regenerates the experiment and asserts its shape."""
 
 def test_fig9(benchmark, run_and_report):
     run_and_report(benchmark, "fig9")

@@ -1,4 +1,5 @@
-"""Figure 10: ParAPSP on every dataset, both machines — regenerates the experiment and asserts its shape."""
+"""Figure 10: ParAPSP on every dataset, both machines —
+regenerates the experiment and asserts its shape."""
 
 def test_fig10(benchmark, run_and_report):
     run_and_report(benchmark, "fig10")

@@ -6,7 +6,6 @@ experiment benches, which report virtual time from the simulated
 machine.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import floyd_warshall, repeated_dijkstra

@@ -1,4 +1,5 @@
-"""ablation: sequential basic vs optimized APSP — regenerates the experiment and asserts its shape."""
+"""ablation: sequential basic vs optimized APSP —
+regenerates the experiment and asserts its shape."""
 
 def test_seq_basic_vs_opt(benchmark, run_and_report):
     run_and_report(benchmark, "seq-basic-vs-opt")

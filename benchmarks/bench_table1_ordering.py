@@ -1,4 +1,5 @@
-"""Table 1: selection vs ParBuckets ordering time — regenerates the experiment and asserts its shape."""
+"""Table 1: selection vs ParBuckets ordering time —
+regenerates the experiment and asserts its shape."""
 
 def test_table1(benchmark, run_and_report):
     run_and_report(benchmark, "table1")

@@ -8,17 +8,43 @@ regenerates a paper table/figure, writes its report under
 Experiments run on the ``quick`` profile so the whole suite stays in
 the minutes range; ``python -m repro bench --profile full`` regenerates
 the EXPERIMENTS.md numbers.
+
+Observability: each experiment run also emits a machine-readable
+``BENCH_<exp_id>.json`` artifact (schema ``repro.obs.bench/*``) next to
+the ``.txt`` report, carrying the op counters and phase timings the
+:mod:`repro.obs.regress` comparator can gate on.
+
+Degradation: when ``pytest-benchmark`` is not installed, a fallback
+``benchmark`` fixture skips every benchmark test instead of erroring, so
+a bare ``pytest benchmarks/`` stays green with only the base deps.
 """
 
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
 from repro.bench import get_profile, run_experiment
+from repro.obs import MetricsRegistry, build_artifact, use_registry, write_artifact
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+try:
+    import pytest_benchmark  # noqa: F401
+
+    HAVE_PYTEST_BENCHMARK = True
+except ImportError:
+    HAVE_PYTEST_BENCHMARK = False
+
+
+if not HAVE_PYTEST_BENCHMARK:
+
+    @pytest.fixture
+    def benchmark():
+        """Stand-in for the pytest-benchmark fixture: skip, don't error."""
+        pytest.skip("pytest-benchmark is not installed")
 
 
 @pytest.fixture(scope="session")
@@ -35,15 +61,29 @@ def results_dir():
 @pytest.fixture(scope="session")
 def run_and_report(profile, results_dir):
     """Run one experiment exactly once under the benchmark timer, save
-    its report and assert the paper's shape holds."""
+    its report + BENCH artifact and assert the paper's shape holds."""
 
     def _run(benchmark, exp_id: str) -> None:
-        result = benchmark.pedantic(
-            run_experiment, args=(exp_id, profile), rounds=1, iterations=1
-        )
+        registry = MetricsRegistry()
+        t0 = time.perf_counter()
+        with use_registry(registry):
+            result = benchmark.pedantic(
+                run_experiment, args=(exp_id, profile), rounds=1, iterations=1
+            )
+        wall = time.perf_counter() - t0
         path = os.path.join(results_dir, f"{exp_id}.txt")
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(result.render() + "\n")
+        artifact = build_artifact(
+            exp_id,
+            params={"experiment": exp_id, "profile": profile.name},
+            counters={"experiment.holds": int(result.holds)},
+            timings={"wall.experiment": wall},
+            registry=registry,
+        )
+        write_artifact(
+            os.path.join(results_dir, f"BENCH_{exp_id}.json"), artifact
+        )
         assert result.holds, (
             f"{exp_id}: paper shape did not hold — {result.observed}"
         )

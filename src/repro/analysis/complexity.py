@@ -10,7 +10,7 @@ methodology: run a solver over a size sweep, regress
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

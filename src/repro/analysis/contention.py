@@ -10,7 +10,7 @@ all of the waiting — §4.2's diagnosis, measured instead of argued.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..exceptions import ValidationError
 from ..simx.trace import SimResult

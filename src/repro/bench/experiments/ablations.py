@@ -14,11 +14,10 @@ import numpy as np
 
 from ...analysis.complexity import fit_exponent
 from ...core.runner import solve_apsp
-from ...graphs.datasets import load_dataset, table2_names
+from ...graphs.datasets import table2_names
 from ...graphs.degree import degree_array
 from ...graphs.generators import powerlaw_configuration
 from ...order import simulate_multilists, simulate_par_max
-from ...types import Backend
 from ..workloads import Profile
 from .common import ExperimentResult, apsp_sim
 

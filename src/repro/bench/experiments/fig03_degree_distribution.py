@@ -7,8 +7,6 @@ cause ParBuckets' lock contention (§4.2).
 
 from __future__ import annotations
 
-import numpy as np
-
 from ...analysis.distribution import degree_distribution, powerlaw_slope
 from ..workloads import Profile
 from .common import ExperimentResult

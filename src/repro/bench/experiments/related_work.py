@@ -15,8 +15,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from ...baselines import (
     blocked_floyd_warshall,
     floyd_warshall,

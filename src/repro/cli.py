@@ -42,7 +42,20 @@ def build_parser() -> argparse.ArgumentParser:
     src = solve.add_mutually_exclusive_group(required=True)
     src.add_argument("--dataset", choices=dataset_names(), help="registry graph")
     src.add_argument("--edgelist", help="path to a SNAP-format edge list")
+    src.add_argument(
+        "--rmat",
+        type=int,
+        metavar="SCALE",
+        help="synthetic R-MAT graph with 2**SCALE vertices (Graph500 "
+        "parameters, seeded — deterministic)",
+    )
     solve.add_argument("--scale", type=int, default=None)
+    solve.add_argument(
+        "--seed", type=int, default=42, help="seed for --rmat generation"
+    )
+    solve.add_argument(
+        "--edge-factor", type=int, default=8, help="edges per vertex for --rmat"
+    )
     solve.add_argument(
         "--algorithm", choices=algorithm_names(), default="parapsp"
     )
@@ -59,6 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--directed", action="store_true")
     solve.add_argument("--out", help="write the distance matrix (.npy)")
+    solve.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="collect repro.obs metrics during the solve and write a "
+        "schema-versioned BENCH artifact (JSON) to PATH",
+    )
 
     order = sub.add_parser("order", help="run an ordering procedure")
     order.add_argument("--dataset", choices=dataset_names(), required=True)
@@ -115,17 +134,43 @@ def _load_graph(args: argparse.Namespace):
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    import time
+
+    from .obs import MetricsRegistry, use_registry
+
     if args.dataset:
         graph = load_dataset(args.dataset, scale=args.scale)
+    elif args.rmat is not None:
+        from .graphs.rmat import rmat
+
+        graph = rmat(
+            args.rmat,
+            edge_factor=args.edge_factor,
+            seed=args.seed,
+            name=f"rmat-s{args.rmat}-ef{args.edge_factor}",
+        )
     else:
         graph, _ = read_edgelist(args.edgelist, directed=args.directed)
-    result = solve_apsp(
-        graph,
-        algorithm=args.algorithm,
-        num_threads=args.threads,
-        backend=args.backend,
-        schedule=args.schedule,
-    )
+    registry = MetricsRegistry() if args.metrics else None
+    t0 = time.perf_counter()
+    if registry is not None:
+        with use_registry(registry):
+            result = solve_apsp(
+                graph,
+                algorithm=args.algorithm,
+                num_threads=args.threads,
+                backend=args.backend,
+                schedule=args.schedule,
+            )
+    else:
+        result = solve_apsp(
+            graph,
+            algorithm=args.algorithm,
+            num_threads=args.threads,
+            backend=args.backend,
+            schedule=args.schedule,
+        )
+    wall = time.perf_counter() - t0
     finite = np.isfinite(result.dist)
     off_diag = finite.sum() - graph.num_vertices
     unit = "work units" if args.backend == "sim" else "s"
@@ -145,6 +190,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if args.out:
         np.save(args.out, result.dist)
         print(f"matrix saved : {args.out}")
+    if args.metrics:
+        from .obs import artifact_from_apsp_result, write_artifact
+
+        artifact = artifact_from_apsp_result(
+            f"solve-{graph.name or 'graph'}",
+            graph,
+            result,
+            registry=registry,
+            wall_seconds=wall,
+        )
+        path = write_artifact(args.metrics, artifact)
+        print(f"metrics saved: {path}")
     return 0
 
 

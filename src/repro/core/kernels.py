@@ -11,6 +11,14 @@ benchmark harness uses:
 
 Both return enough information to maintain exact operation counts, so
 the cost model is independent of the numpy implementation strategy.
+
+Observability: when a :mod:`repro.obs` registry is installed the kernels
+additionally report per-call counters (``kernel.*``), including the two
+degenerate shapes that matter for the cost model's fidelity — an empty
+frontier (leaf vertex, nothing to relax) and an all-infinite candidate
+row (merging through a vertex not yet connected to anything useful).
+Disabled, the extra cost is one module-attribute load and an ``is
+None`` test per call.
 """
 
 from __future__ import annotations
@@ -18,6 +26,8 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+
+from ..obs import metrics as _obs
 
 __all__ = ["merge_row", "relax_edges"]
 
@@ -37,6 +47,14 @@ def merge_row(
     improved = int(np.count_nonzero(mask))
     if improved:
         np.copyto(ds, cand, where=mask)
+    reg = _obs._current
+    if reg is not None:
+        reg.add("kernel.merge_row.calls", 1)
+        reg.add("kernel.merge_row.improved", improved)
+        if improved == 0:
+            reg.add("kernel.merge_row.noop", 1)
+            if np.isinf(cand).all():
+                reg.add("kernel.merge_row.all_inf_row", 1)
     return improved
 
 
@@ -54,12 +72,20 @@ def relax_edges(
     :class:`~repro.graphs.csr.CSRGraph` are duplicate-free, so the
     scatter-assign below has no write conflicts.
     """
+    reg = _obs._current
     if neighbors.size == 0:
+        if reg is not None:
+            reg.add("kernel.relax.calls", 1)
+            reg.add("kernel.relax.empty_frontier", 1)
         return neighbors, 0
     cand = ds_t + weights
     current = ds[neighbors]
     mask = cand < current
     improved = int(np.count_nonzero(mask))
+    if reg is not None:
+        reg.add("kernel.relax.calls", 1)
+        reg.add("kernel.relax.attempted", int(neighbors.size))
+        reg.add("kernel.relax.improved", improved)
     if improved == 0:
         return neighbors[:0], 0
     targets = neighbors[mask]

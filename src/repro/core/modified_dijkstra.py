@@ -38,6 +38,7 @@ import numpy as np
 
 from ..exceptions import AlgorithmError
 from ..graphs.csr import CSRGraph
+from ..obs import metrics as _obs
 from ..types import OpCounts
 from .kernels import merge_row, relax_edges
 from .state import APSPState
@@ -107,6 +108,10 @@ def modified_dijkstra_sssp(
 
     if set_flag:
         flag[source] = 1  # line 21: row `source` is now final
+    reg = _obs._current
+    if reg is not None:
+        reg.add("sweep.count", 1)
+        reg.add_many(counts.as_dict(), prefix="ops")
     return counts
 
 
@@ -114,10 +119,14 @@ def _run_fifo(
     dist, ds, flag, indptr, indices, weights, source, counts,
     flag_gate, use_flags, n,
 ) -> None:
+    reg = _obs._current  # occupancy tracking only when metrics are on
+    peak = 1
     in_queue = np.zeros(n, dtype=bool)
     q: deque = deque([source])
     in_queue[source] = True
     while q:
+        if reg is not None and len(q) > peak:
+            peak = len(q)
         t = q.popleft()
         in_queue[t] = False
         counts.pops += 1
@@ -138,14 +147,20 @@ def _run_fifo(
             if not in_queue[v]:
                 in_queue[v] = True
                 q.append(int(v))
+    if reg is not None:
+        reg.gauge_max("sweep.fifo.peak_queue_occupancy", peak)
 
 
 def _run_heap(
     dist, ds, flag, indptr, indices, weights, source, counts,
     flag_gate, use_flags, n,
 ) -> None:
+    reg = _obs._current
+    peak = 1
     heap = [(0.0, source)]
     while heap:
+        if reg is not None and len(heap) > peak:
+            peak = len(heap)
         d, t = heapq.heappop(heap)
         counts.pops += 1
         if d > ds[t]:
@@ -165,3 +180,5 @@ def _run_heap(
         counts.edge_improvements += k
         for v in improved:
             heapq.heappush(heap, (float(ds[v]), int(v)))
+    if reg is not None:
+        reg.gauge_max("sweep.heap.peak_queue_occupancy", peak)

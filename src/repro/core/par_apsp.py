@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..graphs.csr import CSRGraph
+from ..obs import metrics as _obs
 from ..simx.machine import MachineSpec
 from ..types import Backend, Schedule
 from .state import APSPResult
@@ -29,12 +30,13 @@ def par_apsp(
     queue: str = "fifo",
 ) -> APSPResult:
     """Run ParAPSP (the paper's headline algorithm)."""
-    return solve_apsp(
-        graph,
-        algorithm="parapsp",
-        num_threads=num_threads,
-        backend=backend,
-        schedule=schedule,
-        machine=machine,
-        queue=queue,
-    )
+    with _obs.span("par_apsp"):
+        return solve_apsp(
+            graph,
+            algorithm="parapsp",
+            num_threads=num_threads,
+            backend=backend,
+            schedule=schedule,
+            machine=machine,
+            queue=queue,
+        )

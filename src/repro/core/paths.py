@@ -25,7 +25,7 @@ import numpy as np
 
 from ..exceptions import AlgorithmError
 from ..graphs.csr import CSRGraph
-from ..types import INF, OpCounts
+from ..types import OpCounts
 from .state import APSPState, new_state
 
 __all__ = [

@@ -34,9 +34,10 @@ import numpy as np
 from ..exceptions import AlgorithmError
 from ..graphs.csr import CSRGraph
 from ..graphs.degree import DegreeKind, degree_array
+from ..obs import metrics as _obs
 from ..order import compute_order, simulate_order
 from ..simx.machine import MachineSpec, default_machine
-from ..types import Backend, OpCounts, PhaseTimes, Schedule
+from ..types import Backend, PhaseTimes, Schedule
 from .costs import DEFAULT_COST_MODEL, DijkstraCostModel
 from .simulate import simulate_sweep
 from .state import APSPResult
@@ -155,24 +156,26 @@ def solve_apsp(
 
     if backend is Backend.SIM:
         mach = machine or default_machine(num_threads)
-        order_result = simulate_order(
-            ordering_name,
-            degrees,
-            mach,
-            num_threads=num_threads,
-            **ordering_kwargs,
-        )
-        sweep = simulate_sweep(
-            graph,
-            order_result.order,
-            mach,
-            num_threads=num_threads,
-            schedule=sched,
-            chunk=chunk,
-            queue=queue,
-            use_flags=use_flags,
-            cost_model=cost_model,
-        )
+        with _obs.span("apsp.ordering"):
+            order_result = simulate_order(
+                ordering_name,
+                degrees,
+                mach,
+                num_threads=num_threads,
+                **ordering_kwargs,
+            )
+        with _obs.span("apsp.dijkstra"):
+            sweep = simulate_sweep(
+                graph,
+                order_result.order,
+                mach,
+                num_threads=num_threads,
+                schedule=sched,
+                chunk=chunk,
+                queue=queue,
+                use_flags=use_flags,
+                cost_model=cost_model,
+            )
         ordering_time = (
             order_result.sim.makespan if order_result.sim is not None else 0.0
         )
@@ -194,28 +197,43 @@ def solve_apsp(
             sim_ordering=order_result.sim,
             sim_dijkstra=sweep.outcome.result,
         )
+        reg = _obs.get_registry()
+        if reg is not None:
+            for name, value in sweep.outcome.result.as_metrics(
+                "sim.dijkstra"
+            ).items():
+                reg.gauge_set(name, value)
+            if order_result.sim is not None:
+                for name, value in order_result.sim.as_metrics(
+                    "sim.ordering"
+                ).items():
+                    reg.gauge_set(name, value)
         return result
 
     # ---- real backends -------------------------------------------------
     t0 = time.perf_counter()
-    order_result = compute_order(
-        ordering_name,
-        degrees,
-        num_threads=num_threads,
-        backend=backend if backend is not Backend.PROCESS else Backend.SERIAL,
-        **ordering_kwargs,
-    )
+    with _obs.span("apsp.ordering"):
+        order_result = compute_order(
+            ordering_name,
+            degrees,
+            num_threads=num_threads,
+            backend=(
+                backend if backend is not Backend.PROCESS else Backend.SERIAL
+            ),
+            **ordering_kwargs,
+        )
     ordering_seconds = time.perf_counter() - t0
-    sweep = run_sweep(
-        graph,
-        order_result.order,
-        backend=backend,
-        num_threads=num_threads,
-        schedule=sched,
-        chunk=chunk,
-        queue=queue,
-        use_flags=use_flags,
-    )
+    with _obs.span("apsp.dijkstra"):
+        sweep = run_sweep(
+            graph,
+            order_result.order,
+            backend=backend,
+            num_threads=num_threads,
+            schedule=sched,
+            chunk=chunk,
+            queue=queue,
+            use_flags=use_flags,
+        )
     return APSPResult(
         algorithm=algorithm,
         dist=sweep.dist,

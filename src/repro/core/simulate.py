@@ -22,8 +22,6 @@ mechanism behind the hyper-linear speedups of Figures 9–10.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..exceptions import AlgorithmError

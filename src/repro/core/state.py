@@ -14,7 +14,6 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..exceptions import AlgorithmError
-from ..graphs.csr import CSRGraph
 from ..simx.trace import SimResult
 from ..types import INF, OpCounts, PhaseTimes
 

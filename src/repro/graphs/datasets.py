@@ -149,7 +149,13 @@ _register(
         real_edges=1_768_149,
         default_scale=900,
         # dense ego networks: elevated minimum degree, heavy hubs
-        recipe=_plc_recipe(2.0, min_degree=6, directed=True, max_degree_frac=0.25, ref_scale=900),
+        recipe=_plc_recipe(
+            2.0,
+            min_degree=6,
+            directed=True,
+            max_degree_frac=0.25,
+            ref_scale=900,
+        ),
         source="SNAP",
         in_table2=True,
     )
@@ -161,7 +167,13 @@ _register(
         real_vertices=104_103,
         real_edges=2_193_083,
         default_scale=1000,
-        recipe=_plc_recipe(2.0, min_degree=8, directed=False, max_degree_frac=0.25, ref_scale=1000),
+        recipe=_plc_recipe(
+            2.0,
+            min_degree=8,
+            directed=False,
+            max_degree_frac=0.25,
+            ref_scale=1000,
+        ),
         source="KONECT",
         in_table2=True,
     )
@@ -173,7 +185,13 @@ _register(
         real_vertices=105_938,
         real_edges=2_316_948,
         default_scale=1000,
-        recipe=_plc_recipe(2.0, min_degree=8, directed=False, max_degree_frac=0.3, ref_scale=1000),
+        recipe=_plc_recipe(
+            2.0,
+            min_degree=8,
+            directed=False,
+            max_degree_frac=0.3,
+            ref_scale=1000,
+        ),
         source="KONECT",
         in_table2=True,
     )
@@ -186,7 +204,13 @@ _register(
         real_edges=656_999,
         default_scale=1200,
         # sparse (avg degree 9.0) with a heavy power-law tail (Figure 3)
-        recipe=_plc_recipe(2.4, min_degree=2, directed=False, max_degree_frac=0.5, ref_scale=1200),
+        recipe=_plc_recipe(
+            2.4,
+            min_degree=2,
+            directed=False,
+            max_degree_frac=0.5,
+            ref_scale=1200,
+        ),
         source="KONECT",
         in_table2=True,
     )
@@ -199,7 +223,13 @@ _register(
         real_edges=1_443_339,
         default_scale=1400,
         # real avg degree ≈ 7.4 (1.44M arcs / 194k vertices)
-        recipe=_plc_recipe(1.9, min_degree=2, directed=True, max_degree_frac=0.25, ref_scale=1400),
+        recipe=_plc_recipe(
+            1.9,
+            min_degree=2,
+            directed=True,
+            max_degree_frac=0.25,
+            ref_scale=1400,
+        ),
         source="SNAP",
         in_table2=True,
     )
@@ -211,7 +241,13 @@ _register(
         real_vertices=12_008,
         real_edges=118_521,
         default_scale=700,
-        recipe=_plc_recipe(2.1, min_degree=4, directed=False, max_degree_frac=0.25, ref_scale=700),
+        recipe=_plc_recipe(
+            2.1,
+            min_degree=4,
+            directed=False,
+            max_degree_frac=0.25,
+            ref_scale=700,
+        ),
         source="SNAP (Figure 1 scheduling study)",
     )
 )
@@ -222,7 +258,13 @@ _register(
         real_vertices=1_632_803,
         real_edges=30_622_564,
         default_scale=20_000,
-        recipe=_plc_recipe(2.3, min_degree=2, directed=True, max_degree_frac=0.1, ref_scale=20_000),
+        recipe=_plc_recipe(
+            2.3,
+            min_degree=2,
+            directed=True,
+            max_degree_frac=0.1,
+            ref_scale=20_000,
+        ),
         source="SNAP (§4.3 large ordering test)",
     )
 )
@@ -233,7 +275,13 @@ _register(
         real_vertices=4_847_571,
         real_edges=68_993_773,
         default_scale=50_000,
-        recipe=_plc_recipe(2.3, min_degree=2, directed=True, max_degree_frac=0.08, ref_scale=50_000),
+        recipe=_plc_recipe(
+            2.3,
+            min_degree=2,
+            directed=True,
+            max_degree_frac=0.08,
+            ref_scale=50_000,
+        ),
         source="SNAP (§4.3 large ordering test)",
     )
 )

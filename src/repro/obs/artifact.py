@@ -1,0 +1,245 @@
+"""Schema-versioned ``BENCH_*.json`` performance artifacts.
+
+One artifact captures one measured run: an environment fingerprint, the
+workload parameters, the operation counters (the currency of the cost
+model — exact, machine-independent), the timings (virtual time is
+deterministic, wall time is informational) and any gauges/spans the
+:class:`~repro.obs.metrics.MetricsRegistry` collected.
+
+Section semantics (what :mod:`repro.obs.regress` compares):
+
+=========== ================================================= ==========
+section     contents                                           compared
+=========== ================================================= ==========
+``env``     host fingerprint (python, numpy, platform, cpus)   never
+``params``  workload identity (graph, algorithm, threads...)   exact
+``counters``op counts (``ops.*``, ``kernel.*``, ...)           exact
+``timings`` ``virtual.*`` (deterministic) / ``wall.*``         tolerance
+``gauges``  occupancy peaks, contention, utilization           reported
+``spans``   hierarchical timer records                         never
+=========== ================================================= ==========
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "env_fingerprint",
+    "build_artifact",
+    "artifact_from_apsp_result",
+    "write_artifact",
+    "load_artifact",
+    "validate_artifact",
+]
+
+#: bump the suffix when the artifact layout changes incompatibly
+SCHEMA_VERSION = "repro.obs.bench/1"
+
+#: required top-level keys and their expected container types
+_REQUIRED: Dict[str, type] = {
+    "schema": str,
+    "name": str,
+    "env": dict,
+    "params": dict,
+    "counters": dict,
+    "timings": dict,
+    "gauges": dict,
+    "spans": list,
+}
+
+
+def env_fingerprint() -> Dict[str, Any]:
+    """Where the numbers came from — enough to explain wall-time drift."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unavailable"
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count() or 1,
+        "argv0": os.path.basename(sys.argv[0]) if sys.argv else "",
+    }
+
+
+def build_artifact(
+    name: str,
+    *,
+    params: Optional[Mapping[str, Any]] = None,
+    counters: Optional[Mapping[str, float]] = None,
+    timings: Optional[Mapping[str, float]] = None,
+    gauges: Optional[Mapping[str, float]] = None,
+    spans: Optional[List[Dict[str, Any]]] = None,
+    registry: Any = None,
+    env: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble one schema-valid artifact dict.
+
+    ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`) seeds
+    the counters/gauges/spans sections; explicit mappings are overlaid on
+    top so callers can add derived values.
+    """
+    base_counters: Dict[str, float] = {}
+    base_gauges: Dict[str, float] = {}
+    base_spans: List[Dict[str, Any]] = []
+    if registry is not None:
+        snap = registry.snapshot()
+        base_counters.update(snap["counters"])
+        base_gauges.update(snap["gauges"])
+        base_spans.extend(snap["spans"])
+    if counters:
+        base_counters.update(counters)
+    if gauges:
+        base_gauges.update(gauges)
+    if spans:
+        base_spans.extend(spans)
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": name,
+        "created_unix": time.time(),
+        "env": dict(env) if env is not None else env_fingerprint(),
+        "params": dict(params or {}),
+        "counters": _numeric(base_counters, "counters"),
+        "timings": _numeric(dict(timings or {}), "timings"),
+        "gauges": _numeric(base_gauges, "gauges"),
+        "spans": base_spans,
+    }
+
+
+def artifact_from_apsp_result(
+    name: str,
+    graph: Any,
+    result: Any,
+    *,
+    registry: Any = None,
+    wall_seconds: Optional[float] = None,
+    extra_params: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Artifact for one :func:`repro.core.runner.solve_apsp` run.
+
+    ``graph``/``result`` are duck-typed (CSRGraph / APSPResult) so this
+    module stays import-free of the algorithm layers.  Virtual-time
+    phase breakdowns go under ``virtual.*`` for the SIM backend
+    (deterministic, gated by regress) and under ``wall.*`` otherwise.
+    """
+    prefix = "virtual" if result.backend == "sim" else "wall"
+    timings: Dict[str, float] = {
+        f"{prefix}.ordering": float(result.phase_times.ordering),
+        f"{prefix}.dijkstra": float(result.phase_times.dijkstra),
+        f"{prefix}.total": float(result.total_time),
+    }
+    if wall_seconds is not None:
+        timings["wall.elapsed"] = float(wall_seconds)
+    params: Dict[str, Any] = {
+        "graph": graph.name or "anonymous",
+        "n": int(graph.num_vertices),
+        "m": int(graph.num_edges),
+        "directed": bool(graph.directed),
+        "algorithm": result.algorithm,
+        "backend": result.backend,
+        "schedule": result.schedule,
+        "threads": int(result.num_threads),
+        "ordering": result.ordering_method,
+    }
+    if extra_params:
+        params.update(extra_params)
+    counters = {
+        f"ops.{key}": int(value)
+        for key, value in result.ops.as_dict().items()
+    }
+    counters["result.reachable_pairs"] = int(result.reachable_pairs())
+    return build_artifact(
+        name,
+        params=params,
+        counters=counters,
+        timings=timings,
+        registry=registry,
+    )
+
+
+def _numeric(mapping: Dict[str, Any], section: str) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for key, value in mapping.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError(
+                f"{section}[{key!r}] must be numeric, got {value!r}"
+            )
+        out[str(key)] = value
+    return out
+
+
+def write_artifact(path: str, artifact: Mapping[str, Any]) -> str:
+    """Validate and write one artifact; returns the path written."""
+    problems = validate_artifact(artifact)
+    if problems:
+        raise ValueError(
+            "refusing to write invalid artifact: " + "; ".join(problems)
+        )
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Read and validate one artifact file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        artifact = json.load(fh)
+    problems = validate_artifact(artifact)
+    if problems:
+        raise ValueError(f"{path} is not a valid artifact: "
+                         + "; ".join(problems))
+    return artifact
+
+
+def validate_artifact(artifact: Any) -> List[str]:
+    """Schema check; returns a list of problems (empty means valid)."""
+    problems: List[str] = []
+    if not isinstance(artifact, Mapping):
+        return ["artifact must be a JSON object"]
+    schema = artifact.get("schema")
+    if not isinstance(schema, str) or not schema.startswith(
+        "repro.obs.bench/"
+    ):
+        problems.append(f"unknown schema {schema!r}")
+    for key, kind in _REQUIRED.items():
+        value = artifact.get(key)
+        if value is None:
+            problems.append(f"missing section {key!r}")
+        elif not isinstance(value, kind):
+            problems.append(
+                f"section {key!r} must be {kind.__name__}, "
+                f"got {type(value).__name__}"
+            )
+    for section in ("counters", "timings", "gauges"):
+        values = artifact.get(section)
+        if isinstance(values, Mapping):
+            for name, value in values.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    problems.append(
+                        f"{section}[{name!r}] must be numeric, got {value!r}"
+                    )
+    spans = artifact.get("spans")
+    if isinstance(spans, list):
+        for i, rec in enumerate(spans):
+            if not isinstance(rec, Mapping) or "path" not in rec \
+                    or "duration" not in rec:
+                problems.append(f"spans[{i}] needs 'path' and 'duration'")
+                break
+    return problems

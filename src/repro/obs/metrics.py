@@ -1,0 +1,297 @@
+"""Hierarchical timers, counters and gauges with a no-op fast path.
+
+Design constraints (ISSUE 1):
+
+* **Near-zero overhead when disabled.**  No registry is installed by
+  default; every instrumentation helper starts with a module-global load
+  and an ``is None`` test, and :func:`span` returns a shared singleton
+  context manager.  Tier-1 timing is unaffected.
+* **Thread-safe when enabled.**  The threads backend runs SSSP sweeps
+  concurrently; counter/gauge updates take the registry lock, and span
+  nesting is tracked per thread (a ``threading.local`` stack) so each
+  worker gets its own hierarchy.
+* **Mergeable.**  Per-thread (or per-process) registries can be folded
+  together with :meth:`MetricsRegistry.merge`, mirroring how the paper's
+  per-thread op counters are reduced into one report.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Mapping, Optional
+
+__all__ = [
+    "Counter",
+    "Span",
+    "SpanRecord",
+    "MetricsRegistry",
+    "get_registry",
+    "use_registry",
+    "enabled",
+    "span",
+    "counter_add",
+    "gauge_set",
+    "gauge_max",
+]
+
+
+class Counter:
+    """A named additive metric (int or float)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def add(self, delta: float = 1) -> None:
+        self.value += delta
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span: its dotted path, start time and duration."""
+
+    path: str
+    start: float
+    duration: float
+
+    @property
+    def name(self) -> str:
+        return self.path.rsplit(".", 1)[-1]
+
+
+class Span:
+    """Context manager that times a named section.
+
+    Nested spans compose their names into dotted paths
+    (``apsp.dijkstra`` inside ``apsp``), one stack per OS thread.
+    """
+
+    __slots__ = ("_registry", "_name", "_path", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._path = ""
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = self._registry._span_stack()
+        parent = stack[-1] if stack else ""
+        self._path = f"{parent}.{self._name}" if parent else self._name
+        stack.append(self._path)
+        self._start = self._registry._clock()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        duration = self._registry._clock() - self._start
+        stack = self._registry._span_stack()
+        if stack and stack[-1] == self._path:
+            stack.pop()
+        self._registry._record_span(
+            SpanRecord(self._path, self._start, duration)
+        )
+
+
+class MetricsRegistry:
+    """Collects counters, gauges and spans for one measured run.
+
+    ``clock`` is injectable for deterministic tests (defaults to
+    :func:`time.perf_counter`).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, float] = {}
+        self._spans: List[SpanRecord] = []
+        self._local = threading.local()
+
+    # -- spans -----------------------------------------------------------
+    def _span_stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _record_span(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._spans.append(record)
+
+    def span(self, name: str) -> Span:
+        return Span(self, name)
+
+    @property
+    def spans(self) -> List[SpanRecord]:
+        with self._lock:
+            return list(self._spans)
+
+    def span_durations(self) -> Dict[str, float]:
+        """Total duration per dotted span path."""
+        out: Dict[str, float] = {}
+        for rec in self.spans:
+            out[rec.path] = out.get(rec.path, 0.0) + rec.duration
+        return out
+
+    # -- counters --------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name)
+            return c
+
+    def add(self, name: str, delta: float = 1) -> None:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name)
+            c.value += delta
+
+    def add_many(self, values: Mapping[str, float], prefix: str = "") -> None:
+        """Fold a ``{name: delta}`` mapping into the counters."""
+        pre = f"{prefix}." if prefix else ""
+        with self._lock:
+            for name, delta in values.items():
+                key = pre + name
+                c = self._counters.get(key)
+                if c is None:
+                    c = self._counters[key] = Counter(key)
+                c.value += delta
+
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            return {name: c.value for name, c in self._counters.items()}
+
+    # -- gauges ----------------------------------------------------------
+    def gauge_set(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Keep the maximum observed value (queue occupancy peaks)."""
+        value = float(value)
+        with self._lock:
+            old = self._gauges.get(name)
+            if old is None or value > old:
+                self._gauges[name] = value
+
+    def gauges(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._gauges)
+
+    # -- aggregation -----------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry into this one (counters add, max gauges
+        take the max, other gauges keep the latest, spans concatenate).
+
+        This is how per-simulated-thread registries reduce into the one
+        artifact the harness writes.
+        """
+        self.add_many(other.counters())
+        for name, value in other.gauges().items():
+            self.gauge_max(name, value)
+        for rec in other.spans:
+            self._record_span(rec)
+        return self
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict view used by the artifact emitter."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "spans": [
+                {
+                    "path": rec.path,
+                    "start": rec.start,
+                    "duration": rec.duration,
+                }
+                for rec in self.spans
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Module-level fast path.  `_current` is the installed registry (None by
+# default).  Helpers below are safe to call unconditionally from hot loops.
+# ---------------------------------------------------------------------------
+
+_current: Optional[MetricsRegistry] = None
+_install_lock = threading.Lock()
+
+
+class _NullSpan:
+    """Shared do-nothing context manager returned while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def get_registry() -> Optional[MetricsRegistry]:
+    """The currently installed registry, or ``None`` when disabled."""
+    return _current
+
+
+def enabled() -> bool:
+    return _current is not None
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` as the collection target for the duration.
+
+    Re-entrant in the stacking sense: the previous registry (usually
+    ``None``) is restored on exit.
+    """
+    global _current
+    with _install_lock:
+        previous = _current
+        _current = registry
+    try:
+        yield registry
+    finally:
+        with _install_lock:
+            _current = previous
+
+
+def span(name: str):
+    """Time a section under the installed registry (no-op if none)."""
+    reg = _current
+    if reg is None:
+        return _NULL_SPAN
+    return reg.span(name)
+
+
+def counter_add(name: str, delta: float = 1) -> None:
+    reg = _current
+    if reg is not None:
+        reg.add(name, delta)
+
+
+def gauge_set(name: str, value: float) -> None:
+    reg = _current
+    if reg is not None:
+        reg.gauge_set(name, value)
+
+
+def gauge_max(name: str, value: float) -> None:
+    reg = _current
+    if reg is not None:
+        reg.gauge_max(name, value)

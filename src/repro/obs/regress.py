@@ -1,0 +1,231 @@
+"""Artifact comparator: the CI perf gate.
+
+``python -m repro.obs.regress baseline.json current.json`` diffs two
+``BENCH_*.json`` artifacts and exits non-zero on a regression:
+
+* **params**  — workload identity must match exactly (a changed graph or
+  thread count makes the comparison meaningless, so it fails loudly);
+* **counters** — operation counts are machine-independent and must match
+  *exactly*; more merges/relaxations than the baseline means the
+  algorithm got algorithmically worse, fewer means the baseline is stale
+  (both fail, so baselines stay honest);
+* **timings** — ``virtual.*`` entries (deterministic simulator time) may
+  only exceed the baseline by ``--rtol`` (default 10%); ``wall.*``
+  entries are host-dependent noise and are ignored unless
+  ``--include-wall`` is given;
+* **env / gauges / spans** — reported, never gated.
+
+Exit codes: 0 = no regression, 1 = regression, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
+
+from .artifact import load_artifact, validate_artifact
+
+__all__ = ["compare_artifacts", "main"]
+
+#: timing keys with this prefix are host wall-clock and off by default
+WALL_PREFIX = "wall."
+
+
+def compare_artifacts(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    *,
+    rtol: float = 0.10,
+    include_wall: bool = False,
+    ignore: Sequence[str] = (),
+) -> Tuple[List[str], List[str]]:
+    """Compare two artifacts; returns ``(regressions, notes)``.
+
+    ``ignore`` lists counter/timing/param keys excluded from gating
+    (still mentioned in the notes so nothing silently disappears).
+    """
+    regressions: List[str] = []
+    notes: List[str] = []
+    ignored = set(ignore)
+
+    for art, label in ((baseline, "baseline"), (current, "current")):
+        problems = validate_artifact(art)
+        if problems:
+            raise ValueError(f"{label} artifact invalid: "
+                             + "; ".join(problems))
+
+    if baseline["schema"] != current["schema"]:
+        raise ValueError(
+            f"schema mismatch: baseline {baseline['schema']!r} "
+            f"vs current {current['schema']!r}"
+        )
+
+    _compare_params(
+        baseline["params"], current["params"], ignored, regressions, notes
+    )
+    _compare_counters(
+        baseline["counters"], current["counters"], ignored, regressions, notes
+    )
+    _compare_timings(
+        baseline["timings"],
+        current["timings"],
+        rtol,
+        include_wall,
+        ignored,
+        regressions,
+        notes,
+    )
+
+    for name, value in sorted(current.get("gauges", {}).items()):
+        base = baseline.get("gauges", {}).get(name)
+        if base is not None and base != value:
+            notes.append(f"gauge {name}: {base:g} -> {value:g}")
+    return regressions, notes
+
+
+def _compare_params(
+    base: Mapping[str, Any],
+    cur: Mapping[str, Any],
+    ignored: set,
+    regressions: List[str],
+    notes: List[str],
+) -> None:
+    for key in sorted(set(base) | set(cur)):
+        if key in ignored:
+            notes.append(f"param {key}: ignored")
+            continue
+        if key not in cur:
+            regressions.append(f"param {key} missing from current artifact")
+        elif key not in base:
+            notes.append(f"param {key} new in current: {cur[key]!r}")
+        elif base[key] != cur[key]:
+            regressions.append(
+                f"param {key} changed: {base[key]!r} -> {cur[key]!r} "
+                "(not comparable; regenerate the baseline)"
+            )
+
+
+def _compare_counters(
+    base: Mapping[str, float],
+    cur: Mapping[str, float],
+    ignored: set,
+    regressions: List[str],
+    notes: List[str],
+) -> None:
+    for key in sorted(base):
+        if key in ignored:
+            notes.append(f"counter {key}: ignored")
+            continue
+        if key not in cur:
+            regressions.append(f"counter {key} missing from current artifact")
+            continue
+        if base[key] != cur[key]:
+            direction = "up" if cur[key] > base[key] else "down"
+            regressions.append(
+                f"counter {key}: {base[key]:g} -> {cur[key]:g} ({direction}; "
+                "op counts must match the baseline exactly)"
+            )
+    for key in sorted(set(cur) - set(base)):
+        notes.append(f"counter {key} new in current: {cur[key]:g}")
+
+
+def _compare_timings(
+    base: Mapping[str, float],
+    cur: Mapping[str, float],
+    rtol: float,
+    include_wall: bool,
+    ignored: set,
+    regressions: List[str],
+    notes: List[str],
+) -> None:
+    for key in sorted(base):
+        is_wall = key.startswith(WALL_PREFIX)
+        if key in ignored or (is_wall and not include_wall):
+            if key in cur:
+                notes.append(
+                    f"timing {key}: {base[key]:g} -> {cur[key]:g} (not gated)"
+                )
+            continue
+        if key not in cur:
+            regressions.append(f"timing {key} missing from current artifact")
+            continue
+        limit = base[key] * (1.0 + rtol)
+        if cur[key] > limit:
+            pct = (
+                (cur[key] - base[key]) / base[key] * 100.0
+                if base[key]
+                else float("inf")
+            )
+            regressions.append(
+                f"timing {key}: {base[key]:g} -> {cur[key]:g} "
+                f"(+{pct:.1f}%, tolerance {rtol:.0%})"
+            )
+        else:
+            notes.append(f"timing {key}: {base[key]:g} -> {cur[key]:g} (ok)")
+
+
+def _report(regressions: List[str], notes: List[str], verbose: bool) -> None:
+    if verbose and notes:
+        for note in notes:
+            print(f"  note: {note}")
+    if regressions:
+        print(f"REGRESSION ({len(regressions)} finding(s)):")
+        for item in regressions:
+            print(f"  !! {item}")
+    else:
+        print("no regression: counters exact, timings within tolerance")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.regress",
+        description="diff two BENCH_*.json artifacts; non-zero on "
+        "regression (op counts exact, timings with tolerance)",
+    )
+    parser.add_argument("baseline", help="baseline artifact (committed)")
+    parser.add_argument("current", help="freshly produced artifact")
+    parser.add_argument(
+        "--rtol",
+        type=float,
+        default=0.10,
+        help="relative slowdown tolerance for timings (default 0.10)",
+    )
+    parser.add_argument(
+        "--include-wall",
+        action="store_true",
+        help="also gate host wall-clock (wall.*) timings",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="KEY",
+        help="exclude a counter/timing/param key from gating (repeatable)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-key notes"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_artifact(args.baseline)
+        current = load_artifact(args.current)
+        regressions, notes = compare_artifacts(
+            baseline,
+            current,
+            rtol=args.rtol,
+            include_wall=args.include_wall,
+            ignore=args.ignore,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"baseline: {args.baseline} ({baseline['name']})")
+    print(f"current : {args.current} ({current['name']})")
+    _report(regressions, notes, verbose=not args.quiet)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

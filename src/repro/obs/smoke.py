@@ -1,0 +1,120 @@
+"""Deterministic smoke workload → ``BENCH_smoke.json``.
+
+CI's ``bench-smoke`` job runs this module, then gates with
+:mod:`repro.obs.regress` against the committed baseline
+(``benchmarks/baselines/BENCH_smoke.json``).  Everything gated is
+machine-independent: the R-MAT generator is seeded, ParAPSP on the SIM
+backend is bit-reproducible, so operation counts and virtual timings
+are identical on every host.  Wall-clock is recorded but not gated.
+
+Regenerate the baseline after an *intentional* perf-relevant change::
+
+    PYTHONPATH=src python -m repro.obs.smoke \
+        --out benchmarks/baselines/BENCH_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.runner import solve_apsp
+from ..graphs.rmat import rmat
+from .artifact import artifact_from_apsp_result, write_artifact
+from .metrics import MetricsRegistry, use_registry
+
+__all__ = ["run_smoke", "main"]
+
+#: workload identity — bump ``WORKLOAD_REV`` when the knobs change so a
+#: stale baseline fails on params instead of on mysterious counters
+WORKLOAD_REV = 1
+DEFAULT_SCALE = 7
+DEFAULT_EDGE_FACTOR = 8
+DEFAULT_THREADS = 8
+DEFAULT_SEED = 5
+
+
+def run_smoke(
+    *,
+    scale: int = DEFAULT_SCALE,
+    edge_factor: int = DEFAULT_EDGE_FACTOR,
+    threads: int = DEFAULT_THREADS,
+    seed: int = DEFAULT_SEED,
+    algorithm: str = "parapsp",
+) -> Tuple[Dict[str, object], MetricsRegistry]:
+    """Run the smoke workload; returns ``(artifact, registry)``."""
+    graph = rmat(
+        scale,
+        edge_factor=edge_factor,
+        seed=seed,
+        name=f"rmat-s{scale}-ef{edge_factor}",
+    )
+    registry = MetricsRegistry()
+    t0 = time.perf_counter()
+    with use_registry(registry):
+        result = solve_apsp(
+            graph,
+            algorithm=algorithm,
+            num_threads=threads,
+            backend="sim",
+        )
+    wall = time.perf_counter() - t0
+    artifact = artifact_from_apsp_result(
+        "smoke",
+        graph,
+        result,
+        registry=registry,
+        wall_seconds=wall,
+        extra_params={
+            "workload_rev": WORKLOAD_REV,
+            "rmat_scale": scale,
+            "rmat_edge_factor": edge_factor,
+            "rmat_seed": seed,
+        },
+    )
+    return artifact, registry
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.smoke",
+        description="run the deterministic smoke benchmark and write its "
+        "BENCH artifact",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_smoke.json", help="artifact path to write"
+    )
+    parser.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    parser.add_argument(
+        "--edge-factor", type=int, default=DEFAULT_EDGE_FACTOR
+    )
+    parser.add_argument("--threads", type=int, default=DEFAULT_THREADS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--algorithm", default="parapsp", help="solver to smoke-test"
+    )
+    args = parser.parse_args(argv)
+    artifact, _ = run_smoke(
+        scale=args.scale,
+        edge_factor=args.edge_factor,
+        threads=args.threads,
+        seed=args.seed,
+        algorithm=args.algorithm,
+    )
+    path = write_artifact(args.out, artifact)
+    counters = artifact["counters"]
+    print(f"wrote {path}")
+    print(
+        "  merges={:d} relaxations={:d} virtual_total={:g}".format(
+            int(counters["ops.row_merges"]),
+            int(counters["ops.edge_relaxations"]),
+            artifact["timings"]["virtual.total"],
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

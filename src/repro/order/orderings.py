@@ -7,7 +7,7 @@ both the *real* execution path and the *simulated* one.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

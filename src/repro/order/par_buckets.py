@@ -17,7 +17,7 @@ Two faces, like every procedure in this package:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
@@ -86,6 +86,7 @@ def par_buckets_order(
         schedule=Schedule.BLOCK,
         backend=backend,
     )
+    locks.publish("order.parbuckets.locks")
     order = _emit_descending(buckets)
     exact = all(
         len({int(degrees[v]) for v in bucket}) <= 1 for bucket in buckets

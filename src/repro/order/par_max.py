@@ -18,7 +18,7 @@ faster as threads grow.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
@@ -81,6 +81,7 @@ def par_max_order(
         schedule=Schedule.BLOCK,
         backend=backend,
     )
+    locks.publish("order.parmax.locks")
     # second loop: the low-degree tail, sequential (lines 12–16)
     for i in range(n):
         if not added[i]:

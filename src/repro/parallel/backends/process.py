@@ -19,9 +19,8 @@ to serial execution rather than failing.
 from __future__ import annotations
 
 import multiprocessing
-import os
 from contextlib import contextmanager
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterator, List, Tuple
 
 import numpy as np
 
@@ -191,7 +190,9 @@ class SharedMatrix(SharedArray):
 
     @classmethod
     @contextmanager
-    def allocate(cls, rows: int, cols: int) -> Iterator["SharedMatrix"]:  # type: ignore[override]
+    def allocate(  # type: ignore[override]
+        cls, rows: int, cols: int
+    ) -> Iterator["SharedMatrix"]:
         matrix = cls(rows, cols)
         try:
             yield matrix

@@ -8,7 +8,7 @@ unit-test scheduling math through the same interface.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from ...types import Schedule
 from ..schedule import DynamicCounter, static_assignment
@@ -45,6 +45,7 @@ def run_parallel_for(
                 body(i, t)
                 executed[t].append(i)
             t = (t + 1) % num_threads
+        counter.publish()
         return executed
 
     assignment = static_assignment(schedule, n, num_threads, chunk)

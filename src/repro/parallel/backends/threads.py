@@ -14,7 +14,7 @@ calling thread (first one wins), so failures never vanish silently.
 from __future__ import annotations
 
 import threading
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from ...types import Schedule
 from ..schedule import DynamicCounter, static_assignment
@@ -83,4 +83,6 @@ def run_parallel_for(
         t.join()
     if errors:
         raise errors[0]
+    if schedule is Schedule.DYNAMIC:
+        counter.publish()
     return executed

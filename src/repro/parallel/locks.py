@@ -18,6 +18,8 @@ from __future__ import annotations
 import threading
 from typing import List
 
+from ..obs import metrics as _obs
+
 __all__ = ["LockArray", "CountingLock"]
 
 
@@ -76,3 +78,18 @@ class LockArray:
         """Acquisition count per lock — shows the power-law pile-up on
         the low-degree buckets that motivates ParMax (§4.2)."""
         return [lock.acquisitions for lock in self._locks]
+
+    def publish(self, prefix: str) -> None:
+        """Report contention gauges to the installed metrics registry.
+
+        No-op (one global test) when observability is disabled; called by
+        the ordering procedures after their parallel region drains.
+        """
+        reg = _obs._current
+        if reg is None:
+            return
+        reg.add(f"{prefix}.acquisitions", self.total_acquisitions)
+        reg.add(f"{prefix}.contended", self.total_contended)
+        histogram = self.acquisition_histogram()
+        if histogram:
+            reg.gauge_max(f"{prefix}.hottest_lock", max(histogram))

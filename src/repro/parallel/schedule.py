@@ -20,6 +20,7 @@ from typing import List
 import numpy as np
 
 from ..exceptions import ScheduleError
+from ..obs import metrics as _obs
 from ..types import Schedule
 
 __all__ = [
@@ -104,7 +105,7 @@ class DynamicCounter:
     relies on to preserve the descending-degree issue order (§3.2).
     """
 
-    __slots__ = ("_n", "_chunk", "_next", "_lock")
+    __slots__ = ("_n", "_chunk", "_next", "_lock", "claims")
 
     def __init__(self, n: int, chunk: int = 1) -> None:
         _check(n, 1, chunk)
@@ -112,6 +113,9 @@ class DynamicCounter:
         self._chunk = chunk
         self._next = 0
         self._lock = threading.Lock()
+        #: successful (non-empty) chunk claims — the dynamic scheduler's
+        #: dispatch count, published as ``schedule.dynamic.claims``
+        self.claims = 0
 
     @property
     def n(self) -> int:
@@ -129,7 +133,15 @@ class DynamicCounter:
                 return range(self._n, self._n)
             end = min(start + self._chunk, self._n)
             self._next = end
+            self.claims += 1
         return range(start, end)
+
+    def publish(self, prefix: str = "schedule.dynamic") -> None:
+        """Report claim statistics to the installed metrics registry."""
+        reg = _obs._current
+        if reg is not None:
+            reg.add(f"{prefix}.claims", self.claims)
+            reg.add(f"{prefix}.iterations", self._n)
 
     def remaining(self) -> int:
         with self._lock:

@@ -18,9 +18,15 @@ __all__ = ["ThreadClockQueue"]
 
 
 class ThreadClockQueue:
-    """Priority queue of ``(clock, thread_id)`` with stable ordering."""
+    """Priority queue of ``(clock, thread_id)`` with stable ordering.
 
-    __slots__ = ("_heap", "_clocks")
+    The queue counts its own churn (``pops`` / ``advances`` / skipped
+    stale entries) so the observability layer can report how much
+    dispatcher work a simulated schedule generated; plain integer
+    increments keep the event loop's cost unchanged.
+    """
+
+    __slots__ = ("_heap", "_clocks", "pops", "advances", "stale_skips")
 
     def __init__(self, num_threads: int, start_time: float = 0.0) -> None:
         if num_threads < 1:
@@ -30,6 +36,9 @@ class ThreadClockQueue:
             (start_time, t) for t in range(num_threads)
         ]
         heapq.heapify(self._heap)
+        self.pops = 0
+        self.advances = 0
+        self.stale_skips = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -43,7 +52,9 @@ class ThreadClockQueue:
         while self._heap:
             time, thread = heapq.heappop(self._heap)
             if time == self._clocks[thread]:
+                self.pops += 1
                 return time, thread
+            self.stale_skips += 1
         raise SimulationError("pop from drained thread queue")
 
     def advance(self, thread: int, new_time: float) -> None:
@@ -54,6 +65,7 @@ class ThreadClockQueue:
                 f"{self._clocks[thread]} -> {new_time}"
             )
         self._clocks[thread] = new_time
+        self.advances += 1
         heapq.heappush(self._heap, (new_time, thread))
 
     def clock(self, thread: int) -> float:

@@ -20,11 +20,12 @@ Scheduling semantics match the real backends exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Sequence, Union
 
 import numpy as np
 
 from ..exceptions import SimulationError
+from ..obs import metrics as _obs
 from ..parallel.schedule import static_assignment
 from ..types import Schedule
 from .engine import ThreadClockQueue
@@ -177,6 +178,13 @@ def simulate_parallel_for(
         overhead=overhead,
         events=events,
     )
+    reg = _obs._current
+    if reg is not None:
+        reg.add("sim.parfor.regions", 1)
+        reg.add("sim.parfor.iterations", n)
+        reg.add("sim.clock.pops", queue.pops)
+        reg.add("sim.clock.advances", queue.advances)
+        reg.add("sim.clock.stale_skips", queue.stale_skips)
     return ParForOutcome(
         result=result,
         start_times=start_times,

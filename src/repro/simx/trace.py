@@ -9,7 +9,7 @@ records per executed item.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -95,6 +95,19 @@ class SimResult:
         if self.makespan == 0:
             return 1.0
         return self.total_busy / (self.makespan * self.num_threads)
+
+    def as_metrics(self, prefix: str = "sim") -> Dict[str, float]:
+        """Flat gauge mapping for the :mod:`repro.obs` artifact layer."""
+        return {
+            f"{prefix}.threads": float(self.num_threads),
+            f"{prefix}.makespan": float(self.makespan),
+            f"{prefix}.busy_total": self.total_busy,
+            f"{prefix}.overhead_total": self.total_overhead,
+            f"{prefix}.idle_total": float(self.idle.sum()),
+            f"{prefix}.utilization": float(self.utilization),
+            f"{prefix}.lock_acquisitions": float(self.total_acquisitions),
+            f"{prefix}.lock_contended": float(self.contended_acquisitions),
+        }
 
     def merge_sequential(self, other: "SimResult") -> "SimResult":
         """Concatenate two phases executed back to back.

@@ -11,8 +11,6 @@ whole thing inherits its lock-free parallelism while handling arbitrary
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..exceptions import ReproError

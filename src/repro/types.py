@@ -8,7 +8,7 @@ how schedules, backends and timing breakdowns are described.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 import numpy as np

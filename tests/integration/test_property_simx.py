@@ -7,7 +7,13 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.parallel.schedule import static_assignment
-from repro.simx import MACHINE_I, MachineSpec, Op, run_lock_program, simulate_parallel_for
+from repro.simx import (
+    MACHINE_I,
+    MachineSpec,
+    Op,
+    run_lock_program,
+    simulate_parallel_for,
+)
 from repro.types import Schedule
 
 cost_arrays = hnp.arrays(

@@ -1,0 +1,153 @@
+"""Artifact build / validate / JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    MetricsRegistry,
+    artifact_from_apsp_result,
+    build_artifact,
+    env_fingerprint,
+    load_artifact,
+    use_registry,
+    validate_artifact,
+    write_artifact,
+)
+
+
+class TestEnvFingerprint:
+    def test_has_the_explanatory_keys(self):
+        env = env_fingerprint()
+        for key in ("python", "platform", "machine", "numpy", "cpu_count"):
+            assert key in env
+        assert env["cpu_count"] >= 1
+
+
+class TestBuildArtifact:
+    def test_minimal_artifact_is_valid(self):
+        art = build_artifact("empty")
+        assert art["schema"] == SCHEMA_VERSION
+        assert art["name"] == "empty"
+        assert validate_artifact(art) == []
+
+    def test_registry_seeds_sections_and_mappings_overlay(self):
+        reg = MetricsRegistry()
+        reg.add("ops.pops", 5)
+        reg.gauge_set("util", 0.5)
+        art = build_artifact(
+            "overlay",
+            counters={"ops.pops": 99, "extra": 1},
+            registry=reg,
+        )
+        # explicit mapping wins over the registry value
+        assert art["counters"] == {"ops.pops": 99, "extra": 1}
+        assert art["gauges"] == {"util": 0.5}
+
+    def test_non_numeric_counter_rejected(self):
+        with pytest.raises(TypeError):
+            build_artifact("bad", counters={"x": "fast"})
+        with pytest.raises(TypeError):
+            build_artifact("bad", counters={"x": True})
+
+
+class TestValidate:
+    def test_missing_section_reported(self):
+        art = build_artifact("x")
+        del art["counters"]
+        assert any("counters" in p for p in validate_artifact(art))
+
+    def test_unknown_schema_reported(self):
+        art = build_artifact("x")
+        art["schema"] = "something/else"
+        assert any("schema" in p for p in validate_artifact(art))
+
+    def test_bad_span_record_reported(self):
+        art = build_artifact("x")
+        art["spans"] = [{"path": "p"}]  # duration missing
+        assert any("spans[0]" in p for p in validate_artifact(art))
+
+    def test_non_mapping_rejected(self):
+        assert validate_artifact([1, 2]) != []
+
+
+class TestRoundTrip:
+    def test_write_then_load_preserves_content(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.add("kernel.merge_row.calls", 12)
+        reg.gauge_max("sweep.fifo.peak_queue_occupancy", 17)
+        art = build_artifact(
+            "roundtrip",
+            params={"graph": "rmat-s5", "threads": 4},
+            timings={"virtual.total": 123.5, "wall.elapsed": 0.01},
+            registry=reg,
+        )
+        path = str(tmp_path / "BENCH_roundtrip.json")
+        assert write_artifact(path, art) == path
+        loaded = load_artifact(path)
+        for section in ("params", "counters", "timings", "gauges"):
+            assert loaded[section] == art[section]
+        assert loaded["schema"] == SCHEMA_VERSION
+
+    def test_written_json_is_sorted_and_indented(self, tmp_path):
+        path = str(tmp_path / "BENCH_fmt.json")
+        write_artifact(path, build_artifact("fmt", counters={"b": 1, "a": 2}))
+        text = open(path).read()
+        assert text.endswith("\n")
+        raw = json.loads(text)
+        assert list(raw["counters"]) == ["a", "b"]
+
+    def test_write_refuses_invalid_artifact(self, tmp_path):
+        art = build_artifact("x")
+        art.pop("env")
+        with pytest.raises(ValueError):
+            write_artifact(str(tmp_path / "bad.json"), art)
+
+    def test_load_rejects_corrupt_file(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text('{"schema": "repro.obs.bench/1"}')
+        with pytest.raises(ValueError):
+            load_artifact(str(path))
+
+
+class TestFromApspResult:
+    def test_counters_match_cost_model_exactly(self, tmp_path):
+        from repro.core.runner import solve_apsp
+        from repro.graphs.rmat import rmat
+
+        graph = rmat(5, 8, seed=3)
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            result = solve_apsp(
+                graph, algorithm="parapsp", backend="sim", num_threads=4
+            )
+        art = artifact_from_apsp_result(
+            "unit", graph, result, registry=reg, wall_seconds=0.5
+        )
+        assert validate_artifact(art) == []
+        # the acceptance criterion: artifact op counts == cost model,
+        # both from the result object and the live registry counters
+        ops = result.ops.as_dict()
+        for key, value in ops.items():
+            assert art["counters"][f"ops.{key}"] == value
+        reg_counters = reg.counters()
+        for key, value in ops.items():
+            assert reg_counters[f"ops.{key}"] == value
+        # sim backend -> deterministic virtual timings, plus the wall note
+        assert art["params"]["backend"] == "sim"
+        assert "virtual.total" in art["timings"]
+        assert art["timings"]["wall.elapsed"] == 0.5
+        write_artifact(str(tmp_path / "BENCH_unit.json"), art)
+
+    def test_real_backend_times_go_under_wall(self):
+        from repro.core.runner import solve_apsp
+        from repro.graphs.rmat import rmat
+
+        graph = rmat(4, 4, seed=1)
+        result = solve_apsp(
+            graph, algorithm="parapsp", backend="serial", num_threads=1
+        )
+        art = artifact_from_apsp_result("serial", graph, result)
+        assert "wall.total" in art["timings"]
+        assert not any(k.startswith("virtual.") for k in art["timings"])

@@ -1,0 +1,192 @@
+"""Hot-path instrumentation: kernels, sweeps, CLI and smoke harness."""
+
+import json
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import merge_row, relax_edges
+from repro.obs import MetricsRegistry, use_registry
+from repro.types import INF
+
+
+class TestKernelCounters:
+    def test_merge_row_counts_calls_and_improvements(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            ds = np.array([0.0, 5.0, INF])
+            dt = np.array([5.0, 0.0, 1.0])
+            merge_row(ds, dt, ds_t=5.0)
+        counters = reg.counters()
+        assert counters["kernel.merge_row.calls"] == 1
+        assert counters["kernel.merge_row.improved"] == 1
+        assert "kernel.merge_row.noop" not in counters
+
+    def test_merge_row_all_inf_candidate_row_edge_case(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            ds = np.array([0.0, 2.0])
+            dt = np.array([INF, INF])
+            assert merge_row(ds, dt, ds_t=INF) == 0
+        counters = reg.counters()
+        assert counters["kernel.merge_row.noop"] == 1
+        assert counters["kernel.merge_row.all_inf_row"] == 1
+
+    def test_merge_row_finite_noop_not_flagged_all_inf(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            ds = np.array([0.0, 1.0])
+            dt = np.array([9.0, 0.0])
+            merge_row(ds, dt, ds_t=9.0)
+        counters = reg.counters()
+        assert counters["kernel.merge_row.noop"] == 1
+        assert "kernel.merge_row.all_inf_row" not in counters
+
+    def test_relax_edges_empty_frontier_edge_case(self):
+        reg = MetricsRegistry()
+        empty = np.array([], dtype=np.int64)
+        weights = np.array([], dtype=np.float64)
+        with use_registry(reg):
+            targets, improved = relax_edges(
+                np.array([0.0, INF]), empty, weights, ds_t=0.0
+            )
+        assert improved == 0 and targets.size == 0
+        counters = reg.counters()
+        assert counters["kernel.relax.calls"] == 1
+        assert counters["kernel.relax.empty_frontier"] == 1
+        assert "kernel.relax.attempted" not in counters
+
+    def test_relax_edges_counts_attempted_and_improved(self):
+        reg = MetricsRegistry()
+        ds = np.array([0.0, INF, 3.0, INF])
+        neighbors = np.array([1, 2, 3], dtype=np.int64)
+        weights = np.array([1.0, 9.0, 2.0])
+        with use_registry(reg):
+            targets, improved = relax_edges(ds, neighbors, weights, ds_t=0.0)
+        assert improved == 2
+        assert sorted(targets.tolist()) == [1, 3]
+        counters = reg.counters()
+        assert counters["kernel.relax.attempted"] == 3
+        assert counters["kernel.relax.improved"] == 2
+
+    def test_kernels_unchanged_when_disabled(self):
+        # identical numeric behaviour with no registry installed
+        ds = np.array([0.0, 5.0, INF])
+        dt = np.array([5.0, 0.0, 1.0])
+        assert merge_row(ds, dt, ds_t=5.0) == 1
+        assert ds.tolist() == [0.0, 5.0, 6.0]
+
+
+class TestSweepAndScheduleCounters:
+    def test_registry_ops_match_result_ops_exactly(self):
+        from repro.core.runner import solve_apsp
+        from repro.graphs.rmat import rmat
+
+        graph = rmat(5, 8, seed=7)
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            result = solve_apsp(
+                graph, algorithm="parapsp", backend="sim", num_threads=4
+            )
+        counters = reg.counters()
+        for key, value in result.ops.as_dict().items():
+            assert counters[f"ops.{key}"] == value, key
+        # per-sweep bookkeeping and phase spans came along
+        assert counters["sweep.count"] == graph.num_vertices
+        paths = {rec.path for rec in reg.spans}
+        assert {"apsp.ordering", "apsp.dijkstra"} <= paths
+
+    def test_queue_occupancy_gauge_recorded(self):
+        from repro.core.modified_dijkstra import modified_dijkstra_sssp
+        from repro.core.state import new_state
+        from repro.graphs.rmat import rmat
+
+        graph = rmat(4, 4, seed=2)
+        state = new_state(graph.num_vertices)
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            modified_dijkstra_sssp(graph, 0, state)
+        gauges = reg.gauges()
+        assert gauges.get("sweep.fifo.peak_queue_occupancy", 0) >= 1
+
+    def test_dynamic_schedule_publishes_claims(self):
+        from repro.parallel.api import parallel_for
+        from repro.types import Schedule
+
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            parallel_for(
+                10,
+                lambda i, t: None,
+                num_threads=2,
+                schedule=Schedule.DYNAMIC,
+                backend="threads",
+            )
+        counters = reg.counters()
+        assert counters["schedule.dynamic.iterations"] == 10
+        assert counters["schedule.dynamic.claims"] >= 10
+
+
+class TestCliMetrics:
+    def test_solve_rmat_metrics_writes_valid_artifact(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.obs import load_artifact
+
+        out = tmp_path / "BENCH_cli.json"
+        code = main(
+            [
+                "solve",
+                "--rmat", "5",
+                "--seed", "3",
+                "--backend", "sim",
+                "--threads", "4",
+                "--metrics", str(out),
+            ]
+        )
+        assert code == 0
+        assert "metrics saved" in capsys.readouterr().out
+        art = load_artifact(str(out))
+        assert art["params"]["backend"] == "sim"
+        assert art["counters"]["ops.row_merges"] > 0
+        assert any(k.startswith("virtual.") for k in art["timings"])
+
+    def test_smoke_harness_is_deterministic(self, tmp_path):
+        from repro.obs.regress import main as regress_main
+        from repro.obs.smoke import main as smoke_main
+
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        assert smoke_main(["--out", a, "--scale", "5"]) == 0
+        assert smoke_main(["--out", b, "--scale", "5"]) == 0
+        assert regress_main([a, b, "--quiet"]) == 0
+        # same gated payload bit-for-bit
+        aj, bj = json.load(open(a)), json.load(open(b))
+        for section in ("params", "counters", "gauges"):
+            assert aj[section] == bj[section]
+
+    def test_smoke_regression_is_caught(self, tmp_path):
+        from repro.obs.regress import main as regress_main
+        from repro.obs.smoke import main as smoke_main
+
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        assert smoke_main(["--out", a, "--scale", "5"]) == 0
+        art = json.load(open(a))
+        art["counters"]["ops.row_merges"] -= 10
+        with open(b, "w") as fh:
+            json.dump(art, fh)
+        assert regress_main([a, b, "--quiet"]) == 1
+
+
+@pytest.mark.skipif(
+    sys.platform == "win32", reason="overhead check needs a stable clock"
+)
+def test_disabled_overhead_is_one_attribute_probe():
+    """The no-op path must not allocate: same singleton, no registry."""
+    from repro.obs import metrics
+
+    assert metrics.get_registry() is None
+    before = metrics.span("x")
+    after = metrics.span("y")
+    assert before is after is metrics._NULL_SPAN

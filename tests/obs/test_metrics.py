@@ -1,0 +1,203 @@
+"""Registry behaviour: spans, counters, gauges, merging, fast path."""
+
+import threading
+
+from repro.obs import metrics
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step``."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        t = self.now
+        self.now += self.step
+        return t
+
+
+class TestSpans:
+    def test_nested_spans_compose_dotted_paths(self):
+        reg = MetricsRegistry(clock=FakeClock())
+        with reg.span("apsp"):
+            with reg.span("ordering"):
+                pass
+            with reg.span("dijkstra"):
+                with reg.span("sweep"):
+                    pass
+        paths = [rec.path for rec in reg.spans]
+        # inner spans close (and record) before outer ones
+        assert paths == [
+            "apsp.ordering",
+            "apsp.dijkstra.sweep",
+            "apsp.dijkstra",
+            "apsp",
+        ]
+
+    def test_span_durations_aggregate_by_path(self):
+        reg = MetricsRegistry(clock=FakeClock(step=1.0))
+        for _ in range(3):
+            with reg.span("phase"):
+                pass
+        durations = reg.span_durations()
+        assert set(durations) == {"phase"}
+        # each with-block reads the clock twice -> duration == 1.0 each
+        assert durations["phase"] == 3.0
+
+    def test_span_record_name_is_last_component(self):
+        reg = MetricsRegistry(clock=FakeClock())
+        with reg.span("a"):
+            with reg.span("b"):
+                pass
+        assert reg.spans[0].name == "b"
+
+    def test_each_thread_gets_its_own_span_stack(self):
+        reg = MetricsRegistry(clock=FakeClock())
+        seen = []
+
+        def worker(tag):
+            with reg.span(tag):
+                pass
+            seen.append(tag)
+
+        with reg.span("outer"):
+            t = threading.Thread(target=worker, args=("isolated",))
+            t.start()
+            t.join()
+        # the worker's span must NOT nest under the main thread's "outer"
+        paths = {rec.path for rec in reg.spans}
+        assert "isolated" in paths
+        assert "outer.isolated" not in paths
+
+
+class TestCounters:
+    def test_add_and_counter_handle(self):
+        reg = MetricsRegistry()
+        reg.add("x")
+        reg.add("x", 4)
+        c = reg.counter("y")
+        c.add(2.5)
+        assert reg.counters() == {"x": 5, "y": 2.5}
+
+    def test_add_many_with_prefix(self):
+        reg = MetricsRegistry()
+        reg.add_many({"pops": 3, "merges": 2}, prefix="ops")
+        reg.add_many({"pops": 1}, prefix="ops")
+        assert reg.counters() == {"ops.pops": 4, "ops.merges": 2}
+
+    def test_merge_across_simulated_threads(self):
+        # one registry per simulated worker, reduced like the paper's
+        # per-thread op counters
+        workers = []
+        for t in range(4):
+            reg = MetricsRegistry()
+            reg.add("ops.pops", 10 + t)
+            reg.gauge_max("peak_queue", t)
+            workers.append(reg)
+        total = MetricsRegistry()
+        for reg in workers:
+            total.merge(reg)
+        assert total.counters() == {"ops.pops": 10 + 11 + 12 + 13}
+        assert total.gauges() == {"peak_queue": 3.0}
+
+    def test_merge_concatenates_spans(self):
+        a = MetricsRegistry(clock=FakeClock())
+        b = MetricsRegistry(clock=FakeClock())
+        with a.span("left"):
+            pass
+        with b.span("right"):
+            pass
+        a.merge(b)
+        assert [rec.path for rec in a.spans] == ["left", "right"]
+
+    def test_concurrent_adds_do_not_lose_updates(self):
+        reg = MetricsRegistry()
+        n, iters = 8, 500
+
+        def worker():
+            for _ in range(iters):
+                reg.add("hits")
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counters()["hits"] == n * iters
+
+
+class TestGauges:
+    def test_gauge_set_keeps_latest(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("util", 0.5)
+        reg.gauge_set("util", 0.25)
+        assert reg.gauges() == {"util": 0.25}
+
+    def test_gauge_max_keeps_peak(self):
+        reg = MetricsRegistry()
+        for v in (1, 7, 3):
+            reg.gauge_max("occupancy", v)
+        assert reg.gauges() == {"occupancy": 7.0}
+
+
+class TestModuleFastPath:
+    def test_disabled_by_default(self):
+        assert metrics.get_registry() is None
+        assert not metrics.enabled()
+        # all helpers must be harmless no-ops
+        metrics.counter_add("nope")
+        metrics.gauge_set("nope", 1)
+        metrics.gauge_max("nope", 1)
+        with metrics.span("nope"):
+            pass
+
+    def test_disabled_span_is_shared_singleton(self):
+        assert metrics.span("a") is metrics.span("b")
+
+    def test_use_registry_installs_and_restores(self):
+        reg = MetricsRegistry()
+        with use_registry(reg) as installed:
+            assert installed is reg
+            assert metrics.get_registry() is reg
+            metrics.counter_add("seen", 2)
+            metrics.gauge_max("peak", 9)
+            with metrics.span("timed"):
+                pass
+        assert metrics.get_registry() is None
+        assert reg.counters() == {"seen": 2}
+        assert reg.gauges() == {"peak": 9.0}
+        assert [rec.path for rec in reg.spans] == ["timed"]
+
+    def test_use_registry_stacks(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with use_registry(outer):
+            with use_registry(inner):
+                metrics.counter_add("who")
+            assert metrics.get_registry() is outer
+        assert inner.counters() == {"who": 1}
+        assert outer.counters() == {}
+
+    def test_use_registry_restores_on_exception(self):
+        reg = MetricsRegistry()
+        try:
+            with use_registry(reg):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert metrics.get_registry() is None
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry(clock=FakeClock())
+        reg.add("c", 1)
+        reg.gauge_set("g", 2)
+        with reg.span("s"):
+            pass
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": 2.0}
+        assert snap["spans"] == [
+            {"path": "s", "start": 0.0, "duration": 1.0}
+        ]

@@ -1,0 +1,155 @@
+"""The regression comparator: exact counters, tolerant timings, exits."""
+
+import copy
+
+import pytest
+
+from repro.obs import build_artifact, write_artifact
+from repro.obs.regress import compare_artifacts, main
+
+
+def make_artifact(**overrides):
+    art = build_artifact(
+        "gate",
+        params={"graph": "rmat-s7", "threads": 8, "backend": "sim"},
+        counters={"ops.row_merges": 522, "ops.edge_relaxations": 15525},
+        timings={"virtual.total": 1000.0, "wall.elapsed": 0.25},
+        gauges={"sim.utilization": 0.9},
+    )
+    for section, values in overrides.items():
+        art[section] = {**art[section], **values}
+    return art
+
+
+class TestCompare:
+    def test_identical_artifacts_pass(self):
+        base = make_artifact()
+        regressions, _ = compare_artifacts(base, copy.deepcopy(base))
+        assert regressions == []
+
+    def test_counter_increase_fails(self):
+        cur = make_artifact(counters={"ops.row_merges": 523})
+        regressions, _ = compare_artifacts(make_artifact(), cur)
+        assert any("ops.row_merges" in r and "up" in r for r in regressions)
+
+    def test_counter_decrease_also_fails_stale_baseline(self):
+        cur = make_artifact(counters={"ops.row_merges": 500})
+        regressions, _ = compare_artifacts(make_artifact(), cur)
+        assert any("down" in r for r in regressions)
+
+    def test_missing_counter_fails(self):
+        cur = make_artifact()
+        del cur["counters"]["ops.edge_relaxations"]
+        regressions, _ = compare_artifacts(make_artifact(), cur)
+        assert any("missing" in r for r in regressions)
+
+    def test_new_counter_is_a_note_not_a_regression(self):
+        cur = make_artifact(counters={"ops.flag_hits": 42})
+        regressions, notes = compare_artifacts(make_artifact(), cur)
+        assert regressions == []
+        assert any("ops.flag_hits" in n for n in notes)
+
+    def test_virtual_timing_within_tolerance_passes(self):
+        cur = make_artifact(timings={"virtual.total": 1099.0})
+        regressions, _ = compare_artifacts(make_artifact(), cur, rtol=0.10)
+        assert regressions == []
+
+    def test_virtual_timing_beyond_tolerance_fails(self):
+        cur = make_artifact(timings={"virtual.total": 1101.0})
+        regressions, _ = compare_artifacts(make_artifact(), cur, rtol=0.10)
+        assert any("virtual.total" in r for r in regressions)
+
+    def test_faster_is_never_a_regression(self):
+        cur = make_artifact(timings={"virtual.total": 1.0})
+        regressions, _ = compare_artifacts(make_artifact(), cur)
+        assert regressions == []
+
+    def test_wall_time_ignored_by_default(self):
+        cur = make_artifact(timings={"wall.elapsed": 9999.0})
+        regressions, notes = compare_artifacts(make_artifact(), cur)
+        assert regressions == []
+        assert any("wall.elapsed" in n for n in notes)
+
+    def test_wall_time_gated_with_include_wall(self):
+        cur = make_artifact(timings={"wall.elapsed": 9999.0})
+        regressions, _ = compare_artifacts(
+            make_artifact(), cur, include_wall=True
+        )
+        assert any("wall.elapsed" in r for r in regressions)
+
+    def test_changed_param_fails_loudly(self):
+        cur = make_artifact(params={"threads": 16})
+        regressions, _ = compare_artifacts(make_artifact(), cur)
+        assert any("param threads" in r for r in regressions)
+
+    def test_ignore_excludes_key_from_gating(self):
+        cur = make_artifact(counters={"ops.row_merges": 9999})
+        regressions, notes = compare_artifacts(
+            make_artifact(), cur, ignore=["ops.row_merges"]
+        )
+        assert regressions == []
+        assert any("ignored" in n for n in notes)
+
+    def test_gauge_drift_is_a_note(self):
+        cur = make_artifact(gauges={"sim.utilization": 0.5})
+        regressions, notes = compare_artifacts(make_artifact(), cur)
+        assert regressions == []
+        assert any("sim.utilization" in n for n in notes)
+
+    def test_schema_mismatch_raises(self):
+        cur = make_artifact()
+        cur["schema"] = "repro.obs.bench/2"
+        with pytest.raises(ValueError):
+            compare_artifacts(make_artifact(), cur)
+
+    def test_invalid_artifact_raises(self):
+        cur = make_artifact()
+        del cur["counters"]
+        with pytest.raises(ValueError):
+            compare_artifacts(make_artifact(), cur)
+
+
+class TestMainExitCodes:
+    def write(self, tmp_path, name, art):
+        path = str(tmp_path / name)
+        write_artifact(path, art)
+        return path
+
+    def test_exit_zero_on_match(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_artifact())
+        cur = self.write(tmp_path, "cur.json", make_artifact())
+        assert main([base, cur]) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_exit_one_on_injected_count_regression(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_artifact())
+        cur = self.write(
+            tmp_path,
+            "cur.json",
+            make_artifact(counters={"ops.row_merges": 532}),
+        )
+        assert main([base, cur]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_exit_two_on_missing_file(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_artifact())
+        assert main([base, str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_exit_two_on_schema_mismatch(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_artifact())
+        other = make_artifact()
+        other["schema"] = "repro.obs.bench/9"
+        cur = self.write(tmp_path, "cur.json", other)
+        assert main([base, cur]) == 2
+        assert "schema mismatch" in capsys.readouterr().err
+
+    def test_rtol_flag_controls_timing_gate(self, tmp_path):
+        base = self.write(tmp_path, "base.json", make_artifact())
+        cur = self.write(
+            tmp_path,
+            "cur.json",
+            make_artifact(timings={"virtual.total": 1200.0}),
+        )
+        assert main([base, cur]) == 1
+        assert main([base, cur, "--rtol", "0.25"]) == 0
