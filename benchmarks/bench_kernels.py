@@ -6,10 +6,17 @@ experiment benches, which report virtual time from the simulated
 machine.
 """
 
+import numpy as np
 import pytest
 
 from repro.baselines import floyd_warshall, repeated_dijkstra
-from repro.core import modified_dijkstra_sssp, new_state, solve_apsp
+from repro.core import (
+    modified_dijkstra_sssp,
+    new_state,
+    resolve_kernel,
+    run_sweep,
+    solve_apsp,
+)
 from repro.graphs import degree_array, load_dataset
 from repro.order import (
     exact_bucket_order,
@@ -19,6 +26,7 @@ from repro.order import (
     selection_order,
 )
 from repro.sort import counting_argsort, multilists_argsort
+from repro.types import OpCounts
 
 
 @pytest.fixture(scope="module")
@@ -96,6 +104,78 @@ def test_multilists_ordering_real(benchmark, big_degrees):
     benchmark(
         lambda: multilists_order(big_degrees, num_threads=4, backend="threads")
     )
+
+
+def test_unbatched_sweep(benchmark, graph):
+    n = graph.num_vertices
+    benchmark.pedantic(
+        lambda: run_sweep(graph, np.arange(n)), rounds=1, iterations=1
+    )
+
+
+def test_batched_sweep_blocked_kernel(benchmark, graph):
+    n = graph.num_vertices
+    benchmark.pedantic(
+        lambda: run_sweep(graph, np.arange(n), block_size=64),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_batched_sweep_flagless_whole_block(benchmark, graph):
+    """The headline regime: independent sweeps, full block occupancy."""
+    n = graph.num_vertices
+    benchmark.pedantic(
+        lambda: run_sweep(
+            graph, np.arange(n), use_flags=False, block_size=n
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("block", [16, 64, 256])
+def test_merge_block_kernel(benchmark, block):
+    kern = resolve_kernel("blocked")
+    rng = np.random.default_rng(0)
+    dist = rng.uniform(1.0, 100.0, size=(2 * block, 2048))
+    rows = np.arange(block, dtype=np.int64)
+    hubs = rows + block
+    benchmark(lambda: kern.merge_block(dist, rows, hubs % 2048))
+
+
+def _opcounts_workload():
+    """4096 varied counters — one per source of a mid-size APSP run."""
+    return [
+        OpCounts(
+            pops=i,
+            edge_relaxations=2 * i,
+            edge_improvements=i,
+            row_merges=i % 5,
+            merge_comparisons=400 * (i % 5),
+            flag_hits=i % 3,
+        )
+        for i in range(4096)
+    ]
+
+
+def test_opcounts_sum_reduction(benchmark):
+    """ISSUE 2 satellite: OpCounts.sum vs the per-object += fold."""
+    counts = _opcounts_workload()
+    benchmark(lambda: OpCounts.sum(counts))
+
+
+def test_opcounts_iadd_fold_reference(benchmark):
+    """The loop OpCounts.sum replaced, on the identical workload."""
+    counts = _opcounts_workload()
+
+    def fold():
+        total = OpCounts()
+        for c in counts:
+            total += c
+        return total
+
+    benchmark(fold)
 
 
 def test_counting_argsort(benchmark, big_degrees):

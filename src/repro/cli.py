@@ -21,6 +21,7 @@ import numpy as np
 
 from .analysis.tables import format_table
 from .bench import experiment_ids, get_profile, run_many, save_report
+from .core.kernels import kernel_names
 from .core.runner import algorithm_names, solve_apsp
 from .graphs.datasets import dataset_info, dataset_names, load_dataset
 from .graphs.degree import degree_array
@@ -70,6 +71,20 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("block", "static-cyclic", "dynamic"),
         default=None,
     )
+    solve.add_argument(
+        "--block-size",
+        type=_block_size_arg,
+        default=None,
+        metavar="B",
+        help="batch sources in blocks of B through the blocked min-plus "
+        "sweep engine; 'auto' tunes B, omit for the unbatched path",
+    )
+    solve.add_argument(
+        "--kernel",
+        choices=("auto",) + kernel_names(),
+        default="auto",
+        help="blocked-kernel implementation (only used with --block-size)",
+    )
     solve.add_argument("--directed", action="store_true")
     solve.add_argument("--out", help="write the distance matrix (.npy)")
     solve.add_argument(
@@ -118,6 +133,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _block_size_arg(value: str) -> "int | str":
+    """``--block-size`` accepts a positive int or the literal 'auto'."""
+    if value == "auto":
+        return value
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            f"block size must be >= 1, got {parsed}"
+        )
+    return parsed
+
+
 def _add_graph_source(parser: argparse.ArgumentParser) -> None:
     src = parser.add_mutually_exclusive_group(required=True)
     src.add_argument("--dataset", choices=dataset_names())
@@ -153,23 +185,19 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         graph, _ = read_edgelist(args.edgelist, directed=args.directed)
     registry = MetricsRegistry() if args.metrics else None
     t0 = time.perf_counter()
+    solve_kwargs = dict(
+        algorithm=args.algorithm,
+        num_threads=args.threads,
+        backend=args.backend,
+        schedule=args.schedule,
+        block_size=args.block_size,
+        kernel=args.kernel,
+    )
     if registry is not None:
         with use_registry(registry):
-            result = solve_apsp(
-                graph,
-                algorithm=args.algorithm,
-                num_threads=args.threads,
-                backend=args.backend,
-                schedule=args.schedule,
-            )
+            result = solve_apsp(graph, **solve_kwargs)
     else:
-        result = solve_apsp(
-            graph,
-            algorithm=args.algorithm,
-            num_threads=args.threads,
-            backend=args.backend,
-            schedule=args.schedule,
-        )
+        result = solve_apsp(graph, **solve_kwargs)
     wall = time.perf_counter() - t0
     finite = np.isfinite(result.dist)
     off_diag = finite.sum() - graph.num_vertices
@@ -179,6 +207,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
           f"{result.num_threads} threads, schedule={result.schedule})")
     print(f"ordering     : {result.ordering_method} "
           f"[{result.phase_times.ordering:.6g} {unit}]")
+    if "block_size" in result.extra:
+        print(f"block size   : {int(result.extra['block_size'])} "
+              f"(kernel={args.kernel})")
     print(f"dijkstra     : {result.phase_times.dijkstra:.6g} {unit}")
     print(f"total        : {result.total_time:.6g} {unit}")
     print(f"reachable    : {off_diag} of "

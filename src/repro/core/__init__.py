@@ -1,10 +1,26 @@
 """The paper's core contribution: modified-Dijkstra APSP, sequential
 and parallel, on real backends and on the simulated machine."""
 
+from .batch import (
+    BlockTuneSample,
+    autotune_block_size,
+    resolve_block_size,
+    run_block,
+)
 from .calibrate import CalibrationSample, fit_cost_model, measure_sweeps
 from .costs import DEFAULT_COST_MODEL, DijkstraCostModel
 from .dijkstra import dijkstra_sssp
-from .kernels import merge_row, relax_edges
+from .kernels import (
+    KERNELS,
+    BlockedKernel,
+    BlockKernel,
+    RowBlockKernel,
+    ScipyBlockKernel,
+    kernel_names,
+    merge_row,
+    relax_edges,
+    resolve_kernel,
+)
 from .modified_dijkstra import modified_dijkstra_sssp
 from .adaptive import seq_adaptive
 from .basic import seq_basic
@@ -20,12 +36,23 @@ from .sweep import SweepOutcome, run_sweep
 from .verify import verify_apsp
 
 __all__ = [
+    "BlockTuneSample",
+    "autotune_block_size",
+    "resolve_block_size",
+    "run_block",
     "CalibrationSample",
     "fit_cost_model",
     "measure_sweeps",
     "DEFAULT_COST_MODEL",
     "DijkstraCostModel",
     "dijkstra_sssp",
+    "KERNELS",
+    "BlockKernel",
+    "BlockedKernel",
+    "RowBlockKernel",
+    "ScipyBlockKernel",
+    "kernel_names",
+    "resolve_kernel",
     "merge_row",
     "relax_edges",
     "modified_dijkstra_sssp",

@@ -20,7 +20,7 @@ Intermediate evidence: a vertex ``t`` scores
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -72,16 +72,15 @@ def seq_adaptive(
 
     state = new_state(n)
     score = np.zeros(n, dtype=np.float64)
-    total = OpCounts()
+    per_counts: List[OpCounts] = []
     per_source_work = np.zeros(n, dtype=np.float64)
-    merges_before = 0
 
     t1 = time.perf_counter()
     position = 0
     while position < n:
         s = int(order[position])
         counts = modified_dijkstra_sssp(graph, s, state, queue=queue)
-        total += counts
+        per_counts.append(counts)
         per_source_work[s] = counts.total_work()
         # expanding s improved counts.edge_improvements tentative paths
         score[s] += counts.edge_improvements
@@ -90,8 +89,7 @@ def seq_adaptive(
         # loop, so the bonus is distributed to the already-finished
         # sources proportionally to their current score (cheap proxy
         # that still concentrates priority on proven intermediates)
-        new_merges = total.row_merges - merges_before
-        merges_before = total.row_merges
+        new_merges = counts.row_merges
         if new_merges and position:
             done = order[: position + 1]
             weights = score[done] + 1.0
@@ -115,6 +113,6 @@ def seq_adaptive(
         phase_times=PhaseTimes(
             ordering=ordering_seconds, dijkstra=dijkstra_seconds
         ),
-        ops=total,
+        ops=OpCounts.sum(per_counts),
         per_source_work=per_source_work,
     )

@@ -119,6 +119,8 @@ def solve_apsp(
     degree_kind: "DegreeKind | str" = DegreeKind.OUT,
     chunk: int = 1,
     use_flags: bool = True,
+    block_size: "int | str | None" = None,
+    kernel: str = "auto",
     cost_model: DijkstraCostModel = DEFAULT_COST_MODEL,
 ) -> APSPResult:
     """Solve all-pairs shortest paths; see the module docstring.
@@ -126,10 +128,21 @@ def solve_apsp(
     Returns an :class:`~repro.core.state.APSPResult` whose ``dist`` is
     the exact APSP matrix regardless of algorithm, backend, schedule or
     thread count.
+
+    ``block_size`` (an int, ``"auto"``, or ``None`` = unbatched) routes
+    the sweep phase through the batched lockstep engine of
+    :mod:`repro.core.batch`; ``kernel`` selects the blocked-kernel
+    implementation.  The SIM backend models per-operation costs, which
+    batching does not change (``OpCounts`` are identical by
+    construction), so both knobs are ignored there.
     """
     if algorithm not in ALGORITHMS:
         raise AlgorithmError(
             f"unknown algorithm {algorithm!r}; known: {', '.join(ALGORITHMS)}"
+        )
+    if not 0.0 < ratio <= 1.0:
+        raise AlgorithmError(
+            f"ratio must be in (0, 1], got {ratio!r}"
         )
     spec = ALGORITHMS[algorithm]
     backend = Backend.coerce(backend)
@@ -233,7 +246,12 @@ def solve_apsp(
             chunk=chunk,
             queue=queue,
             use_flags=use_flags,
+            block_size=block_size,
+            kernel=kernel,
         )
+    extra: Dict[str, float] = {}
+    if sweep.block_size is not None:
+        extra["block_size"] = float(sweep.block_size)
     return APSPResult(
         algorithm=algorithm,
         dist=sweep.dist,
@@ -247,4 +265,5 @@ def solve_apsp(
         ),
         ops=sweep.total_ops(),
         per_source_work=sweep.work_vector(cost_model),
+        extra=extra,
     )

@@ -56,10 +56,7 @@ class SimulatedSweep:
         return self.outcome.result.makespan
 
     def total_ops(self) -> OpCounts:
-        total = OpCounts()
-        for c in self.per_source:
-            total += c
-        return total
+        return OpCounts.sum(self.per_source)
 
 
 def simulate_sweep(

@@ -4,6 +4,17 @@ This module is the engine behind ParAlg1/ParAlg2/ParAPSP's main loop
 (Algorithm 4 / Algorithm 8 lines 4–8) on the *real* execution backends.
 The simulated counterpart lives in :mod:`repro.core.simulate`.
 
+Two execution strategies are available:
+
+* **unbatched** (``block_size=None``, the default) — one
+  ``modified_dijkstra_sssp`` call per source, row kernels;
+* **batched** (``block_size=B`` or ``"auto"``) — sources are processed
+  in blocks of B by the lockstep engine of :mod:`repro.core.batch`,
+  which replaces per-source row operations with blocked min-plus /
+  concatenated-CSR kernels.  Distances and per-source ``OpCounts`` are
+  bitwise-identical to the unbatched path (strictly guaranteed for
+  deterministic single-worker runs; see the batch module docstring).
+
 Concurrency notes (threads backend): every sweep writes only its own
 row of the distance matrix; rows of *other* sources are only read after
 their ``flag`` was observed set, and a flag is set strictly after its
@@ -30,8 +41,11 @@ from ..exceptions import AlgorithmError, BackendError
 from ..graphs.csr import CSRGraph
 from ..parallel import Backend, Schedule, parallel_for
 from ..parallel.backends.process import SharedArray, fork_available, run_parallel_map
+from ..obs import metrics as _obs
 from ..types import OpCounts
+from .batch import resolve_block_size, run_block
 from .costs import DEFAULT_COST_MODEL, DijkstraCostModel
+from .kernels import resolve_kernel
 from .modified_dijkstra import modified_dijkstra_sssp
 from .state import APSPState, new_state
 
@@ -41,23 +55,23 @@ __all__ = ["SweepOutcome", "run_sweep"]
 class SweepOutcome:
     """Distance matrix + per-source op accounting of one sweep phase."""
 
-    __slots__ = ("dist", "per_source", "elapsed_seconds")
+    __slots__ = ("dist", "per_source", "elapsed_seconds", "block_size")
 
     def __init__(
         self,
         dist: np.ndarray,
         per_source: List[OpCounts],
         elapsed_seconds: float,
+        block_size: Optional[int] = None,
     ) -> None:
         self.dist = dist
         self.per_source = per_source
         self.elapsed_seconds = elapsed_seconds
+        #: resolved batching block size (None = unbatched)
+        self.block_size = block_size
 
     def total_ops(self) -> OpCounts:
-        total = OpCounts()
-        for c in self.per_source:
-            total += c
-        return total
+        return OpCounts.sum(self.per_source)
 
     def work_vector(
         self, model: DijkstraCostModel = DEFAULT_COST_MODEL
@@ -77,11 +91,19 @@ def run_sweep(
     chunk: int = 1,
     queue: str = "fifo",
     use_flags: bool = True,
+    block_size: "int | str | None" = None,
+    kernel: str = "auto",
 ) -> SweepOutcome:
     """Run the full APSP sweep phase on a real backend.
 
     ``order[i]`` is the i-th source to issue (Algorithm 8 line 6–7).
     Returns per-source counts indexed by *vertex id* (not position).
+
+    ``block_size`` switches to the batched lockstep engine: an int is
+    used directly, ``"auto"`` runs the calibrate-style block-size
+    tuner, ``None`` keeps the unbatched per-source path.  ``kernel``
+    picks the blocked-kernel implementation (``"auto"``, ``"row"``,
+    ``"blocked"``, ``"scipy"``) and only matters when batching.
     """
     backend = Backend.coerce(backend)
     schedule = Schedule.coerce(schedule)
@@ -93,6 +115,20 @@ def run_sweep(
         )
     if backend is Backend.SIM:
         raise BackendError("use repro.core.simulate for the SIM backend")
+    resolved_block = resolve_block_size(block_size, n, kernel=kernel)
+    if resolved_block is not None:
+        return _sweep_batched(
+            graph,
+            order,
+            backend=backend,
+            num_threads=num_threads,
+            schedule=schedule,
+            chunk=chunk,
+            queue=queue,
+            use_flags=use_flags,
+            block_size=resolved_block,
+            kernel=kernel,
+        )
     if backend is Backend.PROCESS:
         return _sweep_process(
             graph,
@@ -177,3 +213,137 @@ def _sweep_process(
             per_source[s] = counts
         dist = shared_dist.array.copy()  # segment dies with the context
     return SweepOutcome(dist, per_source, elapsed)
+
+
+def _sweep_batched(
+    graph: CSRGraph,
+    order: np.ndarray,
+    *,
+    backend: Backend,
+    num_threads: int,
+    schedule: Schedule,
+    chunk: int,
+    queue: str,
+    use_flags: bool,
+    block_size: int,
+    kernel: str,
+) -> SweepOutcome:
+    """Batched sweep: blocks of sources through the lockstep engine.
+
+    Blocks are the scheduling unit — ``order`` is cut into
+    ``ceil(n / B)`` contiguous blocks which the chosen backend
+    dispatches exactly like it would dispatch single sources.  With one
+    worker the blocks run in issue order and the engine's strict mode
+    reproduces the sequential sweep bit-for-bit; with several workers
+    flags are read opportunistically (racy mode), like the unbatched
+    concurrent sweep.
+    """
+    n = graph.num_vertices
+    positions = np.empty(n, dtype=np.int64)
+    positions[order] = np.arange(n, dtype=np.int64)
+    num_blocks = -(-n // block_size) if n else 0
+    kern = resolve_kernel(kernel)
+    reg = _obs.get_registry()
+    if reg is not None:
+        reg.gauge_set("kernel.batch.block_size", block_size)
+
+    if backend is Backend.PROCESS and num_threads > 1 and fork_available():
+        return _sweep_batched_process(
+            graph,
+            order,
+            positions,
+            num_threads=num_threads,
+            schedule=schedule,
+            chunk=chunk,
+            queue=queue,
+            use_flags=use_flags,
+            block_size=block_size,
+            kernel=kernel,
+        )
+
+    state = new_state(n)
+    per_source: List[Optional[OpCounts]] = [None] * n
+    strict = backend is Backend.SERIAL or num_threads <= 1 \
+        or backend is Backend.PROCESS  # process fell back to one worker
+
+    def body(b: int, _thread: int) -> None:
+        block = order[b * block_size:(b + 1) * block_size]
+        got = run_block(
+            graph,
+            state,
+            block,
+            positions,
+            queue=queue,
+            use_flags=use_flags,
+            strict=strict,
+            kernel=kern,
+        )
+        for s, counts in got.items():
+            per_source[s] = counts
+
+    t0 = time.perf_counter()
+    parallel_for(
+        num_blocks,
+        body,
+        num_threads=num_threads,
+        schedule=schedule,
+        chunk=chunk,
+        backend=(
+            Backend.SERIAL if backend is Backend.PROCESS else backend
+        ),
+    )
+    elapsed = time.perf_counter() - t0
+    counts = [c if c is not None else OpCounts() for c in per_source]
+    return SweepOutcome(state.dist, counts, elapsed, block_size)
+
+
+def _sweep_batched_process(
+    graph: CSRGraph,
+    order: np.ndarray,
+    positions: np.ndarray,
+    *,
+    num_threads: int,
+    schedule: Schedule,
+    chunk: int,
+    queue: str,
+    use_flags: bool,
+    block_size: int,
+    kernel: str,
+) -> SweepOutcome:
+    """Shared-memory multiprocessing batched sweep (blocks as tasks)."""
+    n = graph.num_vertices
+    num_blocks = -(-n // block_size)
+    with SharedArray.allocate((n, n), np.float64) as shared_dist, \
+            SharedArray.allocate((n,), np.uint8) as shared_flag:
+        state = APSPState(dist=shared_dist.array, flag=shared_flag.array)
+        state.reset()
+
+        def work(b: int) -> List[Tuple[int, OpCounts]]:
+            block = order[b * block_size:(b + 1) * block_size]
+            got = run_block(
+                graph,
+                state,
+                block,
+                positions,
+                queue=queue,
+                use_flags=use_flags,
+                strict=False,
+                kernel=kernel,
+            )
+            return list(got.items())
+
+        t0 = time.perf_counter()
+        results = run_parallel_map(
+            num_blocks,
+            work,
+            num_threads=num_threads,
+            schedule=schedule,
+            chunk=chunk,
+        )
+        elapsed = time.perf_counter() - t0
+        per_source: List[OpCounts] = [OpCounts() for _ in range(n)]
+        for items in results:
+            for s, counts in items:
+                per_source[s] = counts
+        dist = shared_dist.array.copy()  # segment dies with the context
+    return SweepOutcome(dist, per_source, elapsed, block_size)

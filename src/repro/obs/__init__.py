@@ -15,8 +15,14 @@ Layout
   (env fingerprint, graph params, op counts, wall/virtual timings).
 * :mod:`repro.obs.regress`  — artifact comparator; exits non-zero on a
   regression (op counts exact, timings with tolerance).  The CI gate.
+  Also cross-checks ``kernel.*`` call accounting against the
+  ``ops.*`` per-source totals so kernel refactors cannot silently
+  desync the cost model.
 * :mod:`repro.obs.smoke`    — deterministic smoke workload that produces
   the ``BENCH_smoke.json`` artifact CI compares against its baseline.
+* :mod:`repro.obs.smoke_batched` — batched-vs-unbatched sweep smoke
+  (``BENCH_smoke_batched.json``); gates batched virtual cost ≤
+  unbatched and reports the wall-clock speedup headline.
 """
 
 from .artifact import (

@@ -13,6 +13,11 @@
   only exceed the baseline by ``--rtol`` (default 10%); ``wall.*``
   entries are host-dependent noise and are ignored unless
   ``--include-wall`` is given;
+* **kernel consistency** — artifacts that carry ``kernel.*`` counters
+  must satisfy the cross-layer invariants tying kernel-call accounting
+  to the per-source ``ops.*`` totals (see
+  :func:`check_kernel_consistency`), so a kernel refactor cannot
+  silently desync the cost model;
 * **env / gauges / spans** — reported, never gated.
 
 Exit codes: 0 = no regression, 1 = regression, 2 = bad input.
@@ -26,10 +31,91 @@ from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
 from .artifact import load_artifact, validate_artifact
 
-__all__ = ["compare_artifacts", "main"]
+__all__ = ["check_kernel_consistency", "compare_artifacts", "main"]
 
 #: timing keys with this prefix are host wall-clock and off by default
 WALL_PREFIX = "wall."
+
+
+def check_kernel_consistency(
+    counters: Mapping[str, float],
+) -> List[str]:
+    """Cross-check ``kernel.*`` call accounting against ``ops.*`` totals.
+
+    The row kernels and the blocked kernels instrument the *same
+    logical operations* that the per-source ``OpCounts`` record, so on
+    any artifact that carries both families the following must hold:
+
+    * every row merge went through exactly one kernel call::
+
+        kernel.merge_row.calls + kernel.batch.merge.rows
+            == ops.row_merges
+
+    * every attempted arc relaxation was issued by exactly one kernel::
+
+        kernel.relax.attempted + kernel.batch.relax.attempted
+            == ops.edge_relaxations
+
+      and likewise for the improved counts vs
+      ``ops.edge_improvements``;
+
+    * every relax event corresponds to one non-merge pop::
+
+        kernel.relax.calls + kernel.batch.relax.segments
+            <= ops.pops - ops.row_merges
+
+      (equality for the FIFO discipline; the heap's lazy deletion pops
+      stale entries that trigger no kernel call, hence ``<=``).
+
+    Artifacts without ``kernel.*`` counters (instrumentation disabled,
+    or pre-dating the kernel layer) are skipped.  Returns a list of
+    human-readable violations (empty = consistent).
+    """
+    if not any(key.startswith("kernel.") for key in counters):
+        return []
+
+    def got(key: str) -> float:
+        return counters.get(key, 0)
+
+    problems: List[str] = []
+
+    def require(label: str, actual: float, op_key: str) -> None:
+        if op_key not in counters:
+            return
+        expected = counters[op_key]
+        if actual != expected:
+            problems.append(
+                f"kernel consistency: {label} = {actual:g} but "
+                f"{op_key} = {expected:g} (must be equal)"
+            )
+
+    require(
+        "kernel.merge_row.calls + kernel.batch.merge.rows",
+        got("kernel.merge_row.calls") + got("kernel.batch.merge.rows"),
+        "ops.row_merges",
+    )
+    require(
+        "kernel.relax.attempted + kernel.batch.relax.attempted",
+        got("kernel.relax.attempted") + got("kernel.batch.relax.attempted"),
+        "ops.edge_relaxations",
+    )
+    require(
+        "kernel.relax.improved + kernel.batch.relax.improved",
+        got("kernel.relax.improved") + got("kernel.batch.relax.improved"),
+        "ops.edge_improvements",
+    )
+    if "ops.pops" in counters and "ops.row_merges" in counters:
+        relax_events = got("kernel.relax.calls") + got(
+            "kernel.batch.relax.segments"
+        )
+        budget = counters["ops.pops"] - counters["ops.row_merges"]
+        if relax_events > budget:
+            problems.append(
+                "kernel consistency: kernel.relax.calls + "
+                f"kernel.batch.relax.segments = {relax_events:g} exceeds "
+                f"ops.pops - ops.row_merges = {budget:g}"
+            )
+    return problems
 
 
 def compare_artifacts(
@@ -67,6 +153,11 @@ def compare_artifacts(
     _compare_counters(
         baseline["counters"], current["counters"], ignored, regressions, notes
     )
+    for art, label in ((baseline, "baseline"), (current, "current")):
+        regressions.extend(
+            f"{label}: {problem}"
+            for problem in check_kernel_consistency(art["counters"])
+        )
     _compare_timings(
         baseline["timings"],
         current["timings"],

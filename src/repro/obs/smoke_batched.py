@@ -1,0 +1,238 @@
+"""Batched-vs-unbatched smoke workload → ``BENCH_smoke_batched.json``.
+
+CI's ``bench-smoke`` job runs this module next to :mod:`repro.obs.smoke`
+and gates the artifact with :mod:`repro.obs.regress` against the
+committed baseline (``benchmarks/baselines/BENCH_smoke_batched.json``).
+
+Two configurations run on the *real* serial backend:
+
+* **flagged** — ParAPSP with flag reuse, unbatched vs batched (strict
+  lockstep mode).  Strict mode reproduces the sequential sweep
+  bit-for-bit, so the per-source ``OpCounts`` — and therefore the
+  virtual cost — are *identical by construction*; this config is the
+  CI tripwire for the bitwise contract.  The module exits non-zero if
+  the batched virtual cost exceeds the unbatched one (ISSUE 2's gate),
+  which under the contract can only happen if the engine broke.
+* **flagless** — the headline speedup workload: independent SPFA
+  sweeps (``use_flags=False``) where every source is always active and
+  the blocked kernels run at full occupancy.  With flag reuse on, hub
+  sources form an inherent sequential dependency chain (see
+  ``docs/perf.md``), capping the batched win; without it the batching
+  advantage is pure and the wall-clock speedup is reported as
+  ``wall.speedup_x``.
+
+Everything *gated* is machine-independent (operation counts and the
+virtual costs derived from them); wall-clock numbers are recorded for
+the speedup headline but never gated.
+
+Regenerate the baseline after an *intentional* perf-relevant change::
+
+    PYTHONPATH=src python -m repro.obs.smoke_batched \
+        --out benchmarks/baselines/BENCH_smoke_batched.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.runner import solve_apsp
+from ..graphs.rmat import rmat
+from .artifact import build_artifact, write_artifact
+
+__all__ = ["run_smoke_batched", "main"]
+
+#: bump when the workload knobs change so a stale baseline fails on
+#: params instead of on mysterious counters
+WORKLOAD_REV = 1
+
+#: flagged config — small enough that the strict engine's parity runs
+#: in well under a second, big enough that merges actually happen
+FLAGGED_SCALE = 7
+FLAGGED_EDGE_FACTOR = 8
+FLAGGED_BLOCK = 64
+
+#: flagless headline config — the fixed R-MAT workload of ISSUE 2;
+#: B = n puts the whole source set in one block (maximum occupancy)
+FLAGLESS_SCALE = 9
+FLAGLESS_EDGE_FACTOR = 8
+FLAGLESS_BLOCK = 512
+
+DEFAULT_SEED = 5
+KERNEL = "blocked"
+
+
+def _config(
+    graph,
+    *,
+    algorithm: str,
+    use_flags: bool,
+    block_size: Optional[int],
+) -> Dict[str, Any]:
+    """One solve; returns its ops total, dist and dijkstra wall time."""
+    result = solve_apsp(
+        graph,
+        algorithm=algorithm,
+        backend="serial",
+        queue="fifo",
+        use_flags=use_flags,
+        block_size=block_size,
+        kernel=KERNEL,
+    )
+    return {
+        "dist": result.dist,
+        "ops": result.ops,
+        "work": int(result.ops.total_work()),
+        "wall": float(result.phase_times.dijkstra),
+    }
+
+
+def run_smoke_batched(*, seed: int = DEFAULT_SEED) -> Dict[str, Any]:
+    """Run both configs; returns the artifact dict.
+
+    The artifact's ``counters`` are namespaced per config
+    (``flagged.*`` / ``flagless.*``) because the two workloads must not
+    sum — each is gated exactly against its baseline value.
+    """
+    counters: Dict[str, float] = {}
+    timings: Dict[str, float] = {}
+
+    flagged_graph = rmat(
+        FLAGGED_SCALE,
+        edge_factor=FLAGGED_EDGE_FACTOR,
+        seed=seed,
+        name=f"rmat-s{FLAGGED_SCALE}-ef{FLAGGED_EDGE_FACTOR}",
+    )
+    flagless_graph = rmat(
+        FLAGLESS_SCALE,
+        edge_factor=FLAGLESS_EDGE_FACTOR,
+        seed=seed,
+        name=f"rmat-s{FLAGLESS_SCALE}-ef{FLAGLESS_EDGE_FACTOR}",
+    )
+
+    configs = {
+        "flagged": dict(
+            graph=flagged_graph,
+            algorithm="parapsp",
+            use_flags=True,
+            block=FLAGGED_BLOCK,
+        ),
+        "flagless": dict(
+            graph=flagless_graph,
+            algorithm="paralg1",
+            use_flags=False,
+            block=FLAGLESS_BLOCK,
+        ),
+    }
+    for label, cfg in configs.items():
+        unbatched = _config(
+            cfg["graph"],
+            algorithm=cfg["algorithm"],
+            use_flags=cfg["use_flags"],
+            block_size=None,
+        )
+        batched = _config(
+            cfg["graph"],
+            algorithm=cfg["algorithm"],
+            use_flags=cfg["use_flags"],
+            block_size=cfg["block"],
+        )
+        # the strict engine's contract: bitwise distances, identical ops
+        counters[f"{label}.dist_identical"] = int(
+            np.array_equal(unbatched["dist"], batched["dist"])
+        )
+        counters[f"{label}.ops_identical"] = int(
+            unbatched["ops"] == batched["ops"]
+        )
+        # virtual costs are derived from OpCounts — machine-independent,
+        # gated by regress with its timing tolerance (they are in fact
+        # exactly equal while the bitwise contract holds)
+        timings[f"virtual.{label}.unbatched_work"] = unbatched["work"]
+        timings[f"virtual.{label}.batched_work"] = batched["work"]
+        timings[f"wall.{label}.unbatched"] = unbatched["wall"]
+        timings[f"wall.{label}.batched"] = batched["wall"]
+
+    headline = timings["wall.flagless.unbatched"] / max(
+        timings["wall.flagless.batched"], 1e-12
+    )
+    timings["wall.speedup_x"] = headline
+
+    return build_artifact(
+        "smoke-batched",
+        params={
+            "workload_rev": WORKLOAD_REV,
+            "rmat_seed": seed,
+            "kernel": KERNEL,
+            "flagged_scale": FLAGGED_SCALE,
+            "flagged_edge_factor": FLAGGED_EDGE_FACTOR,
+            "flagged_block": FLAGGED_BLOCK,
+            "flagless_scale": FLAGLESS_SCALE,
+            "flagless_edge_factor": FLAGLESS_EDGE_FACTOR,
+            "flagless_block": FLAGLESS_BLOCK,
+            "backend": "serial",
+            "queue": "fifo",
+        },
+        counters=counters,
+        timings=timings,
+    )
+
+
+def _gate(artifact: Dict[str, Any]) -> int:
+    """In-module gate: batched virtual cost must not exceed unbatched."""
+    failures = 0
+    counters = artifact["counters"]
+    timings = artifact["timings"]
+    for label in ("flagged", "flagless"):
+        if not counters[f"{label}.dist_identical"]:
+            print(f"FAIL: {label}: batched distances differ from unbatched")
+            failures += 1
+        if not counters[f"{label}.ops_identical"]:
+            print(f"FAIL: {label}: batched OpCounts differ from unbatched")
+            failures += 1
+        unbatched = timings[f"virtual.{label}.unbatched_work"]
+        batched = timings[f"virtual.{label}.batched_work"]
+        if batched > unbatched:
+            print(
+                f"FAIL: {label}: batched virtual cost {batched:g} exceeds "
+                f"unbatched {unbatched:g}"
+            )
+            failures += 1
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.smoke_batched",
+        description="run the batched-vs-unbatched smoke benchmark and "
+        "write its BENCH artifact (non-zero exit if batched costs more)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_smoke_batched.json",
+        help="artifact path to write",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    args = parser.parse_args(argv)
+    artifact = run_smoke_batched(seed=args.seed)
+    path = write_artifact(args.out, artifact)
+    timings = artifact["timings"]
+    print(f"wrote {path}")
+    for label in ("flagged", "flagless"):
+        print(
+            "  {}: virtual {:g} -> {:g}, wall {:.3f}s -> {:.3f}s".format(
+                label,
+                timings[f"virtual.{label}.unbatched_work"],
+                timings[f"virtual.{label}.batched_work"],
+                timings[f"wall.{label}.unbatched"],
+                timings[f"wall.{label}.batched"],
+            )
+        )
+    print(f"  headline (flagless) speedup: {timings['wall.speedup_x']:.2f}x")
+    return 1 if _gate(artifact) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -93,6 +93,31 @@ class TestResultContents:
         r = solve_apsp(small_weighted, algorithm="seq-opt", ratio=0.5)
         assert_same_apsp(r.dist, reference(small_weighted))
 
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.0001, 2.0])
+    def test_ratio_out_of_range_rejected(self, toy_graph, bad):
+        with pytest.raises(AlgorithmError, match="ratio"):
+            solve_apsp(toy_graph, algorithm="seq-opt", ratio=bad)
+
+    def test_ratio_validated_through_seq_optimized(self, toy_graph):
+        from repro.core import seq_optimized
+
+        with pytest.raises(AlgorithmError, match="ratio"):
+            seq_optimized(toy_graph, ratio=-1.0)
+
+    def test_block_size_forwarded(self, small_weighted):
+        a = solve_apsp(small_weighted, algorithm="seq-opt")
+        b = solve_apsp(small_weighted, algorithm="seq-opt", block_size=16)
+        assert b.extra["block_size"] == 16
+        assert "block_size" not in a.extra
+        assert np.array_equal(a.dist, b.dist)
+        assert a.ops == b.ops
+
+    def test_block_size_auto_resolves(self, small_weighted):
+        r = solve_apsp(
+            small_weighted, algorithm="parapsp", block_size="auto"
+        )
+        assert 1 <= r.extra["block_size"] <= small_weighted.num_vertices
+
     def test_degree_kind_forwarded(self, directed_weighted, reference):
         r = solve_apsp(
             directed_weighted, algorithm="seq-opt", degree_kind="in"

@@ -1,0 +1,136 @@
+"""Property-based batched/unbatched sweep equivalence (ISSUE 2).
+
+The batched lockstep engine's contract: on a deterministic single-worker
+run (serial backend, or threads/process with one worker) the batched
+sweep is *bitwise-identical* to the unbatched one — the distance matrix
+AND every per-source ``OpCounts`` — for every graph, block size, queue
+discipline and kernel implementation.  With several workers the flags
+are read opportunistically, so the op counts may differ (forgone reuse
+opportunities) but the distances stay exact.
+
+Hypothesis drives the graph space; the block sizes deliberately include
+degenerate (1), non-divisor and whole-graph values.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernels import kernel_names
+from repro.core.sweep import run_sweep
+from tests.integration.test_property_apsp import random_graph
+
+SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+BLOCK_SIZES = st.sampled_from([1, 2, 3, 7, 16, 64, "auto"])
+QUEUES = st.sampled_from(["fifo", "heap"])
+
+
+def _order_for(graph, seed):
+    rng = np.random.default_rng(seed)
+    return rng.permutation(graph.num_vertices)
+
+
+def _assert_bitwise(batched, unbatched):
+    assert np.array_equal(batched.dist, unbatched.dist), (
+        "batched distance matrix differs bitwise from unbatched"
+    )
+    assert batched.per_source == unbatched.per_source, (
+        "batched per-source OpCounts differ from unbatched"
+    )
+
+
+class TestStrictBitwise:
+    @given(
+        graph=random_graph(),
+        block=BLOCK_SIZES,
+        queue=QUEUES,
+        use_flags=st.booleans(),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(**SETTINGS)
+    def test_serial(self, graph, block, queue, use_flags, seed):
+        order = _order_for(graph, seed)
+        unbatched = run_sweep(
+            graph, order, queue=queue, use_flags=use_flags
+        )
+        batched = run_sweep(
+            graph,
+            order,
+            queue=queue,
+            use_flags=use_flags,
+            block_size=block,
+        )
+        _assert_bitwise(batched, unbatched)
+
+    @given(
+        graph=random_graph(),
+        block=st.sampled_from([1, 4, 16]),
+        queue=QUEUES,
+        kernel=st.sampled_from(kernel_names()),
+    )
+    @settings(**SETTINGS)
+    def test_every_kernel(self, graph, block, queue, kernel):
+        order = np.arange(graph.num_vertices)
+        unbatched = run_sweep(graph, order, queue=queue)
+        batched = run_sweep(
+            graph, order, queue=queue, block_size=block, kernel=kernel
+        )
+        _assert_bitwise(batched, unbatched)
+
+    @given(
+        graph=random_graph(),
+        block=st.sampled_from([2, 8, "auto"]),
+        queue=QUEUES,
+    )
+    @settings(**SETTINGS)
+    def test_threads_one_worker_is_strict(self, graph, block, queue):
+        order = np.arange(graph.num_vertices)
+        unbatched = run_sweep(graph, order, queue=queue)
+        batched = run_sweep(
+            graph,
+            order,
+            backend="threads",
+            num_threads=1,
+            queue=queue,
+            block_size=block,
+        )
+        _assert_bitwise(batched, unbatched)
+
+
+class TestConcurrentExact:
+    @given(
+        graph=random_graph(),
+        block=st.sampled_from([2, 8, 64]),
+        threads=st.integers(2, 4),
+        queue=QUEUES,
+    )
+    @settings(**SETTINGS)
+    def test_threads_multiworker_distances(
+        self, graph, block, threads, queue
+    ):
+        """Racy mode: exact distances (op counts may legally differ)."""
+        order = np.arange(graph.num_vertices)
+        reference = run_sweep(graph, order, queue=queue)
+        batched = run_sweep(
+            graph,
+            order,
+            backend="threads",
+            num_threads=threads,
+            queue=queue,
+            block_size=block,
+        )
+        assert np.array_equal(
+            np.isfinite(batched.dist), np.isfinite(reference.dist)
+        )
+        fin = np.isfinite(reference.dist)
+        # equally-short paths may round differently depending on which
+        # finalised row a racy reader saw — last-ulp tolerance like the
+        # cross-algorithm exactness test
+        np.testing.assert_allclose(
+            batched.dist[fin], reference.dist[fin], rtol=1e-12, atol=0.0
+        )

@@ -5,7 +5,11 @@ import copy
 import pytest
 
 from repro.obs import build_artifact, write_artifact
-from repro.obs.regress import compare_artifacts, main
+from repro.obs.regress import (
+    check_kernel_consistency,
+    compare_artifacts,
+    main,
+)
 
 
 def make_artifact(**overrides):
@@ -107,6 +111,104 @@ class TestCompare:
         del cur["counters"]
         with pytest.raises(ValueError):
             compare_artifacts(make_artifact(), cur)
+
+
+def consistent_kernel_counters(**overrides):
+    """A counter set satisfying every cross-layer invariant.
+
+    12 pops: 4 merges (3 row calls + 1 batched row) and 8 relax events
+    (5 row calls + 3 batched segments), 40 attempted arcs, 9 improved.
+    """
+    counters = {
+        "ops.pops": 12,
+        "ops.row_merges": 4,
+        "ops.edge_relaxations": 40,
+        "ops.edge_improvements": 9,
+        "kernel.merge_row.calls": 3,
+        "kernel.batch.merge.rows": 1,
+        "kernel.relax.calls": 5,
+        "kernel.batch.relax.segments": 3,
+        "kernel.relax.attempted": 25,
+        "kernel.batch.relax.attempted": 15,
+        "kernel.relax.improved": 6,
+        "kernel.batch.relax.improved": 3,
+    }
+    counters.update(overrides)
+    return counters
+
+
+class TestKernelConsistency:
+    def test_consistent_counters_pass(self):
+        assert check_kernel_consistency(consistent_kernel_counters()) == []
+
+    def test_no_kernel_counters_skips(self):
+        assert check_kernel_consistency({"ops.row_merges": 99}) == []
+
+    def test_merge_count_mismatch_detected(self):
+        problems = check_kernel_consistency(
+            consistent_kernel_counters(**{"kernel.merge_row.calls": 2})
+        )
+        assert any("ops.row_merges" in p for p in problems)
+
+    def test_attempted_mismatch_detected(self):
+        problems = check_kernel_consistency(
+            consistent_kernel_counters(**{"kernel.relax.attempted": 24})
+        )
+        assert any("ops.edge_relaxations" in p for p in problems)
+
+    def test_improved_mismatch_detected(self):
+        problems = check_kernel_consistency(
+            consistent_kernel_counters(**{"kernel.batch.relax.improved": 4})
+        )
+        assert any("ops.edge_improvements" in p for p in problems)
+
+    def test_relax_events_over_pop_budget_detected(self):
+        problems = check_kernel_consistency(
+            consistent_kernel_counters(**{"kernel.relax.calls": 9})
+        )
+        assert any("exceeds" in p for p in problems)
+
+    def test_heap_stale_pops_leave_slack(self):
+        # lazy heap deletion: pops exceed kernel events — allowed
+        counters = consistent_kernel_counters(**{"ops.pops": 20})
+        assert check_kernel_consistency(counters) == []
+
+    def test_compare_artifacts_gates_on_inconsistency(self):
+        base = make_artifact()
+        cur = make_artifact(
+            counters=consistent_kernel_counters(
+                **{"kernel.merge_row.calls": 2}
+            )
+        )
+        cur_base = make_artifact(
+            counters=consistent_kernel_counters(
+                **{"kernel.merge_row.calls": 2}
+            )
+        )
+        regressions, _ = compare_artifacts(cur_base, cur)
+        assert any("kernel consistency" in r for r in regressions)
+        regressions, _ = compare_artifacts(base, copy.deepcopy(base))
+        assert regressions == []
+
+    def test_real_sweep_counters_are_consistent(self, small_weighted):
+        """End to end: a real batched run satisfies the invariants."""
+        import numpy as np
+
+        from repro.core.sweep import run_sweep
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        n = small_weighted.num_vertices
+        with use_registry(registry):
+            outcome = run_sweep(
+                small_weighted, np.arange(n), block_size=16
+            )
+        counters = registry.counters()
+        total = outcome.total_ops()
+        counters.update(
+            {f"ops.{k}": v for k, v in total.as_dict().items()}
+        )
+        assert check_kernel_consistency(counters) == []
 
 
 class TestMainExitCodes:

@@ -28,6 +28,24 @@ class TestParser:
                 ["solve", "--dataset", "WordNet", "--algorithm", "magic"]
             )
 
+    def test_block_size_accepts_int_and_auto(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["solve", "--dataset", "WordNet", "--block-size", "32"]
+        )
+        assert args.block_size == 32
+        args = parser.parse_args(
+            ["solve", "--dataset", "WordNet", "--block-size", "auto"]
+        )
+        assert args.block_size == "auto"
+
+    @pytest.mark.parametrize("bad", ["0", "-4", "many"])
+    def test_block_size_rejects_garbage(self, bad):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["solve", "--dataset", "WordNet", "--block-size", bad]
+            )
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -83,6 +101,37 @@ class TestCommands:
         src.write_text("0 1\n1 2\n2 3\n")
         assert main(["solve", "--edgelist", str(src)]) == 0
         assert "n=4" in capsys.readouterr().out
+
+    def test_solve_batched_emits_kernel_batch_metrics(
+        self, tmp_path, capsys
+    ):
+        """ISSUE 2 acceptance: --block-size auto end-to-end with
+        --metrics produces kernel.batch.* counters in the artifact."""
+        from repro.obs import load_artifact
+        from repro.obs.regress import check_kernel_consistency
+
+        target = tmp_path / "BENCH_batched.json"
+        code = main(
+            [
+                "solve",
+                "--rmat",
+                "6",
+                "--seed",
+                "3",
+                "--block-size",
+                "auto",
+                "--metrics",
+                str(target),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "block size" in out
+        artifact = load_artifact(str(target))
+        counters = artifact["counters"]
+        assert any(k.startswith("kernel.batch.") for k in counters)
+        assert artifact["gauges"]["kernel.batch.block_size"] >= 1
+        assert check_kernel_consistency(counters) == []
 
     def test_order_command(self, capsys):
         code = main(

@@ -80,3 +80,24 @@ class TestOpCountsAndPhaseTimes:
     def test_phase_times_defaults(self):
         pt = PhaseTimes()
         assert pt.total == 0.0
+
+    def test_opcounts_sum_matches_iadd_fold(self):
+        counts = [
+            OpCounts(
+                pops=i,
+                edge_relaxations=2 * i,
+                edge_improvements=3 * i,
+                row_merges=i % 3,
+                merge_comparisons=7 * (i % 3),
+                flag_hits=i % 2,
+            )
+            for i in range(25)
+        ]
+        folded = OpCounts()
+        for c in counts:
+            folded += c
+        assert OpCounts.sum(counts) == folded
+
+    def test_opcounts_sum_empty_is_zero(self):
+        assert OpCounts.sum([]) == OpCounts()
+        assert OpCounts.sum(iter([])) == OpCounts()
