@@ -3,6 +3,7 @@
 Subcommands
 -----------
 ``solve``    — run one APSP algorithm on a dataset or edge-list file.
+``trace``    — unified execution trace: Perfetto JSON, report, Gantt.
 ``order``    — run one ordering procedure and report its statistics.
 ``analyze``  — APSP-derived network metrics (closeness, diameter, ...).
 ``paths``    — shortest path between two vertices (with the route).
@@ -94,6 +95,58 @@ def build_parser() -> argparse.ArgumentParser:
         "schema-versioned BENCH artifact (JSON) to PATH",
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="unified execution trace (Chrome/Perfetto JSON, critical-path "
+        "report, ASCII Gantt)",
+    )
+    tsrc = trace.add_mutually_exclusive_group(required=True)
+    tsrc.add_argument("--dataset", choices=dataset_names(), help="registry graph")
+    tsrc.add_argument("--edgelist", help="path to a SNAP-format edge list")
+    tsrc.add_argument(
+        "--rmat",
+        type=int,
+        metavar="SCALE",
+        help="synthetic R-MAT graph with 2**SCALE vertices (seeded)",
+    )
+    trace.add_argument("--scale", type=int, default=None)
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--edge-factor", type=int, default=8)
+    trace.add_argument(
+        "--algorithm", choices=algorithm_names(), default="parapsp"
+    )
+    trace.add_argument("--threads", type=int, default=4)
+    trace.add_argument(
+        "--backend",
+        choices=("sim", "serial", "threads", "process"),
+        default="sim",
+        help="'sim' traces the virtual-time simulator exactly; real "
+        "backends record wall-clock repro.obs spans via TraceRecorder",
+    )
+    trace.add_argument(
+        "--schedule",
+        choices=("block", "static-cyclic", "dynamic"),
+        default=None,
+    )
+    trace.add_argument("--directed", action="store_true")
+    trace.add_argument(
+        "--out", help="write Chrome-trace JSON here (open in ui.perfetto.dev)"
+    )
+    trace.add_argument(
+        "--report",
+        action="store_true",
+        help="print the critical-path / contention attribution report",
+    )
+    trace.add_argument(
+        "--gantt",
+        action="store_true",
+        help="print an ASCII Gantt of the unified timeline",
+    )
+    trace.add_argument(
+        "--top-k", type=int, default=5,
+        help="lock hotspots / stragglers to list in the report",
+    )
+
     order = sub.add_parser("order", help="run an ordering procedure")
     order.add_argument("--dataset", choices=dataset_names(), required=True)
     order.add_argument("--scale", type=int, default=None)
@@ -165,24 +218,29 @@ def _load_graph(args: argparse.Namespace):
     return graph
 
 
-def _cmd_solve(args: argparse.Namespace) -> int:
-    import time
-
-    from .obs import MetricsRegistry, use_registry
-
+def _solve_graph(args: argparse.Namespace):
+    """Graph from --dataset / --edgelist / --rmat (solve & trace)."""
     if args.dataset:
-        graph = load_dataset(args.dataset, scale=args.scale)
-    elif args.rmat is not None:
+        return load_dataset(args.dataset, scale=args.scale)
+    if getattr(args, "rmat", None) is not None:
         from .graphs.rmat import rmat
 
-        graph = rmat(
+        return rmat(
             args.rmat,
             edge_factor=args.edge_factor,
             seed=args.seed,
             name=f"rmat-s{args.rmat}-ef{args.edge_factor}",
         )
-    else:
-        graph, _ = read_edgelist(args.edgelist, directed=args.directed)
+    graph, _ = read_edgelist(args.edgelist, directed=args.directed)
+    return graph
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    import time
+
+    from .obs import MetricsRegistry, use_registry
+
+    graph = _solve_graph(args)
     registry = MetricsRegistry() if args.metrics else None
     t0 = time.perf_counter()
     solve_kwargs = dict(
@@ -233,6 +291,48 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         )
         path = write_artifact(args.metrics, artifact)
         print(f"metrics saved: {path}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .trace import (
+        TraceRecorder,
+        analyze_trace,
+        trace_from_apsp_result,
+        write_chrome,
+    )
+
+    graph = _solve_graph(args)
+    solve_kwargs = dict(
+        algorithm=args.algorithm,
+        num_threads=args.threads,
+        backend=args.backend,
+        schedule=args.schedule,
+    )
+    if args.backend == "sim":
+        result = solve_apsp(graph, trace=True, **solve_kwargs)
+        trace = trace_from_apsp_result(result)
+    else:
+        from .obs import use_registry
+
+        recorder = TraceRecorder()
+        with use_registry(recorder):
+            solve_apsp(graph, **solve_kwargs)
+        trace = recorder.to_trace()
+    print(f"graph  : {graph!r}")
+    print(f"trace  : {trace.clock} clock, {trace.num_tracks} track(s), "
+          f"{len(trace.spans)} span(s), makespan {trace.makespan:.6g}")
+    if args.out:
+        path = write_chrome(args.out, trace)
+        print(f"chrome : {path} (open in ui.perfetto.dev)")
+    if args.gantt:
+        from .simx import render_gantt
+
+        print()
+        print(render_gantt(trace))
+    if args.report or not (args.out or args.gantt):
+        print()
+        print(analyze_trace(trace, top_k=args.top_k).format())
     return 0
 
 
@@ -351,6 +451,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "solve": _cmd_solve,
+        "trace": _cmd_trace,
         "order": _cmd_order,
         "analyze": _cmd_analyze,
         "paths": _cmd_paths,

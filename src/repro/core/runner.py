@@ -122,6 +122,7 @@ def solve_apsp(
     block_size: "int | str | None" = None,
     kernel: str = "auto",
     cost_model: DijkstraCostModel = DEFAULT_COST_MODEL,
+    trace: bool = False,
 ) -> APSPResult:
     """Solve all-pairs shortest paths; see the module docstring.
 
@@ -135,6 +136,12 @@ def solve_apsp(
     implementation.  The SIM backend models per-operation costs, which
     batching does not change (``OpCounts`` are identical by
     construction), so both knobs are ignored there.
+
+    ``trace=True`` (SIM backend) makes both phases record per-event
+    virtual timelines on ``sim_ordering`` / ``sim_dijkstra``, the input
+    of the unified tracing layer (:mod:`repro.trace`).  Real backends
+    ignore it — wall-clock tracing records :func:`repro.obs.span`
+    sections through a :class:`repro.trace.TraceRecorder` instead.
     """
     if algorithm not in ALGORITHMS:
         raise AlgorithmError(
@@ -175,6 +182,7 @@ def solve_apsp(
                 degrees,
                 mach,
                 num_threads=num_threads,
+                trace=trace,
                 **ordering_kwargs,
             )
         with _obs.span("apsp.dijkstra"):
@@ -188,6 +196,7 @@ def solve_apsp(
                 queue=queue,
                 use_flags=use_flags,
                 cost_model=cost_model,
+                trace=trace,
             )
         ordering_time = (
             order_result.sim.makespan if order_result.sim is not None else 0.0

@@ -70,12 +70,15 @@ def simulate_sweep(
     queue: str = "fifo",
     use_flags: bool = True,
     cost_model: DijkstraCostModel = DEFAULT_COST_MODEL,
+    trace: bool = False,
 ) -> SimulatedSweep:
     """Play the sweep phase on the simulated machine.
 
     The produced distance matrix is the exact APSP solution (reuse
     affects only *work*, never results); the virtual makespan reflects
     the T-thread schedule, flag interleaving and memory effects.
+    ``trace=True`` records per-sweep timeline events for the unified
+    tracing layer (:mod:`repro.trace`).
     """
     schedule = Schedule.coerce(schedule)
     order = np.asarray(order, dtype=np.int64)
@@ -119,5 +122,6 @@ def simulate_sweep(
         schedule=schedule,
         chunk=chunk,
         cost_multiplier=multiplier,
+        trace=trace,
     )
     return SimulatedSweep(state.dist, per_source, outcome)

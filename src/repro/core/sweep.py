@@ -145,9 +145,10 @@ def run_sweep(
 
     def body(i: int, _thread: int) -> None:
         s = int(order[i])
-        per_source[s] = modified_dijkstra_sssp(
-            graph, s, state, queue=queue, use_flags=use_flags
-        )
+        with _obs.span("sweep.source"):
+            per_source[s] = modified_dijkstra_sssp(
+                graph, s, state, queue=queue, use_flags=use_flags
+            )
 
     t0 = time.perf_counter()
     parallel_for(
@@ -268,16 +269,17 @@ def _sweep_batched(
 
     def body(b: int, _thread: int) -> None:
         block = order[b * block_size:(b + 1) * block_size]
-        got = run_block(
-            graph,
-            state,
-            block,
-            positions,
-            queue=queue,
-            use_flags=use_flags,
-            strict=strict,
-            kernel=kern,
-        )
+        with _obs.span("sweep.block"):
+            got = run_block(
+                graph,
+                state,
+                block,
+                positions,
+                queue=queue,
+                use_flags=use_flags,
+                strict=strict,
+                kernel=kern,
+            )
         for s, counts in got.items():
             per_source[s] = counts
 

@@ -17,7 +17,14 @@ section     contents                                           compared
 ``timings`` ``virtual.*`` (deterministic) / ``wall.*``         tolerance
 ``gauges``  occupancy peaks, contention, utilization           reported
 ``spans``   hierarchical timer records                         never
+``trace_summary`` flat critical-path / contention attribution  tolerance
 =========== ================================================= ==========
+
+``trace_summary`` (schema ``/2``, optional) is the flat numeric dict
+produced by :meth:`repro.trace.TraceReport.summary` — makespan
+attribution fractions, critical-path composition and lock-hotspot
+totals.  :mod:`repro.obs.regress` gates its contention/idle fractions
+with an absolute tolerance (``--trace-atol``).
 """
 
 from __future__ import annotations
@@ -40,7 +47,8 @@ __all__ = [
 ]
 
 #: bump the suffix when the artifact layout changes incompatibly
-SCHEMA_VERSION = "repro.obs.bench/1"
+#: (/2: optional numeric ``trace_summary`` section, sorted counters)
+SCHEMA_VERSION = "repro.obs.bench/2"
 
 #: required top-level keys and their expected container types
 _REQUIRED: Dict[str, type] = {
@@ -84,12 +92,15 @@ def build_artifact(
     spans: Optional[List[Dict[str, Any]]] = None,
     registry: Any = None,
     env: Optional[Mapping[str, Any]] = None,
+    trace_summary: Optional[Mapping[str, float]] = None,
 ) -> Dict[str, Any]:
     """Assemble one schema-valid artifact dict.
 
     ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`) seeds
     the counters/gauges/spans sections; explicit mappings are overlaid on
-    top so callers can add derived values.
+    top so callers can add derived values.  ``trace_summary`` (a flat
+    numeric dict, see :meth:`repro.trace.TraceReport.summary`) is
+    attached verbatim when given.
     """
     base_counters: Dict[str, float] = {}
     base_gauges: Dict[str, float] = {}
@@ -105,17 +116,22 @@ def build_artifact(
         base_gauges.update(gauges)
     if spans:
         base_spans.extend(spans)
-    return {
+    artifact: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "name": name,
         "created_unix": time.time(),
         "env": dict(env) if env is not None else env_fingerprint(),
         "params": dict(params or {}),
-        "counters": _numeric(base_counters, "counters"),
-        "timings": _numeric(dict(timings or {}), "timings"),
-        "gauges": _numeric(base_gauges, "gauges"),
+        "counters": _sorted_numeric(base_counters, "counters"),
+        "timings": _sorted_numeric(dict(timings or {}), "timings"),
+        "gauges": _sorted_numeric(base_gauges, "gauges"),
         "spans": base_spans,
     }
+    if trace_summary is not None:
+        artifact["trace_summary"] = _sorted_numeric(
+            dict(trace_summary), "trace_summary"
+        )
+    return artifact
 
 
 def artifact_from_apsp_result(
@@ -126,6 +142,7 @@ def artifact_from_apsp_result(
     registry: Any = None,
     wall_seconds: Optional[float] = None,
     extra_params: Optional[Mapping[str, Any]] = None,
+    trace_summary: Optional[Mapping[str, float]] = None,
 ) -> Dict[str, Any]:
     """Artifact for one :func:`repro.core.runner.solve_apsp` run.
 
@@ -166,12 +183,14 @@ def artifact_from_apsp_result(
         counters=counters,
         timings=timings,
         registry=registry,
+        trace_summary=trace_summary,
     )
 
 
-def _numeric(mapping: Dict[str, Any], section: str) -> Dict[str, float]:
+def _sorted_numeric(mapping: Dict[str, Any], section: str) -> Dict[str, float]:
     out: Dict[str, float] = {}
-    for key, value in mapping.items():
+    for key in sorted(mapping, key=str):
+        value = mapping[key]
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             raise TypeError(
                 f"{section}[{key!r}] must be numeric, got {value!r}"
@@ -225,7 +244,13 @@ def validate_artifact(artifact: Any) -> List[str]:
                 f"section {key!r} must be {kind.__name__}, "
                 f"got {type(value).__name__}"
             )
-    for section in ("counters", "timings", "gauges"):
+    trace_summary = artifact.get("trace_summary")
+    if trace_summary is not None and not isinstance(trace_summary, Mapping):
+        problems.append(
+            f"section 'trace_summary' must be dict, "
+            f"got {type(trace_summary).__name__}"
+        )
+    for section in ("counters", "timings", "gauges", "trace_summary"):
         values = artifact.get(section)
         if isinstance(values, Mapping):
             for name, value in values.items():

@@ -169,8 +169,17 @@ class MetricsRegistry:
                 c.value += delta
 
     def counters(self) -> Dict[str, float]:
+        """Counter values, sorted by name.
+
+        Sorted (not insertion-ordered) so dumps and BENCH artifacts are
+        byte-stable regardless of which worker touched a counter first —
+        the threads backend makes first-touch order a race.
+        """
         with self._lock:
-            return {name: c.value for name, c in self._counters.items()}
+            return {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            }
 
     # -- gauges ----------------------------------------------------------
     def gauge_set(self, name: str, value: float) -> None:
@@ -186,8 +195,9 @@ class MetricsRegistry:
                 self._gauges[name] = value
 
     def gauges(self) -> Dict[str, float]:
+        """Gauge values, sorted by name (see :meth:`counters`)."""
         with self._lock:
-            return dict(self._gauges)
+            return {name: self._gauges[name] for name in sorted(self._gauges)}
 
     # -- aggregation -----------------------------------------------------
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":

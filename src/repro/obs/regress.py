@@ -13,6 +13,12 @@
   only exceed the baseline by ``--rtol`` (default 10%); ``wall.*``
   entries are host-dependent noise and are ignored unless
   ``--include-wall`` is given;
+* **trace_summary** — contention / idle / overhead *fractions* from the
+  unified trace analyzer may only exceed the baseline by ``--trace-atol``
+  (absolute, default 0.02 — fractions live in [0, 1] so a relative
+  tolerance would be meaningless near zero); the remaining keys
+  (makespans, critical-path composition, hotspot totals) are reported
+  as notes;
 * **kernel consistency** — artifacts that carry ``kernel.*`` counters
   must satisfy the cross-layer invariants tying kernel-call accounting
   to the per-source ``ops.*`` totals (see
@@ -35,6 +41,14 @@ __all__ = ["check_kernel_consistency", "compare_artifacts", "main"]
 
 #: timing keys with this prefix are host wall-clock and off by default
 WALL_PREFIX = "wall."
+
+#: trace_summary keys with these suffixes are gated (absolute, upward):
+#: more lock-wait, more scheduler idle or more overhead is a regression
+TRACE_GATED_SUFFIXES = (
+    "lock_wait_fraction",
+    "idle_fraction",
+    "overhead_fraction",
+)
 
 
 def check_kernel_consistency(
@@ -125,6 +139,7 @@ def compare_artifacts(
     rtol: float = 0.10,
     include_wall: bool = False,
     ignore: Sequence[str] = (),
+    trace_atol: float = 0.02,
 ) -> Tuple[List[str], List[str]]:
     """Compare two artifacts; returns ``(regressions, notes)``.
 
@@ -163,6 +178,14 @@ def compare_artifacts(
         current["timings"],
         rtol,
         include_wall,
+        ignored,
+        regressions,
+        notes,
+    )
+    _compare_trace_summary(
+        baseline.get("trace_summary"),
+        current.get("trace_summary"),
+        trace_atol,
         ignored,
         regressions,
         notes,
@@ -256,6 +279,62 @@ def _compare_timings(
             notes.append(f"timing {key}: {base[key]:g} -> {cur[key]:g} (ok)")
 
 
+def _compare_trace_summary(
+    base: Optional[Mapping[str, float]],
+    cur: Optional[Mapping[str, float]],
+    atol: float,
+    ignored: set,
+    regressions: List[str],
+    notes: List[str],
+) -> None:
+    """Gate the unified-trace attribution fractions.
+
+    Only the *fraction* families in :data:`TRACE_GATED_SUFFIXES` gate,
+    and only upward (contention/idle/overhead growing past the baseline
+    by more than ``atol``); a drop is an improvement and is noted.
+    Absolute makespans and critical-path lengths shift with workload
+    knobs and are note-only, like ``wall.*`` timings.
+    """
+    if base is None:
+        if cur:
+            notes.append(
+                "trace_summary new in current (no baseline to gate against)"
+            )
+        return
+    if cur is None:
+        regressions.append(
+            "trace_summary present in baseline but missing from current "
+            "artifact (tracing disabled?)"
+        )
+        return
+    for key in sorted(base):
+        gated = key.endswith(TRACE_GATED_SUFFIXES)
+        if key in ignored or not gated:
+            if key in ignored:
+                notes.append(f"trace {key}: ignored")
+            elif key in cur:
+                notes.append(
+                    f"trace {key}: {base[key]:g} -> {cur[key]:g} (not gated)"
+                )
+            continue
+        if key not in cur:
+            regressions.append(
+                f"trace {key} missing from current artifact"
+            )
+            continue
+        if cur[key] > base[key] + atol:
+            regressions.append(
+                f"trace {key}: {base[key]:.4f} -> {cur[key]:.4f} "
+                f"(+{cur[key] - base[key]:.4f}, tolerance {atol:g} absolute)"
+            )
+        else:
+            notes.append(
+                f"trace {key}: {base[key]:.4f} -> {cur[key]:.4f} (ok)"
+            )
+    for key in sorted(set(cur) - set(base)):
+        notes.append(f"trace {key} new in current: {cur[key]:g}")
+
+
 def _report(regressions: List[str], notes: List[str], verbose: bool) -> None:
     if verbose and notes:
         for note in notes:
@@ -295,6 +374,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="exclude a counter/timing/param key from gating (repeatable)",
     )
     parser.add_argument(
+        "--trace-atol",
+        type=float,
+        default=0.02,
+        help="absolute tolerance for trace_summary contention/idle/"
+        "overhead fractions (default 0.02)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-key notes"
     )
     args = parser.parse_args(argv)
@@ -308,6 +394,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             rtol=args.rtol,
             include_wall=args.include_wall,
             ignore=args.ignore,
+            trace_atol=args.trace_atol,
         )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)

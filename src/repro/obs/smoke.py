@@ -43,8 +43,15 @@ def run_smoke(
     threads: int = DEFAULT_THREADS,
     seed: int = DEFAULT_SEED,
     algorithm: str = "parapsp",
-) -> Tuple[Dict[str, object], MetricsRegistry]:
-    """Run the smoke workload; returns ``(artifact, registry)``."""
+) -> Tuple[Dict[str, object], MetricsRegistry, object]:
+    """Run the smoke workload; returns ``(artifact, registry, trace)``.
+
+    ``trace`` is the unified execution trace
+    (:class:`repro.trace.Trace`) of the traced SIM run; its analyzer
+    summary is folded into the artifact's ``trace_summary`` section.
+    """
+    from ..trace import analyze_trace, trace_from_apsp_result
+
     graph = rmat(
         scale,
         edge_factor=edge_factor,
@@ -59,8 +66,13 @@ def run_smoke(
             algorithm=algorithm,
             num_threads=threads,
             backend="sim",
+            trace=True,
         )
     wall = time.perf_counter() - t0
+    # the simulator is deterministic, so the unified-trace attribution
+    # (idle / lock-wait / overhead fractions) is as gateable as the op
+    # counts; regress checks it against the baseline with --trace-atol
+    trace = trace_from_apsp_result(result)
     artifact = artifact_from_apsp_result(
         "smoke",
         graph,
@@ -73,8 +85,9 @@ def run_smoke(
             "rmat_edge_factor": edge_factor,
             "rmat_seed": seed,
         },
+        trace_summary=analyze_trace(trace).summary(),
     )
-    return artifact, registry
+    return artifact, registry, trace
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -95,8 +108,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--algorithm", default="parapsp", help="solver to smoke-test"
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="also write the run's Chrome-trace JSON (Perfetto) here",
+    )
     args = parser.parse_args(argv)
-    artifact, _ = run_smoke(
+    artifact, _, trace = run_smoke(
         scale=args.scale,
         edge_factor=args.edge_factor,
         threads=args.threads,
@@ -113,6 +132,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             artifact["timings"]["virtual.total"],
         )
     )
+    summary = artifact["trace_summary"]
+    print(
+        "  trace: compute={:.1%} lock-wait={:.1%} overhead={:.1%} "
+        "idle={:.1%}".format(
+            summary["trace.compute_fraction"],
+            summary["trace.lock_wait_fraction"],
+            summary["trace.overhead_fraction"],
+            summary["trace.idle_fraction"],
+        )
+    )
+    if args.trace_out:
+        from ..trace import write_chrome
+
+        print(f"wrote {write_chrome(args.trace_out, trace)}")
     return 0
 
 

@@ -34,7 +34,7 @@ from ..parallel import Backend, Schedule, parallel_for
 from ..parallel.schedule import block_assignment
 from ..simx.locksim import Op, run_lock_program
 from ..simx.machine import MachineSpec
-from ..simx.trace import SimResult
+from ..simx.trace import SimResult, TraceEvent
 from .base import DEFAULT_COSTS, OrderingCosts, OrderingResult
 
 __all__ = ["multilists_order", "simulate_multilists", "DEFAULT_PAR_RATIO"]
@@ -168,6 +168,7 @@ def simulate_multilists(
     num_threads: int,
     par_ratio: float = DEFAULT_PAR_RATIO,
     costs: OrderingCosts = DEFAULT_COSTS,
+    trace: bool = False,
 ) -> OrderingResult:
     """Play MultiLists on the simulated machine.
 
@@ -194,12 +195,18 @@ def simulate_multilists(
 
     # ---- phase 1: lock-free fill (one parallel region)
     insert = costs.direct_bin + costs.append
-    programs = [[Op(work=len(block) * insert)] for block in blocks]
-    sim = run_lock_program(programs, machine)
+    programs = [
+        [Op(work=len(block) * insert, name="fill")] for block in blocks
+    ]
+    sim = run_lock_program(
+        programs, machine, trace=trace, region="multilists.fill"
+    )
 
     # ---- phase 2 setup: sequential prefix over (hi+1)×T buckets
     prefix_work = (hi + 1) * T * costs.prefix
-    sim = sim.merge_sequential(_seq_result(prefix_work))
+    sim = sim.merge_sequential(
+        _seq_result(prefix_work, "multilists.prefix", trace)
+    )
 
     # ---- phase 3: one region per low degree
     for d in range(0, low_cut + 1):
@@ -211,15 +218,19 @@ def simulate_multilists(
                 # adjacent threads write adjacent order[] slots: one
                 # cache-line conflict per populated bucket boundary
                 work += machine.false_sharing_penalty
-            per_thread.append([Op(work=work)])
-        sim = sim.merge_sequential(run_lock_program(per_thread, machine))
+            per_thread.append([Op(work=work, name=f"emit.deg{d}")])
+        sim = sim.merge_sequential(
+            run_lock_program(per_thread, machine, trace=trace)
+        )
 
     # ---- phase 4: sequential high-degree copy
     n_high = sum(
         len(lists[t][d]) for t in range(T) for d in range(low_cut + 1, hi + 1)
     )
     tail_work = n_high * costs.emit + (hi - low_cut) * T * costs.bucket_scan
-    sim = sim.merge_sequential(_seq_result(tail_work))
+    sim = sim.merge_sequential(
+        _seq_result(tail_work, "multilists.high-tail", trace)
+    )
 
     order = np.empty(n, dtype=np.int64)
     for d in range(hi + 1):
@@ -243,10 +254,16 @@ def simulate_multilists(
     )
 
 
-def _seq_result(work: float) -> SimResult:
+def _seq_result(
+    work: float, name: str = "", trace: bool = False
+) -> SimResult:
+    events = []
+    if trace and work > 0:
+        events.append(TraceEvent(0, 0, 0.0, work, label=name))
     return SimResult(
         num_threads=1,
         makespan=work,
         busy=np.array([work]),
         overhead=np.array([0.0]),
+        events=events,
     )

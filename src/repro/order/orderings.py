@@ -91,12 +91,15 @@ def simulate_order(
     machine: MachineSpec,
     *,
     num_threads: int = 1,
+    trace: bool = False,
     **kwargs,
 ) -> OrderingResult:
     """Run the named ordering on the simulated machine.
 
     Sequential procedures (``selection``) report a thread-independent
-    virtual time; ``none`` costs nothing.
+    virtual time; ``none`` costs nothing.  ``trace=True`` makes the
+    parallel procedures record per-event timelines (lock waits carry
+    the procedure's own lock names) for the unified tracing layer.
     """
     degrees = np.asarray(degrees, dtype=np.int64)
     n = degrees.size
@@ -115,15 +118,15 @@ def simulate_order(
         return selection_order(degrees, machine=machine, **kwargs)
     if name == "parbuckets":
         return simulate_par_buckets(
-            degrees, machine, num_threads=num_threads, **kwargs
+            degrees, machine, num_threads=num_threads, trace=trace, **kwargs
         )
     if name == "parmax":
         return simulate_par_max(
-            degrees, machine, num_threads=num_threads, **kwargs
+            degrees, machine, num_threads=num_threads, trace=trace, **kwargs
         )
     if name == "multilists":
         return simulate_multilists(
-            degrees, machine, num_threads=num_threads, **kwargs
+            degrees, machine, num_threads=num_threads, trace=trace, **kwargs
         )
     raise OrderingError(
         f"ordering {name!r} has no simulated variant "

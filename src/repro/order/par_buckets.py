@@ -26,7 +26,7 @@ from ..parallel import Backend, LockArray, Schedule, parallel_for
 from ..parallel.schedule import block_assignment
 from ..simx.locksim import Op, run_lock_program
 from ..simx.machine import MachineSpec
-from ..simx.trace import SimResult
+from ..simx.trace import SimResult, TraceEvent
 from .base import DEFAULT_COSTS, OrderingCosts, OrderingResult
 from .buckets import _emit_descending, find_bins
 
@@ -34,15 +34,19 @@ __all__ = ["par_buckets_order", "simulate_par_buckets"]
 
 
 def _emission_result(
-    n: int, num_buckets: int, costs: OrderingCosts
+    n: int, num_buckets: int, costs: OrderingCosts, trace: bool = False
 ) -> SimResult:
     """Virtual cost of the sequential order[] emission loop."""
     work = n * costs.emit + num_buckets * costs.bucket_scan
+    events = []
+    if trace and work > 0:
+        events.append(TraceEvent(0, 0, 0.0, work, label="emit-order"))
     return SimResult(
         num_threads=1,
         makespan=work,
         busy=np.array([work]),
         overhead=np.array([0.0]),
+        events=events,
     )
 
 
@@ -130,12 +134,20 @@ def simulate_par_buckets(
     programs = []
     for block in block_assignment(n, T):
         programs.append(
-            [Op(work=costs.find_bin, lock_id=int(bins[i])) for i in block]
+            [
+                Op(work=costs.find_bin, lock_id=int(bins[i]), name="find-bin")
+                for i in block
+            ]
         )
     fill = run_lock_program(
-        programs, machine, num_locks=num_bins + 1, trace=trace
+        programs,
+        machine,
+        num_locks=num_bins + 1,
+        trace=trace,
+        lock_names=[f"parbuckets.bin{b}" for b in range(num_bins + 1)],
+        region="parbuckets.fill",
     )
-    emission = _emission_result(n, num_bins + 1, costs)
+    emission = _emission_result(n, num_bins + 1, costs, trace)
     sim = fill.merge_sequential(emission)
 
     buckets: List[List[int]] = [[] for _ in range(num_bins + 1)]

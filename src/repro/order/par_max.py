@@ -27,7 +27,7 @@ from ..parallel import Backend, LockArray, Schedule, parallel_for
 from ..parallel.schedule import block_assignment
 from ..simx.locksim import Op, run_lock_program
 from ..simx.machine import MachineSpec
-from ..simx.trace import SimResult
+from ..simx.trace import SimResult, TraceEvent
 from .base import DEFAULT_COSTS, OrderingCosts, OrderingResult
 from .buckets import _emit_descending
 
@@ -136,13 +136,19 @@ def simulate_par_max(
                     Op(
                         work=costs.threshold_check + costs.direct_bin,
                         lock_id=int(degrees[i]),
+                        name="insert",
                     )
                 )
             else:
-                prog.append(Op(work=costs.threshold_check))
+                prog.append(Op(work=costs.threshold_check, name="scan"))
         programs.append(prog)
     phase1 = run_lock_program(
-        programs, machine, num_locks=hi + 1, trace=trace
+        programs,
+        machine,
+        num_locks=hi + 1,
+        trace=trace,
+        lock_names=[f"parmax.deg{d}" for d in range(hi + 1)],
+        region="parmax.insert",
     )
 
     n_low = int(n - high_mask.sum())
@@ -157,6 +163,11 @@ def simulate_par_max(
         makespan=seq_work,
         busy=np.array([seq_work]),
         overhead=np.array([0.0]),
+        events=(
+            [TraceEvent(0, 0, 0.0, seq_work, label="tail-insert+emit")]
+            if trace and seq_work > 0
+            else []
+        ),
     )
     sim = phase1.merge_sequential(phase2)
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, List
 
+from ...obs import metrics as _obs
 from ...types import Schedule
 from ..schedule import DynamicCounter, static_assignment
 
@@ -49,13 +50,16 @@ def run_parallel_for(
         def worker(thread_id: int) -> None:
             mine = executed[thread_id]
             try:
-                while not errors:
-                    chunk_range = counter.next_chunk()
-                    if not chunk_range:
-                        return
-                    for i in chunk_range:
-                        body(i, thread_id)
-                        mine.append(i)
+                # one wall-clock span per worker lifetime: the trace
+                # recorder turns these into per-thread timeline tracks
+                with _obs.span("parallel.worker"):
+                    while not errors:
+                        chunk_range = counter.next_chunk()
+                        if not chunk_range:
+                            return
+                        for i in chunk_range:
+                            body(i, thread_id)
+                            mine.append(i)
             except BaseException as exc:  # noqa: BLE001 — re-raised below
                 record_error(exc)
 
@@ -65,11 +69,12 @@ def run_parallel_for(
         def worker(thread_id: int) -> None:
             mine = executed[thread_id]
             try:
-                for i in assignment[thread_id]:
-                    if errors:
-                        return
-                    body(int(i), thread_id)
-                    mine.append(int(i))
+                with _obs.span("parallel.worker"):
+                    for i in assignment[thread_id]:
+                        if errors:
+                            return
+                        body(int(i), thread_id)
+                        mine.append(int(i))
             except BaseException as exc:  # noqa: BLE001
                 record_error(exc)
 

@@ -1,20 +1,21 @@
 """ASCII Gantt rendering of simulated execution traces.
 
-Turn a traced :class:`~repro.simx.trace.SimResult` into a per-thread
-timeline so scheduling pathologies — a block-partitioned straggler, a
-lock convoy — are visible at a glance:
+Turn a traced :class:`~repro.simx.trace.SimResult` — or a unified
+:class:`~repro.trace.model.Trace` — into a per-thread timeline so
+scheduling pathologies (a block-partitioned straggler, a lock convoy)
+are visible at a glance:
 
-    t0 |██████████░░                        |
-    t1 |████  ████████                      |
-    t2 |▒▒▒▒██████                          |
+    t0 |##########..                        |
+    t1 |####  ########                      |
+    t2 |~~~~######..                        |
 
-``█`` busy (iteration / lock hold), ``▒`` lock wait, ``░`` other
-overhead; blanks are idle.
+``#`` busy (iteration / lock hold), ``~`` lock wait, ``.`` other
+overhead (fork/join, dispatch, handoff); blanks are idle.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from ..exceptions import SimulationError
 from .trace import SimResult
@@ -23,13 +24,55 @@ __all__ = ["render_gantt"]
 
 _BUSY = "#"
 _WAIT = "~"
+_OVER = "."
 _IDLE = " "
+
+#: rendering bucket indices (cell shows the dominant one; busy wins ties)
+_B_BUSY, _B_WAIT, _B_OVER = 0, 1, 2
+
+
+def _sim_cells(result: SimResult) -> Tuple[List, float, int]:
+    """(track, start, end, bucket) rows from a traced SimResult."""
+    if not result.events:
+        if result.makespan > 0 and result.total_busy > 0:
+            raise SimulationError(
+                "no trace events — run the simulation with trace=True"
+            )
+        return [], float(result.makespan), result.num_threads
+    rows = []
+    for e in result.events:
+        if e.kind == "lock-wait":
+            bucket = _B_WAIT
+        elif e.kind == "overhead":
+            bucket = _B_OVER
+        else:
+            bucket = _B_BUSY
+        rows.append((e.thread, e.start, e.end, bucket))
+    return rows, float(result.makespan), result.num_threads
+
+
+def _trace_cells(trace) -> Tuple[List, float, int]:
+    """(track, start, end, bucket) rows from a unified Trace."""
+    if not trace.spans:
+        raise SimulationError(
+            "no trace events — run the simulation with trace=True"
+        )
+    buckets = {"compute": _B_BUSY, "lock-wait": _B_WAIT, "overhead": _B_OVER}
+    rows = [
+        (s.track, s.start, s.end, buckets[s.category]) for s in trace.spans
+    ]
+    return rows, float(trace.makespan), trace.num_tracks
 
 
 def render_gantt(
-    result: SimResult, *, width: int = 72, label: str = "t"
+    result, *, width: int = 72, label: str = "t"
 ) -> str:
     """Render a traced result as one text row per thread.
+
+    ``result`` may be a :class:`~repro.simx.trace.SimResult` (from a
+    traced simulation) or a unified :class:`~repro.trace.model.Trace`
+    (from :func:`repro.trace.trace_from_apsp_result` — multi-phase
+    timelines render on one shared axis).
 
     Requires the simulation to have been run with ``trace=True``;
     raises otherwise (an empty event list cannot be distinguished from
@@ -37,13 +80,13 @@ def render_gantt(
     """
     if width < 8:
         raise SimulationError("gantt width must be >= 8")
-    if not result.events:
-        if result.makespan > 0 and result.total_busy > 0:
-            raise SimulationError(
-                "no trace events — run the simulation with trace=True"
-            )
+    if isinstance(result, SimResult):
+        cells, span, tracks = _sim_cells(result)
+    else:
+        cells, span, tracks = _trace_cells(result)
+    if not cells:
         return f"{label}0 |{_IDLE * width}|"
-    span = result.makespan or 1.0
+    span = span or 1.0
 
     def col(time: float) -> int:
         return min(width - 1, max(0, int(time / span * width)))
@@ -51,30 +94,34 @@ def render_gantt(
     # duration-weighted cell selection: each (thread, column) shows the
     # activity that occupied most of its time slice, so a column full of
     # tiny busy ops separated by long lock waits reads as waiting
-    busy_time = [[0.0] * width for _ in range(result.num_threads)]
-    wait_time = [[0.0] * width for _ in range(result.num_threads)]
+    acc = [
+        [[0.0, 0.0, 0.0] for _ in range(width)] for _ in range(tracks)
+    ]
     cell_span = span / width
-    for event in result.events:
-        sink = wait_time if event.kind == "lock-wait" else busy_time
-        a, b = col(event.start), col(event.end)
+    for track, start, end, bucket in cells:
+        a, b = col(start), col(end)
         for c in range(a, b + 1):
             cell_lo = c * cell_span
             cell_hi = cell_lo + cell_span
-            overlap = min(event.end, cell_hi) - max(event.start, cell_lo)
-            if overlap > 0 or event.duration == 0:
-                sink[event.thread][c] += max(overlap, 0.0)
+            overlap = min(end, cell_hi) - max(start, cell_lo)
+            if overlap > 0 or end == start:
+                acc[track][c][bucket] += max(overlap, 0.0)
+    glyphs = {_B_BUSY: _BUSY, _B_WAIT: _WAIT, _B_OVER: _OVER}
     rows: List[List[str]] = []
-    for t in range(result.num_threads):
+    for t in range(tracks):
         row = []
         for c in range(width):
-            if busy_time[t][c] == 0.0 and wait_time[t][c] == 0.0:
+            busy, wait, over = acc[t][c]
+            if busy == 0.0 and wait == 0.0 and over == 0.0:
                 row.append(_IDLE)
-            elif wait_time[t][c] > busy_time[t][c]:
-                row.append(_WAIT)
+            elif busy >= wait and busy >= over:
+                row.append(glyphs[_B_BUSY])
+            elif wait >= over:
+                row.append(glyphs[_B_WAIT])
             else:
-                row.append(_BUSY)
+                row.append(glyphs[_B_OVER])
         rows.append(row)
-    pad = len(f"{label}{result.num_threads - 1}")
+    pad = len(f"{label}{tracks - 1}")
     lines = [
         f"{(label + str(t)).rjust(pad)} |{''.join(row)}|"
         for t, row in enumerate(rows)
@@ -84,6 +131,7 @@ def render_gantt(
         f"{span:.3g}"
     )
     lines.append(
-        f"{' ' * pad}  {_BUSY}=busy  {_WAIT}=lock wait  (blank=idle)"
+        f"{' ' * pad}  {_BUSY}=busy  {_WAIT}=lock wait  "
+        f"{_OVER}=overhead  (blank=idle)"
     )
     return "\n".join(lines)

@@ -36,12 +36,14 @@ class Op:
     machine's ``critical_section`` cost (times ``cs_scale``), and
     releases.  ``false_sharing`` adds the machine's false-sharing
     penalty to the private work (used for adjacent shared-array writes).
+    ``name`` labels the private-work trace event (e.g. ``"fill"``).
     """
 
     work: float = 0.0
     lock_id: Optional[int] = None
     cs_scale: float = 1.0
     false_sharing: bool = False
+    name: str = ""
 
     def __post_init__(self) -> None:
         if self.work < 0:
@@ -57,6 +59,8 @@ def run_lock_program(
     num_locks: int = 0,
     charge_fork_join: bool = True,
     trace: bool = False,
+    lock_names: Optional[Sequence[str]] = None,
+    region: str = "",
 ) -> SimResult:
     """Simulate ``len(programs)`` threads running their op lists.
 
@@ -66,6 +70,11 @@ def run_lock_program(
     was last released to another waiter "just now") waits until the lock
     frees and pays ``lock_handoff`` on top — modelling the cache-line
     bounce and wakeup latency of a contended mutex.
+
+    ``lock_names`` labels lock trace events (index = lock id) so
+    contention attribution can name the algorithm's actual structure
+    ("parmax.deg3") instead of an anonymous ``lock_3``.  ``region``
+    names the whole program in ``SimResult.meta``.
     """
     T = len(programs)
     if T == 0:
@@ -97,6 +106,17 @@ def run_lock_program(
     contended = 0
     total_acq = 0
     events: List[TraceEvent] = []
+
+    def lock_label(lock_id: int) -> str:
+        if lock_names is not None and 0 <= lock_id < len(lock_names):
+            return lock_names[lock_id]
+        return f"lock_{lock_id}"
+
+    if trace and start:
+        events.extend(
+            TraceEvent(-1, t, 0.0, start, kind="overhead", label="fork-join")
+            for t in range(T)
+        )
 
     while not all(done):
         time, thread = queue.pop_earliest()
@@ -132,7 +152,14 @@ def run_lock_program(
                 if trace:
                     events.append(
                         TraceEvent(
-                            op.lock_id, thread, time, free_at, kind="lock-wait"
+                            op.lock_id, thread, time, free_at,
+                            kind="lock-wait", label=lock_label(op.lock_id),
+                        )
+                    )
+                    events.append(
+                        TraceEvent(
+                            op.lock_id, thread, free_at, acquire_done,
+                            kind="overhead", label="handoff",
                         )
                     )
             hold = machine.critical_section * op.cs_scale
@@ -142,7 +169,7 @@ def run_lock_program(
                 events.append(
                     TraceEvent(
                         op.lock_id, thread, acquire_done, release_at,
-                        kind="lock-hold",
+                        kind="lock-hold", label=lock_label(op.lock_id),
                     )
                 )
             lock_free_at[op.lock_id] = release_at  # type: ignore[index]
@@ -163,7 +190,10 @@ def run_lock_program(
             busy[thread] += work
             if trace:
                 events.append(
-                    TraceEvent(cursors[thread] - 1, thread, time, time + work)
+                    TraceEvent(
+                        cursors[thread] - 1, thread, time, time + work,
+                        label=op.name,
+                    )
                 )
         if op.lock_id is not None:
             pending_lock[thread] = op
@@ -181,4 +211,5 @@ def run_lock_program(
         events=events,
         contended_acquisitions=contended,
         total_acquisitions=total_acq,
+        meta={"region": region} if region else {},
     )

@@ -51,6 +51,11 @@ class ParForOutcome:
     thread_of: np.ndarray
     #: iterations in dispatch order (global issue order)
     issue_order: np.ndarray
+    #: the schedule policy that produced this timeline (e.g.
+    #: "dynamic-cyclic"); attribution reports it instead of guessing
+    schedule: str = ""
+    #: chunk size the policy ran with
+    chunk: int = 1
 
 
 def _as_cost_fn(
@@ -102,6 +107,12 @@ def simulate_parallel_for(
     region_cost = machine.region_overhead(T)
     overhead = np.full(T, region_cost, dtype=np.float64)
     events: List[TraceEvent] = []
+    if trace and region_cost:
+        events.extend(
+            TraceEvent(-1, t, 0.0, region_cost, kind="overhead",
+                       label="fork-join")
+            for t in range(T)
+        )
 
     queue = ThreadClockQueue(T, start_time=region_cost)
 
@@ -116,6 +127,11 @@ def simulate_parallel_for(
             cursor = end
             t_clock = time + machine.dispatch_overhead
             overhead[thread] += machine.dispatch_overhead
+            if trace and machine.dispatch_overhead:
+                events.append(
+                    TraceEvent(-1, thread, time, t_clock, kind="overhead",
+                               label="dispatch")
+                )
             for i in my_chunk:
                 duration = cost_fn(i, t_clock, thread) * cost_multiplier
                 if not duration >= 0:  # also rejects NaN
@@ -177,6 +193,7 @@ def simulate_parallel_for(
         busy=busy,
         overhead=overhead,
         events=events,
+        meta={"schedule": schedule.value, "chunk": str(chunk)},
     )
     reg = _obs._current
     if reg is not None:
@@ -191,4 +208,6 @@ def simulate_parallel_for(
         end_times=end_times,
         thread_of=thread_of,
         issue_order=np.asarray(issue_order, dtype=np.int64),
+        schedule=schedule.value,
+        chunk=chunk,
     )

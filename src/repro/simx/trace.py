@@ -8,35 +8,65 @@ records per executed item.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List
 
 import numpy as np
 
 from ..exceptions import SimulationError
 
-__all__ = ["TraceEvent", "SimResult"]
+__all__ = ["EVENT_KINDS", "TraceEvent", "SimResult"]
+
+#: the event kinds a simulator may emit; anything else is rejected so a
+#: typo'd kind cannot silently fall through downstream attribution
+EVENT_KINDS = ("iter", "lock-wait", "lock-hold", "overhead")
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One simulated unit of work (a loop iteration or a lock section)."""
+    """One simulated unit of work (a loop iteration or a lock section).
+
+    ``label`` names the event source for attribution: the lock's
+    human-readable name for lock events (``"parbuckets.bin17"``), or the
+    overhead flavour (``"fork-join"`` / ``"dispatch"`` / ``"handoff"``)
+    for overhead events.  Empty means "derive a name from item/kind".
+    """
 
     item: int  # iteration index, or lock id for lock events
     thread: int
     start: float
     end: float
-    kind: str = "iter"  # "iter" | "lock-wait" | "lock-hold" | "overhead"
+    kind: str = "iter"  # one of EVENT_KINDS
+    label: str = ""
 
     def __post_init__(self) -> None:
         if self.end < self.start:
             raise SimulationError(
                 f"trace event ends before it starts: {self}"
             )
+        if self.kind not in EVENT_KINDS:
+            raise SimulationError(
+                f"unknown trace event kind {self.kind!r}; "
+                f"expected one of {EVENT_KINDS}"
+            )
+        if self.thread < 0:
+            raise SimulationError(
+                f"trace event thread must be >= 0, got {self.thread}"
+            )
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    def name(self) -> str:
+        """Display name: the explicit label, or one derived from kind."""
+        if self.label:
+            return self.label
+        if self.kind == "iter":
+            return f"iter {self.item}"
+        if self.kind in ("lock-wait", "lock-hold"):
+            return f"lock_{self.item}"
+        return self.kind
 
 
 @dataclass
@@ -59,6 +89,10 @@ class SimResult:
     contended_acquisitions: int = 0
     #: total lock acquisitions
     total_acquisitions: int = 0
+    #: free-form provenance (schedule policy, chunk size, region name);
+    #: carried into the unified trace so attribution never has to guess
+    #: which policy produced a timeline
+    meta: Dict[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.busy = np.asarray(self.busy, dtype=np.float64)
@@ -115,6 +149,9 @@ class SimResult:
         Thread counts may differ (e.g. a sequential ordering phase
         followed by a parallel Dijkstra phase); the result reports the
         wider thread count, padding the narrower phase's vectors.
+        Events keep their kind and label, shifted by this phase's
+        makespan.  ``meta`` keys merge with the earlier phase winning on
+        collision (the region that started the timeline names it).
         """
         width = max(self.num_threads, other.num_threads)
 
@@ -125,7 +162,7 @@ class SimResult:
 
         offset = self.makespan
         shifted = [
-            TraceEvent(e.item, e.thread, e.start + offset, e.end + offset, e.kind)
+            replace(e, start=e.start + offset, end=e.end + offset)
             for e in other.events
         ]
         return SimResult(
@@ -138,4 +175,5 @@ class SimResult:
                 self.contended_acquisitions + other.contended_acquisitions
             ),
             total_acquisitions=self.total_acquisitions + other.total_acquisitions,
+            meta={**other.meta, **self.meta},
         )

@@ -1,0 +1,354 @@
+"""Trace analysis: critical path, makespan attribution, hotspots.
+
+Where did the makespan go?  Three complementary answers:
+
+* **Attribution** — per phase, split ``makespan × tracks`` thread-time
+  into compute / lock-wait / other overhead (fork-join + dispatch +
+  handoff) / scheduler idle, using the simulator's exact per-thread
+  accounting (:class:`~repro.trace.model.PhaseStats`), not span
+  coverage, so the fractions always sum to 1.
+* **Critical path** — the longest chain of causally-ordered spans
+  through the event DAG: within a track, consecutive spans; across
+  tracks, whichever span's completion released the current one (the
+  latest span ending at or before its start).  Its composition says
+  what to optimise: a compute-dominated path means the algorithm is the
+  limit, a lock-wait-dominated one means contention is.
+* **Hotspots & stragglers** — top-k locks ranked by total queue time
+  (with the procedure's own lock names, never anonymous ids), and
+  per-phase straggler tracks ranked by how long everyone else idled at
+  the join waiting for them.
+
+:meth:`TraceReport.summary` flattens the whole report into the numeric
+``trace_summary`` section of ``BENCH_*.json`` artifacts, which
+:mod:`repro.obs.regress` gates in CI.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .model import Trace, TraceSpan
+
+__all__ = [
+    "PhaseAttribution",
+    "CriticalPath",
+    "LockHotspot",
+    "Straggler",
+    "TraceReport",
+    "analyze_trace",
+]
+
+#: float comparison slack on the virtual clock (work units) / wall (s)
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class PhaseAttribution:
+    """Thread-time split of one phase; fractions sum to 1."""
+
+    name: str
+    makespan: float
+    tracks: int
+    compute: float
+    lock_wait: float
+    overhead: float  # non-lock-wait overhead: fork/join, dispatch, handoff
+    idle: float
+    schedule: str = ""
+
+    @property
+    def thread_time(self) -> float:
+        return self.makespan * self.tracks
+
+    def fraction(self, part: float) -> float:
+        return part / self.thread_time if self.thread_time else 0.0
+
+    @property
+    def compute_fraction(self) -> float:
+        return self.fraction(self.compute)
+
+    @property
+    def lock_wait_fraction(self) -> float:
+        return self.fraction(self.lock_wait)
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.fraction(self.overhead)
+
+    @property
+    def idle_fraction(self) -> float:
+        return self.fraction(self.idle)
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The longest causal chain through the trace, decomposed."""
+
+    length: float
+    compute: float
+    lock_wait: float
+    overhead: float
+    gap: float  # time on the path not covered by any span (idle hops)
+    span_count: int
+    spans: Tuple[TraceSpan, ...] = ()
+
+    def fraction(self, part: float) -> float:
+        return part / self.length if self.length else 0.0
+
+
+@dataclass(frozen=True)
+class LockHotspot:
+    """Aggregate queue time behind one named lock."""
+
+    name: str
+    wait_total: float
+    waits: int
+    max_wait: float
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """A track whose late finish made the rest of a phase wait."""
+
+    phase: str
+    track: int
+    finish: float  # offset from phase start
+    caused_idle: float  # Σ over other tracks of (finish - their finish)
+
+
+@dataclass
+class TraceReport:
+    """Everything :func:`analyze_trace` derives from one trace."""
+
+    clock: str
+    makespan: float
+    tracks: int
+    phases: List[PhaseAttribution]
+    critical_path: CriticalPath
+    lock_hotspots: List[LockHotspot]
+    stragglers: List[Straggler]
+    meta: Dict[str, str] = field(default_factory=dict)
+
+    # -- totals ----------------------------------------------------------
+    @property
+    def thread_time(self) -> float:
+        return sum(p.thread_time for p in self.phases)
+
+    def _total(self, attr: str) -> float:
+        return sum(getattr(p, attr) for p in self.phases)
+
+    def _total_fraction(self, attr: str) -> float:
+        tt = self.thread_time
+        return self._total(attr) / tt if tt else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat numeric mapping — the artifact ``trace_summary`` section.
+
+        Keys are stable and sorted; the gated ones are the
+        ``*_fraction`` families (see :mod:`repro.obs.regress`).
+        """
+        out: Dict[str, float] = {
+            "trace.makespan": float(self.makespan),
+            "trace.tracks": float(self.tracks),
+            "trace.compute_fraction": self._total_fraction("compute"),
+            "trace.lock_wait_fraction": self._total_fraction("lock_wait"),
+            "trace.overhead_fraction": self._total_fraction("overhead"),
+            "trace.idle_fraction": self._total_fraction("idle"),
+        }
+        for p in self.phases:
+            pre = f"trace.phase.{p.name}"
+            out[f"{pre}.makespan"] = float(p.makespan)
+            out[f"{pre}.compute_fraction"] = p.compute_fraction
+            out[f"{pre}.lock_wait_fraction"] = p.lock_wait_fraction
+            out[f"{pre}.overhead_fraction"] = p.overhead_fraction
+            out[f"{pre}.idle_fraction"] = p.idle_fraction
+        cp = self.critical_path
+        out["trace.critical_path.length"] = float(cp.length)
+        out["trace.critical_path.span_count"] = float(cp.span_count)
+        out["trace.critical_path.compute_fraction"] = cp.fraction(cp.compute)
+        out["trace.critical_path.lock_wait_fraction"] = cp.fraction(
+            cp.lock_wait
+        )
+        out["trace.critical_path.overhead_fraction"] = cp.fraction(
+            cp.overhead
+        )
+        if self.lock_hotspots:
+            top = self.lock_hotspots[0]
+            out["trace.lock.top_wait_total"] = float(top.wait_total)
+            out["trace.lock.hotspot_count"] = float(len(self.lock_hotspots))
+        return dict(sorted(out.items()))
+
+    def format(self) -> str:
+        """Human-readable report for ``repro-apsp trace --report``."""
+        lines = [
+            f"trace ({self.clock} clock): makespan {self.makespan:g}, "
+            f"{self.tracks} track(s)",
+        ]
+        for p in self.phases:
+            sched = f", schedule={p.schedule}" if p.schedule else ""
+            lines.append(
+                f"  phase {p.name:<10s} makespan {p.makespan:>12g}  "
+                f"[{p.tracks} track(s){sched}]"
+            )
+            lines.append(
+                "    compute {:6.1%}  lock-wait {:6.1%}  overhead {:6.1%}"
+                "  idle {:6.1%}".format(
+                    p.compute_fraction,
+                    p.lock_wait_fraction,
+                    p.overhead_fraction,
+                    p.idle_fraction,
+                )
+            )
+        cp = self.critical_path
+        lines.append(
+            f"  critical path: {cp.length:g} over {cp.span_count} span(s) "
+            "— compute {:.1%}, lock-wait {:.1%}, overhead {:.1%}, "
+            "gaps {:.1%}".format(
+                cp.fraction(cp.compute),
+                cp.fraction(cp.lock_wait),
+                cp.fraction(cp.overhead),
+                cp.fraction(cp.gap),
+            )
+        )
+        if self.lock_hotspots:
+            lines.append("  lock hotspots (by total queue time):")
+            for h in self.lock_hotspots:
+                lines.append(
+                    f"    {h.name:<24s} wait {h.wait_total:>12g}  "
+                    f"({h.waits} contended acquire(s), max {h.max_wait:g})"
+                )
+        if self.stragglers:
+            lines.append("  stragglers (idle caused at the join):")
+            for s in self.stragglers:
+                lines.append(
+                    f"    {s.phase}: track {s.track} finished at "
+                    f"+{s.finish:g}, others idled {s.caused_idle:g}"
+                )
+        return "\n".join(lines)
+
+
+def _critical_path(trace: Trace) -> CriticalPath:
+    spans = sorted(trace.spans, key=lambda s: (s.end, s.start, s.track))
+    if not spans:
+        return CriticalPath(
+            length=trace.makespan, compute=0.0, lock_wait=0.0,
+            overhead=0.0, gap=trace.makespan, span_count=0,
+        )
+    # walk back from the last-ending span; the predecessor of a span is
+    # the latest-ending span that completed by its start — its own
+    # track's previous span when it ran back to back, or the cross-track
+    # span whose completion (lock release, fork) unblocked it
+    ends = [s.end for s in spans]
+    path: List[TraceSpan] = [spans[-1]]
+    cur = spans[-1]
+    seen = {id(cur)}
+    for _ in range(len(spans)):
+        k = bisect.bisect_right(ends, cur.start + _EPS)
+        # never pick the current span itself (zero-duration spans end
+        # exactly at their own start)
+        while k > 0 and id(spans[k - 1]) in seen:
+            k -= 1
+        if k == 0:
+            break
+        nxt = spans[k - 1]
+        # prefer staying on the same track among (near-)tied ends so the
+        # path reads as a thread's story where possible
+        best_end = nxt.end
+        j = k - 1
+        while j >= 0 and spans[j].end >= best_end - _EPS:
+            if spans[j].track == cur.track and id(spans[j]) not in seen:
+                nxt = spans[j]
+                break
+            j -= 1
+        path.append(nxt)
+        seen.add(id(nxt))
+        cur = nxt
+    path.reverse()
+    compute = sum(s.duration for s in path if s.category == "compute")
+    lock_wait = sum(s.duration for s in path if s.category == "lock-wait")
+    overhead = sum(s.duration for s in path if s.category == "overhead")
+    length = path[-1].end - path[0].start
+    gap = max(0.0, length - compute - lock_wait - overhead)
+    return CriticalPath(
+        length=length,
+        compute=compute,
+        lock_wait=lock_wait,
+        overhead=overhead,
+        gap=gap,
+        span_count=len(path),
+        spans=tuple(path),
+    )
+
+
+def _lock_hotspots(trace: Trace, top_k: int) -> List[LockHotspot]:
+    agg: Dict[str, List[float]] = {}
+    for s in trace.spans:
+        if s.category != "lock-wait":
+            continue
+        entry = agg.setdefault(s.name, [0.0, 0.0, 0.0])
+        entry[0] += s.duration
+        entry[1] += 1
+        entry[2] = max(entry[2], s.duration)
+    hotspots = [
+        LockHotspot(name=name, wait_total=total, waits=int(count),
+                    max_wait=peak)
+        for name, (total, count, peak) in agg.items()
+    ]
+    hotspots.sort(key=lambda h: (-h.wait_total, h.name))
+    return hotspots[:top_k]
+
+
+def _stragglers(trace: Trace, top_k: int) -> List[Straggler]:
+    out: List[Straggler] = []
+    for phase in trace.phases:
+        if phase.tracks <= 1:
+            continue
+        finishes: Dict[int, float] = {}
+        for s in trace.spans_in_phase(phase.name):
+            finishes[s.track] = max(finishes.get(s.track, 0.0), s.end)
+        if len(finishes) <= 1:
+            continue
+        last_track = max(finishes, key=lambda t: (finishes[t], -t))
+        last = finishes[last_track]
+        caused = sum(last - f for t, f in finishes.items()
+                     if t != last_track)
+        out.append(
+            Straggler(
+                phase=phase.name,
+                track=last_track,
+                finish=last - phase.start,
+                caused_idle=caused,
+            )
+        )
+    out.sort(key=lambda s: -s.caused_idle)
+    return out[:top_k]
+
+
+def analyze_trace(trace: Trace, *, top_k: int = 5) -> TraceReport:
+    """Compute the full report for one unified trace."""
+    phases: List[PhaseAttribution] = []
+    for ps in trace.phases:
+        other_overhead = max(0.0, ps.overhead - ps.lock_wait)
+        phases.append(
+            PhaseAttribution(
+                name=ps.name,
+                makespan=ps.makespan,
+                tracks=ps.tracks,
+                compute=ps.busy,
+                lock_wait=ps.lock_wait,
+                overhead=other_overhead,
+                idle=ps.idle,
+                schedule=ps.schedule,
+            )
+        )
+    return TraceReport(
+        clock=trace.clock,
+        makespan=trace.makespan,
+        tracks=trace.num_tracks,
+        phases=phases,
+        critical_path=_critical_path(trace),
+        lock_hotspots=_lock_hotspots(trace, top_k),
+        stragglers=_stragglers(trace, top_k),
+        meta=dict(trace.meta),
+    )

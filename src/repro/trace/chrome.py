@@ -1,0 +1,215 @@
+"""Chrome Trace Event Format export (Perfetto / ``chrome://tracing``).
+
+The JSON object format: ``{"traceEvents": [...], ...}`` with
+
+* ``M`` metadata events naming the process and one thread per track;
+* ``X`` complete events, one per :class:`~repro.trace.model.TraceSpan`
+  (``ts``/``dur`` in microseconds — virtual work units map 1:1 onto
+  microtick microseconds, wall-clock seconds are scaled by 1e6);
+* ``s``/``f`` flow events for the fork/join arrows, so Perfetto draws
+  the parallel-region structure across tracks.
+
+:func:`validate_chrome` is the schema check the test suite (and CI)
+runs against every emitted file; it enforces what the Perfetto loader
+actually needs, so a file that passes here loads there.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Mapping
+
+from .model import Trace
+
+__all__ = ["to_chrome", "write_chrome", "validate_chrome"]
+
+#: one virtual work unit rendered as one microsecond in the viewer
+_VIRTUAL_SCALE = 1.0
+#: wall clock is recorded in seconds; Chrome wants microseconds
+_WALL_SCALE = 1e6
+
+_PID = 1
+
+
+def _scale(trace: Trace) -> float:
+    return _VIRTUAL_SCALE if trace.clock == "virtual" else _WALL_SCALE
+
+
+def to_chrome(trace: Trace) -> Dict[str, Any]:
+    """Convert a unified trace to a Chrome-trace JSON object."""
+    scale = _scale(trace)
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": f"repro-apsp ({trace.clock} time)"},
+        }
+    ]
+    for track in range(trace.num_tracks):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": track,
+                "args": {"name": trace.track_label(track)},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": _PID,
+                "tid": track,
+                "args": {"sort_index": track},
+            }
+        )
+    for span in trace.spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "pid": _PID,
+                "tid": span.track,
+                "ts": span.start * scale,
+                "dur": span.duration * scale,
+                "args": {"phase": span.phase, "category": span.category},
+            }
+        )
+    # phase extents on their own track row (tid = num_tracks) so the
+    # ordering/sweep structure reads at a glance above the thread lanes
+    for phase in trace.phases:
+        events.append(
+            {
+                "name": f"phase:{phase.name}",
+                "cat": "phase",
+                "ph": "X",
+                "pid": _PID,
+                "tid": trace.num_tracks,
+                "ts": phase.start * scale,
+                "dur": phase.makespan * scale,
+                "args": {
+                    "tracks": phase.tracks,
+                    "schedule": phase.schedule,
+                    "lock_acquisitions": phase.lock_acquisitions,
+                    "lock_contended": phase.lock_contended,
+                },
+            }
+        )
+    if trace.phases:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": trace.num_tracks,
+                "args": {"name": "phases"},
+            }
+        )
+    for flow in trace.flows:
+        common = {"cat": "flow", "name": flow.name, "id": flow.flow_id,
+                  "pid": _PID}
+        events.append(
+            {
+                **common,
+                "ph": "s",
+                "tid": flow.src_track,
+                "ts": flow.src_time * scale,
+            }
+        )
+        events.append(
+            {
+                **common,
+                "ph": "f",
+                "bp": "e",
+                "tid": flow.dst_track,
+                # a flow finish must not sit before its start tick
+                "ts": max(flow.dst_time, flow.src_time) * scale,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": trace.schema,
+            "clock": trace.clock,
+            "makespan": trace.makespan,
+            **trace.meta,
+        },
+    }
+
+
+def write_chrome(path: str, trace: Trace) -> str:
+    """Validate and write the Chrome-trace JSON; returns the path."""
+    obj = to_chrome(trace)
+    problems = validate_chrome(obj)
+    if problems:
+        raise ValueError(
+            "refusing to write invalid chrome trace: " + "; ".join(problems)
+        )
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(obj, fh, indent=1)
+        fh.write("\n")
+    return path
+
+
+def validate_chrome(obj: Any) -> List[str]:
+    """Schema check for the JSON object format; [] means loadable."""
+    problems: List[str] = []
+    if not isinstance(obj, Mapping):
+        return ["chrome trace must be a JSON object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    open_flows: Dict[Any, int] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, Mapping):
+            problems.append(f"traceEvents[{i}] must be an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "s", "f", "B", "E", "i", "C"):
+            problems.append(f"traceEvents[{i}] has unknown ph {ph!r}")
+            continue
+        if "pid" not in ev or "tid" not in ev:
+            problems.append(f"traceEvents[{i}] missing pid/tid")
+        if ph == "X":
+            for key in ("name", "ts", "dur"):
+                if key not in ev:
+                    problems.append(f"traceEvents[{i}] (X) missing {key!r}")
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if isinstance(dur, (int, float)) and not isinstance(dur, bool) \
+                    and dur < 0:
+                problems.append(f"traceEvents[{i}] has negative dur")
+            for key, value in (("ts", ts), ("dur", dur)):
+                if value is not None and (
+                    isinstance(value, bool)
+                    or not isinstance(value, (int, float))
+                ):
+                    problems.append(
+                        f"traceEvents[{i}].{key} must be numeric"
+                    )
+        elif ph in ("s", "f"):
+            if "id" not in ev or "ts" not in ev:
+                problems.append(f"traceEvents[{i}] (flow) missing id/ts")
+            elif ph == "s":
+                open_flows[ev["id"]] = open_flows.get(ev["id"], 0) + 1
+            else:
+                if open_flows.get(ev["id"], 0) <= 0:
+                    problems.append(
+                        f"traceEvents[{i}] flow finish id={ev['id']!r} "
+                        "has no matching start"
+                    )
+                else:
+                    open_flows[ev["id"]] -= 1
+    for flow_id, still_open in open_flows.items():
+        if still_open:
+            problems.append(f"flow id={flow_id!r} started but never finished")
+    if len(problems) > 20:
+        problems = problems[:20] + ["... (truncated)"]
+    return problems

@@ -1,0 +1,338 @@
+"""The unified execution-trace model.
+
+One schema covers both timing domains the reproduction produces:
+
+* **virtual time** — per-event records from the discrete-event
+  simulator (:class:`~repro.simx.trace.SimResult` from ``parfor`` /
+  ``locksim``), exact to the work-unit;
+* **wall clock** — :func:`repro.obs.span` sections captured by a
+  :class:`~repro.trace.recorder.TraceRecorder` while a real backend
+  runs.
+
+A :class:`Trace` is a flat list of :class:`TraceSpan` records on
+integer *tracks* (one per simulated or OS thread), plus per-phase
+aggregate :class:`PhaseStats` (busy / overhead / idle / lock-wait
+conservation comes straight from the simulator, so attribution never
+has to re-derive it from possibly-incomplete span coverage) and
+fork/join :class:`FlowArrow` records for Perfetto's flow rendering.
+
+Every category used here maps 1:1 onto an attribution bucket:
+
+=============  =====================================================
+category       meaning
+=============  =====================================================
+``compute``    useful algorithm work (an iteration, a lock *hold*)
+``lock-wait``  blocked on a contended lock (FIFO queue time)
+``overhead``   fork/join, dynamic-dispatch claims, lock handoffs
+=============  =====================================================
+
+Scheduler idle is the *absence* of spans: ``makespan × tracks`` minus
+everything above, reported per phase by the analyzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import SimulationError
+from ..simx.trace import SimResult
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "CATEGORIES",
+    "TraceSpan",
+    "PhaseStats",
+    "FlowArrow",
+    "Trace",
+    "trace_from_sim",
+    "trace_from_phases",
+    "trace_from_apsp_result",
+]
+
+#: bump when the span/phase/flow layout changes incompatibly
+TRACE_SCHEMA_VERSION = "repro.trace/1"
+
+#: unified span categories (see module docstring)
+CATEGORIES = ("compute", "lock-wait", "overhead")
+
+#: simulator event kind → unified category
+_KIND_TO_CATEGORY = {
+    "iter": "compute",
+    "lock-hold": "compute",
+    "lock-wait": "lock-wait",
+    "overhead": "overhead",
+}
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """One timed section on one track of the unified timeline."""
+
+    name: str
+    category: str  # one of CATEGORIES
+    track: int
+    start: float
+    duration: float
+    phase: str = ""
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise SimulationError(
+                f"unknown span category {self.category!r}; "
+                f"expected one of {CATEGORIES}"
+            )
+        if self.duration < 0:
+            raise SimulationError(
+                f"span {self.name!r} has negative duration {self.duration}"
+            )
+        if self.track < 0:
+            raise SimulationError(
+                f"span {self.name!r} has negative track {self.track}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Exact aggregate accounting of one phase (from the simulator).
+
+    Conservation: ``busy + overhead + idle == makespan × tracks`` (all
+    totals are summed over tracks).  ``lock_wait`` is the portion of
+    ``overhead`` spent queued on contended locks.
+    """
+
+    name: str
+    start: float
+    makespan: float
+    tracks: int
+    busy: float
+    overhead: float
+    idle: float
+    lock_wait: float = 0.0
+    lock_acquisitions: int = 0
+    lock_contended: int = 0
+    schedule: str = ""
+
+    @property
+    def end(self) -> float:
+        return self.start + self.makespan
+
+    @property
+    def thread_time(self) -> float:
+        return self.makespan * self.tracks
+
+
+@dataclass(frozen=True)
+class FlowArrow:
+    """A causal arrow between two timeline points (fork or join)."""
+
+    flow_id: int
+    name: str  # "fork" | "join"
+    src_track: int
+    src_time: float
+    dst_track: int
+    dst_time: float
+
+
+@dataclass
+class Trace:
+    """A complete unified trace: spans + phases + flows + provenance."""
+
+    clock: str  # "virtual" | "wall"
+    num_tracks: int
+    makespan: float
+    spans: List[TraceSpan] = field(default_factory=list)
+    phases: List[PhaseStats] = field(default_factory=list)
+    flows: List[FlowArrow] = field(default_factory=list)
+    track_names: Dict[int, str] = field(default_factory=dict)
+    meta: Dict[str, str] = field(default_factory=dict)
+    schema: str = TRACE_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.clock not in ("virtual", "wall"):
+            raise SimulationError(
+                f"trace clock must be 'virtual' or 'wall', got {self.clock!r}"
+            )
+        if self.num_tracks < 1:
+            raise SimulationError("trace needs at least one track")
+
+    def track_label(self, track: int) -> str:
+        return self.track_names.get(track, f"thread {track}")
+
+    def spans_in_phase(self, phase: str) -> List[TraceSpan]:
+        return [s for s in self.spans if s.phase == phase]
+
+
+def _sim_phase_stats(
+    name: str, result: SimResult, offset: float
+) -> PhaseStats:
+    lock_wait = sum(
+        e.duration for e in result.events if e.kind == "lock-wait"
+    )
+    return PhaseStats(
+        name=name,
+        start=offset,
+        makespan=float(result.makespan),
+        tracks=result.num_threads,
+        busy=result.total_busy,
+        overhead=result.total_overhead,
+        idle=float(result.idle.sum()),
+        lock_wait=float(lock_wait),
+        lock_acquisitions=result.total_acquisitions,
+        lock_contended=result.contended_acquisitions,
+        schedule=result.meta.get("schedule", ""),
+    )
+
+
+def _sim_spans(
+    name: str, result: SimResult, offset: float
+) -> List[TraceSpan]:
+    spans = []
+    for e in result.events:
+        spans.append(
+            TraceSpan(
+                name=e.name(),
+                category=_KIND_TO_CATEGORY[e.kind],
+                track=e.thread,
+                start=e.start + offset,
+                duration=e.duration,
+                phase=name,
+            )
+        )
+    return spans
+
+
+def _fork_join_flows(
+    phase: PhaseStats,
+    spans: Sequence[TraceSpan],
+    next_id: int,
+) -> Tuple[List[FlowArrow], int]:
+    """Fork arrows from the region open to each track's first span, and
+    join arrows from each track's last span back to the region close.
+
+    Single-track phases produce no arrows (nothing forked).
+    """
+    if phase.tracks <= 1:
+        return [], next_id
+    first: Dict[int, TraceSpan] = {}
+    last: Dict[int, TraceSpan] = {}
+    for s in spans:
+        if s.track not in first or s.start < first[s.track].start:
+            first[s.track] = s
+        if s.track not in last or s.end > last[s.track].end:
+            last[s.track] = s
+    flows: List[FlowArrow] = []
+    for track in sorted(first):
+        flows.append(
+            FlowArrow(
+                flow_id=next_id,
+                name="fork",
+                src_track=0,
+                src_time=phase.start,
+                dst_track=track,
+                dst_time=first[track].start,
+            )
+        )
+        next_id += 1
+    for track in sorted(last):
+        flows.append(
+            FlowArrow(
+                flow_id=next_id,
+                name="join",
+                src_track=track,
+                src_time=last[track].end,
+                dst_track=0,
+                dst_time=phase.end,
+            )
+        )
+        next_id += 1
+    return flows, next_id
+
+
+def trace_from_phases(
+    phases: Iterable[Tuple[str, SimResult]],
+    *,
+    meta: Optional[Mapping[str, str]] = None,
+) -> Trace:
+    """Concatenate named simulated phases into one unified trace.
+
+    Phases are laid out back to back on the virtual clock (phase k+1
+    starts at the cumulative makespan of phases 0..k), matching how
+    :meth:`SimResult.merge_sequential` composes timelines.
+    """
+    phase_list = list(phases)
+    if not phase_list:
+        raise SimulationError("trace needs at least one phase")
+    spans: List[TraceSpan] = []
+    stats: List[PhaseStats] = []
+    flows: List[FlowArrow] = []
+    offset = 0.0
+    width = 1
+    next_flow = 0
+    merged_meta: Dict[str, str] = dict(meta or {})
+    for name, result in phase_list:
+        ps = _sim_phase_stats(name, result, offset)
+        phase_spans = _sim_spans(name, result, offset)
+        phase_flows, next_flow = _fork_join_flows(ps, phase_spans, next_flow)
+        stats.append(ps)
+        spans.extend(phase_spans)
+        flows.extend(phase_flows)
+        for key, value in result.meta.items():
+            merged_meta.setdefault(f"{name}.{key}", value)
+        offset += result.makespan
+        width = max(width, result.num_threads)
+    return Trace(
+        clock="virtual",
+        num_tracks=width,
+        makespan=offset,
+        spans=spans,
+        phases=stats,
+        flows=flows,
+        track_names={t: f"sim thread {t}" for t in range(width)},
+        meta=merged_meta,
+    )
+
+
+def trace_from_sim(
+    result: SimResult,
+    *,
+    phase: str = "region",
+    meta: Optional[Mapping[str, str]] = None,
+) -> Trace:
+    """Wrap a single traced :class:`SimResult` as a unified trace."""
+    return trace_from_phases([(phase, result)], meta=meta)
+
+
+def trace_from_apsp_result(result) -> Trace:
+    """Unified trace of one SIM-backend :func:`solve_apsp` run.
+
+    Requires the run to have been made with ``trace=True`` (otherwise
+    there are no events to lay out).  The ordering phase is included
+    only when the algorithm has one.
+    """
+    if result.backend != "sim":
+        raise SimulationError(
+            f"unified traces come from the SIM backend, got "
+            f"{result.backend!r}; use TraceRecorder for wall-clock runs"
+        )
+    if result.sim_dijkstra is None:
+        raise SimulationError("result carries no simulated sweep")
+    if not result.sim_dijkstra.events and result.sim_dijkstra.total_busy > 0:
+        raise SimulationError(
+            "no trace events — run solve_apsp(..., trace=True)"
+        )
+    phases = []
+    if result.sim_ordering is not None and result.sim_ordering.makespan > 0:
+        phases.append(("ordering", result.sim_ordering))
+    phases.append(("sweep", result.sim_dijkstra))
+    meta = {
+        "algorithm": result.algorithm,
+        "schedule": result.schedule or "",
+        "ordering": result.ordering_method or "",
+        "threads": str(result.num_threads),
+    }
+    return trace_from_phases(phases, meta=meta)

@@ -129,6 +129,27 @@ class TestCounters:
         assert reg.counters()["hits"] == n * iters
 
 
+class TestDeterministicOrdering:
+    def test_counters_sorted_regardless_of_touch_order(self):
+        reg = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            reg.add(name)
+        assert list(reg.counters()) == ["alpha", "mid", "zeta"]
+
+    def test_gauges_sorted_regardless_of_touch_order(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("z", 1.0)
+        reg.gauge_set("a", 2.0)
+        assert list(reg.gauges()) == ["a", "z"]
+
+    def test_snapshot_inherits_sorted_order(self):
+        reg = MetricsRegistry()
+        reg.add("b")
+        reg.add("a")
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+
+
 class TestGauges:
     def test_gauge_set_keeps_latest(self):
         reg = MetricsRegistry()

@@ -102,7 +102,7 @@ class TestCompare:
 
     def test_schema_mismatch_raises(self):
         cur = make_artifact()
-        cur["schema"] = "repro.obs.bench/2"
+        cur["schema"] = "repro.obs.bench/999"
         with pytest.raises(ValueError):
             compare_artifacts(make_artifact(), cur)
 
@@ -111,6 +111,106 @@ class TestCompare:
         del cur["counters"]
         with pytest.raises(ValueError):
             compare_artifacts(make_artifact(), cur)
+
+
+def traced_artifact(**fractions):
+    summary = {
+        "trace.makespan": 1000.0,
+        "trace.lock_wait_fraction": 0.05,
+        "trace.idle_fraction": 0.10,
+        "trace.overhead_fraction": 0.08,
+        "trace.compute_fraction": 0.77,
+        "trace.phase.sweep.idle_fraction": 0.02,
+        "trace.critical_path.length": 980.0,
+    }
+    summary.update(fractions)
+    art = make_artifact()
+    art["trace_summary"] = summary
+    return art
+
+
+class TestTraceSummaryGate:
+    def test_identical_passes(self):
+        regressions, _ = compare_artifacts(
+            traced_artifact(), traced_artifact()
+        )
+        assert regressions == []
+
+    def test_fraction_growth_past_atol_fails(self):
+        cur = traced_artifact(**{"trace.idle_fraction": 0.14})
+        regressions, _ = compare_artifacts(
+            traced_artifact(), cur, trace_atol=0.02
+        )
+        assert any("trace.idle_fraction" in r for r in regressions)
+
+    def test_growth_within_atol_passes(self):
+        cur = traced_artifact(**{"trace.idle_fraction": 0.11})
+        regressions, _ = compare_artifacts(
+            traced_artifact(), cur, trace_atol=0.02
+        )
+        assert regressions == []
+
+    def test_fraction_drop_is_an_improvement(self):
+        cur = traced_artifact(**{"trace.lock_wait_fraction": 0.0})
+        regressions, notes = compare_artifacts(traced_artifact(), cur)
+        assert regressions == []
+        assert any("trace.lock_wait_fraction" in n for n in notes)
+
+    def test_phase_scoped_fractions_also_gate(self):
+        cur = traced_artifact(**{"trace.phase.sweep.idle_fraction": 0.30})
+        regressions, _ = compare_artifacts(traced_artifact(), cur)
+        assert any(
+            "trace.phase.sweep.idle_fraction" in r for r in regressions
+        )
+
+    def test_makespan_and_critical_path_are_notes(self):
+        cur = traced_artifact(**{
+            "trace.makespan": 2000.0,
+            "trace.critical_path.length": 1900.0,
+        })
+        regressions, notes = compare_artifacts(traced_artifact(), cur)
+        assert regressions == []
+        assert any("trace.makespan" in n for n in notes)
+
+    def test_summary_dropped_from_current_fails(self):
+        regressions, _ = compare_artifacts(traced_artifact(), make_artifact())
+        assert any("trace_summary" in r for r in regressions)
+
+    def test_baseline_without_summary_is_a_note(self):
+        regressions, notes = compare_artifacts(
+            make_artifact(), traced_artifact()
+        )
+        assert regressions == []
+        assert any("trace_summary" in n for n in notes)
+
+    def test_gated_key_missing_from_current_fails(self):
+        cur = traced_artifact()
+        del cur["trace_summary"]["trace.idle_fraction"]
+        regressions, _ = compare_artifacts(traced_artifact(), cur)
+        assert any(
+            "trace.idle_fraction" in r and "missing" in r
+            for r in regressions
+        )
+
+    def test_ignore_excludes_trace_key(self):
+        cur = traced_artifact(**{"trace.idle_fraction": 0.5})
+        regressions, notes = compare_artifacts(
+            traced_artifact(), cur, ignore=["trace.idle_fraction"]
+        )
+        assert regressions == []
+        assert any("ignored" in n for n in notes)
+
+    def test_cli_trace_atol_flag(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        write_artifact(str(base), traced_artifact())
+        write_artifact(
+            str(cur), traced_artifact(**{"trace.idle_fraction": 0.14})
+        )
+        assert main([str(base), str(cur), "--quiet"]) == 1
+        assert main(
+            [str(base), str(cur), "--trace-atol", "0.10", "--quiet"]
+        ) == 0
 
 
 def consistent_kernel_counters(**overrides):

@@ -93,3 +93,62 @@ class TestSimResult:
         merged = a.merge_sequential(b)
         assert merged.contended_acquisitions == 5
         assert merged.total_acquisitions == 15
+
+
+class TestTraceEventValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(SimulationError, match="kind"):
+            TraceEvent(item=0, thread=0, start=0.0, end=1.0, kind="bogus")
+
+    def test_rejects_negative_thread(self):
+        with pytest.raises(SimulationError, match="thread"):
+            TraceEvent(item=0, thread=-1, start=0.0, end=1.0)
+
+    def test_label_wins_in_name(self):
+        e = TraceEvent(0, 0, 0.0, 1.0, kind="lock-wait", label="parmax.deg3")
+        assert e.name() == "parmax.deg3"
+
+    def test_name_falls_back_per_kind(self):
+        assert TraceEvent(7, 0, 0.0, 1.0).name() == "iter 7"
+        assert TraceEvent(3, 0, 0.0, 1.0, kind="lock-hold").name() == "lock_3"
+        assert (
+            TraceEvent(-1, 0, 0.0, 1.0, kind="overhead").name() == "overhead"
+        )
+
+
+class TestMergeSequentialEdgeCases:
+    def test_unequal_thread_counts_wide_then_narrow(self):
+        wide = make_result()
+        narrow = SimResult(
+            num_threads=1, makespan=3.0, busy=np.array([3.0]),
+            overhead=np.array([0.0]),
+        )
+        merged = wide.merge_sequential(narrow)
+        assert merged.num_threads == 2
+        assert merged.makespan == 13.0
+        # the narrow phase contributes idle (not busy) to the padded thread
+        assert np.allclose(merged.busy, [9.0, 4.0])
+        assert np.allclose(merged.idle, [3.0, 7.0])
+
+    def test_empty_event_lists_stay_empty(self):
+        merged = make_result().merge_sequential(make_result())
+        assert merged.events == []
+
+    def test_one_sided_events_survive_with_offset(self):
+        a = make_result()  # no events
+        b = make_result(
+            events=[TraceEvent(4, 1, 2.0, 3.0, kind="lock-wait", label="L")]
+        )
+        merged = a.merge_sequential(b)
+        assert len(merged.events) == 1
+        shifted = merged.events[0]
+        assert (shifted.start, shifted.end) == (12.0, 13.0)
+        assert shifted.kind == "lock-wait" and shifted.label == "L"
+
+    def test_meta_collision_earlier_phase_wins(self):
+        a = make_result(meta={"schedule": "dynamic", "only_a": "1"})
+        b = make_result(meta={"schedule": "block", "only_b": "2"})
+        merged = a.merge_sequential(b)
+        assert merged.meta == {
+            "schedule": "dynamic", "only_a": "1", "only_b": "2",
+        }

@@ -1,0 +1,158 @@
+"""Trace analyzer: attribution, critical path, hotspots, stragglers."""
+
+import pytest
+
+from repro.simx import MACHINE_I, Op, run_lock_program
+from repro.trace import (
+    PhaseStats,
+    Trace,
+    TraceSpan,
+    analyze_trace,
+    trace_from_sim,
+)
+
+
+def hand_trace():
+    """Two tracks; track 1's lock wait sits on the critical path.
+
+    track 0: [compute 0-4] [lock-hold 4-6]
+    track 1: [compute 0-4] [lock-wait 4-6] [lock-hold 6-8]
+    """
+    spans = [
+        TraceSpan("iter 0", "compute", 0, 0.0, 4.0, phase="p"),
+        TraceSpan("L", "compute", 0, 4.0, 2.0, phase="p"),
+        TraceSpan("iter 1", "compute", 1, 0.0, 4.0, phase="p"),
+        TraceSpan("L", "lock-wait", 1, 4.0, 2.0, phase="p"),
+        TraceSpan("L", "compute", 1, 6.0, 2.0, phase="p"),
+    ]
+    phases = [
+        PhaseStats(
+            name="p", start=0.0, makespan=8.0, tracks=2,
+            busy=12.0, overhead=2.0, idle=2.0, lock_wait=2.0,
+            lock_acquisitions=2, lock_contended=1, schedule="dynamic",
+        )
+    ]
+    return Trace(
+        clock="virtual", num_tracks=2, makespan=8.0,
+        spans=spans, phases=phases,
+    )
+
+
+class TestAttribution:
+    def test_fractions_sum_to_one(self):
+        report = analyze_trace(hand_trace())
+        p = report.phases[0]
+        total = (
+            p.compute_fraction + p.lock_wait_fraction
+            + p.overhead_fraction + p.idle_fraction
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_lock_wait_split_out_of_overhead(self):
+        p = analyze_trace(hand_trace()).phases[0]
+        assert p.lock_wait == 2.0
+        assert p.overhead == 0.0  # the 2.0 overhead was all lock wait
+        assert p.schedule == "dynamic"
+
+    def test_simulated_phase_conserves(self):
+        progs = [[Op(work=5.0, lock_id=0)] * 3 for _ in range(4)]
+        result = run_lock_program(progs, MACHINE_I, trace=True)
+        report = analyze_trace(trace_from_sim(result))
+        p = report.phases[0]
+        assert (
+            p.compute + p.lock_wait + p.overhead + p.idle
+            == pytest.approx(p.makespan * p.tracks)
+        )
+
+
+class TestCriticalPath:
+    def test_walks_through_the_lock_chain(self):
+        cp = analyze_trace(hand_trace()).critical_path
+        assert cp.length == pytest.approx(8.0)
+        # iter 1 (4) -> lock-wait (2) -> lock-hold (2): no gaps
+        assert cp.gap == pytest.approx(0.0)
+        assert cp.lock_wait == pytest.approx(2.0)
+        assert cp.compute == pytest.approx(6.0)
+
+    def test_span_count_bounded(self):
+        cp = analyze_trace(hand_trace()).critical_path
+        assert 1 <= cp.span_count <= 5
+
+    def test_empty_trace_is_all_gap(self):
+        t = Trace(clock="virtual", num_tracks=1, makespan=5.0)
+        cp = analyze_trace(t).critical_path
+        assert cp.length == 5.0
+        assert cp.gap == 5.0
+        assert cp.span_count == 0
+
+    def test_zero_duration_spans_terminate(self):
+        spans = [
+            TraceSpan("z", "overhead", 0, 0.0, 0.0, phase="p"),
+            TraceSpan("z", "overhead", 0, 0.0, 0.0, phase="p"),
+            TraceSpan("a", "compute", 0, 0.0, 1.0, phase="p"),
+        ]
+        t = Trace(
+            clock="virtual", num_tracks=1, makespan=1.0, spans=spans
+        )
+        cp = analyze_trace(t).critical_path  # must not loop forever
+        assert cp.length == pytest.approx(1.0)
+
+
+class TestLockHotspots:
+    def test_named_and_ranked(self):
+        progs = [[Op(work=1.0, lock_id=0)] * 4 for _ in range(4)]
+        result = run_lock_program(
+            progs, MACHINE_I, trace=True,
+            lock_names=["bucket.mutex"],
+        )
+        report = analyze_trace(trace_from_sim(result))
+        assert report.lock_hotspots, "contended program must surface a hotspot"
+        top = report.lock_hotspots[0]
+        assert top.name == "bucket.mutex"  # never an anonymous lock_0
+        assert top.wait_total > 0
+        assert top.waits >= 1
+        assert top.max_wait <= top.wait_total
+
+    def test_top_k_truncates(self):
+        spans = [
+            TraceSpan(f"lock_{i}", "lock-wait", 0, float(i), 1.0, phase="p")
+            for i in range(8)
+        ]
+        t = Trace(
+            clock="virtual", num_tracks=1, makespan=10.0, spans=spans
+        )
+        assert len(analyze_trace(t, top_k=3).lock_hotspots) == 3
+
+
+class TestStragglers:
+    def test_last_finisher_identified(self):
+        spans = [
+            TraceSpan("a", "compute", 0, 0.0, 2.0, phase="p"),
+            TraceSpan("b", "compute", 1, 0.0, 8.0, phase="p"),
+        ]
+        phases = [
+            PhaseStats(name="p", start=0.0, makespan=8.0, tracks=2,
+                       busy=10.0, overhead=0.0, idle=6.0)
+        ]
+        t = Trace(clock="virtual", num_tracks=2, makespan=8.0,
+                  spans=spans, phases=phases)
+        s = analyze_trace(t).stragglers[0]
+        assert s.track == 1
+        assert s.caused_idle == pytest.approx(6.0)
+
+
+class TestReportOutput:
+    def test_summary_flat_sorted_numeric(self):
+        summary = analyze_trace(hand_trace()).summary()
+        assert list(summary) == sorted(summary)
+        assert all(isinstance(v, float) for v in summary.values())
+        assert summary["trace.makespan"] == 8.0
+        assert summary["trace.tracks"] == 2.0
+        assert "trace.phase.p.idle_fraction" in summary
+        assert "trace.critical_path.length" in summary
+
+    def test_format_mentions_the_story(self):
+        text = analyze_trace(hand_trace()).format()
+        assert "critical path" in text
+        assert "phase p" in text
+        assert "schedule=dynamic" in text

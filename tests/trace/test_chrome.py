@@ -1,0 +1,141 @@
+"""Chrome Trace Event Format export and its schema validator."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.simx import MACHINE_I, simulate_parallel_for
+from repro.trace import (
+    to_chrome,
+    trace_from_phases,
+    trace_from_sim,
+    validate_chrome,
+    write_chrome,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    out = simulate_parallel_for(
+        16, np.full(16, 40.0), MACHINE_I, num_threads=4, trace=True
+    )
+    return trace_from_sim(out.result, phase="sweep")
+
+
+class TestToChrome:
+    def test_valid_per_own_schema_check(self, trace):
+        assert validate_chrome(to_chrome(trace)) == []
+
+    def test_one_thread_name_row_per_track(self, trace):
+        obj = to_chrome(trace)
+        names = [
+            e["args"]["name"]
+            for e in obj["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        for t in range(trace.num_tracks):
+            assert f"sim thread {t}" in names
+
+    def test_complete_events_carry_category_and_phase(self, trace):
+        obj = to_chrome(trace)
+        xs = [
+            e for e in obj["traceEvents"]
+            if e["ph"] == "X" and e["tid"] < trace.num_tracks
+        ]
+        assert len(xs) == len(trace.spans)
+        assert all(e["args"]["phase"] == "sweep" for e in xs)
+
+    def test_flow_events_pair_up(self, trace):
+        obj = to_chrome(trace)
+        starts = [e for e in obj["traceEvents"] if e["ph"] == "s"]
+        finishes = [e for e in obj["traceEvents"] if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == len(trace.flows)
+        assert all(e["bp"] == "e" for e in finishes)
+
+    def test_phase_extent_row(self, trace):
+        obj = to_chrome(trace)
+        extents = [
+            e for e in obj["traceEvents"]
+            if e["ph"] == "X" and e["tid"] == trace.num_tracks
+        ]
+        assert [e["name"] for e in extents] == ["phase:sweep"]
+
+    def test_virtual_units_map_to_microseconds(self, trace):
+        obj = to_chrome(trace)
+        span = trace.spans[0]
+        ev = next(
+            e for e in obj["traceEvents"]
+            if e["ph"] == "X" and e["tid"] == span.track
+            and e["ts"] == span.start
+        )
+        assert ev["dur"] == span.duration  # scale 1.0 on the virtual clock
+
+    def test_multi_phase_flow_ids_unique(self):
+        out = simulate_parallel_for(
+            8, np.full(8, 10.0), MACHINE_I, num_threads=2, trace=True
+        )
+        tr = trace_from_phases([("a", out.result), ("b", out.result)])
+        obj = to_chrome(tr)
+        assert validate_chrome(obj) == []
+
+
+class TestWriteChrome:
+    def test_round_trip(self, trace, tmp_path):
+        path = tmp_path / "sub" / "trace.json"
+        written = write_chrome(str(path), trace)
+        obj = json.loads(path.read_text())
+        assert written == str(path)
+        assert validate_chrome(obj) == []
+        assert obj["otherData"]["clock"] == "virtual"
+        assert obj["otherData"]["schema"] == trace.schema
+
+
+class TestValidateChrome:
+    def test_rejects_non_object(self):
+        assert validate_chrome([]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome({"displayTimeUnit": "ms"}) != []
+
+    def test_rejects_unknown_ph(self):
+        obj = {"traceEvents": [{"ph": "Z", "pid": 1, "tid": 0}]}
+        assert any("unknown ph" in p for p in validate_chrome(obj))
+
+    def test_rejects_missing_pid_tid(self):
+        obj = {"traceEvents": [{"ph": "X", "name": "a", "ts": 0, "dur": 1}]}
+        assert any("pid/tid" in p for p in validate_chrome(obj))
+
+    def test_rejects_negative_duration(self):
+        obj = {
+            "traceEvents": [
+                {"ph": "X", "name": "a", "pid": 1, "tid": 0,
+                 "ts": 0, "dur": -5}
+            ]
+        }
+        assert any("negative dur" in p for p in validate_chrome(obj))
+
+    def test_rejects_non_numeric_ts(self):
+        obj = {
+            "traceEvents": [
+                {"ph": "X", "name": "a", "pid": 1, "tid": 0,
+                 "ts": "soon", "dur": 1}
+            ]
+        }
+        assert any("numeric" in p for p in validate_chrome(obj))
+
+    def test_rejects_orphan_flow_finish(self):
+        obj = {
+            "traceEvents": [
+                {"ph": "f", "bp": "e", "id": 9, "pid": 1, "tid": 0, "ts": 0}
+            ]
+        }
+        assert any("no matching start" in p for p in validate_chrome(obj))
+
+    def test_rejects_unfinished_flow(self):
+        obj = {
+            "traceEvents": [
+                {"ph": "s", "id": 9, "pid": 1, "tid": 0, "ts": 0}
+            ]
+        }
+        assert any("never finished" in p for p in validate_chrome(obj))

@@ -1,0 +1,39 @@
+"""`repro-apsp trace` round trip."""
+
+import json
+
+from repro.cli import main
+from repro.trace import validate_chrome
+
+
+class TestTraceCommand:
+    def test_sim_roundtrip_writes_valid_chrome(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main([
+            "trace", "--rmat", "6", "--threads", "4",
+            "--schedule", "dynamic", "--out", str(out),
+            "--report", "--gantt",
+        ])
+        assert rc == 0
+        obj = json.loads(out.read_text())
+        assert validate_chrome(obj) == []
+        text = capsys.readouterr().out
+        assert "critical path" in text
+        assert "#=busy" in text  # the Gantt legend
+        assert "perfetto" in text
+
+    def test_report_is_default_without_out(self, capsys):
+        rc = main(["trace", "--rmat", "5", "--threads", "2"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "critical path" in text
+        assert "phase sweep" in text
+
+    def test_wall_clock_backend_records_spans(self, capsys):
+        rc = main([
+            "trace", "--rmat", "5", "--threads", "2",
+            "--backend", "threads", "--report",
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "wall clock" in text

@@ -1,0 +1,163 @@
+"""Unified trace model: spans, phases, flows, builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.runner import solve_apsp
+from repro.exceptions import SimulationError
+from repro.graphs.rmat import rmat
+from repro.simx import MACHINE_I, simulate_parallel_for
+from repro.trace import (
+    CATEGORIES,
+    TRACE_SCHEMA_VERSION,
+    PhaseStats,
+    Trace,
+    TraceSpan,
+    trace_from_apsp_result,
+    trace_from_phases,
+    trace_from_sim,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_parfor():
+    out = simulate_parallel_for(
+        16, np.full(16, 40.0), MACHINE_I, num_threads=4, trace=True
+    )
+    return out.result
+
+
+@pytest.fixture(scope="module")
+def sim_apsp():
+    graph = rmat(6, edge_factor=8, seed=3, name="rmat-s6")
+    return solve_apsp(
+        graph,
+        algorithm="parapsp",
+        num_threads=4,
+        backend="sim",
+        schedule="dynamic",
+        trace=True,
+    )
+
+
+class TestTraceSpan:
+    def test_rejects_unknown_category(self):
+        with pytest.raises(SimulationError, match="category"):
+            TraceSpan("x", "busy", 0, 0.0, 1.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(SimulationError, match="duration"):
+            TraceSpan("x", "compute", 0, 0.0, -1.0)
+
+    def test_rejects_negative_track(self):
+        with pytest.raises(SimulationError, match="track"):
+            TraceSpan("x", "compute", -1, 0.0, 1.0)
+
+    def test_end(self):
+        assert TraceSpan("x", "compute", 0, 2.0, 3.0).end == 5.0
+
+
+class TestTraceContainer:
+    def test_rejects_bad_clock(self):
+        with pytest.raises(SimulationError, match="clock"):
+            Trace(clock="cpu", num_tracks=1, makespan=0.0)
+
+    def test_rejects_zero_tracks(self):
+        with pytest.raises(SimulationError, match="track"):
+            Trace(clock="virtual", num_tracks=0, makespan=0.0)
+
+    def test_track_label_fallback(self):
+        t = Trace(clock="virtual", num_tracks=2, makespan=1.0,
+                  track_names={0: "main"})
+        assert t.track_label(0) == "main"
+        assert t.track_label(1) == "thread 1"
+
+
+class TestTraceFromSim:
+    def test_single_phase_layout(self, traced_parfor):
+        trace = trace_from_sim(traced_parfor, phase="p0")
+        assert trace.clock == "virtual"
+        assert trace.schema == TRACE_SCHEMA_VERSION
+        assert trace.num_tracks == traced_parfor.num_threads
+        assert trace.makespan == traced_parfor.makespan
+        assert [p.name for p in trace.phases] == ["p0"]
+        assert all(s.phase == "p0" for s in trace.spans)
+        assert all(s.category in CATEGORIES for s in trace.spans)
+
+    def test_spans_stay_inside_makespan(self, traced_parfor):
+        trace = trace_from_sim(traced_parfor)
+        for s in trace.spans:
+            assert 0.0 <= s.start <= s.end <= trace.makespan + 1e-9
+
+    def test_phase_conservation(self, traced_parfor):
+        trace = trace_from_sim(traced_parfor)
+        ps = trace.phases[0]
+        assert ps.busy + ps.overhead + ps.idle == pytest.approx(
+            ps.makespan * ps.tracks
+        )
+
+    def test_fork_join_flows_for_parallel_phase(self, traced_parfor):
+        trace = trace_from_sim(traced_parfor)
+        forks = [f for f in trace.flows if f.name == "fork"]
+        joins = [f for f in trace.flows if f.name == "join"]
+        assert forks and joins
+        assert len({f.flow_id for f in trace.flows}) == len(trace.flows)
+        for f in forks:
+            assert f.src_track == 0 and f.src_time == trace.phases[0].start
+        for f in joins:
+            assert f.dst_track == 0 and f.dst_time == trace.phases[0].end
+
+    def test_single_track_phase_has_no_flows(self):
+        out = simulate_parallel_for(
+            4, np.ones(4), MACHINE_I, num_threads=1, trace=True
+        )
+        trace = trace_from_sim(out.result)
+        assert trace.flows == []
+
+
+class TestTraceFromPhases:
+    def test_phases_laid_back_to_back(self, traced_parfor):
+        trace = trace_from_phases(
+            [("a", traced_parfor), ("b", traced_parfor)]
+        )
+        a, b = trace.phases
+        assert a.start == 0.0
+        assert b.start == pytest.approx(traced_parfor.makespan)
+        assert trace.makespan == pytest.approx(2 * traced_parfor.makespan)
+        b_spans = trace.spans_in_phase("b")
+        assert b_spans and all(s.start >= b.start - 1e-9 for s in b_spans)
+
+    def test_meta_namespaced_per_phase(self, traced_parfor):
+        trace = trace_from_phases(
+            [("a", traced_parfor)], meta={"algorithm": "x"}
+        )
+        assert trace.meta["algorithm"] == "x"
+        assert trace.meta["a.schedule"] == traced_parfor.meta["schedule"]
+
+    def test_empty_phase_list_rejected(self):
+        with pytest.raises(SimulationError, match="phase"):
+            trace_from_phases([])
+
+
+class TestTraceFromAPSPResult:
+    def test_two_phases_with_meta(self, sim_apsp):
+        trace = trace_from_apsp_result(sim_apsp)
+        assert [p.name for p in trace.phases] == ["ordering", "sweep"]
+        assert trace.meta["algorithm"] == "parapsp"
+        assert trace.meta["schedule"] == "dynamic"
+        assert trace.meta["threads"] == "4"
+        sweep = trace.phases[1]
+        assert sweep.schedule == "dynamic"
+
+    def test_real_backend_rejected(self, toy_graph):
+        result = solve_apsp(toy_graph, backend="serial")
+        with pytest.raises(SimulationError, match="SIM backend"):
+            trace_from_apsp_result(result)
+
+    def test_untraced_run_rejected(self):
+        graph = rmat(5, edge_factor=8, seed=3)
+        result = solve_apsp(
+            graph, algorithm="parapsp", num_threads=4, backend="sim"
+        )
+        with pytest.raises(SimulationError, match="trace=True"):
+            trace_from_apsp_result(result)

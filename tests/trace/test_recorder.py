@@ -1,0 +1,86 @@
+"""Wall-clock TraceRecorder through the repro.obs span hook."""
+
+import threading
+
+import pytest
+
+from repro.obs import span, use_registry
+from repro.trace import TraceRecorder, to_chrome, validate_chrome
+
+
+class FakeClock:
+    """Deterministic clock: each call advances by the programmed step."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestTraceRecorder:
+    def test_empty_recorder_refuses_to_trace(self):
+        with pytest.raises(ValueError, match="no spans"):
+            TraceRecorder().to_trace()
+
+    def test_spans_rebased_to_zero(self):
+        rec = TraceRecorder(clock=FakeClock())
+        with use_registry(rec):
+            with span("apsp"):
+                with span("dijkstra"):
+                    pass
+        trace = rec.to_trace()
+        assert trace.clock == "wall"
+        assert min(s.start for s in trace.spans) == 0.0
+        assert {s.name for s in trace.spans} == {"apsp", "apsp.dijkstra"}
+
+    def test_one_track_per_thread_with_names(self):
+        rec = TraceRecorder()
+        barrier = threading.Barrier(2)
+
+        def worker():
+            with use_registry(rec):
+                barrier.wait()
+                with span("work"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, name=f"w-{i}") for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        trace = rec.to_trace()
+        assert trace.num_tracks == 2
+        assert set(trace.track_names.values()) == {"w-0", "w-1"}
+
+    def test_apsp_phase_windows_derived(self):
+        rec = TraceRecorder(clock=FakeClock())
+        with use_registry(rec):
+            with span("apsp"):
+                with span("ordering"):
+                    pass
+                with span("dijkstra"):
+                    pass
+        trace = rec.to_trace()
+        names = [p.name for p in trace.phases]
+        assert names == ["ordering", "dijkstra"]
+
+    def test_chrome_export_valid(self):
+        rec = TraceRecorder(clock=FakeClock(step=0.001))
+        with use_registry(rec):
+            with span("apsp"):
+                with span("dijkstra"):
+                    pass
+        assert validate_chrome(to_chrome(rec.to_trace())) == []
+
+    def test_still_a_metrics_registry(self):
+        rec = TraceRecorder(clock=FakeClock())
+        with use_registry(rec):
+            with span("apsp"):
+                pass
+        assert "apsp" in rec.span_durations()
