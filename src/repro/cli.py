@@ -94,6 +94,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect repro.obs metrics during the solve and write a "
         "schema-versioned BENCH artifact (JSON) to PATH",
     )
+    solve.add_argument(
+        "--fault-plan",
+        metavar="PLAN",
+        help="inject deterministic worker faults during the sweep: a "
+        "JSON file/string or the compact DSL, e.g. "
+        "\"kill:worker=1,after=2;stall:worker=0,for=0.1\" "
+        "(see repro.faults)",
+    )
+    solve.add_argument(
+        "--on-worker-death",
+        choices=("retry", "raise"),
+        default="retry",
+        help="recovery policy when a worker dies: re-execute only the "
+        "lost sources (retry, default with --fault-plan) or surface a "
+        "BackendError (raise)",
+    )
+    solve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="bound each process-backend round; stragglers are "
+        "terminated and handled by --on-worker-death",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -242,6 +266,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     graph = _solve_graph(args)
     registry = MetricsRegistry() if args.metrics else None
+    fault_plan = None
+    if args.fault_plan:
+        from .exceptions import FaultPlanError
+        from .faults import parse_fault_plan
+
+        try:
+            fault_plan = parse_fault_plan(args.fault_plan)
+        except FaultPlanError as exc:
+            raise SystemExit(f"repro-apsp solve: error: --fault-plan: {exc}")
     t0 = time.perf_counter()
     solve_kwargs = dict(
         algorithm=args.algorithm,
@@ -250,6 +283,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         schedule=args.schedule,
         block_size=args.block_size,
         kernel=args.kernel,
+        fault_plan=fault_plan,
+        on_worker_death=args.on_worker_death,
+        timeout=args.timeout,
     )
     if registry is not None:
         with use_registry(registry):
@@ -270,6 +306,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
               f"(kernel={args.kernel})")
     print(f"dijkstra     : {result.phase_times.dijkstra:.6g} {unit}")
     print(f"total        : {result.total_time:.6g} {unit}")
+    if fault_plan is not None:
+        print(f"fault plan   : {len(fault_plan)} fault(s), "
+              f"policy={args.on_worker_death} — distances are exact "
+              f"(recovered work re-executed)")
     print(f"reachable    : {off_diag} of "
           f"{graph.num_vertices * (graph.num_vertices - 1)} ordered pairs")
     fin_vals = result.dist[finite & ~np.eye(len(graph), dtype=bool)]

@@ -123,8 +123,21 @@ def solve_apsp(
     kernel: str = "auto",
     cost_model: DijkstraCostModel = DEFAULT_COST_MODEL,
     trace: bool = False,
+    fault_plan=None,
+    on_worker_death: str = "raise",
+    timeout: Optional[float] = None,
+    max_retries: int = 3,
 ) -> APSPResult:
     """Solve all-pairs shortest paths; see the module docstring.
+
+    Fault tolerance: ``fault_plan`` (a :class:`repro.faults.FaultPlan`)
+    injects deterministic worker faults into the sweep phase;
+    ``on_worker_death`` picks the recovery policy (``"raise"`` surfaces
+    a :class:`~repro.exceptions.BackendError`, ``"retry"`` re-runs only
+    the lost sources, reproducing the exact distances of a fault-free
+    run).  ``timeout`` / ``max_retries`` bound each process round.  On
+    the SIM backend faults replay in virtual time and the recovery
+    phase is visible in the trace.
 
     Returns an :class:`~repro.core.state.APSPResult` whose ``dist`` is
     the exact APSP matrix regardless of algorithm, backend, schedule or
@@ -150,6 +163,16 @@ def solve_apsp(
     if not 0.0 < ratio <= 1.0:
         raise AlgorithmError(
             f"ratio must be in (0, 1], got {ratio!r}"
+        )
+    if chunk < 1:
+        raise AlgorithmError(
+            f"chunk must be >= 1, got {chunk} (a non-positive chunk "
+            "would make dynamic workers spin forever)"
+        )
+    if on_worker_death not in ("retry", "raise"):
+        raise AlgorithmError(
+            f"on_worker_death must be 'retry' or 'raise', "
+            f"got {on_worker_death!r}"
         )
     spec = ALGORITHMS[algorithm]
     backend = Backend.coerce(backend)
@@ -197,6 +220,7 @@ def solve_apsp(
                 use_flags=use_flags,
                 cost_model=cost_model,
                 trace=trace,
+                fault_plan=fault_plan,
             )
         ordering_time = (
             order_result.sim.makespan if order_result.sim is not None else 0.0
@@ -257,6 +281,10 @@ def solve_apsp(
             use_flags=use_flags,
             block_size=block_size,
             kernel=kernel,
+            fault_plan=fault_plan,
+            on_worker_death=on_worker_death,
+            timeout=timeout,
+            max_retries=max_retries,
         )
     extra: Dict[str, float] = {}
     if sweep.block_size is not None:

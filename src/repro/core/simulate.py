@@ -71,6 +71,7 @@ def simulate_sweep(
     use_flags: bool = True,
     cost_model: DijkstraCostModel = DEFAULT_COST_MODEL,
     trace: bool = False,
+    fault_plan=None,
 ) -> SimulatedSweep:
     """Play the sweep phase on the simulated machine.
 
@@ -79,6 +80,12 @@ def simulate_sweep(
     the T-thread schedule, flag interleaving and memory effects.
     ``trace=True`` records per-sweep timeline events for the unified
     tracing layer (:mod:`repro.trace`).
+
+    ``fault_plan`` replays worker faults in virtual time (see
+    :mod:`repro.faults`): each sweep still runs exactly once — a killed
+    virtual thread's unissued sources are re-dispatched to survivors —
+    so the distance matrix stays exact under any plan the simulator can
+    recover from.
     """
     schedule = Schedule.coerce(schedule)
     order = np.asarray(order, dtype=np.int64)
@@ -123,5 +130,6 @@ def simulate_sweep(
         chunk=chunk,
         cost_multiplier=multiplier,
         trace=trace,
+        fault_plan=fault_plan,
     )
     return SimulatedSweep(state.dist, per_source, outcome)

@@ -42,7 +42,7 @@ from ..graphs.csr import CSRGraph
 from ..parallel import Backend, Schedule, parallel_for
 from ..parallel.backends.process import SharedArray, fork_available, run_parallel_map
 from ..obs import metrics as _obs
-from ..types import OpCounts
+from ..types import INF, OpCounts
 from .batch import resolve_block_size, run_block
 from .costs import DEFAULT_COST_MODEL, DijkstraCostModel
 from .kernels import resolve_kernel
@@ -93,6 +93,10 @@ def run_sweep(
     use_flags: bool = True,
     block_size: "int | str | None" = None,
     kernel: str = "auto",
+    fault_plan=None,
+    on_worker_death: str = "raise",
+    timeout: Optional[float] = None,
+    max_retries: int = 3,
 ) -> SweepOutcome:
     """Run the full APSP sweep phase on a real backend.
 
@@ -104,6 +108,15 @@ def run_sweep(
     tuner, ``None`` keeps the unbatched per-source path.  ``kernel``
     picks the blocked-kernel implementation (``"auto"``, ``"row"``,
     ``"blocked"``, ``"scipy"``) and only matters when batching.
+
+    Crash recovery: under ``on_worker_death="retry"`` a lost source (or
+    source block) has its distance row(s) reset to the fresh-sweep state
+    — INF everywhere, 0 on the diagonal, flag cleared — before being
+    re-run, which yields the bitwise-identical exact matrix (flags are
+    only ever set after a row is final, so no other sweep can have read
+    the partial row).  ``fault_plan`` injects deterministic faults and
+    ``timeout`` / ``max_retries`` bound each process round — see
+    :mod:`repro.faults`.
     """
     backend = Backend.coerce(backend)
     schedule = Schedule.coerce(schedule)
@@ -112,6 +125,11 @@ def run_sweep(
     if order.shape != (n,):
         raise AlgorithmError(
             f"order must list all {n} sources, got shape {order.shape}"
+        )
+    if chunk < 1:
+        raise AlgorithmError(
+            f"chunk must be >= 1, got {chunk} (a non-positive chunk "
+            "would make dynamic workers spin forever)"
         )
     if backend is Backend.SIM:
         raise BackendError("use repro.core.simulate for the SIM backend")
@@ -128,6 +146,10 @@ def run_sweep(
             use_flags=use_flags,
             block_size=resolved_block,
             kernel=kernel,
+            fault_plan=fault_plan,
+            on_worker_death=on_worker_death,
+            timeout=timeout,
+            max_retries=max_retries,
         )
     if backend is Backend.PROCESS:
         return _sweep_process(
@@ -138,6 +160,10 @@ def run_sweep(
             chunk=chunk,
             queue=queue,
             use_flags=use_flags,
+            fault_plan=fault_plan,
+            on_worker_death=on_worker_death,
+            timeout=timeout,
+            max_retries=max_retries,
         )
 
     state = new_state(n)
@@ -158,10 +184,53 @@ def run_sweep(
         schedule=schedule,
         chunk=chunk,
         backend=backend,
+        fault_plan=fault_plan,
+        on_worker_death=on_worker_death,
+        on_retry=_row_resetter(state, order, per_source),
     )
     elapsed = time.perf_counter() - t0
     counts = [c if c is not None else OpCounts() for c in per_source]
     return SweepOutcome(state.dist, counts, elapsed)
+
+
+def _row_resetter(state: APSPState, order: np.ndarray, per_source=None):
+    """Recovery hook: return fresh-sweep state to lost sources.
+
+    ``indices`` are loop positions; each maps to a source whose row may
+    be half-written by a dead worker.  A row reset mirrors
+    :meth:`APSPState.reset` for that single source, after which re-running
+    the sweep produces the exact row again (shortest-path distances are
+    unique, so recovery is bitwise).
+    """
+
+    def reset(indices: List[int]) -> None:
+        for i in indices:
+            s = int(order[i])
+            state.dist[s, :] = INF
+            state.dist[s, s] = 0.0
+            state.flag[s] = 0
+            if per_source is not None:
+                per_source[s] = None
+
+    return reset
+
+
+def _block_resetter(
+    state: APSPState, order: np.ndarray, block_size: int, per_source=None
+):
+    """Like :func:`_row_resetter`, for batched sweeps (blocks as tasks)."""
+
+    def reset(blocks: List[int]) -> None:
+        for b in blocks:
+            for s in order[b * block_size:(b + 1) * block_size]:
+                s = int(s)
+                state.dist[s, :] = INF
+                state.dist[s, s] = 0.0
+                state.flag[s] = 0
+                if per_source is not None:
+                    per_source[s] = None
+
+    return reset
 
 
 def _sweep_process(
@@ -173,12 +242,19 @@ def _sweep_process(
     chunk: int,
     queue: str,
     use_flags: bool,
+    fault_plan=None,
+    on_worker_death: str = "raise",
+    timeout: Optional[float] = None,
+    max_retries: int = 3,
 ) -> SweepOutcome:
     """Shared-memory multiprocessing sweep.
 
     The distance matrix and flag vector are allocated in shared memory
     *before* forking, so every worker mutates the same physical pages;
-    per-source op counts travel back through the result pipe.
+    per-source op counts travel back through the result pipe.  A killed
+    worker may leave half-written rows in the shared matrix — the
+    recovery hook resets exactly those rows before the lost sources are
+    re-swept, so the retried matrix is bitwise-identical.
     """
     n = graph.num_vertices
     if num_threads <= 1 or not fork_available():
@@ -191,6 +267,8 @@ def _sweep_process(
             chunk=chunk,
             queue=queue,
             use_flags=use_flags,
+            fault_plan=fault_plan,
+            on_worker_death=on_worker_death,
         )
     with SharedArray.allocate((n, n), np.float64) as shared_dist, \
             SharedArray.allocate((n,), np.uint8) as shared_flag:
@@ -206,7 +284,16 @@ def _sweep_process(
 
         t0 = time.perf_counter()
         results = run_parallel_map(
-            n, work, num_threads=num_threads, schedule=schedule, chunk=chunk
+            n,
+            work,
+            num_threads=num_threads,
+            schedule=schedule,
+            chunk=chunk,
+            fault_plan=fault_plan,
+            on_worker_death=on_worker_death,
+            timeout=timeout,
+            max_retries=max_retries,
+            on_retry=_row_resetter(state, order),
         )
         elapsed = time.perf_counter() - t0
         per_source: List[OpCounts] = [OpCounts() for _ in range(n)]
@@ -228,6 +315,10 @@ def _sweep_batched(
     use_flags: bool,
     block_size: int,
     kernel: str,
+    fault_plan=None,
+    on_worker_death: str = "raise",
+    timeout: Optional[float] = None,
+    max_retries: int = 3,
 ) -> SweepOutcome:
     """Batched sweep: blocks of sources through the lockstep engine.
 
@@ -260,6 +351,10 @@ def _sweep_batched(
             use_flags=use_flags,
             block_size=block_size,
             kernel=kernel,
+            fault_plan=fault_plan,
+            on_worker_death=on_worker_death,
+            timeout=timeout,
+            max_retries=max_retries,
         )
 
     state = new_state(n)
@@ -293,6 +388,9 @@ def _sweep_batched(
         backend=(
             Backend.SERIAL if backend is Backend.PROCESS else backend
         ),
+        fault_plan=fault_plan,
+        on_worker_death=on_worker_death,
+        on_retry=_block_resetter(state, order, block_size, per_source),
     )
     elapsed = time.perf_counter() - t0
     counts = [c if c is not None else OpCounts() for c in per_source]
@@ -311,8 +409,17 @@ def _sweep_batched_process(
     use_flags: bool,
     block_size: int,
     kernel: str,
+    fault_plan=None,
+    on_worker_death: str = "raise",
+    timeout: Optional[float] = None,
+    max_retries: int = 3,
 ) -> SweepOutcome:
-    """Shared-memory multiprocessing batched sweep (blocks as tasks)."""
+    """Shared-memory multiprocessing batched sweep (blocks as tasks).
+
+    A lost source block is recovered by resetting its rows in the
+    shared matrix and re-running the block — bitwise-identical output,
+    same argument as the unbatched process sweep.
+    """
     n = graph.num_vertices
     num_blocks = -(-n // block_size)
     with SharedArray.allocate((n, n), np.float64) as shared_dist, \
@@ -341,6 +448,11 @@ def _sweep_batched_process(
             num_threads=num_threads,
             schedule=schedule,
             chunk=chunk,
+            fault_plan=fault_plan,
+            on_worker_death=on_worker_death,
+            timeout=timeout,
+            max_retries=max_retries,
+            on_retry=_block_resetter(state, order, block_size),
         )
         elapsed = time.perf_counter() - t0
         per_source: List[OpCounts] = [OpCounts() for _ in range(n)]

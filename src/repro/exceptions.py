@@ -20,6 +20,8 @@ __all__ = [
     "AlgorithmError",
     "ValidationError",
     "BenchmarkError",
+    "FaultPlanError",
+    "FaultInjected",
 ]
 
 
@@ -65,3 +67,15 @@ class ValidationError(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark experiment specification is invalid or failed to run."""
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan is malformed or unsatisfiable."""
+
+
+class FaultInjected(ReproError):
+    """An error deliberately raised by an armed :class:`repro.faults.FaultSpec`.
+
+    Execution layers treat it like a worker death (recoverable under
+    ``on_worker_death="retry"``) rather than an application bug.
+    """

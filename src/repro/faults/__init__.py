@@ -1,0 +1,50 @@
+"""``repro.faults`` — deterministic fault injection and crash recovery.
+
+The paper's scheduling claims are about tolerance to *uneven* workers;
+this package extends that to *misbehaving* workers, the production
+north-star of ROADMAP.md.  It has two halves:
+
+* **Planning** (:mod:`repro.faults.plan`) — :class:`FaultPlan`, a
+  seeded, schema-like description of what goes wrong (kill worker k
+  after m claims, stall a thread, raise inside the mapped function at
+  iteration i, corrupt a result pipe), parseable from JSON or a compact
+  DSL (``repro-apsp solve --fault-plan "kill:worker=1,after=2"``).
+* **Injection** (:mod:`repro.faults.inject`) —
+  :class:`WorkerFaultInjector`, the worker-side runtime each backend
+  consults at claim/iteration boundaries.
+
+Recovery semantics live in the execution layers themselves:
+:func:`repro.parallel.backends.process.run_parallel_map` detects dead
+workers via ``multiprocessing.connection.wait`` over pipes *and*
+process sentinels and re-executes only the lost index ranges;
+the threads backend re-runs iterations a dead thread never reported;
+:func:`repro.simx.parfor.simulate_parallel_for` replays faults in
+virtual time (requeued chunks become labelled ``recovery`` events).
+Recovery cost is observable as ``faults.*`` counters and
+``faults.recovery`` spans (see ``docs/robustness.md``).
+"""
+
+from .inject import ThreadDeath, WorkerFaultInjector
+from .plan import (
+    CORRUPT_PIPE,
+    FAULT_KINDS,
+    KILL,
+    RAISE,
+    STALL,
+    FaultPlan,
+    FaultSpec,
+    parse_fault_plan,
+)
+
+__all__ = [
+    "KILL",
+    "STALL",
+    "RAISE",
+    "CORRUPT_PIPE",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "parse_fault_plan",
+    "ThreadDeath",
+    "WorkerFaultInjector",
+]

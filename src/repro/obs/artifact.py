@@ -25,6 +25,11 @@ produced by :meth:`repro.trace.TraceReport.summary` — makespan
 attribution fractions, critical-path composition and lock-hotspot
 totals.  :mod:`repro.obs.regress` gates its contention/idle fractions
 with an absolute tolerance (``--trace-atol``).
+
+``faults`` (schema ``/3``, optional) is a flat numeric dict describing
+a deterministic fault-injection run (:mod:`repro.faults`): injected
+event counts (exact-gated) plus ``faults.virtual.*`` recovery timings
+(gated upward with the timing ``--rtol``).
 """
 
 from __future__ import annotations
@@ -47,8 +52,9 @@ __all__ = [
 ]
 
 #: bump the suffix when the artifact layout changes incompatibly
-#: (/2: optional numeric ``trace_summary`` section, sorted counters)
-SCHEMA_VERSION = "repro.obs.bench/2"
+#: (/2: optional numeric ``trace_summary`` section, sorted counters;
+#:  /3: optional numeric ``faults`` section from fault-injection runs)
+SCHEMA_VERSION = "repro.obs.bench/3"
 
 #: required top-level keys and their expected container types
 _REQUIRED: Dict[str, type] = {
@@ -93,13 +99,15 @@ def build_artifact(
     registry: Any = None,
     env: Optional[Mapping[str, Any]] = None,
     trace_summary: Optional[Mapping[str, float]] = None,
+    faults: Optional[Mapping[str, float]] = None,
 ) -> Dict[str, Any]:
     """Assemble one schema-valid artifact dict.
 
     ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`) seeds
     the counters/gauges/spans sections; explicit mappings are overlaid on
     top so callers can add derived values.  ``trace_summary`` (a flat
-    numeric dict, see :meth:`repro.trace.TraceReport.summary`) is
+    numeric dict, see :meth:`repro.trace.TraceReport.summary`) and
+    ``faults`` (fault-injection event counts + recovery timings) are
     attached verbatim when given.
     """
     base_counters: Dict[str, float] = {}
@@ -131,6 +139,8 @@ def build_artifact(
         artifact["trace_summary"] = _sorted_numeric(
             dict(trace_summary), "trace_summary"
         )
+    if faults is not None:
+        artifact["faults"] = _sorted_numeric(dict(faults), "faults")
     return artifact
 
 
@@ -143,6 +153,7 @@ def artifact_from_apsp_result(
     wall_seconds: Optional[float] = None,
     extra_params: Optional[Mapping[str, Any]] = None,
     trace_summary: Optional[Mapping[str, float]] = None,
+    faults: Optional[Mapping[str, float]] = None,
 ) -> Dict[str, Any]:
     """Artifact for one :func:`repro.core.runner.solve_apsp` run.
 
@@ -184,6 +195,7 @@ def artifact_from_apsp_result(
         timings=timings,
         registry=registry,
         trace_summary=trace_summary,
+        faults=faults,
     )
 
 
@@ -244,13 +256,15 @@ def validate_artifact(artifact: Any) -> List[str]:
                 f"section {key!r} must be {kind.__name__}, "
                 f"got {type(value).__name__}"
             )
-    trace_summary = artifact.get("trace_summary")
-    if trace_summary is not None and not isinstance(trace_summary, Mapping):
-        problems.append(
-            f"section 'trace_summary' must be dict, "
-            f"got {type(trace_summary).__name__}"
-        )
-    for section in ("counters", "timings", "gauges", "trace_summary"):
+    for optional in ("trace_summary", "faults"):
+        section = artifact.get(optional)
+        if section is not None and not isinstance(section, Mapping):
+            problems.append(
+                f"section {optional!r} must be dict, "
+                f"got {type(section).__name__}"
+            )
+    for section in ("counters", "timings", "gauges", "trace_summary",
+                    "faults"):
         values = artifact.get(section)
         if isinstance(values, Mapping):
             for name, value in values.items():

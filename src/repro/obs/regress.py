@@ -19,6 +19,11 @@
   tolerance would be meaningless near zero); the remaining keys
   (makespans, critical-path composition, hotspot totals) are reported
   as notes;
+* **faults** — the deterministic fault-injection section (schema
+  ``/3``): injected event counts are exact (the plan is seeded, so a
+  changed death/requeue count means the recovery machinery changed
+  behaviour); ``faults.virtual.*`` recovery timings may only exceed the
+  baseline by ``--rtol``, like ``virtual.*`` timings;
 * **kernel consistency** — artifacts that carry ``kernel.*`` counters
   must satisfy the cross-layer invariants tying kernel-call accounting
   to the per-source ``ops.*`` totals (see
@@ -49,6 +54,10 @@ TRACE_GATED_SUFFIXES = (
     "idle_fraction",
     "overhead_fraction",
 )
+
+#: faults keys with this prefix are virtual recovery timings (rtol,
+#: upward); every other faults key is an exact-gated event count
+FAULT_TIMING_PREFIX = "faults.virtual."
 
 
 def check_kernel_consistency(
@@ -186,6 +195,14 @@ def compare_artifacts(
         baseline.get("trace_summary"),
         current.get("trace_summary"),
         trace_atol,
+        ignored,
+        regressions,
+        notes,
+    )
+    _compare_faults(
+        baseline.get("faults"),
+        current.get("faults"),
+        rtol,
         ignored,
         regressions,
         notes,
@@ -333,6 +350,69 @@ def _compare_trace_summary(
             )
     for key in sorted(set(cur) - set(base)):
         notes.append(f"trace {key} new in current: {cur[key]:g}")
+
+
+def _compare_faults(
+    base: Optional[Mapping[str, float]],
+    cur: Optional[Mapping[str, float]],
+    rtol: float,
+    ignored: set,
+    regressions: List[str],
+    notes: List[str],
+) -> None:
+    """Gate the fault-injection section.
+
+    The fault plan behind this section is seeded and counted in
+    claims/iterations, so its event counts (deaths, stalls, requeued
+    iterations, recovered indices) are as deterministic as ``ops.*``
+    and gate exactly.  ``faults.virtual.*`` entries are virtual-time
+    recovery makespans and gate upward with the timing ``rtol`` — a
+    faulted run that got *slower* to recover is a regression, a faster
+    one is an improvement.
+    """
+    if base is None:
+        if cur:
+            notes.append(
+                "faults section new in current (no baseline to gate against)"
+            )
+        return
+    if cur is None:
+        regressions.append(
+            "faults section present in baseline but missing from current "
+            "artifact (fault-injection run skipped?)"
+        )
+        return
+    for key in sorted(base):
+        if key in ignored:
+            notes.append(f"fault {key}: ignored")
+            continue
+        if key not in cur:
+            regressions.append(f"fault {key} missing from current artifact")
+            continue
+        if key.startswith(FAULT_TIMING_PREFIX):
+            limit = base[key] * (1.0 + rtol)
+            if cur[key] > limit:
+                pct = (
+                    (cur[key] - base[key]) / base[key] * 100.0
+                    if base[key]
+                    else float("inf")
+                )
+                regressions.append(
+                    f"fault {key}: {base[key]:g} -> {cur[key]:g} "
+                    f"(+{pct:.1f}%, tolerance {rtol:.0%})"
+                )
+            else:
+                notes.append(
+                    f"fault {key}: {base[key]:g} -> {cur[key]:g} (ok)"
+                )
+        elif base[key] != cur[key]:
+            direction = "up" if cur[key] > base[key] else "down"
+            regressions.append(
+                f"fault {key}: {base[key]:g} -> {cur[key]:g} ({direction}; "
+                "injected-fault event counts must match exactly)"
+            )
+    for key in sorted(set(cur) - set(base)):
+        notes.append(f"fault {key} new in current: {cur[key]:g}")
 
 
 def _report(regressions: List[str], notes: List[str], verbose: bool) -> None:

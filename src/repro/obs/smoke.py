@@ -20,7 +20,10 @@ import sys
 import time
 from typing import Dict, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.runner import solve_apsp
+from ..faults import KILL, FaultPlan
 from ..graphs.rmat import rmat
 from .artifact import artifact_from_apsp_result, write_artifact
 from .metrics import MetricsRegistry, use_registry
@@ -34,6 +37,11 @@ DEFAULT_SCALE = 7
 DEFAULT_EDGE_FACTOR = 8
 DEFAULT_THREADS = 8
 DEFAULT_SEED = 5
+
+#: the smoke fault plan: kill simulated worker 1 after its second work
+#: claim.  Deterministic (claim-counted), so the deaths / requeued /
+#: recovery numbers it produces are exactly reproducible on every host.
+SMOKE_FAULT_PLAN = FaultPlan.single(KILL, worker=1, after_claims=2)
 
 
 def run_smoke(
@@ -49,6 +57,12 @@ def run_smoke(
     ``trace`` is the unified execution trace
     (:class:`repro.trace.Trace`) of the traced SIM run; its analyzer
     summary is folded into the artifact's ``trace_summary`` section.
+
+    A second run replays the same workload under
+    :data:`SMOKE_FAULT_PLAN` (a simulated worker kill) and must come
+    back bitwise-identical; its injection counts and virtual recovery
+    cost become the artifact's ``faults`` section, so CI gates the
+    crash-recovery path alongside the op counts.
     """
     from ..trace import analyze_trace, trace_from_apsp_result
 
@@ -69,6 +83,31 @@ def run_smoke(
             trace=True,
         )
     wall = time.perf_counter() - t0
+
+    # replay under the fault plan in an isolated registry: recovery must
+    # reproduce the exact distance matrix, and what it cost is gated
+    fault_registry = MetricsRegistry()
+    with use_registry(fault_registry):
+        faulted = solve_apsp(
+            graph,
+            algorithm=algorithm,
+            num_threads=threads,
+            backend="sim",
+            fault_plan=SMOKE_FAULT_PLAN,
+        )
+    if not np.array_equal(result.dist, faulted.dist):
+        raise RuntimeError(
+            "fault-injection smoke failed: recovered distance matrix "
+            "differs from the fault-free run"
+        )
+    faults: Dict[str, float] = {
+        key: value
+        for key, value in fault_registry.snapshot()["counters"].items()
+        if key.startswith("faults.")
+    }
+    faults["faults.virtual.dijkstra"] = float(faulted.phase_times.dijkstra)
+    faults["faults.virtual.total"] = float(faulted.total_time)
+
     # the simulator is deterministic, so the unified-trace attribution
     # (idle / lock-wait / overhead fractions) is as gateable as the op
     # counts; regress checks it against the baseline with --trace-atol
@@ -86,6 +125,7 @@ def run_smoke(
             "rmat_seed": seed,
         },
         trace_summary=analyze_trace(trace).summary(),
+        faults=faults,
     )
     return artifact, registry, trace
 
@@ -140,6 +180,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             summary["trace.lock_wait_fraction"],
             summary["trace.overhead_fraction"],
             summary["trace.idle_fraction"],
+        )
+    )
+    faults = artifact["faults"]
+    print(
+        "  faults: deaths={:d} requeued={:d} recovery_virtual={:g}".format(
+            int(faults.get("faults.sim.deaths", 0)),
+            int(faults.get("faults.sim.requeued_iterations", 0)),
+            faults["faults.virtual.dijkstra"],
         )
     )
     if args.trace_out:

@@ -18,7 +18,7 @@ provide.  Simulated algorithms go through :mod:`repro.simx.parfor`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List
+from typing import Any, Callable, List, Optional
 
 from ..exceptions import BackendError
 from ..types import Backend, Schedule
@@ -37,12 +37,19 @@ def parallel_for(
     schedule: "Schedule | str" = Schedule.DYNAMIC,
     chunk: int = 1,
     backend: "Backend | str" = Backend.THREADS,
+    fault_plan=None,
+    on_worker_death: str = "raise",
+    on_retry: Optional[Callable[[List[int]], None]] = None,
 ) -> List[List[int]]:
     """Run ``body(i, thread_id)`` for every ``i in range(n)``.
 
     The body is executed for its side effects (writes to shared arrays);
     return values are ignored.  Returns the per-thread iteration lists
     actually executed, which tests and traces use to verify scheduling.
+
+    ``fault_plan`` / ``on_worker_death`` / ``on_retry`` configure
+    deterministic fault injection and crash recovery — see
+    :mod:`repro.faults`.
     """
     backend = Backend.coerce(backend)
     schedule = Schedule.coerce(schedule)
@@ -50,11 +57,25 @@ def parallel_for(
         raise BackendError(f"iteration count must be >= 0, got {n}")
     if backend is Backend.SERIAL or num_threads == 1:
         return _serial.run_parallel_for(
-            n, body, num_threads=max(1, num_threads), schedule=schedule, chunk=chunk
+            n,
+            body,
+            num_threads=max(1, num_threads),
+            schedule=schedule,
+            chunk=chunk,
+            fault_plan=fault_plan,
+            on_worker_death=on_worker_death,
+            on_retry=on_retry,
         )
     if backend is Backend.THREADS:
         return _threads.run_parallel_for(
-            n, body, num_threads=num_threads, schedule=schedule, chunk=chunk
+            n,
+            body,
+            num_threads=num_threads,
+            schedule=schedule,
+            chunk=chunk,
+            fault_plan=fault_plan,
+            on_worker_death=on_worker_death,
+            on_retry=on_retry,
         )
     if backend is Backend.PROCESS:
         raise BackendError(
@@ -76,8 +97,17 @@ def parallel_map(
     schedule: "Schedule | str" = Schedule.BLOCK,
     chunk: int = 1,
     backend: "Backend | str" = Backend.PROCESS,
+    timeout: Optional[float] = None,
+    fault_plan=None,
+    on_worker_death: str = "raise",
+    on_retry: Optional[Callable[[List[int]], None]] = None,
 ) -> List[Any]:
-    """Evaluate ``fn(i)`` for every ``i`` and return results in order."""
+    """Evaluate ``fn(i)`` for every ``i`` and return results in order.
+
+    ``timeout`` bounds each process round in seconds (process backend
+    only); ``fault_plan`` / ``on_worker_death`` / ``on_retry`` configure
+    fault injection and crash recovery — see :mod:`repro.faults`.
+    """
     backend = Backend.coerce(backend)
     schedule = Schedule.coerce(schedule)
     if n < 0:
@@ -86,7 +116,15 @@ def parallel_map(
         return [fn(i) for i in range(n)]
     if backend is Backend.PROCESS:
         return _process.run_parallel_map(
-            n, fn, num_threads=num_threads, schedule=schedule, chunk=chunk
+            n,
+            fn,
+            num_threads=num_threads,
+            schedule=schedule,
+            chunk=chunk,
+            timeout=timeout,
+            fault_plan=fault_plan,
+            on_worker_death=on_worker_death,
+            on_retry=on_retry,
         )
     if backend is Backend.THREADS:
         results: List[Any] = [None] * n
@@ -95,7 +133,14 @@ def parallel_map(
             results[i] = fn(i)
 
         _threads.run_parallel_for(
-            n, body, num_threads=num_threads, schedule=schedule, chunk=chunk
+            n,
+            body,
+            num_threads=num_threads,
+            schedule=schedule,
+            chunk=chunk,
+            fault_plan=fault_plan,
+            on_worker_death=on_worker_death,
+            on_retry=on_retry,
         )
         return results
     raise BackendError(

@@ -12,6 +12,27 @@ GIL).  Two usage modes:
   their matrix in :class:`SharedMatrix` so all workers write the same
   physical pages, mirroring the paper's shared-memory design.
 
+Crash safety (ISSUE 4): the parent never blocks on a single pipe.  It
+multiplexes result pipes *and* process sentinels through
+``multiprocessing.connection.wait``, so an OOM-killed or segfaulted
+worker is detected the moment its process object becomes ready instead
+of hanging ``conn.recv()`` forever.  A dead pipe, undecodable (corrupt)
+pipe data, a worker that exits without reporting, or a worker that
+exceeds ``timeout`` all classify as a *worker death*; the
+``on_worker_death`` policy then either surfaces a
+:class:`~repro.exceptions.BackendError` naming the worker (``"raise"``)
+or re-executes only the lost index ranges on fresh workers
+(``"retry"``, bounded rounds with backoff).  Application exceptions
+raised by ``fn`` itself are *not* deaths — they always surface.  All
+processes are joined (terminated if necessary) and all pipes closed in
+``finally``, so no path leaks zombies.
+
+Deterministic fault injection (:mod:`repro.faults`) hooks the worker
+entry points: a bound :class:`~repro.faults.WorkerFaultInjector` can
+SIGKILL the worker's own process after m claims, stall it, corrupt its
+result pipe, or raise inside ``fn`` — all counted in claims/iterations,
+never wall time.
+
 On platforms without ``fork`` (Windows) the map transparently degrades
 to serial execution rather than failing.
 """
@@ -19,16 +40,30 @@ to serial execution rather than failing.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
+import weakref
 from contextlib import contextmanager
-from typing import Any, Callable, Iterator, List, Tuple
+from multiprocessing.connection import wait as _conn_wait
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ...exceptions import BackendError
+from ...exceptions import BackendError, FaultInjected, ScheduleError
+from ...obs import metrics as _obs
 from ...types import Schedule
 from ..schedule import static_assignment
 
 __all__ = ["fork_available", "run_parallel_map", "SharedArray", "SharedMatrix"]
+
+#: seconds to wait for a reaped worker before escalating to terminate()
+_JOIN_GRACE = 5.0
+
+#: default bounded-retry budget for ``on_worker_death="retry"``
+DEFAULT_MAX_RETRIES = 3
+
+#: base backoff before retry round r (doubles per round)
+DEFAULT_RETRY_BACKOFF = 0.05
 
 
 def fork_available() -> bool:
@@ -36,26 +71,44 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _worker_static(fn, indices, conn) -> None:
-    """Child entry for static schedules: evaluate an index batch."""
+def _worker_static(fn, indices, conn, injector=None) -> None:
+    """Child entry for static schedules: evaluate an index batch.
+
+    The whole assignment counts as one work claim, so kill/stall faults
+    with ``after_claims == 1`` fire before any iteration runs and
+    ``after_claims > 1`` never fires here.
+    """
+    out: List[Tuple[int, Any]] = []
     try:
-        out = [(int(i), fn(int(i))) for i in indices]
+        if injector is not None:
+            injector.on_claim(conn)
+        for i in indices:
+            i = int(i)
+            if injector is not None:
+                injector.on_iteration(i)
+            out.append((i, fn(i)))
         conn.send(("ok", out))
+    except FaultInjected as exc:
+        # injected failures are recoverable worker deaths, not bugs;
+        # ship the partial results so only the rest is re-executed
+        conn.send(("fault", (repr(exc), out)))
     except BaseException as exc:  # noqa: BLE001 — shipped to parent
         conn.send(("error", repr(exc)))
     finally:
         conn.close()
 
 
-def _worker_dynamic(fn, counter, lock, n, chunk, conn) -> None:
+def _worker_dynamic(fn, counter, lock, n, chunk, conn, injector=None) -> None:
     """Child entry for the dynamic schedule: fetch-and-add work counter.
 
     ``counter`` is a ``multiprocessing.Value``; the paired ``lock`` makes
     the claim atomic across processes (matching the DynamicCounter the
-    thread backend uses).
+    thread backend uses).  Fault hooks run *after* the claim, so a
+    killed worker takes its claimed-but-unexecuted range down with it —
+    exactly the lost-work shape recovery has to handle.
     """
+    out: List[Tuple[int, Any]] = []
     try:
-        out = []
         while True:
             with lock:
                 start = counter.value
@@ -63,13 +116,190 @@ def _worker_dynamic(fn, counter, lock, n, chunk, conn) -> None:
                     break
                 end = min(start + chunk, n)
                 counter.value = end
+            if injector is not None:
+                injector.on_claim(conn)
             for i in range(start, end):
+                if injector is not None:
+                    injector.on_iteration(i)
                 out.append((i, fn(i)))
         conn.send(("ok", out))
+    except FaultInjected as exc:
+        conn.send(("fault", (repr(exc), out)))
     except BaseException as exc:  # noqa: BLE001
         conn.send(("error", repr(exc)))
     finally:
         conn.close()
+
+
+def _drain_worker(
+    conn,
+    worker: int,
+    proc,
+    results: List[Any],
+    have: bytearray,
+    deaths: List[str],
+    errors: List[str],
+) -> None:
+    """Consume one worker's (single) result message, classifying it.
+
+    A closed pipe (``EOFError``/``OSError``), undecodable pipe bytes,
+    or a worker that exited without reporting are worker deaths; an
+    explicit ``("error", ...)`` message is an application failure.
+    """
+    try:
+        if conn.poll(0):
+            status, payload = conn.recv()
+        else:
+            deaths.append(
+                f"worker {worker} died before reporting "
+                f"(exitcode {proc.exitcode})"
+            )
+            return
+    except (EOFError, OSError) as exc:
+        deaths.append(
+            f"worker {worker} result pipe closed mid-message "
+            f"({type(exc).__name__})"
+        )
+        return
+    except Exception as exc:  # corrupt pipe: unpicklable bytes
+        deaths.append(
+            f"worker {worker} sent undecodable pipe data "
+            f"({type(exc).__name__}: {exc})"
+        )
+        return
+    if status == "ok":
+        for i, value in payload:
+            results[i] = value
+            have[i] = 1
+    elif status == "fault":
+        reason, partial = payload
+        for i, value in partial:
+            results[i] = value
+            have[i] = 1
+        deaths.append(f"worker {worker} hit an injected fault: {reason}")
+    else:
+        errors.append(payload)
+
+
+def _execute_round(
+    procs: List,
+    conns: List,
+    results: List[Any],
+    have: bytearray,
+    timeout: Optional[float],
+) -> Tuple[List[str], List[str]]:
+    """Collect every worker's result or death; never hangs, never leaks.
+
+    Multiplexes result pipes and process sentinels with
+    ``multiprocessing.connection.wait`` so a crashed worker is noticed
+    immediately; enforces ``timeout`` (seconds for the whole round) by
+    terminating stragglers.  Joins/terminates all processes and closes
+    all pipes in ``finally``.
+    """
+    deaths: List[str] = []
+    errors: List[str] = []
+    pending: Dict[Any, int] = {conn: w for w, conn in enumerate(conns)}
+    deadline = None if timeout is None else time.monotonic() + timeout
+    try:
+        while pending:
+            sentinel_of = {procs[w].sentinel: w for w in pending.values()}
+            waitables = list(pending) + list(sentinel_of)
+            if deadline is None:
+                ready = _conn_wait(waitables)
+            else:
+                budget = deadline - time.monotonic()
+                ready = _conn_wait(waitables, timeout=max(0.0, budget))
+                if not ready:
+                    for conn, w in sorted(
+                        pending.items(), key=lambda kv: kv[1]
+                    ):
+                        procs[w].terminate()
+                        deaths.append(
+                            f"worker {w} exceeded the {timeout:g}s timeout"
+                        )
+                        _obs.counter_add("faults.worker_timeouts")
+                    pending.clear()
+                    break
+            for obj in ready:
+                if obj in pending:
+                    w = pending.pop(obj)
+                    _drain_worker(
+                        obj, w, procs[w], results, have, deaths, errors
+                    )
+                else:
+                    w = sentinel_of.get(obj)
+                    if w is None:
+                        continue
+                    conn = conns[w]
+                    if conn in pending:  # died; pipe may hold a message
+                        pending.pop(conn)
+                        _drain_worker(
+                            conn, w, procs[w], results, have, deaths,
+                            errors,
+                        )
+    finally:
+        for proc in procs:
+            proc.join(timeout=_JOIN_GRACE)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=_JOIN_GRACE)
+            if proc.is_alive():  # pragma: no cover — terminate ignored
+                proc.kill()
+                proc.join()
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover — already closed
+                pass
+    return deaths, errors
+
+
+def _spawn_static(
+    ctx, fn, assignment: List[np.ndarray], plan, round: int
+) -> Tuple[List, List]:
+    from ...faults import WorkerFaultInjector
+
+    procs, conns = [], []
+    for w, indices in enumerate(assignment):
+        injector = (
+            WorkerFaultInjector(plan, w, round=round, hard=True)
+            if plan is not None
+            else None
+        )
+        parent, child = ctx.Pipe(duplex=False)
+        procs.append(
+            ctx.Process(
+                target=_worker_static,
+                args=(fn, indices.tolist(), child, injector),
+            )
+        )
+        conns.append(parent)
+    return procs, conns
+
+
+def _spawn_dynamic(
+    ctx, fn, n: int, num_threads: int, chunk: int, plan, round: int
+) -> Tuple[List, List]:
+    from ...faults import WorkerFaultInjector
+
+    counter = ctx.Value("l", 0, lock=False)
+    lock = ctx.Lock()
+    procs, conns = [], []
+    for w in range(num_threads):
+        injector = (
+            WorkerFaultInjector(plan, w, round=round, hard=True)
+            if plan is not None
+            else None
+        )
+        parent, child = ctx.Pipe(duplex=False)
+        procs.append(
+            ctx.Process(
+                target=_worker_dynamic,
+                args=(fn, counter, lock, n, chunk, child, injector),
+            )
+        )
+        conns.append(parent)
+    return procs, conns
 
 
 def run_parallel_map(
@@ -79,6 +309,12 @@ def run_parallel_map(
     num_threads: int,
     schedule: Schedule = Schedule.BLOCK,
     chunk: int = 1,
+    timeout: Optional[float] = None,
+    on_worker_death: str = "raise",
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+    fault_plan=None,
+    on_retry: Optional[Callable[[List[int]], None]] = None,
 ) -> List[Any]:
     """Evaluate ``fn(i)`` for ``i in range(n)`` across worker processes.
 
@@ -86,54 +322,122 @@ def run_parallel_map(
     lets ``fn`` be any closure (e.g. over a CSR graph) without pickling
     it; only the *results* cross the process boundary, so they must be
     picklable.  Results come back ordered by index.
+
+    Crash policy: ``on_worker_death="raise"`` (default) surfaces a
+    :class:`BackendError` naming the dead worker; ``"retry"``
+    re-executes only the indices that never produced a result, on fresh
+    workers, for at most ``max_retries`` rounds with exponential
+    ``retry_backoff``.  ``on_retry`` (if given) is called with the lost
+    index list before each retry round so shared state those indices
+    may have half-written can be reset.  ``timeout`` bounds each round
+    in seconds; stragglers are terminated and handled by the same
+    policy.  ``fault_plan`` (a :class:`repro.faults.FaultPlan`) injects
+    deterministic faults into the workers — see :mod:`repro.faults`.
     """
+    if n < 0:
+        raise BackendError(f"iteration count must be >= 0, got {n}")
+    if chunk < 1:
+        raise ScheduleError(
+            f"chunk must be >= 1, got {chunk} (a non-positive chunk "
+            "would make dynamic workers spin forever)"
+        )
+    if on_worker_death not in ("retry", "raise"):
+        raise BackendError(
+            f"on_worker_death must be 'retry' or 'raise', "
+            f"got {on_worker_death!r}"
+        )
+    if max_retries < 0:
+        raise BackendError(f"max_retries must be >= 0, got {max_retries}")
+    if timeout is not None and timeout <= 0:
+        raise BackendError(f"timeout must be positive, got {timeout!r}")
     if n == 0:
         return []
     if num_threads <= 1 or not fork_available():
         return [fn(i) for i in range(n)]
 
+    plan = fault_plan.bind(num_threads) if fault_plan is not None else None
     ctx = multiprocessing.get_context("fork")
-    procs = []
-    parent_conns = []
+    results: List[Any] = [None] * n
+    have = bytearray(n)
+
     if schedule is Schedule.DYNAMIC:
-        counter = ctx.Value("l", 0, lock=False)
-        lock = ctx.Lock()
-        for _ in range(num_threads):
-            parent, child = ctx.Pipe(duplex=False)
-            proc = ctx.Process(
-                target=_worker_dynamic,
-                args=(fn, counter, lock, n, chunk, child),
-            )
-            procs.append(proc)
-            parent_conns.append(parent)
+        procs, conns = _spawn_dynamic(
+            ctx, fn, n, num_threads, chunk, plan, 0
+        )
     else:
         assignment = static_assignment(schedule, n, num_threads, chunk)
-        for indices in assignment:
-            parent, child = ctx.Pipe(duplex=False)
-            proc = ctx.Process(
-                target=_worker_static, args=(fn, indices.tolist(), child)
-            )
-            procs.append(proc)
-            parent_conns.append(parent)
-
+        procs, conns = _spawn_static(ctx, fn, assignment, plan, 0)
     for proc in procs:
         proc.start()
-    results: List[Any] = [None] * n
-    failures: List[str] = []
-    for conn in parent_conns:
-        status, payload = conn.recv()
-        if status == "ok":
-            for i, value in payload:
-                results[i] = value
-        else:
-            failures.append(payload)
-    for proc in procs:
-        proc.join()
-    if failures:
+    deaths, errors = _execute_round(procs, conns, results, have, timeout)
+    if errors:
         raise BackendError(
-            f"{len(failures)} worker process(es) failed: {failures[0]}"
+            f"{len(errors)} worker process(es) failed: {errors[0]}"
         )
+    if deaths:
+        _obs.counter_add("faults.worker_deaths", len(deaths))
+        if on_worker_death == "raise":
+            raise BackendError(
+                f"{len(deaths)} worker process(es) died: {deaths[0]} "
+                "(set on_worker_death='retry' to re-execute lost work)"
+            )
+
+    missing = [i for i in range(n) if not have[i]]
+    if missing:
+        _obs.counter_add("faults.recovered_indices", len(missing))
+    rounds = 0
+    while missing:
+        if rounds >= max_retries:
+            raise BackendError(
+                f"{len(missing)} index(es) still unrecovered after "
+                f"{max_retries} retry round(s); first death: {deaths[0]}"
+            )
+        rounds += 1
+        _obs.counter_add("faults.retry_rounds")
+        with _obs.span("faults.recovery"):
+            if on_retry is not None:
+                on_retry(list(missing))
+            if retry_backoff > 0:
+                time.sleep(retry_backoff * (2 ** (rounds - 1)))
+            workers = min(num_threads, len(missing))
+            blocks = [
+                block
+                for block in np.array_split(
+                    np.asarray(missing, dtype=np.int64), workers
+                )
+                if block.size
+            ]
+            procs, conns = _spawn_static(ctx, fn, blocks, plan, rounds)
+            for proc in procs:
+                proc.start()
+            deaths, errors = _execute_round(
+                procs, conns, results, have, timeout
+            )
+        if errors:
+            raise BackendError(
+                f"{len(errors)} worker process(es) failed during "
+                f"recovery: {errors[0]}"
+            )
+        if deaths:
+            _obs.counter_add("faults.worker_deaths", len(deaths))
+        missing = [i for i in missing if not have[i]]
     return results
+
+
+def _release_segment(shm, owner_pid: int) -> None:
+    """Finalizer: unlink a segment, but only in the process that owns it.
+
+    Fork children inherit the :class:`SharedArray` object; without the
+    pid guard a child's interpreter shutdown would unlink a segment the
+    parent is still using.
+    """
+    if os.getpid() != owner_pid:
+        return
+    try:
+        shm.close()
+        shm.unlink()
+    except (FileNotFoundError, OSError, BufferError):  # pragma: no cover
+        pass
 
 
 class SharedArray:
@@ -142,7 +446,11 @@ class SharedArray:
     Construction allocates the segment in the parent; workers created by
     fork inherit the mapping directly (writes are visible both ways).
     :meth:`close` unlinks the segment — use the :func:`SharedArray.allocate`
-    context manager in library code so segments never leak.
+    context manager in library code so segments never leak.  Allocation
+    is exception-safe (a failing ``np.ndarray`` view unlinks the fresh
+    segment before re-raising) and a pid-guarded ``weakref`` finalizer
+    reclaims the segment even when an abnormal exit path skips
+    :meth:`close`.
     """
 
     def __init__(self, shape: Tuple[int, ...], dtype=np.float64) -> None:
@@ -150,13 +458,33 @@ class SharedArray:
 
         if any(int(s) < 0 for s in shape):
             raise BackendError("array dimensions must be non-negative")
-        dtype = np.dtype(dtype)
+        try:
+            dtype = np.dtype(dtype)
+        except TypeError as exc:
+            raise BackendError(f"bad shared-array dtype: {exc}") from None
+        if dtype.hasobject:
+            raise BackendError(
+                "shared arrays need a fixed-size plain dtype, "
+                f"got {dtype!r} (object references cannot cross processes)"
+            )
         size = int(np.prod(shape)) if shape else 1
         self._shm = shared_memory.SharedMemory(
             create=True, size=max(1, size * dtype.itemsize)
         )
-        self.array = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf)
         self._closed = False
+        try:
+            self.array = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf)
+        except BaseException:
+            self._closed = True
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            raise
+        self._finalizer = weakref.finalize(
+            self, _release_segment, self._shm, os.getpid()
+        )
 
     @classmethod
     @contextmanager
@@ -175,6 +503,7 @@ class SharedArray:
         self._closed = True
         # drop the array view before releasing the buffer
         self.array = None  # type: ignore[assignment]
+        self._finalizer.detach()
         self._shm.close()
         try:
             self._shm.unlink()

@@ -4,12 +4,21 @@ Runs the loop body in exactly the order the requested schedule would
 issue iterations with one thread — which for every schedule is plain
 index order — but still reports per-"thread" assignment so callers can
 unit-test scheduling math through the same interface.
+
+Fault plans (:mod:`repro.faults`) are honoured on *virtual* workers: a
+``kill`` stops one round-robin lane from claiming further work, a
+``raise`` fires :class:`~repro.exceptions.FaultInjected` at its pinned
+iteration, a ``stall`` sleeps.  Lost iterations are re-executed inline
+under ``on_worker_death="retry"`` — which makes this backend the oracle
+the crash-recovery property tests compare against.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional, Tuple
 
+from ...exceptions import BackendError, FaultInjected
+from ...obs import metrics as _obs
 from ...types import Schedule
 from ..schedule import DynamicCounter, static_assignment
 
@@ -23,6 +32,9 @@ def run_parallel_for(
     num_threads: int,
     schedule: Schedule,
     chunk: int = 1,
+    fault_plan=None,
+    on_worker_death: str = "raise",
+    on_retry: Optional[Callable[[List[int]], None]] = None,
 ) -> List[List[int]]:
     """Execute ``body(i, thread_id)`` for ``i in range(n)`` serially.
 
@@ -33,6 +45,22 @@ def run_parallel_for(
     rotating thread.  Returns the executed ``(thread -> iterations)``
     assignment for inspection.
     """
+    if on_worker_death not in ("retry", "raise"):
+        raise BackendError(
+            f"on_worker_death must be 'retry' or 'raise', "
+            f"got {on_worker_death!r}"
+        )
+    if fault_plan is not None:
+        return _run_with_faults(
+            n,
+            body,
+            num_threads=num_threads,
+            schedule=schedule,
+            chunk=chunk,
+            fault_plan=fault_plan,
+            on_worker_death=on_worker_death,
+            on_retry=on_retry,
+        )
     executed: List[List[int]] = [[] for _ in range(num_threads)]
     if schedule is Schedule.DYNAMIC:
         counter = DynamicCounter(n, chunk)
@@ -60,4 +88,111 @@ def run_parallel_for(
                 executed[t].append(i)
                 cursors[t] += 1
                 remaining -= 1
+    return executed
+
+
+def _run_with_faults(
+    n: int,
+    body: Callable[[int, int], None],
+    *,
+    num_threads: int,
+    schedule: Schedule,
+    chunk: int,
+    fault_plan,
+    on_worker_death: str,
+    on_retry: Optional[Callable[[List[int]], None]],
+) -> List[List[int]]:
+    """Fault-aware twin of the clean serial paths (kept separate so a
+    plan-free run executes byte-identical code to the seed)."""
+    from ...faults import ThreadDeath, WorkerFaultInjector
+
+    plan = fault_plan.bind(num_threads)
+    injectors = [WorkerFaultInjector(plan, t) for t in range(num_threads)]
+    executed: List[List[int]] = [[] for _ in range(num_threads)]
+    alive = [True] * num_threads
+    deaths: List[str] = []
+    lost: List[Tuple[int, int]] = []  # (iteration, owning virtual worker)
+
+    if schedule is Schedule.DYNAMIC:
+        counter = DynamicCounter(n, chunk)
+        t = 0
+        while any(alive):
+            if not alive[t]:
+                t = (t + 1) % num_threads
+                continue
+            chunk_range = counter.next_chunk()
+            if not chunk_range:
+                break
+            done = 0
+            try:
+                injectors[t].on_claim()
+                for i in chunk_range:
+                    injectors[t].on_iteration(i)
+                    body(i, t)
+                    executed[t].append(i)
+                    done += 1
+            except (ThreadDeath, FaultInjected) as exc:
+                alive[t] = False
+                deaths.append(f"virtual worker {t} died: {exc!r}")
+                lost.extend((i, t) for i in list(chunk_range)[done:])
+            t = (t + 1) % num_threads
+        if not any(alive):
+            # nobody left to claim the tail of the queue
+            while True:
+                chunk_range = counter.next_chunk()
+                if not chunk_range:
+                    break
+                lost.extend((i, 0) for i in chunk_range)
+        counter.publish()
+    else:
+        assignment = static_assignment(schedule, n, num_threads, chunk)
+        for t in range(num_threads):
+            if len(assignment[t]) == 0:
+                continue
+            try:
+                injectors[t].on_claim()
+            except (ThreadDeath, FaultInjected) as exc:
+                alive[t] = False
+                deaths.append(f"virtual worker {t} died: {exc!r}")
+                lost.extend((int(i), t) for i in assignment[t])
+        cursors = [0] * num_threads
+        while True:
+            progressed = False
+            for t in range(num_threads):
+                if not alive[t] or cursors[t] >= len(assignment[t]):
+                    continue
+                i = int(assignment[t][cursors[t]])
+                cursors[t] += 1
+                progressed = True
+                try:
+                    injectors[t].on_iteration(i)
+                    body(i, t)
+                    executed[t].append(i)
+                except (ThreadDeath, FaultInjected) as exc:
+                    alive[t] = False
+                    deaths.append(f"virtual worker {t} died: {exc!r}")
+                    lost.append((i, t))
+                    lost.extend(
+                        (int(j), t) for j in assignment[t][cursors[t]:]
+                    )
+            if not progressed:
+                break
+
+    if deaths:
+        _obs.counter_add("faults.worker_deaths", len(deaths))
+        if on_worker_death == "raise":
+            raise BackendError(
+                f"{len(deaths)} worker(s) died: {deaths[0]} "
+                "(set on_worker_death='retry' to re-execute lost work)"
+            )
+    if lost:
+        lost.sort()
+        _obs.counter_add("faults.recovered_indices", len(lost))
+        _obs.counter_add("faults.retry_rounds")
+        with _obs.span("faults.recovery"):
+            if on_retry is not None:
+                on_retry([i for i, _ in lost])
+            for i, t in lost:
+                body(i, t)
+                executed[t].append(i)
     return executed

@@ -9,13 +9,24 @@ arrays, so some overlap is real.
 
 Exceptions raised inside worker threads are captured and re-raised in the
 calling thread (first one wins), so failures never vanish silently.
+
+Worker *deaths* are a separate channel from application errors: an
+injected :class:`~repro.faults.ThreadDeath` or
+:class:`~repro.exceptions.FaultInjected` (see :mod:`repro.faults`) stops
+one thread without aborting the others.  Under
+``on_worker_death="retry"`` the iterations that thread claimed but never
+finished are re-executed inline after the join — threads share the
+caller's address space, so unlike the process backend there is no result
+to re-collect, only side effects to complete.  ``on_worker_death="raise"``
+surfaces a :class:`~repro.exceptions.BackendError` naming the thread.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, List
+from typing import Callable, List, Optional, Tuple
 
+from ...exceptions import BackendError, FaultInjected
 from ...obs import metrics as _obs
 from ...types import Schedule
 from ..schedule import DynamicCounter, static_assignment
@@ -30,25 +41,56 @@ def run_parallel_for(
     num_threads: int,
     schedule: Schedule,
     chunk: int = 1,
+    fault_plan=None,
+    on_worker_death: str = "raise",
+    on_retry: Optional[Callable[[List[int]], None]] = None,
 ) -> List[List[int]]:
     """Execute ``body(i, thread_id)`` on ``num_threads`` real threads.
 
     Returns the observed per-thread iteration lists (for the dynamic
     schedule this is a genuine runtime artefact, not a precomputation).
+    Iterations recovered after a worker death are appended to the dead
+    thread's list — the returned lists always cover every executed
+    iteration exactly once.
     """
+    if on_worker_death not in ("retry", "raise"):
+        raise BackendError(
+            f"on_worker_death must be 'retry' or 'raise', "
+            f"got {on_worker_death!r}"
+        )
+    from ...faults import ThreadDeath
+
+    plan = fault_plan.bind(num_threads) if fault_plan is not None else None
     executed: List[List[int]] = [[] for _ in range(num_threads)]
+    # indices each thread claimed (and therefore owes); claimed minus
+    # executed is exactly the work a dead thread lost
+    claimed: List[List[int]] = [[] for _ in range(num_threads)]
     errors: List[BaseException] = []
-    error_lock = threading.Lock()
+    deaths: List[str] = []
+    state_lock = threading.Lock()
 
     def record_error(exc: BaseException) -> None:
-        with error_lock:
+        with state_lock:
             errors.append(exc)
+
+    def record_death(thread_id: int, exc: BaseException) -> None:
+        with state_lock:
+            deaths.append(f"worker thread {thread_id} died: {exc!r}")
+
+    def make_injector(thread_id: int):
+        if plan is None:
+            return None
+        from ...faults import WorkerFaultInjector
+
+        return WorkerFaultInjector(plan, thread_id)
 
     if schedule is Schedule.DYNAMIC:
         counter = DynamicCounter(n, chunk)
 
         def worker(thread_id: int) -> None:
             mine = executed[thread_id]
+            owed = claimed[thread_id]
+            injector = make_injector(thread_id)
             try:
                 # one wall-clock span per worker lifetime: the trace
                 # recorder turns these into per-thread timeline tracks
@@ -57,9 +99,16 @@ def run_parallel_for(
                         chunk_range = counter.next_chunk()
                         if not chunk_range:
                             return
+                        owed.extend(chunk_range)
+                        if injector is not None:
+                            injector.on_claim()
                         for i in chunk_range:
+                            if injector is not None:
+                                injector.on_iteration(i)
                             body(i, thread_id)
                             mine.append(i)
+            except (ThreadDeath, FaultInjected) as exc:
+                record_death(thread_id, exc)
             except BaseException as exc:  # noqa: BLE001 — re-raised below
                 record_error(exc)
 
@@ -68,13 +117,23 @@ def run_parallel_for(
 
         def worker(thread_id: int) -> None:
             mine = executed[thread_id]
+            owed = claimed[thread_id]
+            injector = make_injector(thread_id)
             try:
                 with _obs.span("parallel.worker"):
-                    for i in assignment[thread_id]:
+                    # a static assignment is one implicit claim
+                    owed.extend(int(i) for i in assignment[thread_id])
+                    if injector is not None and owed:
+                        injector.on_claim()
+                    for i in owed:
                         if errors:
                             return
-                        body(int(i), thread_id)
-                        mine.append(int(i))
+                        if injector is not None:
+                            injector.on_iteration(i)
+                        body(i, thread_id)
+                        mine.append(i)
+            except (ThreadDeath, FaultInjected) as exc:
+                record_death(thread_id, exc)
             except BaseException as exc:  # noqa: BLE001
                 record_error(exc)
 
@@ -88,6 +147,36 @@ def run_parallel_for(
         t.join()
     if errors:
         raise errors[0]
+    if deaths:
+        _obs.counter_add("faults.worker_deaths", len(deaths))
+        if on_worker_death == "raise":
+            raise BackendError(
+                f"{len(deaths)} worker thread(s) died: {deaths[0]} "
+                "(set on_worker_death='retry' to re-execute lost work)"
+            )
+        missing: List[Tuple[int, int]] = []
+        for t in range(num_threads):
+            done = set(executed[t])
+            missing.extend((i, t) for i in claimed[t] if i not in done)
+        # when every worker died the dynamic counter still holds work
+        # nobody ever claimed; drain it here or it would vanish silently
+        if schedule is Schedule.DYNAMIC:
+            while True:
+                chunk_range = counter.next_chunk()
+                if not chunk_range:
+                    break
+                missing.extend((i, 0) for i in chunk_range)
+        if missing:
+            _obs.counter_add("faults.recovered_indices", len(missing))
+            _obs.counter_add("faults.retry_rounds")
+            with _obs.span("faults.recovery"):
+                if on_retry is not None:
+                    on_retry(sorted(i for i, _ in missing))
+                # every thread is joined: re-running inline on the
+                # caller is race-free and needs no fresh workers
+                for i, t in missing:
+                    body(int(i), t)
+                    executed[t].append(int(i))
     if schedule is Schedule.DYNAMIC:
         counter.publish()
     return executed

@@ -43,7 +43,7 @@ def _sim_cells(result: SimResult) -> Tuple[List, float, int]:
     for e in result.events:
         if e.kind == "lock-wait":
             bucket = _B_WAIT
-        elif e.kind == "overhead":
+        elif e.kind in ("overhead", "fault"):
             bucket = _B_OVER
         else:
             bucket = _B_BUSY

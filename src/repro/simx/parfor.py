@@ -19,6 +19,7 @@ Scheduling semantics match the real backends exactly:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, List, Sequence, Union
 
@@ -85,11 +86,19 @@ def simulate_parallel_for(
     chunk: int = 1,
     cost_multiplier: float = 1.0,
     trace: bool = False,
+    fault_plan=None,
 ) -> ParForOutcome:
     """Play a parallel loop of ``n`` iterations forward in virtual time.
 
     ``cost_multiplier`` scales every iteration cost (pass
     ``machine.memory_cost_multiplier(T)`` for memory-bound phases).
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) replays worker
+    misbehaviour as virtual-time events: a killed thread stops acting
+    and its claimed-but-unexecuted iterations re-enter the work queue,
+    re-issued to survivors as ``recovery``-labelled iterations; a stall
+    is virtual overhead time.  The fault-free path is untouched — its
+    timings and scheduler-op counts stay bit-identical to the seed.
     """
     schedule = Schedule.coerce(schedule)
     if n < 0:
@@ -98,6 +107,11 @@ def simulate_parallel_for(
         raise SimulationError("cost multiplier must be positive")
     T = machine.clamp_threads(num_threads)
     cost_fn = _as_cost_fn(costs)
+    if fault_plan is not None:
+        return _simulate_with_faults(
+            n, cost_fn, machine, T, schedule, chunk, cost_multiplier,
+            trace, fault_plan,
+        )
 
     start_times = np.zeros(n, dtype=np.float64)
     end_times = np.zeros(n, dtype=np.float64)
@@ -202,6 +216,231 @@ def simulate_parallel_for(
         reg.add("sim.clock.pops", queue.pops)
         reg.add("sim.clock.advances", queue.advances)
         reg.add("sim.clock.stale_skips", queue.stale_skips)
+    return ParForOutcome(
+        result=result,
+        start_times=start_times,
+        end_times=end_times,
+        thread_of=thread_of,
+        issue_order=np.asarray(issue_order, dtype=np.int64),
+        schedule=schedule.value,
+        chunk=chunk,
+    )
+
+
+def _simulate_with_faults(
+    n: int,
+    cost_fn: CostFn,
+    machine: MachineSpec,
+    T: int,
+    schedule: Schedule,
+    chunk: int,
+    cost_multiplier: float,
+    trace: bool,
+    fault_plan,
+) -> ParForOutcome:
+    """Fault-replaying twin of the clean simulation loops.
+
+    Kept separate so plan-free simulations execute exactly the seed's
+    code (the ``sim.clock.*`` op counters are exact-gated in committed
+    bench baselines).  Model: faults fire at claim/iteration boundaries
+    in deterministic claim/iteration counts, a dead thread leaves the
+    event rotation with its clock frozen at the death time, and its
+    lost iterations re-enter a recovery queue that any surviving thread
+    drains dynamic-style (paying dispatch overhead, events labelled
+    ``recovery``).  Each iteration's cost callback still runs exactly
+    once — history-dependent cost models stay valid.
+    """
+    from ..faults.plan import RAISE, STALL
+
+    bound = fault_plan.bind(T)
+    specs: List[List] = [list(bound.for_worker(t)) for t in range(T)]
+    claims = [0] * T
+
+    start_times = np.zeros(n, dtype=np.float64)
+    end_times = np.zeros(n, dtype=np.float64)
+    thread_of = np.zeros(n, dtype=np.int64)
+    issue_order: List[int] = []
+    busy = np.zeros(T, dtype=np.float64)
+    region_cost = machine.region_overhead(T)
+    overhead = np.full(T, region_cost, dtype=np.float64)
+    events: List[TraceEvent] = []
+    if trace and region_cost:
+        events.extend(
+            TraceEvent(-1, t, 0.0, region_cost, kind="overhead",
+                       label="fork-join")
+            for t in range(T)
+        )
+    queue = ThreadClockQueue(T, start_time=region_cost)
+
+    dead = [False] * T
+    #: live threads that popped with nothing to claim; woken on requeue
+    idle_waiting: List[int] = []
+    requeued: "deque[List[int]]" = deque()
+    deaths = stalls = requeued_iters = 0
+    executed = 0
+    cursor = 0  # dynamic issue cursor
+    dynamic = schedule is Schedule.DYNAMIC
+    if dynamic:
+        assignment: List[List[int]] = []
+        cursors: List[int] = []
+    else:
+        assignment = [
+            [int(i) for i in a]
+            for a in static_assignment(schedule, n, T, chunk)
+        ]
+        cursors = [0] * T
+
+    def claim_faults(t: int):
+        """Advance t's claim count; return (stall_time, fatal_spec)."""
+        nonlocal stalls
+        claims[t] += 1
+        stall = 0.0
+        fatal = None
+        keep = []
+        for s in specs[t]:
+            if s.kind == RAISE or claims[t] < s.after_claims:
+                keep.append(s)
+            elif s.kind == STALL:
+                stall += s.seconds
+                stalls += 1
+            elif fatal is None:
+                fatal = s
+            else:
+                keep.append(s)
+        specs[t] = keep
+        return stall, fatal
+
+    def iteration_fault(t: int, i: int):
+        for s in specs[t]:
+            if s.kind == RAISE and s.iteration == i:
+                specs[t] = [x for x in specs[t] if x is not s]
+                return s
+        return None
+
+    def kill(t: int, time: float, spec, lost: List[int]) -> None:
+        nonlocal deaths, requeued_iters
+        deaths += 1
+        dead[t] = True
+        if trace:
+            events.append(
+                TraceEvent(-1, t, time, time, kind="fault",
+                           label=f"death({spec.kind})")
+            )
+        if lost:
+            requeued.append(list(lost))
+            requeued_iters += len(lost)
+            # the lost work exists again as of the death time: wake any
+            # survivor that parked because nothing was claimable
+            while idle_waiting:
+                w = idle_waiting.pop()
+                queue.advance(w, max(queue.clock(w), time))
+
+    while executed < n:
+        if len(queue) == 0:
+            raise SimulationError(
+                "fault plan killed every simulated thread with "
+                f"{n - executed} iteration(s) still unexecuted"
+            )
+        time, thread = queue.pop_earliest()
+        if dead[thread]:
+            continue  # removed from the rotation
+        recovery = False
+        if requeued:
+            items = requeued.popleft()
+            recovery = True
+        elif dynamic and cursor < n:
+            end = min(cursor + chunk, n)
+            items = list(range(cursor, end))
+            cursor = end
+        elif not dynamic and cursors[thread] < len(assignment[thread]):
+            # the whole static assignment is one implicit claim
+            items = assignment[thread][cursors[thread]:]
+            cursors[thread] = len(assignment[thread])
+        else:
+            # nothing claimable now; work may reappear if a peer dies
+            idle_waiting.append(thread)
+            continue
+
+        t_clock = time
+        if (recovery or dynamic) and machine.dispatch_overhead:
+            overhead[thread] += machine.dispatch_overhead
+            if trace:
+                events.append(
+                    TraceEvent(-1, thread, t_clock,
+                               t_clock + machine.dispatch_overhead,
+                               kind="overhead", label="dispatch")
+                )
+            t_clock += machine.dispatch_overhead
+        stall, fatal = claim_faults(thread)
+        if stall:
+            overhead[thread] += stall
+            if trace:
+                events.append(
+                    TraceEvent(-1, thread, t_clock, t_clock + stall,
+                               kind="fault", label="stall")
+                )
+            t_clock += stall
+        if fatal is not None:
+            kill(thread, t_clock, fatal, items)
+            queue.advance(thread, t_clock)  # freeze clock at death time
+            continue
+        died = False
+        for pos, i in enumerate(items):
+            spec = iteration_fault(thread, i)
+            if spec is not None:
+                kill(thread, t_clock, spec, items[pos:])
+                died = True
+                break
+            duration = cost_fn(i, t_clock, thread) * cost_multiplier
+            if not duration >= 0:  # also rejects NaN
+                raise SimulationError(
+                    f"invalid cost for iteration {i}: {duration!r}"
+                )
+            start_times[i] = t_clock
+            end_times[i] = t_clock + duration
+            thread_of[i] = thread
+            issue_order.append(i)
+            busy[thread] += duration
+            if trace:
+                events.append(
+                    TraceEvent(i, thread, t_clock, t_clock + duration,
+                               label="recovery" if recovery else "")
+                )
+            t_clock += duration
+            executed += 1
+        queue.advance(thread, t_clock)
+        if died:
+            continue
+
+    makespan = float(queue.latest)
+    if n:
+        makespan = max(makespan, float(end_times.max()))
+    else:
+        makespan = region_cost
+
+    result = SimResult(
+        num_threads=T,
+        makespan=makespan,
+        busy=busy,
+        overhead=overhead,
+        events=events,
+        meta={
+            "schedule": schedule.value,
+            "chunk": str(chunk),
+            "fault_deaths": str(deaths),
+            "fault_stalls": str(stalls),
+        },
+    )
+    reg = _obs._current
+    if reg is not None:
+        reg.add("sim.parfor.regions", 1)
+        reg.add("sim.parfor.iterations", n)
+        reg.add("sim.clock.pops", queue.pops)
+        reg.add("sim.clock.advances", queue.advances)
+        reg.add("sim.clock.stale_skips", queue.stale_skips)
+        reg.add("faults.sim.deaths", deaths)
+        reg.add("faults.sim.stalls", stalls)
+        reg.add("faults.sim.requeued_iterations", requeued_iters)
     return ParForOutcome(
         result=result,
         start_times=start_times,

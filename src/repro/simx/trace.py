@@ -18,8 +18,10 @@ from ..exceptions import SimulationError
 __all__ = ["EVENT_KINDS", "TraceEvent", "SimResult"]
 
 #: the event kinds a simulator may emit; anything else is rejected so a
-#: typo'd kind cannot silently fall through downstream attribution
-EVENT_KINDS = ("iter", "lock-wait", "lock-hold", "overhead")
+#: typo'd kind cannot silently fall through downstream attribution.
+#: "fault" marks injected misbehaviour (deaths, stalls) from
+#: :mod:`repro.faults` so recovery phases are visible in every viewer.
+EVENT_KINDS = ("iter", "lock-wait", "lock-hold", "overhead", "fault")
 
 
 @dataclass(frozen=True)

@@ -56,12 +56,14 @@ TRACE_SCHEMA_VERSION = "repro.trace/1"
 #: unified span categories (see module docstring)
 CATEGORIES = ("compute", "lock-wait", "overhead")
 
-#: simulator event kind → unified category
+#: simulator event kind → unified category; injected faults are time
+#: the application did not choose to spend, i.e. overhead
 _KIND_TO_CATEGORY = {
     "iter": "compute",
     "lock-hold": "compute",
     "lock-wait": "lock-wait",
     "overhead": "overhead",
+    "fault": "overhead",
 }
 
 

@@ -1,0 +1,261 @@
+"""Crash recovery in the fork-based process backend.
+
+The hangs this PR fixes lived here: a SIGKILLed worker used to leave
+the parent blocked forever in ``conn.recv()``.  Every test in this file
+therefore doubles as a no-hang test — if recovery regresses, the suite
+times out instead of passing.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.exceptions import BackendError
+from repro.faults import CORRUPT_PIPE, KILL, RAISE, STALL, FaultPlan
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.parallel import fork_available
+from repro.parallel.backends.process import run_parallel_map
+from repro.types import Schedule
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+def _plan_for_all(kind, num_workers, **kwargs):
+    """One spec per worker: fires no matter which worker claims first.
+
+    On a single-core host one worker can drain the whole dynamic
+    counter before the others ever claim, so plans targeting a specific
+    worker are only deterministic on static schedules.
+    """
+    return FaultPlan.from_dict(
+        {
+            "faults": [
+                dict(kind=kind, worker=w, **kwargs)
+                for w in range(num_workers)
+            ]
+        }
+    )
+
+
+KILL_ALL = _plan_for_all(KILL, 2, after_claims=1)
+
+
+def _square(i):
+    return i * i
+
+
+def _expected(n):
+    return [i * i for i in range(n)]
+
+
+def _shm_entries():
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # non-Linux
+        return set()
+
+
+@needs_fork
+class TestKillRecovery:
+    @pytest.mark.parametrize(
+        "schedule",
+        [Schedule.BLOCK, Schedule.STATIC_CYCLIC, Schedule.DYNAMIC],
+    )
+    def test_sigkill_retry_matches_serial(self, schedule):
+        got = run_parallel_map(
+            16,
+            _square,
+            num_threads=2,
+            schedule=schedule,
+            fault_plan=KILL_ALL
+            if schedule is Schedule.DYNAMIC
+            else FaultPlan.single(KILL, worker=1, after_claims=1),
+            on_worker_death="retry",
+        )
+        assert got == _expected(16)
+
+    def test_sigkill_raise_policy_surfaces_backend_error(self):
+        with pytest.raises(BackendError, match="retry"):
+            run_parallel_map(
+                16,
+                _square,
+                num_threads=2,
+                schedule=Schedule.DYNAMIC,
+                fault_plan=KILL_ALL,
+                on_worker_death="raise",
+            )
+
+    def test_no_zombie_processes_left(self):
+        run_parallel_map(
+            16,
+            _square,
+            num_threads=2,
+            schedule=Schedule.DYNAMIC,
+            fault_plan=KILL_ALL,
+            on_worker_death="retry",
+        )
+        assert multiprocessing.active_children() == []
+
+    def test_recovery_counters_emitted(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            run_parallel_map(
+                16,
+                _square,
+                num_threads=2,
+                schedule=Schedule.DYNAMIC,
+                fault_plan=KILL_ALL,
+                on_worker_death="retry",
+            )
+        counters = registry.snapshot()["counters"]
+        assert counters["faults.worker_deaths"] >= 1
+        assert counters["faults.recovered_indices"] >= 1
+        assert counters["faults.retry_rounds"] >= 1
+        paths = [rec["path"] for rec in registry.snapshot()["spans"]]
+        assert any(p.endswith("faults.recovery") for p in paths)
+
+    def test_kill_every_worker_exhausts_retries(self):
+        # round-scoped kills for both workers across every retry round:
+        # recovery is bounded, not an infinite respawn loop
+        specs = [
+            dict(kind=KILL, worker=w, after_claims=1, round=r)
+            for w in (0, 1)
+            for r in range(8)
+        ]
+        plan = FaultPlan.from_dict({"faults": specs})
+        with pytest.raises(BackendError, match="retr"):
+            run_parallel_map(
+                8,
+                _square,
+                num_threads=2,
+                schedule=Schedule.DYNAMIC,
+                fault_plan=plan,
+                on_worker_death="retry",
+                max_retries=2,
+            )
+        assert multiprocessing.active_children() == []
+
+
+@needs_fork
+class TestOtherFaultKinds:
+    def test_corrupt_pipe_retry_matches_serial(self):
+        got = run_parallel_map(
+            12,
+            _square,
+            num_threads=2,
+            schedule=Schedule.DYNAMIC,
+            fault_plan=_plan_for_all(CORRUPT_PIPE, 2, after_claims=1),
+            on_worker_death="retry",
+        )
+        assert got == _expected(12)
+
+    def test_corrupt_pipe_raise_policy(self):
+        with pytest.raises(BackendError):
+            run_parallel_map(
+                12,
+                _square,
+                num_threads=2,
+                schedule=Schedule.DYNAMIC,
+                fault_plan=_plan_for_all(CORRUPT_PIPE, 2, after_claims=1),
+                on_worker_death="raise",
+            )
+
+    def test_injected_raise_recovers(self):
+        # iteration 3 runs on exactly one worker, whichever claims it
+        got = run_parallel_map(
+            12,
+            _square,
+            num_threads=2,
+            schedule=Schedule.DYNAMIC,
+            fault_plan=_plan_for_all(RAISE, 2, iteration=3),
+            on_worker_death="retry",
+        )
+        assert got == _expected(12)
+
+    def test_short_stall_just_delays(self):
+        got = run_parallel_map(
+            8,
+            _square,
+            num_threads=2,
+            schedule=Schedule.DYNAMIC,
+            fault_plan=FaultPlan.single(STALL, worker=0, seconds=0.05),
+        )
+        assert got == _expected(8)
+
+    def test_real_error_always_raises_even_under_retry(self):
+        def boom(i):
+            if i == 3:
+                raise ValueError("genuine bug")
+            return i
+
+        with pytest.raises(BackendError, match="genuine bug"):
+            run_parallel_map(
+                8,
+                boom,
+                num_threads=2,
+                schedule=Schedule.DYNAMIC,
+                on_worker_death="retry",
+            )
+
+
+@needs_fork
+class TestTimeout:
+    def test_stalled_worker_times_out_and_retries(self):
+        got = run_parallel_map(
+            8,
+            _square,
+            num_threads=2,
+            schedule=Schedule.DYNAMIC,
+            fault_plan=_plan_for_all(STALL, 2, seconds=60.0),
+            timeout=1.0,
+            on_worker_death="retry",
+        )
+        assert got == _expected(8)
+        assert multiprocessing.active_children() == []
+
+    def test_stalled_worker_times_out_and_raises(self):
+        with pytest.raises(BackendError):
+            run_parallel_map(
+                8,
+                _square,
+                num_threads=2,
+                schedule=Schedule.DYNAMIC,
+                fault_plan=_plan_for_all(STALL, 2, seconds=60.0),
+                timeout=1.0,
+                on_worker_death="raise",
+            )
+        assert multiprocessing.active_children() == []
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(BackendError, match="timeout"):
+            run_parallel_map(4, _square, num_threads=2, timeout=0.0)
+
+
+@needs_fork
+class TestHygiene:
+    def test_repeated_faulted_runs_leak_nothing(self):
+        before = _shm_entries()
+        for _ in range(3):
+            run_parallel_map(
+                16,
+                _square,
+                num_threads=2,
+                schedule=Schedule.DYNAMIC,
+                fault_plan=KILL_ALL,
+                on_worker_death="retry",
+            )
+        assert multiprocessing.active_children() == []
+        assert _shm_entries() - before == set()
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(BackendError, match="on_worker_death"):
+            run_parallel_map(
+                4, _square, num_threads=2, on_worker_death="ignore"
+            )
+
+    def test_bad_max_retries_rejected(self):
+        with pytest.raises(BackendError, match="max_retries"):
+            run_parallel_map(4, _square, num_threads=2, max_retries=-1)

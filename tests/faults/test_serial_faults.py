@@ -1,0 +1,90 @@
+"""Virtual fault injection in the serial backend.
+
+Serial runs model ``num_threads`` virtual workers, so fault plans stay
+meaningful (and debuggable breakpoint-style) without real concurrency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BackendError
+from repro.faults import KILL, RAISE, STALL, FaultPlan
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.parallel import parallel_for
+from repro.types import Schedule
+
+
+def _run(n, num_threads, schedule, plan, policy="retry"):
+    hits = np.zeros(n, dtype=np.int64)
+
+    def body(i, _thread):
+        hits[i] += 1
+
+    parallel_for(
+        n,
+        body,
+        num_threads=num_threads,
+        schedule=schedule,
+        backend="serial",
+        fault_plan=plan,
+        on_worker_death=policy,
+    )
+    return hits
+
+
+class TestSerialFaults:
+    @pytest.mark.parametrize(
+        "schedule",
+        [Schedule.BLOCK, Schedule.STATIC_CYCLIC, Schedule.DYNAMIC],
+    )
+    def test_kill_recovers_every_index_once(self, schedule):
+        plan = FaultPlan.single(KILL, worker=1, after_claims=1)
+        hits = _run(20, 4, schedule, plan)
+        assert hits.tolist() == [1] * 20
+
+    def test_kill_raise_policy(self):
+        plan = FaultPlan.single(KILL, worker=1, after_claims=1)
+        with pytest.raises(BackendError, match="retry"):
+            _run(20, 4, Schedule.DYNAMIC, plan, policy="raise")
+
+    def test_all_virtual_workers_dead_still_recovers_or_raises(self):
+        # killing every virtual worker leaves the remaining iterations
+        # lost; retry policy must still complete them inline
+        plan = FaultPlan(
+            faults=tuple(
+                FaultPlan.single(KILL, worker=w, after_claims=1).faults[0]
+                for w in range(4)
+            )
+        )
+        hits = _run(20, 4, Schedule.DYNAMIC, plan)
+        assert hits.tolist() == [1] * 20
+
+    def test_injected_raise_recovers(self):
+        plan = FaultPlan.single(RAISE, worker=0, iteration=2)
+        hits = _run(12, 3, Schedule.DYNAMIC, plan)
+        assert hits.tolist() == [1] * 12
+
+    def test_stall_is_consumed(self):
+        plan = FaultPlan.single(STALL, worker=0, seconds=0.0)
+        hits = _run(8, 2, Schedule.DYNAMIC, plan)
+        assert hits.tolist() == [1] * 8
+
+    def test_counters_emitted(self):
+        registry = MetricsRegistry()
+        plan = FaultPlan.single(KILL, worker=1, after_claims=1)
+        with use_registry(registry):
+            _run(20, 4, Schedule.DYNAMIC, plan)
+        counters = registry.snapshot()["counters"]
+        assert counters["faults.worker_deaths"] == 1
+        assert counters["faults.recovered_indices"] >= 1
+
+    def test_plan_free_path_untouched(self):
+        # no plan → the historical behaviour, bit for bit
+        got = parallel_for(
+            10,
+            lambda i, t: None,
+            num_threads=2,
+            schedule=Schedule.DYNAMIC,
+            backend="serial",
+        )
+        assert sorted(i for lst in got for i in lst) == list(range(10))

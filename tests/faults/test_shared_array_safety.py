@@ -1,0 +1,77 @@
+"""SharedArray lifecycle: no /dev/shm residue, ever.
+
+The seed leaked the backing segment whenever ``np.ndarray(...)`` raised
+after a successful ``SharedMemory`` allocation — the name was lost and
+the segment stayed until reboot.  These are the regression tests.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BackendError
+from repro.parallel import SharedArray
+
+
+def _shm_entries():
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # non-Linux
+        return set()
+
+
+class TestAllocationFailure:
+    def test_bad_dtype_leaves_no_segment(self):
+        before = _shm_entries()
+        with pytest.raises(BackendError):
+            SharedArray((4, 4), dtype="not-a-dtype")
+        assert _shm_entries() - before == set()
+
+    def test_object_dtype_rejected_before_allocation(self):
+        before = _shm_entries()
+        with pytest.raises(BackendError, match="object"):
+            SharedArray((4,), dtype=object)
+        assert _shm_entries() - before == set()
+
+    def test_view_failure_after_allocation_leaves_no_segment(
+        self, monkeypatch
+    ):
+        # the seed's leak: SharedMemory allocated, then np.ndarray raises
+        # and the unnamed segment survived until reboot
+        def exploding_view(*args, **kwargs):
+            raise MemoryError("simulated ndarray failure")
+
+        monkeypatch.setattr(np, "ndarray", exploding_view)
+        before = _shm_entries()
+        with pytest.raises(MemoryError, match="simulated"):
+            SharedArray((4, 4))
+        assert _shm_entries() - before == set()
+
+    def test_negative_shape_leaves_no_segment(self):
+        before = _shm_entries()
+        with pytest.raises(BackendError):
+            SharedArray((-3, 2))
+        assert _shm_entries() - before == set()
+
+
+class TestNormalLifecycle:
+    def test_context_manager_cleans_up(self):
+        before = _shm_entries()
+        with SharedArray.allocate((16,), np.float64) as arr:
+            arr.array[:] = 1.0
+        assert _shm_entries() - before == set()
+
+    def test_unreferenced_array_is_finalized(self):
+        before = _shm_entries()
+        arr = SharedArray((8,))
+        del arr
+        import gc
+
+        gc.collect()
+        assert _shm_entries() - before == set()
+
+    def test_double_close_is_idempotent(self):
+        arr = SharedArray((2, 2))
+        arr.close()
+        arr.close()

@@ -1,0 +1,176 @@
+"""Virtual-time fault replay in the simulator.
+
+A killed simulated thread leaves the rotation; its claimed iterations
+re-enter the queue and run on survivors as ``recovery``-labelled
+events.  All of it is deterministic — same plan, same virtual timeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.faults import KILL, STALL, FaultPlan, FaultSpec
+from repro.simx import MachineSpec, simulate_parallel_for
+
+BARE = MachineSpec(
+    name="bare",
+    num_cores=16,
+    fork_join_overhead=0.0,
+    dispatch_overhead=0.0,
+    memory_bandwidth_factor=0.0,
+    cache_boost_factor=0.0,
+)
+
+KILL_PLAN = FaultPlan.single(KILL, worker=1, after_claims=2)
+
+
+class TestSimKill:
+    def test_all_iterations_still_execute(self):
+        out = simulate_parallel_for(
+            30,
+            np.ones(30),
+            BARE,
+            num_threads=4,
+            schedule="dynamic",
+            fault_plan=KILL_PLAN,
+        )
+        assert sorted(out.issue_order.tolist()) == list(range(30))
+
+    def test_dead_thread_runs_nothing_after_death(self):
+        out = simulate_parallel_for(
+            30,
+            np.ones(30),
+            BARE,
+            num_threads=4,
+            schedule="dynamic",
+            fault_plan=FaultPlan.single(KILL, worker=1, after_claims=1),
+        )
+        # worker 1 claimed once (one chunk) before dying
+        assert (out.thread_of == 1).sum() <= 1
+
+    def test_makespan_no_better_than_fault_free(self):
+        clean = simulate_parallel_for(
+            30, np.ones(30), BARE, num_threads=4, schedule="dynamic"
+        )
+        faulted = simulate_parallel_for(
+            30,
+            np.ones(30),
+            BARE,
+            num_threads=4,
+            schedule="dynamic",
+            fault_plan=KILL_PLAN,
+        )
+        assert faulted.result.makespan >= clean.result.makespan
+
+    def test_deterministic_replay(self):
+        runs = [
+            simulate_parallel_for(
+                25,
+                np.arange(25, dtype=float) + 1.0,
+                BARE,
+                num_threads=4,
+                schedule="dynamic",
+                fault_plan=KILL_PLAN,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].result.makespan == runs[1].result.makespan
+        assert runs[0].thread_of.tolist() == runs[1].thread_of.tolist()
+
+    def test_all_threads_killed_raises(self):
+        plan = FaultPlan(
+            faults=tuple(
+                FaultSpec(kind=KILL, worker=w, after_claims=1)
+                for w in range(4)
+            )
+        )
+        with pytest.raises(SimulationError, match="killed every"):
+            simulate_parallel_for(
+                40,
+                np.ones(40),
+                BARE,
+                num_threads=4,
+                schedule="dynamic",
+                fault_plan=plan,
+            )
+
+    @pytest.mark.parametrize("schedule", ["block", "static-cyclic"])
+    def test_static_schedules_recover_too(self, schedule):
+        out = simulate_parallel_for(
+            24,
+            np.ones(24),
+            BARE,
+            num_threads=4,
+            schedule=schedule,
+            fault_plan=FaultPlan.single(KILL, worker=2, after_claims=1),
+        )
+        assert sorted(out.issue_order.tolist()) == list(range(24))
+
+
+class TestSimTraceEvents:
+    def _traced(self, plan):
+        return simulate_parallel_for(
+            20,
+            np.ones(20),
+            BARE,
+            num_threads=4,
+            schedule="dynamic",
+            fault_plan=plan,
+            trace=True,
+        )
+
+    def test_death_emits_fault_event(self):
+        out = self._traced(KILL_PLAN)
+        faults = [e for e in out.result.events if e.kind == "fault"]
+        assert any("death" in e.label for e in faults)
+
+    def test_recovery_iterations_are_labelled(self):
+        out = self._traced(FaultPlan.single(KILL, worker=1, after_claims=1))
+        recovered = [
+            e
+            for e in out.result.events
+            if e.kind == "iter" and e.label == "recovery"
+        ]
+        assert recovered, "lost iterations must resurface as recovery events"
+
+    def test_stall_emits_fault_event(self):
+        out = self._traced(
+            FaultPlan.single(STALL, worker=0, seconds=3.0)
+        )
+        stalls = [
+            e
+            for e in out.result.events
+            if e.kind == "fault" and e.label == "stall"
+        ]
+        assert len(stalls) == 1
+        assert stalls[0].duration == pytest.approx(3.0)
+
+    def test_fault_free_trace_has_no_fault_events(self):
+        out = simulate_parallel_for(
+            20,
+            np.ones(20),
+            BARE,
+            num_threads=4,
+            schedule="dynamic",
+            trace=True,
+        )
+        assert not [e for e in out.result.events if e.kind == "fault"]
+
+
+class TestSimCounters:
+    def test_fault_counters(self):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            simulate_parallel_for(
+                30,
+                np.ones(30),
+                BARE,
+                num_threads=4,
+                schedule="dynamic",
+                fault_plan=KILL_PLAN,
+            )
+        counters = registry.snapshot()["counters"]
+        assert counters["faults.sim.deaths"] == 1
+        assert counters["faults.sim.requeued_iterations"] >= 1

@@ -1,0 +1,118 @@
+"""Fault injection and recovery in the threads backend.
+
+A "kill" here is a silent worker-thread death: the thread stops
+claiming work without reporting.  The backend must notice, re-execute
+exactly the lost iterations, and leave every index executed once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BackendError
+from repro.faults import KILL, RAISE, STALL, FaultPlan
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.parallel import parallel_for
+from repro.types import Schedule
+
+
+def _plan_for_all(kind, num_workers, **kwargs):
+    # one spec per worker: on a single-core host one thread can drain
+    # the whole dynamic counter alone, so only a plan covering every
+    # thread is guaranteed to fire under the dynamic schedule
+    return FaultPlan.from_dict(
+        {
+            "faults": [
+                dict(kind=kind, worker=w, **kwargs)
+                for w in range(num_workers)
+            ]
+        }
+    )
+
+
+KILL_ALL = _plan_for_all(KILL, 3, after_claims=1)
+
+
+def _run(n, num_threads, schedule, plan, policy="retry"):
+    hits = np.zeros(n, dtype=np.int64)
+
+    def body(i, _thread):
+        hits[i] += 1
+
+    parallel_for(
+        n,
+        body,
+        num_threads=num_threads,
+        schedule=schedule,
+        backend="threads",
+        fault_plan=plan,
+        on_worker_death=policy,
+    )
+    return hits
+
+
+class TestKillRecovery:
+    @pytest.mark.parametrize(
+        "schedule",
+        [Schedule.BLOCK, Schedule.STATIC_CYCLIC, Schedule.DYNAMIC],
+    )
+    def test_every_index_executed_exactly_once(self, schedule):
+        plan = (
+            KILL_ALL
+            if schedule is Schedule.DYNAMIC
+            else FaultPlan.single(KILL, worker=1, after_claims=1)
+        )
+        hits = _run(24, 3, schedule, plan)
+        assert hits.tolist() == [1] * 24
+
+    def test_all_threads_dead_still_covers_unclaimed_work(self):
+        # every thread dies on its first claim: most of the dynamic
+        # counter is never claimed, and recovery must drain it anyway
+        hits = _run(24, 3, Schedule.DYNAMIC, KILL_ALL)
+        assert hits.tolist() == [1] * 24
+
+    def test_raise_policy_surfaces_backend_error(self):
+        with pytest.raises(BackendError, match="retry"):
+            _run(24, 3, Schedule.DYNAMIC, KILL_ALL, policy="raise")
+
+    def test_seeded_worker_choice_is_deterministic(self):
+        plan = FaultPlan.single(KILL, worker=-1, after_claims=1)
+        first = _run(24, 3, Schedule.DYNAMIC, plan)
+        second = _run(24, 3, Schedule.DYNAMIC, plan)
+        assert first.tolist() == second.tolist() == [1] * 24
+
+    def test_recovery_counters_emitted(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            _run(24, 3, Schedule.DYNAMIC, KILL_ALL)
+        counters = registry.snapshot()["counters"]
+        assert counters["faults.worker_deaths"] >= 1
+        assert counters["faults.recovered_indices"] >= 1
+
+
+class TestOtherFaultKinds:
+    def test_injected_raise_recovers(self):
+        plan = _plan_for_all(RAISE, 2, iteration=5)
+        hits = _run(16, 2, Schedule.DYNAMIC, plan)
+        assert hits.tolist() == [1] * 16
+
+    def test_stall_delays_but_completes(self):
+        plan = FaultPlan.single(STALL, worker=0, seconds=0.01)
+        hits = _run(8, 2, Schedule.DYNAMIC, plan)
+        assert hits.tolist() == [1] * 8
+
+    def test_real_error_always_raises(self):
+        # application errors propagate as-is (the historical contract);
+        # only worker *deaths* go through the recovery policy
+        def body(i, _thread):
+            if i == 3:
+                raise ValueError("genuine bug")
+
+        with pytest.raises(ValueError, match="genuine bug"):
+            parallel_for(
+                8,
+                body,
+                num_threads=2,
+                schedule=Schedule.DYNAMIC,
+                backend="threads",
+                on_worker_death="retry",
+            )
