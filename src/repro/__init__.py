@@ -11,15 +11,24 @@ evaluation (see DESIGN.md).
 
 Quickstart::
 
-    from repro import load_dataset, solve_apsp
+    from repro import SolverConfig, load_dataset, solve_apsp
     graph = load_dataset("WordNet")
-    result = solve_apsp(graph, algorithm="parapsp",
-                        num_threads=16, backend="sim")
+    config = SolverConfig.from_kwargs(algorithm="parapsp",
+                                      num_threads=16, backend="sim")
+    result = solve_apsp(graph, config=config)   # or the same kwargs
     result.dist            # exact APSP matrix
     result.phase_times     # ordering vs Dijkstra-phase breakdown
+
+Serving queries out-of-core (see ``docs/serving.md``)::
+
+    from repro import DistStore, QueryEngine, solve_to_store
+    store = solve_to_store(graph, "apsp_store", shard_rows=256)
+    engine = QueryEngine(store, cache_shards=8)
+    engine.dist(3, 250)    # point query through the LRU shard cache
 """
 
 from ._version import __version__
+from .config import SolverConfig, load_config
 from .core import (
     apsp_with_paths,
     par_alg1,
@@ -29,13 +38,17 @@ from .core import (
     seq_basic,
     seq_optimized,
     solve_apsp,
+    solve_apsp_shards,
 )
 from .dist import ClusterSpec, simulate_distributed_apsp
 from .core.state import APSPResult
+from .faults import FaultPlan, StoreCorruptionSpec
 from .graphs import CSRGraph, from_edges, load_dataset
 from .order import compute_order, simulate_order
+from .serve import DistStore, QueryEngine, ServeFrontend, solve_to_store
 from .simx import MACHINE_I, MACHINE_II, MachineSpec
 from .sort import counting_argsort, multilists_argsort
+from .trace import Trace
 from .types import Backend, Schedule
 
 __all__ = [
@@ -48,19 +61,29 @@ __all__ = [
     "seq_basic",
     "seq_optimized",
     "solve_apsp",
+    "solve_apsp_shards",
+    "SolverConfig",
+    "load_config",
     "ClusterSpec",
     "simulate_distributed_apsp",
     "APSPResult",
+    "FaultPlan",
+    "StoreCorruptionSpec",
     "CSRGraph",
     "from_edges",
     "load_dataset",
     "compute_order",
     "simulate_order",
+    "DistStore",
+    "QueryEngine",
+    "ServeFrontend",
+    "solve_to_store",
     "MACHINE_I",
     "MACHINE_II",
     "MachineSpec",
     "counting_argsort",
     "multilists_argsort",
+    "Trace",
     "Backend",
     "Schedule",
 ]

@@ -8,8 +8,15 @@ Subcommands
 ``analyze``  — APSP-derived network metrics (closeness, diameter, ...).
 ``paths``    — shortest path between two vertices (with the route).
 ``bench``    — regenerate paper tables/figures (the harness).
+``store``    — build a sharded on-disk distance store (repro.serve).
+``query``    — answer point/row/top-k queries from a distance store.
+``serve-bench`` — deterministic query-serving bench (BENCH artifact).
 ``datasets`` — list the dataset registry.
 ``info``     — library and algorithm inventory.
+
+``solve`` accepts ``--config cfg.json`` (a serialized
+:class:`repro.config.SolverConfig`), making a run reproducible from one
+artifact; explicit CLI flags override individual fields of the file.
 """
 
 from __future__ import annotations
@@ -118,6 +125,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound each process-backend round; stragglers are "
         "terminated and handled by --on-worker-death",
     )
+    solve.add_argument(
+        "--config",
+        metavar="CFG.JSON",
+        help="load a serialized SolverConfig; explicit CLI flags "
+        "override individual fields of the file",
+    )
+    solve.add_argument(
+        "--save-config",
+        metavar="CFG.JSON",
+        help="write the fully-resolved SolverConfig of this run "
+        "(reproduce later with --config)",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -205,6 +224,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", help="directory for CSV exports + SUMMARY.md"
     )
 
+    store = sub.add_parser(
+        "store",
+        help="build a sharded on-disk distance store (repro.serve)",
+    )
+    ssrc = store.add_mutually_exclusive_group(required=True)
+    ssrc.add_argument("--dataset", choices=dataset_names())
+    ssrc.add_argument("--edgelist", help="path to a SNAP-format edge list")
+    ssrc.add_argument(
+        "--rmat", type=int, metavar="SCALE",
+        help="synthetic R-MAT graph with 2**SCALE vertices (seeded)",
+    )
+    store.add_argument("--scale", type=int, default=None)
+    store.add_argument("--seed", type=int, default=42)
+    store.add_argument("--edge-factor", type=int, default=8)
+    store.add_argument("--directed", action="store_true")
+    store.add_argument("--out", required=True, metavar="DIR",
+                       help="store directory to create")
+    store.add_argument(
+        "--shard-rows", type=int, default=256,
+        help="rows per shard — the build's peak-memory knob",
+    )
+    store.add_argument(
+        "--landmarks", type=int, default=8,
+        help="pinned landmark rows for degraded answers",
+    )
+
+    query = sub.add_parser(
+        "query", help="answer queries from a distance store"
+    )
+    query.add_argument("--store", required=True, metavar="DIR",
+                       help="store directory (see 'store' / repro.serve)")
+    query.add_argument("--u", type=int, required=True, help="source vertex")
+    query.add_argument("--v", type=int, default=None, help="target vertex")
+    query.add_argument(
+        "--top-k", type=int, default=None, metavar="K",
+        help="the K nearest vertices to --u instead of a point query",
+    )
+    query.add_argument(
+        "--approx", action="store_true",
+        help="answer from the pinned landmarks (the degraded path)",
+    )
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="deterministic query-serving bench → BENCH_serve.json",
+    )
+    serve_bench.add_argument(
+        "--out", default="BENCH_serve.json", help="artifact path to write"
+    )
+    serve_bench.add_argument("--scale", type=int, default=None)
+    serve_bench.add_argument("--shard-rows", type=int, default=None)
+    serve_bench.add_argument("--cache-shards", type=int, default=None)
+
     sub.add_parser("datasets", help="list the dataset registry")
     sub.add_parser("info", help="algorithm and experiment inventory")
     return parser
@@ -287,12 +359,51 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         on_worker_death=args.on_worker_death,
         timeout=args.timeout,
     )
+    if args.config:
+        from .config import load_config
+
+        # keep only the flags the user actually set, so file fields are
+        # not clobbered by CLI defaults (an explicit flag still wins)
+        cli_defaults = dict(
+            algorithm="parapsp", num_threads=1, backend="serial",
+            schedule=None, block_size=None, kernel="auto",
+            fault_plan=None, on_worker_death="retry", timeout=None,
+        )
+        solve_kwargs = {
+            key: value
+            for key, value in solve_kwargs.items()
+            if value != cli_defaults[key]
+        }
+        from .exceptions import ConfigError
+
+        try:
+            solve_kwargs["config"] = load_config(args.config)
+        except ConfigError as exc:
+            raise SystemExit(f"repro-apsp solve: error: --config: {exc}")
     if registry is not None:
         with use_registry(registry):
             result = solve_apsp(graph, **solve_kwargs)
     else:
         result = solve_apsp(graph, **solve_kwargs)
     wall = time.perf_counter() - t0
+    if args.save_config:
+        from .config import SolverConfig
+
+        cfg = solve_kwargs.get("config")
+        resolved = (
+            cfg.with_overrides(
+                **{
+                    k: v
+                    for k, v in solve_kwargs.items()
+                    if k != "config"
+                }
+            )
+            if cfg is not None
+            else SolverConfig.from_kwargs(**solve_kwargs)
+        )
+        with open(args.save_config, "w", encoding="utf-8") as fh:
+            fh.write(resolved.to_json(indent=2) + "\n")
+        print(f"config saved : {args.save_config}")
     finite = np.isfinite(result.dist)
     off_diag = finite.sum() - graph.num_vertices
     unit = "work units" if args.backend == "sim" else "s"
@@ -446,6 +557,84 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    import time
+
+    from .exceptions import ReproError
+    from .serve import solve_to_store
+
+    graph = _solve_graph(args)
+    t0 = time.perf_counter()
+    try:
+        store = solve_to_store(
+            graph,
+            args.out,
+            shard_rows=args.shard_rows,
+            num_landmarks=args.landmarks,
+        )
+    except ReproError as exc:
+        raise SystemExit(f"repro-apsp store: error: {exc}")
+    wall = time.perf_counter() - t0
+    shard_mb = store.shard_nbytes(0) / 2**20
+    print(f"graph     : {graph!r}")
+    print(f"store     : {store.path} ({store.num_shards} shard(s) of "
+          f"{store.shard_rows} row(s), {shard_mb:.2f} MiB each)")
+    print(f"landmarks : {store.landmark_ids}")
+    print(f"built in  : {wall:.3g} s (peak memory one shard, not n^2)")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .exceptions import ReproError
+    from .serve import DistStore, QueryEngine
+
+    try:
+        store = DistStore.open(args.store)
+        engine = QueryEngine(store)
+        if args.top_k is not None:
+            nearest = engine.top_k(args.u, args.top_k)
+            print(f"top-{args.top_k} nearest to {args.u}:")
+            for rank, (vertex, dist) in enumerate(nearest, 1):
+                print(f"  {rank}. vertex {vertex} (distance {dist:g})")
+            return 0
+        if args.v is None:
+            row = engine.dist_from(args.u)
+            finite = np.isfinite(row)
+            finite[args.u] = False
+            print(f"row {args.u}: {int(finite.sum())} reachable of "
+                  f"{store.n - 1}")
+            if finite.any():
+                print(f"  mean {row[finite].mean():.4g}, "
+                      f"max {row[finite].max():.4g}")
+            return 0
+        if args.approx:
+            bound = engine.dist_approx(args.u, args.v)
+            print(f"dist({args.u}, {args.v}) <= {bound:g} "
+                  f"(landmark upper bound, approximate)")
+            return 0
+        print(f"dist({args.u}, {args.v}) = {engine.dist(args.u, args.v):g}")
+        return 0
+    except ReproError as exc:
+        raise SystemExit(f"repro-apsp query: error: {exc}")
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .exceptions import ReproError
+    from .serve import bench as serve_bench
+
+    argv = ["--out", args.out]
+    if args.scale is not None:
+        argv += ["--scale", str(args.scale)]
+    if args.shard_rows is not None:
+        argv += ["--shard-rows", str(args.shard_rows)]
+    if args.cache_shards is not None:
+        argv += ["--cache-shards", str(args.cache_shards)]
+    try:
+        return serve_bench.main(argv)
+    except ReproError as exc:
+        raise SystemExit(f"repro-apsp serve-bench: error: {exc}")
+
+
 def _cmd_datasets(_args: argparse.Namespace) -> int:
     rows = []
     for name in dataset_names():
@@ -496,6 +685,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "paths": _cmd_paths,
         "bench": _cmd_bench,
+        "store": _cmd_store,
+        "query": _cmd_query,
+        "serve-bench": _cmd_serve_bench,
         "datasets": _cmd_datasets,
         "info": _cmd_info,
     }

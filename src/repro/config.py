@@ -1,0 +1,481 @@
+"""First-class solver configuration: :class:`SolverConfig`.
+
+:func:`repro.solve_apsp` accreted ~20 keyword arguments across the
+observability, batching, tracing and fault-injection PRs.  Following the
+GraphIt/PriorityGraph separation of *algorithm* from *schedule* (Zhang
+et al., arXiv:1911.07260), this module groups those knobs into a frozen,
+serializable object so a whole run is reproducible from one artifact::
+
+    cfg = SolverConfig(
+        algorithm=AlgorithmConfig(name="parapsp", ratio=0.9),
+        parallel=ParallelConfig(backend="sim", num_threads=16),
+    )
+    result = solve_apsp(graph, config=cfg)
+    json.dump(cfg.to_dict(), fh)          # …and later:
+    solve_apsp(graph, config=SolverConfig.from_dict(json.load(fh)))
+
+Groups mirror the subsystems that own the knobs:
+
+=============== ====================================================
+group           knobs
+=============== ====================================================
+``algorithm``   name, ordering, schedule, queue, ratio, degree_kind,
+                use_flags
+``parallel``    backend, num_threads, chunk, machine
+``batch``       block_size, kernel
+``faults``      plan, on_worker_death, timeout, max_retries
+``obs``         trace, cost_model
+=============== ====================================================
+
+Validation happens once, in each dataclass's ``__post_init__``, and
+raises :class:`~repro.exceptions.ConfigError` naming the offending
+field (``"algorithm.ratio"``); both the kwargs form and the config form
+of ``solve_apsp`` go through this single path.  ``to_dict`` /
+``from_dict`` round-trip exactly (asserted by a hypothesis property
+test), so configs can live in JSON files and BENCH artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from .core.costs import DEFAULT_COST_MODEL, DijkstraCostModel
+from .exceptions import ConfigError, FaultPlanError, ReproError
+from .faults.plan import FaultPlan
+from .graphs.degree import DegreeKind
+from .simx.machine import MachineSpec
+from .types import Backend, Schedule
+
+__all__ = [
+    "AlgorithmConfig",
+    "ParallelConfig",
+    "BatchConfig",
+    "FaultConfig",
+    "ObsConfig",
+    "SolverConfig",
+    "load_config",
+]
+
+#: queue disciplines of :func:`repro.core.modified_dijkstra_sssp`
+QUEUE_DISCIPLINES: Tuple[str, ...] = ("fifo", "heap")
+
+#: recovery policies of :func:`repro.parallel.parallel_for`
+DEATH_POLICIES: Tuple[str, ...] = ("retry", "raise")
+
+
+def _fail(field_name: str, message: str) -> None:
+    raise ConfigError(message, field=field_name)
+
+
+@dataclass(frozen=True)
+class AlgorithmConfig:
+    """What to solve and in which order (the *algorithm* of the run)."""
+
+    name: str = "parapsp"
+    #: ordering procedure override (``None`` = the algorithm's default)
+    ordering: Optional[str] = None
+    #: sweep schedule override (``None`` = the algorithm's default)
+    schedule: Optional[str] = None
+    queue: str = "fifo"
+    #: Algorithm 3 selection ratio, in (0, 1]
+    ratio: float = 1.0
+    degree_kind: str = "out"
+    use_flags: bool = True
+
+    def __post_init__(self) -> None:
+        from .core.runner import ALGORITHMS
+        from .order import ORDERINGS
+
+        if self.name not in ALGORITHMS:
+            _fail(
+                "algorithm.name",
+                f"unknown algorithm {self.name!r}; known: "
+                f"{', '.join(ALGORITHMS)}",
+            )
+        if self.ordering is not None and self.ordering not in ORDERINGS:
+            _fail(
+                "algorithm.ordering",
+                f"unknown ordering {self.ordering!r}; known: "
+                f"{', '.join(ORDERINGS)}",
+            )
+        if self.schedule is not None:
+            try:
+                normalized = Schedule.coerce(self.schedule).value
+            except ReproError as exc:
+                _fail("algorithm.schedule", str(exc))
+            object.__setattr__(self, "schedule", normalized)
+        if self.queue not in QUEUE_DISCIPLINES:
+            _fail(
+                "algorithm.queue",
+                f"unknown queue discipline {self.queue!r}; expected one "
+                f"of {QUEUE_DISCIPLINES}",
+            )
+        if not isinstance(self.ratio, (int, float)) or isinstance(
+            self.ratio, bool
+        ) or not 0.0 < float(self.ratio) <= 1.0:
+            _fail(
+                "algorithm.ratio",
+                f"ratio must be in (0, 1], got {self.ratio!r}",
+            )
+        object.__setattr__(self, "ratio", float(self.ratio))
+        try:
+            kind = DegreeKind.coerce(self.degree_kind).value
+        except ReproError as exc:
+            _fail("algorithm.degree_kind", str(exc))
+        object.__setattr__(self, "degree_kind", kind)
+        if not isinstance(self.use_flags, bool):
+            _fail(
+                "algorithm.use_flags",
+                f"use_flags must be a bool, got {self.use_flags!r}",
+            )
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Where and how wide the run executes."""
+
+    backend: str = "serial"
+    num_threads: int = 1
+    #: dynamic-schedule chunk size (iterations per claim)
+    chunk: int = 1
+    #: simulated machine for the SIM backend (``None`` = paper default)
+    machine: Optional[MachineSpec] = None
+
+    def __post_init__(self) -> None:
+        try:
+            value = Backend.coerce(self.backend).value
+        except ReproError as exc:
+            _fail("parallel.backend", str(exc))
+        object.__setattr__(self, "backend", value)
+        if not isinstance(self.num_threads, int) or isinstance(
+            self.num_threads, bool
+        ) or self.num_threads < 1:
+            _fail(
+                "parallel.num_threads",
+                f"num_threads must be an int >= 1, got {self.num_threads!r}",
+            )
+        if not isinstance(self.chunk, int) or isinstance(self.chunk, bool) \
+                or self.chunk < 1:
+            _fail(
+                "parallel.chunk",
+                f"chunk must be >= 1, got {self.chunk!r} (a non-positive "
+                "chunk would make dynamic workers spin forever)",
+            )
+        if self.machine is not None and not isinstance(
+            self.machine, MachineSpec
+        ):
+            _fail(
+                "parallel.machine",
+                f"machine must be a MachineSpec or None, "
+                f"got {type(self.machine).__name__}",
+            )
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Batched-sweep engine knobs (:mod:`repro.core.batch`)."""
+
+    #: ``None`` = unbatched, ``"auto"`` = tuned, int = block of sources
+    block_size: "int | str | None" = None
+    kernel: str = "auto"
+
+    def __post_init__(self) -> None:
+        from .core.kernels import kernel_names
+
+        bs = self.block_size
+        if isinstance(bs, str):
+            if bs != "auto":
+                _fail(
+                    "batch.block_size",
+                    f"block_size must be a positive int, 'auto' or None; "
+                    f"got {bs!r}",
+                )
+        elif bs is not None:
+            if not isinstance(bs, int) or isinstance(bs, bool) or bs < 1:
+                _fail(
+                    "batch.block_size",
+                    f"block_size must be a positive int, 'auto' or None; "
+                    f"got {bs!r}",
+                )
+        valid = ("auto",) + kernel_names()
+        if self.kernel not in valid:
+            _fail(
+                "batch.kernel",
+                f"unknown kernel {self.kernel!r}; expected one of {valid}",
+            )
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault injection and crash-recovery policy (:mod:`repro.faults`)."""
+
+    plan: Optional[FaultPlan] = None
+    on_worker_death: str = "raise"
+    #: wall-second bound per process round (``None`` = unbounded)
+    timeout: Optional[float] = None
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.plan is not None:
+            if not isinstance(self.plan, FaultPlan):
+                _fail(
+                    "faults.plan",
+                    f"plan must be a FaultPlan or None, "
+                    f"got {type(self.plan).__name__}",
+                )
+            try:
+                self.plan.validate()
+            except FaultPlanError as exc:
+                _fail("faults.plan", str(exc))
+        if self.on_worker_death not in DEATH_POLICIES:
+            _fail(
+                "faults.on_worker_death",
+                f"on_worker_death must be one of {DEATH_POLICIES}, "
+                f"got {self.on_worker_death!r}",
+            )
+        if self.timeout is not None:
+            if not isinstance(self.timeout, (int, float)) or isinstance(
+                self.timeout, bool
+            ) or not float(self.timeout) > 0:
+                _fail(
+                    "faults.timeout",
+                    f"timeout must be a positive number or None, "
+                    f"got {self.timeout!r}",
+                )
+            object.__setattr__(self, "timeout", float(self.timeout))
+        if not isinstance(self.max_retries, int) or isinstance(
+            self.max_retries, bool
+        ) or self.max_retries < 0:
+            _fail(
+                "faults.max_retries",
+                f"max_retries must be an int >= 0, got {self.max_retries!r}",
+            )
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Measurement knobs: tracing and the virtual cost model."""
+
+    trace: bool = False
+    cost_model: DijkstraCostModel = DEFAULT_COST_MODEL
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.trace, bool):
+            _fail("obs.trace", f"trace must be a bool, got {self.trace!r}")
+        if not isinstance(self.cost_model, DijkstraCostModel):
+            _fail(
+                "obs.cost_model",
+                f"cost_model must be a DijkstraCostModel, "
+                f"got {type(self.cost_model).__name__}",
+            )
+
+
+#: flat ``solve_apsp`` kwarg name → (group attribute, field name)
+KWARG_MAP: Dict[str, Tuple[str, str]] = {
+    "algorithm": ("algorithm", "name"),
+    "ordering": ("algorithm", "ordering"),
+    "schedule": ("algorithm", "schedule"),
+    "queue": ("algorithm", "queue"),
+    "ratio": ("algorithm", "ratio"),
+    "degree_kind": ("algorithm", "degree_kind"),
+    "use_flags": ("algorithm", "use_flags"),
+    "backend": ("parallel", "backend"),
+    "num_threads": ("parallel", "num_threads"),
+    "chunk": ("parallel", "chunk"),
+    "machine": ("parallel", "machine"),
+    "block_size": ("batch", "block_size"),
+    "kernel": ("batch", "kernel"),
+    "fault_plan": ("faults", "plan"),
+    "on_worker_death": ("faults", "on_worker_death"),
+    "timeout": ("faults", "timeout"),
+    "max_retries": ("faults", "max_retries"),
+    "trace": ("obs", "trace"),
+    "cost_model": ("obs", "cost_model"),
+}
+
+_GROUP_TYPES = {
+    "algorithm": AlgorithmConfig,
+    "parallel": ParallelConfig,
+    "batch": BatchConfig,
+    "faults": FaultConfig,
+    "obs": ObsConfig,
+}
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """One complete, validated, serializable ``solve_apsp`` setup."""
+
+    algorithm: AlgorithmConfig = field(default_factory=AlgorithmConfig)
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    batch: BatchConfig = field(default_factory=BatchConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
+
+    def __post_init__(self) -> None:
+        for name, kind in _GROUP_TYPES.items():
+            value = getattr(self, name)
+            if isinstance(value, Mapping):  # tolerate nested plain dicts
+                value = _group_from_dict(name, kind, value)
+                object.__setattr__(self, name, value)
+            elif not isinstance(value, kind):
+                _fail(
+                    name,
+                    f"must be a {kind.__name__} (or a mapping), "
+                    f"got {type(value).__name__}",
+                )
+        # cross-group checks — a sequential algorithm cannot run on a
+        # genuinely parallel backend (SIM merely clamps to one thread)
+        from .core.runner import ALGORITHMS
+
+        spec = ALGORITHMS[self.algorithm.name]
+        backend = Backend(self.parallel.backend)
+        if not spec.parallel and backend in (
+            Backend.THREADS,
+            Backend.PROCESS,
+        ):
+            _fail(
+                "parallel.backend",
+                f"{self.algorithm.name} is a sequential algorithm; use "
+                "backend='serial' (or 'sim' for a virtual-time estimate "
+                "at 1 thread)",
+            )
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_kwargs(cls, **kwargs: Any) -> "SolverConfig":
+        """Build a config from legacy flat ``solve_apsp`` kwargs."""
+        groups: Dict[str, Dict[str, Any]] = {g: {} for g in _GROUP_TYPES}
+        for key, value in kwargs.items():
+            target = KWARG_MAP.get(key)
+            if target is None:
+                _fail(
+                    key,
+                    f"unknown solve_apsp keyword {key!r}; known: "
+                    f"{', '.join(sorted(KWARG_MAP))}",
+                )
+            group, fname = target
+            groups[group][fname] = value
+        return cls(
+            **{
+                group: kind(**groups[group])
+                for group, kind in _GROUP_TYPES.items()
+            }
+        )
+
+    def with_overrides(self, **kwargs: Any) -> "SolverConfig":
+        """Copy with some flat kwargs replaced (the shim's merge step)."""
+        patches: Dict[str, Dict[str, Any]] = {}
+        for key, value in kwargs.items():
+            target = KWARG_MAP.get(key)
+            if target is None:
+                _fail(key, f"unknown solve_apsp keyword {key!r}")
+            group, fname = target
+            patches.setdefault(group, {})[fname] = value
+        replaced = {
+            group: dataclasses.replace(getattr(self, group), **fields)
+            for group, fields in patches.items()
+        }
+        return dataclasses.replace(self, **replaced)
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested plain-JSON dict; inverse of :meth:`from_dict`."""
+        out: Dict[str, Any] = {}
+        for group in _GROUP_TYPES:
+            value = getattr(self, group)
+            data = dataclasses.asdict(value)
+            if group == "parallel" and value.machine is not None:
+                data["machine"] = dataclasses.asdict(value.machine)
+            if group == "faults":
+                data["plan"] = (
+                    value.plan.to_dict() if value.plan is not None else None
+                )
+            if group == "obs":
+                data["cost_model"] = dataclasses.asdict(value.cost_model)
+            out[group] = data
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolverConfig":
+        if not isinstance(data, Mapping):
+            _fail("config", f"must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - set(_GROUP_TYPES)
+        if unknown:
+            _fail("config", f"unknown group(s): {sorted(unknown)}")
+        groups = {}
+        for name, kind in _GROUP_TYPES.items():
+            raw = data.get(name)
+            if raw is None:
+                groups[name] = kind()
+            else:
+                groups[name] = _group_from_dict(name, kind, raw)
+        return cls(**groups)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolverConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            _fail("config", f"bad config JSON: {exc}")
+        return cls.from_dict(data)
+
+    def describe(self) -> str:
+        """One-line human summary (CLI banner)."""
+        bits = [
+            self.algorithm.name,
+            f"backend={self.parallel.backend}",
+            f"threads={self.parallel.num_threads}",
+        ]
+        if self.algorithm.schedule:
+            bits.append(f"schedule={self.algorithm.schedule}")
+        if self.batch.block_size is not None:
+            bits.append(f"block_size={self.batch.block_size}")
+        if self.faults.plan is not None:
+            bits.append(f"faults={len(self.faults.plan)}")
+        return " ".join(bits)
+
+
+def _group_from_dict(name: str, kind: type, raw: Any):
+    """Instantiate one sub-config from a plain mapping."""
+    if isinstance(raw, kind):
+        return raw
+    if not isinstance(raw, Mapping):
+        _fail(name, f"must be a mapping, got {type(raw).__name__}")
+    valid = {f.name for f in dataclasses.fields(kind)}
+    unknown = set(raw) - valid
+    if unknown:
+        _fail(name, f"unknown field(s): {sorted(unknown)}")
+    data = dict(raw)
+    if name == "parallel" and isinstance(data.get("machine"), Mapping):
+        try:
+            data["machine"] = MachineSpec(**data["machine"])
+        except (TypeError, ReproError) as exc:
+            _fail("parallel.machine", str(exc))
+    if name == "faults" and isinstance(data.get("plan"), Mapping):
+        try:
+            data["plan"] = FaultPlan.from_dict(data["plan"])
+        except FaultPlanError as exc:
+            _fail("faults.plan", str(exc))
+    if name == "obs" and isinstance(data.get("cost_model"), Mapping):
+        try:
+            data["cost_model"] = DijkstraCostModel(**data["cost_model"])
+        except TypeError as exc:
+            _fail("obs.cost_model", str(exc))
+    return kind(**data)
+
+
+def load_config(path: str) -> SolverConfig:
+    """Read a :class:`SolverConfig` from a JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        _fail("config", f"cannot read {path!r}: {exc}")
+    return SolverConfig.from_json(text)

@@ -29,7 +29,13 @@ from .paths import PathResult, apsp_with_paths, reconstruct_path, verify_predece
 from .par_alg1 import par_alg1
 from .par_alg2 import par_alg2
 from .par_apsp import par_apsp
-from .runner import ALGORITHMS, AlgorithmSpec, algorithm_names, solve_apsp
+from .runner import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    algorithm_names,
+    solve_apsp,
+    solve_apsp_shards,
+)
 from .simulate import SimulatedSweep, simulate_sweep
 from .state import APSPResult, APSPState, new_state
 from .sweep import SweepOutcome, run_sweep
@@ -70,6 +76,7 @@ __all__ = [
     "AlgorithmSpec",
     "algorithm_names",
     "solve_apsp",
+    "solve_apsp_shards",
     "SimulatedSweep",
     "simulate_sweep",
     "APSPResult",

@@ -26,12 +26,12 @@ time and is how the multi-thread figures are regenerated on this host.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import AlgorithmError
 from ..graphs.csr import CSRGraph
 from ..graphs.degree import DegreeKind, degree_array
 from ..obs import metrics as _obs
@@ -43,7 +43,13 @@ from .simulate import simulate_sweep
 from .state import APSPResult
 from .sweep import run_sweep
 
-__all__ = ["ALGORITHMS", "AlgorithmSpec", "solve_apsp", "algorithm_names"]
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "solve_apsp",
+    "solve_apsp_shards",
+    "algorithm_names",
+]
 
 
 @dataclass(frozen=True)
@@ -105,9 +111,61 @@ def algorithm_names() -> Tuple[str, ...]:
     return tuple(ALGORITHMS)
 
 
+#: defaults of the legacy flat kwargs — used by the shim to detect which
+#: arguments a caller actually passed
+_KWARG_DEFAULTS: Dict[str, object] = {
+    "algorithm": "parapsp",
+    "num_threads": 1,
+    "backend": Backend.SERIAL,
+    "schedule": None,
+    "ordering": None,
+    "machine": None,
+    "queue": "fifo",
+    "ratio": 1.0,
+    "degree_kind": DegreeKind.OUT,
+    "chunk": 1,
+    "use_flags": True,
+    "block_size": None,
+    "kernel": "auto",
+    "cost_model": DEFAULT_COST_MODEL,
+    "trace": False,
+    "fault_plan": None,
+    "on_worker_death": "raise",
+    "timeout": None,
+    "max_retries": 3,
+}
+
+
+def _explicit_kwargs(passed: Dict[str, object]) -> Dict[str, object]:
+    """The kwargs that differ from their legacy defaults."""
+    out: Dict[str, object] = {}
+    for name, value in passed.items():
+        default = _KWARG_DEFAULTS[name]
+        if value is default:
+            continue
+        try:
+            if value == default:
+                continue
+        except Exception:  # exotic objects without sane __eq__
+            pass
+        out[name] = value
+    return out
+
+
+def _normalize_kwargs(kwargs: Dict[str, object]) -> Dict[str, object]:
+    """Enum-typed legacy kwargs → the strings SolverConfig stores."""
+    out = dict(kwargs)
+    for key in ("backend", "schedule", "degree_kind"):
+        value = out.get(key)
+        if isinstance(value, (Backend, Schedule, DegreeKind)):
+            out[key] = value.value
+    return out
+
+
 def solve_apsp(
     graph: CSRGraph,
     *,
+    config=None,
     algorithm: str = "parapsp",
     num_threads: int = 1,
     backend: "Backend | str" = Backend.SERIAL,
@@ -129,6 +187,16 @@ def solve_apsp(
     max_retries: int = 3,
 ) -> APSPResult:
     """Solve all-pairs shortest paths; see the module docstring.
+
+    Configuration: ``config`` (a :class:`repro.config.SolverConfig`, or
+    a nested mapping in its ``to_dict`` layout) is the first-class way
+    to describe a run; the remaining keyword arguments are the legacy
+    flat form and are folded into a ``SolverConfig`` by a shim, so both
+    spellings share one validation and dispatch path and produce
+    bitwise-identical results.  Passing ``config`` *and* flat kwargs
+    that conflict with it emits a :class:`DeprecationWarning` (the
+    explicit kwargs win).  All user-input validation raises
+    :class:`~repro.exceptions.ConfigError` naming the offending field.
 
     Fault tolerance: ``fault_plan`` (a :class:`repro.faults.FaultPlan`)
     injects deterministic worker faults into the sweep phase;
@@ -156,56 +224,104 @@ def solve_apsp(
     ignore it — wall-clock tracing records :func:`repro.obs.span`
     sections through a :class:`repro.trace.TraceRecorder` instead.
     """
-    if algorithm not in ALGORITHMS:
-        raise AlgorithmError(
-            f"unknown algorithm {algorithm!r}; known: {', '.join(ALGORITHMS)}"
+    from ..config import SolverConfig
+    from ..exceptions import ConfigError
+
+    overrides = _normalize_kwargs(
+        _explicit_kwargs(
+            {
+                "algorithm": algorithm,
+                "num_threads": num_threads,
+                "backend": backend,
+                "schedule": schedule,
+                "ordering": ordering,
+                "machine": machine,
+                "queue": queue,
+                "ratio": ratio,
+                "degree_kind": degree_kind,
+                "chunk": chunk,
+                "use_flags": use_flags,
+                "block_size": block_size,
+                "kernel": kernel,
+                "cost_model": cost_model,
+                "trace": trace,
+                "fault_plan": fault_plan,
+                "on_worker_death": on_worker_death,
+                "timeout": timeout,
+                "max_retries": max_retries,
+            }
         )
-    if not 0.0 < ratio <= 1.0:
-        raise AlgorithmError(
-            f"ratio must be in (0, 1], got {ratio!r}"
-        )
-    if chunk < 1:
-        raise AlgorithmError(
-            f"chunk must be >= 1, got {chunk} (a non-positive chunk "
-            "would make dynamic workers spin forever)"
-        )
-    if on_worker_death not in ("retry", "raise"):
-        raise AlgorithmError(
-            f"on_worker_death must be 'retry' or 'raise', "
-            f"got {on_worker_death!r}"
-        )
-    spec = ALGORITHMS[algorithm]
-    backend = Backend.coerce(backend)
-    sched = Schedule.coerce(schedule) if schedule is not None else spec.schedule
-    ordering_name = ordering if ordering is not None else spec.ordering
-    if not spec.parallel and backend not in (Backend.SERIAL,):
-        if backend is not Backend.SIM:
-            raise AlgorithmError(
-                f"{algorithm} is a sequential algorithm; use backend='serial'"
-                " (or 'sim' for a virtual-time estimate at 1 thread)"
+    )
+    if config is None:
+        cfg = SolverConfig.from_kwargs(**overrides)
+    else:
+        if isinstance(config, dict):
+            config = SolverConfig.from_dict(config)
+        elif not isinstance(config, SolverConfig):
+            raise ConfigError(
+                f"config must be a SolverConfig or a mapping, "
+                f"got {type(config).__name__}",
+                field="config",
             )
-        num_threads = 1
+        cfg = config
+        if overrides:
+            merged = config.with_overrides(**overrides)
+            if merged != config:
+                warnings.warn(
+                    "solve_apsp received both config= and conflicting "
+                    f"keyword argument(s) {sorted(overrides)}; the "
+                    "explicit kwargs win.  Pass one SolverConfig instead.",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            cfg = merged
+    return _solve_with_config(graph, cfg)
+
+
+def _solve_with_config(graph: CSRGraph, cfg) -> APSPResult:
+    """The single dispatch path behind both ``solve_apsp`` spellings."""
+    spec = ALGORITHMS[cfg.algorithm.name]
+    algorithm = spec.name
+    backend = Backend(cfg.parallel.backend)
+    sched = (
+        Schedule(cfg.algorithm.schedule)
+        if cfg.algorithm.schedule is not None
+        else spec.schedule
+    )
+    ordering_name = (
+        cfg.algorithm.ordering
+        if cfg.algorithm.ordering is not None
+        else spec.ordering
+    )
+    num_threads = cfg.parallel.num_threads
     if not spec.parallel:
+        # SolverConfig already rejected threads/process; SIM estimates
+        # a sequential algorithm at one simulated thread
         num_threads = 1
+    queue = cfg.algorithm.queue
+    chunk = cfg.parallel.chunk
+    use_flags = cfg.algorithm.use_flags
+    cost_model = cfg.obs.cost_model
+    fault_plan = cfg.faults.plan
 
     n = graph.num_vertices
-    degrees = degree_array(graph, degree_kind)
+    degrees = degree_array(graph, cfg.algorithm.degree_kind)
     ordering_kwargs = {}
     if ordering_name == "selection":
-        ordering_kwargs["ratio"] = ratio
+        ordering_kwargs["ratio"] = cfg.algorithm.ratio
         # the faithful O(n²) loop is the measured artefact; for plain
         # solving at larger n the fast equivalent keeps things usable
         ordering_kwargs["fast"] = n > 4000
 
     if backend is Backend.SIM:
-        mach = machine or default_machine(num_threads)
+        mach = cfg.parallel.machine or default_machine(num_threads)
         with _obs.span("apsp.ordering"):
             order_result = simulate_order(
                 ordering_name,
                 degrees,
                 mach,
                 num_threads=num_threads,
-                trace=trace,
+                trace=cfg.obs.trace,
                 **ordering_kwargs,
             )
         with _obs.span("apsp.dijkstra"):
@@ -219,7 +335,7 @@ def solve_apsp(
                 queue=queue,
                 use_flags=use_flags,
                 cost_model=cost_model,
-                trace=trace,
+                trace=cfg.obs.trace,
                 fault_plan=fault_plan,
             )
         ordering_time = (
@@ -279,12 +395,12 @@ def solve_apsp(
             chunk=chunk,
             queue=queue,
             use_flags=use_flags,
-            block_size=block_size,
-            kernel=kernel,
+            block_size=cfg.batch.block_size,
+            kernel=cfg.batch.kernel,
             fault_plan=fault_plan,
-            on_worker_death=on_worker_death,
-            timeout=timeout,
-            max_retries=max_retries,
+            on_worker_death=cfg.faults.on_worker_death,
+            timeout=cfg.faults.timeout,
+            max_retries=cfg.faults.max_retries,
         )
     extra: Dict[str, float] = {}
     if sweep.block_size is not None:
@@ -304,3 +420,162 @@ def solve_apsp(
         per_source_work=sweep.work_vector(cost_model),
         extra=extra,
     )
+
+
+class _ShardRowMap:
+    """Duck-typed ``dist`` for shard-local sweeps.
+
+    Maps a *vertex id* onto a row of a small ``(shard_rows, n)`` buffer
+    so :func:`~repro.core.modified_dijkstra.modified_dijkstra_sssp` can
+    run unmodified while the full n×n matrix never exists.  Merges are
+    safe because flags are raised only for in-shard sources, so the
+    sweep never asks for a row outside the buffer.
+    """
+
+    __slots__ = ("buffer", "base")
+
+    def __init__(self, buffer: np.ndarray, base: int) -> None:
+        self.buffer = buffer
+        self.base = base
+
+    def __getitem__(self, vertex: int) -> np.ndarray:
+        return self.buffer[vertex - self.base]
+
+
+class _ShardState:
+    """APSPState-shaped view over one shard buffer (see ``_ShardRowMap``)."""
+
+    __slots__ = ("dist", "flag", "_n")
+
+    def __init__(self, buffer: np.ndarray, base: int, n: int) -> None:
+        self.dist = _ShardRowMap(buffer, base)
+        self.flag = np.zeros(n, dtype=np.uint8)
+        self._n = n
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+
+def solve_apsp_shards(
+    graph: CSRGraph,
+    *,
+    shard_rows: int,
+    start_row: int = 0,
+    stop_row: "int | None" = None,
+    config=None,
+    **kwargs,
+):
+    """Stream the APSP matrix as ``(start_row, rows)`` blocks.
+
+    The out-of-core companion of :func:`solve_apsp`: shards of
+    ``shard_rows`` consecutive *vertex ids* are solved one at a time
+    into a single reusable ``(shard_rows, n)`` buffer, so peak memory is
+    O(shard_rows × n) instead of O(n²) — this is what
+    :func:`repro.serve.solve_to_store` writes to disk shard by shard.
+
+    Within a shard, sources are issued in the configured ordering
+    (restricted to the shard) and Algorithm 1's flag-reuse shortcut
+    applies to rows already finalised *in the same shard*; rows outside
+    the buffer are simply not reused.  Distances are exact either way
+    (the flag merge is an optimisation, not a correctness requirement),
+    but because the merge changes float summation order, flags-on
+    output can differ from the in-memory solver in the last bit and
+    depends on ``shard_rows``.  With ``use_flags=False`` every source
+    is an independent Dijkstra and the output is bitwise identical to
+    the in-memory solve regardless of shard size — which is why
+    :func:`repro.serve.solve_to_store` builds stores that way.
+
+    Only the serial backend is meaningful here — the buffer is the
+    memory bound, and handing it to several workers would break it.
+    Yields ``(start, rows)`` with ``rows`` of shape ``(k, n)`` where the
+    last shard may be short.  The yielded array is reused between
+    shards: copy (or write out) before advancing the generator.
+    ``start_row``/``stop_row`` restrict the sweep to a sub-range of
+    shards (``start_row`` on a shard boundary) — how
+    :meth:`repro.serve.DistStore.repair` re-solves only damaged shards.
+    """
+    from ..config import SolverConfig
+    from ..exceptions import ConfigError
+    from ..types import INF
+    from .modified_dijkstra import modified_dijkstra_sssp
+
+    if not isinstance(shard_rows, int) or isinstance(shard_rows, bool) \
+            or shard_rows < 1:
+        raise ConfigError(
+            f"shard_rows must be an int >= 1, got {shard_rows!r}",
+            field="shard_rows",
+        )
+    n_total = graph.num_vertices
+    if stop_row is None:
+        stop_row = n_total
+    if not (0 <= start_row <= stop_row <= n_total):
+        raise ConfigError(
+            f"need 0 <= start_row <= stop_row <= n ({n_total}); got "
+            f"start_row={start_row!r}, stop_row={stop_row!r}",
+            field="start_row",
+        )
+    if start_row % shard_rows != 0:
+        raise ConfigError(
+            f"start_row must fall on a shard boundary (multiple of "
+            f"{shard_rows}), got {start_row}",
+            field="start_row",
+        )
+    if config is None:
+        cfg = SolverConfig.from_kwargs(
+            **_normalize_kwargs(dict(kwargs))
+        )
+    elif kwargs:
+        cfg = config.with_overrides(**_normalize_kwargs(dict(kwargs)))
+    else:
+        cfg = config
+    if cfg.parallel.backend != Backend.SERIAL.value:
+        raise ConfigError(
+            "the shard-streaming solve runs on the serial backend "
+            f"(got {cfg.parallel.backend!r}); its whole point is the "
+            "O(shard) memory bound of one worker over one buffer",
+            field="parallel.backend",
+        )
+
+    spec = ALGORITHMS[cfg.algorithm.name]
+    ordering_name = (
+        cfg.algorithm.ordering
+        if cfg.algorithm.ordering is not None
+        else spec.ordering
+    )
+    n = graph.num_vertices
+    degrees = degree_array(graph, cfg.algorithm.degree_kind)
+    ordering_kwargs = {}
+    if ordering_name == "selection":
+        ordering_kwargs["ratio"] = cfg.algorithm.ratio
+        ordering_kwargs["fast"] = n > 4000
+    with _obs.span("apsp.ordering"):
+        order_result = compute_order(
+            ordering_name, degrees, num_threads=1, backend=Backend.SERIAL,
+            **ordering_kwargs,
+        )
+    # position[v] = issue rank of vertex v under the configured ordering
+    position = np.empty(n, dtype=np.int64)
+    position[order_result.order] = np.arange(n, dtype=np.int64)
+
+    shard_rows = min(shard_rows, max(1, n))
+    buffer = np.empty((shard_rows, n), dtype=np.float64)
+    for start in range(start_row, stop_row, shard_rows):
+        k = min(shard_rows, stop_row - start, n - start)
+        block = buffer[:k]
+        block.fill(INF)
+        state = _ShardState(block, start, n)
+        sources = start + np.argsort(
+            position[start:start + k], kind="stable"
+        )
+        with _obs.span("apsp.shard"):
+            for s in sources:
+                modified_dijkstra_sssp(
+                    graph,
+                    int(s),
+                    state,
+                    queue=cfg.algorithm.queue,
+                    use_flags=cfg.algorithm.use_flags,
+                )
+        _obs.counter_add("serve.store.shards_solved", 1)
+        yield start, block

@@ -18,10 +18,14 @@ __all__ = [
     "BackendError",
     "SimulationError",
     "AlgorithmError",
+    "ConfigError",
     "ValidationError",
     "BenchmarkError",
     "FaultPlanError",
     "FaultInjected",
+    "StoreError",
+    "StoreCorruptionError",
+    "ServeError",
 ]
 
 
@@ -61,6 +65,28 @@ class AlgorithmError(ReproError):
     """An APSP algorithm was invoked with invalid inputs."""
 
 
+class ConfigError(AlgorithmError, ScheduleError, BackendError):
+    """Invalid user-supplied solver configuration.
+
+    Every *user-input* validation failure of :func:`repro.solve_apsp` —
+    whether the knobs arrived as keyword arguments or inside a
+    :class:`repro.config.SolverConfig` — raises this, with the offending
+    field named as ``<group>.<field>`` (e.g. ``algorithm.ratio``).
+
+    It deliberately subclasses the legacy validation classes
+    (:class:`AlgorithmError`, :class:`ScheduleError`,
+    :class:`BackendError`) so pre-existing ``except`` clauses keep
+    working; *runtime* failures (a worker death, a simulator
+    inconsistency) stay on the original hierarchy.
+    """
+
+    def __init__(self, message: str, *, field: "str | None" = None) -> None:
+        if field is not None:
+            message = f"{field}: {message}"
+        super().__init__(message)
+        self.field = field
+
+
 class ValidationError(ReproError):
     """A result failed validation against a reference solution."""
 
@@ -79,3 +105,23 @@ class FaultInjected(ReproError):
     Execution layers treat it like a worker death (recoverable under
     ``on_worker_death="retry"``) rather than an application bug.
     """
+
+
+class StoreError(ReproError):
+    """A :class:`repro.serve.DistStore` is malformed or misused."""
+
+
+class StoreCorruptionError(StoreError):
+    """A distance-store shard failed its checksum on load.
+
+    Carries the ids of the shards that failed so a caller can repair
+    exactly those (:meth:`repro.serve.DistStore.repair`).
+    """
+
+    def __init__(self, message: str, *, shards: "tuple | None" = None) -> None:
+        super().__init__(message)
+        self.shards = tuple(shards or ())
+
+
+class ServeError(ReproError):
+    """Invalid request or state in the query-serving layer."""

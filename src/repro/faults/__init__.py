@@ -25,6 +25,7 @@ Recovery cost is observable as ``faults.*`` counters and
 """
 
 from .inject import ThreadDeath, WorkerFaultInjector
+from .store import StoreCorruptionSpec, parse_store_corruption
 from .plan import (
     CORRUPT_PIPE,
     FAULT_KINDS,
@@ -47,4 +48,6 @@ __all__ = [
     "parse_fault_plan",
     "ThreadDeath",
     "WorkerFaultInjector",
+    "StoreCorruptionSpec",
+    "parse_store_corruption",
 ]

@@ -1,0 +1,122 @@
+"""Deterministic corruption of on-disk distance-store shards.
+
+The worker-fault machinery in :mod:`repro.faults.plan` models things
+going wrong *during* a parallel region; this module models the other
+production failure the ROADMAP cares about — bytes rotting *at rest*
+under a serving layer.  A :class:`StoreCorruptionSpec` is the same idea
+as a :class:`~repro.faults.FaultSpec`: a frozen, seeded description of
+exactly which bytes of which shard get damaged, so a test (or the CI
+``serve-smoke`` job) can corrupt a store, assert that
+:meth:`repro.serve.DistStore.verify` detects it, repair, and compare
+bitwise against the original.
+
+Determinism: byte offsets are drawn from ``np.random.default_rng(seed)``
+over the shard payload, and each chosen byte is XOR-ed with ``0xFF`` —
+which *always* changes the byte, so a spec with ``nbytes >= 1`` can
+never be a silent no-op that would make a detection test vacuous.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+from ..exceptions import FaultPlanError
+
+__all__ = ["StoreCorruptionSpec", "parse_store_corruption"]
+
+
+@dataclass(frozen=True)
+class StoreCorruptionSpec:
+    """Flip ``nbytes`` seeded-random bytes of shard ``shard``."""
+
+    shard: int
+    nbytes: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.shard, int) or isinstance(self.shard, bool) \
+                or self.shard < 0:
+            raise FaultPlanError(
+                f"shard must be an int >= 0, got {self.shard!r}"
+            )
+        if not isinstance(self.nbytes, int) or isinstance(self.nbytes, bool) \
+                or self.nbytes < 1:
+            raise FaultPlanError(
+                f"nbytes must be an int >= 1, got {self.nbytes!r}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise FaultPlanError(f"seed must be an int, got {self.seed!r}")
+
+    def offsets(self, payload_size: int) -> np.ndarray:
+        """The byte offsets this spec damages in a payload of that size."""
+        if payload_size < 1:
+            raise FaultPlanError("cannot corrupt an empty shard payload")
+        rng = np.random.default_rng(self.seed)
+        k = min(self.nbytes, payload_size)
+        return np.sort(rng.choice(payload_size, size=k, replace=False))
+
+    def apply(self, path: "str | os.PathLike") -> np.ndarray:
+        """XOR-flip the chosen bytes of the file in place.
+
+        Returns the damaged offsets so a test can report exactly what it
+        did.  XOR with ``0xFF`` is an involution: applying the same spec
+        twice restores the file — occasionally handy in tests, never
+        relied on for repair (repair re-solves, see
+        :meth:`repro.serve.DistStore.repair`).
+        """
+        size = os.path.getsize(path)
+        offs = self.offsets(size)
+        with open(path, "r+b") as fh:
+            for off in offs:
+                fh.seek(int(off))
+                byte = fh.read(1)
+                fh.seek(int(off))
+                fh.write(bytes([byte[0] ^ 0xFF]))
+        return offs
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"shard": self.shard, "nbytes": self.nbytes, "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StoreCorruptionSpec":
+        unknown = set(data) - {"shard", "nbytes", "seed"}
+        if unknown:
+            raise FaultPlanError(
+                f"unknown StoreCorruptionSpec fields: {sorted(unknown)}"
+            )
+        if "shard" not in data:
+            raise FaultPlanError("StoreCorruptionSpec requires 'shard'")
+        return cls(**dict(data))
+
+
+def parse_store_corruption(text: str) -> StoreCorruptionSpec:
+    """Parse the compact DSL ``"shard=2,nbytes=4,seed=7"``.
+
+    Mirrors :func:`repro.faults.parse_fault_plan` so the CLI can take
+    ``--corrupt shard=0`` with the same look and feel.
+    """
+    fields: Dict[str, Any] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise FaultPlanError(
+                f"bad store-corruption field {part!r}; expected key=value"
+            )
+        key, _, value = part.partition("=")
+        key = key.strip()
+        if key not in ("shard", "nbytes", "seed"):
+            raise FaultPlanError(f"unknown store-corruption key {key!r}")
+        try:
+            fields[key] = int(value)
+        except ValueError:
+            raise FaultPlanError(
+                f"store-corruption value for {key!r} must be an int, "
+                f"got {value!r}"
+            ) from None
+    return StoreCorruptionSpec.from_dict(fields)

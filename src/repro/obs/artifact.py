@@ -30,6 +30,12 @@ with an absolute tolerance (``--trace-atol``).
 a deterministic fault-injection run (:mod:`repro.faults`): injected
 event counts (exact-gated) plus ``faults.virtual.*`` recovery timings
 (gated upward with the timing ``--rtol``).
+
+``serve`` (schema ``/4``, optional) is a flat numeric dict from the
+query-serving traffic bench (:mod:`repro.serve.bench`): shard-load /
+batching event counts (exact-gated), cache hit rates (gated *downward*
+with ``--serve-atol`` — a hit-rate drop is the regression) and virtual
+latency percentiles (gated upward with the timing ``--rtol``).
 """
 
 from __future__ import annotations
@@ -53,8 +59,9 @@ __all__ = [
 
 #: bump the suffix when the artifact layout changes incompatibly
 #: (/2: optional numeric ``trace_summary`` section, sorted counters;
-#:  /3: optional numeric ``faults`` section from fault-injection runs)
-SCHEMA_VERSION = "repro.obs.bench/3"
+#:  /3: optional numeric ``faults`` section from fault-injection runs;
+#:  /4: optional numeric ``serve`` section from the query-serving bench)
+SCHEMA_VERSION = "repro.obs.bench/4"
 
 #: required top-level keys and their expected container types
 _REQUIRED: Dict[str, type] = {
@@ -100,6 +107,7 @@ def build_artifact(
     env: Optional[Mapping[str, Any]] = None,
     trace_summary: Optional[Mapping[str, float]] = None,
     faults: Optional[Mapping[str, float]] = None,
+    serve: Optional[Mapping[str, float]] = None,
 ) -> Dict[str, Any]:
     """Assemble one schema-valid artifact dict.
 
@@ -141,6 +149,8 @@ def build_artifact(
         )
     if faults is not None:
         artifact["faults"] = _sorted_numeric(dict(faults), "faults")
+    if serve is not None:
+        artifact["serve"] = _sorted_numeric(dict(serve), "serve")
     return artifact
 
 
@@ -256,7 +266,7 @@ def validate_artifact(artifact: Any) -> List[str]:
                 f"section {key!r} must be {kind.__name__}, "
                 f"got {type(value).__name__}"
             )
-    for optional in ("trace_summary", "faults"):
+    for optional in ("trace_summary", "faults", "serve"):
         section = artifact.get(optional)
         if section is not None and not isinstance(section, Mapping):
             problems.append(
@@ -264,7 +274,7 @@ def validate_artifact(artifact: Any) -> List[str]:
                 f"got {type(section).__name__}"
             )
     for section in ("counters", "timings", "gauges", "trace_summary",
-                    "faults"):
+                    "faults", "serve"):
         values = artifact.get(section)
         if isinstance(values, Mapping):
             for name, value in values.items():

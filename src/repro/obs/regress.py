@@ -24,6 +24,14 @@
   changed death/requeue count means the recovery machinery changed
   behaviour); ``faults.virtual.*`` recovery timings may only exceed the
   baseline by ``--rtol``, like ``virtual.*`` timings;
+* **serve** — the query-serving traffic bench section (schema ``/4``):
+  event counts (shard loads, coalesced requests, batches, degraded /
+  shed requests — the replay is a seeded trace through a deterministic
+  virtual-time model) are exact; ``*_hit_rate`` and ``*_speedup`` keys
+  gate *downward* with ``--serve-atol`` (a drop in cache hit rate or in
+  the optimised-vs-naive speedup is the regression; higher is better);
+  ``*_ms`` virtual-latency keys gate upward with ``--rtol`` like
+  ``virtual.*`` timings;
 * **kernel consistency** — artifacts that carry ``kernel.*`` counters
   must satisfy the cross-layer invariants tying kernel-call accounting
   to the per-source ``ops.*`` totals (see
@@ -58,6 +66,14 @@ TRACE_GATED_SUFFIXES = (
 #: faults keys with this prefix are virtual recovery timings (rtol,
 #: upward); every other faults key is an exact-gated event count
 FAULT_TIMING_PREFIX = "faults.virtual."
+
+#: serve keys with these suffixes gate downward (higher is better,
+#: a drop past ``--serve-atol`` is the regression)
+SERVE_DOWNWARD_SUFFIXES = ("hit_rate", "speedup")
+
+#: serve keys with this suffix are virtual latencies (rtol, upward);
+#: remaining serve keys are exact-gated replay event counts
+SERVE_LATENCY_SUFFIX = "_ms"
 
 
 def check_kernel_consistency(
@@ -149,6 +165,7 @@ def compare_artifacts(
     include_wall: bool = False,
     ignore: Sequence[str] = (),
     trace_atol: float = 0.02,
+    serve_atol: float = 0.02,
 ) -> Tuple[List[str], List[str]]:
     """Compare two artifacts; returns ``(regressions, notes)``.
 
@@ -203,6 +220,15 @@ def compare_artifacts(
         baseline.get("faults"),
         current.get("faults"),
         rtol,
+        ignored,
+        regressions,
+        notes,
+    )
+    _compare_serve(
+        baseline.get("serve"),
+        current.get("serve"),
+        rtol,
+        serve_atol,
         ignored,
         regressions,
         notes,
@@ -415,6 +441,81 @@ def _compare_faults(
         notes.append(f"fault {key} new in current: {cur[key]:g}")
 
 
+def _compare_serve(
+    base: Optional[Mapping[str, float]],
+    cur: Optional[Mapping[str, float]],
+    rtol: float,
+    atol: float,
+    ignored: set,
+    regressions: List[str],
+    notes: List[str],
+) -> None:
+    """Gate the query-serving bench section.
+
+    The traffic trace is seeded and replayed through a deterministic
+    virtual-time model, so its event counts (shard loads, coalesced
+    requests, batches, degraded/shed totals) gate exactly, like
+    ``ops.*``.  Quality ratios in :data:`SERVE_DOWNWARD_SUFFIXES` gate
+    *downward* with ``atol`` — a falling cache hit rate or a shrinking
+    optimised-vs-naive speedup is the regression, a rise is an
+    improvement.  ``*_ms`` virtual latencies gate upward with ``rtol``.
+    """
+    if base is None:
+        if cur:
+            notes.append(
+                "serve section new in current (no baseline to gate against)"
+            )
+        return
+    if cur is None:
+        regressions.append(
+            "serve section present in baseline but missing from current "
+            "artifact (serve bench skipped?)"
+        )
+        return
+    for key in sorted(base):
+        if key in ignored:
+            notes.append(f"serve {key}: ignored")
+            continue
+        if key not in cur:
+            regressions.append(f"serve {key} missing from current artifact")
+            continue
+        if key.endswith(SERVE_DOWNWARD_SUFFIXES):
+            if cur[key] < base[key] - atol:
+                regressions.append(
+                    f"serve {key}: {base[key]:.4f} -> {cur[key]:.4f} "
+                    f"(-{base[key] - cur[key]:.4f}, tolerance {atol:g} "
+                    "absolute, downward)"
+                )
+            else:
+                notes.append(
+                    f"serve {key}: {base[key]:.4f} -> {cur[key]:.4f} (ok)"
+                )
+        elif key.endswith(SERVE_LATENCY_SUFFIX):
+            limit = base[key] * (1.0 + rtol)
+            if cur[key] > limit:
+                pct = (
+                    (cur[key] - base[key]) / base[key] * 100.0
+                    if base[key]
+                    else float("inf")
+                )
+                regressions.append(
+                    f"serve {key}: {base[key]:g} -> {cur[key]:g} "
+                    f"(+{pct:.1f}%, tolerance {rtol:.0%})"
+                )
+            else:
+                notes.append(
+                    f"serve {key}: {base[key]:g} -> {cur[key]:g} (ok)"
+                )
+        elif base[key] != cur[key]:
+            direction = "up" if cur[key] > base[key] else "down"
+            regressions.append(
+                f"serve {key}: {base[key]:g} -> {cur[key]:g} ({direction}; "
+                "replay event counts must match exactly)"
+            )
+    for key in sorted(set(cur) - set(base)):
+        notes.append(f"serve {key} new in current: {cur[key]:g}")
+
+
 def _report(regressions: List[str], notes: List[str], verbose: bool) -> None:
     if verbose and notes:
         for note in notes:
@@ -461,6 +562,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "overhead fractions (default 0.02)",
     )
     parser.add_argument(
+        "--serve-atol",
+        type=float,
+        default=0.02,
+        help="absolute downward tolerance for serve hit-rate/speedup "
+        "keys (default 0.02)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-key notes"
     )
     args = parser.parse_args(argv)
@@ -475,6 +583,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             include_wall=args.include_wall,
             ignore=args.ignore,
             trace_atol=args.trace_atol,
+            serve_atol=args.serve_atol,
         )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)

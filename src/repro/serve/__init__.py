@@ -1,0 +1,57 @@
+"""``repro.serve`` — query serving over solved APSP results.
+
+The ROADMAP's north star is a system that *serves* shortest-path
+queries under heavy traffic, not just one that computes them.  This
+package is that layer, built out-of-core from day one (the Spark APSP
+study puts sx-superuser's distance matrix at ≈160 GB — the result, not
+the graph, is the scaling bottleneck):
+
+* :mod:`repro.serve.store` — :class:`DistStore`, a sharded
+  ``np.memmap``-style on-disk store with a JSON manifest
+  (``repro.serve.store/1``), per-shard crc32 checksums, corruption
+  detection and exact repair; built streaming via
+  :func:`repro.core.runner.solve_apsp_shards` so n×n never lives in
+  RAM (:func:`solve_to_store`).
+* :mod:`repro.serve.engine` — :class:`QueryEngine`: point / row /
+  top-k queries through an LRU shard cache with single-flight request
+  coalescing and micro-batched vectorized gathers.
+* :mod:`repro.serve.admission` — :class:`ServeFrontend`: bounded
+  per-class in-flight budgets with graceful degradation (landmark
+  upper bounds, flagged ``approx=True``) instead of unbounded queues.
+* :mod:`repro.serve.traffic` / :mod:`repro.serve.replay` — seeded
+  Zipfian open-loop traffic and its deterministic virtual-time replay
+  (plus a real-thread replay of the same trace).
+* :mod:`repro.serve.bench` — the ``serve-smoke`` workload: builds a
+  store, replays the pinned trace naive vs optimised, and emits the
+  ``serve`` section of a ``repro.obs.bench/4`` artifact gated in CI.
+"""
+
+from .admission import (
+    QUERY_CLASSES,
+    AdmissionPolicy,
+    QueryResponse,
+    ServeFrontend,
+)
+from .engine import QueryEngine
+from .replay import ReplayResult, ServeCostModel, replay_threaded, \
+    replay_virtual
+from .store import STORE_SCHEMA_VERSION, DistStore, solve_to_store
+from .traffic import Request, TrafficSpec, generate_trace
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "DistStore",
+    "solve_to_store",
+    "QueryEngine",
+    "QUERY_CLASSES",
+    "AdmissionPolicy",
+    "QueryResponse",
+    "ServeFrontend",
+    "Request",
+    "TrafficSpec",
+    "generate_trace",
+    "ServeCostModel",
+    "ReplayResult",
+    "replay_virtual",
+    "replay_threaded",
+]

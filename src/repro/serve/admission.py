@@ -1,0 +1,149 @@
+"""Admission control: bounded queues, backpressure, graceful degradation.
+
+The front end enforces the ROADMAP's "heavy traffic" stance: a serving
+process must never build an unbounded backlog.  Every request belongs
+to a **class** (``point``, ``row``, ``topk``); each class has a bounded
+in-flight budget.  When a class is saturated:
+
+* ``point`` queries **degrade** — they are answered immediately from
+  the pinned landmark rows (an O(L) upper bound, no shard I/O) and the
+  response is flagged ``approx=True`` / ``status="degraded"``;
+* ``row`` and ``topk`` queries (which are orders of magnitude heavier)
+  are **shed** with ``status="shed"`` so the caller can retry — they
+  have no cheap approximation.
+
+All outcomes are counted (``serve.admission.{admitted,degraded,shed}``)
+so the traffic bench can report the saturation point as data rather
+than as a stuck process.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from ..exceptions import ServeError
+from ..obs import metrics as _obs
+from .engine import QueryEngine
+
+__all__ = ["QUERY_CLASSES", "AdmissionPolicy", "QueryResponse",
+           "ServeFrontend"]
+
+QUERY_CLASSES = ("point", "row", "topk")
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Per-class in-flight budgets (requests, not bytes)."""
+
+    max_point: int = 64
+    max_row: int = 4
+    max_topk: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("max_point", "max_row", "max_topk"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise ServeError(
+                    f"{name} must be an int >= 1, got {value!r}"
+                )
+
+    def limit(self, klass: str) -> int:
+        return {"point": self.max_point, "row": self.max_row,
+                "topk": self.max_topk}[klass]
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One answered (or refused) request.
+
+    ``status`` is ``"ok"`` (exact), ``"degraded"`` (landmark upper
+    bound, only ever for ``point``) or ``"shed"`` (refused under
+    saturation, ``value is None``).  ``approx`` is True exactly for
+    degraded responses, so a caller can trust ``approx=False`` answers
+    bit-for-bit.
+    """
+
+    klass: str
+    value: Any
+    status: str = "ok"
+    approx: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        if self.status not in ("ok", "degraded", "shed"):
+            raise ServeError(f"unknown response status {self.status!r}")
+
+
+class ServeFrontend:
+    """Thread-safe admission wrapper around a :class:`QueryEngine`."""
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        *,
+        policy: Optional[AdmissionPolicy] = None,
+    ) -> None:
+        self.engine = engine
+        self.policy = policy or AdmissionPolicy()
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, int] = {k: 0 for k in QUERY_CLASSES}
+        self.counts: Dict[str, int] = {
+            "admitted": 0, "degraded": 0, "shed": 0,
+        }
+
+    def inflight(self) -> Mapping[str, int]:
+        with self._lock:
+            return dict(self._inflight)
+
+    def _admit(self, klass: str) -> bool:
+        with self._lock:
+            if self._inflight[klass] >= self.policy.limit(klass):
+                return False
+            self._inflight[klass] += 1
+            self.counts["admitted"] += 1
+        _obs.counter_add("serve.admission.admitted", 1)
+        return True
+
+    def _release(self, klass: str) -> None:
+        with self._lock:
+            self._inflight[klass] -= 1
+
+    def point(self, u: int, v: int) -> QueryResponse:
+        if not self._admit("point"):
+            with self._lock:
+                self.counts["degraded"] += 1
+            _obs.counter_add("serve.admission.degraded", 1)
+            return QueryResponse(
+                klass="point",
+                value=self.engine.dist_approx(u, v),
+                status="degraded",
+                approx=True,
+            )
+        try:
+            return QueryResponse(klass="point", value=self.engine.dist(u, v))
+        finally:
+            self._release("point")
+
+    def row(self, u: int) -> QueryResponse:
+        if not self._admit("row"):
+            with self._lock:
+                self.counts["shed"] += 1
+            _obs.counter_add("serve.admission.shed", 1)
+            return QueryResponse(klass="row", value=None, status="shed")
+        try:
+            return QueryResponse(klass="row", value=self.engine.dist_from(u))
+        finally:
+            self._release("row")
+
+    def topk(self, u: int, k: int) -> QueryResponse:
+        if not self._admit("topk"):
+            with self._lock:
+                self.counts["shed"] += 1
+            _obs.counter_add("serve.admission.shed", 1)
+            return QueryResponse(klass="topk", value=None, status="shed")
+        try:
+            return QueryResponse(klass="topk", value=self.engine.top_k(u, k))
+        finally:
+            self._release("topk")

@@ -1,0 +1,355 @@
+"""Deterministic query-serving bench → ``BENCH_serve.json``.
+
+CI's ``serve-smoke`` job runs this module, then gates with
+:mod:`repro.obs.regress` against the committed baseline
+(``benchmarks/baselines/BENCH_serve.json``).  One run:
+
+1. builds a :class:`~repro.serve.store.DistStore` from the same seeded
+   R-MAT graph the perf smoke uses, streaming shard-by-shard (the n×n
+   matrix never materialises), and fingerprints the store bytes — the
+   build is flags-off and serial, so the crc is machine-independent
+   and gates exactly;
+2. replays the **pinned Zipfian trace** through the virtual-time model
+   twice — optimised (LRU cache + coalescing + micro-batching) and
+   naive (every query loads its shard) — and *requires* the optimised
+   path to win on both shard loads and mean virtual latency before an
+   artifact is even written;
+3. replays a saturating burst (same trace at many times the rate under
+   a tight admission budget) and requires graceful degradation:
+   flagged approximate answers, zero unbounded queueing;
+4. injects one :class:`~repro.faults.StoreCorruptionSpec`, requires
+   detection (:class:`~repro.exceptions.StoreCorruptionError`) and
+   byte-exact repair;
+5. pushes the trace through the *real* threaded front end once as a
+   smoke of the locking paths (wall numbers recorded, never gated).
+
+Regenerate the baseline after an intentional serving change::
+
+    PYTHONPATH=src python -m repro.serve.bench \
+        --out benchmarks/baselines/BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+import zlib
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..exceptions import BenchmarkError, StoreCorruptionError
+from ..faults import StoreCorruptionSpec
+from ..graphs.rmat import rmat
+from ..obs.artifact import build_artifact, write_artifact
+from ..obs.metrics import MetricsRegistry, use_registry
+from .admission import AdmissionPolicy, ServeFrontend
+from .engine import QueryEngine
+from .replay import ServeCostModel, replay_threaded, replay_virtual
+from .store import solve_to_store
+from .traffic import TrafficSpec, generate_trace
+
+__all__ = ["run_serve_smoke", "main"]
+
+#: workload identity — bump when any knob below changes so a stale
+#: baseline fails on params instead of on mysterious counters
+WORKLOAD_REV = 1
+DEFAULT_SCALE = 7
+DEFAULT_EDGE_FACTOR = 8
+DEFAULT_SEED = 5
+DEFAULT_SHARD_ROWS = 16
+DEFAULT_CACHE_SHARDS = 3
+DEFAULT_LANDMARKS = 8
+DEFAULT_SERVERS = 2
+
+#: the pinned trace CI replays (seeded ⇒ identical on every host)
+SMOKE_TRAFFIC = TrafficSpec(
+    num_requests=512, rate=2000.0, zipf_s=1.1, seed=13,
+    row_frac=0.02, topk_frac=0.05, topk_k=10,
+)
+
+#: the saturating burst: same popularity law, 20× the rate, replayed
+#: under a tight point budget — must degrade gracefully, not queue
+SATURATION_RATE = 40000.0
+SATURATION_POLICY = AdmissionPolicy(max_point=8, max_row=2, max_topk=2)
+
+#: the corruption drill: damage shard 1, expect detection + exact repair
+SMOKE_CORRUPTION = StoreCorruptionSpec(shard=1, nbytes=8, seed=3)
+
+
+def _store_fingerprint(store) -> int:
+    """crc32 over the manifest's per-shard checksums — one number that
+    changes if any stored byte changes, gated exactly in CI (stores are
+    byte-deterministic by construction)."""
+    joined = ",".join(
+        f"{entry['crc32']:08x}" for entry in store.manifest["shards"]
+    )
+    joined += f",{store.manifest['landmarks']['crc32']:08x}"
+    return zlib.crc32(joined.encode()) & 0xFFFFFFFF
+
+
+def run_serve_smoke(
+    *,
+    scale: int = DEFAULT_SCALE,
+    edge_factor: int = DEFAULT_EDGE_FACTOR,
+    seed: int = DEFAULT_SEED,
+    shard_rows: int = DEFAULT_SHARD_ROWS,
+    cache_shards: int = DEFAULT_CACHE_SHARDS,
+    store_dir: Optional[str] = None,
+) -> Tuple[Dict[str, object], MetricsRegistry]:
+    """Run the serving smoke; returns ``(artifact, registry)``.
+
+    Raises :class:`~repro.exceptions.BenchmarkError` if any of the
+    bench's own invariants fail (optimised not beating naive, no
+    degradation under saturation, corruption not detected or not
+    exactly repaired) — CI then fails before regress even runs.
+    """
+    graph = rmat(
+        scale,
+        edge_factor=edge_factor,
+        seed=seed,
+        name=f"rmat-s{scale}-ef{edge_factor}",
+    )
+    n = graph.num_vertices
+    tmp = None
+    if store_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-serve-smoke-")
+        store_dir = tmp.name + "/store"
+    try:
+        registry = MetricsRegistry()
+        t0 = time.perf_counter()
+        with use_registry(registry):
+            store = solve_to_store(
+                graph,
+                store_dir,
+                shard_rows=shard_rows,
+                num_landmarks=DEFAULT_LANDMARKS,
+            )
+        build_wall = time.perf_counter() - t0
+
+        trace = generate_trace(SMOKE_TRAFFIC, n)
+        policy = AdmissionPolicy()
+        cost = ServeCostModel()
+        opt = replay_virtual(
+            trace, n=n, shard_rows=shard_rows, policy=policy, cost=cost,
+            cache_shards=cache_shards, num_servers=DEFAULT_SERVERS,
+            optimized=True,
+        )
+        naive = replay_virtual(
+            trace, n=n, shard_rows=shard_rows, policy=policy, cost=cost,
+            cache_shards=cache_shards, num_servers=DEFAULT_SERVERS,
+            optimized=False,
+        )
+        if opt.counters["shard_loads"] >= naive.counters["shard_loads"]:
+            raise BenchmarkError(
+                "serve smoke: coalescing+batching did not reduce shard "
+                f"loads ({opt.counters['shard_loads']} vs naive "
+                f"{naive.counters['shard_loads']})"
+            )
+        if opt.mean_latency() >= naive.mean_latency():
+            raise BenchmarkError(
+                "serve smoke: optimised mean virtual latency "
+                f"{opt.mean_latency():g}s is not below naive "
+                f"{naive.mean_latency():g}s"
+            )
+
+        burst = generate_trace(
+            TrafficSpec(
+                num_requests=SMOKE_TRAFFIC.num_requests,
+                rate=SATURATION_RATE,
+                zipf_s=SMOKE_TRAFFIC.zipf_s,
+                seed=SMOKE_TRAFFIC.seed,
+                row_frac=SMOKE_TRAFFIC.row_frac,
+                topk_frac=SMOKE_TRAFFIC.topk_frac,
+                topk_k=SMOKE_TRAFFIC.topk_k,
+            ),
+            n,
+        )
+        sat = replay_virtual(
+            burst, n=n, shard_rows=shard_rows, policy=SATURATION_POLICY,
+            cost=cost, cache_shards=cache_shards,
+            num_servers=DEFAULT_SERVERS, optimized=True,
+        )
+        if sat.counters["degraded"] == 0:
+            raise BenchmarkError(
+                "serve smoke: saturating burst produced no degraded "
+                "(approximate) answers — admission control is not "
+                "engaging"
+            )
+        answered = (
+            sat.counters["admitted"] + sat.counters["degraded"]
+            + sat.counters["shed"]
+        )
+        if answered != len(burst):
+            raise BenchmarkError(
+                f"serve smoke: {len(burst)} requests in, {answered} "
+                "outcomes out — requests are queueing unboundedly"
+            )
+
+        # corruption drill: detection must fire, repair must be exact
+        shard_file = Path(store.path) / store.manifest["shards"][
+            SMOKE_CORRUPTION.shard]["file"]
+        before = shard_file.read_bytes()
+        SMOKE_CORRUPTION.apply(shard_file)
+        try:
+            store.verify()
+        except StoreCorruptionError as exc:
+            if SMOKE_CORRUPTION.shard not in exc.shards:
+                raise BenchmarkError(
+                    f"serve smoke: corruption reported {exc.shards}, "
+                    f"expected shard {SMOKE_CORRUPTION.shard}"
+                )
+        else:
+            raise BenchmarkError(
+                "serve smoke: store corruption went undetected"
+            )
+        with use_registry(registry):
+            repaired = store.repair(graph)
+        if repaired != [SMOKE_CORRUPTION.shard]:
+            raise BenchmarkError(
+                f"serve smoke: repair touched {repaired}, expected "
+                f"[{SMOKE_CORRUPTION.shard}]"
+            )
+        if shard_file.read_bytes() != before:
+            raise BenchmarkError(
+                "serve smoke: repaired shard is not byte-identical to "
+                "the original"
+            )
+
+        # real-thread smoke of the locking paths; wall-only, not gated
+        engine = QueryEngine(store, cache_shards=cache_shards)
+        frontend = ServeFrontend(engine, policy=policy)
+        t0 = time.perf_counter()
+        threaded, responses = replay_threaded(trace, frontend,
+                                              num_threads=4)
+        threaded_wall = time.perf_counter() - t0
+        exact_point = sum(
+            1
+            for req, resp in zip(trace, responses)
+            if req.kind == "point" and resp.status == "ok"
+            and resp.value == float(engine.dist(req.u, req.v))
+        )
+        ok_point = sum(
+            1
+            for req, resp in zip(trace, responses)
+            if req.kind == "point" and resp.status == "ok"
+        )
+        if exact_point != ok_point:
+            raise BenchmarkError(
+                "serve smoke: threaded front end returned inexact "
+                "answers without flagging them approximate"
+            )
+
+        serve: Dict[str, float] = {
+            "serve.store.fingerprint": float(_store_fingerprint(store)),
+            "serve.store.num_shards": float(store.num_shards),
+            "serve.naive.shard_loads": float(naive.counters["shard_loads"]),
+            "serve.naive.mean_ms": naive.mean_latency() * 1e3,
+            "serve.naive.p99_ms": naive.percentile_latency(99) * 1e3,
+            "serve.opt.shard_loads": float(opt.counters["shard_loads"]),
+            "serve.opt.cache_hits": float(opt.counters["cache_hits"]),
+            "serve.opt.coalesced": float(opt.counters["coalesced"]),
+            "serve.opt.batches": float(opt.counters["batches"]),
+            "serve.opt.gathers": float(opt.counters["gathers"]),
+            "serve.opt.degraded": float(opt.counters["degraded"]),
+            "serve.opt.shed": float(opt.counters["shed"]),
+            "serve.opt.hit_rate": opt.hit_rate(),
+            "serve.opt.mean_ms": opt.mean_latency() * 1e3,
+            "serve.opt.p50_ms": opt.percentile_latency(50) * 1e3,
+            "serve.opt.p99_ms": opt.percentile_latency(99) * 1e3,
+            "serve.opt.mean_speedup":
+                naive.mean_latency() / opt.mean_latency(),
+            "serve.sat.degraded": float(sat.counters["degraded"]),
+            "serve.sat.shed": float(sat.counters["shed"]),
+            "serve.sat.admitted": float(sat.counters["admitted"]),
+        }
+        artifact = build_artifact(
+            "serve-smoke",
+            params={
+                "workload_rev": WORKLOAD_REV,
+                "graph": graph.name,
+                "n": int(n),
+                "m": int(graph.num_edges),
+                "rmat_scale": scale,
+                "rmat_edge_factor": edge_factor,
+                "rmat_seed": seed,
+                "shard_rows": shard_rows,
+                "cache_shards": cache_shards,
+                "num_landmarks": DEFAULT_LANDMARKS,
+                "num_servers": DEFAULT_SERVERS,
+                "traffic_requests": SMOKE_TRAFFIC.num_requests,
+                "traffic_rate": SMOKE_TRAFFIC.rate,
+                "traffic_zipf_s": SMOKE_TRAFFIC.zipf_s,
+                "traffic_seed": SMOKE_TRAFFIC.seed,
+                "saturation_rate": SATURATION_RATE,
+            },
+            timings={
+                "wall.store_build": build_wall,
+                "wall.threaded_replay": threaded_wall,
+            },
+            registry=registry,
+            serve=serve,
+        )
+        return artifact, registry
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.bench",
+        description="run the deterministic query-serving bench and "
+        "write its BENCH artifact",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_serve.json", help="artifact path to write"
+    )
+    parser.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    parser.add_argument(
+        "--edge-factor", type=int, default=DEFAULT_EDGE_FACTOR
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--shard-rows", type=int, default=DEFAULT_SHARD_ROWS
+    )
+    parser.add_argument(
+        "--cache-shards", type=int, default=DEFAULT_CACHE_SHARDS
+    )
+    args = parser.parse_args(argv)
+    artifact, _ = run_serve_smoke(
+        scale=args.scale,
+        edge_factor=args.edge_factor,
+        seed=args.seed,
+        shard_rows=args.shard_rows,
+        cache_shards=args.cache_shards,
+    )
+    path = write_artifact(args.out, artifact)
+    serve = artifact["serve"]
+    print(f"wrote {path}")
+    print(
+        "  loads: naive={:d} opt={:d}  hit_rate={:.2f}  "
+        "mean: naive={:.3f}ms opt={:.3f}ms ({:.1f}x)".format(
+            int(serve["serve.naive.shard_loads"]),
+            int(serve["serve.opt.shard_loads"]),
+            serve["serve.opt.hit_rate"],
+            serve["serve.naive.mean_ms"],
+            serve["serve.opt.mean_ms"],
+            serve["serve.opt.mean_speedup"],
+        )
+    )
+    print(
+        "  saturation: degraded={:d} shed={:d} admitted={:d}  "
+        "p99={:.3f}ms".format(
+            int(serve["serve.sat.degraded"]),
+            int(serve["serve.sat.shed"]),
+            int(serve["serve.sat.admitted"]),
+            serve["serve.opt.p99_ms"],
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,235 @@
+"""Query engine: LRU shard cache, request coalescing, batched gathers.
+
+The serving hot path never touches the solver — it is pure data
+movement over a :class:`~repro.serve.store.DistStore`:
+
+* an **LRU shard cache** keeps the ``cache_shards`` most recently used
+  shards in RAM (hits/misses/evictions counted, both locally and as
+  ``serve.cache.*`` obs counters);
+* **request coalescing** — concurrent queries for the same uncached
+  shard elect one loader; the rest wait on its event instead of issuing
+  duplicate disk reads (``serve.cache.coalesced``);
+* **micro-batching** — :meth:`QueryEngine.dist_batch` groups point
+  queries by source shard and answers each group with one vectorized
+  gather (``serve.batch.gathers`` per group vs ``serve.batch.queries``
+  per query).
+
+Degraded answers (:meth:`dist_approx`) come from the store's pinned
+landmark rows: ``min_l d(l,u) + d(l,v)`` is an upper bound on
+``d(u,v)`` for symmetric graphs by the triangle inequality, costs O(L)
+with no shard I/O, and is always flagged as approximate by the
+admission layer (:mod:`repro.serve.admission`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ServeError
+from ..obs import metrics as _obs
+from ..types import INF
+from .store import DistStore
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Point / row / top-k queries over a :class:`DistStore`."""
+
+    def __init__(
+        self,
+        store: DistStore,
+        *,
+        cache_shards: int = 4,
+        verify_loads: bool = True,
+    ) -> None:
+        if cache_shards < 1:
+            raise ServeError(
+                f"cache_shards must be >= 1, got {cache_shards!r}"
+            )
+        self.store = store
+        self.cache_shards = cache_shards
+        self.verify_loads = verify_loads
+        self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._loading: Dict[int, threading.Event] = {}
+        self._landmarks: "np.ndarray | None" = None
+        self.stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "coalesced": 0,
+            "shard_loads": 0,
+            "batch_queries": 0,
+            "batch_gathers": 0,
+            "approx_answers": 0,
+        }
+
+    # -- cache ----------------------------------------------------------
+
+    def _get_shard(self, index: int) -> np.ndarray:
+        """Cached shard fetch with single-flight coalescing."""
+        while True:
+            with self._lock:
+                cached = self._cache.get(index)
+                if cached is not None:
+                    self._cache.move_to_end(index)
+                    self.stats["hits"] += 1
+                    _obs.counter_add("serve.cache.hits", 1)
+                    return cached
+                event = self._loading.get(index)
+                if event is None:
+                    event = threading.Event()
+                    self._loading[index] = event
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                # someone else is already reading this shard from disk;
+                # wait for them, then retry the cache (the shard may be
+                # evicted again before we wake — hence the loop)
+                with self._lock:
+                    self.stats["coalesced"] += 1
+                _obs.counter_add("serve.cache.coalesced", 1)
+                event.wait()
+                continue
+            try:
+                arr = self.store.load_shard(index, verify=self.verify_loads)
+            finally:
+                # on load failure the waiters must not hang; they will
+                # retry, elect a new leader and surface the same error
+                with self._lock:
+                    self._loading.pop(index, None)
+                event.set()
+            with self._lock:
+                self.stats["misses"] += 1
+                self.stats["shard_loads"] += 1
+                _obs.counter_add("serve.cache.misses", 1)
+                self._cache[index] = arr
+                self._cache.move_to_end(index)
+                while len(self._cache) > self.cache_shards:
+                    self._cache.popitem(last=False)
+                    self.stats["evictions"] += 1
+                    _obs.counter_add("serve.cache.evictions", 1)
+            return arr
+
+    # -- queries --------------------------------------------------------
+
+    def _check_vertex(self, vertex: int, name: str) -> None:
+        if not isinstance(vertex, (int, np.integer)) \
+                or isinstance(vertex, bool):
+            raise ServeError(f"{name} must be an int, got {vertex!r}")
+        if not 0 <= vertex < self.store.n:
+            raise ServeError(
+                f"{name}={vertex} out of range for store of n={self.store.n}"
+            )
+
+    def dist(self, u: int, v: int) -> float:
+        """Exact ``d(u, v)`` (``inf`` if unreachable)."""
+        self._check_vertex(u, "u")
+        self._check_vertex(v, "v")
+        with _obs.span("serve.query.point"):
+            index = self.store.shard_of(u)
+            start, _ = self.store.shard_span(index)
+            return float(self._get_shard(index)[u - start, v])
+
+    def dist_from(self, u: int) -> np.ndarray:
+        """Exact distance row ``d(u, ·)`` as a private copy."""
+        self._check_vertex(u, "u")
+        with _obs.span("serve.query.row"):
+            index = self.store.shard_of(u)
+            start, _ = self.store.shard_span(index)
+            return self._get_shard(index)[u - start].copy()
+
+    def top_k(self, u: int, k: int) -> List[Tuple[int, float]]:
+        """The ``k`` nearest reachable vertices to ``u`` (excluding ``u``).
+
+        Returns ``(vertex, distance)`` pairs sorted by distance, ties
+        broken by vertex id; fewer than ``k`` if the component is small.
+        """
+        self._check_vertex(u, "u")
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ServeError(f"k must be an int >= 1, got {k!r}")
+        with _obs.span("serve.query.topk"):
+            index = self.store.shard_of(u)
+            start, _ = self.store.shard_span(index)
+            row = self._get_shard(index)[u - start]
+            reachable = np.flatnonzero((row < INF) & (np.arange(len(row)) != u))
+            if len(reachable) > k:
+                part = reachable[np.argpartition(row[reachable], k - 1)[:k]]
+            else:
+                part = reachable
+            order = np.lexsort((part, row[part]))
+            return [(int(part[i]), float(row[part[i]])) for i in order]
+
+    def dist_batch(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+        """Answer many point queries with one gather per source shard."""
+        for u, v in pairs:
+            self._check_vertex(u, "u")
+            self._check_vertex(v, "v")
+        out = np.empty(len(pairs), dtype=np.float64)
+        if not pairs:
+            return out
+        with _obs.span("serve.query.batch"):
+            us = np.fromiter((p[0] for p in pairs), dtype=np.int64,
+                             count=len(pairs))
+            vs = np.fromiter((p[1] for p in pairs), dtype=np.int64,
+                             count=len(pairs))
+            shard_ids = us // self.store.shard_rows
+            self.stats["batch_queries"] += len(pairs)
+            _obs.counter_add("serve.batch.queries", len(pairs))
+            for index in np.unique(shard_ids):
+                mask = shard_ids == index
+                start, _ = self.store.shard_span(int(index))
+                arr = self._get_shard(int(index))
+                out[mask] = arr[us[mask] - start, vs[mask]]
+                self.stats["batch_gathers"] += 1
+                _obs.counter_add("serve.batch.gathers", 1)
+        return out
+
+    # -- degraded mode --------------------------------------------------
+
+    @property
+    def num_landmarks(self) -> int:
+        return len(self.store.landmark_ids)
+
+    def dist_approx(self, u: int, v: int) -> float:
+        """Landmark upper bound on ``d(u, v)`` — no shard I/O.
+
+        ``min_l d(l,u) + d(l,v)`` over the store's pinned landmarks.
+        For symmetric (undirected) graphs this is a triangle-inequality
+        upper bound; exact whenever a shortest path passes through a
+        landmark (which Zipf-popular hubs often are).  The admission
+        layer only serves this under saturation and always flags it.
+        """
+        self._check_vertex(u, "u")
+        self._check_vertex(v, "v")
+        if self.num_landmarks == 0:
+            raise ServeError(
+                "store has no pinned landmarks; approximate answers "
+                "are unavailable (build with num_landmarks > 0)"
+            )
+        with _obs.span("serve.query.approx"):
+            if self._landmarks is None:
+                self._landmarks = self.store.landmark_rows(
+                    verify=self.verify_loads
+                )
+            bound = float(np.min(self._landmarks[:, u] + self._landmarks[:, v]))
+        self.stats["approx_answers"] += 1
+        _obs.counter_add("serve.query.approx", 1)
+        return bound
+
+    # -- introspection --------------------------------------------------
+
+    def hit_rate(self) -> float:
+        """Cache hit rate over all shard fetches so far (1.0 if none)."""
+        total = self.stats["hits"] + self.stats["misses"]
+        return self.stats["hits"] / total if total else 1.0
+
+    def cached_shards(self) -> List[int]:
+        with self._lock:
+            return list(self._cache)

@@ -1,0 +1,299 @@
+"""Trace replay: deterministic virtual time and real threads.
+
+Two replays of the same :mod:`repro.serve.traffic` trace:
+
+* :func:`replay_virtual` — a discrete-event model on the
+  :class:`repro.simx.engine.ThreadClockQueue` core: ``num_servers``
+  virtual servers, an LRU shard cache, in-flight coalescing, point
+  micro-batching and the per-class admission policy, all advancing a
+  virtual clock through a :class:`ServeCostModel`.  Fully deterministic
+  — this is what CI gates (`latency percentiles don't depend on the
+  machine CI happens to run on`_, same reasoning as ``repro.simx``).
+* :func:`replay_threaded` — the same trace pushed through the *real*
+  :class:`~repro.serve.admission.ServeFrontend` on a thread pool.
+  Exercises the true locking/coalescing code and yields wall-clock
+  latencies; never gated (wall time is noise in CI), but the bench
+  cross-checks that both replays agree on exact-answer values.
+
+.. _latency percentiles don't depend on the machine CI happens to run on:
+   replacing time with arithmetic is the whole point of the simulator.
+
+The virtual cache model deliberately mirrors :class:`QueryEngine`
+semantics (LRU by shard id, single-flight loads) but tracks only shard
+*ids* and load-completion times, never data — replaying a million
+requests costs a millisecond per thousand, not gigabytes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ServeError
+from ..simx.engine import ThreadClockQueue
+from .admission import AdmissionPolicy, ServeFrontend
+from .traffic import Request
+
+__all__ = ["ServeCostModel", "ReplayResult", "replay_virtual",
+           "replay_threaded"]
+
+
+@dataclass(frozen=True)
+class ServeCostModel:
+    """Virtual service costs, in virtual seconds.
+
+    ``load_base + load_per_mb × shard_MB`` models a shard read (seek
+    plus streaming); everything else is CPU-side work.  Values are
+    stylised — the bench's claims are *relative* (optimised vs naive on
+    identical costs), so only the load ≫ hit ordering matters, which
+    holds on any real storage stack.
+    """
+
+    load_base: float = 1e-3
+    load_per_mb: float = 5e-3
+    hit_cost: float = 2e-5
+    point_cost: float = 5e-6
+    gather_cost: float = 2e-5
+    row_cost: float = 2e-4
+    topk_cost: float = 3e-4
+    approx_cost: float = 1e-5
+
+    def load_cost(self, shard_bytes: int) -> float:
+        return self.load_base + self.load_per_mb * (shard_bytes / 2**20)
+
+
+@dataclass
+class ReplayResult:
+    """Latencies (seconds, per class) and event counters of one replay."""
+
+    latencies: Dict[str, List[float]] = field(
+        default_factory=lambda: {"point": [], "row": [], "topk": []}
+    )
+    counters: Dict[str, int] = field(
+        default_factory=lambda: {
+            "admitted": 0, "degraded": 0, "shed": 0,
+            "shard_loads": 0, "cache_hits": 0, "coalesced": 0,
+            "batches": 0, "gathers": 0,
+        }
+    )
+
+    def all_latencies(self) -> np.ndarray:
+        merged: List[float] = []
+        for values in self.latencies.values():
+            merged.extend(values)
+        return np.asarray(merged, dtype=np.float64)
+
+    def mean_latency(self) -> float:
+        lat = self.all_latencies()
+        return float(lat.mean()) if len(lat) else 0.0
+
+    def percentile_latency(self, q: float) -> float:
+        lat = self.all_latencies()
+        return float(np.percentile(lat, q)) if len(lat) else 0.0
+
+    def hit_rate(self) -> float:
+        total = self.counters["cache_hits"] + self.counters["shard_loads"]
+        return self.counters["cache_hits"] / total if total else 1.0
+
+
+class _VirtualCache:
+    """LRU over shard ids with load-completion times (no data).
+
+    ``fetch(shard, at)`` returns ``(ready_time, is_hit, coalesced)``:
+    a miss schedules a load finishing at ``at + load``; a hit whose
+    load is still in flight at ``at`` *coalesces* — the caller waits
+    for the in-flight load instead of issuing its own, exactly like
+    :meth:`QueryEngine._get_shard`'s single-flight event.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._ready: "OrderedDict[int, float]" = OrderedDict()
+
+    def fetch(self, shard: int, at: float,
+              load: float) -> Tuple[float, bool, bool]:
+        ready = self._ready.get(shard)
+        if ready is not None:
+            self._ready.move_to_end(shard)
+            if ready > at:
+                return ready, True, True
+            return at, True, False
+        ready = at + load
+        self._ready[shard] = ready
+        while len(self._ready) > self.capacity:
+            self._ready.popitem(last=False)
+        return ready, False, False
+
+
+def replay_virtual(
+    requests: Sequence[Request],
+    *,
+    n: int,
+    shard_rows: int,
+    policy: Optional[AdmissionPolicy] = None,
+    cost: Optional[ServeCostModel] = None,
+    cache_shards: int = 4,
+    num_servers: int = 2,
+    optimized: bool = True,
+    batch_window: float = 2e-3,
+    batch_max: int = 32,
+) -> ReplayResult:
+    """Deterministically replay a trace in virtual time.
+
+    ``optimized=False`` is the *naive per-query path*: no cache, no
+    coalescing, no batching — every query loads its shard.  The bench
+    gate is precisely ``optimized`` beating this on shard loads and
+    mean latency over the same trace and cost model.
+    """
+    if n < 1 or shard_rows < 1:
+        raise ServeError("replay needs n >= 1 and shard_rows >= 1")
+    policy = policy or AdmissionPolicy()
+    cost = cost or ServeCostModel()
+    result = ReplayResult()
+    servers = ThreadClockQueue(num_servers)
+    cache = _VirtualCache(cache_shards)
+    shard_bytes = shard_rows * n * 8
+    load = cost.load_cost(shard_bytes)
+    # finish times of in-flight requests per class, boxed in one-element
+    # lists so an open batch can hold a slot (inf = still buffered,
+    # counting against the budget) and fill it in at flush time
+    inflight: Dict[str, List[List[float]]] = {
+        "point": [], "row": [], "topk": [],
+    }
+
+    def inflight_depth(klass: str, now: float) -> int:
+        alive = [box for box in inflight[klass] if box[0] > now]
+        inflight[klass] = alive
+        return len(alive)
+
+    def fetch(shard: int, at: float) -> float:
+        """Time at which the shard's bytes are available from ``at``."""
+        if not optimized:
+            result.counters["shard_loads"] += 1
+            return at + load
+        ready, hit, coalesced = cache.fetch(shard, at, load)
+        if hit:
+            result.counters["cache_hits"] += 1
+            if coalesced:
+                result.counters["coalesced"] += 1
+        else:
+            result.counters["shard_loads"] += 1
+        return ready
+
+    batch: List[Request] = []
+    batch_slots: List[List[float]] = []  # the buffered queries' boxes
+
+    def flush_batch() -> None:
+        if not batch:
+            return
+        flush_t = batch[0].arrival + batch_window
+        if len(batch) >= batch_max:
+            flush_t = min(flush_t, batch[-1].arrival)
+        clock, server = servers.pop_earliest()
+        current = max(clock, flush_t)
+        groups: Dict[int, List[Request]] = {}
+        for req in batch:
+            groups.setdefault(req.u // shard_rows, []).append(req)
+        for shard, members in sorted(groups.items()):
+            current = fetch(shard, current)
+            current += cost.gather_cost + cost.point_cost * len(members)
+            result.counters["gathers"] += 1
+        servers.advance(server, current)
+        result.counters["batches"] += 1
+        for box, req in zip(batch_slots, batch):
+            box[0] = current
+            result.latencies["point"].append(current - req.arrival)
+        batch.clear()
+        batch_slots.clear()
+
+    for req in requests:
+        if optimized and batch and (
+            req.arrival > batch[0].arrival + batch_window
+            or len(batch) >= batch_max
+        ):
+            flush_batch()
+        depth = inflight_depth(req.kind, req.arrival)
+        if depth >= policy.limit(req.kind):
+            if req.kind == "point":
+                result.counters["degraded"] += 1
+                result.latencies["point"].append(cost.approx_cost)
+            else:
+                result.counters["shed"] += 1
+            continue
+        result.counters["admitted"] += 1
+        if req.kind == "point" and optimized:
+            box = [float("inf")]
+            inflight["point"].append(box)
+            batch_slots.append(box)
+            batch.append(req)
+            continue
+        clock, server = servers.pop_earliest()
+        start = max(clock, req.arrival)
+        shard = req.u // shard_rows
+        ready = fetch(shard, start)
+        if req.kind == "point":
+            finish = ready + cost.point_cost
+        elif req.kind == "row":
+            finish = ready + cost.row_cost
+        else:
+            finish = ready + cost.topk_cost
+        servers.advance(server, finish)
+        inflight[req.kind].append([finish])
+        result.latencies[req.kind].append(finish - req.arrival)
+    flush_batch()
+    return result
+
+
+def replay_threaded(
+    requests: Sequence[Request],
+    frontend: ServeFrontend,
+    *,
+    num_threads: int = 4,
+) -> "Tuple[ReplayResult, List[object]]":
+    """Push the trace through the real front end on a thread pool.
+
+    Arrival pacing is compressed (no sleeps — CI time is precious);
+    what this exercises is the genuine lock/coalescing/admission code
+    under real concurrency.  Returns the replay result plus the raw
+    :class:`~repro.serve.admission.QueryResponse` list in request
+    order, so callers can cross-check exact answers against the
+    virtual replay's ground truth.
+    """
+    import time
+    from concurrent.futures import ThreadPoolExecutor
+
+    if num_threads < 1:
+        raise ServeError(f"num_threads must be >= 1, got {num_threads!r}")
+    result = ReplayResult()
+
+    def serve(req: Request):
+        t0 = time.perf_counter()
+        if req.kind == "point":
+            resp = frontend.point(req.u, req.v)
+        elif req.kind == "row":
+            resp = frontend.row(req.u)
+        else:
+            resp = frontend.topk(req.u, req.k)
+        return req, resp, time.perf_counter() - t0
+
+    with ThreadPoolExecutor(max_workers=num_threads) as pool:
+        outcomes = list(pool.map(serve, requests))
+    responses: List[object] = []
+    for req, resp, elapsed in outcomes:
+        responses.append(resp)
+        if resp.status == "shed":
+            result.counters["shed"] += 1
+            continue
+        if resp.status == "degraded":
+            result.counters["degraded"] += 1
+        else:
+            result.counters["admitted"] += 1
+        result.latencies[req.kind].append(elapsed)
+    engine = frontend.engine
+    result.counters["shard_loads"] = engine.stats["shard_loads"]
+    result.counters["cache_hits"] = engine.stats["hits"]
+    result.counters["coalesced"] = engine.stats["coalesced"]
+    return result, responses

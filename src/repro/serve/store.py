@@ -1,0 +1,411 @@
+"""Sharded on-disk distance store (``repro.serve.store/1``).
+
+The APSP result for a production-sized graph does not fit in RAM (the
+Spark APSP study measures sx-superuser at ≈160 GB), so the serving
+layer never materialises n×n.  A :class:`DistStore` is a directory:
+
+.. code-block:: text
+
+    store/
+      manifest.json     schema, shapes, per-shard checksums, config
+      shard_00000.bin   rows [0, shard_rows)       raw little-endian f8
+      shard_00001.bin   rows [shard_rows, 2·shard_rows)
+      ...
+      landmarks.bin     pinned landmark rows for degraded answers
+
+built shard-by-shard from :func:`repro.core.runner.solve_apsp_shards`,
+so peak resident memory during the build is O(shard_rows × n) — one
+buffer — never O(n²).
+
+Stores are **byte-deterministic**: the build forces ``use_flags=False``
+(every source an independent Dijkstra), which makes shard bytes
+independent of ``shard_rows`` and bitwise-reproducible from the graph
+and the manifest's config alone.  That is what makes the crc32
+checksums meaningful and lets :meth:`DistStore.repair` promise *exact*
+recovery: a repaired shard must reproduce the manifest checksum or the
+repair itself fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..exceptions import ConfigError, StoreCorruptionError, StoreError
+from ..obs import metrics as _obs
+
+__all__ = ["STORE_SCHEMA_VERSION", "DistStore", "solve_to_store"]
+
+STORE_SCHEMA_VERSION = "repro.serve.store/1"
+
+_MANIFEST = "manifest.json"
+_LANDMARKS = "landmarks.bin"
+_DTYPE = np.dtype("<f8")
+
+
+def _crc32(data) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def _shard_file(index: int) -> str:
+    return f"shard_{index:05d}.bin"
+
+
+class DistStore:
+    """Read access to a sharded distance store directory.
+
+    Open with :meth:`DistStore.open`; build with :func:`solve_to_store`.
+    All loads go through :meth:`load_shard`, which checksums the bytes
+    it read (unless told not to) so serving never silently returns
+    rotten distances.
+    """
+
+    def __init__(self, path: "str | os.PathLike", manifest: Dict[str, Any]):
+        self.path = Path(path)
+        self.manifest = manifest
+        self.n: int = manifest["n"]
+        self.shard_rows: int = manifest["shard_rows"]
+        self.num_shards: int = manifest["num_shards"]
+        self.landmark_ids: List[int] = list(manifest["landmarks"]["ids"])
+
+    # -- open / validate ------------------------------------------------
+
+    @classmethod
+    def open(cls, path: "str | os.PathLike") -> "DistStore":
+        path = Path(path)
+        manifest_path = path / _MANIFEST
+        if not manifest_path.is_file():
+            raise StoreError(f"no store manifest at {manifest_path}")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"unreadable store manifest: {exc}") from exc
+        schema = manifest.get("schema")
+        if schema != STORE_SCHEMA_VERSION:
+            raise StoreError(
+                f"store schema mismatch: found {schema!r}, this build "
+                f"reads {STORE_SCHEMA_VERSION!r}"
+            )
+        for key in ("n", "shard_rows", "num_shards", "shards", "landmarks"):
+            if key not in manifest:
+                raise StoreError(f"store manifest missing {key!r}")
+        if len(manifest["shards"]) != manifest["num_shards"]:
+            raise StoreError(
+                f"manifest lists {len(manifest['shards'])} shards but "
+                f"declares num_shards={manifest['num_shards']}"
+            )
+        return cls(path, manifest)
+
+    # -- geometry -------------------------------------------------------
+
+    def shard_of(self, vertex: int) -> int:
+        """Which shard holds ``dist_from(vertex)``."""
+        if not 0 <= vertex < self.n:
+            raise StoreError(
+                f"vertex {vertex} out of range for store of n={self.n}"
+            )
+        return vertex // self.shard_rows
+
+    def shard_span(self, index: int) -> "tuple[int, int]":
+        """``(start_row, num_rows)`` of a shard."""
+        if not 0 <= index < self.num_shards:
+            raise StoreError(
+                f"shard {index} out of range (store has {self.num_shards})"
+            )
+        entry = self.manifest["shards"][index]
+        return entry["start"], entry["rows"]
+
+    def shard_nbytes(self, index: int) -> int:
+        _, rows = self.shard_span(index)
+        return rows * self.n * _DTYPE.itemsize
+
+    # -- loads ----------------------------------------------------------
+
+    def load_shard(self, index: int, *, verify: bool = True) -> np.ndarray:
+        """Read one shard into memory as a ``(rows, n)`` float64 array."""
+        start, rows = self.shard_span(index)
+        entry = self.manifest["shards"][index]
+        fpath = self.path / entry["file"]
+        with _obs.span("serve.store.load"):
+            try:
+                raw = fpath.read_bytes()
+            except OSError as exc:
+                raise StoreError(
+                    f"cannot read shard {index} ({fpath}): {exc}"
+                ) from exc
+            if len(raw) != rows * self.n * _DTYPE.itemsize:
+                raise StoreCorruptionError(
+                    f"shard {index} has {len(raw)} bytes, expected "
+                    f"{rows * self.n * _DTYPE.itemsize}",
+                    shards=(index,),
+                )
+            if verify and _crc32(raw) != entry["crc32"]:
+                _obs.counter_add("serve.store.corruption_detected", 1)
+                raise StoreCorruptionError(
+                    f"shard {index} failed its checksum "
+                    f"(rows [{start}, {start + rows}))",
+                    shards=(index,),
+                )
+        _obs.counter_add("serve.store.shard_loads", 1)
+        arr = np.frombuffer(raw, dtype=_DTYPE).reshape(rows, self.n)
+        # frombuffer views the (immutable) bytes; callers get a private
+        # writable copy so cached shards cannot alias each other
+        return arr.copy()
+
+    def row(self, vertex: int, *, verify: bool = True) -> np.ndarray:
+        """``dist_from(vertex)`` straight from disk (no cache)."""
+        index = self.shard_of(vertex)
+        start, _ = self.shard_span(index)
+        return self.load_shard(index, verify=verify)[vertex - start]
+
+    def landmark_rows(self, *, verify: bool = True) -> np.ndarray:
+        """The pinned ``(L, n)`` landmark rows for degraded answers."""
+        entry = self.manifest["landmarks"]
+        L = len(entry["ids"])
+        if L == 0:
+            return np.empty((0, self.n), dtype=np.float64)
+        fpath = self.path / entry["file"]
+        raw = fpath.read_bytes()
+        if len(raw) != L * self.n * _DTYPE.itemsize:
+            raise StoreCorruptionError(
+                f"landmark file has {len(raw)} bytes, expected "
+                f"{L * self.n * _DTYPE.itemsize}",
+                shards=("landmarks",),
+            )
+        if verify and _crc32(raw) != entry["crc32"]:
+            _obs.counter_add("serve.store.corruption_detected", 1)
+            raise StoreCorruptionError(
+                "landmark rows failed their checksum", shards=("landmarks",)
+            )
+        return np.frombuffer(raw, dtype=_DTYPE).reshape(L, self.n).copy()
+
+    # -- integrity ------------------------------------------------------
+
+    def verify(self) -> None:
+        """Checksum every shard and the landmark file.
+
+        Raises :class:`StoreCorruptionError` carrying the full list of
+        damaged shards (so a caller repairs them all in one pass) —
+        returns ``None`` on a clean store.
+        """
+        bad: List[Any] = []
+        for index, entry in enumerate(self.manifest["shards"]):
+            fpath = self.path / entry["file"]
+            try:
+                raw = fpath.read_bytes()
+            except OSError:
+                bad.append(index)
+                continue
+            expected = entry["rows"] * self.n * _DTYPE.itemsize
+            if len(raw) != expected or _crc32(raw) != entry["crc32"]:
+                bad.append(index)
+        lm = self.manifest["landmarks"]
+        if lm["ids"]:
+            fpath = self.path / lm["file"]
+            try:
+                raw = fpath.read_bytes()
+            except OSError:
+                raw = b""
+            if _crc32(raw) != lm["crc32"]:
+                bad.append("landmarks")
+        if bad:
+            _obs.counter_add("serve.store.corruption_detected", len(bad))
+            raise StoreCorruptionError(
+                f"store verification failed for shards {bad}", shards=bad
+            )
+
+    def repair(self, graph) -> List[Any]:
+        """Re-solve damaged shards from the graph; exact or loud.
+
+        Because stores are byte-deterministic (built flags-off from the
+        manifest's own config), a correct repair must reproduce the
+        original checksum exactly; if it does not, the graph passed in
+        is not the graph the store was built from and we raise rather
+        than quietly install different distances.  Returns the list of
+        shards repaired (empty for a clean store).
+        """
+        from ..config import SolverConfig
+        from ..core.runner import solve_apsp_shards
+
+        try:
+            self.verify()
+            return []
+        except StoreCorruptionError as exc:
+            bad = list(exc.shards)
+
+        if graph.num_vertices != self.n:
+            raise StoreError(
+                f"repair graph has {graph.num_vertices} vertices, store "
+                f"was built for n={self.n}"
+            )
+        cfg = SolverConfig.from_dict(self.manifest["config"])
+        with _obs.span("serve.store.repair"):
+            for index in [b for b in bad if b != "landmarks"]:
+                start, rows = self.shard_span(index)
+                entry = self.manifest["shards"][index]
+                gen = solve_apsp_shards(
+                    graph,
+                    shard_rows=self.shard_rows,
+                    start_row=start,
+                    stop_row=start + rows,
+                    config=cfg,
+                )
+                _, block = next(gen)
+                gen.close()
+                crc = _crc32(np.ascontiguousarray(block))
+                if crc != entry["crc32"]:
+                    raise StoreError(
+                        f"repair of shard {index} produced checksum "
+                        f"{crc:#010x}, manifest says "
+                        f"{entry['crc32']:#010x}; is this the graph the "
+                        "store was built from?"
+                    )
+                (self.path / entry["file"]).write_bytes(
+                    np.ascontiguousarray(block).tobytes()
+                )
+            if "landmarks" in bad:
+                _write_landmarks(self, graph, cfg)
+        _obs.counter_add("serve.store.shards_repaired", len(bad))
+        self.verify()
+        return bad
+
+
+def _landmark_vertices(graph, count: int, degree_kind: str) -> List[int]:
+    from ..graphs.degree import degree_array
+
+    degrees = degree_array(graph, degree_kind)
+    count = min(count, graph.num_vertices)
+    # stable top-degree pick: ties break toward the smaller vertex id
+    order = np.argsort(-degrees, kind="stable")
+    return [int(v) for v in order[:count]]
+
+
+def _write_landmarks(store: DistStore, graph, cfg) -> None:
+    """(Re)build the pinned landmark rows from the graph."""
+    from ..core.runner import solve_apsp_shards
+
+    ids = store.manifest["landmarks"]["ids"]
+    if not ids:
+        return
+    rows = np.empty((len(ids), store.n), dtype=np.float64)
+    for i, vertex in enumerate(ids):
+        start = (vertex // store.shard_rows) * store.shard_rows
+        stop = min(start + store.shard_rows, store.n)
+        gen = solve_apsp_shards(
+            graph,
+            shard_rows=store.shard_rows,
+            start_row=start,
+            stop_row=stop,
+            config=cfg,
+        )
+        _, block = next(gen)
+        gen.close()
+        rows[i] = block[vertex - start]
+    raw = np.ascontiguousarray(rows).tobytes()
+    (store.path / store.manifest["landmarks"]["file"]).write_bytes(raw)
+    if _crc32(raw) != store.manifest["landmarks"]["crc32"]:
+        raise StoreError(
+            "landmark repair produced different bytes; is this the "
+            "graph the store was built from?"
+        )
+
+
+def solve_to_store(
+    graph,
+    path: "str | os.PathLike",
+    *,
+    shard_rows: int,
+    num_landmarks: int = 8,
+    config=None,
+    **kwargs,
+) -> DistStore:
+    """Solve APSP and stream the result into a new store directory.
+
+    Thin pipeline over :func:`repro.core.runner.solve_apsp_shards`:
+    each yielded shard is checksummed and written before the next is
+    solved, so the n×n matrix never exists in memory.  ``use_flags`` is
+    forced off for byte-determinism (see the module docstring);
+    everything else of the solver config is honoured and recorded in
+    the manifest, making the store reproducible from the manifest
+    alone.
+
+    ``num_landmarks`` top-degree rows are pinned into ``landmarks.bin``
+    for the serving layer's degraded mode (landmark triangle-inequality
+    upper bounds when saturated).
+    """
+    from ..config import SolverConfig
+    from ..core.runner import solve_apsp_shards
+
+    if not isinstance(num_landmarks, int) or isinstance(num_landmarks, bool) \
+            or num_landmarks < 0:
+        raise ConfigError(
+            f"num_landmarks must be an int >= 0, got {num_landmarks!r}",
+            field="num_landmarks",
+        )
+    path = Path(path)
+    if path.exists() and any(path.iterdir()):
+        raise StoreError(f"refusing to build a store in non-empty {path}")
+    path.mkdir(parents=True, exist_ok=True)
+
+    if config is None:
+        cfg = SolverConfig.from_kwargs(**kwargs)
+    elif kwargs:
+        cfg = config.with_overrides(**kwargs)
+    else:
+        cfg = config
+    if cfg.algorithm.use_flags:
+        cfg = cfg.with_overrides(use_flags=False)
+
+    n = graph.num_vertices
+    landmark_ids = _landmark_vertices(
+        graph, num_landmarks, cfg.algorithm.degree_kind
+    )
+    landmark_rows = np.empty((len(landmark_ids), n), dtype=np.float64)
+    landmark_pos = {v: i for i, v in enumerate(landmark_ids)}
+
+    shards: List[Dict[str, Any]] = []
+    with _obs.span("serve.store.build"):
+        for start, rows in solve_apsp_shards(
+            graph, shard_rows=shard_rows, config=cfg
+        ):
+            k = rows.shape[0]
+            for v in range(start, start + k):
+                if v in landmark_pos:
+                    landmark_rows[landmark_pos[v]] = rows[v - start]
+            raw = np.ascontiguousarray(rows)
+            fname = _shard_file(len(shards))
+            (path / fname).write_bytes(raw.tobytes())
+            shards.append(
+                {
+                    "file": fname,
+                    "start": start,
+                    "rows": k,
+                    "crc32": _crc32(raw),
+                }
+            )
+    lm_raw = np.ascontiguousarray(landmark_rows).tobytes()
+    if landmark_ids:
+        (path / _LANDMARKS).write_bytes(lm_raw)
+    manifest = {
+        "schema": STORE_SCHEMA_VERSION,
+        "n": n,
+        "shard_rows": min(shard_rows, max(1, n)),
+        "num_shards": len(shards),
+        "dtype": _DTYPE.str,
+        "shards": shards,
+        "landmarks": {
+            "ids": landmark_ids,
+            "file": _LANDMARKS,
+            "crc32": _crc32(lm_raw),
+        },
+        "graph": {"name": getattr(graph, "name", "") or ""},
+        "config": cfg.to_dict(),
+    }
+    (path / _MANIFEST).write_text(json.dumps(manifest, indent=2) + "\n")
+    _obs.counter_add("serve.store.builds", 1)
+    return DistStore(path, manifest)

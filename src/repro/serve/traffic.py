@@ -1,0 +1,121 @@
+"""Seeded synthetic query traffic: Zipfian popularity, open-loop arrivals.
+
+Real graph-query traffic is heavily skewed — a few hub vertices draw
+most lookups — and arrives open-loop (clients do not wait for each
+other).  Both properties matter to the serving layer: skew is what
+makes an LRU shard cache and landmark degradation work at all, and
+open-loop arrivals are what make saturation a real failure mode rather
+than a self-limiting one.
+
+A :class:`TrafficSpec` is frozen and fully seeded, so a trace is a pure
+function of the spec and the store size ``n``: CI replays the *pinned*
+trace and gates latency/hit-rate numbers against a committed baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..exceptions import ServeError
+
+__all__ = ["Request", "TrafficSpec", "generate_trace"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One query in a trace; ``v``/``k`` meaningful per ``kind``."""
+
+    arrival: float
+    kind: str  # "point" | "row" | "topk"
+    u: int
+    v: int = -1
+    k: int = -1
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Deterministic description of a synthetic query workload.
+
+    ``zipf_s`` is the Zipf exponent of vertex popularity (0 = uniform;
+    ~1 = web-like skew).  ``rate`` is the open-loop arrival rate in
+    requests per virtual second (exponential interarrivals).
+    ``row_frac``/``topk_frac`` carve heavier query classes out of the
+    mix; the remainder are point queries.
+    """
+
+    num_requests: int = 512
+    rate: float = 1000.0
+    zipf_s: float = 1.1
+    seed: int = 0
+    row_frac: float = 0.02
+    topk_frac: float = 0.05
+    topk_k: int = 10
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.num_requests, int) \
+                or isinstance(self.num_requests, bool) \
+                or self.num_requests < 1:
+            raise ServeError(
+                f"num_requests must be an int >= 1, got "
+                f"{self.num_requests!r}"
+            )
+        if not self.rate > 0:
+            raise ServeError(f"rate must be > 0, got {self.rate!r}")
+        if self.zipf_s < 0:
+            raise ServeError(f"zipf_s must be >= 0, got {self.zipf_s!r}")
+        if not 0 <= self.row_frac <= 1 or not 0 <= self.topk_frac <= 1 \
+                or self.row_frac + self.topk_frac > 1:
+            raise ServeError(
+                "row_frac/topk_frac must be fractions summing to <= 1"
+            )
+        if not isinstance(self.topk_k, int) or isinstance(self.topk_k, bool) \
+                or self.topk_k < 1:
+            raise ServeError(f"topk_k must be an int >= 1, got {self.topk_k!r}")
+
+
+def _zipf_popularity(n: int, s: float, rng: np.random.Generator) -> np.ndarray:
+    """Per-vertex probabilities: Zipf over ranks, ranks shuffled onto ids.
+
+    The shuffle decouples popularity from vertex id — without it the
+    hottest vertices would all sit in shard 0 and the cache numbers
+    would be an artefact of row ordering rather than of skew.
+    """
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-s)
+    probs = weights / weights.sum()
+    perm = rng.permutation(n)
+    out = np.empty(n, dtype=np.float64)
+    out[perm] = probs
+    return out
+
+
+def generate_trace(spec: TrafficSpec, n: int) -> List[Request]:
+    """Materialise the request list for a store of ``n`` vertices."""
+    if n < 2:
+        raise ServeError(f"traffic needs a store with n >= 2, got n={n}")
+    rng = np.random.default_rng(spec.seed)
+    probs = _zipf_popularity(n, spec.zipf_s, rng)
+    arrivals = np.cumsum(
+        rng.exponential(1.0 / spec.rate, size=spec.num_requests)
+    )
+    us = rng.choice(n, size=spec.num_requests, p=probs)
+    vs = rng.choice(n, size=spec.num_requests, p=probs)
+    # self-queries are legal but uninteresting; nudge to a neighbour id
+    vs = np.where(vs == us, (vs + 1) % n, vs)
+    kinds = rng.random(spec.num_requests)
+    out: List[Request] = []
+    for i in range(spec.num_requests):
+        if kinds[i] < spec.row_frac:
+            out.append(Request(float(arrivals[i]), "row", int(us[i])))
+        elif kinds[i] < spec.row_frac + spec.topk_frac:
+            out.append(
+                Request(float(arrivals[i]), "topk", int(us[i]), k=spec.topk_k)
+            )
+        else:
+            out.append(
+                Request(float(arrivals[i]), "point", int(us[i]), v=int(vs[i]))
+            )
+    return out

@@ -26,7 +26,7 @@ from .model import PhaseStats, Trace, TraceSpan
 __all__ = ["TraceRecorder"]
 
 #: span paths whose first segment matches get folded into a named phase
-_PHASE_ROOTS = ("apsp.ordering", "apsp.dijkstra")
+_PHASE_ROOTS = ("apsp.ordering", "apsp.dijkstra", "apsp.shard", "serve")
 
 
 class TraceRecorder(MetricsRegistry):

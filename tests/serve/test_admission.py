@@ -1,0 +1,125 @@
+"""Admission control: budgets, degraded/shed outcomes, release semantics."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.exceptions import ServeError
+from repro.serve import (
+    AdmissionPolicy,
+    QueryEngine,
+    QueryResponse,
+    ServeFrontend,
+    solve_to_store,
+)
+
+
+@pytest.fixture()
+def frontend(small_weighted, tmp_path):
+    store = solve_to_store(
+        small_weighted, tmp_path / "store", shard_rows=16, num_landmarks=4
+    )
+    engine = QueryEngine(store, cache_shards=3)
+    return ServeFrontend(engine, policy=AdmissionPolicy(
+        max_point=2, max_row=1, max_topk=1,
+    ))
+
+
+class TestPolicy:
+    def test_limits(self):
+        policy = AdmissionPolicy(max_point=5, max_row=2, max_topk=3)
+        assert policy.limit("point") == 5
+        assert policy.limit("row") == 2
+        assert policy.limit("topk") == 3
+
+    def test_validation(self):
+        with pytest.raises(ServeError, match="max_point"):
+            AdmissionPolicy(max_point=0)
+        with pytest.raises(ServeError, match="max_row"):
+            AdmissionPolicy(max_row=True)
+
+    def test_response_status_validation(self):
+        with pytest.raises(ServeError, match="status"):
+            QueryResponse(klass="point", value=1.0, status="maybe")
+
+
+class TestFrontend:
+    def test_exact_answers_not_flagged(self, frontend):
+        resp = frontend.point(3, 77)
+        assert resp.status == "ok" and resp.approx is False
+        assert resp.value == frontend.engine.dist(3, 77)
+        assert frontend.counts["admitted"] >= 1
+        assert frontend.counts["degraded"] == 0
+
+    def test_budget_released_after_each_request(self, frontend):
+        for _ in range(10):  # far more sequential requests than max_point
+            assert frontend.point(0, 1).status == "ok"
+        assert frontend.inflight() == {"point": 0, "row": 0, "topk": 0}
+        assert frontend.counts["admitted"] == 10
+
+    def test_point_degrades_under_saturation(self, frontend, monkeypatch):
+        release = threading.Event()
+        real_dist = frontend.engine.dist
+
+        def slow_dist(u, v):
+            release.wait(timeout=5)
+            return real_dist(u, v)
+
+        monkeypatch.setattr(frontend.engine, "dist", slow_dist)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            blockers = [pool.submit(frontend.point, 0, i) for i in (1, 2)]
+            while frontend.inflight()["point"] < 2:
+                pass
+            # budget full: this call must not block — it degrades
+            resp = frontend.point(5, 50)
+            release.set()
+            for f in blockers:
+                assert f.result().status == "ok"
+        assert resp.status == "degraded"
+        assert resp.approx is True
+        assert resp.value >= real_dist(5, 50) - 1e-12
+        assert frontend.counts["degraded"] == 1
+
+    def test_row_and_topk_shed_under_saturation(self, frontend, monkeypatch):
+        release = threading.Event()
+        real_row = frontend.engine.dist_from
+        real_topk = frontend.engine.top_k
+
+        def slow_row(u):
+            release.wait(timeout=5)
+            return real_row(u)
+
+        def slow_topk(u, k):
+            release.wait(timeout=5)
+            return real_topk(u, k)
+
+        monkeypatch.setattr(frontend.engine, "dist_from", slow_row)
+        monkeypatch.setattr(frontend.engine, "top_k", slow_topk)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            row_blocker = pool.submit(frontend.row, 0)
+            topk_blocker = pool.submit(frontend.topk, 0, 3)
+            while (frontend.inflight()["row"] < 1
+                   or frontend.inflight()["topk"] < 1):
+                pass
+            shed_row = frontend.row(1)
+            shed_topk = frontend.topk(1, 3)
+            release.set()
+            assert row_blocker.result().status == "ok"
+            assert topk_blocker.result().status == "ok"
+        assert shed_row.status == "shed" and shed_row.value is None
+        assert shed_topk.status == "shed" and shed_topk.value is None
+        assert frontend.counts["shed"] == 2
+
+    def test_budget_released_after_engine_failure(self, frontend,
+                                                  monkeypatch):
+        def boom(u, v):
+            raise RuntimeError("engine fell over")
+
+        monkeypatch.setattr(frontend.engine, "dist", boom)
+        for _ in range(5):
+            with pytest.raises(RuntimeError):
+                frontend.point(0, 1)
+        assert frontend.inflight()["point"] == 0

@@ -1,0 +1,95 @@
+"""serve bench: artifact validity, determinism, regress gating."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.artifact import validate_artifact
+from repro.obs.regress import compare_artifacts
+from repro.serve.bench import run_serve_smoke
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    # scale 5 (n=32) keeps this < a second while exercising every stage
+    artifact, registry = run_serve_smoke(scale=5, edge_factor=8, seed=5,
+                                         shard_rows=8, cache_shards=2)
+    return artifact, registry
+
+
+class TestServeSmoke:
+    def test_artifact_is_valid(self, smoke):
+        artifact, _ = smoke
+        assert validate_artifact(artifact) == []
+        assert artifact["name"] == "serve-smoke"
+        serve = artifact["serve"]
+        assert serve["serve.opt.shard_loads"] < serve[
+            "serve.naive.shard_loads"
+        ]
+        assert serve["serve.opt.mean_ms"] < serve["serve.naive.mean_ms"]
+        assert serve["serve.opt.mean_speedup"] > 1.0
+        assert 0.0 < serve["serve.opt.hit_rate"] < 1.0
+        assert serve["serve.sat.degraded"] > 0
+
+    def test_registry_captured_store_lifecycle(self, smoke):
+        _, registry = smoke
+        counters = registry.counters()
+        assert counters["serve.store.builds"] == 1
+        assert counters["serve.store.corruption_detected"] >= 1
+        assert counters["serve.store.shards_repaired"] == 1
+
+    def test_deterministic_across_runs(self, smoke):
+        artifact, _ = smoke
+        again, _ = run_serve_smoke(scale=5, edge_factor=8, seed=5,
+                                   shard_rows=8, cache_shards=2)
+        assert again["serve"] == artifact["serve"]
+        assert again["counters"] == artifact["counters"]
+
+    def test_regress_self_compare_passes(self, smoke):
+        artifact, _ = smoke
+        regressions, _ = compare_artifacts(artifact, artifact)
+        assert regressions == []
+
+    def test_regress_catches_serve_regressions(self, smoke):
+        artifact, _ = smoke
+
+        def mutated(key, value):
+            out = {k: dict(v) if isinstance(v, dict) else v
+                   for k, v in artifact.items()}
+            out["serve"][key] = value
+            return out
+
+        def gated(current):
+            regressions, _ = compare_artifacts(artifact, current)
+            return regressions
+
+        # hit rate fell beyond tolerance -> regression
+        worse_hits = mutated(
+            "serve.opt.hit_rate", artifact["serve"]["serve.opt.hit_rate"] - 0.1
+        )
+        assert gated(worse_hits)
+        # latency grew 10x -> regression
+        slow = mutated(
+            "serve.opt.mean_ms", artifact["serve"]["serve.opt.mean_ms"] * 10
+        )
+        assert gated(slow)
+        # store bytes changed -> exact counter mismatch -> regression
+        refp = mutated("serve.store.fingerprint", 1.0)
+        assert gated(refp)
+        # small hit-rate jitter within atol -> fine
+        jitter = mutated(
+            "serve.opt.hit_rate",
+            artifact["serve"]["serve.opt.hit_rate"] - 0.01,
+        )
+        assert gated(jitter) == []
+        # improvements never regress
+        faster = mutated(
+            "serve.opt.mean_ms", artifact["serve"]["serve.opt.mean_ms"] / 2
+        )
+        assert gated(faster) == []
+
+    def test_regress_flags_missing_serve_section(self, smoke):
+        artifact, _ = smoke
+        stripped = {k: v for k, v in artifact.items() if k != "serve"}
+        regressions, _ = compare_artifacts(artifact, stripped)
+        assert regressions

@@ -1,0 +1,122 @@
+"""Store corruption: deterministic injection, detection, exact repair."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.runner import solve_apsp
+from repro.exceptions import (
+    FaultPlanError,
+    StoreCorruptionError,
+    StoreError,
+)
+from repro.faults import StoreCorruptionSpec, parse_store_corruption
+from repro.serve import solve_to_store
+
+
+@pytest.fixture()
+def built(small_weighted, tmp_path):
+    store = solve_to_store(
+        small_weighted, tmp_path / "store", shard_rows=16, num_landmarks=3
+    )
+    return store, small_weighted
+
+
+class TestSpec:
+    def test_deterministic_offsets(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(bytes(1000))
+        spec = StoreCorruptionSpec(shard=0, nbytes=5, seed=7)
+        offsets_a = spec.apply(path)
+        path.write_bytes(bytes(1000))
+        offsets_b = spec.apply(path)
+        assert offsets_a.tolist() == offsets_b.tolist()
+        assert len(offsets_a) == 5
+
+    def test_xor_always_changes_bytes(self, tmp_path):
+        path = tmp_path / "blob"
+        original = bytes(range(256)) * 4
+        path.write_bytes(original)
+        offsets = StoreCorruptionSpec(shard=0, nbytes=16, seed=1).apply(path)
+        damaged = path.read_bytes()
+        for off in offsets:
+            assert damaged[off] != original[off]
+
+    def test_dsl_round_trip(self):
+        spec = parse_store_corruption("shard=2,nbytes=4,seed=7")
+        assert spec == StoreCorruptionSpec(shard=2, nbytes=4, seed=7)
+        assert StoreCorruptionSpec.from_dict(spec.to_dict()) == spec
+
+    def test_dsl_and_field_validation(self):
+        with pytest.raises(FaultPlanError):
+            parse_store_corruption("shard=2,bogus=1")
+        with pytest.raises(FaultPlanError):
+            parse_store_corruption("shard")
+        with pytest.raises(FaultPlanError):
+            parse_store_corruption("nbytes=1")  # shard required
+        with pytest.raises(FaultPlanError):
+            StoreCorruptionSpec(shard=-1)
+        with pytest.raises(FaultPlanError):
+            StoreCorruptionSpec(shard=0, nbytes=0)
+
+
+class TestDetectionAndRepair:
+    def test_load_shard_detects(self, built):
+        store, _ = built
+        target = store.path / store.manifest["shards"][2]["file"]
+        StoreCorruptionSpec(shard=2, nbytes=3, seed=5).apply(target)
+        with pytest.raises(StoreCorruptionError) as exc_info:
+            store.load_shard(2)
+        assert exc_info.value.shards == (2,)
+        # unverified load still works (how repair reads around damage)
+        store.load_shard(2, verify=False)
+
+    def test_verify_reports_all_damaged_shards(self, built):
+        store, _ = built
+        for shard in (1, 3):
+            StoreCorruptionSpec(shard=shard, nbytes=2, seed=shard).apply(
+                store.path / store.manifest["shards"][shard]["file"]
+            )
+        with pytest.raises(StoreCorruptionError) as exc_info:
+            store.verify()
+        assert set(exc_info.value.shards) == {1, 3}
+
+    def test_repair_is_byte_exact(self, built):
+        store, graph = built
+        target = store.path / store.manifest["shards"][2]["file"]
+        before = target.read_bytes()
+        StoreCorruptionSpec(shard=2, nbytes=6, seed=11).apply(target)
+        assert store.repair(graph) == [2]
+        assert target.read_bytes() == before
+        store.verify()
+        ref = solve_apsp(graph, use_flags=False).dist
+        assert np.array_equal(store.load_shard(2), ref[32:48])
+
+    def test_repair_clean_store_is_noop(self, built):
+        store, graph = built
+        assert store.repair(graph) == []
+
+    def test_repair_rejects_wrong_graph(self, built, small_ba):
+        store, _ = built
+        target = store.path / store.manifest["shards"][0]["file"]
+        StoreCorruptionSpec(shard=0, nbytes=2, seed=0).apply(target)
+        from repro.graphs import attach_random_weights
+
+        imposter = attach_random_weights(small_ba, seed=99)
+        if imposter.num_vertices != store.n:
+            with pytest.raises(StoreError):
+                store.repair(imposter)
+        else:
+            with pytest.raises(StoreError, match="graph"):
+                store.repair(imposter)
+
+    def test_landmark_corruption_detected_and_repaired(self, built):
+        store, graph = built
+        lm_path = store.path / store.manifest["landmarks"]["file"]
+        before = lm_path.read_bytes()
+        StoreCorruptionSpec(shard=0, nbytes=4, seed=2).apply(lm_path)
+        with pytest.raises(StoreCorruptionError):
+            store.landmark_rows()
+        assert store.repair(graph) == ["landmarks"]
+        assert lm_path.read_bytes() == before

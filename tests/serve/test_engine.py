@@ -1,0 +1,181 @@
+"""QueryEngine: cache accounting, batching, coalescing, degraded path."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.runner import solve_apsp
+from repro.exceptions import ServeError
+from repro.serve import QueryEngine, solve_to_store
+from repro.types import INF
+
+
+@pytest.fixture()
+def served(small_weighted, tmp_path):
+    store = solve_to_store(
+        small_weighted, tmp_path / "store", shard_rows=16, num_landmarks=4
+    )
+    ref = solve_apsp(small_weighted, use_flags=False).dist
+    return store, ref
+
+
+class TestQueries:
+    def test_point_and_row_exact(self, served):
+        store, ref = served
+        engine = QueryEngine(store, cache_shards=2)
+        assert engine.dist(3, 77) == ref[3, 77]
+        assert np.array_equal(engine.dist_from(50), ref[50])
+
+    def test_top_k_matches_numpy(self, served):
+        store, ref = served
+        engine = QueryEngine(store)
+        for u in (0, 17, 99):
+            row = ref[u].copy()
+            row[u] = INF
+            expect = sorted(
+                (v for v in range(store.n) if row[v] < INF),
+                key=lambda v: (row[v], v),
+            )[:5]
+            got = engine.top_k(u, 5)
+            assert [v for v, _ in got] == expect
+            assert all(d == ref[u, v] for v, d in got)
+
+    def test_top_k_larger_than_component(self, served):
+        store, ref = served
+        engine = QueryEngine(store)
+        got = engine.top_k(0, store.n * 2)
+        reachable = int((ref[0] < INF).sum()) - 1
+        assert len(got) == reachable
+
+    def test_batch_matches_individual(self, served):
+        store, ref = served
+        engine = QueryEngine(store, cache_shards=3)
+        pairs = [(1, 2), (1, 99), (33, 4), (90, 8), (65, 66), (17, 17 + 1)]
+        got = engine.dist_batch(pairs)
+        assert np.array_equal(
+            got, ref[[p[0] for p in pairs], [p[1] for p in pairs]]
+        )
+        # 6 queries over 5 distinct source shards -> 5 gathers
+        assert engine.stats["batch_queries"] == len(pairs)
+        assert engine.stats["batch_gathers"] == 5
+
+    def test_empty_batch(self, served):
+        store, _ = served
+        assert len(QueryEngine(store).dist_batch([])) == 0
+
+    def test_validation(self, served):
+        store, _ = served
+        engine = QueryEngine(store)
+        with pytest.raises(ServeError):
+            engine.dist(-1, 0)
+        with pytest.raises(ServeError):
+            engine.dist(0, store.n)
+        with pytest.raises(ServeError):
+            engine.top_k(0, 0)
+        with pytest.raises(ServeError):
+            engine.dist(True, 0)
+        with pytest.raises(ServeError):
+            QueryEngine(store, cache_shards=0)
+
+
+class TestCache:
+    def test_hit_miss_eviction_accounting(self, served):
+        store, _ = served
+        engine = QueryEngine(store, cache_shards=2)
+        engine.dist(0, 1)    # shard 0: miss
+        engine.dist(1, 1)    # shard 0: hit
+        engine.dist(17, 1)   # shard 1: miss
+        engine.dist(33, 1)   # shard 2: miss, evicts shard 0
+        engine.dist(2, 1)    # shard 0: miss again
+        stats = engine.stats
+        assert stats["misses"] == 4
+        assert stats["hits"] == 1
+        assert stats["evictions"] == 2
+        assert stats["shard_loads"] == 4
+        assert engine.hit_rate() == pytest.approx(1 / 5)
+
+    def test_lru_order(self, served):
+        store, _ = served
+        engine = QueryEngine(store, cache_shards=2)
+        engine.dist(0, 1)    # shard 0
+        engine.dist(17, 1)   # shard 1
+        engine.dist(1, 1)    # touch shard 0 -> shard 1 is now LRU
+        engine.dist(33, 1)   # shard 2 evicts shard 1
+        assert set(engine.cached_shards()) == {0, 2}
+
+    def test_coalescing_single_flight(self, served, monkeypatch):
+        store, ref = served
+        engine = QueryEngine(store, cache_shards=2)
+        release = threading.Event()
+        real_load = store.load_shard
+        loads = []
+
+        def slow_load(index, **kwargs):
+            loads.append(index)
+            release.wait(timeout=5)
+            return real_load(index, **kwargs)
+
+        monkeypatch.setattr(store, "load_shard", slow_load)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [
+                pool.submit(engine.dist, 3, v) for v in range(8)
+            ]
+            # give every worker time to reach the cache before the
+            # leader's load completes
+            while engine.stats["coalesced"] + len(loads) < 8:
+                if all(f.done() for f in futures):
+                    break
+            release.set()
+            results = [f.result() for f in futures]
+        assert results == [ref[3, v] for v in range(8)]
+        # one disk load served all 8 concurrent same-shard queries
+        assert loads == [0]
+        assert engine.stats["shard_loads"] == 1
+        assert engine.stats["coalesced"] >= 1
+
+    def test_failed_load_does_not_hang_waiters(self, served, monkeypatch):
+        store, _ = served
+        engine = QueryEngine(store, cache_shards=2)
+        calls = []
+        real_load = store.load_shard
+
+        def flaky_load(index, **kwargs):
+            calls.append(index)
+            if len(calls) == 1:
+                raise OSError("disk went away")
+            return real_load(index, **kwargs)
+
+        monkeypatch.setattr(store, "load_shard", flaky_load)
+        with pytest.raises(OSError):
+            engine.dist(0, 1)
+        # next query elects a new leader and succeeds
+        assert engine.dist(0, 1) == store.row(0)[1]
+
+
+class TestApprox:
+    def test_upper_bound_and_flagging(self, served):
+        store, ref = served
+        engine = QueryEngine(store)
+        for u, v in [(0, 50), (3, 77), (90, 12)]:
+            bound = engine.dist_approx(u, v)
+            assert bound >= ref[u, v] - 1e-12
+        assert engine.stats["approx_answers"] == 3
+
+    def test_exact_when_landmark_on_path(self, served):
+        store, ref = served
+        engine = QueryEngine(store)
+        landmark = store.landmark_ids[0]
+        # from the landmark itself the bound collapses to d(l,l)+d(l,v)
+        assert engine.dist_approx(landmark, 5) == ref[landmark, 5]
+
+    def test_no_landmarks_raises(self, small_weighted, tmp_path):
+        store = solve_to_store(
+            small_weighted, tmp_path / "bare", shard_rows=16,
+            num_landmarks=0,
+        )
+        with pytest.raises(ServeError, match="landmark"):
+            QueryEngine(store).dist_approx(0, 1)

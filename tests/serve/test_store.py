@@ -1,0 +1,196 @@
+"""DistStore: streaming build, bitwise round-trip, memory bound."""
+
+from __future__ import annotations
+
+import json
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.runner import solve_apsp, solve_apsp_shards
+from repro.exceptions import ConfigError, StoreError
+from repro.serve import STORE_SCHEMA_VERSION, DistStore, solve_to_store
+
+
+@pytest.fixture()
+def store_and_ref(small_weighted, tmp_path):
+    store = solve_to_store(
+        small_weighted, tmp_path / "store", shard_rows=16, num_landmarks=4
+    )
+    ref = solve_apsp(small_weighted, use_flags=False).dist
+    return store, ref
+
+
+class TestStreamingSolve:
+    def test_bitwise_across_shard_sizes(self, small_weighted):
+        ref = solve_apsp(small_weighted, use_flags=False).dist
+        n = small_weighted.num_vertices
+        for shard_rows in (1, 7, 32, n, n + 50):
+            out = np.empty_like(ref)
+            for start, rows in solve_apsp_shards(
+                small_weighted, shard_rows=shard_rows, use_flags=False
+            ):
+                out[start:start + rows.shape[0]] = rows
+            assert np.array_equal(out, ref)
+
+    def test_full_shard_matches_flags_on_solver(self, small_weighted):
+        ref = solve_apsp(small_weighted).dist
+        n = small_weighted.num_vertices
+        (start, rows), = solve_apsp_shards(small_weighted, shard_rows=n)
+        assert start == 0
+        assert np.array_equal(rows, ref)
+
+    def test_row_range_restriction(self, small_weighted):
+        ref = solve_apsp(small_weighted, use_flags=False).dist
+        blocks = [
+            (start, rows.copy())  # the generator reuses its buffer
+            for start, rows in solve_apsp_shards(
+                small_weighted,
+                shard_rows=16,
+                start_row=32,
+                stop_row=64,
+                use_flags=False,
+            )
+        ]
+        assert [start for start, _ in blocks] == [32, 48]
+        for start, rows in blocks:
+            assert np.array_equal(rows, ref[start:start + rows.shape[0]])
+
+    def test_rejects_parallel_backend(self, small_weighted):
+        with pytest.raises(ConfigError, match="parallel.backend"):
+            next(
+                solve_apsp_shards(
+                    small_weighted, shard_rows=8, backend="threads"
+                )
+            )
+
+    def test_rejects_bad_shard_rows_and_range(self, small_weighted):
+        with pytest.raises(ConfigError, match="shard_rows"):
+            next(solve_apsp_shards(small_weighted, shard_rows=0))
+        with pytest.raises(ConfigError, match="start_row"):
+            next(
+                solve_apsp_shards(
+                    small_weighted, shard_rows=8, start_row=3
+                )
+            )
+        with pytest.raises(ConfigError, match="start_row"):
+            next(
+                solve_apsp_shards(
+                    small_weighted, shard_rows=8, start_row=8, stop_row=4
+                )
+            )
+
+    def test_buffer_is_reused_between_shards(self, small_weighted):
+        gen = solve_apsp_shards(
+            small_weighted, shard_rows=16, use_flags=False
+        )
+        _, first = next(gen)
+        _, second = next(gen)
+        # each yield is a view over the same backing buffer
+        assert np.shares_memory(first, second)
+        gen.close()
+
+
+class TestStoreRoundTrip:
+    def test_bitwise_round_trip_and_reopen(self, store_and_ref, tmp_path):
+        store, ref = store_and_ref
+        reopened = DistStore.open(tmp_path / "store")
+        assert reopened.manifest["schema"] == STORE_SCHEMA_VERSION
+        got = np.vstack(
+            [reopened.load_shard(i) for i in range(reopened.num_shards)]
+        )
+        assert np.array_equal(got, ref)
+
+    def test_row_access(self, store_and_ref):
+        store, ref = store_and_ref
+        for vertex in (0, 15, 16, 99):
+            assert np.array_equal(store.row(vertex), ref[vertex])
+
+    def test_landmarks_are_exact_rows(self, store_and_ref):
+        store, ref = store_and_ref
+        rows = store.landmark_rows()
+        assert rows.shape == (len(store.landmark_ids), store.n)
+        for i, vertex in enumerate(store.landmark_ids):
+            assert np.array_equal(rows[i], ref[vertex])
+
+    def test_build_peak_memory_bounded_by_shard(self, tmp_path):
+        from repro.graphs import attach_random_weights, barabasi_albert
+
+        graph = attach_random_weights(
+            barabasi_albert(400, 3, seed=5), seed=6
+        )
+        n = graph.num_vertices
+        shard_rows = 16
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        solve_to_store(
+            graph, tmp_path / "store", shard_rows=shard_rows,
+            num_landmarks=2,
+        )
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        full_bytes = n * n * 8
+        # the full matrix is 1.28 MB; a shard is 51 KB.  Allow generous
+        # slack for the solver's own state (O(n) arrays, CSR copies) —
+        # what must NOT appear is anything close to n^2 doubles.
+        assert peak < full_bytes / 2
+
+    def test_store_bytes_independent_of_shard_rows(
+        self, small_weighted, tmp_path
+    ):
+        a = solve_to_store(
+            small_weighted, tmp_path / "a", shard_rows=16, num_landmarks=2
+        )
+        b = solve_to_store(
+            small_weighted, tmp_path / "b", shard_rows=25, num_landmarks=2
+        )
+        got_a = np.vstack(
+            [a.load_shard(i) for i in range(a.num_shards)]
+        )
+        got_b = np.vstack(
+            [b.load_shard(i) for i in range(b.num_shards)]
+        )
+        assert np.array_equal(got_a, got_b)
+
+
+class TestStoreValidation:
+    def test_refuses_non_empty_dir(self, small_weighted, tmp_path):
+        (tmp_path / "occupied").mkdir()
+        (tmp_path / "occupied" / "junk").write_text("x")
+        with pytest.raises(StoreError, match="non-empty"):
+            solve_to_store(
+                small_weighted, tmp_path / "occupied", shard_rows=16
+            )
+
+    def test_open_missing_manifest(self, tmp_path):
+        with pytest.raises(StoreError, match="manifest"):
+            DistStore.open(tmp_path)
+
+    def test_open_rejects_schema_mismatch(self, store_and_ref, tmp_path):
+        manifest_path = tmp_path / "store" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema"] = "repro.serve.store/999"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(StoreError, match="schema"):
+            DistStore.open(tmp_path / "store")
+
+    def test_vertex_out_of_range(self, store_and_ref):
+        store, _ = store_and_ref
+        with pytest.raises(StoreError, match="out of range"):
+            store.shard_of(store.n)
+
+    def test_bad_num_landmarks(self, small_weighted, tmp_path):
+        with pytest.raises(ConfigError, match="num_landmarks"):
+            solve_to_store(
+                small_weighted, tmp_path / "s", shard_rows=8,
+                num_landmarks=-1,
+            )
+
+    def test_config_recorded_in_manifest(self, store_and_ref):
+        store, _ = store_and_ref
+        from repro.config import SolverConfig
+
+        cfg = SolverConfig.from_dict(store.manifest["config"])
+        assert cfg.algorithm.use_flags is False
+        assert cfg.parallel.backend == "serial"

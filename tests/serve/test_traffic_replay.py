@@ -1,0 +1,181 @@
+"""Traffic generation and replay: determinism, skew, opt-vs-naive."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServeError
+from repro.serve import (
+    AdmissionPolicy,
+    QueryEngine,
+    ServeCostModel,
+    ServeFrontend,
+    TrafficSpec,
+    generate_trace,
+    replay_threaded,
+    replay_virtual,
+    solve_to_store,
+)
+
+
+SPEC = TrafficSpec(num_requests=400, rate=2000.0, zipf_s=1.1, seed=13)
+
+
+class TestTraffic:
+    def test_trace_is_deterministic(self):
+        assert generate_trace(SPEC, 100) == generate_trace(SPEC, 100)
+
+    def test_trace_shape(self):
+        trace = generate_trace(SPEC, 100)
+        assert len(trace) == SPEC.num_requests
+        arrivals = [r.arrival for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= r.u < 100 for r in trace)
+        for r in trace:
+            if r.kind == "point":
+                assert 0 <= r.v < 100 and r.v != r.u
+            elif r.kind == "topk":
+                assert r.k == SPEC.topk_k
+            else:
+                assert r.kind == "row"
+
+    def test_zipf_skew_concentrates_mass(self):
+        skewed = generate_trace(
+            TrafficSpec(num_requests=2000, zipf_s=1.2, seed=1), 200
+        )
+        uniform = generate_trace(
+            TrafficSpec(num_requests=2000, zipf_s=0.0, seed=1), 200
+        )
+
+        def top10_share(trace):
+            counts = Counter(r.u for r in trace)
+            top = sum(c for _, c in counts.most_common(10))
+            return top / len(trace)
+
+        assert top10_share(skewed) > 2 * top10_share(uniform)
+
+    def test_class_mix_follows_fractions(self):
+        spec = TrafficSpec(
+            num_requests=4000, seed=3, row_frac=0.1, topk_frac=0.2
+        )
+        trace = generate_trace(spec, 100)
+        kinds = Counter(r.kind for r in trace)
+        assert kinds["row"] / len(trace) == pytest.approx(0.1, abs=0.03)
+        assert kinds["topk"] / len(trace) == pytest.approx(0.2, abs=0.03)
+
+    def test_spec_validation(self):
+        with pytest.raises(ServeError):
+            TrafficSpec(num_requests=0)
+        with pytest.raises(ServeError):
+            TrafficSpec(rate=0.0)
+        with pytest.raises(ServeError):
+            TrafficSpec(zipf_s=-1.0)
+        with pytest.raises(ServeError):
+            TrafficSpec(row_frac=0.8, topk_frac=0.4)
+        with pytest.raises(ServeError):
+            generate_trace(SPEC, 1)
+
+
+class TestVirtualReplay:
+    def test_replay_is_deterministic(self):
+        trace = generate_trace(SPEC, 100)
+        a = replay_virtual(trace, n=100, shard_rows=16)
+        b = replay_virtual(trace, n=100, shard_rows=16)
+        assert a.counters == b.counters
+        assert a.latencies == b.latencies
+
+    def test_optimized_beats_naive(self):
+        trace = generate_trace(SPEC, 100)
+        opt = replay_virtual(trace, n=100, shard_rows=16, optimized=True)
+        naive = replay_virtual(trace, n=100, shard_rows=16, optimized=False)
+        assert opt.counters["shard_loads"] < naive.counters["shard_loads"]
+        assert opt.mean_latency() < naive.mean_latency()
+        assert naive.counters["cache_hits"] == 0
+        assert naive.counters["batches"] == 0
+        assert opt.counters["batches"] >= 1
+
+    def test_outcome_conservation(self):
+        trace = generate_trace(SPEC, 100)
+        for optimized in (True, False):
+            res = replay_virtual(
+                trace, n=100, shard_rows=16, optimized=optimized,
+                policy=AdmissionPolicy(max_point=4, max_row=1, max_topk=1),
+            )
+            outcomes = (
+                res.counters["admitted"] + res.counters["degraded"]
+                + res.counters["shed"]
+            )
+            assert outcomes == len(trace)
+            answered = sum(len(v) for v in res.latencies.values())
+            assert answered == (
+                res.counters["admitted"] + res.counters["degraded"]
+            )
+
+    def test_saturation_degrades_points_and_sheds_heavy(self):
+        burst = generate_trace(
+            TrafficSpec(num_requests=400, rate=50000.0, seed=13), 100
+        )
+        res = replay_virtual(
+            burst, n=100, shard_rows=16,
+            policy=AdmissionPolicy(max_point=4, max_row=1, max_topk=1),
+        )
+        assert res.counters["degraded"] > 0
+        # degraded answers come back at the flat approx cost
+        assert min(res.latencies["point"]) == ServeCostModel().approx_cost
+
+    def test_latency_percentiles_monotone(self):
+        trace = generate_trace(SPEC, 100)
+        res = replay_virtual(trace, n=100, shard_rows=16)
+        assert (
+            res.percentile_latency(50)
+            <= res.percentile_latency(99)
+            <= max(res.all_latencies())
+        )
+        assert res.hit_rate() == res.counters["cache_hits"] / (
+            res.counters["cache_hits"] + res.counters["shard_loads"]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            replay_virtual([], n=0, shard_rows=16)
+
+
+class TestThreadedReplay:
+    def test_exact_answers_match_ground_truth(self, small_weighted,
+                                              tmp_path):
+        from repro.core.runner import solve_apsp
+
+        store = solve_to_store(
+            small_weighted, tmp_path / "store", shard_rows=16,
+            num_landmarks=4,
+        )
+        engine = QueryEngine(store, cache_shards=3)
+        frontend = ServeFrontend(engine)
+        trace = generate_trace(SPEC, store.n)
+        ref = solve_apsp(small_weighted, use_flags=False).dist
+        result, responses = replay_threaded(trace, frontend, num_threads=4)
+        assert len(responses) == len(trace)
+        for req, resp in zip(trace, responses):
+            if resp.status != "ok":
+                continue
+            if req.kind == "point":
+                assert resp.value == ref[req.u, req.v]
+            elif req.kind == "row":
+                assert np.array_equal(resp.value, ref[req.u])
+        outcomes = (
+            result.counters["admitted"] + result.counters["degraded"]
+            + result.counters["shed"]
+        )
+        assert outcomes == len(trace)
+        assert result.counters["shard_loads"] == engine.stats["shard_loads"]
+
+    def test_validation(self, small_weighted, tmp_path):
+        store = solve_to_store(
+            small_weighted, tmp_path / "s", shard_rows=16
+        )
+        frontend = ServeFrontend(QueryEngine(store))
+        with pytest.raises(ServeError):
+            replay_threaded([], frontend, num_threads=0)
