@@ -30,16 +30,22 @@ Serving queries out-of-core (see ``docs/serving.md``)::
 from ._version import __version__
 from .config import SolverConfig, load_config
 from .core import (
+    ShardHooks,
+    SolverSpec,
     apsp_with_paths,
+    get_solver,
     par_alg1,
     par_alg2,
     par_apsp,
+    register_solver,
     seq_adaptive,
     seq_basic,
     seq_optimized,
     solve_apsp,
     solve_apsp_shards,
+    solver_names,
 )
+from .exceptions import NegativeCycleError, NegativeWeightError
 from .dist import ClusterSpec, simulate_distributed_apsp
 from .core.state import APSPResult
 from .faults import FaultPlan, StoreCorruptionSpec
@@ -62,6 +68,13 @@ __all__ = [
     "seq_optimized",
     "solve_apsp",
     "solve_apsp_shards",
+    "SolverSpec",
+    "ShardHooks",
+    "register_solver",
+    "get_solver",
+    "solver_names",
+    "NegativeCycleError",
+    "NegativeWeightError",
     "SolverConfig",
     "load_config",
     "ClusterSpec",

@@ -20,7 +20,7 @@ Groups mirror the subsystems that own the knobs:
 group           knobs
 =============== ====================================================
 ``algorithm``   name, ordering, schedule, queue, ratio, degree_kind,
-                use_flags
+                use_flags, delta
 ``parallel``    backend, num_threads, chunk, machine
 ``batch``       block_size, kernel
 ``faults``      plan, on_worker_death, timeout, max_retries
@@ -84,17 +84,18 @@ class AlgorithmConfig:
     ratio: float = 1.0
     degree_kind: str = "out"
     use_flags: bool = True
+    #: Δ-stepping bucket width: positive number, ``"auto"``, or ``None``
+    #: (= auto for solvers that consume it; rejected for the rest by the
+    #: cross-group check in :class:`SolverConfig`)
+    delta: "float | str | None" = None
 
     def __post_init__(self) -> None:
-        from .core.runner import ALGORITHMS
+        from .core import runner as _runner  # noqa: F401  (registration)
+        from .core.registry import canonical_solver_name, get_solver
         from .order import ORDERINGS
 
-        if self.name not in ALGORITHMS:
-            _fail(
-                "algorithm.name",
-                f"unknown algorithm {self.name!r}; known: "
-                f"{', '.join(ALGORITHMS)}",
-            )
+        object.__setattr__(self, "name", canonical_solver_name(self.name))
+        get_solver(self.name)  # raises ConfigError listing known solvers
         if self.ordering is not None and self.ordering not in ORDERINGS:
             _fail(
                 "algorithm.ordering",
@@ -131,6 +132,23 @@ class AlgorithmConfig:
                 "algorithm.use_flags",
                 f"use_flags must be a bool, got {self.use_flags!r}",
             )
+        d = self.delta
+        if isinstance(d, str):
+            if d != "auto":
+                _fail(
+                    "algorithm.delta",
+                    f"delta must be a positive number, 'auto' or None; "
+                    f"got {d!r}",
+                )
+        elif d is not None:
+            if not isinstance(d, (int, float)) or isinstance(d, bool) \
+                    or not float(d) > 0 or float(d) == float("inf"):
+                _fail(
+                    "algorithm.delta",
+                    f"delta must be a positive finite number, 'auto' or "
+                    f"None; got {d!r}",
+                )
+            object.__setattr__(self, "delta", float(d))
 
 
 @dataclass(frozen=True)
@@ -282,6 +300,7 @@ KWARG_MAP: Dict[str, Tuple[str, str]] = {
     "ratio": ("algorithm", "ratio"),
     "degree_kind": ("algorithm", "degree_kind"),
     "use_flags": ("algorithm", "use_flags"),
+    "delta": ("algorithm", "delta"),
     "backend": ("parallel", "backend"),
     "num_threads": ("parallel", "num_threads"),
     "chunk": ("parallel", "chunk"),
@@ -327,11 +346,11 @@ class SolverConfig:
                     f"must be a {kind.__name__} (or a mapping), "
                     f"got {type(value).__name__}",
                 )
-        # cross-group checks — a sequential algorithm cannot run on a
-        # genuinely parallel backend (SIM merely clamps to one thread)
-        from .core.runner import ALGORITHMS
+        # cross-group checks: the request must fit the chosen solver's
+        # capability flags (see repro.core.registry.SolverSpec)
+        from .core.registry import get_solver
 
-        spec = ALGORITHMS[self.algorithm.name]
+        spec = get_solver(self.algorithm.name)
         backend = Backend(self.parallel.backend)
         if not spec.parallel and backend in (
             Backend.THREADS,
@@ -342,6 +361,25 @@ class SolverConfig:
                 f"{self.algorithm.name} is a sequential algorithm; use "
                 "backend='serial' (or 'sim' for a virtual-time estimate "
                 "at 1 thread)",
+            )
+        if backend is Backend.SIM and not spec.simulatable:
+            _fail(
+                "parallel.backend",
+                f"{self.algorithm.name} has no virtual-time model; it "
+                "cannot run on the 'sim' backend",
+            )
+        if self.algorithm.delta is not None and not spec.uses_delta:
+            _fail(
+                "algorithm.delta",
+                f"{self.algorithm.name} does not consume the Δ bucket "
+                "width; delta is only valid for solvers with the "
+                "uses_delta capability (e.g. delta-stepping)",
+            )
+        if self.batch.block_size is not None and not spec.batchable:
+            _fail(
+                "batch.block_size",
+                f"{self.algorithm.name} cannot ride the batched lockstep "
+                "kernels; leave block_size unset",
             )
 
     # -- construction ----------------------------------------------------

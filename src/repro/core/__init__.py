@@ -22,6 +22,13 @@ from .kernels import (
     resolve_kernel,
 )
 from .modified_dijkstra import modified_dijkstra_sssp
+from .registry import (
+    ShardHooks,
+    SolverSpec,
+    get_solver,
+    register_solver,
+    solver_names,
+)
 from .adaptive import seq_adaptive
 from .basic import seq_basic
 from .optimized import seq_optimized
@@ -35,6 +42,18 @@ from .runner import (
     algorithm_names,
     solve_apsp,
     solve_apsp_shards,
+)
+from .delta_stepping import (
+    DeltaGraph,
+    autotune_delta,
+    delta_stepping_sssp,
+    run_delta_sweep,
+)
+from .johnson import (
+    bellman_ford_apsp,
+    bellman_ford_potentials,
+    bellman_ford_sssp,
+    reweight_graph,
 )
 from .simulate import SimulatedSweep, simulate_sweep
 from .state import APSPResult, APSPState, new_state
@@ -75,6 +94,19 @@ __all__ = [
     "ALGORITHMS",
     "AlgorithmSpec",
     "algorithm_names",
+    "SolverSpec",
+    "ShardHooks",
+    "register_solver",
+    "get_solver",
+    "solver_names",
+    "DeltaGraph",
+    "autotune_delta",
+    "delta_stepping_sssp",
+    "run_delta_sweep",
+    "bellman_ford_potentials",
+    "bellman_ford_sssp",
+    "bellman_ford_apsp",
+    "reweight_graph",
     "solve_apsp",
     "solve_apsp_shards",
     "SimulatedSweep",

@@ -1,0 +1,719 @@
+"""Δ-stepping SSSP as a registered APSP solver.
+
+Meyer & Sanders' Δ-stepping (the parallel formulation of arXiv
+1604.02113) replaces Dijkstra's priority queue with an array of
+*buckets* of width Δ: bucket ``i`` holds vertices whose tentative
+distance lies in ``[iΔ, (i+1)Δ)``.  Edges are split once per solve into
+**light** (``w ≤ Δ``, may re-insert into the current bucket) and
+**heavy** (``w > Δ``, always target a later bucket); a bucket is
+repeatedly drained of light work, then the heavy edges of everything it
+settled are relaxed in one pass.
+
+Two PriorityGraph/GraphIt optimizations (arXiv 1911.07260) are
+implemented and individually counted:
+
+* **lazy bucket update** — an improved vertex is appended to its new
+  bucket without removing the stale entry; staleness is detected on pop
+  (``delta.lazy_skips``).  This is what makes the bucket structure an
+  append-only array instead of a linked structure with random deletes.
+* **bucket fusion** — a light relaxation that lands back in the
+  *current* bucket joins the in-progress frontier instead of waiting
+  for the next epoch (``delta.bucket_fusions``), collapsing the long
+  tail of tiny sub-phases.
+
+APSP-wise each source is an independent Δ-stepping run (no cross-source
+flag reuse: the bucket structure has no analogue of Algorithm 1's
+row-merge shortcut), which makes retries after worker death trivially
+exact — a re-run row is bitwise the same.
+
+On the SIM backend the per-source runs are dispatched by the usual
+virtual parfor, and the *within-source* shared-bucket maintenance of a
+parallel Δ-stepping implementation is modelled by a lock program over
+one representative source's recorded bucket-insertion log: each
+insertion acquires its bucket's lock, producing named
+``delta.bucket<i>`` lock events directly comparable to ParBuckets'
+``parbuckets.bin<i>`` in traces and contention reports.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import AlgorithmError, BackendError, ConfigError
+from ..graphs.csr import CSRGraph
+from ..graphs.degree import degree_array
+from ..obs import metrics as _obs
+from ..order import compute_order, simulate_order
+from ..parallel import Backend, Schedule, parallel_for
+from ..parallel.backends.process import (
+    SharedArray,
+    fork_available,
+    run_parallel_map,
+)
+from ..parallel.schedule import block_assignment
+from ..simx.locksim import Op, run_lock_program
+from ..simx.machine import MachineSpec, default_machine
+from ..types import INF, OpCounts, PhaseTimes
+from .calibrate import CalibrationSample
+from .costs import DEFAULT_COST_MODEL, DijkstraCostModel
+from .registry import ShardHooks, SolverSpec, register_solver
+from .state import APSPResult, APSPState, new_state
+from .sweep import SweepOutcome, _row_resetter
+
+__all__ = [
+    "DeltaGraph",
+    "delta_stepping_sssp",
+    "autotune_delta",
+    "run_delta_sweep",
+    "simulate_delta_sweep",
+    "DELTA_AUTOTUNE_FACTORS",
+]
+
+#: multiples of the mean arc weight probed by :func:`autotune_delta`
+DELTA_AUTOTUNE_FACTORS: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0)
+
+#: distinct bucket locks modelled in the SIM contention program; bucket
+#: ids map onto locks modulo this, like a fixed-size lock array would
+_SIM_BUCKET_LOCKS = 64
+
+
+class DeltaGraph:
+    """One graph pre-split into light (``w ≤ Δ``) and heavy (``w > Δ``)
+    CSR adjacency, built once per solve and shared by every sweep."""
+
+    __slots__ = (
+        "graph", "delta",
+        "light_indptr", "light_indices", "light_weights",
+        "heavy_indptr", "heavy_indices", "heavy_weights",
+    )
+
+    def __init__(self, graph: CSRGraph, delta: float) -> None:
+        delta = float(delta)
+        if not (delta > 0) or not np.isfinite(delta):
+            raise ConfigError(
+                f"delta must be a positive finite number, got {delta!r}",
+                field="algorithm.delta",
+            )
+        self.graph = graph
+        self.delta = delta
+        n = graph.num_vertices
+        src = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(graph.indptr)
+        )
+        light = graph.weights <= delta
+        for prefix, mask in (("light", light), ("heavy", ~light)):
+            counts = np.bincount(src[mask], minlength=n)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            setattr(self, f"{prefix}_indptr", indptr)
+            setattr(self, f"{prefix}_indices", graph.indices[mask])
+            setattr(self, f"{prefix}_weights", graph.weights[mask])
+
+    @property
+    def n(self) -> int:
+        return self.graph.num_vertices
+
+
+def delta_stepping_sssp(
+    dg: DeltaGraph,
+    source: int,
+    dist: np.ndarray,
+    *,
+    insert_log: Optional[List[int]] = None,
+) -> OpCounts:
+    """One Δ-stepping SSSP from ``source`` into the row ``dist``.
+
+    ``dist`` (length n) is reset at the start — re-running a sweep after
+    a worker death reproduces the row bitwise with no external reset.
+    ``insert_log`` collects the bucket index of every insertion (the SIM
+    contention model replays it as a lock program).
+
+    Returned :class:`~repro.types.OpCounts` use the shared vocabulary —
+    ``pops`` = settled bucket pops, ``edge_relaxations`` = arcs scanned,
+    ``edge_improvements`` = successful relaxations — so
+    :meth:`~repro.core.costs.DijkstraCostModel.sweep_cost` prices a
+    Δ-stepping sweep with no new constants (the merge/row terms are
+    simply zero: there is no flag reuse).
+    """
+    n = dg.n
+    if not (0 <= source < n):
+        raise AlgorithmError(f"source {source} out of range [0, {n})")
+    delta = dg.delta
+    l_indptr, l_indices, l_weights = (
+        dg.light_indptr, dg.light_indices, dg.light_weights
+    )
+    h_indptr, h_indices, h_weights = (
+        dg.heavy_indptr, dg.heavy_indices, dg.heavy_weights
+    )
+    dist[:] = INF
+    dist[source] = 0.0
+    # distance at which a vertex last had its light edges expanded;
+    # INF = never.  Re-expansion only on strict improvement.
+    relaxed_at = np.full(n, INF)
+    buckets: List[List[int]] = [[source]]
+    counts = OpCounts()
+    buckets_processed = 0
+    light_relax = 0
+    heavy_relax = 0
+    fusions = 0
+    lazy_skips = 0
+
+    def relax(v: int, d: float, indptr, indices, weights, current: int):
+        """Relax one vertex's (light or heavy) arcs; returns arcs
+        scanned and improvements, appending targets to their buckets."""
+        nonlocal fusions
+        lo, hi = int(indptr[v]), int(indptr[v + 1])
+        if lo == hi:
+            return 0, 0
+        nbrs = indices[lo:hi]
+        cand = d + weights[lo:hi]
+        improved = 0
+        # candidate mask against a snapshot; the per-edge re-check below
+        # keeps duplicate targets within one row correct
+        for k in np.nonzero(cand < dist[nbrs])[0]:
+            t = int(nbrs[k])
+            nd = float(cand[k])
+            if nd >= dist[t]:
+                continue
+            dist[t] = nd
+            b = int(nd / delta)
+            if insert_log is not None:
+                insert_log.append(b)
+            if current >= 0 and b == current:
+                # bucket fusion: joins the live frontier of this epoch
+                buckets[current].append(t)
+                fusions += 1
+            else:
+                while len(buckets) <= b:
+                    buckets.append([])
+                buckets[b].append(t)
+            improved += 1
+        return hi - lo, improved
+
+    i = 0
+    while True:
+        while i < len(buckets) and not buckets[i]:
+            i += 1
+        if i >= len(buckets):
+            break
+        buckets_processed += 1
+        settled: List[int] = []
+        frontier = buckets[i]
+        while frontier:
+            v = frontier.pop()
+            d = float(dist[v])
+            if int(d / delta) != i:
+                lazy_skips += 1  # stale entry (lazy bucket update)
+                continue
+            if d >= relaxed_at[v]:
+                lazy_skips += 1  # duplicate at an unimproved distance
+                continue
+            if relaxed_at[v] == INF:
+                settled.append(v)
+            relaxed_at[v] = d
+            counts.pops += 1
+            scanned, improved = relax(
+                v, d, l_indptr, l_indices, l_weights, i
+            )
+            light_relax += scanned
+            counts.edge_relaxations += scanned
+            counts.edge_improvements += improved
+        # bucket i is final: one heavy pass over everything it settled
+        for v in settled:
+            scanned, improved = relax(
+                v, float(dist[v]), h_indptr, h_indices, h_weights, -1
+            )
+            heavy_relax += scanned
+            counts.edge_relaxations += scanned
+            counts.edge_improvements += improved
+        i += 1
+
+    reg = _obs._current
+    if reg is not None:
+        reg.add("sweep.count", 1)
+        reg.add_many(counts.as_dict(), prefix="ops")
+        reg.add("delta.buckets_processed", buckets_processed)
+        reg.add("delta.light_relaxations", light_relax)
+        reg.add("delta.heavy_relaxations", heavy_relax)
+        reg.add("delta.bucket_fusions", fusions)
+        reg.add("delta.lazy_skips", lazy_skips)
+        reg.gauge_max("delta.peak_bucket_index", float(len(buckets) - 1))
+    return counts
+
+
+def autotune_delta(
+    graph: CSRGraph,
+    *,
+    max_sources: int = 4,
+    candidates: Optional[Sequence[float]] = None,
+) -> Tuple[float, List[CalibrationSample]]:
+    """Pick Δ by probing a candidate ladder on a few real sweeps.
+
+    Follows the calibrate idiom (:mod:`repro.core.calibrate`): each
+    candidate is timed over the first ``max_sources`` sources and
+    reported as a :class:`CalibrationSample`.  The *winner*, however, is
+    chosen by the deterministic operation-count work measure
+    (:meth:`~repro.types.OpCounts.total_work`), not wall seconds — the
+    resolved Δ is therefore identical on every host, which keeps SIM
+    smoke artifacts and :meth:`repro.serve.DistStore.repair` checksums
+    reproducible.  Ties go to the earliest candidate.  Probes run with
+    the metrics registry suppressed so they never pollute ``ops.*`` /
+    ``delta.*`` counters (same contract as
+    :func:`repro.core.batch.autotune_block_size`).
+    """
+    n = graph.num_vertices
+    if n == 0:
+        raise AlgorithmError("cannot autotune delta on an empty graph")
+    weights = graph.weights
+    if candidates is None:
+        mean_w = float(weights.mean()) if weights.size else 1.0
+        max_w = float(weights.max()) if weights.size else 1.0
+        ladder = [mean_w * f for f in DELTA_AUTOTUNE_FACTORS] + [max_w]
+        candidates = list(dict.fromkeys(c for c in ladder if c > 0)) or [1.0]
+    if not candidates:
+        raise ConfigError(
+            "autotune_delta needs at least one candidate",
+            field="algorithm.delta",
+        )
+    limit = max(1, min(int(max_sources), n))
+    samples: List[CalibrationSample] = []
+    best_delta = float(candidates[0])
+    best_work: Optional[int] = None
+    row = np.empty(n, dtype=np.float64)
+    with _obs.use_registry(None):
+        for cand in candidates:
+            dg = DeltaGraph(graph, float(cand))
+            total = OpCounts()
+            t0 = time.perf_counter()
+            for s in range(limit):
+                total += delta_stepping_sssp(dg, s, row)
+            samples.append(
+                CalibrationSample(
+                    total, time.perf_counter() - t0, calls=limit
+                )
+            )
+            work = total.total_work()
+            if best_work is None or work < best_work:
+                best_work = work
+                best_delta = float(cand)
+    return best_delta, samples
+
+
+def run_delta_sweep(
+    graph: CSRGraph,
+    order: np.ndarray,
+    *,
+    delta: float,
+    backend: "Backend | str" = Backend.SERIAL,
+    num_threads: int = 1,
+    schedule: "Schedule | str" = Schedule.DYNAMIC,
+    chunk: int = 1,
+    fault_plan=None,
+    on_worker_death: str = "raise",
+    timeout: Optional[float] = None,
+    max_retries: int = 3,
+) -> SweepOutcome:
+    """The full Δ-stepping APSP sweep phase on a real backend.
+
+    Mirrors :func:`repro.core.sweep.run_sweep`'s contract — ``order[i]``
+    is the i-th source to issue, per-source counts are indexed by vertex
+    id, and a worker death under ``on_worker_death="retry"`` re-runs
+    exactly the lost rows (each sweep resets its own row, so recovery is
+    bitwise for free).
+    """
+    backend = Backend.coerce(backend)
+    schedule = Schedule.coerce(schedule)
+    order = np.asarray(order, dtype=np.int64)
+    n = graph.num_vertices
+    if order.shape != (n,):
+        raise AlgorithmError(
+            f"order must list all {n} sources, got shape {order.shape}"
+        )
+    if backend is Backend.SIM:
+        raise BackendError("use simulate_delta_sweep for the SIM backend")
+    dg = DeltaGraph(graph, delta)
+    if backend is Backend.PROCESS and num_threads > 1 and fork_available():
+        return _delta_sweep_process(
+            dg,
+            order,
+            num_threads=num_threads,
+            schedule=schedule,
+            chunk=chunk,
+            fault_plan=fault_plan,
+            on_worker_death=on_worker_death,
+            timeout=timeout,
+            max_retries=max_retries,
+        )
+    if backend is Backend.PROCESS:  # fell back to one in-process worker
+        backend = Backend.SERIAL
+
+    state = new_state(n)
+    per_source: List[Optional[OpCounts]] = [None] * n
+
+    def body(i: int, _thread: int) -> None:
+        s = int(order[i])
+        with _obs.span("sweep.source"):
+            per_source[s] = delta_stepping_sssp(dg, s, state.dist[s])
+
+    t0 = time.perf_counter()
+    parallel_for(
+        n,
+        body,
+        num_threads=num_threads,
+        schedule=schedule,
+        chunk=chunk,
+        backend=backend,
+        fault_plan=fault_plan,
+        on_worker_death=on_worker_death,
+        on_retry=_row_resetter(state, order, per_source),
+    )
+    elapsed = time.perf_counter() - t0
+    counts = [c if c is not None else OpCounts() for c in per_source]
+    return SweepOutcome(state.dist, counts, elapsed)
+
+
+def _delta_sweep_process(
+    dg: DeltaGraph,
+    order: np.ndarray,
+    *,
+    num_threads: int,
+    schedule: Schedule,
+    chunk: int,
+    fault_plan=None,
+    on_worker_death: str = "raise",
+    timeout: Optional[float] = None,
+    max_retries: int = 3,
+) -> SweepOutcome:
+    """Shared-memory multiprocessing Δ-stepping sweep (rows as tasks)."""
+    n = dg.n
+    with SharedArray.allocate((n, n), np.float64) as shared_dist:
+        state = APSPState(
+            dist=shared_dist.array, flag=np.zeros(n, dtype=np.uint8)
+        )
+        state.reset()
+
+        def work(i: int) -> Tuple[int, OpCounts]:
+            s = int(order[i])
+            counts = delta_stepping_sssp(dg, s, state.dist[s])
+            return s, counts
+
+        t0 = time.perf_counter()
+        results = run_parallel_map(
+            n,
+            work,
+            num_threads=num_threads,
+            schedule=schedule,
+            chunk=chunk,
+            fault_plan=fault_plan,
+            on_worker_death=on_worker_death,
+            timeout=timeout,
+            max_retries=max_retries,
+            on_retry=_row_resetter(state, order),
+        )
+        elapsed = time.perf_counter() - t0
+        per_source: List[OpCounts] = [OpCounts() for _ in range(n)]
+        for s, counts in results:
+            per_source[s] = counts
+        dist = shared_dist.array.copy()  # segment dies with the context
+    return SweepOutcome(dist, per_source, elapsed)
+
+
+class DeltaSimSweep:
+    """Result bundle of a simulated Δ-stepping sweep phase.
+
+    ``sim`` is the phase's full virtual timeline: the bucket-lock
+    contention program (one representative source) followed by the
+    per-source parfor, merged sequentially.
+    """
+
+    __slots__ = ("dist", "per_source", "outcome", "sim")
+
+    def __init__(self, dist, per_source, outcome, sim) -> None:
+        self.dist = dist
+        self.per_source = per_source
+        self.outcome = outcome
+        self.sim = sim
+
+    @property
+    def makespan(self) -> float:
+        return self.sim.makespan
+
+    def total_ops(self) -> OpCounts:
+        return OpCounts.sum(self.per_source)
+
+
+def simulate_delta_sweep(
+    graph: CSRGraph,
+    order: np.ndarray,
+    machine: MachineSpec,
+    *,
+    delta: float,
+    num_threads: int,
+    schedule: "Schedule | str" = Schedule.DYNAMIC,
+    chunk: int = 1,
+    cost_model: DijkstraCostModel = DEFAULT_COST_MODEL,
+    trace: bool = False,
+    fault_plan=None,
+) -> DeltaSimSweep:
+    """Play the Δ-stepping sweep phase on the simulated machine.
+
+    Across sources the usual virtual parfor dispatches real sweeps and
+    prices their op counts.  The *within-source* contention of a
+    parallel Δ-stepping (T threads hammering a shared bucket array) is
+    modelled once, on the first source in ``order``: its recorded
+    insertion log is split into per-thread op streams, each insertion
+    taking the target bucket's lock (ids folded onto a
+    ``_SIM_BUCKET_LOCKS``-entry lock array, the usual fixed-size
+    lock-striping implementation).  The lock program's named
+    ``delta.bucket<i>`` events land in the merged timeline, so trace
+    attribution can compare bucket contention against ParBuckets'
+    ``parbuckets.bin<i>`` directly.  One representative source keeps the
+    model's cost additive and small; the per-source parfor remains the
+    dominant term, matching the algorithm's source-parallel deployment.
+    """
+    schedule = Schedule.coerce(schedule)
+    order = np.asarray(order, dtype=np.int64)
+    n = graph.num_vertices
+    if order.shape != (n,):
+        raise AlgorithmError(
+            f"order must list all {n} sources, got shape {order.shape}"
+        )
+    dg = DeltaGraph(graph, delta)
+    T = machine.clamp_threads(num_threads)
+
+    # --- representative-source bucket-lock program --------------------
+    insert_log: List[int] = []
+    if n:
+        rep_row = np.empty(n, dtype=np.float64)
+        with _obs.use_registry(None):  # probe: keep counters clean
+            delta_stepping_sssp(
+                dg, int(order[0]), rep_row, insert_log=insert_log
+            )
+    lock_sim = None
+    if insert_log:
+        num_locks = min(_SIM_BUCKET_LOCKS, max(insert_log) + 1)
+        log = np.asarray(insert_log, dtype=np.int64)
+        programs = [
+            [
+                Op(
+                    work=cost_model.edge_relaxation,
+                    lock_id=int(log[i]) % num_locks,
+                    name="bucket-insert",
+                )
+                for i in block
+            ]
+            for block in block_assignment(log.size, T)
+        ]
+        lock_sim = run_lock_program(
+            programs,
+            machine,
+            num_locks=num_locks,
+            trace=trace,
+            lock_names=[f"delta.bucket{b}" for b in range(num_locks)],
+            region="delta.buckets",
+        )
+
+    # --- per-source virtual parfor ------------------------------------
+    state = new_state(n)
+    per_source: List[OpCounts] = [OpCounts() for _ in range(n)]
+    multiplier = machine.memory_cost_multiplier(num_threads)
+
+    def cost_fn(i: int, _dispatch: float, _thread: int) -> float:
+        s = int(order[i])
+        counts = delta_stepping_sssp(dg, s, state.dist[s])
+        per_source[s] = counts
+        return cost_model.sweep_cost(counts)
+
+    from ..simx.parfor import simulate_parallel_for
+
+    outcome = simulate_parallel_for(
+        n,
+        cost_fn,
+        machine,
+        num_threads=num_threads,
+        schedule=schedule,
+        chunk=chunk,
+        cost_multiplier=multiplier,
+        trace=trace,
+        fault_plan=fault_plan,
+    )
+    sim = (
+        lock_sim.merge_sequential(outcome.result)
+        if lock_sim is not None
+        else outcome.result
+    )
+    return DeltaSimSweep(state.dist, per_source, outcome, sim)
+
+
+def _resolve_delta(graph: CSRGraph, cfg) -> float:
+    knob = cfg.algorithm.delta
+    if knob is None or knob == "auto":
+        resolved, _samples = autotune_delta(graph)
+        return resolved
+    return float(knob)
+
+
+def _solve_delta(graph: CSRGraph, cfg, spec: SolverSpec) -> APSPResult:
+    """``spec.solve`` entry point for the registry."""
+    backend = Backend(cfg.parallel.backend)
+    sched = (
+        Schedule(cfg.algorithm.schedule)
+        if cfg.algorithm.schedule is not None
+        else spec.schedule
+    )
+    ordering_name = (
+        cfg.algorithm.ordering
+        if cfg.algorithm.ordering is not None
+        else spec.ordering
+    )
+    num_threads = cfg.parallel.num_threads
+    cost_model = cfg.obs.cost_model
+    n = graph.num_vertices
+    resolved = _resolve_delta(graph, cfg)
+    reg = _obs.get_registry()
+    if reg is not None:
+        reg.gauge_set("delta.delta", resolved)
+
+    degrees = degree_array(graph, cfg.algorithm.degree_kind)
+    ordering_kwargs = {}
+    if ordering_name == "selection":
+        ordering_kwargs["ratio"] = cfg.algorithm.ratio
+        ordering_kwargs["fast"] = n > 4000
+
+    if backend is Backend.SIM:
+        mach = cfg.parallel.machine or default_machine(num_threads)
+        with _obs.span("apsp.ordering"):
+            order_result = simulate_order(
+                ordering_name,
+                degrees,
+                mach,
+                num_threads=num_threads,
+                trace=cfg.obs.trace,
+                **ordering_kwargs,
+            )
+        with _obs.span("apsp.dijkstra"):
+            sweep = simulate_delta_sweep(
+                graph,
+                order_result.order,
+                mach,
+                delta=resolved,
+                num_threads=num_threads,
+                schedule=sched,
+                chunk=cfg.parallel.chunk,
+                cost_model=cost_model,
+                trace=cfg.obs.trace,
+                fault_plan=cfg.faults.plan,
+            )
+        ordering_time = (
+            order_result.sim.makespan if order_result.sim is not None else 0.0
+        )
+        result = APSPResult(
+            algorithm=spec.name,
+            dist=sweep.dist,
+            num_threads=num_threads,
+            backend=backend.value,
+            schedule=sched.value,
+            order=order_result.order,
+            ordering_method=order_result.method,
+            phase_times=PhaseTimes(
+                ordering=ordering_time, dijkstra=sweep.makespan
+            ),
+            ops=sweep.total_ops(),
+            per_source_work=np.asarray(
+                [cost_model.sweep_cost(c) for c in sweep.per_source]
+            ),
+            sim_ordering=order_result.sim,
+            sim_dijkstra=sweep.sim,
+            extra={"delta": resolved},
+        )
+        if reg is not None:
+            for name, value in sweep.sim.as_metrics("sim.dijkstra").items():
+                reg.gauge_set(name, value)
+            if order_result.sim is not None:
+                for name, value in order_result.sim.as_metrics(
+                    "sim.ordering"
+                ).items():
+                    reg.gauge_set(name, value)
+        return result
+
+    # ---- real backends -----------------------------------------------
+    t0 = time.perf_counter()
+    with _obs.span("apsp.ordering"):
+        order_result = compute_order(
+            ordering_name,
+            degrees,
+            num_threads=num_threads,
+            backend=(
+                backend if backend is not Backend.PROCESS else Backend.SERIAL
+            ),
+            **ordering_kwargs,
+        )
+    ordering_seconds = time.perf_counter() - t0
+    with _obs.span("apsp.dijkstra"):
+        sweep = run_delta_sweep(
+            graph,
+            order_result.order,
+            delta=resolved,
+            backend=backend,
+            num_threads=num_threads,
+            schedule=sched,
+            chunk=cfg.parallel.chunk,
+            fault_plan=cfg.faults.plan,
+            on_worker_death=cfg.faults.on_worker_death,
+            timeout=cfg.faults.timeout,
+            max_retries=cfg.faults.max_retries,
+        )
+    return APSPResult(
+        algorithm=spec.name,
+        dist=sweep.dist,
+        num_threads=num_threads,
+        backend=backend.value,
+        schedule=sched.value,
+        order=order_result.order,
+        ordering_method=order_result.method,
+        phase_times=PhaseTimes(
+            ordering=ordering_seconds, dijkstra=sweep.elapsed_seconds
+        ),
+        ops=sweep.total_ops(),
+        per_source_work=sweep.work_vector(cost_model),
+        extra={"delta": resolved},
+    )
+
+
+def _delta_shard_hooks(graph: CSRGraph, cfg) -> ShardHooks:
+    """Shard-streaming participation: one Δ-stepping row per source.
+
+    Δ is resolved once per generator (the autotuner is deterministic in
+    op counts, so a :meth:`repro.serve.DistStore.repair` re-solve lands
+    on the same Δ and reproduces shard checksums exactly).
+    """
+    resolved = _resolve_delta(graph, cfg)
+    dg = DeltaGraph(graph, resolved)
+
+    def sweep_row(g, source, state, cfg) -> None:
+        delta_stepping_sssp(dg, int(source), state.dist[source])
+
+    return ShardHooks(graph, sweep_row)
+
+
+register_solver(
+    SolverSpec(
+        name="delta-stepping",
+        ordering="none",
+        schedule=Schedule.DYNAMIC,
+        parallel=True,
+        description="Δ-stepping per source: bucketed frontier with "
+        "light/heavy split, bucket fusion and lazy bucket updates",
+        negative_weights=False,
+        batchable=False,
+        simulatable=True,
+        store_buildable=True,
+        uses_flags=False,
+        uses_delta=True,
+        solve=_solve_delta,
+        shard_hooks=_delta_shard_hooks,
+    )
+)

@@ -1,0 +1,176 @@
+"""Declarative solver registry.
+
+Every APSP algorithm the library can run is described by one
+:class:`SolverSpec`: its pipeline defaults (ordering, schedule), its
+*capability flags* (can it take negative weights? ride the batched
+kernels? run on the SIM backend? build a distance store?) and the
+callables that actually solve.  :class:`repro.config.SolverConfig`
+validates against the spec's flags, :func:`repro.core.solve_apsp`
+dispatches through ``spec.solve``, and
+:func:`repro.core.solve_apsp_shards` streams shards through
+``spec.shard_hooks`` — so registering a solver here is the *only* step
+needed to expose it through the config layer, the CLI
+(``repro-apsp solve --algorithm <name>``), the smoke/bench harness and
+the distance-store builder.
+
+The five paper algorithms (``seq-basic`` … ``parapsp``) are registered
+by :mod:`repro.core.runner` as one *sweep family* sharing a solve
+callable; ``delta-stepping`` and ``johnson`` register themselves from
+their own modules.  Names are canonicalised so ``delta_stepping`` and
+``delta-stepping`` address the same spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..exceptions import ConfigError
+from ..types import Schedule
+
+__all__ = [
+    "SolverSpec",
+    "ShardHooks",
+    "register_solver",
+    "get_solver",
+    "solver_names",
+    "canonical_solver_name",
+]
+
+
+@dataclass
+class ShardHooks:
+    """How one solver participates in the shard-streaming solve.
+
+    ``graph`` is the graph the per-row sweeps actually run on (Johnson
+    substitutes its reweighted graph); ``sweep_row(graph, source,
+    state, cfg)`` fills ``state.dist[source]`` with that source's
+    distance row; the optional ``finalize(start, block)`` post-processes
+    a completed ``(k, n)`` block in place before it is yielded (Johnson
+    un-reweights there).
+    """
+
+    graph: object
+    sweep_row: Callable[..., None]
+    finalize: Optional[Callable[[int, object], None]] = None
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """Declarative description of one registered APSP solver.
+
+    The first five fields mirror the legacy ``AlgorithmSpec`` so code
+    that only reads pipeline defaults (the CLI info table, the config
+    cross-checks) is unchanged.  The capability flags are what
+    :class:`repro.config.SolverConfig` validates requests against; the
+    callables are what the runner dispatches to.
+    """
+
+    name: str
+    ordering: str
+    schedule: Schedule
+    parallel: bool
+    description: str
+    #: accepts graphs with strictly negative arc weights
+    negative_weights: bool = False
+    #: can route its sweep through the batched lockstep kernels
+    #: (``block_size`` / ``kernel`` knobs)
+    batchable: bool = False
+    #: has a virtual-time model on the SIM backend
+    simulatable: bool = True
+    #: can stream shards for :func:`repro.serve.solve_to_store`
+    store_buildable: bool = True
+    #: honours Algorithm 1's flag-reuse shortcut (``use_flags``)
+    uses_flags: bool = False
+    #: consumes the Δ bucket-width knob (``algorithm.delta``)
+    uses_delta: bool = False
+    #: ``solve(graph, cfg, spec) -> APSPResult``
+    solve: Optional[Callable] = field(default=None, compare=False, repr=False)
+    #: ``shard_hooks(graph, cfg) -> ShardHooks`` (required when
+    #: ``store_buildable``)
+    shard_hooks: Optional[Callable] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def capabilities(self) -> Dict[str, bool]:
+        """The capability flags as a plain dict (docs / CLI tables)."""
+        return {
+            "negative_weights": self.negative_weights,
+            "batchable": self.batchable,
+            "simulatable": self.simulatable,
+            "store_buildable": self.store_buildable,
+            "uses_flags": self.uses_flags,
+            "uses_delta": self.uses_delta,
+        }
+
+
+#: the registry itself; :data:`repro.core.runner.ALGORITHMS` is this
+#: very dict, kept importable under its historical name
+_REGISTRY: Dict[str, SolverSpec] = {}
+
+
+def canonical_solver_name(name: object) -> str:
+    """Normalise a user-supplied solver name (``delta_stepping`` →
+    ``delta-stepping``)."""
+    return str(name).strip().lower().replace("_", "-")
+
+
+def register_solver(spec: SolverSpec, *, replace: bool = False) -> SolverSpec:
+    """Add ``spec`` to the registry under its canonical name.
+
+    Re-registering an existing name is an error unless ``replace=True``
+    (tests swapping in instrumented solvers use that).  Returns the spec
+    for decorator-ish chaining.
+    """
+    if not isinstance(spec, SolverSpec):
+        raise TypeError(
+            f"register_solver expects a SolverSpec, got {type(spec).__name__}"
+        )
+    key = canonical_solver_name(spec.name)
+    if key != spec.name:
+        raise ConfigError(
+            f"solver name {spec.name!r} is not canonical; register it "
+            f"as {key!r}",
+            field="algorithm.name",
+        )
+    if spec.solve is None:
+        raise ConfigError(
+            f"solver {key!r} has no solve callable",
+            field="algorithm.name",
+        )
+    if spec.store_buildable and spec.shard_hooks is None:
+        raise ConfigError(
+            f"solver {key!r} declares store_buildable but provides no "
+            "shard_hooks",
+            field="algorithm.name",
+        )
+    if key in _REGISTRY and not replace:
+        raise ConfigError(
+            f"solver {key!r} is already registered "
+            "(pass replace=True to override)",
+            field="algorithm.name",
+        )
+    _REGISTRY[key] = spec
+    return spec
+
+
+def get_solver(name: object) -> SolverSpec:
+    """Look up a solver by (canonicalised) name.
+
+    Raises :class:`~repro.exceptions.ConfigError` naming the
+    ``algorithm.name`` field and listing the registered solvers.
+    """
+    key = canonical_solver_name(name)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigError(
+            f"unknown algorithm {name!r}; registered solvers: {known}",
+            field="algorithm.name",
+        ) from None
+
+
+def solver_names() -> Tuple[str, ...]:
+    """All registered solver names, in registration order."""
+    return tuple(_REGISTRY)

@@ -27,11 +27,11 @@ from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..exceptions import NegativeWeightError
 from ..graphs.csr import CSRGraph
 from ..graphs.degree import DegreeKind, degree_array
 from ..obs import metrics as _obs
@@ -39,6 +39,14 @@ from ..order import compute_order, simulate_order
 from ..simx.machine import MachineSpec, default_machine
 from ..types import Backend, PhaseTimes, Schedule
 from .costs import DEFAULT_COST_MODEL, DijkstraCostModel
+from .registry import (
+    ShardHooks,
+    SolverSpec,
+    _REGISTRY,
+    get_solver,
+    register_solver,
+    solver_names,
+)
 from .simulate import simulate_sweep
 from .state import APSPResult
 from .sweep import run_sweep
@@ -51,64 +59,100 @@ __all__ = [
     "algorithm_names",
 ]
 
+#: historical alias — an ``AlgorithmSpec`` is now a registry
+#: :class:`~repro.core.registry.SolverSpec` (same leading fields)
+AlgorithmSpec = SolverSpec
 
-@dataclass(frozen=True)
-class AlgorithmSpec:
-    """Defaults that make one named algorithm out of the pipeline."""
-
-    name: str
-    ordering: str
-    schedule: Schedule
-    parallel: bool
-    description: str
+#: the solver registry under its historical name; this *is* the live
+#: registry dict, so ``ALGORITHMS[name]`` sees every registered solver
+ALGORITHMS: Dict[str, SolverSpec] = _REGISTRY
 
 
-ALGORITHMS: Dict[str, AlgorithmSpec] = {
-    spec.name: spec
+def algorithm_names() -> Tuple[str, ...]:
+    return solver_names()
+
+
+def _sweep_shard_hooks(graph: CSRGraph, cfg) -> ShardHooks:
+    """Sweep-family shard participation: one modified-Dijkstra row per
+    source, flag reuse restricted to in-shard rows (see
+    :func:`solve_apsp_shards`)."""
+    from .modified_dijkstra import modified_dijkstra_sssp
+
+    def sweep_row(g, source, state, cfg) -> None:
+        modified_dijkstra_sssp(
+            g,
+            int(source),
+            state,
+            queue=cfg.algorithm.queue,
+            use_flags=cfg.algorithm.use_flags,
+        )
+
+    return ShardHooks(graph, sweep_row)
+
+
+def _register_sweep_family() -> None:
+    """Register the five paper algorithms as one sweep family.
+
+    They share every capability (batched kernels, SIM model, shard
+    streaming, flag reuse) and one solve callable; only their pipeline
+    defaults differ.
+    """
+    common = dict(
+        negative_weights=False,
+        batchable=True,
+        simulatable=True,
+        store_buildable=True,
+        uses_flags=True,
+        uses_delta=False,
+        solve=_solve_sweep_family,
+        shard_hooks=_sweep_shard_hooks,
+    )
     for spec in (
-        AlgorithmSpec(
+        SolverSpec(
             "seq-basic",
             ordering="none",
             schedule=Schedule.DYNAMIC,
             parallel=False,
             description="Peng et al. basic APSP (Algorithm 2), sequential",
+            **common,
         ),
-        AlgorithmSpec(
+        SolverSpec(
             "seq-opt",
             ordering="selection",
             schedule=Schedule.DYNAMIC,
             parallel=False,
-            description="Peng et al. optimized APSP (Algorithm 3), sequential",
+            description="Peng et al. optimized APSP (Algorithm 3), "
+            "sequential",
+            **common,
         ),
-        AlgorithmSpec(
+        SolverSpec(
             "paralg1",
             ordering="none",
             schedule=Schedule.DYNAMIC,
             parallel=True,
             description="parallel basic APSP (§3.1)",
+            **common,
         ),
-        AlgorithmSpec(
+        SolverSpec(
             "paralg2",
             ordering="selection",
             schedule=Schedule.DYNAMIC,
             parallel=True,
             description="parallel optimized APSP, sequential ordering "
             "(Algorithm 4)",
+            **common,
         ),
-        AlgorithmSpec(
+        SolverSpec(
             "parapsp",
             ordering="multilists",
             schedule=Schedule.DYNAMIC,
             parallel=True,
             description="ParAPSP: MultiLists ordering + dynamic-cyclic "
             "sweep (Algorithm 8)",
+            **common,
         ),
-    )
-}
-
-
-def algorithm_names() -> Tuple[str, ...]:
-    return tuple(ALGORITHMS)
+    ):
+        register_solver(spec)
 
 
 #: defaults of the legacy flat kwargs — used by the shim to detect which
@@ -125,6 +169,7 @@ _KWARG_DEFAULTS: Dict[str, object] = {
     "degree_kind": DegreeKind.OUT,
     "chunk": 1,
     "use_flags": True,
+    "delta": None,
     "block_size": None,
     "kernel": "auto",
     "cost_model": DEFAULT_COST_MODEL,
@@ -177,6 +222,7 @@ def solve_apsp(
     degree_kind: "DegreeKind | str" = DegreeKind.OUT,
     chunk: int = 1,
     use_flags: bool = True,
+    delta: "float | str | None" = None,
     block_size: "int | str | None" = None,
     kernel: str = "auto",
     cost_model: DijkstraCostModel = DEFAULT_COST_MODEL,
@@ -211,6 +257,11 @@ def solve_apsp(
     the exact APSP matrix regardless of algorithm, backend, schedule or
     thread count.
 
+    ``delta`` (a positive float, ``"auto"``, or ``None`` = auto) sets
+    the Δ-stepping bucket width; only the ``delta-stepping`` solver
+    consumes it (:class:`~repro.config.SolverConfig` rejects it
+    elsewhere).
+
     ``block_size`` (an int, ``"auto"``, or ``None`` = unbatched) routes
     the sweep phase through the batched lockstep engine of
     :mod:`repro.core.batch`; ``kernel`` selects the blocked-kernel
@@ -241,6 +292,7 @@ def solve_apsp(
                 "degree_kind": degree_kind,
                 "chunk": chunk,
                 "use_flags": use_flags,
+                "delta": delta,
                 "block_size": block_size,
                 "kernel": kernel,
                 "cost_model": cost_model,
@@ -279,8 +331,29 @@ def solve_apsp(
 
 
 def _solve_with_config(graph: CSRGraph, cfg) -> APSPResult:
-    """The single dispatch path behind both ``solve_apsp`` spellings."""
-    spec = ALGORITHMS[cfg.algorithm.name]
+    """The single dispatch path behind both ``solve_apsp`` spellings.
+
+    Resolves the registered :class:`~repro.core.registry.SolverSpec`,
+    enforces the graph-level capability contract (a negative-weight
+    graph needs a solver that declares ``negative_weights``) and hands
+    off to the spec's solve callable.
+    """
+    spec = get_solver(cfg.algorithm.name)
+    if graph.has_negative_weights and not spec.negative_weights:
+        capable = ", ".join(
+            name for name, s in ALGORITHMS.items() if s.negative_weights
+        ) or "(none registered)"
+        raise NegativeWeightError(
+            f"graph {graph.name or 'anonymous'!r} has negative arc "
+            f"weights, which solver {spec.name!r} does not support; "
+            f"solvers with negative-weight support: {capable}"
+        )
+    return spec.solve(graph, cfg, spec)
+
+
+def _solve_sweep_family(graph: CSRGraph, cfg, spec: SolverSpec) -> APSPResult:
+    """``spec.solve`` of the five paper algorithms (and Johnson's inner
+    phase): ordering + modified-Dijkstra sweep on the chosen backend."""
     algorithm = spec.name
     backend = Backend(cfg.parallel.backend)
     sched = (
@@ -498,7 +571,6 @@ def solve_apsp_shards(
     from ..config import SolverConfig
     from ..exceptions import ConfigError
     from ..types import INF
-    from .modified_dijkstra import modified_dijkstra_sssp
 
     if not isinstance(shard_rows, int) or isinstance(shard_rows, bool) \
             or shard_rows < 1:
@@ -537,7 +609,22 @@ def solve_apsp_shards(
             field="parallel.backend",
         )
 
-    spec = ALGORITHMS[cfg.algorithm.name]
+    spec = get_solver(cfg.algorithm.name)
+    if not spec.store_buildable or spec.shard_hooks is None:
+        raise ConfigError(
+            f"solver {spec.name!r} does not support the shard-streaming "
+            "solve (store_buildable is off)",
+            field="algorithm.name",
+        )
+    if graph.has_negative_weights and not spec.negative_weights:
+        raise NegativeWeightError(
+            f"graph {graph.name or 'anonymous'!r} has negative arc "
+            f"weights, which solver {spec.name!r} does not support"
+        )
+    # the spec decides how a row is produced: which graph the sweeps run
+    # on (Johnson substitutes its reweighted graph), how one source's
+    # row is filled, and any per-block post-processing
+    hooks = spec.shard_hooks(graph, cfg)
     ordering_name = (
         cfg.algorithm.ordering
         if cfg.algorithm.ordering is not None
@@ -570,12 +657,16 @@ def solve_apsp_shards(
         )
         with _obs.span("apsp.shard"):
             for s in sources:
-                modified_dijkstra_sssp(
-                    graph,
-                    int(s),
-                    state,
-                    queue=cfg.algorithm.queue,
-                    use_flags=cfg.algorithm.use_flags,
-                )
+                hooks.sweep_row(hooks.graph, int(s), state, cfg)
+        if hooks.finalize is not None:
+            hooks.finalize(start, block)
         _obs.counter_add("serve.store.shards_solved", 1)
         yield start, block
+
+
+_register_sweep_family()
+
+# importing these modules registers the non-sweep-family solvers; the
+# imports sit below the registration machinery they depend on
+from . import delta_stepping as _delta_stepping  # noqa: E402,F401
+from . import johnson as _johnson  # noqa: E402,F401

@@ -18,6 +18,8 @@ __all__ = [
     "BackendError",
     "SimulationError",
     "AlgorithmError",
+    "NegativeWeightError",
+    "NegativeCycleError",
     "ConfigError",
     "ValidationError",
     "BenchmarkError",
@@ -63,6 +65,34 @@ class SimulationError(ReproError):
 
 class AlgorithmError(ReproError):
     """An APSP algorithm was invoked with invalid inputs."""
+
+
+class NegativeWeightError(AlgorithmError):
+    """A graph with negative arc weights was given to a solver that
+    requires non-negative weights.
+
+    Raised at dispatch time (not construction: a graph built with
+    ``allow_negative=True`` is a perfectly valid graph) so the message
+    can point at the solvers whose :class:`repro.core.SolverSpec`
+    declares ``negative_weights=True`` — currently Johnson's algorithm.
+    """
+
+
+class NegativeCycleError(AlgorithmError):
+    """The graph contains a cycle of negative total weight.
+
+    Shortest-path distances are undefined on such graphs (any walk can
+    be shortened forever by another lap), so Johnson's Bellman–Ford
+    phase detects the condition and raises instead of returning
+    garbage.  Carries a witness vertex known to be on or reachable from
+    the cycle when one is available.
+    """
+
+    def __init__(
+        self, message: str, *, witness: "int | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.witness = witness
 
 
 class ConfigError(AlgorithmError, ScheduleError, BackendError):

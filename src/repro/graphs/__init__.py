@@ -12,12 +12,14 @@ from .build import (
 )
 from .degree import DegreeKind, degree_array, degree_bounds, degree_histogram
 from .generators import (
+    attach_negative_weights,
     attach_random_weights,
     barabasi_albert,
     complete,
     cycle,
     erdos_renyi,
     grid_2d,
+    negative_cycle_graph,
     path,
     powerlaw_configuration,
     random_weighted,
@@ -54,12 +56,14 @@ __all__ = [
     "degree_array",
     "degree_bounds",
     "degree_histogram",
+    "attach_negative_weights",
     "attach_random_weights",
     "barabasi_albert",
     "complete",
     "cycle",
     "erdos_renyi",
     "grid_2d",
+    "negative_cycle_graph",
     "path",
     "powerlaw_configuration",
     "random_weighted",

@@ -36,15 +36,25 @@ class CSRGraph:
         For an undirected graph every edge appears twice (both arcs).
     weights:
         ``float64[m]`` — positive arc weights aligned with ``indices``.
+        With ``allow_negative=True`` any *finite* weights are accepted
+        (zero and negative included); only solvers whose
+        :class:`repro.core.SolverSpec` declares ``negative_weights=True``
+        (Johnson) can run on such a graph.
     directed:
         Whether the graph semantics are directed.  Undirected graphs must
         store both arcs of every edge; this is validated lazily by
         :func:`repro.graphs.validate.check_symmetry`.
     name:
         Optional human-readable label (dataset registry name).
+    allow_negative:
+        Opt into negative/zero arc weights.  Off by default so the
+        Dijkstra-family solvers keep their construction-time guarantee.
     """
 
-    __slots__ = ("indptr", "indices", "weights", "directed", "name")
+    __slots__ = (
+        "indptr", "indices", "weights", "directed", "name",
+        "_has_negative",
+    )
 
     def __init__(
         self,
@@ -54,6 +64,7 @@ class CSRGraph:
         *,
         directed: bool = False,
         name: str = "",
+        allow_negative: bool = False,
     ) -> None:
         indptr = np.ascontiguousarray(indptr, dtype=VERTEX_DTYPE)
         indices = np.ascontiguousarray(indices, dtype=VERTEX_DTYPE)
@@ -85,12 +96,22 @@ class CSRGraph:
                     f"weights shape {weights.shape} does not match "
                     f"indices shape {indices.shape}"
                 )
-            if indices.size and not np.all(weights > 0):
+            if allow_negative:
+                if indices.size and not np.all(np.isfinite(weights)):
+                    raise GraphError(
+                        "edge weights must be finite (allow_negative "
+                        "permits negative and zero weights, not NaN/inf)"
+                    )
+            elif indices.size and not np.all(weights > 0):
                 raise GraphError(
                     "edge weights must be strictly positive (Dijkstra-"
                     "family algorithms require non-negative weights; "
-                    "zero-weight self-reinforcing cycles are excluded)"
+                    "zero-weight self-reinforcing cycles are excluded); "
+                    "pass allow_negative=True for Johnson-style graphs"
                 )
+        self._has_negative = bool(indices.size) and bool(
+            np.any(weights < 0)
+        )
         self.indptr = indptr
         self.indices = indices
         self.weights = weights
@@ -108,6 +129,11 @@ class CSRGraph:
     @property
     def num_vertices(self) -> int:
         return self.indptr.size - 1
+
+    @property
+    def has_negative_weights(self) -> bool:
+        """True when any arc weight is strictly negative (cached)."""
+        return self._has_negative
 
     @property
     def num_arcs(self) -> int:
@@ -185,6 +211,7 @@ class CSRGraph:
             weights,
             directed=self.directed,
             name=self.name and f"{self.name}:reversed",
+            allow_negative=True,  # weights come from a validated graph
         )
 
     def with_unit_weights(self) -> "CSRGraph":
@@ -229,6 +256,7 @@ class CSRGraph:
             weights,
             directed=self.directed,
             name=self.name and f"{self.name}:sub{keep.size}",
+            allow_negative=True,  # weights come from a validated graph
         )
 
     # ------------------------------------------------------------------

@@ -33,6 +33,8 @@ __all__ = [
     "complete",
     "grid_2d",
     "attach_random_weights",
+    "attach_negative_weights",
+    "negative_cycle_graph",
 ]
 
 
@@ -278,6 +280,60 @@ def attach_random_weights(
         weights.astype(WEIGHT_DTYPE),
         directed=graph.directed,
         name=graph.name and f"{graph.name}:weighted",
+    )
+
+
+def attach_negative_weights(
+    graph: CSRGraph,
+    *,
+    potential_range: int = 5,
+    seed: Optional[int] = None,
+) -> CSRGraph:
+    """Reweight a positive-weight *directed* graph so some arcs go
+    negative while provably introducing no negative cycle.
+
+    Draws an integer potential ``p[v]`` per vertex and sets
+    ``w'(u, v) = w(u, v) + p[u] - p[v]``.  Along any cycle the potential
+    terms telescope to zero, so every cycle keeps its original (positive)
+    weight — the graph has negative arcs but no negative cycle, which is
+    exactly the regime Johnson's algorithm must handle.  Integer
+    potentials on integer-valued weights keep path sums exact in float64.
+    """
+    if not graph.directed:
+        raise GraphError(
+            "attach_negative_weights requires a directed graph: an "
+            "undirected negative edge is itself a negative 2-cycle"
+        )
+    if potential_range < 1:
+        raise GraphError("potential_range must be >= 1")
+    rng = _rng(seed)
+    n = graph.num_vertices
+    p = rng.integers(0, potential_range + 1, size=n).astype(WEIGHT_DTYPE)
+    src = np.repeat(np.arange(n, dtype=VERTEX_DTYPE), np.diff(graph.indptr))
+    weights = graph.weights + p[src] - p[graph.indices]
+    return CSRGraph(
+        graph.indptr.copy(),
+        graph.indices.copy(),
+        weights,
+        directed=True,
+        name=graph.name and f"{graph.name}:neg",
+        allow_negative=True,
+    )
+
+
+def negative_cycle_graph(*, name: str = "neg-cycle") -> CSRGraph:
+    """Tiny directed graph containing a negative cycle (0→1→2→0).
+
+    Fixture for negative-cycle detection tests: the 3-cycle sums to
+    ``1 + 1 - 3 = -1`` and vertex 3 hangs off it so detection must work
+    even with vertices outside the cycle.
+    """
+    indptr = np.array([0, 1, 2, 4, 4], dtype=VERTEX_DTYPE)
+    indices = np.array([1, 2, 0, 3], dtype=VERTEX_DTYPE)
+    weights = np.array([1.0, 1.0, -3.0, 2.0], dtype=WEIGHT_DTYPE)
+    return CSRGraph(
+        indptr, indices, weights,
+        directed=True, name=name, allow_negative=True,
     )
 
 

@@ -22,8 +22,12 @@ __all__ = [
 ]
 
 
-def check_structure(graph: CSRGraph) -> None:
-    """Re-run the CSR invariants (indptr monotone, ids in range)."""
+def check_structure(graph: CSRGraph, *, allow_negative: bool = False) -> None:
+    """Re-run the CSR invariants (indptr monotone, ids in range).
+
+    ``allow_negative=True`` relaxes the weight check to finite-only, the
+    invariant Johnson-style negative-weight graphs satisfy.
+    """
     indptr, indices = graph.indptr, graph.indices
     n = graph.num_vertices
     if indptr[0] != 0 or indptr[-1] != indices.size:
@@ -34,7 +38,10 @@ def check_structure(graph: CSRGraph) -> None:
         raise GraphError("indices out of range")
     if graph.weights.shape != indices.shape:
         raise GraphError("weights misaligned")
-    if indices.size and not np.all(graph.weights > 0):
+    if allow_negative:
+        if indices.size and not np.all(np.isfinite(graph.weights)):
+            raise GraphError("non-finite weights present")
+    elif indices.size and not np.all(graph.weights > 0):
         raise GraphError("non-positive weights present")
 
 

@@ -3,8 +3,10 @@
 ``python -m repro.obs.regress baseline.json current.json`` diffs two
 ``BENCH_*.json`` artifacts and exits non-zero on a regression:
 
-* **params**  — workload identity must match exactly (a changed graph or
-  thread count makes the comparison meaningless, so it fails loudly);
+* **params**  — workload identity must match exactly; artifacts from
+  different solvers/configs are *incomparable*, so any identity mismatch
+  fails with a single clear message (per-key detail in the notes) and
+  skips the counter/timing diffs that could never agree anyway;
 * **counters** — operation counts are machine-independent and must match
   *exactly*; more merges/relaxations than the baseline means the
   algorithm got algorithmically worse, fewer means the baseline is stale
@@ -188,9 +190,26 @@ def compare_artifacts(
             f"vs current {current['schema']!r}"
         )
 
-    _compare_params(
-        baseline["params"], current["params"], ignored, regressions, notes
+    mismatched = _compare_params(
+        baseline["params"], current["params"], ignored, notes
     )
+    if mismatched:
+        # Different solver / workload identity: every downstream section
+        # (counters, virtual timings, fault and serve replays) is a
+        # function of those params, so key-by-key diffs would drown the
+        # real problem in mismatches that can never agree.  Fail with
+        # one actionable message instead.
+        regressions.append(
+            "artifacts come from different solver configurations "
+            f"(params differ: {', '.join(mismatched)}); counters from "
+            "different configs can never match — regenerate the baseline "
+            "with the same algorithm/backend/workload as the current run"
+        )
+        notes.append(
+            "counters/timings/trace/faults/serve comparison skipped: "
+            "artifacts are not comparable"
+        )
+        return regressions, notes
     _compare_counters(
         baseline["counters"], current["counters"], ignored, regressions, notes
     )
@@ -245,22 +264,31 @@ def _compare_params(
     base: Mapping[str, Any],
     cur: Mapping[str, Any],
     ignored: set,
-    regressions: List[str],
     notes: List[str],
-) -> None:
+) -> List[str]:
+    """Check workload identity; returns the mismatched param keys.
+
+    Per-key detail goes to the notes — the caller folds any mismatch
+    into one summary regression, because two artifacts from different
+    configs are *incomparable*, not "wrong on every counter".
+    """
+    mismatched: List[str] = []
     for key in sorted(set(base) | set(cur)):
         if key in ignored:
             notes.append(f"param {key}: ignored")
             continue
         if key not in cur:
-            regressions.append(f"param {key} missing from current artifact")
+            mismatched.append(key)
+            notes.append(f"param {key} missing from current artifact")
         elif key not in base:
             notes.append(f"param {key} new in current: {cur[key]!r}")
         elif base[key] != cur[key]:
-            regressions.append(
-                f"param {key} changed: {base[key]!r} -> {cur[key]!r} "
-                "(not comparable; regenerate the baseline)"
+            mismatched.append(key)
+            notes.append(
+                f"param {key}: baseline {base[key]!r} vs "
+                f"current {cur[key]!r}"
             )
+    return mismatched
 
 
 def _compare_counters(

@@ -1,0 +1,258 @@
+"""Δ-stepping: bucketed SSSP, autotuning, sweeps, SIM contention."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve_apsp
+from repro.core.delta_stepping import (
+    DELTA_AUTOTUNE_FACTORS,
+    DeltaGraph,
+    autotune_delta,
+    delta_stepping_sssp,
+    run_delta_sweep,
+    simulate_delta_sweep,
+)
+from repro.core.dijkstra import dijkstra_sssp
+from repro.exceptions import AlgorithmError, BackendError, ConfigError
+from repro.graphs import attach_random_weights, erdos_renyi
+from repro.obs import MetricsRegistry, use_registry
+from repro.simx import MACHINE_I
+
+
+@pytest.fixture(scope="module")
+def weighted_er():
+    return attach_random_weights(
+        erdos_renyi(70, 0.08, seed=3, directed=True), seed=4
+    )
+
+
+class TestDeltaGraph:
+    def test_light_heavy_partition_is_exact(self, weighted_er):
+        dg = DeltaGraph(weighted_er, 2.0)
+        m = weighted_er.indices.size
+        assert dg.light_weights.size + dg.heavy_weights.size == m
+        assert np.all(dg.light_weights <= 2.0)
+        assert np.all(dg.heavy_weights > 2.0)
+        # per-vertex arc multisets are preserved
+        for v in range(weighted_er.num_vertices):
+            orig = sorted(
+                zip(
+                    weighted_er.indices[
+                        weighted_er.indptr[v]:weighted_er.indptr[v + 1]
+                    ].tolist(),
+                    weighted_er.weights[
+                        weighted_er.indptr[v]:weighted_er.indptr[v + 1]
+                    ].tolist(),
+                )
+            )
+            split = sorted(
+                zip(
+                    dg.light_indices[
+                        dg.light_indptr[v]:dg.light_indptr[v + 1]
+                    ].tolist(),
+                    dg.light_weights[
+                        dg.light_indptr[v]:dg.light_indptr[v + 1]
+                    ].tolist(),
+                )
+            ) + sorted(
+                zip(
+                    dg.heavy_indices[
+                        dg.heavy_indptr[v]:dg.heavy_indptr[v + 1]
+                    ].tolist(),
+                    dg.heavy_weights[
+                        dg.heavy_indptr[v]:dg.heavy_indptr[v + 1]
+                    ].tolist(),
+                )
+            )
+            assert sorted(split) == orig
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_delta_rejected(self, toy_graph, bad):
+        with pytest.raises(ConfigError, match="algorithm.delta"):
+            DeltaGraph(toy_graph, bad)
+
+
+class TestSSSP:
+    @pytest.mark.parametrize("delta", [0.1, 0.7, 2.0, 100.0])
+    def test_matches_dijkstra_bitwise(self, weighted_er, delta):
+        """Δ-stepping relaxes edge-by-edge exactly like Dijkstra, so the
+        distances agree bitwise for any Δ."""
+        dg = DeltaGraph(weighted_er, delta)
+        n = weighted_er.num_vertices
+        dist = np.empty(n)
+        for s in range(0, n, 7):
+            delta_stepping_sssp(dg, s, dist)
+            ref, _ = dijkstra_sssp(weighted_er, s)
+            assert np.array_equal(dist, ref), (s, delta)
+
+    def test_rerun_is_bitwise_idempotent(self, weighted_er):
+        """The row reset inside the sweep makes fault retries exact."""
+        dg = DeltaGraph(weighted_er, 1.5)
+        n = weighted_er.num_vertices
+        dist = np.empty(n)
+        delta_stepping_sssp(dg, 3, dist)
+        first = dist.copy()
+        dist[:] = -123.0  # poison: the sweep must not read stale state
+        counts = delta_stepping_sssp(dg, 3, dist)
+        assert np.array_equal(dist, first)
+        assert counts.pops > 0
+
+    def test_source_out_of_range(self, weighted_er):
+        dg = DeltaGraph(weighted_er, 1.0)
+        dist = np.empty(weighted_er.num_vertices)
+        with pytest.raises(AlgorithmError, match="out of range"):
+            delta_stepping_sssp(dg, weighted_er.num_vertices, dist)
+
+    def test_counters_emitted(self, weighted_er):
+        dg = DeltaGraph(weighted_er, 1.0)
+        dist = np.empty(weighted_er.num_vertices)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            delta_stepping_sssp(dg, 0, dist)
+        counters = registry.counters()
+        assert counters["sweep.count"] == 1
+        assert counters["ops.pops"] > 0
+        assert counters["delta.buckets_processed"] > 0
+        assert (
+            counters["delta.light_relaxations"]
+            + counters["delta.heavy_relaxations"]
+            == counters["ops.edge_relaxations"]
+        )
+        assert registry.gauges()["delta.peak_bucket_index"] >= 0
+
+    def test_small_delta_exercises_lazy_and_fusion_paths(self, weighted_er):
+        """A small Δ forces many buckets and light re-insertions, the
+        regime where lazy skips and bucket fusions must actually fire."""
+        dg = DeltaGraph(weighted_er, 0.2)
+        dist = np.empty(weighted_er.num_vertices)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            for s in range(10):
+                delta_stepping_sssp(dg, s, dist)
+        counters = registry.counters()
+        assert counters["delta.lazy_skips"] > 0
+
+    def test_insert_log_records_bucket_indices(self, weighted_er):
+        dg = DeltaGraph(weighted_er, 1.0)
+        dist = np.empty(weighted_er.num_vertices)
+        log = []
+        counts = delta_stepping_sssp(dg, 0, dist, insert_log=log)
+        assert len(log) == counts.edge_improvements
+        assert all(b >= 0 for b in log)
+
+
+class TestAutotune:
+    def test_winner_is_deterministic(self, weighted_er):
+        d1, samples1 = autotune_delta(weighted_er)
+        d2, _ = autotune_delta(weighted_er)
+        assert d1 == d2
+        assert len(samples1) == len(DELTA_AUTOTUNE_FACTORS) + 1
+
+    def test_explicit_candidates(self, weighted_er):
+        best, samples = autotune_delta(weighted_er, candidates=[0.5, 5.0])
+        assert best in (0.5, 5.0)
+        assert len(samples) == 2
+
+    def test_probes_do_not_pollute_counters(self, weighted_er):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            autotune_delta(weighted_er)
+        assert "ops.pops" not in registry.counters()
+
+    def test_empty_graph_rejected(self):
+        from repro.graphs.csr import CSRGraph
+
+        empty = CSRGraph(
+            np.zeros(1, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0),
+            directed=True,
+        )
+        with pytest.raises(AlgorithmError, match="empty"):
+            autotune_delta(empty)
+
+
+class TestSweep:
+    def test_serial_and_threads_agree_bitwise(self, weighted_er):
+        n = weighted_er.num_vertices
+        order = np.arange(n)
+        a = run_delta_sweep(weighted_er, order, delta=1.5)
+        b = run_delta_sweep(
+            weighted_er, order, delta=1.5, backend="threads", num_threads=4
+        )
+        assert np.array_equal(a.dist, b.dist)
+
+    def test_bad_order_shape(self, weighted_er):
+        with pytest.raises(AlgorithmError, match="order"):
+            run_delta_sweep(weighted_er, np.arange(3), delta=1.0)
+
+    def test_sim_backend_redirected(self, weighted_er):
+        order = np.arange(weighted_er.num_vertices)
+        with pytest.raises(BackendError, match="simulate_delta_sweep"):
+            run_delta_sweep(weighted_er, order, delta=1.0, backend="sim")
+
+
+class TestSimulate:
+    def test_exact_and_deterministic(self, weighted_er):
+        n = weighted_er.num_vertices
+        order = np.arange(n)
+        ref = run_delta_sweep(weighted_er, order, delta=1.5)
+        a = simulate_delta_sweep(
+            weighted_er, order, MACHINE_I, delta=1.5, num_threads=8
+        )
+        b = simulate_delta_sweep(
+            weighted_er, order, MACHINE_I, delta=1.5, num_threads=8
+        )
+        assert np.array_equal(a.dist, ref.dist)
+        assert a.makespan == b.makespan
+
+    def test_bucket_lock_events_in_trace(self, weighted_er):
+        order = np.arange(weighted_er.num_vertices)
+        sweep = simulate_delta_sweep(
+            weighted_er, order, MACHINE_I, delta=0.5, num_threads=8,
+            trace=True,
+        )
+        labels = {
+            e.label for e in sweep.sim.events if e.label is not None
+        }
+        assert any(
+            label.startswith("delta.bucket") for label in labels
+        ), labels
+
+    def test_more_threads_not_slower(self, weighted_er):
+        order = np.arange(weighted_er.num_vertices)
+        t1 = simulate_delta_sweep(
+            weighted_er, order, MACHINE_I, delta=1.5, num_threads=1
+        ).makespan
+        t8 = simulate_delta_sweep(
+            weighted_er, order, MACHINE_I, delta=1.5, num_threads=8
+        ).makespan
+        assert t8 < t1
+
+
+class TestSolveIntegration:
+    def test_extra_records_resolved_delta(self, weighted_er):
+        r = solve_apsp(weighted_er, algorithm="delta-stepping")
+        assert r.extra["delta"] > 0
+        explicit = solve_apsp(
+            weighted_er, algorithm="delta-stepping", delta=2.0
+        )
+        assert explicit.extra["delta"] == 2.0
+
+    def test_sim_matches_serial(self, weighted_er):
+        a = solve_apsp(weighted_er, algorithm="delta-stepping", delta=1.0)
+        b = solve_apsp(
+            weighted_er, algorithm="delta-stepping", delta=1.0,
+            backend="sim", num_threads=8,
+        )
+        assert np.array_equal(a.dist, b.dist)
+
+    def test_delta_rejected_for_other_solvers(self, weighted_er):
+        with pytest.raises(ConfigError, match="algorithm.delta"):
+            solve_apsp(weighted_er, algorithm="parapsp", delta=1.0)
+
+    def test_block_size_rejected_for_delta(self, weighted_er):
+        with pytest.raises(ConfigError, match="batch.block_size"):
+            solve_apsp(
+                weighted_er, algorithm="delta-stepping", block_size=8
+            )

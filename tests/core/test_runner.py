@@ -10,13 +10,15 @@ from tests.conftest import assert_same_apsp
 
 
 class TestAlgorithmRegistry:
-    def test_five_algorithms(self):
+    def test_registered_algorithms(self):
         assert set(algorithm_names()) == {
             "seq-basic",
             "seq-opt",
             "paralg1",
             "paralg2",
             "parapsp",
+            "delta-stepping",
+            "johnson",
         }
 
     def test_paper_configurations(self):

@@ -1,0 +1,158 @@
+"""Negative-weight graph support: construction, generators, validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    attach_negative_weights,
+    attach_random_weights,
+    erdos_renyi,
+    negative_cycle_graph,
+)
+from repro.graphs.csr import CSRGraph
+from repro.graphs.validate import check_structure
+
+
+@pytest.fixture(scope="module")
+def directed_weighted_er():
+    return attach_random_weights(
+        erdos_renyi(50, 0.1, seed=1, directed=True), seed=2
+    )
+
+
+class TestCSRConstruction:
+    def test_strict_positive_check_by_default(self):
+        with pytest.raises(GraphError, match="allow_negative"):
+            CSRGraph(
+                np.array([0, 1, 1]),
+                np.array([1]),
+                np.array([-1.0]),
+                directed=True,
+            )
+
+    def test_allow_negative_accepts_negative_and_zero(self):
+        g = CSRGraph(
+            np.array([0, 2, 2]),
+            np.array([1, 1]),
+            np.array([-1.0, 0.0]),
+            directed=True,
+            allow_negative=True,
+        )
+        assert g.has_negative_weights
+
+    def test_allow_negative_still_rejects_non_finite(self):
+        for bad in (np.nan, np.inf, -np.inf):
+            with pytest.raises(GraphError, match="finite"):
+                CSRGraph(
+                    np.array([0, 1, 1]),
+                    np.array([1]),
+                    np.array([bad]),
+                    directed=True,
+                    allow_negative=True,
+                )
+
+    def test_has_negative_weights_flag(self, directed_weighted_er):
+        assert not directed_weighted_er.has_negative_weights
+        zero_only = CSRGraph(
+            np.array([0, 1, 1]),
+            np.array([1]),
+            np.array([0.0]),
+            directed=True,
+            allow_negative=True,
+        )
+        # zero is not negative: the flag gates solver capability, and
+        # zero weights are fine for every Dijkstra-family solver
+        assert not zero_only.has_negative_weights
+
+    def test_transforms_preserve_negative_weights(self, directed_weighted_er):
+        g = attach_negative_weights(directed_weighted_er, seed=3)
+        rev = g.reverse()
+        assert rev.has_negative_weights
+        sub = g.subgraph(np.arange(20))
+        assert isinstance(sub, CSRGraph)
+
+
+class TestAttachNegativeWeights:
+    def test_potential_reweighting_shape(self, directed_weighted_er):
+        g = attach_negative_weights(directed_weighted_er, seed=7)
+        assert g.num_vertices == directed_weighted_er.num_vertices
+        assert g.indices.size == directed_weighted_er.indices.size
+        assert np.array_equal(g.indptr, directed_weighted_er.indptr)
+
+    def test_no_negative_cycles_by_construction(self, directed_weighted_er):
+        """Potential reweighting telescopes along any cycle, so cycle
+        sums are unchanged — Bellman–Ford must reach a fixpoint."""
+        from repro.core.johnson import bellman_ford_potentials
+
+        g = attach_negative_weights(
+            directed_weighted_er, potential_range=10, seed=8
+        )
+        h, passes, _ = bellman_ford_potentials(g)  # must not raise
+        assert np.all(np.isfinite(h))
+        assert passes <= g.num_vertices
+
+    def test_deterministic_under_seed(self, directed_weighted_er):
+        a = attach_negative_weights(directed_weighted_er, seed=9)
+        b = attach_negative_weights(directed_weighted_er, seed=9)
+        assert np.array_equal(a.weights, b.weights)
+        c = attach_negative_weights(directed_weighted_er, seed=10)
+        assert not np.array_equal(a.weights, c.weights)
+
+    def test_undirected_rejected(self):
+        undirected = attach_random_weights(
+            erdos_renyi(20, 0.2, seed=4), seed=5
+        )
+        with pytest.raises(GraphError, match="directed"):
+            attach_negative_weights(undirected, seed=6)
+
+    def test_shortest_path_structure_preserved(self, directed_weighted_er):
+        """Reweighting by potentials shifts every s→v path by the same
+        h[s] − h[v], so argmin paths (and reachability) are unchanged."""
+        from repro.core.johnson import bellman_ford_apsp
+
+        g = attach_negative_weights(directed_weighted_er, seed=11)
+        from repro.core import solve_apsp
+
+        orig = solve_apsp(directed_weighted_er, algorithm="parapsp").dist
+        neg = bellman_ford_apsp(g)
+        assert np.array_equal(np.isfinite(orig), np.isfinite(neg))
+
+
+class TestNegativeCycleGraph:
+    def test_contains_a_negative_cycle(self):
+        g = negative_cycle_graph()
+        assert g.directed
+        assert g.has_negative_weights
+        # cycle 0 -> 1 -> 2 -> 0 sums below zero
+        total = 0.0
+        for u, v in ((0, 1), (1, 2), (2, 0)):
+            lo, hi = g.indptr[u], g.indptr[u + 1]
+            row = g.indices[lo:hi]
+            k = np.nonzero(row == v)[0]
+            assert k.size == 1
+            total += float(g.weights[lo:hi][k[0]])
+        assert total < 0
+
+
+class TestValidate:
+    def test_check_structure_rejects_negative_by_default(self):
+        g = negative_cycle_graph()
+        with pytest.raises(GraphError, match="non-positive"):
+            check_structure(g)
+
+    def test_check_structure_allow_negative(self):
+        check_structure(negative_cycle_graph(), allow_negative=True)
+
+    def test_check_structure_allow_negative_rejects_nan(self):
+        g = CSRGraph(
+            np.array([0, 1, 1]),
+            np.array([1]),
+            np.array([-1.0]),
+            directed=True,
+            allow_negative=True,
+        )
+        g.weights.setflags(write=True)
+        g.weights[0] = np.nan  # corrupt after construction
+        with pytest.raises(GraphError, match="non-finite"):
+            check_structure(g, allow_negative=True)

@@ -83,8 +83,26 @@ class TestCompare:
 
     def test_changed_param_fails_loudly(self):
         cur = make_artifact(params={"threads": 16})
-        regressions, _ = compare_artifacts(make_artifact(), cur)
-        assert any("param threads" in r for r in regressions)
+        regressions, notes = compare_artifacts(make_artifact(), cur)
+        # exactly ONE regression: the artifacts are incomparable — the
+        # per-counter diffs that could never match must not pile on
+        assert len(regressions) == 1
+        assert "different solver configurations" in regressions[0]
+        assert "threads" in regressions[0]
+        assert "regenerate the baseline" in regressions[0]
+        # per-key detail is demoted to the notes
+        assert any("param threads" in n for n in notes)
+
+    def test_incomparable_artifacts_skip_counter_diffs(self):
+        cur = make_artifact(
+            params={"algorithm": "johnson"},
+            counters={"ops.row_merges": 1, "ops.edge_relaxations": 2},
+        )
+        base = make_artifact(params={"algorithm": "parapsp"})
+        regressions, notes = compare_artifacts(base, cur)
+        assert len(regressions) == 1
+        assert not any(r.startswith("counter ") for r in regressions)
+        assert any("comparison skipped" in n for n in notes)
 
     def test_ignore_excludes_key_from_gating(self):
         cur = make_artifact(counters={"ops.row_merges": 9999})
