@@ -28,7 +28,7 @@ Serving queries out-of-core (see ``docs/serving.md``)::
 """
 
 from ._version import __version__
-from .config import SolverConfig, load_config
+from .config import SolverConfig, StoreConfig, load_config
 from .core import (
     ShardHooks,
     SolverSpec,
@@ -76,6 +76,7 @@ __all__ = [
     "NegativeCycleError",
     "NegativeWeightError",
     "SolverConfig",
+    "StoreConfig",
     "load_config",
     "ClusterSpec",
     "simulate_distributed_apsp",

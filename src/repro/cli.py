@@ -255,7 +255,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store.add_argument(
         "--landmarks", type=int, default=8,
-        help="pinned landmark rows for degraded answers",
+        help="pinned landmark rows for ALT bounds / degraded answers",
+    )
+    store.add_argument(
+        "--codec", default="raw",
+        choices=("raw", "f4", "u16q", "u16qd"),
+        help="shard codec: raw f8, f4, u16 quantized (certified error "
+        "bound), or u16 quantized + degree-order delta + zlib",
+    )
+    store.add_argument(
+        "--epsilon", type=float, default=None, metavar="EPS",
+        help="recommended ALT short-circuit gap recorded in the "
+        "manifest (0 = exact-gap only; omit to disable)",
     )
 
     query = sub.add_parser(
@@ -271,7 +282,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--approx", action="store_true",
-        help="answer from the pinned landmarks (the degraded path)",
+        help="answer from the pinned landmarks (certified ALT bounds, "
+        "the degraded path)",
+    )
+    query.add_argument(
+        "--max-error", type=float, default=None, metavar="EPS",
+        help="allow point answers from ALT landmark bounds whenever "
+        "their certified gap is <= EPS (no shard load); overrides the "
+        "store's recorded epsilon",
     )
 
     serve_bench = sub.add_parser(
@@ -284,9 +302,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--scale", type=int, default=None)
     serve_bench.add_argument("--shard-rows", type=int, default=None)
     serve_bench.add_argument("--cache-shards", type=int, default=None)
+    serve_bench.add_argument(
+        "--codec", default=None,
+        choices=("raw", "f4", "u16q", "u16qd"),
+        help="shard codec for the bench store",
+    )
+    serve_bench.add_argument(
+        "--curve", metavar="PATH", default=None,
+        help="sweep every codec; write the accuracy-vs-latency curve",
+    )
 
     sub.add_parser("datasets", help="list the dataset registry")
-    sub.add_parser("info", help="algorithm and experiment inventory")
+    info = sub.add_parser(
+        "info", help="algorithm and experiment inventory"
+    )
+    info.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="dump a distance store's manifest (schema, codec, "
+        "certified error, byte stats) instead",
+    )
     return parser
 
 
@@ -597,14 +631,24 @@ def _cmd_store(args: argparse.Namespace) -> int:
             args.out,
             shard_rows=args.shard_rows,
             num_landmarks=args.landmarks,
+            codec=args.codec,
+            epsilon=args.epsilon,
         )
     except ReproError as exc:
         raise SystemExit(f"repro-apsp store: error: {exc}")
     wall = time.perf_counter() - t0
-    shard_mb = store.shard_nbytes(0) / 2**20
+    sizes = [store.shard_nbytes(i) for i in range(store.num_shards)]
+    total = sum(sizes)
+    raw_equiv = store.n * store.n * 8
     print(f"graph     : {graph!r}")
     print(f"store     : {store.path} ({store.num_shards} shard(s) of "
-          f"{store.shard_rows} row(s), {shard_mb:.2f} MiB each)")
+          f"{store.shard_rows} row(s))")
+    print(f"codec     : {store.codec_name} "
+          f"(certified max abs error {store.max_abs_error:g})")
+    print(f"bytes     : {total} ({total / 2**20:.2f} MiB) on disk; "
+          f"raw f8 would be {raw_equiv} ({raw_equiv / total:.1f}x)")
+    print(f"shards    : min {min(sizes)} / mean "
+          f"{total / len(sizes):.0f} / max {max(sizes)} bytes")
     print(f"landmarks : {store.landmark_ids}")
     print(f"built in  : {wall:.3g} s (peak memory one shard, not n^2)")
     return 0
@@ -616,7 +660,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
     try:
         store = DistStore.open(args.store)
-        engine = QueryEngine(store)
+        engine = QueryEngine(store, epsilon=args.max_error)
         if args.top_k is not None:
             nearest = engine.top_k(args.u, args.top_k)
             print(f"top-{args.top_k} nearest to {args.u}:")
@@ -634,11 +678,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
                       f"max {row[finite].max():.4g}")
             return 0
         if args.approx:
-            bound = engine.dist_approx(args.u, args.v)
-            print(f"dist({args.u}, {args.v}) <= {bound:g} "
-                  f"(landmark upper bound, approximate)")
+            lo, hi = engine.dist_approx(args.u, args.v)
+            print(f"{lo:g} <= dist({args.u}, {args.v}) <= {hi:g} "
+                  f"(certified ALT landmark bounds, gap {hi - lo:g})")
             return 0
-        print(f"dist({args.u}, {args.v}) = {engine.dist(args.u, args.v):g}")
+        value = engine.dist(args.u, args.v)
+        suffix = ""
+        if engine.stats["short_circuits"]:
+            suffix = (f"  (ALT short-circuit, error <= "
+                      f"{(engine.epsilon or 0.0) / 2:g}, no shard load)")
+        print(f"dist({args.u}, {args.v}) = {value:g}{suffix}")
         return 0
     except ReproError as exc:
         raise SystemExit(f"repro-apsp query: error: {exc}")
@@ -655,6 +704,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         argv += ["--shard-rows", str(args.shard_rows)]
     if args.cache_shards is not None:
         argv += ["--cache-shards", str(args.cache_shards)]
+    if args.codec is not None:
+        argv += ["--codec", args.codec]
+    if args.curve is not None:
+        argv += ["--curve", args.curve]
     try:
         return serve_bench.main(argv)
     except ReproError as exc:
@@ -686,7 +739,43 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_info(_args: argparse.Namespace) -> int:
+def _cmd_store_info(path: str) -> int:
+    """``info --store DIR``: dump manifest codec/error/byte fields."""
+    from .exceptions import ReproError
+    from .serve import DistStore
+
+    try:
+        store = DistStore.open(path)
+    except ReproError as exc:
+        raise SystemExit(f"repro-apsp info: error: {exc}")
+    sizes = [store.shard_nbytes(i) for i in range(store.num_shards)]
+    total = sum(sizes)
+    raw_equiv = store.n * store.n * 8
+    print(f"store    : {store.path}")
+    print(f"schema   : {store.manifest['schema']}")
+    print(f"n        : {store.n} ({store.num_shards} shard(s) of "
+          f"{store.shard_rows} row(s))")
+    params = store.manifest.get("codec_params", {})
+    print(f"codec    : {store.codec_name}"
+          + (f" (params: {', '.join(sorted(params))})" if params else ""))
+    print(f"error    : certified max abs error {store.max_abs_error:g}")
+    eps = store.epsilon
+    print(f"epsilon  : {'disabled' if eps is None else format(eps, 'g')} "
+          f"(ALT short-circuit gap)")
+    print(f"bytes    : {total} on disk ({total / 2**20:.2f} MiB); raw f8 "
+          f"equivalent {raw_equiv} ({raw_equiv / total:.1f}x)")
+    print(f"shards   : min {min(sizes)} / mean {total / len(sizes):.0f} / "
+          f"max {max(sizes)} bytes")
+    print(f"landmarks: {store.landmark_ids}")
+    cfg = store.manifest.get("config", {}).get("algorithm", {})
+    print(f"solver   : {cfg.get('name', '?')} "
+          f"(use_flags={cfg.get('use_flags')})")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    if getattr(args, "store", None):
+        return _cmd_store_info(args.store)
     from .core.runner import ALGORITHMS
 
     def _caps(spec) -> str:

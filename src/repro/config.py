@@ -56,6 +56,7 @@ __all__ = [
     "FaultConfig",
     "ObsConfig",
     "SolverConfig",
+    "StoreConfig",
     "load_config",
 ]
 
@@ -289,6 +290,78 @@ class ObsConfig:
                 f"cost_model must be a DijkstraCostModel, "
                 f"got {type(self.cost_model).__name__}",
             )
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Store-side knobs of :func:`repro.serve.solve_to_store`.
+
+    Deliberately *not* a :class:`SolverConfig` group: it shapes the
+    on-disk layout (shard geometry, codec, landmark count) and the
+    serving contract (``epsilon``), not the solve itself, so the same
+    SolverConfig can feed stores of different codecs.
+    """
+
+    #: shard codec name; see :func:`repro.serve.codecs.codec_names`
+    codec: str = "raw"
+    shard_rows: int = 256
+    #: top-degree rows pinned (raw f8) for ALT bounds / degraded mode
+    num_landmarks: int = 8
+    #: recommended short-circuit gap for the query engine: answer point
+    #: queries from landmark bounds alone when ``hi - lo <= epsilon``
+    #: (``None`` = disabled, ``0.0`` = only when the bounds coincide)
+    epsilon: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        from .serve.codecs import codec_names
+
+        known = codec_names()
+        if self.codec not in known:
+            _fail(
+                "store.codec",
+                f"unknown shard codec {self.codec!r}; known: "
+                f"{', '.join(known)}",
+            )
+        if not isinstance(self.shard_rows, int) or isinstance(
+            self.shard_rows, bool
+        ) or self.shard_rows < 1:
+            _fail(
+                "store.shard_rows",
+                f"shard_rows must be an int >= 1, got {self.shard_rows!r}",
+            )
+        if not isinstance(self.num_landmarks, int) or isinstance(
+            self.num_landmarks, bool
+        ) or self.num_landmarks < 0:
+            _fail(
+                "store.num_landmarks",
+                f"num_landmarks must be an int >= 0, "
+                f"got {self.num_landmarks!r}",
+            )
+        eps = self.epsilon
+        if eps is not None:
+            if not isinstance(eps, (int, float)) or isinstance(eps, bool) \
+                    or not float(eps) >= 0 or float(eps) == float("inf"):
+                _fail(
+                    "store.epsilon",
+                    f"epsilon must be a finite number >= 0 or None, "
+                    f"got {eps!r}",
+                )
+            object.__setattr__(self, "epsilon", float(eps))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StoreConfig":
+        if not isinstance(data, Mapping):
+            _fail(
+                "store", f"must be a mapping, got {type(data).__name__}"
+            )
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - valid
+        if unknown:
+            _fail("store", f"unknown field(s): {sorted(unknown)}")
+        return cls(**data)
 
 
 #: flat ``solve_apsp`` kwarg name → (group attribute, field name)

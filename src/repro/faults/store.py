@@ -78,6 +78,32 @@ class StoreCorruptionSpec:
                 fh.write(bytes([byte[0] ^ 0xFF]))
         return offs
 
+    def resolve(self, store) -> "Any":
+        """The on-disk path of this spec's shard in a ``DistStore``.
+
+        Resolves through the store *manifest* rather than guessing file
+        names, so the drill stays valid if the shard layout or codec
+        (and hence payload size) changes.
+        """
+        from pathlib import Path
+
+        num_shards = store.num_shards
+        if self.shard >= num_shards:
+            raise FaultPlanError(
+                f"spec targets shard {self.shard} but the store has "
+                f"only {num_shards}"
+            )
+        return Path(store.path) / store.manifest["shards"][self.shard]["file"]
+
+    def apply_to_store(self, store) -> np.ndarray:
+        """:meth:`apply` aimed at a ``DistStore`` shard by index.
+
+        Offsets are drawn over the shard's *encoded* payload (whatever
+        its codec), so the drill exercises exactly the bytes the
+        checksums cover.
+        """
+        return self.apply(self.resolve(store))
+
     def to_dict(self) -> Dict[str, Any]:
         return {"shard": self.shard, "nbytes": self.nbytes, "seed": self.seed}
 

@@ -60,8 +60,10 @@ __all__ = [
 #: bump the suffix when the artifact layout changes incompatibly
 #: (/2: optional numeric ``trace_summary`` section, sorted counters;
 #:  /3: optional numeric ``faults`` section from fault-injection runs;
-#:  /4: optional numeric ``serve`` section from the query-serving bench)
-SCHEMA_VERSION = "repro.obs.bench/4"
+#:  /4: optional numeric ``serve`` section from the query-serving bench;
+#:  /5: serve section gains codec fields — store/loaded bytes, certified
+#:      vs observed error, ALT short-circuit counters, raw-ref replay)
+SCHEMA_VERSION = "repro.obs.bench/5"
 
 #: required top-level keys and their expected container types
 _REQUIRED: Dict[str, type] = {

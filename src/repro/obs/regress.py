@@ -26,14 +26,18 @@
   changed death/requeue count means the recovery machinery changed
   behaviour); ``faults.virtual.*`` recovery timings may only exceed the
   baseline by ``--rtol``, like ``virtual.*`` timings;
-* **serve** — the query-serving traffic bench section (schema ``/4``):
+* **serve** — the query-serving traffic bench section (schema ``/5``):
   event counts (shard loads, coalesced requests, batches, degraded /
   shed requests — the replay is a seeded trace through a deterministic
   virtual-time model) are exact; ``*_hit_rate`` and ``*_speedup`` keys
   gate *downward* with ``--serve-atol`` (a drop in cache hit rate or in
   the optimised-vs-naive speedup is the regression; higher is better);
   ``*_ms`` virtual-latency keys gate upward with ``--rtol`` like
-  ``virtual.*`` timings;
+  ``virtual.*`` timings; ``*store_bytes`` / ``*bytes_loaded`` byte
+  totals gate upward with ``--rtol`` (a fatter store or more bytes
+  moved per replay is the regression); ``*max_abs_error`` certified /
+  observed error bounds gate *exactly* — a silently raised bound is a
+  correctness regression, not a perf tradeoff;
 * **kernel consistency** — artifacts that carry ``kernel.*`` counters
   must satisfy the cross-layer invariants tying kernel-call accounting
   to the per-source ``ops.*`` totals (see
@@ -76,6 +80,16 @@ SERVE_DOWNWARD_SUFFIXES = ("hit_rate", "speedup")
 #: serve keys with this suffix are virtual latencies (rtol, upward);
 #: remaining serve keys are exact-gated replay event counts
 SERVE_LATENCY_SUFFIX = "_ms"
+
+#: serve byte totals (store size, bytes moved per replay) gate upward
+#: with ``--rtol`` — a fatter store or more bytes loaded undoes the
+#: codec's whole point
+SERVE_BYTES_SUFFIXES = ("store_bytes", "bytes_loaded")
+
+#: serve certified/observed error bounds gate *exactly*: the bound is
+#: part of the answer contract, so a silently raised bound is a
+#: correctness regression, not a perf tradeoff
+SERVE_ERROR_SUFFIX = "max_abs_error"
 
 
 def check_kernel_consistency(
@@ -486,7 +500,10 @@ def _compare_serve(
     ``ops.*``.  Quality ratios in :data:`SERVE_DOWNWARD_SUFFIXES` gate
     *downward* with ``atol`` — a falling cache hit rate or a shrinking
     optimised-vs-naive speedup is the regression, a rise is an
-    improvement.  ``*_ms`` virtual latencies gate upward with ``rtol``.
+    improvement.  ``*_ms`` virtual latencies gate upward with ``rtol``,
+    as do the :data:`SERVE_BYTES_SUFFIXES` byte totals (store size,
+    bytes moved per replay); :data:`SERVE_ERROR_SUFFIX` bounds gate
+    exactly (the certified error is part of the answer contract).
     """
     if base is None:
         if cur:
@@ -507,7 +524,34 @@ def _compare_serve(
         if key not in cur:
             regressions.append(f"serve {key} missing from current artifact")
             continue
-        if key.endswith(SERVE_DOWNWARD_SUFFIXES):
+        if key.endswith(SERVE_ERROR_SUFFIX):
+            if base[key] != cur[key]:
+                regressions.append(
+                    f"serve {key}: {base[key]:g} -> {cur[key]:g} (error "
+                    "bounds are part of the answer contract and gate "
+                    "exactly; a silently raised bound is a correctness "
+                    "regression)"
+                )
+            else:
+                notes.append(f"serve {key}: {cur[key]:g} (exact, ok)")
+        elif key.endswith(SERVE_BYTES_SUFFIXES):
+            limit = base[key] * (1.0 + rtol)
+            if cur[key] > limit:
+                pct = (
+                    (cur[key] - base[key]) / base[key] * 100.0
+                    if base[key]
+                    else float("inf")
+                )
+                regressions.append(
+                    f"serve {key}: {base[key]:g} -> {cur[key]:g} "
+                    f"(+{pct:.1f}%, tolerance {rtol:.0%}; byte totals "
+                    "gate upward)"
+                )
+            else:
+                notes.append(
+                    f"serve {key}: {base[key]:g} -> {cur[key]:g} (ok)"
+                )
+        elif key.endswith(SERVE_DOWNWARD_SUFFIXES):
             if cur[key] < base[key] - atol:
                 regressions.append(
                     f"serve {key}: {base[key]:.4f} -> {cur[key]:.4f} "

@@ -8,22 +8,30 @@ the graph, is the scaling bottleneck):
 
 * :mod:`repro.serve.store` — :class:`DistStore`, a sharded
   ``np.memmap``-style on-disk store with a JSON manifest
-  (``repro.serve.store/1``), per-shard crc32 checksums, corruption
-  detection and exact repair; built streaming via
+  (``repro.serve.store/2``; ``/1`` stores still open), per-shard crc32
+  checksums over the encoded bytes, corruption detection and exact
+  repair; built streaming via
   :func:`repro.core.runner.solve_apsp_shards` so n×n never lives in
   RAM (:func:`solve_to_store`).
+* :mod:`repro.serve.codecs` — pluggable shard codecs (``raw`` f8,
+  ``f4``, ``u16q`` quantization, ``u16qd`` delta+zlib) with a
+  certified per-shard max-abs-error recorded in the manifest.
 * :mod:`repro.serve.engine` — :class:`QueryEngine`: point / row /
   top-k queries through an LRU shard cache with single-flight request
-  coalescing and micro-batched vectorized gathers.
+  coalescing, micro-batched vectorized gathers, and an ALT-style
+  landmark index (certified ``(lo, hi)`` bounds, ε short-circuit with
+  zero shard I/O).
 * :mod:`repro.serve.admission` — :class:`ServeFrontend`: bounded
-  per-class in-flight budgets with graceful degradation (landmark
-  upper bounds, flagged ``approx=True``) instead of unbounded queues.
+  per-class in-flight budgets with graceful degradation (ALT error
+  bars on the response, flagged ``approx=True``) instead of unbounded
+  queues.
 * :mod:`repro.serve.traffic` / :mod:`repro.serve.replay` — seeded
   Zipfian open-loop traffic and its deterministic virtual-time replay
   (plus a real-thread replay of the same trace).
 * :mod:`repro.serve.bench` — the ``serve-smoke`` workload: builds a
   store, replays the pinned trace naive vs optimised, and emits the
-  ``serve`` section of a ``repro.obs.bench/4`` artifact gated in CI.
+  ``serve`` section of a ``repro.obs.bench/5`` artifact gated in CI,
+  including the per-codec accuracy-vs-latency numbers.
 """
 
 from .admission import (
@@ -32,6 +40,7 @@ from .admission import (
     QueryResponse,
     ServeFrontend,
 )
+from .codecs import CODECS, ShardCodec, codec_names, get_codec
 from .engine import QueryEngine
 from .replay import ReplayResult, ServeCostModel, replay_threaded, \
     replay_virtual
@@ -42,6 +51,10 @@ __all__ = [
     "STORE_SCHEMA_VERSION",
     "DistStore",
     "solve_to_store",
+    "ShardCodec",
+    "CODECS",
+    "codec_names",
+    "get_codec",
     "QueryEngine",
     "QUERY_CLASSES",
     "AdmissionPolicy",

@@ -6,8 +6,9 @@ to a **class** (``point``, ``row``, ``topk``); each class has a bounded
 in-flight budget.  When a class is saturated:
 
 * ``point`` queries **degrade** — they are answered immediately from
-  the pinned landmark rows (an O(L) upper bound, no shard I/O) and the
-  response is flagged ``approx=True`` / ``status="degraded"``;
+  the pinned landmark rows (certified ALT bounds, no shard I/O): the
+  response carries the error bar ``lo <= d(u,v) <= hi``, serves ``hi``
+  as the value, and is flagged ``approx=True`` / ``status="degraded"``;
 * ``row`` and ``topk`` queries (which are orders of magnitude heavier)
   are **shed** with ``status="shed"`` so the caller can retry — they
   have no cheap approximation.
@@ -59,17 +60,22 @@ class AdmissionPolicy:
 class QueryResponse:
     """One answered (or refused) request.
 
-    ``status`` is ``"ok"`` (exact), ``"degraded"`` (landmark upper
-    bound, only ever for ``point``) or ``"shed"`` (refused under
-    saturation, ``value is None``).  ``approx`` is True exactly for
-    degraded responses, so a caller can trust ``approx=False`` answers
-    bit-for-bit.
+    ``status`` is ``"ok"`` (exact up to the store codec's certified
+    error), ``"degraded"`` (ALT landmark bounds, only ever for
+    ``point``) or ``"shed"`` (refused under saturation, ``value is
+    None``).  ``approx`` is True exactly for degraded responses, so a
+    caller can trust ``approx=False`` answers bit-for-bit; degraded
+    responses carry the certified error bar ``lo <= d(u,v) <= hi``
+    (``value`` is ``hi``, the safe upper bound) instead of a bare flag.
     """
 
     klass: str
     value: Any
     status: str = "ok"
     approx: bool = field(default=False)
+    #: certified lower/upper bounds; set only on degraded responses
+    lo: Optional[float] = None
+    hi: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.status not in ("ok", "degraded", "shed"):
@@ -115,11 +121,14 @@ class ServeFrontend:
             with self._lock:
                 self.counts["degraded"] += 1
             _obs.counter_add("serve.admission.degraded", 1)
+            lo, hi = self.engine.dist_approx(u, v)
             return QueryResponse(
                 klass="point",
-                value=self.engine.dist_approx(u, v),
+                value=hi,
                 status="degraded",
                 approx=True,
+                lo=lo,
+                hi=hi,
             )
         try:
             return QueryResponse(klass="point", value=self.engine.dist(u, v))

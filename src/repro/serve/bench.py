@@ -1,43 +1,61 @@
-"""Deterministic query-serving bench → ``BENCH_serve.json``.
+"""Deterministic query-serving bench → ``BENCH_serve*.json``.
 
-CI's ``serve-smoke`` job runs this module, then gates with
-:mod:`repro.obs.regress` against the committed baseline
-(``benchmarks/baselines/BENCH_serve.json``).  One run:
+CI's ``serve-smoke`` matrix runs this module once per codec, then
+gates with :mod:`repro.obs.regress` against the committed per-codec
+baseline (``benchmarks/baselines/BENCH_serve.json`` for ``raw``,
+``BENCH_serve_<codec>.json`` otherwise).  One run:
 
 1. builds a :class:`~repro.serve.store.DistStore` from the same seeded
    R-MAT graph the perf smoke uses, streaming shard-by-shard (the n×n
-   matrix never materialises), and fingerprints the store bytes — the
-   build is flags-off and serial, so the crc is machine-independent
-   and gates exactly;
+   matrix never materialises), fingerprints the store bytes — the
+   build is flags-off and serial and codecs encode deterministically,
+   so the crc is machine-independent and gates exactly — and measures
+   the **observed** decode error of every shard against a fresh exact
+   solve, requiring it within the manifest's certified bound;
 2. replays the **pinned Zipfian trace** through the virtual-time model
-   twice — optimised (LRU cache + coalescing + micro-batching) and
-   naive (every query loads its shard) — and *requires* the optimised
-   path to win on both shard loads and mean virtual latency before an
-   artifact is even written;
+   with the store's *real* per-shard byte sizes — optimised (LRU cache
+   + coalescing + micro-batching), naive (every query loads its
+   shard), a raw-f8-cost reference (what the same optimised replay
+   would cost without compression), and an **ALT replay** where point
+   queries whose certified landmark gap is within ε short-circuit with
+   no shard load — and *requires* optimised to beat naive on shard
+   loads and bytes moved (and on latency for ``raw``, where loads are
+   expensive enough to dominate), compressed codecs to beat the
+   raw-cost reference on latency, and the ALT replay to load strictly
+   fewer shards;
 3. replays a saturating burst (same trace at many times the rate under
    a tight admission budget) and requires graceful degradation:
-   flagged approximate answers, zero unbounded queueing;
-4. injects one :class:`~repro.faults.StoreCorruptionSpec`, requires
-   detection (:class:`~repro.exceptions.StoreCorruptionError`) and
-   byte-exact repair;
+   error-barred approximate answers, zero unbounded queueing;
+4. injects one :class:`~repro.faults.StoreCorruptionSpec` into the
+   encoded shard bytes, requires detection
+   (:class:`~repro.exceptions.StoreCorruptionError`) and byte-exact
+   repair through the codec;
 5. pushes the trace through the *real* threaded front end once as a
-   smoke of the locking paths (wall numbers recorded, never gated).
+   smoke of the locking paths (wall numbers recorded, never gated),
+   cross-checking every exact answer against ground truth within the
+   certified error bound.
 
-Regenerate the baseline after an intentional serving change::
+Regenerate a baseline after an intentional serving change::
 
     PYTHONPATH=src python -m repro.serve.bench \
-        --out benchmarks/baselines/BENCH_serve.json
+        --codec u16q --out benchmarks/baselines/BENCH_serve_u16q.json
+
+``--curve accuracy_latency.json`` instead sweeps every codec and
+writes the accuracy-vs-latency curve artifact
+(``repro.serve.curve/1``) that CI uploads.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 import time
 import zlib
-from pathlib import Path
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..exceptions import BenchmarkError, StoreCorruptionError
 from ..faults import StoreCorruptionSpec
@@ -45,16 +63,18 @@ from ..graphs.rmat import rmat
 from ..obs.artifact import build_artifact, write_artifact
 from ..obs.metrics import MetricsRegistry, use_registry
 from .admission import AdmissionPolicy, ServeFrontend
+from .codecs import codec_names
 from .engine import QueryEngine
 from .replay import ServeCostModel, replay_threaded, replay_virtual
 from .store import solve_to_store
 from .traffic import TrafficSpec, generate_trace
 
-__all__ = ["run_serve_smoke", "main"]
+__all__ = ["run_serve_smoke", "run_codec_curve", "main"]
 
 #: workload identity — bump when any knob below changes so a stale
 #: baseline fails on params instead of on mysterious counters
-WORKLOAD_REV = 1
+#: (rev 2: codec-aware replay costs, ALT ε short-circuiting)
+WORKLOAD_REV = 2
 DEFAULT_SCALE = 7
 DEFAULT_EDGE_FACTOR = 8
 DEFAULT_SEED = 5
@@ -62,6 +82,9 @@ DEFAULT_SHARD_ROWS = 16
 DEFAULT_CACHE_SHARDS = 3
 DEFAULT_LANDMARKS = 8
 DEFAULT_SERVERS = 2
+#: short-circuit gap: 0.0 = answer from ALT bounds only when they
+#: coincide, i.e. the short-circuit is *exact*
+DEFAULT_EPSILON = 0.0
 
 #: the pinned trace CI replays (seeded ⇒ identical on every host)
 SMOKE_TRAFFIC = TrafficSpec(
@@ -89,6 +112,32 @@ def _store_fingerprint(store) -> int:
     return zlib.crc32(joined.encode()) & 0xFFFFFFFF
 
 
+def _observed_error(store, ref: np.ndarray) -> float:
+    """Max abs decode error over every shard vs the exact solve.
+
+    Also requires the reachability structure to survive any codec
+    exactly: an ``inf`` that decodes finite (or vice versa) is a
+    correctness bug no ε excuses.
+    """
+    observed = 0.0
+    for index in range(store.num_shards):
+        start, rows = store.shard_span(index)
+        block = store.load_shard(index)
+        truth = ref[start:start + rows]
+        finite = np.isfinite(truth)
+        if (np.isfinite(block) != finite).any():
+            raise BenchmarkError(
+                f"serve smoke: codec {store.codec_name!r} does not "
+                f"preserve reachability in shard {index}"
+            )
+        if finite.any():
+            observed = max(
+                observed,
+                float(np.max(np.abs(block[finite] - truth[finite]))),
+            )
+    return observed
+
+
 def run_serve_smoke(
     *,
     scale: int = DEFAULT_SCALE,
@@ -96,12 +145,16 @@ def run_serve_smoke(
     seed: int = DEFAULT_SEED,
     shard_rows: int = DEFAULT_SHARD_ROWS,
     cache_shards: int = DEFAULT_CACHE_SHARDS,
+    codec: str = "raw",
+    epsilon: float = DEFAULT_EPSILON,
     store_dir: Optional[str] = None,
 ) -> Tuple[Dict[str, object], MetricsRegistry]:
-    """Run the serving smoke; returns ``(artifact, registry)``.
+    """Run the serving smoke for one codec; returns ``(artifact, registry)``.
 
     Raises :class:`~repro.exceptions.BenchmarkError` if any of the
-    bench's own invariants fail (optimised not beating naive, no
+    bench's own invariants fail (optimised not beating naive, observed
+    error above the certified bound, compressed codec not beating the
+    raw-cost reference, ALT short-circuits not reducing shard loads, no
     degradation under saturation, corruption not detected or not
     exactly repaired) — CI then fails before regress even runs.
     """
@@ -125,21 +178,57 @@ def run_serve_smoke(
                 store_dir,
                 shard_rows=shard_rows,
                 num_landmarks=DEFAULT_LANDMARKS,
+                codec=codec,
+                epsilon=epsilon,
             )
         build_wall = time.perf_counter() - t0
 
+        # ground truth for the error audit and the threaded cross-check
+        from ..core import solve_apsp
+
+        ref = solve_apsp(graph, use_flags=False).dist
+        certified = store.max_abs_error
+        observed = _observed_error(store, ref)
+        if observed > certified:
+            raise BenchmarkError(
+                f"serve smoke: codec {codec!r} observed decode error "
+                f"{observed:g} exceeds its certified bound {certified:g}"
+            )
+        if codec in ("raw", "f4") and scale <= 10 and observed != 0.0:
+            # unit-weight R-MAT distances are small integers — exact in
+            # f4 too, so any error here means the codec is broken
+            raise BenchmarkError(
+                f"serve smoke: codec {codec!r} should be exact on the "
+                f"hop-count smoke graph, observed error {observed:g}"
+            )
+        store_bytes = store.store_bytes()
+        raw_store_bytes = n * n * 8
+        if codec in ("u16q", "u16qd") and store_bytes * 2 > raw_store_bytes:
+            raise BenchmarkError(
+                f"serve smoke: codec {codec!r} store is {store_bytes} "
+                f"bytes, not ≥2× below raw f8 {raw_store_bytes}"
+            )
+
+        sizes = [store.shard_nbytes(i) for i in range(store.num_shards)]
         trace = generate_trace(SMOKE_TRAFFIC, n)
         policy = AdmissionPolicy()
         cost = ServeCostModel()
         opt = replay_virtual(
             trace, n=n, shard_rows=shard_rows, policy=policy, cost=cost,
             cache_shards=cache_shards, num_servers=DEFAULT_SERVERS,
-            optimized=True,
+            optimized=True, shard_nbytes=sizes,
         )
         naive = replay_virtual(
             trace, n=n, shard_rows=shard_rows, policy=policy, cost=cost,
             cache_shards=cache_shards, num_servers=DEFAULT_SERVERS,
-            optimized=False,
+            optimized=False, shard_nbytes=sizes,
+        )
+        # same optimised replay at raw-f8 shard sizes: the latency the
+        # codec is claiming credit against
+        raw_ref = replay_virtual(
+            trace, n=n, shard_rows=shard_rows, policy=policy, cost=cost,
+            cache_shards=cache_shards, num_servers=DEFAULT_SERVERS,
+            optimized=True,
         )
         if opt.counters["shard_loads"] >= naive.counters["shard_loads"]:
             raise BenchmarkError(
@@ -147,11 +236,63 @@ def run_serve_smoke(
                 f"loads ({opt.counters['shard_loads']} vs naive "
                 f"{naive.counters['shard_loads']})"
             )
-        if opt.mean_latency() >= naive.mean_latency():
+        if opt.counters["bytes_loaded"] >= naive.counters["bytes_loaded"]:
+            raise BenchmarkError(
+                "serve smoke: optimised replay moved "
+                f"{opt.counters['bytes_loaded']} bytes, not below naive "
+                f"{naive.counters['bytes_loaded']}"
+            )
+        # the latency leg of opt-vs-naive only binds for raw: once a
+        # codec makes loads cheap, the window-free naive path is
+        # latency-competitive by construction and the optimised stack's
+        # win is resource cost (the load/byte gates above) — while the
+        # codec's own latency win is gated against raw_ref below
+        if codec == "raw" and opt.mean_latency() >= naive.mean_latency():
             raise BenchmarkError(
                 "serve smoke: optimised mean virtual latency "
                 f"{opt.mean_latency():g}s is not below naive "
                 f"{naive.mean_latency():g}s"
+            )
+        if codec != "raw" and opt.mean_latency() >= raw_ref.mean_latency():
+            raise BenchmarkError(
+                f"serve smoke: codec {codec!r} mean virtual latency "
+                f"{opt.mean_latency():g}s does not beat the raw-f8 cost "
+                f"reference {raw_ref.mean_latency():g}s"
+            )
+
+        # ALT replay: which point requests would short-circuit on the
+        # certified landmark gap alone?  The probe touches no shards.
+        probe = QueryEngine(store, cache_shards=1, epsilon=epsilon)
+        sc_indices: List[int] = []
+        for i, req in enumerate(trace):
+            if req.kind != "point":
+                continue
+            lo, hi = probe.dist_bounds(req.u, req.v)
+            if lo == hi or hi - lo <= epsilon:
+                sc_indices.append(i)
+        if probe.stats["shard_loads"] != 0:
+            raise BenchmarkError(
+                "serve smoke: ALT bound probe loaded shards"
+            )
+        if not sc_indices:
+            raise BenchmarkError(
+                "serve smoke: no point query short-circuits on the ALT "
+                "gap — landmark bounds are not engaging"
+            )
+        alt = replay_virtual(
+            trace, n=n, shard_rows=shard_rows, policy=policy, cost=cost,
+            cache_shards=cache_shards, num_servers=DEFAULT_SERVERS,
+            optimized=True, shard_nbytes=sizes, short_circuits=sc_indices,
+        )
+        if alt.counters["short_circuits"] == 0:
+            raise BenchmarkError(
+                "serve smoke: ALT replay recorded no short-circuits"
+            )
+        if alt.counters["shard_loads"] >= opt.counters["shard_loads"]:
+            raise BenchmarkError(
+                "serve smoke: ALT short-circuiting did not reduce shard "
+                f"loads ({alt.counters['shard_loads']} vs "
+                f"{opt.counters['shard_loads']})"
             )
 
         burst = generate_trace(
@@ -169,7 +310,7 @@ def run_serve_smoke(
         sat = replay_virtual(
             burst, n=n, shard_rows=shard_rows, policy=SATURATION_POLICY,
             cost=cost, cache_shards=cache_shards,
-            num_servers=DEFAULT_SERVERS, optimized=True,
+            num_servers=DEFAULT_SERVERS, optimized=True, shard_nbytes=sizes,
         )
         if sat.counters["degraded"] == 0:
             raise BenchmarkError(
@@ -188,10 +329,10 @@ def run_serve_smoke(
             )
 
         # corruption drill: detection must fire, repair must be exact
-        shard_file = Path(store.path) / store.manifest["shards"][
-            SMOKE_CORRUPTION.shard]["file"]
+        # over the *encoded* bytes, whatever the codec
+        shard_file = SMOKE_CORRUPTION.resolve(store)
         before = shard_file.read_bytes()
-        SMOKE_CORRUPTION.apply(shard_file)
+        SMOKE_CORRUPTION.apply_to_store(store)
         try:
             store.verify()
         except StoreCorruptionError as exc:
@@ -224,30 +365,49 @@ def run_serve_smoke(
         threaded, responses = replay_threaded(trace, frontend,
                                               num_threads=4)
         threaded_wall = time.perf_counter() - t0
-        exact_point = sum(
-            1
-            for req, resp in zip(trace, responses)
-            if req.kind == "point" and resp.status == "ok"
-            and resp.value == float(engine.dist(req.u, req.v))
-        )
-        ok_point = sum(
-            1
-            for req, resp in zip(trace, responses)
-            if req.kind == "point" and resp.status == "ok"
-        )
-        if exact_point != ok_point:
+        # answers must be deterministic (repeatable through the engine)
+        # and within the certified error contract vs ground truth
+        err_budget = certified + (epsilon or 0.0) / 2.0
+        for req, resp in zip(trace, responses):
+            if req.kind != "point" or resp.status != "ok":
+                continue
+            if resp.value != float(engine.dist(req.u, req.v)):
+                raise BenchmarkError(
+                    "serve smoke: threaded front end is not "
+                    "deterministic vs a repeated engine query"
+                )
+            true = float(ref[req.u, req.v])
+            if np.isinf(true) != np.isinf(resp.value):
+                raise BenchmarkError(
+                    "serve smoke: threaded answer disagrees with ground "
+                    f"truth on reachability of ({req.u}, {req.v})"
+                )
+            if np.isfinite(true) and abs(resp.value - true) > err_budget:
+                raise BenchmarkError(
+                    f"serve smoke: threaded answer for ({req.u}, "
+                    f"{req.v}) is {resp.value:g}, ground truth {true:g} "
+                    f"— outside the certified budget {err_budget:g}"
+                )
+        if engine.stats["short_circuits"] == 0:
             raise BenchmarkError(
-                "serve smoke: threaded front end returned inexact "
-                "answers without flagging them approximate"
+                "serve smoke: the real engine never short-circuited on "
+                "the ALT gap despite epsilon being set"
             )
 
         serve: Dict[str, float] = {
             "serve.store.fingerprint": float(_store_fingerprint(store)),
             "serve.store.num_shards": float(store.num_shards),
+            "serve.store.store_bytes": float(store_bytes),
+            "serve.store.raw_store_bytes": float(raw_store_bytes),
+            "serve.store.compression_ratio": raw_store_bytes / store_bytes,
+            "serve.error.certified_max_abs_error": certified,
+            "serve.error.observed_max_abs_error": observed,
             "serve.naive.shard_loads": float(naive.counters["shard_loads"]),
+            "serve.naive.bytes_loaded": float(naive.counters["bytes_loaded"]),
             "serve.naive.mean_ms": naive.mean_latency() * 1e3,
             "serve.naive.p99_ms": naive.percentile_latency(99) * 1e3,
             "serve.opt.shard_loads": float(opt.counters["shard_loads"]),
+            "serve.opt.bytes_loaded": float(opt.counters["bytes_loaded"]),
             "serve.opt.cache_hits": float(opt.counters["cache_hits"]),
             "serve.opt.coalesced": float(opt.counters["coalesced"]),
             "serve.opt.batches": float(opt.counters["batches"]),
@@ -260,6 +420,16 @@ def run_serve_smoke(
             "serve.opt.p99_ms": opt.percentile_latency(99) * 1e3,
             "serve.opt.mean_speedup":
                 naive.mean_latency() / opt.mean_latency(),
+            "serve.opt.raw_speedup":
+                raw_ref.mean_latency() / opt.mean_latency(),
+            "serve.raw_ref.mean_ms": raw_ref.mean_latency() * 1e3,
+            "serve.raw_ref.p99_ms": raw_ref.percentile_latency(99) * 1e3,
+            "serve.alt.short_circuits":
+                float(alt.counters["short_circuits"]),
+            "serve.alt.shard_loads": float(alt.counters["shard_loads"]),
+            "serve.alt.bytes_loaded": float(alt.counters["bytes_loaded"]),
+            "serve.alt.mean_ms": alt.mean_latency() * 1e3,
+            "serve.alt.p99_ms": alt.percentile_latency(99) * 1e3,
             "serve.sat.degraded": float(sat.counters["degraded"]),
             "serve.sat.shed": float(sat.counters["shed"]),
             "serve.sat.admitted": float(sat.counters["admitted"]),
@@ -276,6 +446,8 @@ def run_serve_smoke(
                 "rmat_seed": seed,
                 "shard_rows": shard_rows,
                 "cache_shards": cache_shards,
+                "codec": codec,
+                "epsilon": float(epsilon),
                 "num_landmarks": DEFAULT_LANDMARKS,
                 "num_servers": DEFAULT_SERVERS,
                 "traffic_requests": SMOKE_TRAFFIC.num_requests,
@@ -295,6 +467,47 @@ def run_serve_smoke(
     finally:
         if tmp is not None:
             tmp.cleanup()
+
+
+#: curve artifact schema (uploaded by CI, never gated)
+CURVE_SCHEMA_VERSION = "repro.serve.curve/1"
+
+
+def run_codec_curve(**kwargs) -> Dict[str, object]:
+    """Sweep every codec through the smoke; the accuracy-vs-latency curve.
+
+    Each point is one full :func:`run_serve_smoke` (so every per-codec
+    invariant is asserted), reduced to the fields that make the
+    tradeoff legible: store bytes, bytes loaded per replay, p50/p99,
+    certified vs observed error.
+    """
+    points = []
+    for codec in codec_names():
+        artifact, _ = run_serve_smoke(codec=codec, **kwargs)
+        serve = artifact["serve"]
+        points.append(
+            {
+                "codec": codec,
+                "store_bytes": serve["serve.store.store_bytes"],
+                "compression_ratio": serve["serve.store.compression_ratio"],
+                "bytes_loaded": serve["serve.opt.bytes_loaded"],
+                "certified_max_abs_error":
+                    serve["serve.error.certified_max_abs_error"],
+                "observed_max_abs_error":
+                    serve["serve.error.observed_max_abs_error"],
+                "mean_ms": serve["serve.opt.mean_ms"],
+                "p50_ms": serve["serve.opt.p50_ms"],
+                "p99_ms": serve["serve.opt.p99_ms"],
+                "raw_speedup": serve["serve.opt.raw_speedup"],
+                "alt_mean_ms": serve["serve.alt.mean_ms"],
+                "alt_shard_loads": serve["serve.alt.shard_loads"],
+            }
+        )
+    return {
+        "schema": CURVE_SCHEMA_VERSION,
+        "name": "serve-codec-curve",
+        "points": points,
+    }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -317,26 +530,76 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--cache-shards", type=int, default=DEFAULT_CACHE_SHARDS
     )
+    parser.add_argument(
+        "--codec", choices=codec_names(), default="raw",
+        help="shard codec to build and replay with",
+    )
+    parser.add_argument(
+        "--epsilon", type=float, default=DEFAULT_EPSILON,
+        help="ALT short-circuit gap (0 = exact-gap only)",
+    )
+    parser.add_argument(
+        "--curve", metavar="PATH", default=None,
+        help="sweep every codec and write the accuracy-vs-latency "
+        "curve JSON here instead of a single artifact",
+    )
     args = parser.parse_args(argv)
-    artifact, _ = run_serve_smoke(
+    common = dict(
         scale=args.scale,
         edge_factor=args.edge_factor,
         seed=args.seed,
         shard_rows=args.shard_rows,
         cache_shards=args.cache_shards,
+        epsilon=args.epsilon,
     )
+    if args.curve is not None:
+        curve = run_codec_curve(**common)
+        with open(args.curve, "w", encoding="utf-8") as fh:
+            json.dump(curve, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.curve}")
+        print(
+            "  {:<6} {:>12} {:>8} {:>14} {:>10} {:>10}".format(
+                "codec", "store_bytes", "ratio", "certified_err",
+                "mean_ms", "p99_ms",
+            )
+        )
+        for pt in curve["points"]:
+            print(
+                "  {:<6} {:>12.0f} {:>7.1f}x {:>14.3g} {:>10.4f} "
+                "{:>10.4f}".format(
+                    pt["codec"], pt["store_bytes"],
+                    pt["compression_ratio"],
+                    pt["certified_max_abs_error"], pt["mean_ms"],
+                    pt["p99_ms"],
+                )
+            )
+        return 0
+    artifact, _ = run_serve_smoke(codec=args.codec, **common)
     path = write_artifact(args.out, artifact)
     serve = artifact["serve"]
     print(f"wrote {path}")
     print(
-        "  loads: naive={:d} opt={:d}  hit_rate={:.2f}  "
+        "  loads: naive={:d} opt={:d} alt={:d}  hit_rate={:.2f}  "
         "mean: naive={:.3f}ms opt={:.3f}ms ({:.1f}x)".format(
             int(serve["serve.naive.shard_loads"]),
             int(serve["serve.opt.shard_loads"]),
+            int(serve["serve.alt.shard_loads"]),
             serve["serve.opt.hit_rate"],
             serve["serve.naive.mean_ms"],
             serve["serve.opt.mean_ms"],
             serve["serve.opt.mean_speedup"],
+        )
+    )
+    print(
+        "  codec={}: store={:d}B ({:.1f}x vs raw)  err<={:g}  "
+        "raw_speedup={:.2f}x  short_circuits={:d}".format(
+            artifact["params"]["codec"],
+            int(serve["serve.store.store_bytes"]),
+            serve["serve.store.compression_ratio"],
+            serve["serve.error.certified_max_abs_error"],
+            serve["serve.opt.raw_speedup"],
+            int(serve["serve.alt.short_circuits"]),
         )
     )
     print(

@@ -1,0 +1,245 @@
+"""Pluggable shard codecs: raw f8, f4, u16 quantization, delta+zlib.
+
+A :class:`DistStore` shard is logically a ``(rows, n)`` float64 block;
+how it lives on disk is a **codec** decision recorded in the manifest
+(schema ``repro.serve.store/2``).  The codec contract:
+
+* ``encode(block)`` → ``(payload, params, max_abs_error)`` — the bytes
+  written to disk, the per-shard parameters needed to invert them, and
+  a **certified** bound on ``|decode(encode(x)) - x|`` over the finite
+  entries of this shard (``inf`` = unreachable is always preserved
+  exactly).  The bound is *measured*, not estimated: encode decodes its
+  own output with the exact arithmetic :meth:`decode` will use, so the
+  recorded number is an upper bound by construction.
+* ``decode(payload, rows, n, params)`` → a fresh writable float64
+  ``(rows, n)`` array.
+* Encoding is **deterministic**: the same block always produces the
+  same payload, which is what lets the manifest crc32 (computed over
+  the *encoded* bytes) gate corruption and byte-exact repair per codec.
+
+Codecs:
+
+=========  ========================================================
+name       on-disk representation
+=========  ========================================================
+``raw``    little-endian f8, byte-identical to schema ``/1`` stores
+``f4``     little-endian f4 (lossless when values fit 24-bit
+           mantissas — e.g. hop-count distances — else ~1e-7 rel.)
+``u16q``   per-shard affine u16 quantization: ``offset + q·scale``
+           with ``q ∈ [0, 65534]`` and 65535 reserved for ``inf``
+``u16qd``  ``u16q`` quantization, columns permuted along the degree
+           ordering, delta-encoded mod 2^16, then zlib — lossless
+           over the quantized values, so the error bound is u16q's
+=========  ========================================================
+
+``u16qd`` payload bytes depend on the zlib build, so it is exercised
+by round-trip tests and the accuracy-vs-latency curve but not pinned
+by the cross-machine CI fingerprint gate.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import StoreError
+
+__all__ = ["ShardCodec", "CODECS", "get_codec", "codec_names"]
+
+_F8 = np.dtype("<f8")
+_F4 = np.dtype("<f4")
+_U16 = np.dtype("<u2")
+
+#: u16q sentinel for unreachable (``inf``) entries
+_U16_INF = 65535
+#: largest quantized finite value — 65535 is reserved for ``inf``
+_U16_MAX = 65534
+
+
+class ShardCodec:
+    """One shard encoding; subclasses fill in the three hooks below."""
+
+    #: manifest codec name
+    name: str = ""
+    #: True if :func:`get_codec` should be handed the store's degree
+    #: ordering (``order=...``) when instantiating this codec
+    needs_degree_order: bool = False
+
+    def encode(
+        self, block: np.ndarray
+    ) -> Tuple[bytes, Dict[str, Any], float]:
+        """``(payload, per-shard params, certified max abs error)``."""
+        raise NotImplementedError
+
+    def decode(
+        self,
+        payload: bytes,
+        rows: int,
+        n: int,
+        params: Mapping[str, Any],
+    ) -> np.ndarray:
+        """Fresh writable float64 ``(rows, n)`` block from payload."""
+        raise NotImplementedError
+
+
+def _as_block(block: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(block, dtype=_F8)
+
+
+class RawCodec(ShardCodec):
+    """Verbatim little-endian f8 — byte-identical to ``/1`` stores."""
+
+    name = "raw"
+
+    def encode(self, block):
+        return _as_block(block).tobytes(), {}, 0.0
+
+    def decode(self, payload, rows, n, params):
+        return np.frombuffer(payload, dtype=_F8).reshape(rows, n).copy()
+
+
+class F4Codec(ShardCodec):
+    """Little-endian f4: halves bytes; exact for 24-bit-mantissa values."""
+
+    name = "f4"
+
+    def encode(self, block):
+        block = _as_block(block)
+        f4 = block.astype(_F4)
+        decoded = f4.astype(np.float64)
+        finite = np.isfinite(block)
+        err = 0.0
+        if finite.any():
+            err = float(np.max(np.abs(decoded[finite] - block[finite])))
+        return f4.tobytes(), {}, err
+
+    def decode(self, payload, rows, n, params):
+        return (
+            np.frombuffer(payload, dtype=_F4)
+            .reshape(rows, n)
+            .astype(np.float64)
+        )
+
+
+def _quantize(block: np.ndarray) -> Tuple[np.ndarray, Dict[str, Any], float]:
+    """Shared u16 affine quantization: ``(q, params, max_abs_error)``."""
+    finite = np.isfinite(block)
+    if finite.any():
+        offset = float(block[finite].min())
+        span = float(block[finite].max()) - offset
+    else:
+        offset, span = 0.0, 0.0
+    scale = span / _U16_MAX if span > 0.0 else 1.0
+    q = np.full(block.shape, _U16_INF, dtype=_U16)
+    codes = np.clip(np.rint((block[finite] - offset) / scale), 0, _U16_MAX)
+    q[finite] = codes.astype(_U16)
+    # measure the bound with the exact arithmetic decode will use
+    decoded = offset + q[finite].astype(np.float64) * scale
+    err = 0.0
+    if finite.any():
+        err = float(np.max(np.abs(decoded - block[finite])))
+    return q, {"offset": offset, "scale": scale}, err
+
+
+def _dequantize(
+    q: np.ndarray, params: Mapping[str, Any]
+) -> np.ndarray:
+    out = params["offset"] + q.astype(np.float64) * params["scale"]
+    out[q == _U16_INF] = np.inf
+    return out
+
+
+class U16QCodec(ShardCodec):
+    """Per-shard affine u16 quantization with a certified error bound."""
+
+    name = "u16q"
+
+    def encode(self, block):
+        q, params, err = _quantize(_as_block(block))
+        return q.tobytes(), params, err
+
+    def decode(self, payload, rows, n, params):
+        q = np.frombuffer(payload, dtype=_U16).reshape(rows, n)
+        return _dequantize(q, params)
+
+
+class U16QDeltaCodec(ShardCodec):
+    """``u16q`` + delta along the degree ordering + zlib.
+
+    Columns are permuted so vertices of similar degree sit next to each
+    other (hub distances correlate), deltas are taken mod 2^16 along
+    each row, and the result is deflated.  Delta+zlib is lossless over
+    the quantized codes, so the certified error bound is exactly
+    u16q's.  Payload sizes vary per shard and per zlib build — the
+    manifest's per-shard ``nbytes`` is authoritative.
+    """
+
+    name = "u16qd"
+    needs_degree_order = True
+
+    def __init__(self, order: Optional[Sequence[int]] = None) -> None:
+        self._order = (
+            None if order is None else np.asarray(order, dtype=np.int64)
+        )
+
+    def _perm(self, n: int) -> np.ndarray:
+        if self._order is None:
+            return np.arange(n, dtype=np.int64)
+        if len(self._order) != n:
+            raise StoreError(
+                f"u16qd degree order has {len(self._order)} entries for "
+                f"n={n} columns"
+            )
+        return self._order
+
+    def encode(self, block):
+        block = _as_block(block)
+        q, params, err = _quantize(block)
+        qp = q[:, self._perm(block.shape[1])]
+        delta = qp.copy()
+        delta[:, 1:] = qp[:, 1:] - qp[:, :-1]  # u16 wraparound = mod 2^16
+        payload = zlib.compress(delta.tobytes(), 6)
+        return payload, params, err
+
+    def decode(self, payload, rows, n, params):
+        try:
+            raw = zlib.decompress(payload)
+        except zlib.error as exc:
+            raise ValueError(f"u16qd payload does not inflate: {exc}") from exc
+        delta = np.frombuffer(raw, dtype=_U16).reshape(rows, n)
+        qp = (np.cumsum(delta.astype(np.uint64), axis=1) & 0xFFFF).astype(_U16)
+        perm = self._perm(n)
+        inv = np.empty(n, dtype=np.int64)
+        inv[perm] = np.arange(n, dtype=np.int64)
+        return _dequantize(qp[:, inv], params)
+
+
+#: registry, in preference order for the accuracy-vs-latency curve
+CODECS: Dict[str, type] = {
+    "raw": RawCodec,
+    "f4": F4Codec,
+    "u16q": U16QCodec,
+    "u16qd": U16QDeltaCodec,
+}
+
+
+def codec_names() -> Tuple[str, ...]:
+    return tuple(CODECS)
+
+
+def get_codec(name: str, **params: Any) -> ShardCodec:
+    """Instantiate a codec by manifest name (+ store-level params)."""
+    cls = CODECS.get(name)
+    if cls is None:
+        raise StoreError(
+            f"unknown shard codec {name!r}; known: {', '.join(CODECS)}"
+        )
+    if cls.needs_degree_order:
+        return cls(order=params.get("order"))
+    if params:
+        raise StoreError(
+            f"codec {name!r} takes no parameters, got {sorted(params)}"
+        )
+    return cls()

@@ -1,4 +1,4 @@
-"""Query engine: LRU shard cache, request coalescing, batched gathers.
+"""Query engine: LRU shard cache, coalescing, gathers, ALT bounds.
 
 The serving hot path never touches the solver — it is pure data
 movement over a :class:`~repro.serve.store.DistStore`:
@@ -14,18 +14,28 @@ movement over a :class:`~repro.serve.store.DistStore`:
   gather (``serve.batch.gathers`` per group vs ``serve.batch.queries``
   per query).
 
-Degraded answers (:meth:`dist_approx`) come from the store's pinned
-landmark rows: ``min_l d(l,u) + d(l,v)`` is an upper bound on
-``d(u,v)`` for symmetric graphs by the triangle inequality, costs O(L)
-with no shard I/O, and is always flagged as approximate by the
-admission layer (:mod:`repro.serve.admission`).
+The store's pinned landmark rows power an **ALT-style index**
+(Goldberg–Harrelson A*-landmarks-triangle-inequality, applied to point
+lookups): for symmetric graphs
+
+* ``hi = min_l d(l,u) + d(l,v)`` — triangle-inequality upper bound,
+* ``lo = max_l |d(l,u) - d(l,v)|`` — the matching lower bound,
+
+both O(L) with **zero shard I/O**, and both exact-arithmetic over the
+raw-f8 landmark rows regardless of the shard codec.
+:meth:`dist_bounds` returns the certified pair ``(lo, hi)``;
+:meth:`dist_approx` is its counted degraded-mode twin; and when the
+engine is built with ``epsilon`` (or the store recommends one),
+:meth:`dist` **short-circuits** — answers ``(lo + hi) / 2`` without
+touching any shard whenever ``hi - lo <= epsilon``, which is exact when
+the gap is zero (e.g. either endpoint is a landmark).
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,14 +56,28 @@ class QueryEngine:
         *,
         cache_shards: int = 4,
         verify_loads: bool = True,
+        epsilon: Optional[float] = None,
     ) -> None:
         if cache_shards < 1:
             raise ServeError(
                 f"cache_shards must be >= 1, got {cache_shards!r}"
             )
+        if epsilon is None:
+            epsilon = store.epsilon  # the store's recommended gap
+        if epsilon is not None and not (
+            isinstance(epsilon, (int, float))
+            and not isinstance(epsilon, bool)
+            and float(epsilon) >= 0
+            and float(epsilon) != float("inf")
+        ):
+            raise ServeError(
+                f"epsilon must be a finite number >= 0 or None, "
+                f"got {epsilon!r}"
+            )
         self.store = store
         self.cache_shards = cache_shards
         self.verify_loads = verify_loads
+        self.epsilon = None if epsilon is None else float(epsilon)
         self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._lock = threading.Lock()
         self._loading: Dict[int, threading.Event] = {}
@@ -64,9 +88,11 @@ class QueryEngine:
             "evictions": 0,
             "coalesced": 0,
             "shard_loads": 0,
+            "bytes_loaded": 0,
             "batch_queries": 0,
             "batch_gathers": 0,
             "approx_answers": 0,
+            "short_circuits": 0,
         }
 
     # -- cache ----------------------------------------------------------
@@ -108,6 +134,7 @@ class QueryEngine:
             with self._lock:
                 self.stats["misses"] += 1
                 self.stats["shard_loads"] += 1
+                self.stats["bytes_loaded"] += self.store.shard_nbytes(index)
                 _obs.counter_add("serve.cache.misses", 1)
                 self._cache[index] = arr
                 self._cache.move_to_end(index)
@@ -129,10 +156,24 @@ class QueryEngine:
             )
 
     def dist(self, u: int, v: int) -> float:
-        """Exact ``d(u, v)`` (``inf`` if unreachable)."""
+        """``d(u, v)`` (``inf`` if unreachable).
+
+        Exact up to the store codec's certified ``max_abs_error``.
+        With ``epsilon`` set, first consults the ALT bounds: when
+        ``hi - lo <= epsilon`` the midpoint is returned with **no shard
+        load** (error ≤ ``epsilon / 2``; exact when the gap is zero).
+        """
         self._check_vertex(u, "u")
         self._check_vertex(v, "v")
         with _obs.span("serve.query.point"):
+            if self.epsilon is not None and self.num_landmarks > 0:
+                lo, hi = self._bounds(u, v)
+                # lo == hi covers the both-inf case, where hi - lo is nan
+                if lo == hi or hi - lo <= self.epsilon:
+                    with self._lock:
+                        self.stats["short_circuits"] += 1
+                    _obs.counter_add("serve.query.short_circuits", 1)
+                    return (lo + hi) / 2.0
             index = self.store.shard_of(u)
             start, _ = self.store.shard_span(index)
             return float(self._get_shard(index)[u - start, v])
@@ -150,6 +191,9 @@ class QueryEngine:
 
         Returns ``(vertex, distance)`` pairs sorted by distance, ties
         broken by vertex id; fewer than ``k`` if the component is small.
+        Always answers from the full decoded row — never short-circuits
+        — but note that under a lossy codec (``u16q``) distances within
+        ``2 · max_abs_error`` of each other can legitimately swap order.
         """
         self._check_vertex(u, "u")
         if not isinstance(k, int) or isinstance(k, bool) or k < 1:
@@ -167,7 +211,12 @@ class QueryEngine:
             return [(int(part[i]), float(row[part[i]])) for i in order]
 
     def dist_batch(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
-        """Answer many point queries with one gather per source shard."""
+        """Answer many point queries with one gather per source shard.
+
+        Deliberately never short-circuits: a batch already amortizes its
+        shard loads across the group, so the per-query ALT check would
+        cost more than it saves.
+        """
         for u, v in pairs:
             self._check_vertex(u, "u")
             self._check_vertex(v, "v")
@@ -191,20 +240,47 @@ class QueryEngine:
                 _obs.counter_add("serve.batch.gathers", 1)
         return out
 
-    # -- degraded mode --------------------------------------------------
+    # -- ALT bounds / degraded mode -------------------------------------
 
     @property
     def num_landmarks(self) -> int:
         return len(self.store.landmark_ids)
 
-    def dist_approx(self, u: int, v: int) -> float:
-        """Landmark upper bound on ``d(u, v)`` — no shard I/O.
+    def _landmark_rows(self) -> np.ndarray:
+        """Lazily load the pinned landmark rows, once, under the lock."""
+        rows = self._landmarks
+        if rows is None:
+            with self._lock:
+                rows = self._landmarks
+                if rows is None:
+                    rows = self.store.landmark_rows(
+                        verify=self.verify_loads
+                    )
+                    self._landmarks = rows
+        return rows
 
-        ``min_l d(l,u) + d(l,v)`` over the store's pinned landmarks.
-        For symmetric (undirected) graphs this is a triangle-inequality
-        upper bound; exact whenever a shortest path passes through a
-        landmark (which Zipf-popular hubs often are).  The admission
-        layer only serves this under saturation and always flags it.
+    def _bounds(self, u: int, v: int) -> Tuple[float, float]:
+        """Uncounted ``(lo, hi)`` — shared by dist() and dist_approx()."""
+        rows = self._landmark_rows()
+        du, dv = rows[:, u], rows[:, v]
+        # both endpoints unreachable from a landmark ⇒ inf - inf = nan;
+        # that landmark certifies nothing, so it contributes lo = 0
+        with np.errstate(invalid="ignore"):
+            hi = float(np.min(du + dv))
+            diff = np.abs(du - dv)
+        lo = float(np.max(np.where(np.isnan(diff), 0.0, diff)))
+        return lo, hi
+
+    def dist_bounds(self, u: int, v: int) -> Tuple[float, float]:
+        """Certified ALT bounds ``lo <= d(u, v) <= hi`` — no shard I/O.
+
+        Over the store's pinned landmark rows (always raw f8):
+        ``hi = min_l d(l,u) + d(l,v)`` and ``lo = max_l |d(l,u) -
+        d(l,v)|``, both triangle-inequality consequences for symmetric
+        (undirected) graphs.  The gap is exactly zero whenever ``u`` or
+        ``v`` *is* a landmark (``d(l,l) = 0`` makes both bounds collapse
+        to the same float), and ``lo == hi == inf`` certifies
+        unreachability.  Cost is O(num_landmarks); never loads a shard.
         """
         self._check_vertex(u, "u")
         self._check_vertex(v, "v")
@@ -213,15 +289,21 @@ class QueryEngine:
                 "store has no pinned landmarks; approximate answers "
                 "are unavailable (build with num_landmarks > 0)"
             )
-        with _obs.span("serve.query.approx"):
-            if self._landmarks is None:
-                self._landmarks = self.store.landmark_rows(
-                    verify=self.verify_loads
-                )
-            bound = float(np.min(self._landmarks[:, u] + self._landmarks[:, v]))
-        self.stats["approx_answers"] += 1
+        with _obs.span("serve.query.bounds"):
+            return self._bounds(u, v)
+
+    def dist_approx(self, u: int, v: int) -> Tuple[float, float]:
+        """Degraded-mode answer: the counted form of :meth:`dist_bounds`.
+
+        Returns the certified ``(lo, hi)`` error bar — the admission
+        layer serves ``hi`` as the value under saturation and attaches
+        both bounds to the response instead of a bare approx flag.
+        """
+        bounds = self.dist_bounds(u, v)
+        with self._lock:
+            self.stats["approx_answers"] += 1
         _obs.counter_add("serve.query.approx", 1)
-        return bound
+        return bounds
 
     # -- introspection --------------------------------------------------
 

@@ -47,13 +47,15 @@ class ServeCostModel:
 
     ``load_base + load_per_mb × shard_MB`` models a shard read (seek
     plus streaming); everything else is CPU-side work.  Values are
-    stylised — the bench's claims are *relative* (optimised vs naive on
-    identical costs), so only the load ≫ hit ordering matters, which
-    holds on any real storage stack.
+    stylised — the bench's claims are *relative* (optimised vs naive,
+    codec vs codec, on identical costs), so only the orderings matter:
+    load ≫ hit on any real storage stack, and per-MB streaming
+    dominating the fixed seek for shards of tens of KB and up (which is
+    what lets compressed codecs convert byte savings into latency).
     """
 
-    load_base: float = 1e-3
-    load_per_mb: float = 5e-3
+    load_base: float = 2e-4
+    load_per_mb: float = 0.064
     hit_cost: float = 2e-5
     point_cost: float = 5e-6
     gather_cost: float = 2e-5
@@ -77,6 +79,7 @@ class ReplayResult:
             "admitted": 0, "degraded": 0, "shed": 0,
             "shard_loads": 0, "cache_hits": 0, "coalesced": 0,
             "batches": 0, "gathers": 0,
+            "short_circuits": 0, "bytes_loaded": 0,
         }
     )
 
@@ -138,8 +141,10 @@ def replay_virtual(
     cache_shards: int = 4,
     num_servers: int = 2,
     optimized: bool = True,
-    batch_window: float = 2e-3,
+    batch_window: float = 1e-3,
     batch_max: int = 32,
+    shard_nbytes: Optional[Sequence[int]] = None,
+    short_circuits: Optional[Sequence[int]] = None,
 ) -> ReplayResult:
     """Deterministically replay a trace in virtual time.
 
@@ -147,6 +152,15 @@ def replay_virtual(
     coalescing, no batching — every query loads its shard.  The bench
     gate is precisely ``optimized`` beating this on shard loads and
     mean latency over the same trace and cost model.
+
+    ``shard_nbytes`` gives per-shard encoded sizes (index = shard id,
+    e.g. from :meth:`DistStore.shard_nbytes`), so compressed codecs pay
+    proportionally smaller load costs; default is uniform raw f8.
+    ``short_circuits`` lists the *request indices* whose point queries
+    the engine would answer from ALT landmark bounds alone
+    (``hi - lo <= epsilon``); those admitted queries finish in
+    ``approx_cost`` with no shard fetch, mirroring
+    :meth:`QueryEngine.dist`.
     """
     if n < 1 or shard_rows < 1:
         raise ServeError("replay needs n >= 1 and shard_rows >= 1")
@@ -155,8 +169,21 @@ def replay_virtual(
     result = ReplayResult()
     servers = ThreadClockQueue(num_servers)
     cache = _VirtualCache(cache_shards)
-    shard_bytes = shard_rows * n * 8
-    load = cost.load_cost(shard_bytes)
+    num_shards = (n + shard_rows - 1) // shard_rows
+    if shard_nbytes is None:
+        sizes = [
+            min(shard_rows, n - s * shard_rows) * n * 8
+            for s in range(num_shards)
+        ]
+    else:
+        sizes = [int(b) for b in shard_nbytes]
+        if len(sizes) != num_shards:
+            raise ServeError(
+                f"shard_nbytes has {len(sizes)} entries for "
+                f"{num_shards} shards"
+            )
+    loads = [cost.load_cost(b) for b in sizes]
+    sc_indices = frozenset(short_circuits or ())
     # finish times of in-flight requests per class, boxed in one-element
     # lists so an open batch can hold a slot (inf = still buffered,
     # counting against the budget) and fill it in at flush time
@@ -173,14 +200,16 @@ def replay_virtual(
         """Time at which the shard's bytes are available from ``at``."""
         if not optimized:
             result.counters["shard_loads"] += 1
-            return at + load
-        ready, hit, coalesced = cache.fetch(shard, at, load)
+            result.counters["bytes_loaded"] += sizes[shard]
+            return at + loads[shard]
+        ready, hit, coalesced = cache.fetch(shard, at, loads[shard])
         if hit:
             result.counters["cache_hits"] += 1
             if coalesced:
                 result.counters["coalesced"] += 1
         else:
             result.counters["shard_loads"] += 1
+            result.counters["bytes_loaded"] += sizes[shard]
         return ready
 
     batch: List[Request] = []
@@ -209,7 +238,7 @@ def replay_virtual(
         batch.clear()
         batch_slots.clear()
 
-    for req in requests:
+    for req_index, req in enumerate(requests):
         if optimized and batch and (
             req.arrival > batch[0].arrival + batch_window
             or len(batch) >= batch_max
@@ -224,6 +253,13 @@ def replay_virtual(
                 result.counters["shed"] += 1
             continue
         result.counters["admitted"] += 1
+        if req.kind == "point" and optimized and req_index in sc_indices:
+            # ALT short-circuit: answered from landmark bounds in O(L),
+            # no shard fetch, no server occupancy worth modelling
+            result.counters["short_circuits"] += 1
+            inflight["point"].append([req.arrival + cost.approx_cost])
+            result.latencies["point"].append(cost.approx_cost)
+            continue
         if req.kind == "point" and optimized:
             box = [float("inf")]
             inflight["point"].append(box)
@@ -296,4 +332,6 @@ def replay_threaded(
     result.counters["shard_loads"] = engine.stats["shard_loads"]
     result.counters["cache_hits"] = engine.stats["hits"]
     result.counters["coalesced"] = engine.stats["coalesced"]
+    result.counters["short_circuits"] = engine.stats["short_circuits"]
+    result.counters["bytes_loaded"] = engine.stats["bytes_loaded"]
     return result, responses

@@ -1,4 +1,4 @@
-"""Sharded on-disk distance store (``repro.serve.store/1``).
+"""Sharded on-disk distance store (``repro.serve.store/2``).
 
 The APSP result for a production-sized graph does not fit in RAM (the
 Spark APSP study measures sx-superuser at ≈160 GB), so the serving
@@ -7,27 +7,37 @@ layer never materialises n×n.  A :class:`DistStore` is a directory:
 .. code-block:: text
 
     store/
-      manifest.json     schema, shapes, per-shard checksums, config
-      shard_00000.bin   rows [0, shard_rows)       raw little-endian f8
+      manifest.json     schema, shapes, codec, per-shard checksums,
+                        per-shard error bounds, config
+      shard_00000.bin   rows [0, shard_rows)       codec-encoded
       shard_00001.bin   rows [shard_rows, 2·shard_rows)
       ...
-      landmarks.bin     pinned landmark rows for degraded answers
+      landmarks.bin     pinned landmark rows (always raw f8 — the ALT
+                        bounds in repro.serve.engine must stay exact)
 
 built shard-by-shard from :func:`repro.core.runner.solve_apsp_shards`,
 so peak resident memory during the build is O(shard_rows × n) — one
 buffer — never O(n²).
 
+Shard bytes go through a pluggable **codec**
+(:mod:`repro.serve.codecs`): ``raw`` f8 (byte-identical to schema
+``/1`` stores, which still open), ``f4``, ``u16q`` affine quantization
+with a certified max-abs-error recorded per shard and store-wide in the
+manifest, and ``u16qd`` (delta along the degree ordering + zlib).
+Checksums are computed over the **encoded** bytes, so corruption
+detection and :meth:`DistStore.repair` work identically for every
+codec.
+
 Stores are **byte-deterministic**: the build forces ``use_flags=False``
 (every source an independent Dijkstra), which makes shard bytes
-independent of ``shard_rows`` and bitwise-reproducible from the graph
-and the manifest's config alone.  That is what makes the crc32
-checksums meaningful and lets :meth:`DistStore.repair` promise *exact*
-recovery: a repaired shard must reproduce the manifest checksum or the
-repair itself fails loudly.
+independent of ``shard_rows``, and codec encoding is deterministic by
+contract — so a repaired shard must reproduce the manifest checksum or
+the repair itself fails loudly.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import zlib
@@ -38,10 +48,13 @@ import numpy as np
 
 from ..exceptions import ConfigError, StoreCorruptionError, StoreError
 from ..obs import metrics as _obs
+from .codecs import get_codec
 
 __all__ = ["STORE_SCHEMA_VERSION", "DistStore", "solve_to_store"]
 
-STORE_SCHEMA_VERSION = "repro.serve.store/1"
+STORE_SCHEMA_VERSION = "repro.serve.store/2"
+#: previous schema — raw f8, no codec/error fields; still readable
+_STORE_SCHEMA_V1 = "repro.serve.store/1"
 
 _MANIFEST = "manifest.json"
 _LANDMARKS = "landmarks.bin"
@@ -60,9 +73,10 @@ class DistStore:
     """Read access to a sharded distance store directory.
 
     Open with :meth:`DistStore.open`; build with :func:`solve_to_store`.
-    All loads go through :meth:`load_shard`, which checksums the bytes
-    it read (unless told not to) so serving never silently returns
-    rotten distances.
+    All loads go through :meth:`load_shard`, which checksums the
+    encoded bytes it read (unless told not to) and decodes them through
+    the manifest's codec, so serving never silently returns rotten
+    distances.
     """
 
     def __init__(self, path: "str | os.PathLike", manifest: Dict[str, Any]):
@@ -72,6 +86,15 @@ class DistStore:
         self.shard_rows: int = manifest["shard_rows"]
         self.num_shards: int = manifest["num_shards"]
         self.landmark_ids: List[int] = list(manifest["landmarks"]["ids"])
+        # schema /1 manifests predate codecs: raw f8, zero error
+        self.codec_name: str = manifest.get("codec", "raw")
+        self.codec = get_codec(
+            self.codec_name, **manifest.get("codec_params", {})
+        )
+        self.max_abs_error: float = float(manifest.get("max_abs_error", 0.0))
+        #: store-recommended short-circuit gap for the query engine
+        #: (``None`` = disabled); see StoreConfig.epsilon
+        self.epsilon = manifest.get("epsilon")
 
     # -- open / validate ------------------------------------------------
 
@@ -86,10 +109,11 @@ class DistStore:
         except json.JSONDecodeError as exc:
             raise StoreError(f"unreadable store manifest: {exc}") from exc
         schema = manifest.get("schema")
-        if schema != STORE_SCHEMA_VERSION:
+        if schema not in (STORE_SCHEMA_VERSION, _STORE_SCHEMA_V1):
             raise StoreError(
                 f"store schema mismatch: found {schema!r}, this build "
-                f"reads {STORE_SCHEMA_VERSION!r}"
+                f"reads {STORE_SCHEMA_VERSION!r} (and legacy "
+                f"{_STORE_SCHEMA_V1!r})"
             )
         for key in ("n", "shard_rows", "num_shards", "shards", "landmarks"):
             if key not in manifest:
@@ -121,8 +145,22 @@ class DistStore:
         return entry["start"], entry["rows"]
 
     def shard_nbytes(self, index: int) -> int:
+        """Encoded on-disk payload size of one shard."""
         _, rows = self.shard_span(index)
-        return rows * self.n * _DTYPE.itemsize
+        entry = self.manifest["shards"][index]
+        # /1 manifests carry no nbytes: raw f8 size is implied
+        return entry.get("nbytes", rows * self.n * _DTYPE.itemsize)
+
+    def store_bytes(self) -> int:
+        """Total encoded shard payload bytes (landmarks excluded)."""
+        return sum(
+            self.shard_nbytes(index) for index in range(self.num_shards)
+        )
+
+    def shard_error(self, index: int) -> float:
+        """Certified max abs error of one decoded shard."""
+        entry = self.manifest["shards"][index]
+        return float(entry.get("max_abs_error", 0.0))
 
     # -- loads ----------------------------------------------------------
 
@@ -131,6 +169,7 @@ class DistStore:
         start, rows = self.shard_span(index)
         entry = self.manifest["shards"][index]
         fpath = self.path / entry["file"]
+        expected = self.shard_nbytes(index)
         with _obs.span("serve.store.load"):
             try:
                 raw = fpath.read_bytes()
@@ -138,10 +177,10 @@ class DistStore:
                 raise StoreError(
                     f"cannot read shard {index} ({fpath}): {exc}"
                 ) from exc
-            if len(raw) != rows * self.n * _DTYPE.itemsize:
+            if len(raw) != expected:
                 raise StoreCorruptionError(
                     f"shard {index} has {len(raw)} bytes, expected "
-                    f"{rows * self.n * _DTYPE.itemsize}",
+                    f"{expected}",
                     shards=(index,),
                 )
             if verify and _crc32(raw) != entry["crc32"]:
@@ -151,11 +190,22 @@ class DistStore:
                     f"(rows [{start}, {start + rows}))",
                     shards=(index,),
                 )
+            try:
+                arr = self.codec.decode(
+                    raw, rows, self.n, entry.get("params", {})
+                )
+            except ValueError as exc:
+                # an unverified load of damaged bytes can fail inside
+                # the codec (e.g. deflate stream truncated) — that is
+                # still corruption, not a programming error
+                _obs.counter_add("serve.store.corruption_detected", 1)
+                raise StoreCorruptionError(
+                    f"shard {index} bytes do not decode as "
+                    f"{self.codec_name!r}: {exc}",
+                    shards=(index,),
+                ) from exc
         _obs.counter_add("serve.store.shard_loads", 1)
-        arr = np.frombuffer(raw, dtype=_DTYPE).reshape(rows, self.n)
-        # frombuffer views the (immutable) bytes; callers get a private
-        # writable copy so cached shards cannot alias each other
-        return arr.copy()
+        return arr
 
     def row(self, vertex: int, *, verify: bool = True) -> np.ndarray:
         """``dist_from(vertex)`` straight from disk (no cache)."""
@@ -164,7 +214,12 @@ class DistStore:
         return self.load_shard(index, verify=verify)[vertex - start]
 
     def landmark_rows(self, *, verify: bool = True) -> np.ndarray:
-        """The pinned ``(L, n)`` landmark rows for degraded answers."""
+        """The pinned ``(L, n)`` landmark rows for degraded answers.
+
+        Always raw f8 regardless of the shard codec: the ALT bounds
+        built from these rows must be exact for the short-circuit
+        guarantee to hold.
+        """
         entry = self.manifest["landmarks"]
         L = len(entry["ids"])
         if L == 0:
@@ -201,8 +256,8 @@ class DistStore:
             except OSError:
                 bad.append(index)
                 continue
-            expected = entry["rows"] * self.n * _DTYPE.itemsize
-            if len(raw) != expected or _crc32(raw) != entry["crc32"]:
+            if len(raw) != self.shard_nbytes(index) \
+                    or _crc32(raw) != entry["crc32"]:
                 bad.append(index)
         lm = self.manifest["landmarks"]
         if lm["ids"]:
@@ -223,11 +278,12 @@ class DistStore:
         """Re-solve damaged shards from the graph; exact or loud.
 
         Because stores are byte-deterministic (built flags-off from the
-        manifest's own config), a correct repair must reproduce the
-        original checksum exactly; if it does not, the graph passed in
-        is not the graph the store was built from and we raise rather
-        than quietly install different distances.  Returns the list of
-        shards repaired (empty for a clean store).
+        manifest's own config, then deterministically encoded), a
+        correct repair must reproduce the original encoded checksum
+        exactly; if it does not, the graph passed in is not the graph
+        the store was built from and we raise rather than quietly
+        install different distances.  Returns the list of shards
+        repaired (empty for a clean store).
         """
         from ..config import SolverConfig
         from ..core.runner import solve_apsp_shards
@@ -257,7 +313,8 @@ class DistStore:
                 )
                 _, block = next(gen)
                 gen.close()
-                crc = _crc32(np.ascontiguousarray(block))
+                payload, _, _ = self.codec.encode(block)
+                crc = _crc32(payload)
                 if crc != entry["crc32"]:
                     raise StoreError(
                         f"repair of shard {index} produced checksum "
@@ -265,9 +322,7 @@ class DistStore:
                         f"{entry['crc32']:#010x}; is this the graph the "
                         "store was built from?"
                     )
-                (self.path / entry["file"]).write_bytes(
-                    np.ascontiguousarray(block).tobytes()
-                )
+                (self.path / entry["file"]).write_bytes(payload)
             if "landmarks" in bad:
                 _write_landmarks(self, graph, cfg)
         _obs.counter_add("serve.store.shards_repaired", len(bad))
@@ -276,13 +331,16 @@ class DistStore:
 
 
 def _landmark_vertices(graph, count: int, degree_kind: str) -> List[int]:
+    count = min(count, graph.num_vertices)
+    return [int(v) for v in _degree_order(graph, degree_kind)[:count]]
+
+
+def _degree_order(graph, degree_kind: str) -> np.ndarray:
+    """Vertices by descending degree, ties toward the smaller id."""
     from ..graphs.degree import degree_array
 
     degrees = degree_array(graph, degree_kind)
-    count = min(count, graph.num_vertices)
-    # stable top-degree pick: ties break toward the smaller vertex id
-    order = np.argsort(-degrees, kind="stable")
-    return [int(v) for v in order[:count]]
+    return np.argsort(-degrees, kind="stable")
 
 
 def _write_landmarks(store: DistStore, graph, cfg) -> None:
@@ -319,34 +377,59 @@ def solve_to_store(
     graph,
     path: "str | os.PathLike",
     *,
-    shard_rows: int,
-    num_landmarks: int = 8,
+    shard_rows=None,
+    num_landmarks=None,
+    codec=None,
+    epsilon=None,
+    store_config=None,
     config=None,
     **kwargs,
 ) -> DistStore:
     """Solve APSP and stream the result into a new store directory.
 
     Thin pipeline over :func:`repro.core.runner.solve_apsp_shards`:
-    each yielded shard is checksummed and written before the next is
-    solved, so the n×n matrix never exists in memory.  ``use_flags`` is
-    forced off for byte-determinism (see the module docstring);
-    everything else of the solver config is honoured and recorded in
-    the manifest, making the store reproducible from the manifest
-    alone.
+    each yielded shard is codec-encoded, checksummed and written before
+    the next is solved, so the n×n matrix never exists in memory.
+    ``use_flags`` is forced off for byte-determinism (see the module
+    docstring); everything else of the solver config is honoured and
+    recorded in the manifest, making the store reproducible from the
+    manifest alone.
 
-    ``num_landmarks`` top-degree rows are pinned into ``landmarks.bin``
-    for the serving layer's degraded mode (landmark triangle-inequality
-    upper bounds when saturated).
+    Store-side knobs (``shard_rows``, ``num_landmarks``, ``codec``,
+    ``epsilon``) can come either flat or bundled in a validated
+    :class:`repro.config.StoreConfig` via ``store_config=``; flat
+    kwargs override the bundle.  ``num_landmarks`` top-degree rows are
+    pinned into ``landmarks.bin`` (always raw f8) for the serving
+    layer's ALT bounds and degraded mode.
     """
-    from ..config import SolverConfig
+    from ..config import SolverConfig, StoreConfig
+
+    if store_config is None:
+        store_cfg = StoreConfig()
+    elif isinstance(store_config, StoreConfig):
+        store_cfg = store_config
+    else:
+        raise ConfigError(
+            f"store_config must be a StoreConfig, "
+            f"got {type(store_config).__name__}",
+            field="store_config",
+        )
+    overrides = {
+        name: value
+        for name, value in (
+            ("shard_rows", shard_rows),
+            ("num_landmarks", num_landmarks),
+            ("codec", codec),
+            ("epsilon", epsilon),
+        )
+        if value is not None
+    }
+    if overrides:
+        # dataclasses.replace re-runs StoreConfig validation
+        store_cfg = dataclasses.replace(store_cfg, **overrides)
+
     from ..core.runner import solve_apsp_shards
 
-    if not isinstance(num_landmarks, int) or isinstance(num_landmarks, bool) \
-            or num_landmarks < 0:
-        raise ConfigError(
-            f"num_landmarks must be an int >= 0, got {num_landmarks!r}",
-            field="num_landmarks",
-        )
     path = Path(path)
     if path.exists() and any(path.iterdir()):
         raise StoreError(f"refusing to build a store in non-empty {path}")
@@ -362,13 +445,23 @@ def solve_to_store(
         cfg = cfg.with_overrides(use_flags=False)
 
     n = graph.num_vertices
+    shard_rows = store_cfg.shard_rows
     landmark_ids = _landmark_vertices(
-        graph, num_landmarks, cfg.algorithm.degree_kind
+        graph, store_cfg.num_landmarks, cfg.algorithm.degree_kind
     )
     landmark_rows = np.empty((len(landmark_ids), n), dtype=np.float64)
     landmark_pos = {v: i for i, v in enumerate(landmark_ids)}
 
+    codec_params: Dict[str, Any] = {}
+    codec_obj = get_codec(store_cfg.codec)
+    if codec_obj.needs_degree_order:
+        codec_params["order"] = [
+            int(v) for v in _degree_order(graph, cfg.algorithm.degree_kind)
+        ]
+        codec_obj = get_codec(store_cfg.codec, **codec_params)
+
     shards: List[Dict[str, Any]] = []
+    max_abs_error = 0.0
     with _obs.span("serve.store.build"):
         for start, rows in solve_apsp_shards(
             graph, shard_rows=shard_rows, config=cfg
@@ -377,15 +470,19 @@ def solve_to_store(
             for v in range(start, start + k):
                 if v in landmark_pos:
                     landmark_rows[landmark_pos[v]] = rows[v - start]
-            raw = np.ascontiguousarray(rows)
+            payload, params, err = codec_obj.encode(rows)
+            max_abs_error = max(max_abs_error, err)
             fname = _shard_file(len(shards))
-            (path / fname).write_bytes(raw.tobytes())
+            (path / fname).write_bytes(payload)
             shards.append(
                 {
                     "file": fname,
                     "start": start,
                     "rows": k,
-                    "crc32": _crc32(raw),
+                    "crc32": _crc32(payload),
+                    "nbytes": len(payload),
+                    "params": params,
+                    "max_abs_error": err,
                 }
             )
     lm_raw = np.ascontiguousarray(landmark_rows).tobytes()
@@ -397,6 +494,10 @@ def solve_to_store(
         "shard_rows": min(shard_rows, max(1, n)),
         "num_shards": len(shards),
         "dtype": _DTYPE.str,
+        "codec": store_cfg.codec,
+        "codec_params": codec_params,
+        "max_abs_error": max_abs_error,
+        "epsilon": store_cfg.epsilon,
         "shards": shards,
         "landmarks": {
             "ids": landmark_ids,

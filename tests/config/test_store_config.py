@@ -1,0 +1,79 @@
+"""StoreConfig: validation, round trips, and the solve_to_store path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import StoreConfig
+from repro.exceptions import ConfigError
+from repro.serve.codecs import codec_names
+
+
+@st.composite
+def store_configs(draw):
+    return StoreConfig(
+        codec=draw(st.sampled_from(codec_names())),
+        shard_rows=draw(st.integers(min_value=1, max_value=512)),
+        num_landmarks=draw(st.integers(min_value=0, max_value=16)),
+        epsilon=draw(
+            st.none()
+            | st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+        ),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(store_configs())
+    def test_dict_round_trip_is_identity(self, cfg):
+        assert StoreConfig.from_dict(cfg.to_dict()) == cfg
+        json.dumps(cfg.to_dict())  # plain JSON, no exotic objects
+
+    def test_defaults(self):
+        cfg = StoreConfig()
+        assert cfg.codec == "raw"
+        assert cfg.shard_rows == 256
+        assert cfg.num_landmarks == 8
+        assert cfg.epsilon is None
+
+    def test_epsilon_normalised_to_float(self):
+        assert isinstance(StoreConfig(epsilon=0).epsilon, float)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        ("field", "build"),
+        [
+            ("store.codec", lambda: StoreConfig(codec="lz77")),
+            ("store.shard_rows", lambda: StoreConfig(shard_rows=0)),
+            ("store.shard_rows", lambda: StoreConfig(shard_rows=True)),
+            ("store.num_landmarks",
+             lambda: StoreConfig(num_landmarks=-1)),
+            ("store.epsilon", lambda: StoreConfig(epsilon=-0.5)),
+            ("store.epsilon",
+             lambda: StoreConfig(epsilon=float("inf"))),
+            ("store.epsilon",
+             lambda: StoreConfig(epsilon=float("nan"))),
+            ("store.epsilon", lambda: StoreConfig(epsilon="0")),
+        ],
+    )
+    def test_field_named_in_error(self, field, build):
+        with pytest.raises(ConfigError) as exc_info:
+            build()
+        assert exc_info.value.field == field
+        assert field in str(exc_info.value)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigError, match="unknown field"):
+            StoreConfig.from_dict({"compression": "zstd"})
+        with pytest.raises(ConfigError, match="mapping"):
+            StoreConfig.from_dict("raw")
+
+    def test_exported_from_package_root(self):
+        import repro
+
+        assert repro.StoreConfig is StoreConfig

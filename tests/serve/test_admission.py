@@ -81,7 +81,16 @@ class TestFrontend:
         assert resp.status == "degraded"
         assert resp.approx is True
         assert resp.value >= real_dist(5, 50) - 1e-12
+        # a degraded answer carries its certified ALT error bar: the
+        # served value is the upper bound, and the truth sits inside
+        assert resp.value == resp.hi
+        assert resp.lo <= real_dist(5, 50) + 1e-12
+        assert real_dist(5, 50) <= resp.hi + 1e-12
         assert frontend.counts["degraded"] == 1
+
+    def test_exact_answers_have_no_error_bar(self, frontend):
+        resp = frontend.point(3, 77)
+        assert resp.lo is None and resp.hi is None
 
     def test_row_and_topk_shed_under_saturation(self, frontend, monkeypatch):
         release = threading.Event()

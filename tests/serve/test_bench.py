@@ -11,9 +11,11 @@ from repro.serve.bench import run_serve_smoke
 
 @pytest.fixture(scope="module")
 def smoke():
-    # scale 5 (n=32) keeps this < a second while exercising every stage
-    artifact, registry = run_serve_smoke(scale=5, edge_factor=8, seed=5,
-                                         shard_rows=8, cache_shards=2)
+    # the CI smoke configuration (n=128, 16-row shards): big enough
+    # that shard loads dominate the batch window, which is what the
+    # raw opt-vs-naive latency gate needs; still < a second
+    artifact, registry = run_serve_smoke(scale=7, edge_factor=8, seed=5,
+                                         shard_rows=16, cache_shards=3)
     return artifact, registry
 
 
@@ -40,8 +42,8 @@ class TestServeSmoke:
 
     def test_deterministic_across_runs(self, smoke):
         artifact, _ = smoke
-        again, _ = run_serve_smoke(scale=5, edge_factor=8, seed=5,
-                                   shard_rows=8, cache_shards=2)
+        again, _ = run_serve_smoke(scale=7, edge_factor=8, seed=5,
+                                   shard_rows=16, cache_shards=3)
         assert again["serve"] == artifact["serve"]
         assert again["counters"] == artifact["counters"]
 
@@ -93,3 +95,83 @@ class TestServeSmoke:
         stripped = {k: v for k, v in artifact.items() if k != "serve"}
         regressions, _ = compare_artifacts(artifact, stripped)
         assert regressions
+
+    def test_regress_gates_bytes_and_error_bounds(self, smoke):
+        artifact, _ = smoke
+
+        def mutated(key, value):
+            out = {k: dict(v) if isinstance(v, dict) else v
+                   for k, v in artifact.items()}
+            out["serve"][key] = value
+            return out
+
+        def gated(current):
+            regressions, _ = compare_artifacts(artifact, current)
+            return regressions
+
+        serve = artifact["serve"]
+        # a silently raised certified error bound is a correctness
+        # regression — the gate is exact, so any drift fails
+        key = "serve.error.certified_max_abs_error"
+        raised = mutated(key, serve[key] + 1e-6)
+        assert any(key in r for r in gated(raised))
+        lowered = mutated(key, serve[key] - 1e-6)
+        assert gated(lowered)
+        # byte totals gate upward: growth fails, shrink is a win
+        for key in ("serve.store.store_bytes", "serve.opt.bytes_loaded"):
+            grown = mutated(key, serve[key] * 2)
+            assert gated(grown), key
+            shrunk = mutated(key, serve[key] / 2)
+            assert gated(shrunk) == [], key
+
+
+class TestCodecSmoke:
+    @pytest.mark.parametrize("codec", ["f4", "u16q", "u16qd"])
+    def test_compressed_codecs_pass_and_shrink(self, codec):
+        artifact, _ = run_serve_smoke(
+            scale=5, edge_factor=8, seed=5, shard_rows=8,
+            cache_shards=2, codec=codec,
+        )
+        serve = artifact["serve"]
+        assert artifact["params"]["codec"] == codec
+        assert serve["serve.store.compression_ratio"] >= 2.0
+        assert serve["serve.error.observed_max_abs_error"] \
+            <= serve["serve.error.certified_max_abs_error"]
+        assert serve["serve.opt.bytes_loaded"] \
+            < serve["serve.naive.bytes_loaded"]
+        # compressed loads beat the raw-f8 cost reference
+        assert serve["serve.opt.raw_speedup"] > 1.0
+        assert serve["serve.alt.short_circuits"] > 0
+        assert serve["serve.alt.shard_loads"] \
+            < serve["serve.opt.shard_loads"]
+
+    def test_alt_replay_cuts_loads_on_raw(self, smoke):
+        artifact, _ = smoke
+        serve = artifact["serve"]
+        assert serve["serve.alt.short_circuits"] > 0
+        assert serve["serve.alt.shard_loads"] \
+            < serve["serve.opt.shard_loads"]
+        assert serve["serve.store.compression_ratio"] == 1.0
+        assert serve["serve.error.certified_max_abs_error"] == 0.0
+
+
+class TestCodecCurve:
+    def test_curve_covers_all_codecs(self):
+        from repro.serve.bench import CURVE_SCHEMA_VERSION, run_codec_curve
+        from repro.serve.codecs import codec_names
+
+        curve = run_codec_curve(
+            scale=7, edge_factor=8, seed=5, shard_rows=16, cache_shards=3
+        )
+        assert curve["schema"] == CURVE_SCHEMA_VERSION
+        points = {p["codec"]: p for p in curve["points"]}
+        assert set(points) == set(codec_names())
+        raw = points["raw"]
+        for name, point in points.items():
+            assert point["observed_max_abs_error"] \
+                <= point["certified_max_abs_error"]
+            assert point["p50_ms"] <= point["p99_ms"]
+            if name != "raw":
+                assert point["store_bytes"] < raw["store_bytes"]
+        # the headline claim: u16q halves-of-halves the store
+        assert points["u16q"]["store_bytes"] * 4 == raw["store_bytes"]

@@ -1,0 +1,230 @@
+"""Shard codecs: certified round-trips, determinism, corruption drills.
+
+The property under test is the codec contract itself: for every codec
+and every block, ``|decode(encode(x)) - x| <= certified_error`` over
+the finite entries, with ``inf`` (unreachable) preserved exactly and
+the payload bytes deterministic.  The corruption drill then checks the
+whole store path per codec: seeded XOR flips over the *encoded* bytes
+are detected on load and ``repair()`` reproduces the manifest crc
+byte-exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.runner import solve_apsp
+from repro.exceptions import StoreCorruptionError, StoreError
+from repro.faults import StoreCorruptionSpec
+from repro.serve import DistStore, QueryEngine, solve_to_store
+from repro.serve.codecs import codec_names, get_codec
+
+SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: codecs whose constructor needs no store context
+ALL_CODECS = list(codec_names())
+
+
+@st.composite
+def dist_block(draw, max_rows=4, max_n=16):
+    """A plausible distance block: finite non-negatives plus inf."""
+    rows = draw(st.integers(min_value=1, max_value=max_rows))
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    finite = st.floats(
+        min_value=0.0,
+        max_value=1e6,
+        allow_nan=False,
+        allow_infinity=False,
+    )
+    values = draw(
+        st.lists(
+            st.one_of(finite, st.just(float("inf"))),
+            min_size=rows * n,
+            max_size=rows * n,
+        )
+    )
+    return np.asarray(values, dtype=np.float64).reshape(rows, n)
+
+
+def _round_trip(codec_name, block, order=None):
+    if order is not None:
+        codec = get_codec(codec_name, order=order)
+    elif codec_name == "u16qd":
+        codec = get_codec(codec_name)
+    else:
+        codec = get_codec(codec_name)
+    payload, params, err = codec.encode(block)
+    decoded = codec.decode(payload, block.shape[0], block.shape[1], params)
+    return payload, params, err, decoded
+
+
+class TestRoundTripProperties:
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    @given(block=dist_block())
+    @settings(**SETTINGS)
+    def test_error_within_certified_bound(self, name, block):
+        _, _, err, decoded = _round_trip(name, block)
+        finite = np.isfinite(block)
+        # inf entries must survive exactly, never leak into finites
+        assert np.array_equal(np.isfinite(decoded), finite)
+        if finite.any():
+            observed = float(
+                np.max(np.abs(decoded[finite] - block[finite]))
+            )
+            assert observed <= err + 1e-300
+        assert np.isfinite(err) and err >= 0.0
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    @given(block=dist_block())
+    @settings(**SETTINGS)
+    def test_encode_is_deterministic(self, name, block):
+        payload_a, params_a, err_a = get_codec(name).encode(block)
+        payload_b, params_b, err_b = get_codec(name).encode(block)
+        assert payload_a == payload_b
+        assert params_a == params_b
+        assert err_a == err_b
+
+    @given(block=dist_block())
+    @settings(**SETTINGS)
+    def test_raw_is_exact_and_bitwise(self, block):
+        payload, _, err, decoded = _round_trip("raw", block)
+        assert err == 0.0
+        assert np.array_equal(decoded, block)
+        assert payload == block.astype("<f8").tobytes()
+        assert decoded.flags.writeable
+
+    @given(block=dist_block())
+    @settings(**SETTINGS)
+    def test_f4_exact_for_representable_values(self, block):
+        # force values onto the f4 grid: small integers (hop counts)
+        block = block.copy()
+        mask = np.isfinite(block)
+        block[mask] = np.rint(block[mask]) % 4096
+        _, _, err, decoded = _round_trip("f4", block)
+        assert err == 0.0
+        assert np.array_equal(decoded, block)
+
+    @given(block=dist_block())
+    @settings(**SETTINGS)
+    def test_u16q_delta_matches_u16q_values(self, block):
+        # delta+zlib is lossless over the quantized codes: identical
+        # decoded values and identical certified bound as plain u16q
+        _, _, err_q, dec_q = _round_trip("u16q", block)
+        _, _, err_d, dec_d = _round_trip("u16qd", block)
+        assert err_d == err_q
+        assert np.array_equal(dec_q, dec_d)
+
+    @given(block=dist_block(max_n=12), data=st.data())
+    @settings(**SETTINGS)
+    def test_u16qd_order_is_cosmetic(self, block, data):
+        n = block.shape[1]
+        perm = data.draw(st.permutations(range(n)))
+        _, _, _, plain = _round_trip("u16qd", block)
+        _, _, _, permuted = _round_trip("u16qd", block, order=perm)
+        assert np.array_equal(plain, permuted)
+
+
+class TestEdgeShapes:
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_single_row_shard(self, name):
+        block = np.array([[0.0, 1.5, np.inf, 3.0]])
+        _, _, err, decoded = _round_trip(name, block)
+        finite = np.isfinite(block)
+        assert np.array_equal(np.isfinite(decoded), finite)
+        assert np.max(np.abs(decoded[finite] - block[finite])) <= err
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_all_inf_shard(self, name):
+        block = np.full((3, 5), np.inf)
+        _, _, err, decoded = _round_trip(name, block)
+        assert err == 0.0
+        assert np.all(np.isinf(decoded))
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_constant_shard(self, name):
+        # span 0 exercises the u16q scale=1.0 degenerate branch
+        block = np.full((2, 6), 7.25)
+        _, _, err, decoded = _round_trip(name, block)
+        assert err == 0.0
+        assert np.array_equal(decoded, block)
+
+    def test_u16q_inf_sentinel_never_collides(self):
+        # a finite value quantizing to the top code must not read back
+        # as inf: code 65534 is the finite ceiling, 65535 the sentinel
+        block = np.array([[0.0, 1.0, np.inf]])
+        _, _, err, decoded = _round_trip("u16q", block)
+        assert np.isfinite(decoded[0, 1])
+        assert np.isinf(decoded[0, 2])
+        assert abs(decoded[0, 1] - 1.0) <= err
+
+
+class TestRegistry:
+    def test_unknown_codec(self):
+        with pytest.raises(StoreError, match="unknown shard codec"):
+            get_codec("lz77")
+
+    def test_stray_params_rejected(self):
+        with pytest.raises(StoreError, match="no parameters"):
+            get_codec("raw", order=[0, 1])
+
+    def test_u16qd_wrong_order_length(self):
+        codec = get_codec("u16qd", order=[0, 1, 2])
+        with pytest.raises(StoreError, match="degree order"):
+            codec.encode(np.zeros((1, 5)))
+
+    def test_registry_lists_all(self):
+        assert set(codec_names()) == {"raw", "f4", "u16q", "u16qd"}
+
+
+class TestStoreCorruptionPerCodec:
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_detected_and_byte_exact_repair(
+        self, name, small_weighted, tmp_path
+    ):
+        store = solve_to_store(
+            small_weighted, tmp_path / name, shard_rows=16,
+            num_landmarks=3, codec=name,
+        )
+        spec = StoreCorruptionSpec(shard=2, nbytes=8, seed=21)
+        target = spec.resolve(store)
+        before = target.read_bytes()
+        spec.apply_to_store(store)
+        assert target.read_bytes() != before
+        with pytest.raises(StoreCorruptionError) as exc_info:
+            store.load_shard(2)
+        assert exc_info.value.shards == (2,)
+        assert store.repair(small_weighted) == [2]
+        # repair must reproduce the *encoded* bytes exactly, not just
+        # semantically equivalent ones — the crc covers the payload
+        assert target.read_bytes() == before
+        store.verify()
+        ref = solve_apsp(small_weighted, use_flags=False).dist
+        decoded = store.load_shard(2)
+        finite = np.isfinite(ref[32:48])
+        assert np.array_equal(np.isfinite(decoded), finite)
+        assert np.max(
+            np.abs(decoded[finite] - ref[32:48][finite])
+        ) <= store.max_abs_error
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_reopened_store_serves_within_bound(
+        self, name, small_weighted, tmp_path
+    ):
+        solve_to_store(
+            small_weighted, tmp_path / name, shard_rows=16,
+            num_landmarks=3, codec=name,
+        )
+        store = DistStore.open(tmp_path / name)
+        assert store.codec_name == name
+        ref = solve_apsp(small_weighted, use_flags=False).dist
+        engine = QueryEngine(store)
+        for u, v in [(0, 50), (3, 77), (90, 12)]:
+            assert abs(engine.dist(u, v) - ref[u, v]) \
+                <= store.max_abs_error

@@ -61,6 +61,29 @@ class TestSpec:
             StoreCorruptionSpec(shard=0, nbytes=0)
 
 
+class TestStoreResolution:
+    def test_resolve_finds_manifest_path(self, built):
+        store, _ = built
+        spec = StoreCorruptionSpec(shard=2, nbytes=3, seed=5)
+        target = spec.resolve(store)
+        assert target == store.path / store.manifest["shards"][2]["file"]
+
+    def test_resolve_rejects_out_of_range_shard(self, built):
+        store, _ = built
+        spec = StoreCorruptionSpec(shard=store.num_shards, nbytes=1)
+        with pytest.raises(FaultPlanError, match="shard"):
+            spec.resolve(store)
+
+    def test_apply_to_store_damages_encoded_bytes(self, built):
+        store, _ = built
+        spec = StoreCorruptionSpec(shard=1, nbytes=4, seed=9)
+        before = spec.resolve(store).read_bytes()
+        spec.apply_to_store(store)
+        assert spec.resolve(store).read_bytes() != before
+        with pytest.raises(StoreCorruptionError):
+            store.load_shard(1)
+
+
 class TestDetectionAndRepair:
     def test_load_shard_detects(self, built):
         store, _ = built

@@ -156,21 +156,39 @@ class TestCache:
         assert engine.dist(0, 1) == store.row(0)[1]
 
 
-class TestApprox:
-    def test_upper_bound_and_flagging(self, served):
+class TestBounds:
+    def test_bounds_contain_truth_everywhere(self, served):
+        store, ref = served
+        engine = QueryEngine(store)
+        for u in range(0, store.n, 7):
+            for v in range(0, store.n, 11):
+                lo, hi = engine.dist_bounds(u, v)
+                assert lo <= ref[u, v] + 1e-12
+                assert hi >= ref[u, v] - 1e-12
+
+    def test_approx_is_counted_bounds(self, served):
         store, ref = served
         engine = QueryEngine(store)
         for u, v in [(0, 50), (3, 77), (90, 12)]:
-            bound = engine.dist_approx(u, v)
-            assert bound >= ref[u, v] - 1e-12
+            lo, hi = engine.dist_approx(u, v)
+            assert lo <= ref[u, v] + 1e-12 <= hi + 2e-12
         assert engine.stats["approx_answers"] == 3
 
-    def test_exact_when_landmark_on_path(self, served):
+    def test_gap_zero_at_landmark_endpoint(self, served):
         store, ref = served
         engine = QueryEngine(store)
         landmark = store.landmark_ids[0]
-        # from the landmark itself the bound collapses to d(l,l)+d(l,v)
-        assert engine.dist_approx(landmark, 5) == ref[landmark, 5]
+        # from the landmark itself both bounds collapse to d(l, v)
+        lo, hi = engine.dist_bounds(landmark, 5)
+        assert lo == hi == ref[landmark, 5]
+
+    def test_bounds_never_load_shards(self, served):
+        store, _ = served
+        engine = QueryEngine(store)
+        for u, v in [(0, 50), (3, 77), (90, 12)]:
+            engine.dist_bounds(u, v)
+        assert engine.stats["shard_loads"] == 0
+        assert engine.stats["bytes_loaded"] == 0
 
     def test_no_landmarks_raises(self, small_weighted, tmp_path):
         store = solve_to_store(
@@ -179,3 +197,97 @@ class TestApprox:
         )
         with pytest.raises(ServeError, match="landmark"):
             QueryEngine(store).dist_approx(0, 1)
+
+    def test_concurrent_landmark_init_loads_once(self, served,
+                                                 monkeypatch):
+        store, _ = served
+        engine = QueryEngine(store)
+        barrier = threading.Barrier(8)
+        real_rows = store.landmark_rows
+        calls = []
+
+        def slow_rows(**kwargs):
+            calls.append(1)
+            return real_rows(**kwargs)
+
+        monkeypatch.setattr(store, "landmark_rows", slow_rows)
+
+        def probe():
+            barrier.wait(timeout=5)
+            return engine.dist_bounds(3, 77)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = [f.result()
+                       for f in [pool.submit(probe) for _ in range(8)]]
+        assert len(set(results)) == 1
+        # the lock-guarded lazy init must read the pinned rows exactly
+        # once no matter how many threads race the first call
+        assert len(calls) == 1
+
+
+class TestShortCircuit:
+    def test_epsilon_zero_short_circuits_landmark_pairs(self, served):
+        store, ref = served
+        engine = QueryEngine(store, epsilon=0.0)
+        landmark = store.landmark_ids[0]
+        value = engine.dist(landmark, 9)
+        assert value == ref[landmark, 9]
+        assert engine.stats["short_circuits"] == 1
+        assert engine.stats["shard_loads"] == 0
+
+    def test_short_circuit_error_within_half_epsilon(self, served):
+        store, ref = served
+        eps = 1.5
+        engine = QueryEngine(store, epsilon=eps)
+        for u in range(0, store.n, 13):
+            for v in range(0, store.n, 17):
+                value = engine.dist(u, v)
+                if value == INF and ref[u, v] == INF:
+                    continue
+                assert abs(value - ref[u, v]) <= eps / 2 + 1e-12
+
+    def test_unreachable_pair_short_circuits_to_inf(
+        self, small_weighted, tmp_path
+    ):
+        from repro.graphs.csr import CSRGraph
+
+        # add an isolated vertex so some pairs are (inf, inf)-bounded
+        g = small_weighted
+        iso = CSRGraph(
+            np.append(g.indptr, g.indptr[-1]),
+            g.indices,
+            g.weights,
+            directed=g.directed,
+        )
+        store = solve_to_store(
+            iso, tmp_path / "iso", shard_rows=16, num_landmarks=4
+        )
+        engine = QueryEngine(store, epsilon=0.0)
+        assert engine.dist(0, iso.num_vertices - 1) == INF
+        assert engine.stats["short_circuits"] == 1
+        assert engine.stats["shard_loads"] == 0
+
+    def test_no_epsilon_means_no_short_circuit(self, served):
+        store, _ = served
+        engine = QueryEngine(store)
+        landmark = store.landmark_ids[0]
+        engine.dist(landmark, 9)
+        assert engine.stats["short_circuits"] == 0
+        assert engine.stats["shard_loads"] == 1
+
+    def test_engine_inherits_store_epsilon(self, small_weighted,
+                                           tmp_path):
+        store = solve_to_store(
+            small_weighted, tmp_path / "eps", shard_rows=16,
+            num_landmarks=4, epsilon=0.0,
+        )
+        engine = QueryEngine(store)
+        assert engine.epsilon == 0.0
+        engine.dist(store.landmark_ids[0], 9)
+        assert engine.stats["short_circuits"] == 1
+
+    def test_bad_epsilon_rejected(self, served):
+        store, _ = served
+        for bad in (-1.0, float("inf"), float("nan"), True, "0"):
+            with pytest.raises(ServeError, match="epsilon"):
+                QueryEngine(store, epsilon=bad)

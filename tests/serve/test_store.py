@@ -154,6 +154,122 @@ class TestStoreRoundTrip:
         assert np.array_equal(got_a, got_b)
 
 
+class TestCodecStores:
+    def test_raw_manifest_defaults(self, store_and_ref):
+        store, _ = store_and_ref
+        assert store.codec_name == "raw"
+        assert store.max_abs_error == 0.0
+        assert store.epsilon is None
+        assert store.store_bytes() == store.n * store.n * 8
+        assert store.shard_nbytes(0) == 16 * store.n * 8
+
+    def test_v1_manifest_still_opens(self, store_and_ref, tmp_path):
+        # down-convert the manifest to what schema /1 builds wrote:
+        # no codec fields anywhere
+        manifest_path = tmp_path / "store" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema"] = "repro.serve.store/1"
+        for key in ("codec", "codec_params", "max_abs_error", "epsilon"):
+            manifest.pop(key, None)
+        for entry in manifest["shards"]:
+            for key in ("nbytes", "params", "max_abs_error"):
+                entry.pop(key, None)
+        manifest_path.write_text(json.dumps(manifest))
+        store = DistStore.open(tmp_path / "store")
+        assert store.codec_name == "raw"
+        assert store.max_abs_error == 0.0
+        assert store.shard_nbytes(0) == 16 * store.n * 8
+        store.verify()
+        np.testing.assert_array_equal(
+            store.load_shard(0), store_and_ref[1][:16]
+        )
+
+    @pytest.mark.parametrize("codec", ["f4", "u16q", "u16qd"])
+    def test_compressed_round_trip_within_bound(
+        self, codec, small_weighted, tmp_path
+    ):
+        store = solve_to_store(
+            small_weighted, tmp_path / codec, shard_rows=16,
+            num_landmarks=4, codec=codec,
+        )
+        ref = solve_apsp(small_weighted, use_flags=False).dist
+        got = np.vstack(
+            [store.load_shard(i) for i in range(store.num_shards)]
+        )
+        assert np.array_equal(np.isfinite(got), np.isfinite(ref))
+        finite = np.isfinite(ref)
+        assert np.max(np.abs(got[finite] - ref[finite])) \
+            <= store.max_abs_error
+        assert store.manifest["codec"] == codec
+        # per-shard certified bounds roll up to the store-level maximum
+        shard_errs = [
+            store.shard_error(i) for i in range(store.num_shards)
+        ]
+        assert store.max_abs_error == max(shard_errs)
+
+    def test_compressed_stores_are_smaller(self, small_weighted,
+                                           tmp_path):
+        raw_bytes = None
+        sizes = {}
+        for codec in ("raw", "f4", "u16q"):
+            store = solve_to_store(
+                small_weighted, tmp_path / codec, shard_rows=16,
+                num_landmarks=2, codec=codec,
+            )
+            sizes[codec] = store.store_bytes()
+            if codec == "raw":
+                raw_bytes = store.store_bytes()
+        assert sizes["f4"] * 2 == raw_bytes
+        assert sizes["u16q"] * 4 == raw_bytes
+
+    def test_landmarks_stay_raw_under_compression(
+        self, small_weighted, tmp_path
+    ):
+        store = solve_to_store(
+            small_weighted, tmp_path / "q", shard_rows=16,
+            num_landmarks=4, codec="u16q",
+        )
+        ref = solve_apsp(small_weighted, use_flags=False).dist
+        rows = store.landmark_rows()
+        for i, vertex in enumerate(store.landmark_ids):
+            assert np.array_equal(rows[i], ref[vertex])
+
+    def test_epsilon_recorded(self, small_weighted, tmp_path):
+        store = solve_to_store(
+            small_weighted, tmp_path / "eps", shard_rows=16,
+            num_landmarks=4, epsilon=0.5,
+        )
+        assert store.epsilon == 0.5
+        assert DistStore.open(tmp_path / "eps").epsilon == 0.5
+
+    def test_store_config_object_path(self, small_weighted, tmp_path):
+        from repro.config import StoreConfig
+
+        cfg = StoreConfig(codec="u16q", shard_rows=32, num_landmarks=2)
+        store = solve_to_store(
+            small_weighted, tmp_path / "cfg", store_config=cfg
+        )
+        assert store.codec_name == "u16q"
+        assert store.shard_rows == 32
+        assert len(store.landmark_ids) == 2
+        # flat kwargs override the config object and re-validate
+        override = solve_to_store(
+            small_weighted, tmp_path / "cfg2", store_config=cfg,
+            codec="raw",
+        )
+        assert override.codec_name == "raw"
+
+    def test_bad_codec_rejected(self, small_weighted, tmp_path):
+        with pytest.raises(ConfigError, match="codec"):
+            solve_to_store(
+                small_weighted, tmp_path / "bad", codec="lz77"
+            )
+        with pytest.raises(ConfigError, match="epsilon"):
+            solve_to_store(
+                small_weighted, tmp_path / "bad", epsilon=-0.5
+            )
+
+
 class TestStoreValidation:
     def test_refuses_non_empty_dir(self, small_weighted, tmp_path):
         (tmp_path / "occupied").mkdir()

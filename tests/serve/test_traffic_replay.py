@@ -143,6 +143,69 @@ class TestVirtualReplay:
             replay_virtual([], n=0, shard_rows=16)
 
 
+class TestCodecAwareReplay:
+    def test_bytes_loaded_tracks_shard_sizes(self):
+        trace = generate_trace(SPEC, 100)
+        res = replay_virtual(trace, n=100, shard_rows=16)
+        # default sizing: full shards are 16 rows × 100 cols × 8 bytes,
+        # the last shard holds the 4 remaining rows
+        sizes = [16 * 100 * 8] * 6 + [4 * 100 * 8]
+        explicit = replay_virtual(
+            trace, n=100, shard_rows=16, shard_nbytes=sizes
+        )
+        assert res.counters == explicit.counters
+        assert res.counters["bytes_loaded"] > 0
+
+    def test_smaller_shards_cut_latency_and_bytes(self):
+        trace = generate_trace(SPEC, 100)
+        raw = replay_virtual(trace, n=100, shard_rows=16)
+        quarter = [
+            (min(16, 100 - s * 16) * 100 * 8) // 4 for s in range(7)
+        ]
+        small = replay_virtual(
+            trace, n=100, shard_rows=16, shard_nbytes=quarter
+        )
+        # same cache behaviour (sizes don't change which shards load),
+        # strictly fewer bytes and cheaper loads
+        assert small.counters["shard_loads"] == raw.counters["shard_loads"]
+        assert small.counters["bytes_loaded"] * 4 \
+            == raw.counters["bytes_loaded"]
+        assert small.mean_latency() < raw.mean_latency()
+
+    def test_shard_nbytes_count_validated(self):
+        trace = generate_trace(SPEC, 100)
+        with pytest.raises(ServeError, match="shard_nbytes"):
+            replay_virtual(
+                trace, n=100, shard_rows=16, shard_nbytes=[100] * 3
+            )
+
+    def test_short_circuits_skip_loads(self):
+        trace = generate_trace(SPEC, 100)
+        plain = replay_virtual(trace, n=100, shard_rows=16)
+        sc = [i for i, r in enumerate(trace) if r.kind == "point"][:200]
+        fast = replay_virtual(
+            trace, n=100, shard_rows=16, short_circuits=sc
+        )
+        assert fast.counters["short_circuits"] > 0
+        assert fast.counters["shard_loads"] < plain.counters["shard_loads"]
+        assert fast.counters["bytes_loaded"] < plain.counters["bytes_loaded"]
+        # every outcome is still accounted for
+        outcomes = (
+            fast.counters["admitted"] + fast.counters["degraded"]
+            + fast.counters["shed"]
+        )
+        assert outcomes == len(trace)
+
+    def test_naive_replay_ignores_short_circuits(self):
+        trace = generate_trace(SPEC, 100)
+        sc = list(range(len(trace)))
+        naive = replay_virtual(
+            trace, n=100, shard_rows=16, optimized=False,
+            short_circuits=sc,
+        )
+        assert naive.counters["short_circuits"] == 0
+
+
 class TestThreadedReplay:
     def test_exact_answers_match_ground_truth(self, small_weighted,
                                               tmp_path):

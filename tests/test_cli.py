@@ -195,6 +195,57 @@ class TestCommands:
         assert code == 1
         assert "unreachable" in capsys.readouterr().out
 
+    def test_store_build_query_and_info(self, tmp_path, capsys):
+        target = tmp_path / "g.dist"
+        code = main(
+            [
+                "store", "--rmat", "6", "--out", str(target),
+                "--shard-rows", "16", "--codec", "u16q",
+                "--epsilon", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "codec     : u16q" in out
+        assert "certified max abs error" in out
+        assert "min" in out and "mean" in out and "max" in out
+
+        assert main(["info", "--store", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "u16q" in out
+        assert "repro.serve.store/2" in out
+
+        assert main(
+            ["query", "--store", str(target), "--u", "0", "--v", "5"]
+        ) == 0
+        assert "dist(0, 5)" in capsys.readouterr().out
+
+        assert main(
+            ["query", "--store", str(target), "--u", "0", "--v", "5",
+             "--approx"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "<= dist(0, 5) <=" in out
+        assert "gap" in out
+
+        # a generous error budget routes through the ALT short circuit
+        assert main(
+            ["query", "--store", str(target), "--u", "0", "--v", "5",
+             "--max-error", "1000"]
+        ) == 0
+        assert "ALT" in capsys.readouterr().out
+
+    def test_store_raw_reports_no_compression(self, tmp_path, capsys):
+        target = tmp_path / "raw.dist"
+        assert main(
+            ["store", "--rmat", "5", "--out", str(target),
+             "--shard-rows", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "codec     : raw" in out
+        # n=32 → 32*32*8 bytes of shard payload
+        assert "8192" in out
+
     def test_bench_single_experiment(self, tmp_path, capsys):
         code = main(
             [
