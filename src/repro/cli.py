@@ -11,6 +11,7 @@ Subcommands
 ``store``    — build a sharded on-disk distance store (repro.serve).
 ``query``    — answer point/row/top-k queries from a distance store.
 ``serve-bench`` — deterministic query-serving bench (BENCH artifact).
+``monitor``  — tail / summarize / validate a telemetry event log.
 ``datasets`` — list the dataset registry.
 ``info``     — library and algorithm inventory.
 
@@ -310,6 +311,39 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument(
         "--curve", metavar="PATH", default=None,
         help="sweep every codec; write the accuracy-vs-latency curve",
+    )
+    serve_bench.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="write the optimised replay's telemetry event log "
+        "(deterministic JSONL)",
+    )
+    serve_bench.add_argument(
+        "--events-sample", type=float, default=None, metavar="FRAC",
+        help="per-trace sampling fraction for --events",
+    )
+    serve_bench.add_argument(
+        "--request-trace", metavar="PATH", default=None,
+        help="export the slowest request as a Chrome/Perfetto trace",
+    )
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="tail / summarize / validate a telemetry event log",
+    )
+    monitor.add_argument(
+        "log", help="JSONL event log (repro.serve.telemetry/1)"
+    )
+    monitor.add_argument(
+        "--check", action="store_true",
+        help="validate the log; exit 1 listing problems if invalid",
+    )
+    monitor.add_argument(
+        "--tail", type=int, default=None, metavar="N",
+        help="print the last N events instead of the summary",
+    )
+    monitor.add_argument(
+        "--top", type=int, default=None, metavar="K",
+        help="how many slowest requests the summary names",
     )
 
     sub.add_parser("datasets", help="list the dataset registry")
@@ -708,10 +742,33 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         argv += ["--codec", args.codec]
     if args.curve is not None:
         argv += ["--curve", args.curve]
+    if args.events is not None:
+        argv += ["--events", args.events]
+    if args.events_sample is not None:
+        argv += ["--events-sample", str(args.events_sample)]
+    if args.request_trace is not None:
+        argv += ["--request-trace", args.request_trace]
     try:
         return serve_bench.main(argv)
     except ReproError as exc:
         raise SystemExit(f"repro-apsp serve-bench: error: {exc}")
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from .exceptions import ReproError
+    from .serve import monitor as serve_monitor
+
+    argv = [args.log]
+    if args.check:
+        argv.append("--check")
+    if args.tail is not None:
+        argv += ["--tail", str(args.tail)]
+    if args.top is not None:
+        argv += ["--top", str(args.top)]
+    try:
+        return serve_monitor.main(argv)
+    except ReproError as exc:
+        raise SystemExit(f"repro-apsp monitor: error: {exc}")
 
 
 def _cmd_datasets(_args: argparse.Namespace) -> int:
@@ -818,6 +875,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "store": _cmd_store,
         "query": _cmd_query,
         "serve-bench": _cmd_serve_bench,
+        "monitor": _cmd_monitor,
         "datasets": _cmd_datasets,
         "info": _cmd_info,
     }

@@ -57,6 +57,7 @@ __all__ = [
     "ObsConfig",
     "SolverConfig",
     "StoreConfig",
+    "TelemetryConfig",
     "load_config",
 ]
 
@@ -361,6 +362,60 @@ class StoreConfig:
         unknown = set(data) - valid
         if unknown:
             _fail("store", f"unknown field(s): {sorted(unknown)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Request-telemetry knobs of the serving stack.
+
+    Standalone like :class:`StoreConfig` (it shapes the serving side,
+    not the solve): feeds
+    :meth:`repro.serve.telemetry.TelemetryCollector.from_config`.
+    ``sample`` is the deterministic per-trace JSONL sink admission
+    fraction — 1.0 logs every request, smaller values keep a stable
+    hash-selected subset so two identical runs still produce identical
+    logs.
+    """
+
+    #: ring-buffer capacity, in events (the ring answers "what just
+    #: happened"; the JSONL sink is the durable log)
+    capacity: int = 4096
+    #: per-trace sink sampling fraction, in (0, 1]
+    sample: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.capacity, int) or isinstance(
+            self.capacity, bool
+        ) or self.capacity < 1:
+            _fail(
+                "telemetry.capacity",
+                f"capacity must be an int >= 1, got {self.capacity!r}",
+            )
+        sample = self.sample
+        if not isinstance(sample, (int, float)) or isinstance(
+            sample, bool
+        ) or not 0.0 < float(sample) <= 1.0:
+            _fail(
+                "telemetry.sample",
+                f"sample must be a number in (0, 1], got {sample!r}",
+            )
+        object.__setattr__(self, "sample", float(sample))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TelemetryConfig":
+        if not isinstance(data, Mapping):
+            _fail(
+                "telemetry",
+                f"must be a mapping, got {type(data).__name__}",
+            )
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - valid
+        if unknown:
+            _fail("telemetry", f"unknown field(s): {sorted(unknown)}")
         return cls(**data)
 
 

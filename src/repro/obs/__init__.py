@@ -23,6 +23,10 @@ Layout
 * :mod:`repro.obs.smoke_batched` — batched-vs-unbatched sweep smoke
   (``BENCH_smoke_batched.json``); gates batched virtual cost ≤
   unbatched and reports the wall-clock speedup headline.
+* :mod:`repro.obs.hist`     — mergeable log-bucketed streaming
+  ``LatencyHistogram`` with a certified relative quantile error and
+  per-bucket trace-id exemplars; the distribution counterpart of the
+  counters, used by the serving telemetry and SLO layers.
 """
 
 from .artifact import (
@@ -34,6 +38,7 @@ from .artifact import (
     validate_artifact,
     write_artifact,
 )
+from .hist import HIST_SCHEMA_VERSION, LatencyHistogram
 from .metrics import (
     Counter,
     MetricsRegistry,
@@ -55,6 +60,8 @@ __all__ = [
     "load_artifact",
     "validate_artifact",
     "write_artifact",
+    "HIST_SCHEMA_VERSION",
+    "LatencyHistogram",
     "Counter",
     "MetricsRegistry",
     "Span",

@@ -36,6 +36,18 @@ query-serving traffic bench (:mod:`repro.serve.bench`): shard-load /
 batching event counts (exact-gated), cache hit rates (gated *downward*
 with ``--serve-atol`` — a hit-rate drop is the regression) and virtual
 latency percentiles (gated upward with the timing ``--rtol``).
+
+``serve_latency_hist`` (schema ``/6``, optional) is the flat dump of
+the virtual replay's :class:`~repro.obs.hist.LatencyHistogram` —
+per-bucket counts plus certified-error quantiles.  The virtual replay
+is deterministic, so **every** key gates exactly: a single bucket
+moving means the replay's latency distribution changed.
+
+``serve_slo`` (schema ``/6``, optional) is the flat
+:class:`~repro.serve.slo.SLOReport`: objective parameters and
+violation counts gate exactly; keys ending in ``burn_rate`` gate
+*upward-only* — burning the error budget faster is the regression,
+burning it slower is an improvement.
 """
 
 from __future__ import annotations
@@ -62,8 +74,11 @@ __all__ = [
 #:  /3: optional numeric ``faults`` section from fault-injection runs;
 #:  /4: optional numeric ``serve`` section from the query-serving bench;
 #:  /5: serve section gains codec fields — store/loaded bytes, certified
-#:      vs observed error, ALT short-circuit counters, raw-ref replay)
-SCHEMA_VERSION = "repro.obs.bench/5"
+#:      vs observed error, ALT short-circuit counters, raw-ref replay;
+#:  /6: optional ``serve_latency_hist`` (exact virtual latency
+#:      distribution with certified-error quantiles) and ``serve_slo``
+#:      (error-budget burn rates) sections from the serving telemetry)
+SCHEMA_VERSION = "repro.obs.bench/6"
 
 #: required top-level keys and their expected container types
 _REQUIRED: Dict[str, type] = {
@@ -110,6 +125,8 @@ def build_artifact(
     trace_summary: Optional[Mapping[str, float]] = None,
     faults: Optional[Mapping[str, float]] = None,
     serve: Optional[Mapping[str, float]] = None,
+    serve_latency_hist: Optional[Mapping[str, float]] = None,
+    serve_slo: Optional[Mapping[str, float]] = None,
 ) -> Dict[str, Any]:
     """Assemble one schema-valid artifact dict.
 
@@ -153,6 +170,14 @@ def build_artifact(
         artifact["faults"] = _sorted_numeric(dict(faults), "faults")
     if serve is not None:
         artifact["serve"] = _sorted_numeric(dict(serve), "serve")
+    if serve_latency_hist is not None:
+        artifact["serve_latency_hist"] = _sorted_numeric(
+            dict(serve_latency_hist), "serve_latency_hist"
+        )
+    if serve_slo is not None:
+        artifact["serve_slo"] = _sorted_numeric(
+            dict(serve_slo), "serve_slo"
+        )
     return artifact
 
 
@@ -268,7 +293,8 @@ def validate_artifact(artifact: Any) -> List[str]:
                 f"section {key!r} must be {kind.__name__}, "
                 f"got {type(value).__name__}"
             )
-    for optional in ("trace_summary", "faults", "serve"):
+    for optional in ("trace_summary", "faults", "serve",
+                     "serve_latency_hist", "serve_slo"):
         section = artifact.get(optional)
         if section is not None and not isinstance(section, Mapping):
             problems.append(
@@ -276,7 +302,7 @@ def validate_artifact(artifact: Any) -> List[str]:
                 f"got {type(section).__name__}"
             )
     for section in ("counters", "timings", "gauges", "trace_summary",
-                    "faults", "serve"):
+                    "faults", "serve", "serve_latency_hist", "serve_slo"):
         values = artifact.get(section)
         if isinstance(values, Mapping):
             for name, value in values.items():

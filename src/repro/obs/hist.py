@@ -1,0 +1,361 @@
+"""Mergeable log-bucketed streaming histograms with exemplars.
+
+:class:`LatencyHistogram` is the distribution counterpart of the
+counter/gauge machinery in :mod:`repro.obs.metrics`: O(1) per record,
+O(buckets) per snapshot, and **mergeable** (per-server or per-window
+histograms fold into one without revisiting samples), which is what the
+serving stack needs to report p50/p99 without materialising every
+latency the way :class:`~repro.serve.replay.ReplayResult` historically
+did.
+
+Bucket schema (DDSketch-style geometric buckets)
+------------------------------------------------
+
+Bucket ``i`` covers ``[v_min * gamma**i, v_min * gamma**(i + 1))``; a
+positive value indexes in O(1) via ``floor(log(v / v_min) / log(gamma))``
+and is *estimated* by its bucket's geometric midpoint
+``v_min * gamma**(i + 0.5)``.  Any value inside the bucket is therefore
+within a **certified relative error** of
+
+    ``rel_error = sqrt(gamma) - 1``
+
+of its estimate (≈ 9.5% at the default ``gamma = 1.2``), and
+:meth:`LatencyHistogram.quantile` — which mirrors numpy's linear
+interpolation between the bucket estimates of the two neighbouring
+ranks — inherits the same bound against the exact
+``np.percentile`` of the raw samples: the exact percentile is a convex
+combination of two samples, the estimate is the same convex combination
+of their bucket estimates, and each estimate is within ``rel_error``
+relative of its sample.  The property suite in ``tests/obs/test_hist.py``
+asserts exactly this.
+
+Zeros (and degraded answers reported at zero cost) go to a dedicated
+``zero_count`` and are estimated exactly.  Values outside
+``[v_min, v_min * gamma**num_buckets)`` clamp into the edge buckets and
+are counted in ``clamped_low`` / ``clamped_high`` — outside the clamp
+counters being zero, the certificate does not hold, so consumers that
+claim the bound (the serve bench) assert them zero.
+
+Exemplars
+---------
+
+Each bucket optionally keeps one **exemplar** — the ``(value,
+trace_id)`` pair of the largest value recorded into it (ties broken by
+the lexicographically greatest trace id).  That rule is commutative and
+associative, so exemplars are identical whatever order samples were
+recorded or histograms merged in — "why is p99 high?" answers with a
+concrete request trace id to feed ``repro-apsp monitor`` or
+:func:`repro.serve.telemetry.export_request_trace`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..exceptions import ValidationError
+
+__all__ = ["HIST_SCHEMA_VERSION", "LatencyHistogram"]
+
+#: bump when the snapshot layout changes incompatibly
+HIST_SCHEMA_VERSION = "repro.obs.hist/1"
+
+#: default bucket schema: 1e-7 s .. 1e-7 * 1.2**128 ≈ 1371 s, covering
+#: every virtual and wall latency the serving stack produces with a
+#: certified relative error of sqrt(1.2) - 1 ≈ 9.5%
+DEFAULT_V_MIN = 1e-7
+DEFAULT_GAMMA = 1.2
+DEFAULT_NUM_BUCKETS = 128
+
+
+class LatencyHistogram:
+    """Fixed-schema streaming histogram; see the module docstring."""
+
+    __slots__ = (
+        "v_min",
+        "gamma",
+        "num_buckets",
+        "_log_gamma",
+        "count",
+        "zero_count",
+        "clamped_low",
+        "clamped_high",
+        "counts",
+        "exemplars",
+    )
+
+    def __init__(
+        self,
+        *,
+        v_min: float = DEFAULT_V_MIN,
+        gamma: float = DEFAULT_GAMMA,
+        num_buckets: int = DEFAULT_NUM_BUCKETS,
+    ) -> None:
+        if not (isinstance(v_min, (int, float)) and v_min > 0
+                and math.isfinite(v_min)):
+            raise ValidationError(
+                f"v_min must be a finite number > 0, got {v_min!r}"
+            )
+        if not (isinstance(gamma, (int, float)) and gamma > 1
+                and math.isfinite(gamma)):
+            raise ValidationError(
+                f"gamma must be a finite number > 1, got {gamma!r}"
+            )
+        if not isinstance(num_buckets, int) or isinstance(num_buckets, bool) \
+                or num_buckets < 1:
+            raise ValidationError(
+                f"num_buckets must be an int >= 1, got {num_buckets!r}"
+            )
+        self.v_min = float(v_min)
+        self.gamma = float(gamma)
+        self.num_buckets = num_buckets
+        self._log_gamma = math.log(self.gamma)
+        self.count = 0
+        self.zero_count = 0
+        self.clamped_low = 0
+        self.clamped_high = 0
+        self.counts: List[int] = [0] * num_buckets
+        #: bucket index -> (value, trace_id) of the max-value exemplar
+        self.exemplars: Dict[int, Tuple[float, str]] = {}
+
+    # -- schema ----------------------------------------------------------
+
+    @property
+    def rel_error(self) -> float:
+        """Certified relative error of any in-range estimate."""
+        return math.sqrt(self.gamma) - 1.0
+
+    def same_schema(self, other: "LatencyHistogram") -> bool:
+        return (
+            self.v_min == other.v_min
+            and self.gamma == other.gamma
+            and self.num_buckets == other.num_buckets
+        )
+
+    def bucket_index(self, value: float) -> int:
+        """O(1) bucket of a positive value (clamped into range)."""
+        index = math.floor(
+            math.log(value / self.v_min) / self._log_gamma
+        )
+        return min(max(index, 0), self.num_buckets - 1)
+
+    def bucket_bounds(self, index: int) -> Tuple[float, float]:
+        return (
+            self.v_min * self.gamma**index,
+            self.v_min * self.gamma ** (index + 1),
+        )
+
+    def bucket_estimate(self, index: int) -> float:
+        """Geometric midpoint — within ``rel_error`` of any member."""
+        return self.v_min * self.gamma ** (index + 0.5)
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, value: float, trace_id: Optional[str] = None) -> None:
+        """O(1) record of one sample, optionally tagged with a trace id."""
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValidationError(
+                f"histogram values must be numeric, got {value!r}"
+            )
+        value = float(value)
+        if not math.isfinite(value) or value < 0:
+            raise ValidationError(
+                f"histogram values must be finite and >= 0, got {value!r}"
+            )
+        self.count += 1
+        if value == 0.0:
+            self.zero_count += 1
+            return
+        index = self.bucket_index(value)
+        if value < self.v_min:
+            self.clamped_low += 1
+        elif value >= self.v_min * self.gamma**self.num_buckets:
+            self.clamped_high += 1
+        self.counts[index] += 1
+        if trace_id is not None:
+            self._offer_exemplar(index, value, str(trace_id))
+
+    def _offer_exemplar(self, index: int, value: float,
+                        trace_id: str) -> None:
+        # max by (value, trace_id): commutative + associative, so the
+        # surviving exemplar is independent of record/merge order
+        current = self.exemplars.get(index)
+        if current is None or (value, trace_id) > current:
+            self.exemplars[index] = (value, trace_id)
+
+    # -- merging ---------------------------------------------------------
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Return a new histogram = self + other (schemas must match)."""
+        if not isinstance(other, LatencyHistogram):
+            raise ValidationError(
+                f"can only merge LatencyHistogram, got {type(other).__name__}"
+            )
+        if not self.same_schema(other):
+            raise ValidationError(
+                "cannot merge histograms with different bucket schemas: "
+                f"(v_min={self.v_min:g}, gamma={self.gamma:g}, "
+                f"buckets={self.num_buckets}) vs "
+                f"(v_min={other.v_min:g}, gamma={other.gamma:g}, "
+                f"buckets={other.num_buckets})"
+            )
+        out = LatencyHistogram(
+            v_min=self.v_min, gamma=self.gamma, num_buckets=self.num_buckets
+        )
+        out.count = self.count + other.count
+        out.zero_count = self.zero_count + other.zero_count
+        out.clamped_low = self.clamped_low + other.clamped_low
+        out.clamped_high = self.clamped_high + other.clamped_high
+        out.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        for source in (self.exemplars, other.exemplars):
+            for index, (value, trace_id) in source.items():
+                out._offer_exemplar(index, value, trace_id)
+        return out
+
+    # -- quantiles -------------------------------------------------------
+
+    def _estimate_at_rank(self, rank: int) -> float:
+        """Estimated value of the sample at sorted rank ``rank``."""
+        if rank < self.zero_count:
+            return 0.0
+        remaining = rank - self.zero_count
+        for index, bucket_count in enumerate(self.counts):
+            if remaining < bucket_count:
+                return self.bucket_estimate(index)
+            remaining -= bucket_count
+        return self.bucket_estimate(self.num_buckets - 1)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-th percentile (``q`` in [0, 100]).
+
+        Mirrors ``np.percentile``'s linear interpolation — the rank
+        ``k = (count - 1) * q / 100`` interpolates between the bucket
+        estimates of ranks ``floor(k)`` and ``ceil(k)`` — so (absent
+        clamping) the result is within ``rel_error`` *relative* of the
+        exact percentile of the recorded samples.
+        """
+        if isinstance(q, bool) or not isinstance(q, (int, float)) \
+                or not 0 <= q <= 100:
+            raise ValidationError(
+                f"quantile q must be a number in [0, 100], got {q!r}"
+            )
+        if self.count == 0:
+            return 0.0
+        k = (self.count - 1) * (float(q) / 100.0)
+        lo_rank = math.floor(k)
+        hi_rank = math.ceil(k)
+        lo = self._estimate_at_rank(lo_rank)
+        if hi_rank == lo_rank:
+            return lo
+        hi = self._estimate_at_rank(hi_rank)
+        return lo + (hi - lo) * (k - lo_rank)
+
+    def count_le(self, threshold: float) -> int:
+        """Samples estimated ``<= threshold`` (zeros always count).
+
+        A whole bucket counts iff its *estimate* is within the
+        threshold — consistent with :meth:`quantile`, so a threshold is
+        effectively measured to the same ``rel_error`` certificate.
+        Deterministic whatever order samples arrived in.
+        """
+        if isinstance(threshold, bool) \
+                or not isinstance(threshold, (int, float)):
+            raise ValidationError(
+                f"threshold must be numeric, got {threshold!r}"
+            )
+        total = self.zero_count
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count and self.bucket_estimate(index) <= threshold:
+                total += bucket_count
+        return total
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic plain-dict view (see :data:`HIST_SCHEMA_VERSION`).
+
+        Buckets and exemplars are keyed by the stringified bucket index
+        in increasing order; two histograms with the same recorded
+        multiset produce byte-identical JSON dumps.
+        """
+        return {
+            "schema": HIST_SCHEMA_VERSION,
+            "v_min": self.v_min,
+            "gamma": self.gamma,
+            "num_buckets": self.num_buckets,
+            "rel_error": self.rel_error,
+            "count": self.count,
+            "zero_count": self.zero_count,
+            "clamped_low": self.clamped_low,
+            "clamped_high": self.clamped_high,
+            "buckets": {
+                str(index): value
+                for index, value in enumerate(self.counts)
+                if value
+            },
+            "exemplars": {
+                str(index): {
+                    "value": self.exemplars[index][0],
+                    "trace_id": self.exemplars[index][1],
+                }
+                for index in sorted(self.exemplars)
+            },
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self.snapshot()
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LatencyHistogram":
+        if not isinstance(data, Mapping):
+            raise ValidationError(
+                f"histogram snapshot must be a mapping, got "
+                f"{type(data).__name__}"
+            )
+        if data.get("schema") != HIST_SCHEMA_VERSION:
+            raise ValidationError(
+                f"unknown histogram schema {data.get('schema')!r}; "
+                f"expected {HIST_SCHEMA_VERSION!r}"
+            )
+        out = cls(
+            v_min=data["v_min"],
+            gamma=data["gamma"],
+            num_buckets=data["num_buckets"],
+        )
+        out.count = int(data["count"])
+        out.zero_count = int(data["zero_count"])
+        out.clamped_low = int(data.get("clamped_low", 0))
+        out.clamped_high = int(data.get("clamped_high", 0))
+        for key, value in data.get("buckets", {}).items():
+            out.counts[int(key)] = int(value)
+        for key, exemplar in data.get("exemplars", {}).items():
+            out.exemplars[int(key)] = (
+                float(exemplar["value"]),
+                str(exemplar["trace_id"]),
+            )
+        return out
+
+    def flat(self, prefix: str) -> Dict[str, float]:
+        """Flat numeric dict for a BENCH artifact section.
+
+        Bucket counts come out as ``{prefix}.bucket.NNN`` (non-empty
+        buckets only), plus the totals — everything an exact regress
+        gate needs to pin the whole virtual latency distribution.
+        """
+        out: Dict[str, float] = {
+            f"{prefix}.count": float(self.count),
+            f"{prefix}.zero_count": float(self.zero_count),
+            f"{prefix}.clamped_low": float(self.clamped_low),
+            f"{prefix}.clamped_high": float(self.clamped_high),
+        }
+        for index, value in enumerate(self.counts):
+            if value:
+                out[f"{prefix}.bucket.{index:03d}"] = float(value)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LatencyHistogram(count={self.count}, "
+            f"zero={self.zero_count}, gamma={self.gamma:g}, "
+            f"rel_error={self.rel_error:.3f})"
+        )

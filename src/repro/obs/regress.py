@@ -38,6 +38,17 @@
   moved per replay is the regression); ``*max_abs_error`` certified /
   observed error bounds gate *exactly* — a silently raised bound is a
   correctness regression, not a perf tradeoff;
+* **serve_latency_hist** — the virtual replay's streaming latency
+  histogram (schema ``/6``): **every** key gates exactly.  The replay
+  is deterministic, so each log-bucket count is as reproducible as an
+  op counter — one bucket moving means the latency distribution
+  changed, which either is a deliberate perf change (regenerate the
+  baseline) or a bug;
+* **serve_slo** — the SLO report (schema ``/6``): keys ending
+  ``burn_rate`` gate *upward-only with no tolerance* (a deterministic
+  replay burning its error budget faster is a regression; burning
+  slower is an improvement and only noted); every other key — the
+  objective's own parameters and the violation counts — gates exactly;
 * **kernel consistency** — artifacts that carry ``kernel.*`` counters
   must satisfy the cross-layer invariants tying kernel-call accounting
   to the per-source ``ops.*`` totals (see
@@ -90,6 +101,11 @@ SERVE_BYTES_SUFFIXES = ("store_bytes", "bytes_loaded")
 #: part of the answer contract, so a silently raised bound is a
 #: correctness regression, not a perf tradeoff
 SERVE_ERROR_SUFFIX = "max_abs_error"
+
+#: serve_slo keys with this suffix gate upward-only with no tolerance
+#: (virtual replay burn rates are deterministic); all other serve_slo
+#: keys and every serve_latency_hist key gate exactly
+SLO_BURN_SUFFIX = "burn_rate"
 
 
 def check_kernel_consistency(
@@ -262,6 +278,20 @@ def compare_artifacts(
         current.get("serve"),
         rtol,
         serve_atol,
+        ignored,
+        regressions,
+        notes,
+    )
+    _compare_serve_hist(
+        baseline.get("serve_latency_hist"),
+        current.get("serve_latency_hist"),
+        ignored,
+        regressions,
+        notes,
+    )
+    _compare_serve_slo(
+        baseline.get("serve_slo"),
+        current.get("serve_slo"),
         ignored,
         regressions,
         notes,
@@ -586,6 +616,119 @@ def _compare_serve(
             )
     for key in sorted(set(cur) - set(base)):
         notes.append(f"serve {key} new in current: {cur[key]:g}")
+
+
+def _compare_serve_hist(
+    base: Optional[Mapping[str, float]],
+    cur: Optional[Mapping[str, float]],
+    ignored: set,
+    regressions: List[str],
+    notes: List[str],
+) -> None:
+    """Gate the virtual-replay latency histogram — everything exact.
+
+    The histogram is recorded from a seeded trace through the
+    deterministic virtual-time replay, so every bucket count (and the
+    derived quantile keys, which are pure functions of the buckets) is
+    machine-independent.  A changed bucket is a changed latency
+    distribution; the histogram section has no "tolerance" notion at
+    all — that is the point of gating the *distribution* instead of a
+    few percentile scalars.
+    """
+    if base is None:
+        if cur:
+            notes.append(
+                "serve_latency_hist new in current "
+                "(no baseline to gate against)"
+            )
+        return
+    if cur is None:
+        regressions.append(
+            "serve_latency_hist present in baseline but missing from "
+            "current artifact (telemetry disabled in the bench?)"
+        )
+        return
+    for key in sorted(set(base) | set(cur)):
+        if key in ignored:
+            notes.append(f"hist {key}: ignored")
+            continue
+        if key not in cur:
+            regressions.append(
+                f"hist {key} missing from current artifact (bucket "
+                "emptied; the latency distribution changed)"
+            )
+            continue
+        if key not in base:
+            regressions.append(
+                f"hist {key} new in current: {cur[key]:g} (new bucket "
+                "filled; the latency distribution changed)"
+            )
+            continue
+        if base[key] != cur[key]:
+            direction = "up" if cur[key] > base[key] else "down"
+            regressions.append(
+                f"hist {key}: {base[key]:g} -> {cur[key]:g} ({direction}; "
+                "virtual-replay bucket counts gate exactly)"
+            )
+
+
+def _compare_serve_slo(
+    base: Optional[Mapping[str, float]],
+    cur: Optional[Mapping[str, float]],
+    ignored: set,
+    regressions: List[str],
+    notes: List[str],
+) -> None:
+    """Gate the SLO report: burn rates upward-only, the rest exact.
+
+    ``*burn_rate`` keys come from the deterministic virtual replay, so
+    there is no noise to tolerate — any upward movement means the same
+    traffic now misses more of its latency objective.  Downward
+    movement is an improvement (noted, so an overly stale baseline is
+    visible).  The remaining keys pin the objective itself (threshold,
+    window, target fraction) and the violation counts, all exact.
+    """
+    if base is None:
+        if cur:
+            notes.append(
+                "serve_slo new in current (no baseline to gate against)"
+            )
+        return
+    if cur is None:
+        regressions.append(
+            "serve_slo present in baseline but missing from current "
+            "artifact (SLO evaluation skipped in the bench?)"
+        )
+        return
+    for key in sorted(base):
+        if key in ignored:
+            notes.append(f"slo {key}: ignored")
+            continue
+        if key not in cur:
+            regressions.append(f"slo {key} missing from current artifact")
+            continue
+        if key.endswith(SLO_BURN_SUFFIX):
+            if cur[key] > base[key]:
+                regressions.append(
+                    f"slo {key}: {base[key]:g} -> {cur[key]:g} (burn "
+                    "rates gate upward-only: the same traffic now burns "
+                    "its error budget faster)"
+                )
+            elif cur[key] < base[key]:
+                notes.append(
+                    f"slo {key}: {base[key]:g} -> {cur[key]:g} "
+                    "(improved; consider regenerating the baseline)"
+                )
+            else:
+                notes.append(f"slo {key}: {cur[key]:g} (ok)")
+        elif base[key] != cur[key]:
+            direction = "up" if cur[key] > base[key] else "down"
+            regressions.append(
+                f"slo {key}: {base[key]:g} -> {cur[key]:g} ({direction}; "
+                "SLO parameters and violation counts gate exactly)"
+            )
+    for key in sorted(set(cur) - set(base)):
+        notes.append(f"slo {key} new in current: {cur[key]:g}")
 
 
 def _report(regressions: List[str], notes: List[str], verbose: bool) -> None:

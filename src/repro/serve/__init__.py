@@ -28,10 +28,23 @@ the graph, is the scaling bottleneck):
 * :mod:`repro.serve.traffic` / :mod:`repro.serve.replay` — seeded
   Zipfian open-loop traffic and its deterministic virtual-time replay
   (plus a real-thread replay of the same trace).
+* :mod:`repro.serve.telemetry` — request-scoped telemetry:
+  deterministic trace ids, typed lifecycle events in a bounded ring
+  with an optional sampled JSONL sink (``repro.serve.telemetry/1``),
+  and per-request Perfetto export via
+  :func:`~repro.serve.telemetry.export_request_trace`.
+* :mod:`repro.serve.slo` — latency SLOs (:class:`SLOSpec`) scored as
+  error-budget burn rates over windowed
+  :class:`~repro.obs.hist.LatencyHistogram` snapshots, identically for
+  the virtual and threaded replays.
+* :mod:`repro.serve.monitor` — ``repro-apsp monitor``: tail /
+  summarize / ``--check`` a JSONL event log, with the slowest requests
+  named by trace id.
 * :mod:`repro.serve.bench` — the ``serve-smoke`` workload: builds a
   store, replays the pinned trace naive vs optimised, and emits the
-  ``serve`` section of a ``repro.obs.bench/5`` artifact gated in CI,
-  including the per-codec accuracy-vs-latency numbers.
+  ``serve`` section of a ``repro.obs.bench/6`` artifact gated in CI,
+  including the per-codec accuracy-vs-latency numbers, the exact
+  virtual latency histogram and the SLO burn rate.
 """
 
 from .admission import (
@@ -44,7 +57,18 @@ from .codecs import CODECS, ShardCodec, codec_names, get_codec
 from .engine import QueryEngine
 from .replay import ReplayResult, ServeCostModel, replay_threaded, \
     replay_virtual
+from .slo import SLOReport, SLOSpec, evaluate_slo
 from .store import STORE_SCHEMA_VERSION, DistStore, solve_to_store
+from .telemetry import (
+    TELEMETRY_SCHEMA_VERSION,
+    JsonlSink,
+    RequestContext,
+    TelemetryCollector,
+    TelemetryEvent,
+    export_request_trace,
+    make_trace_id,
+    read_event_log,
+)
 from .traffic import Request, TrafficSpec, generate_trace
 
 __all__ = [
@@ -67,4 +91,15 @@ __all__ = [
     "ReplayResult",
     "replay_virtual",
     "replay_threaded",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetryCollector",
+    "TelemetryEvent",
+    "RequestContext",
+    "JsonlSink",
+    "make_trace_id",
+    "read_event_log",
+    "export_request_trace",
+    "SLOSpec",
+    "SLOReport",
+    "evaluate_slo",
 ]

@@ -35,6 +35,20 @@ baseline (``benchmarks/baselines/BENCH_serve.json`` for ``raw``,
    cross-checking every exact answer against ground truth within the
    certified error bound.
 
+The optimised replay runs with request-scoped telemetry attached
+(:mod:`repro.serve.telemetry`): its virtual-time event stream feeds the
+``serve_latency_hist`` section (a
+:class:`~repro.obs.hist.LatencyHistogram` whose quantiles the bench
+*asserts* are within the certified relative error of the exact
+percentiles) and the ``serve_slo`` section (error-budget burn rates for
+:data:`SMOKE_SLO`, gated upward-only).  ``--events`` writes the sampled
+JSONL event log — byte-identical across runs of the seeded trace, which
+CI checks with a second run and ``cmp`` — and ``--request-trace``
+exports the slowest recorded request (the histogram's top exemplar) as
+a Perfetto-loadable trace.  The threaded replay is scored against the
+same SLO through the identical code path; its numbers land under
+``wall.*`` and are never gated.
+
 Regenerate a baseline after an intentional serving change::
 
     PYTHONPATH=src python -m repro.serve.bench \
@@ -62,19 +76,24 @@ from ..faults import StoreCorruptionSpec
 from ..graphs.rmat import rmat
 from ..obs.artifact import build_artifact, write_artifact
 from ..obs.metrics import MetricsRegistry, use_registry
+from ..trace import to_chrome, validate_chrome, write_chrome
 from .admission import AdmissionPolicy, ServeFrontend
 from .codecs import codec_names
 from .engine import QueryEngine
 from .replay import ServeCostModel, replay_threaded, replay_virtual
+from .slo import SLOSpec, evaluate_slo
 from .store import solve_to_store
+from .telemetry import JsonlSink, TelemetryCollector, export_request_trace
 from .traffic import TrafficSpec, generate_trace
 
 __all__ = ["run_serve_smoke", "run_codec_curve", "main"]
 
 #: workload identity — bump when any knob below changes so a stale
 #: baseline fails on params instead of on mysterious counters
-#: (rev 2: codec-aware replay costs, ALT ε short-circuiting)
-WORKLOAD_REV = 2
+#: (rev 2: codec-aware replay costs, ALT ε short-circuiting;
+#:  rev 3: opt percentiles read from the certified latency histogram,
+#:  serve_latency_hist + serve_slo sections)
+WORKLOAD_REV = 3
 DEFAULT_SCALE = 7
 DEFAULT_EDGE_FACTOR = 8
 DEFAULT_SEED = 5
@@ -99,6 +118,18 @@ SATURATION_POLICY = AdmissionPolicy(max_point=8, max_row=2, max_topk=2)
 
 #: the corruption drill: damage shard 1, expect detection + exact repair
 SMOKE_CORRUPTION = StoreCorruptionSpec(shard=1, nbytes=8, seed=3)
+
+#: the latency objective the smoke scores (gated upward-only on burn):
+#: 90% of point queries inside 5 ms of virtual time, 50 ms windows —
+#: pinned where the raw-codec replay genuinely burns budget (≈2×), so
+#: both regressions (more burn) and codec improvements (less) register
+SMOKE_SLO = SLOSpec(name="point", threshold=0.005, objective=0.9,
+                    window=0.05)
+
+#: event-ring capacity for the smoke's collectors — far above the
+#: ~6 events/request the 512-request trace emits, so the ring never
+#: evicts and ``--request-trace`` can export any exemplar
+TELEMETRY_CAPACITY = 32768
 
 
 def _store_fingerprint(store) -> int:
@@ -148,6 +179,9 @@ def run_serve_smoke(
     codec: str = "raw",
     epsilon: float = DEFAULT_EPSILON,
     store_dir: Optional[str] = None,
+    events_out: Optional[str] = None,
+    events_sample: float = 1.0,
+    request_trace_out: Optional[str] = None,
 ) -> Tuple[Dict[str, object], MetricsRegistry]:
     """Run the serving smoke for one codec; returns ``(artifact, registry)``.
 
@@ -156,7 +190,14 @@ def run_serve_smoke(
     error above the certified bound, compressed codec not beating the
     raw-cost reference, ALT short-circuits not reducing shard loads, no
     degradation under saturation, corruption not detected or not
-    exactly repaired) — CI then fails before regress even runs.
+    exactly repaired, a histogram quantile outside its certified error
+    of the exact percentile) — CI then fails before regress even runs.
+
+    ``events_out`` writes the optimised replay's telemetry as a JSONL
+    event log (sampled per trace id at ``events_sample``, deterministic
+    — two runs of the same workload produce byte-identical files);
+    ``request_trace_out`` writes the Chrome/Perfetto trace of the
+    slowest recorded request, named by the histogram's top exemplar.
     """
     graph = rmat(
         scale,
@@ -169,6 +210,7 @@ def run_serve_smoke(
     if store_dir is None:
         tmp = tempfile.TemporaryDirectory(prefix="repro-serve-smoke-")
         store_dir = tmp.name + "/store"
+    sink: Optional[JsonlSink] = None
     try:
         registry = MetricsRegistry()
         t0 = time.perf_counter()
@@ -213,10 +255,30 @@ def run_serve_smoke(
         trace = generate_trace(SMOKE_TRAFFIC, n)
         policy = AdmissionPolicy()
         cost = ServeCostModel()
+        if events_out is not None:
+            sink = JsonlSink(
+                events_out,
+                params={
+                    "workload_rev": WORKLOAD_REV,
+                    "codec": codec,
+                    "epsilon": float(epsilon),
+                    "rmat_scale": scale,
+                    "rmat_seed": seed,
+                    "shard_rows": shard_rows,
+                    "cache_shards": cache_shards,
+                    "traffic_requests": SMOKE_TRAFFIC.num_requests,
+                    "traffic_seed": SMOKE_TRAFFIC.seed,
+                    "sample": float(events_sample),
+                },
+            )
+        collector = TelemetryCollector(
+            capacity=TELEMETRY_CAPACITY, sink=sink, sample=events_sample,
+        )
         opt = replay_virtual(
             trace, n=n, shard_rows=shard_rows, policy=policy, cost=cost,
             cache_shards=cache_shards, num_servers=DEFAULT_SERVERS,
             optimized=True, shard_nbytes=sizes,
+            telemetry=collector, codec=codec,
         )
         naive = replay_virtual(
             trace, n=n, shard_rows=shard_rows, policy=policy, cost=cost,
@@ -359,8 +421,12 @@ def run_serve_smoke(
             )
 
         # real-thread smoke of the locking paths; wall-only, not gated
+        # (its telemetry collector exercises the real scope threading —
+        # wall timestamps, so it never feeds the deterministic sink)
         engine = QueryEngine(store, cache_shards=cache_shards)
-        frontend = ServeFrontend(engine, policy=policy)
+        thr_telemetry = TelemetryCollector(capacity=TELEMETRY_CAPACITY)
+        frontend = ServeFrontend(engine, policy=policy,
+                                 telemetry=thr_telemetry)
         t0 = time.perf_counter()
         threaded, responses = replay_threaded(trace, frontend,
                                               num_threads=4)
@@ -393,6 +459,59 @@ def run_serve_smoke(
                 "serve smoke: the real engine never short-circuited on "
                 "the ALT gap despite epsilon being set"
             )
+        answers = [e for e in thr_telemetry.events() if e.kind == "answer"]
+        if len(answers) != len(trace):
+            raise BenchmarkError(
+                "serve smoke: threaded telemetry recorded "
+                f"{len(answers)} answer events for {len(trace)} requests"
+            )
+
+        # the certified latency histogram over the optimised replay:
+        # every quantile the artifact reports must sit within the
+        # histogram's own rel_error certificate of the exact percentile
+        hist = opt.latency_histogram()
+        if hist.count != sum(len(v) for v in opt.latencies.values()):
+            raise BenchmarkError(
+                "serve smoke: latency histogram lost samples "
+                f"({hist.count} vs recorded latencies)"
+            )
+        for q in (50.0, 90.0, 99.0):
+            exact = opt.percentile_latency(q)
+            approx = hist.quantile(q)
+            if abs(approx - exact) > hist.rel_error * exact + 1e-12:
+                raise BenchmarkError(
+                    f"serve smoke: histogram p{q:g} = {approx:g}s is "
+                    f"outside the certified relative error "
+                    f"{hist.rel_error:g} of the exact percentile "
+                    f"{exact:g}s"
+                )
+        serve_hist = hist.flat("serve.opt.hist")
+        serve_hist["serve.opt.hist.rel_error"] = hist.rel_error
+        serve_hist["serve.opt.hist.p50_ms"] = hist.quantile(50) * 1e3
+        serve_hist["serve.opt.hist.p90_ms"] = hist.quantile(90) * 1e3
+        serve_hist["serve.opt.hist.p99_ms"] = hist.quantile(99) * 1e3
+
+        # SLO burn over the virtual replay (deterministic, gated
+        # upward-only) and over the threaded replay through the same
+        # code path (wall-clock latencies, reported but never gated)
+        slo_report = evaluate_slo(SMOKE_SLO, opt.slo_samples("point"))
+        thr_slo = evaluate_slo(SMOKE_SLO, threaded.slo_samples("point"))
+
+        if request_trace_out is not None:
+            # the slowest recorded request, named by the histogram's
+            # top exemplar, exported as a Perfetto-loadable trace
+            top_bucket = max(hist.exemplars)
+            exemplar_tid = hist.exemplars[top_bucket][1]
+            req_trace = export_request_trace(
+                collector.events(), exemplar_tid
+            )
+            problems = validate_chrome(to_chrome(req_trace))
+            if problems:
+                raise BenchmarkError(
+                    "serve smoke: exported request trace is not valid "
+                    "Chrome JSON: " + "; ".join(problems)
+                )
+            write_chrome(request_trace_out, req_trace)
 
         serve: Dict[str, float] = {
             "serve.store.fingerprint": float(_store_fingerprint(store)),
@@ -416,8 +535,11 @@ def run_serve_smoke(
             "serve.opt.shed": float(opt.counters["shed"]),
             "serve.opt.hit_rate": opt.hit_rate(),
             "serve.opt.mean_ms": opt.mean_latency() * 1e3,
-            "serve.opt.p50_ms": opt.percentile_latency(50) * 1e3,
-            "serve.opt.p99_ms": opt.percentile_latency(99) * 1e3,
+            # opt percentiles come from the certified histogram (the
+            # bound vs the exact percentiles is asserted above); the
+            # reference replays keep the exact sorted-array percentiles
+            "serve.opt.p50_ms": hist.quantile(50) * 1e3,
+            "serve.opt.p99_ms": hist.quantile(99) * 1e3,
             "serve.opt.mean_speedup":
                 naive.mean_latency() / opt.mean_latency(),
             "serve.opt.raw_speedup":
@@ -459,12 +581,20 @@ def run_serve_smoke(
             timings={
                 "wall.store_build": build_wall,
                 "wall.threaded_replay": threaded_wall,
+                # threaded SLO through the identical scoring path —
+                # wall-clock latencies, so wall.* (reported, not gated)
+                "wall.slo_burn_rate": thr_slo.burn_rate,
+                "wall.slo_compliance": thr_slo.compliance,
             },
             registry=registry,
             serve=serve,
+            serve_latency_hist=serve_hist,
+            serve_slo=slo_report.to_flat("serve.slo.point"),
         )
         return artifact, registry
     finally:
+        if sink is not None:
+            sink.close()
         if tmp is not None:
             tmp.cleanup()
 
@@ -543,6 +673,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="sweep every codec and write the accuracy-vs-latency "
         "curve JSON here instead of a single artifact",
     )
+    parser.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="write the optimised replay's telemetry event log "
+        "(deterministic JSONL, repro.serve.telemetry/1) here",
+    )
+    parser.add_argument(
+        "--events-sample", type=float, default=1.0, metavar="FRAC",
+        help="per-trace sampling fraction for --events (default 1.0; "
+        "deterministic — the same traces are kept on every run)",
+    )
+    parser.add_argument(
+        "--request-trace", metavar="PATH", default=None,
+        help="export the slowest request (the latency histogram's top "
+        "exemplar) as a Chrome/Perfetto trace JSON here",
+    )
     args = parser.parse_args(argv)
     common = dict(
         scale=args.scale,
@@ -575,7 +720,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
             )
         return 0
-    artifact, _ = run_serve_smoke(codec=args.codec, **common)
+    artifact, _ = run_serve_smoke(
+        codec=args.codec,
+        events_out=args.events,
+        events_sample=args.events_sample,
+        request_trace_out=args.request_trace,
+        **common,
+    )
     path = write_artifact(args.out, artifact)
     serve = artifact["serve"]
     print(f"wrote {path}")
@@ -611,6 +762,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             serve["serve.opt.p99_ms"],
         )
     )
+    slo = artifact["serve_slo"]
+    print(
+        "  slo[point<= {:g}ms @ {:.0%}]: burn={:.2f} worst-window={:.2f} "
+        "({:d}/{:d} violations)".format(
+            slo["serve.slo.point.threshold_ms"],
+            slo["serve.slo.point.objective"],
+            slo["serve.slo.point.burn_rate"],
+            slo["serve.slo.point.worst_window_burn_rate"],
+            int(slo["serve.slo.point.violations"]),
+            int(slo["serve.slo.point.total"]),
+        )
+    )
+    if args.events:
+        print(f"  events: {args.events}")
+    if args.request_trace:
+        print(f"  request trace: {args.request_trace}")
     return 0
 
 

@@ -34,6 +34,7 @@ the gap is zero (e.g. either endpoint is a landmark).
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -42,6 +43,7 @@ import numpy as np
 from ..exceptions import ServeError
 from ..obs import metrics as _obs
 from ..types import INF
+from . import telemetry as _tel
 from .store import DistStore
 
 __all__ = ["QueryEngine"]
@@ -91,7 +93,7 @@ class QueryEngine:
             "bytes_loaded": 0,
             "batch_queries": 0,
             "batch_gathers": 0,
-            "approx_answers": 0,
+            "approx": 0,
             "short_circuits": 0,
         }
 
@@ -106,6 +108,7 @@ class QueryEngine:
                     self._cache.move_to_end(index)
                     self.stats["hits"] += 1
                     _obs.counter_add("serve.cache.hits", 1)
+                    _tel.emit("cache_hit", shard=index)
                     return cached
                 event = self._loading.get(index)
                 if event is None:
@@ -121,7 +124,10 @@ class QueryEngine:
                 with self._lock:
                     self.stats["coalesced"] += 1
                 _obs.counter_add("serve.cache.coalesced", 1)
+                waited = time.perf_counter()
                 event.wait()
+                _tel.emit("coalesce_wait",
+                          time.perf_counter() - waited, shard=index)
                 continue
             try:
                 arr = self.store.load_shard(index, verify=self.verify_loads)
@@ -131,6 +137,7 @@ class QueryEngine:
                 with self._lock:
                     self._loading.pop(index, None)
                 event.set()
+            _tel.emit("cache_miss", shard=index)
             with self._lock:
                 self.stats["misses"] += 1
                 self.stats["shard_loads"] += 1
@@ -173,6 +180,8 @@ class QueryEngine:
                     with self._lock:
                         self.stats["short_circuits"] += 1
                     _obs.counter_add("serve.query.short_circuits", 1)
+                    _tel.emit("short_circuit", lo=lo, hi=hi,
+                              epsilon=self.epsilon)
                     return (lo + hi) / 2.0
             index = self.store.shard_of(u)
             start, _ = self.store.shard_span(index)
@@ -238,6 +247,8 @@ class QueryEngine:
                 out[mask] = arr[us[mask] - start, vs[mask]]
                 self.stats["batch_gathers"] += 1
                 _obs.counter_add("serve.batch.gathers", 1)
+                _tel.emit("batch_gather", shard=int(index),
+                          group=int(np.count_nonzero(mask)))
         return out
 
     # -- ALT bounds / degraded mode -------------------------------------
@@ -301,7 +312,7 @@ class QueryEngine:
         """
         bounds = self.dist_bounds(u, v)
         with self._lock:
-            self.stats["approx_answers"] += 1
+            self.stats["approx"] += 1
         _obs.counter_add("serve.query.approx", 1)
         return bounds
 

@@ -1,0 +1,257 @@
+"""Tail, summarize and validate serving telemetry event logs.
+
+The operational counterpart of :mod:`repro.serve.telemetry`: given a
+JSONL event log (``repro.serve.telemetry/1``, written by
+:class:`~repro.serve.telemetry.JsonlSink`), this module
+
+* **checks** it — schema header, per-line field validation, known event
+  kinds, per-trace monotone timestamps — returning a list of problem
+  strings (empty = valid), which is what the CI determinism gate runs
+  via ``repro-apsp monitor LOG --check``;
+* **summarizes** it — per-kind and per-status counts, an answer-latency
+  :class:`~repro.obs.hist.LatencyHistogram` with p50/p99, and the
+  top-K slowest requests *by trace id* so "why was this query slow?"
+  has a concrete id to feed
+  :func:`repro.serve.telemetry.export_request_trace`;
+* **tails** it — the last N events, one per line, for eyeballing.
+
+``python -m repro.serve.monitor LOG [--check] [--tail N] [--top K]``
+and ``repro-apsp monitor`` are the same entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..obs.hist import LatencyHistogram
+from .telemetry import EVENT_KINDS, TELEMETRY_SCHEMA_VERSION
+
+__all__ = [
+    "check_event_log",
+    "summarize_event_log",
+    "tail_events",
+    "format_summary",
+    "main",
+]
+
+
+def _read_lines(path: str) -> List[str]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return [line for line in fh.read().splitlines() if line.strip()]
+
+
+def check_event_log(path: str) -> List[str]:
+    """Validate an event log; returns problem strings (empty = OK)."""
+    problems: List[str] = []
+    try:
+        lines = _read_lines(path)
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    if not lines:
+        return [f"{path}: empty event log (missing header line)"]
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        return [f"{path}:1: header is not JSON: {exc}"]
+    if not isinstance(header, dict):
+        return [f"{path}:1: header is not a JSON object"]
+    if header.get("schema") != TELEMETRY_SCHEMA_VERSION:
+        problems.append(
+            f"{path}:1: schema {header.get('schema')!r} != "
+            f"{TELEMETRY_SCHEMA_VERSION!r}"
+        )
+    last_t: Dict[str, float] = {}
+    for lineno, line in enumerate(lines[1:], start=2):
+        where = f"{path}:{lineno}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{where}: not JSON: {exc}")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"{where}: event is not a JSON object")
+            continue
+        trace_id = record.get("trace_id")
+        kind = record.get("kind")
+        if not isinstance(trace_id, str) or not trace_id:
+            problems.append(f"{where}: missing/empty trace_id")
+            continue
+        if kind not in EVENT_KINDS:
+            problems.append(f"{where}: unknown event kind {kind!r}")
+        t = record.get("t")
+        dur = record.get("dur", 0.0)
+        if not isinstance(t, (int, float)) or isinstance(t, bool):
+            problems.append(f"{where}: non-numeric timestamp {t!r}")
+            continue
+        if not isinstance(dur, (int, float)) or isinstance(dur, bool) \
+                or dur < 0:
+            problems.append(f"{where}: bad duration {dur!r}")
+        previous = last_t.get(trace_id)
+        if previous is not None and float(t) < previous:
+            problems.append(
+                f"{where}: timestamp {t} goes backwards for "
+                f"trace {trace_id} (was {previous})"
+            )
+        last_t[trace_id] = float(t)
+        attrs = record.get("attrs")
+        if attrs is not None and not isinstance(attrs, dict):
+            problems.append(f"{where}: attrs is not an object")
+    return problems
+
+
+def summarize_event_log(
+    path: str, *, top: int = 5
+) -> Dict[str, Any]:
+    """Aggregate an event log into a plain summary dict.
+
+    ``answer`` events carry the request's final latency in their
+    ``dur`` field; they feed the latency histogram (exemplars = trace
+    ids) and the ``slowest`` top-K list.
+    """
+    from .telemetry import read_event_log
+
+    header, events = read_event_log(path)
+    kind_counts: Dict[str, int] = {}
+    status_counts: Dict[str, int] = {}
+    hist = LatencyHistogram()
+    answers: List[Tuple[float, str]] = []
+    traces = set()
+    for record in events:
+        kind = str(record.get("kind", "?"))
+        kind_counts[kind] = kind_counts.get(kind, 0) + 1
+        traces.add(record.get("trace_id"))
+        attrs = record.get("attrs") or {}
+        if kind == "answer":
+            status = str(attrs.get("status", "ok"))
+            status_counts[status] = status_counts.get(status, 0) + 1
+            latency = float(record.get("dur", 0.0))
+            trace_id = str(record.get("trace_id"))
+            hist.record(latency, trace_id)
+            answers.append((latency, trace_id))
+    answers.sort(key=lambda pair: (-pair[0], pair[1]))
+    return {
+        "path": path,
+        "schema": header.get("schema"),
+        "params": header.get("params", {}),
+        "num_events": len(events),
+        "num_traces": len(traces),
+        "kinds": dict(sorted(kind_counts.items())),
+        "statuses": dict(sorted(status_counts.items())),
+        "latency": {
+            "count": hist.count,
+            "p50_ms": hist.quantile(50) * 1e3,
+            "p90_ms": hist.quantile(90) * 1e3,
+            "p99_ms": hist.quantile(99) * 1e3,
+            "rel_error": hist.rel_error,
+        },
+        "slowest": [
+            {"trace_id": trace_id, "latency_ms": latency * 1e3}
+            for latency, trace_id in answers[:max(top, 0)]
+        ],
+    }
+
+
+def tail_events(path: str, count: int = 10) -> List[Dict[str, Any]]:
+    """The last ``count`` event records of the log, in order."""
+    from .telemetry import read_event_log
+
+    _, events = read_event_log(path)
+    if count <= 0:
+        return []
+    return events[-count:]
+
+
+def _format_event(record: Mapping[str, Any]) -> str:
+    attrs = record.get("attrs") or {}
+    extra = " ".join(
+        f"{key}={value}" for key, value in sorted(attrs.items())
+    )
+    base = (
+        f"{float(record.get('t', 0.0)):>12.6f} "
+        f"{str(record.get('kind', '?')):<14} "
+        f"{str(record.get('trace_id', '?'))}"
+    )
+    dur = float(record.get("dur", 0.0))
+    if dur:
+        base += f" dur={dur:.6f}"
+    return base + (f" {extra}" if extra else "")
+
+
+def format_summary(summary: Mapping[str, Any]) -> str:
+    lines = [
+        f"event log: {summary['path']}",
+        f"schema:    {summary['schema']}",
+        f"events:    {summary['num_events']} across "
+        f"{summary['num_traces']} traces",
+    ]
+    kinds = summary.get("kinds", {})
+    if kinds:
+        lines.append("kinds:     " + " ".join(
+            f"{kind}={count}" for kind, count in kinds.items()
+        ))
+    statuses = summary.get("statuses", {})
+    if statuses:
+        lines.append("statuses:  " + " ".join(
+            f"{status}={count}" for status, count in statuses.items()
+        ))
+    latency = summary.get("latency", {})
+    if latency.get("count"):
+        lines.append(
+            f"latency:   n={latency['count']} "
+            f"p50={latency['p50_ms']:.4f}ms "
+            f"p90={latency['p90_ms']:.4f}ms "
+            f"p99={latency['p99_ms']:.4f}ms "
+            f"(±{latency['rel_error']:.1%} certified)"
+        )
+    slowest = summary.get("slowest", [])
+    if slowest:
+        lines.append("slowest requests:")
+        for entry in slowest:
+            lines.append(
+                f"  {entry['latency_ms']:>10.4f} ms  {entry['trace_id']}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-apsp monitor",
+        description="tail / summarize / validate a serving telemetry "
+                    "JSONL event log",
+    )
+    parser.add_argument("log", help="path to the JSONL event log")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="validate the log and exit non-zero on any problem",
+    )
+    parser.add_argument(
+        "--tail", type=int, default=0, metavar="N",
+        help="print the last N events instead of the summary",
+    )
+    parser.add_argument(
+        "--top", type=int, default=5, metavar="K",
+        help="number of slowest exemplar trace ids in the summary",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        problems = check_event_log(args.log)
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            print(f"FAIL: {len(problems)} problem(s) in {args.log}")
+            return 1
+        print(f"OK: {args.log} is a valid {TELEMETRY_SCHEMA_VERSION} log")
+        return 0
+    if args.tail:
+        for record in tail_events(args.log, args.tail):
+            print(_format_event(record))
+        return 0
+    print(format_summary(summarize_event_log(args.log, top=args.top)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    raise SystemExit(main())

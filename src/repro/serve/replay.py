@@ -22,19 +22,31 @@ The virtual cache model deliberately mirrors :class:`QueryEngine`
 semantics (LRU by shard id, single-flight loads) but tracks only shard
 *ids* and load-completion times, never data — replaying a million
 requests costs a millisecond per thousand, not gigabytes.
+
+Both replays carry the request-scoped telemetry of
+:mod:`repro.serve.telemetry`: every request gets a deterministic trace
+id (:func:`~repro.serve.telemetry.make_trace_id` of its sequence
+number), the virtual replay emits its full lifecycle at virtual
+timestamps into an optional collector (byte-identical across runs —
+the CI determinism gate), and :class:`ReplayResult` keeps arrivals and
+trace ids next to latencies so SLO evaluation and exemplar-carrying
+histograms work identically over either replay.
 """
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import ServeError
+from ..obs.hist import LatencyHistogram
 from ..simx.engine import ThreadClockQueue
 from .admission import AdmissionPolicy, ServeFrontend
+from .telemetry import TelemetryCollector, make_trace_id
 from .traffic import Request
 
 __all__ = ["ServeCostModel", "ReplayResult", "replay_virtual",
@@ -69,9 +81,21 @@ class ServeCostModel:
 
 @dataclass
 class ReplayResult:
-    """Latencies (seconds, per class) and event counters of one replay."""
+    """Latencies (seconds, per class) and event counters of one replay.
+
+    ``arrivals`` and ``trace_ids`` run parallel to ``latencies`` (same
+    class keys, same per-class order), so each recorded sample knows
+    *when* its request arrived (SLO windowing) and *which* request it
+    was (histogram exemplars, ``repro-apsp monitor``'s slowest list).
+    """
 
     latencies: Dict[str, List[float]] = field(
+        default_factory=lambda: {"point": [], "row": [], "topk": []}
+    )
+    arrivals: Dict[str, List[float]] = field(
+        default_factory=lambda: {"point": [], "row": [], "topk": []}
+    )
+    trace_ids: Dict[str, List[Optional[str]]] = field(
         default_factory=lambda: {"point": [], "row": [], "topk": []}
     )
     counters: Dict[str, int] = field(
@@ -79,9 +103,27 @@ class ReplayResult:
             "admitted": 0, "degraded": 0, "shed": 0,
             "shard_loads": 0, "cache_hits": 0, "coalesced": 0,
             "batches": 0, "gathers": 0,
-            "short_circuits": 0, "bytes_loaded": 0,
+            "short_circuits": 0, "approx": 0, "bytes_loaded": 0,
         }
     )
+    #: cached ascending latency array, invalidated by count change
+    _sorted: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+    _sorted_count: int = field(default=-1, repr=False, compare=False)
+
+    def record(
+        self,
+        klass: str,
+        latency: float,
+        *,
+        arrival: float = 0.0,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        """Record one answered request of ``klass``."""
+        self.latencies[klass].append(latency)
+        self.arrivals[klass].append(arrival)
+        self.trace_ids[klass].append(trace_id)
 
     def all_latencies(self) -> np.ndarray:
         merged: List[float] = []
@@ -90,16 +132,62 @@ class ReplayResult:
         return np.asarray(merged, dtype=np.float64)
 
     def mean_latency(self) -> float:
-        lat = self.all_latencies()
+        lat = self._sorted_latencies()
         return float(lat.mean()) if len(lat) else 0.0
 
+    def _sorted_latencies(self) -> np.ndarray:
+        """Sort once, reuse until more samples are recorded."""
+        total = sum(len(values) for values in self.latencies.values())
+        if self._sorted is None or self._sorted_count != total:
+            merged = self.all_latencies()
+            merged.sort()
+            self._sorted = merged
+            self._sorted_count = total
+        return self._sorted
+
     def percentile_latency(self, q: float) -> float:
-        lat = self.all_latencies()
-        return float(np.percentile(lat, q)) if len(lat) else 0.0
+        """Exact q-th percentile (numpy's linear interpolation).
+
+        O(1) after the first call at a given sample count — the sorted
+        array is cached, instead of re-sorting the full latency list on
+        every percentile the bench asks for.
+        """
+        lat = self._sorted_latencies()
+        if not len(lat):
+            return 0.0
+        k = (len(lat) - 1) * (float(q) / 100.0)
+        lo = math.floor(k)
+        hi = math.ceil(k)
+        if lo == hi:
+            return float(lat[lo])
+        return float(lat[lo] + (lat[hi] - lat[lo]) * (k - lo))
 
     def hit_rate(self) -> float:
         total = self.counters["cache_hits"] + self.counters["shard_loads"]
         return self.counters["cache_hits"] / total if total else 1.0
+
+    def slo_samples(
+        self, klass: Optional[str] = None
+    ) -> Iterator[Tuple[float, float, Optional[str]]]:
+        """``(arrival, latency, trace_id)`` triples for :func:`evaluate_slo`."""
+        keys = (klass,) if klass is not None else tuple(self.latencies)
+        for key in keys:
+            yield from zip(
+                self.arrivals[key], self.latencies[key], self.trace_ids[key]
+            )
+
+    def latency_histogram(
+        self, klass: Optional[str] = None, **hist_kwargs
+    ) -> LatencyHistogram:
+        """Fold recorded latencies into a :class:`LatencyHistogram`.
+
+        Exemplars carry the recorded trace ids, so the histogram's tail
+        buckets name concrete requests to pull Perfetto traces for.
+        """
+        hist = LatencyHistogram(**hist_kwargs)
+        for _, latency, trace_id in self.slo_samples(klass):
+            hist.record(latency, trace_id)
+        return hist
 
 
 class _VirtualCache:
@@ -145,6 +233,8 @@ def replay_virtual(
     batch_max: int = 32,
     shard_nbytes: Optional[Sequence[int]] = None,
     short_circuits: Optional[Sequence[int]] = None,
+    telemetry: Optional[TelemetryCollector] = None,
+    codec: str = "raw",
 ) -> ReplayResult:
     """Deterministically replay a trace in virtual time.
 
@@ -161,6 +251,14 @@ def replay_virtual(
     (``hi - lo <= epsilon``); those admitted queries finish in
     ``approx_cost`` with no shard fetch, mirroring
     :meth:`QueryEngine.dist`.
+
+    With ``telemetry`` attached, every request's lifecycle is emitted
+    at **virtual** timestamps under its deterministic trace id —
+    request, admit/degrade/shed, cache hit/miss + shard load (with
+    ``codec`` and encoded nbytes), coalesce-wait, short-circuit, batch
+    gather, and the final answer (whose ``dur`` is the latency) — so
+    the JSONL log of a seeded trace is byte-identical across runs and
+    machines.
     """
     if n < 1 or shard_rows < 1:
         raise ServeError("replay needs n >= 1 and shard_rows >= 1")
@@ -184,6 +282,12 @@ def replay_virtual(
             )
     loads = [cost.load_cost(b) for b in sizes]
     sc_indices = frozenset(short_circuits or ())
+
+    def note(tid: str, kind: str, t: float, dur: float = 0.0,
+             **attrs) -> None:
+        if telemetry is not None:
+            telemetry.emit(tid, kind, t, dur, **attrs)
+
     # finish times of in-flight requests per class, boxed in one-element
     # lists so an open batch can hold a slot (inf = still buffered,
     # counting against the budget) and fill it in at flush time
@@ -196,80 +300,113 @@ def replay_virtual(
         inflight[klass] = alive
         return len(alive)
 
-    def fetch(shard: int, at: float) -> float:
+    def fetch(shard: int, at: float, tid: str) -> float:
         """Time at which the shard's bytes are available from ``at``."""
         if not optimized:
             result.counters["shard_loads"] += 1
             result.counters["bytes_loaded"] += sizes[shard]
+            note(tid, "cache_miss", at, shard=shard)
+            note(tid, "shard_load", at, loads[shard], shard=shard,
+                 nbytes=sizes[shard], codec=codec)
             return at + loads[shard]
         ready, hit, coalesced = cache.fetch(shard, at, loads[shard])
         if hit:
             result.counters["cache_hits"] += 1
+            note(tid, "cache_hit", at, shard=shard)
             if coalesced:
                 result.counters["coalesced"] += 1
+                note(tid, "coalesce_wait", at, ready - at, shard=shard)
         else:
             result.counters["shard_loads"] += 1
             result.counters["bytes_loaded"] += sizes[shard]
+            note(tid, "cache_miss", at, shard=shard)
+            note(tid, "shard_load", at, loads[shard], shard=shard,
+                 nbytes=sizes[shard], codec=codec)
         return ready
 
-    batch: List[Request] = []
+    batch: List[Tuple[Request, str]] = []
     batch_slots: List[List[float]] = []  # the buffered queries' boxes
 
     def flush_batch() -> None:
         if not batch:
             return
-        flush_t = batch[0].arrival + batch_window
+        flush_t = batch[0][0].arrival + batch_window
         if len(batch) >= batch_max:
-            flush_t = min(flush_t, batch[-1].arrival)
+            flush_t = min(flush_t, batch[-1][0].arrival)
         clock, server = servers.pop_earliest()
         current = max(clock, flush_t)
-        groups: Dict[int, List[Request]] = {}
-        for req in batch:
-            groups.setdefault(req.u // shard_rows, []).append(req)
+        groups: Dict[int, List[Tuple[Request, str]]] = {}
+        for req, tid in batch:
+            groups.setdefault(req.u // shard_rows, []).append((req, tid))
         for shard, members in sorted(groups.items()):
-            current = fetch(shard, current)
-            current += cost.gather_cost + cost.point_cost * len(members)
+            # I/O and gather telemetry attributed to the group's first
+            # member — the request that would have triggered the load
+            lead_tid = members[0][1]
+            current = fetch(shard, current, lead_tid)
+            gather = cost.gather_cost + cost.point_cost * len(members)
+            note(lead_tid, "batch_gather", current, gather,
+                 shard=shard, group=len(members))
+            current += gather
             result.counters["gathers"] += 1
         servers.advance(server, current)
         result.counters["batches"] += 1
-        for box, req in zip(batch_slots, batch):
+        for box, (req, tid) in zip(batch_slots, batch):
             box[0] = current
-            result.latencies["point"].append(current - req.arrival)
+            latency = current - req.arrival
+            note(tid, "answer", current, latency, status="ok",
+                 klass="point")
+            result.record("point", latency, arrival=req.arrival,
+                          trace_id=tid)
         batch.clear()
         batch_slots.clear()
 
     for req_index, req in enumerate(requests):
+        tid = make_trace_id(req_index, req.kind, req.u, req.v)
         if optimized and batch and (
-            req.arrival > batch[0].arrival + batch_window
+            req.arrival > batch[0][0].arrival + batch_window
             or len(batch) >= batch_max
         ):
             flush_batch()
+        note(tid, "request", req.arrival, klass=req.kind, u=req.u,
+             v=req.v, k=req.k)
         depth = inflight_depth(req.kind, req.arrival)
         if depth >= policy.limit(req.kind):
             if req.kind == "point":
                 result.counters["degraded"] += 1
-                result.latencies["point"].append(cost.approx_cost)
+                note(tid, "degrade", req.arrival, depth=depth)
+                finish = req.arrival + cost.approx_cost
+                note(tid, "answer", finish, cost.approx_cost,
+                     status="degraded", klass="point")
+                result.record("point", cost.approx_cost,
+                              arrival=req.arrival, trace_id=tid)
             else:
                 result.counters["shed"] += 1
+                note(tid, "shed", req.arrival, depth=depth)
             continue
         result.counters["admitted"] += 1
+        note(tid, "admit", req.arrival, depth=depth)
         if req.kind == "point" and optimized and req_index in sc_indices:
             # ALT short-circuit: answered from landmark bounds in O(L),
             # no shard fetch, no server occupancy worth modelling
             result.counters["short_circuits"] += 1
-            inflight["point"].append([req.arrival + cost.approx_cost])
-            result.latencies["point"].append(cost.approx_cost)
+            note(tid, "short_circuit", req.arrival)
+            finish = req.arrival + cost.approx_cost
+            inflight["point"].append([finish])
+            note(tid, "answer", finish, cost.approx_cost, status="ok",
+                 klass="point")
+            result.record("point", cost.approx_cost,
+                          arrival=req.arrival, trace_id=tid)
             continue
         if req.kind == "point" and optimized:
             box = [float("inf")]
             inflight["point"].append(box)
             batch_slots.append(box)
-            batch.append(req)
+            batch.append((req, tid))
             continue
         clock, server = servers.pop_earliest()
         start = max(clock, req.arrival)
         shard = req.u // shard_rows
-        ready = fetch(shard, start)
+        ready = fetch(shard, start, tid)
         if req.kind == "point":
             finish = ready + cost.point_cost
         elif req.kind == "row":
@@ -278,7 +415,10 @@ def replay_virtual(
             finish = ready + cost.topk_cost
         servers.advance(server, finish)
         inflight[req.kind].append([finish])
-        result.latencies[req.kind].append(finish - req.arrival)
+        latency = finish - req.arrival
+        note(tid, "answer", finish, latency, status="ok", klass=req.kind)
+        result.record(req.kind, latency, arrival=req.arrival,
+                      trace_id=tid)
     flush_batch()
     return result
 
@@ -297,6 +437,11 @@ def replay_threaded(
     :class:`~repro.serve.admission.QueryResponse` list in request
     order, so callers can cross-check exact answers against the
     virtual replay's ground truth.
+
+    Arrivals are recorded from the *trace* (virtual time), so SLO
+    evaluation over this result windows the same way as over the
+    virtual replay — the identical scoring code path the SLO layer
+    promises.
     """
     import time
     from concurrent.futures import ThreadPoolExecutor
@@ -327,11 +472,12 @@ def replay_threaded(
             result.counters["degraded"] += 1
         else:
             result.counters["admitted"] += 1
-        result.latencies[req.kind].append(elapsed)
+        result.record(req.kind, elapsed, arrival=req.arrival)
     engine = frontend.engine
     result.counters["shard_loads"] = engine.stats["shard_loads"]
     result.counters["cache_hits"] = engine.stats["hits"]
     result.counters["coalesced"] = engine.stats["coalesced"]
     result.counters["short_circuits"] = engine.stats["short_circuits"]
+    result.counters["approx"] = engine.stats["approx"]
     result.counters["bytes_loaded"] = engine.stats["bytes_loaded"]
     return result, responses

@@ -40,6 +40,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import time
 import zlib
 from pathlib import Path
 from typing import Any, Dict, List
@@ -48,6 +49,7 @@ import numpy as np
 
 from ..exceptions import ConfigError, StoreCorruptionError, StoreError
 from ..obs import metrics as _obs
+from . import telemetry as _tel
 from .codecs import get_codec
 
 __all__ = ["STORE_SCHEMA_VERSION", "DistStore", "solve_to_store"]
@@ -170,6 +172,7 @@ class DistStore:
         entry = self.manifest["shards"][index]
         fpath = self.path / entry["file"]
         expected = self.shard_nbytes(index)
+        load_t0 = time.perf_counter()
         with _obs.span("serve.store.load"):
             try:
                 raw = fpath.read_bytes()
@@ -205,6 +208,8 @@ class DistStore:
                     shards=(index,),
                 ) from exc
         _obs.counter_add("serve.store.shard_loads", 1)
+        _tel.emit("shard_load", time.perf_counter() - load_t0,
+                  shard=index, nbytes=expected, codec=self.codec_name)
         return arr
 
     def row(self, vertex: int, *, verify: bool = True) -> np.ndarray:

@@ -34,6 +34,7 @@ from .model import (
     TraceSpan,
     trace_from_apsp_result,
     trace_from_phases,
+    trace_from_request_events,
     trace_from_sim,
 )
 from .recorder import TraceRecorder
@@ -48,6 +49,7 @@ __all__ = [
     "trace_from_sim",
     "trace_from_phases",
     "trace_from_apsp_result",
+    "trace_from_request_events",
     "to_chrome",
     "write_chrome",
     "validate_chrome",

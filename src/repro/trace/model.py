@@ -48,6 +48,7 @@ __all__ = [
     "trace_from_sim",
     "trace_from_phases",
     "trace_from_apsp_result",
+    "trace_from_request_events",
 ]
 
 #: bump when the span/phase/flow layout changes incompatibly
@@ -338,3 +339,66 @@ def trace_from_apsp_result(result) -> Trace:
         "threads": str(result.num_threads),
     }
     return trace_from_phases(phases, meta=meta)
+
+
+def trace_from_request_events(
+    records: Iterable[Mapping[str, object]],
+    *,
+    trace_id: str = "",
+    clock: str = "virtual",
+) -> Trace:
+    """Unified single-track trace of one serving request's lifecycle.
+
+    ``records`` are plain mappings with ``name``, ``category``,
+    ``start`` and ``duration`` keys (the shape
+    :mod:`repro.serve.telemetry` produces); timestamps are rebased so
+    the earliest record starts at zero, which keeps exported Chrome
+    traces openable regardless of where on the virtual (or wall) clock
+    the request ran.
+    """
+    record_list = list(records)
+    if not record_list:
+        raise SimulationError(
+            "request trace needs at least one event"
+            + (f" (trace_id={trace_id!r})" if trace_id else "")
+        )
+    base = min(float(r["start"]) for r in record_list)
+    phase_name = "request"
+    spans = [
+        TraceSpan(
+            name=str(r["name"]),
+            category=str(r["category"]),
+            track=0,
+            start=float(r["start"]) - base,
+            duration=float(r["duration"]),
+            phase=phase_name,
+        )
+        for r in record_list
+    ]
+    makespan = max(s.end for s in spans)
+    busy = sum(s.duration for s in spans if s.category == "compute")
+    lock_wait = sum(
+        s.duration for s in spans if s.category == "lock-wait"
+    )
+    overhead = sum(
+        s.duration for s in spans if s.category != "compute"
+    )
+    stats = PhaseStats(
+        name=phase_name,
+        start=0.0,
+        makespan=makespan,
+        tracks=1,
+        busy=busy,
+        overhead=overhead,
+        idle=max(makespan - busy - overhead, 0.0),
+        lock_wait=lock_wait,
+    )
+    return Trace(
+        clock=clock,
+        num_tracks=1,
+        makespan=makespan,
+        spans=spans,
+        phases=[stats],
+        track_names={0: trace_id or phase_name},
+        meta={"trace_id": trace_id} if trace_id else {},
+    )

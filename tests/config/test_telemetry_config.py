@@ -1,0 +1,78 @@
+"""TelemetryConfig: validation, round trips, collector construction."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TelemetryConfig
+from repro.exceptions import ConfigError
+from repro.serve.telemetry import TelemetryCollector
+
+
+@st.composite
+def telemetry_configs(draw):
+    return TelemetryConfig(
+        capacity=draw(st.integers(min_value=1, max_value=1 << 20)),
+        sample=draw(
+            st.floats(min_value=0.001, max_value=1.0,
+                      allow_nan=False, allow_infinity=False)
+        ),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(telemetry_configs())
+    def test_dict_round_trip_is_identity(self, cfg):
+        assert TelemetryConfig.from_dict(cfg.to_dict()) == cfg
+        json.dumps(cfg.to_dict())  # plain JSON, no exotic objects
+
+    def test_defaults(self):
+        cfg = TelemetryConfig()
+        assert cfg.capacity == 4096
+        assert cfg.sample == 1.0
+
+    def test_sample_normalised_to_float(self):
+        assert isinstance(TelemetryConfig(sample=1).sample, float)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        ("field", "build"),
+        [
+            ("telemetry.capacity", lambda: TelemetryConfig(capacity=0)),
+            ("telemetry.capacity",
+             lambda: TelemetryConfig(capacity=True)),
+            ("telemetry.capacity",
+             lambda: TelemetryConfig(capacity=2.5)),
+            ("telemetry.sample", lambda: TelemetryConfig(sample=0.0)),
+            ("telemetry.sample", lambda: TelemetryConfig(sample=1.5)),
+            ("telemetry.sample", lambda: TelemetryConfig(sample=True)),
+            ("telemetry.sample",
+             lambda: TelemetryConfig(sample=float("nan"))),
+        ],
+    )
+    def test_bad_values_name_the_field(self, field, build):
+        with pytest.raises(ConfigError, match=field):
+            build()
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError):
+            TelemetryConfig.from_dict({"capacity": 8, "ring": 2})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigError):
+            TelemetryConfig.from_dict([1, 2])
+
+
+class TestCollectorConstruction:
+    def test_from_config_applies_knobs(self):
+        cfg = TelemetryConfig(capacity=7, sample=0.25)
+        collector = TelemetryCollector.from_config(cfg)
+        assert collector.capacity == 7
+        assert collector.sample == 0.25
+        assert collector.sink is None

@@ -1,0 +1,153 @@
+"""LatencyHistogram: certified error, mergeability, exemplars."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.obs.hist import HIST_SCHEMA_VERSION, LatencyHistogram
+
+latencies = st.lists(
+    st.floats(min_value=1e-6, max_value=10.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=200,
+)
+
+
+class TestBuckets:
+    def test_rel_error_is_sqrt_gamma_minus_one(self):
+        hist = LatencyHistogram(gamma=1.2)
+        assert hist.rel_error == pytest.approx(math.sqrt(1.2) - 1.0)
+
+    def test_estimate_within_rel_error_of_any_member(self):
+        hist = LatencyHistogram()
+        for value in (1e-6, 3.7e-4, 0.002, 0.5, 12.0):
+            index = hist.bucket_index(value)
+            lo, hi = hist.bucket_bounds(index)
+            assert lo <= value < hi or index in (0, hist.num_buckets - 1)
+            estimate = hist.bucket_estimate(index)
+            if lo <= value < hi:
+                assert abs(estimate - value) <= hist.rel_error * value
+
+    def test_invalid_samples_rejected(self):
+        hist = LatencyHistogram()
+        for bad in (-1.0, float("nan"), float("inf")):
+            with pytest.raises(ValidationError):
+                hist.record(bad)
+
+    def test_zero_goes_to_zero_count(self):
+        hist = LatencyHistogram()
+        hist.record(0.0)
+        assert hist.zero_count == 1
+        assert hist.count == 1
+        assert hist.quantile(50) == 0.0
+
+
+class TestQuantileCertificate:
+    @settings(max_examples=60, deadline=None)
+    @given(samples=latencies, q=st.floats(min_value=0, max_value=100))
+    def test_quantile_within_certified_error_of_numpy(self, samples, q):
+        hist = LatencyHistogram()
+        for value in samples:
+            hist.record(value)
+        exact = float(np.percentile(samples, q))
+        approx = hist.quantile(q)
+        assert abs(approx - exact) <= hist.rel_error * exact + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(samples=latencies)
+    def test_count_le_consistent_with_quantile(self, samples):
+        hist = LatencyHistogram()
+        for value in samples:
+            hist.record(value)
+        # count_le at the q-quantile must cover at least rank(q) samples
+        median = hist.quantile(50)
+        assert hist.count_le(median) >= (len(samples) - 1) // 2
+
+    def test_clamping_counted_not_lost(self):
+        hist = LatencyHistogram(v_min=1e-3, num_buckets=8)
+        hist.record(1e-9)       # below v_min -> clamped low
+        hist.record(1e9)        # above top bucket -> clamped high
+        assert hist.clamped_low == 1
+        assert hist.clamped_high == 1
+        assert hist.count == 2
+
+
+class TestMerge:
+    @settings(max_examples=30, deadline=None)
+    @given(a=latencies, b=latencies)
+    def test_merge_equals_recording_everything(self, a, b):
+        ha, hb, hall = (LatencyHistogram() for _ in range(3))
+        for value in a:
+            ha.record(value)
+        for value in b:
+            hb.record(value)
+        for value in a + b:
+            hall.record(value)
+        merged = ha.merge(hb)
+        assert merged.to_dict() == hall.to_dict()
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=latencies, b=latencies)
+    def test_merge_commutes(self, a, b):
+        ha, hb = LatencyHistogram(), LatencyHistogram()
+        for i, value in enumerate(a):
+            ha.record(value, f"a-{i}")
+        for i, value in enumerate(b):
+            hb.record(value, f"b-{i}")
+        assert ha.merge(hb).to_dict() == hb.merge(ha).to_dict()
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            LatencyHistogram(gamma=1.2).merge(LatencyHistogram(gamma=1.5))
+
+
+class TestExemplars:
+    def test_exemplar_names_recorded_trace_id(self):
+        hist = LatencyHistogram()
+        hist.record(0.004, "req-000001-aaaaaaaa")
+        hist.record(0.0041, "req-000002-bbbbbbbb")
+        index = hist.bucket_index(0.0041)
+        assert hist.exemplars[index] == (0.0041, "req-000002-bbbbbbbb")
+
+    def test_exemplar_is_order_independent(self):
+        pairs = [(0.004, "a"), (0.0041, "b"), (0.00405, "c")]
+        fwd, rev = LatencyHistogram(), LatencyHistogram()
+        for value, tid in pairs:
+            fwd.record(value, tid)
+        for value, tid in reversed(pairs):
+            rev.record(value, tid)
+        assert fwd.exemplars == rev.exemplars
+
+
+class TestSerialization:
+    @settings(max_examples=20, deadline=None)
+    @given(samples=latencies)
+    def test_roundtrip(self, samples):
+        hist = LatencyHistogram()
+        for i, value in enumerate(samples):
+            hist.record(value, f"req-{i:06d}-deadbeef")
+        back = LatencyHistogram.from_dict(hist.to_dict())
+        assert back.to_dict() == hist.to_dict()
+        assert back.quantile(99) == hist.quantile(99)
+
+    def test_snapshot_schema(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap["schema"] == HIST_SCHEMA_VERSION
+
+    def test_flat_keys_are_artifact_safe(self):
+        hist = LatencyHistogram()
+        for value in (0.001, 0.002, 0.004):
+            hist.record(value)
+        flat = hist.flat("serve.opt.hist")
+        assert flat["serve.opt.hist.count"] == 3.0
+        bucket_keys = [k for k in flat if ".bucket." in k]
+        assert bucket_keys
+        for key, value in flat.items():
+            assert isinstance(value, float)
+            assert key.startswith("serve.opt.hist.")

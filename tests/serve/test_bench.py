@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.obs.artifact import validate_artifact
@@ -10,12 +12,20 @@ from repro.serve.bench import run_serve_smoke
 
 
 @pytest.fixture(scope="module")
-def smoke():
+def smoke_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("serve-smoke")
+
+
+@pytest.fixture(scope="module")
+def smoke(smoke_dir):
     # the CI smoke configuration (n=128, 16-row shards): big enough
     # that shard loads dominate the batch window, which is what the
     # raw opt-vs-naive latency gate needs; still < a second
-    artifact, registry = run_serve_smoke(scale=7, edge_factor=8, seed=5,
-                                         shard_rows=16, cache_shards=3)
+    artifact, registry = run_serve_smoke(
+        scale=7, edge_factor=8, seed=5, shard_rows=16, cache_shards=3,
+        events_out=str(smoke_dir / "events.jsonl"),
+        request_trace_out=str(smoke_dir / "request_trace.json"),
+    )
     return artifact, registry
 
 
@@ -40,12 +50,23 @@ class TestServeSmoke:
         assert counters["serve.store.corruption_detected"] >= 1
         assert counters["serve.store.shards_repaired"] == 1
 
-    def test_deterministic_across_runs(self, smoke):
+    def test_deterministic_across_runs(self, smoke, smoke_dir, tmp_path):
         artifact, _ = smoke
-        again, _ = run_serve_smoke(scale=7, edge_factor=8, seed=5,
-                                   shard_rows=16, cache_shards=3)
+        again, _ = run_serve_smoke(
+            scale=7, edge_factor=8, seed=5, shard_rows=16, cache_shards=3,
+            events_out=str(tmp_path / "events.jsonl"),
+            request_trace_out=str(tmp_path / "request_trace.json"),
+        )
         assert again["serve"] == artifact["serve"]
         assert again["counters"] == artifact["counters"]
+        assert again["serve_latency_hist"] == artifact["serve_latency_hist"]
+        assert again["serve_slo"] == artifact["serve_slo"]
+        # the telemetry log and the exported request trace are
+        # byte-identical — the CI determinism gate in miniature
+        assert (tmp_path / "events.jsonl").read_bytes() \
+            == (smoke_dir / "events.jsonl").read_bytes()
+        assert (tmp_path / "request_trace.json").read_bytes() \
+            == (smoke_dir / "request_trace.json").read_bytes()
 
     def test_regress_self_compare_passes(self, smoke):
         artifact, _ = smoke
@@ -175,3 +196,106 @@ class TestCodecCurve:
                 assert point["store_bytes"] < raw["store_bytes"]
         # the headline claim: u16q halves-of-halves the store
         assert points["u16q"]["store_bytes"] * 4 == raw["store_bytes"]
+
+
+class TestTelemetrySections:
+    def test_hist_section_matches_exact_percentiles(self, smoke):
+        # rebuild the same optimised replay (raw codec => the default
+        # uniform f8 shard sizes are the store's real sizes) and check
+        # every reported quantile against the exact sorted percentile
+        from repro.serve.bench import DEFAULT_SERVERS, SMOKE_TRAFFIC
+        from repro.serve.replay import replay_virtual
+        from repro.serve.traffic import generate_trace
+
+        artifact, _ = smoke
+        hist = artifact["serve_latency_hist"]
+        rel = hist["serve.opt.hist.rel_error"]
+        trace = generate_trace(SMOKE_TRAFFIC, 128)
+        opt = replay_virtual(trace, n=128, shard_rows=16, cache_shards=3,
+                             num_servers=DEFAULT_SERVERS, optimized=True)
+        assert hist["serve.opt.hist.count"] == sum(
+            len(v) for v in opt.latencies.values()
+        )
+        for q in (50, 90, 99):
+            exact = opt.percentile_latency(q) * 1e3
+            approx = hist[f"serve.opt.hist.p{q}_ms"]
+            assert abs(approx - exact) <= rel * exact + 1e-9
+        # the headline opt percentiles are the histogram's
+        serve = artifact["serve"]
+        assert serve["serve.opt.p50_ms"] == hist["serve.opt.hist.p50_ms"]
+        assert serve["serve.opt.p99_ms"] == hist["serve.opt.hist.p99_ms"]
+
+    def test_slo_section_shape(self, smoke):
+        artifact, _ = smoke
+        slo = artifact["serve_slo"]
+        assert slo["serve.slo.point.threshold_ms"] == pytest.approx(5.0)
+        assert slo["serve.slo.point.objective"] == pytest.approx(0.9)
+        assert slo["serve.slo.point.total"] > 0
+        assert slo["serve.slo.point.worst_window_burn_rate"] \
+            >= slo["serve.slo.point.burn_rate"]
+
+    def test_regress_gates_hist_exactly(self, smoke):
+        artifact, _ = smoke
+
+        def gated(current):
+            regressions, _ = compare_artifacts(artifact, current)
+            return regressions
+
+        def mutated(edit):
+            out = {k: dict(v) if isinstance(v, dict) else v
+                   for k, v in artifact.items()}
+            edit(out["serve_latency_hist"])
+            return out
+
+        bucket_key = next(k for k in artifact["serve_latency_hist"]
+                          if ".bucket." in k)
+        # one count moving is a regression, in either direction
+        assert gated(mutated(lambda h: h.update({bucket_key:
+                                                 h[bucket_key] + 1})))
+        # a bucket disappearing or appearing is a distribution change
+        assert gated(mutated(lambda h: h.pop(bucket_key)))
+        assert gated(mutated(lambda h: h.update({
+            "serve.opt.hist.bucket.999": 1.0})))
+        # dropping the whole section is a regression
+        stripped = {k: v for k, v in artifact.items()
+                    if k != "serve_latency_hist"}
+        assert gated(stripped)
+
+    def test_regress_gates_burn_rate_upward_only(self, smoke):
+        artifact, _ = smoke
+
+        def mutated(key, value):
+            out = {k: dict(v) if isinstance(v, dict) else v
+                   for k, v in artifact.items()}
+            out["serve_slo"][key] = value
+            return out
+
+        def gated(current):
+            regressions, _ = compare_artifacts(artifact, current)
+            return regressions
+
+        key = "serve.slo.point.burn_rate"
+        base = artifact["serve_slo"][key]
+        assert gated(mutated(key, base + 0.5))       # burning faster
+        assert gated(mutated(key, base * 0.5)) == []  # improvement
+        # everything else in the section is exact
+        vkey = "serve.slo.point.violations"
+        assert gated(mutated(vkey, artifact["serve_slo"][vkey] + 1))
+
+    def test_event_log_passes_monitor_check(self, smoke, smoke_dir):
+        from repro.serve.monitor import check_event_log, \
+            summarize_event_log
+
+        del smoke  # fixture ordering: the log must exist
+        path = str(smoke_dir / "events.jsonl")
+        assert check_event_log(path) == []
+        summary = summarize_event_log(path)
+        assert summary["num_traces"] == 512
+        assert summary["kinds"]["answer"] == 512
+
+    def test_request_trace_is_valid_chrome(self, smoke, smoke_dir):
+        from repro.trace import validate_chrome
+
+        del smoke
+        obj = json.loads((smoke_dir / "request_trace.json").read_text())
+        assert validate_chrome(obj) == []

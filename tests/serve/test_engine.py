@@ -172,7 +172,7 @@ class TestBounds:
         for u, v in [(0, 50), (3, 77), (90, 12)]:
             lo, hi = engine.dist_approx(u, v)
             assert lo <= ref[u, v] + 1e-12 <= hi + 2e-12
-        assert engine.stats["approx_answers"] == 3
+        assert engine.stats["approx"] == 3
 
     def test_gap_zero_at_landmark_endpoint(self, served):
         store, ref = served
@@ -291,3 +291,36 @@ class TestShortCircuit:
         for bad in (-1.0, float("inf"), float("nan"), True, "0"):
             with pytest.raises(ServeError, match="epsilon"):
                 QueryEngine(store, epsilon=bad)
+
+
+class TestStatsObsParity:
+    """engine.stats and the global obs counters must tell one story."""
+
+    PAIRS = [
+        ("hits", "serve.cache.hits"),
+        ("misses", "serve.cache.misses"),
+        ("coalesced", "serve.cache.coalesced"),
+        ("evictions", "serve.cache.evictions"),
+        ("short_circuits", "serve.query.short_circuits"),
+        ("approx", "serve.query.approx"),
+        ("batch_queries", "serve.batch.queries"),
+        ("batch_gathers", "serve.batch.gathers"),
+    ]
+
+    def test_counters_match_after_mixed_traffic(self, served):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        store, _ = served
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            engine = QueryEngine(store, cache_shards=2)
+            for u, v in [(0, 50), (3, 77), (90, 12), (0, 51), (17, 3)]:
+                engine.dist(u, v)
+            engine.dist_batch([(1, 2), (1, 99), (33, 4)])
+            engine.dist_approx(0, 99)
+            engine.dist_approx(42, 7)
+        counters = registry.counters()
+        for stat_key, obs_key in self.PAIRS:
+            assert engine.stats[stat_key] == counters.get(obs_key, 0), (
+                stat_key, obs_key,
+            )

@@ -1,0 +1,211 @@
+"""Request-scoped telemetry: trace ids, ring, JSONL, Perfetto export."""
+
+from __future__ import annotations
+
+import io
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.exceptions import ServeError
+from repro.serve import (
+    TELEMETRY_SCHEMA_VERSION,
+    JsonlSink,
+    QueryEngine,
+    ServeFrontend,
+    TelemetryCollector,
+    export_request_trace,
+    generate_trace,
+    make_trace_id,
+    read_event_log,
+    replay_virtual,
+    solve_to_store,
+)
+from repro.serve.telemetry import (
+    EVENT_KINDS,
+    RequestContext,
+    TelemetryEvent,
+    emit as scope_emit,
+    request_scope,
+)
+from repro.serve.traffic import TrafficSpec
+from repro.trace import to_chrome, validate_chrome
+
+SPEC = TrafficSpec(num_requests=64, rate=2000.0, zipf_s=1.1, seed=3,
+                   row_frac=0.05, topk_frac=0.05, topk_k=4)
+
+
+def _replay(n=128, collector=None):
+    trace = generate_trace(SPEC, n)
+    return replay_virtual(
+        trace, n=n, shard_rows=16, cache_shards=2, num_servers=2,
+        optimized=True, telemetry=collector,
+    )
+
+
+class TestTraceIds:
+    def test_deterministic_and_unique(self):
+        a = make_trace_id(7, "point", 3, 9)
+        assert a == make_trace_id(7, "point", 3, 9)
+        assert a != make_trace_id(8, "point", 3, 9)
+        assert a != make_trace_id(7, "point", 3, 10)
+        assert a.startswith("req-000007-")
+
+    def test_replay_ids_match_sequence(self):
+        collector = TelemetryCollector()
+        _replay(collector=collector)
+        requests = [e for e in collector.events() if e.kind == "request"]
+        trace = generate_trace(SPEC, 128)
+        assert len(requests) == len(trace)
+        for seq, (event, req) in enumerate(zip(requests, trace)):
+            assert event.trace_id == make_trace_id(
+                seq, req.kind, req.u, req.v
+            )
+
+
+class TestCollector:
+    def test_ring_keeps_newest(self):
+        collector = TelemetryCollector(capacity=4)
+        for i in range(11):
+            collector.emit(f"req-{i:06d}-aaaaaaaa", "request", float(i))
+        assert len(collector) == 4
+        kept = [e.t for e in collector.events()]
+        assert kept == [7.0, 8.0, 9.0, 10.0]
+
+    def test_events_filter_by_trace(self):
+        collector = TelemetryCollector()
+        collector.emit("req-000000-aaaaaaaa", "request", 0.0)
+        collector.emit("req-000001-bbbbbbbb", "request", 1.0)
+        collector.emit("req-000000-aaaaaaaa", "answer", 2.0, 2.0)
+        mine = collector.events("req-000000-aaaaaaaa")
+        assert [e.kind for e in mine] == ["request", "answer"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServeError):
+            TelemetryEvent(trace_id="t", kind="nope", t=0.0)
+        assert "request" in EVENT_KINDS
+
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            TelemetryCollector(capacity=0)
+        with pytest.raises(ServeError):
+            TelemetryCollector(sample=0.0)
+        with pytest.raises(ServeError):
+            TelemetryCollector(sample=1.5)
+
+    def test_scope_emit_is_noop_without_scope(self):
+        scope_emit("cache_hit")  # must not raise
+
+    def test_scope_emit_lands_under_context(self):
+        collector = TelemetryCollector()
+        ctx = RequestContext(trace_id="req-000000-cafecafe",
+                             klass="point", u=1, v=2)
+        with request_scope(collector, ctx):
+            scope_emit("cache_hit", shard=3)
+        (event,) = collector.events()
+        assert event.trace_id == ctx.trace_id
+        assert event.attrs["shard"] == 3
+
+
+class TestJsonl:
+    def test_log_byte_identical_across_runs(self):
+        logs = []
+        for _ in range(2):
+            buf = io.StringIO()
+            sink = JsonlSink(buf, params={"codec": "raw"})
+            _replay(collector=TelemetryCollector(sink=sink))
+            sink.close()
+            logs.append(buf.getvalue())
+        assert logs[0] == logs[1]
+        header = json.loads(logs[0].splitlines()[0])
+        assert header["schema"] == TELEMETRY_SCHEMA_VERSION
+
+    def test_sampling_is_per_trace_and_deterministic(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        collector = TelemetryCollector(sink=sink, sample=0.5)
+        _replay(collector=collector)
+        sink.close()
+        lines = buf.getvalue().splitlines()[1:]
+        logged = {json.loads(line)["trace_id"] for line in lines}
+        all_ids = {e.trace_id for e in collector.events()}
+        assert set() < logged < all_ids
+        # all-or-nothing per trace: every logged trace has its full set
+        for tid in logged:
+            assert collector.sampled(tid)
+            mine = [json.loads(ln) for ln in lines
+                    if json.loads(ln)["trace_id"] == tid]
+            assert len(mine) == len(collector.events(tid))
+        for tid in all_ids - logged:
+            assert not collector.sampled(tid)
+
+    def test_read_event_log_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path), params={"seed": 3})
+        collector = TelemetryCollector(sink=sink)
+        _replay(collector=collector)
+        sink.close()
+        header, records = read_event_log(str(path))
+        assert header["schema"] == TELEMETRY_SCHEMA_VERSION
+        assert header["params"]["seed"] == 3
+        assert len(records) == len(collector.events())
+        assert records[0]["kind"] == "request"
+
+    def test_read_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema":"other/9"}\n')
+        with pytest.raises(ServeError):
+            read_event_log(str(bad))
+
+
+class TestPerfettoExport:
+    def test_export_passes_validate_chrome(self):
+        collector = TelemetryCollector()
+        result = _replay(collector=collector)
+        # pick the slowest point request by recorded latency
+        lat = result.latencies["point"]
+        tid = result.trace_ids["point"][lat.index(max(lat))]
+        trace = export_request_trace(collector.events(), tid)
+        assert validate_chrome(to_chrome(trace)) == []
+        assert trace.meta["trace_id"] == tid
+
+    def test_export_from_log_records(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        collector = TelemetryCollector(sink=sink)
+        result = _replay(collector=collector)
+        sink.close()
+        _, records = read_event_log(str(path))
+        tid = result.trace_ids["point"][0]
+        trace = export_request_trace(records, tid)
+        assert validate_chrome(to_chrome(trace)) == []
+
+    def test_export_unknown_trace_raises(self):
+        collector = TelemetryCollector()
+        _replay(collector=collector)
+        with pytest.raises(ServeError):
+            export_request_trace(collector.events(), "req-999999-00000000")
+
+
+class TestThreadedFrontend:
+    def test_real_frontend_emits_scoped_events(self, small_weighted,
+                                               tmp_path):
+        store = solve_to_store(small_weighted, tmp_path / "store",
+                               shard_rows=16, num_landmarks=4)
+        collector = TelemetryCollector()
+        frontend = ServeFrontend(
+            QueryEngine(store, cache_shards=2), telemetry=collector,
+        )
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(lambda v: frontend.point(0, v), range(32)))
+        answers = [e for e in collector.events() if e.kind == "answer"]
+        assert len(answers) == 32
+        # every answer's trace has its own request + admit events, and
+        # the engine's scope-aware emits landed under real trace ids
+        for event in answers:
+            kinds = {e.kind for e in collector.events(event.trace_id)}
+            assert "request" in kinds
+            assert "admit" in kinds
+        hits = [e for e in collector.events() if e.kind == "cache_hit"]
+        assert hits, "engine cache hits did not reach the collector"

@@ -260,3 +260,64 @@ class TestCommands:
         )
         assert code == 0
         assert (tmp_path / "table2.txt").exists()
+
+    def test_monitor_command(self, tmp_path, capsys):
+        from repro.serve import (
+            JsonlSink,
+            TelemetryCollector,
+            generate_trace,
+            replay_virtual,
+        )
+        from repro.serve.traffic import TrafficSpec
+
+        log = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(log), params={"seed": 3})
+        trace = generate_trace(
+            TrafficSpec(num_requests=32, rate=2000.0, zipf_s=1.1, seed=3),
+            128,
+        )
+        replay_virtual(
+            trace, n=128, shard_rows=16, cache_shards=2, optimized=True,
+            telemetry=TelemetryCollector(sink=sink),
+        )
+        sink.close()
+
+        assert main(["monitor", str(log), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "valid" in out
+
+        assert main(["monitor", str(log), "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest requests" in out
+        assert "req-0000" in out
+
+        assert main(["monitor", str(log), "--tail", "3"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 3
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema":"other/9"}\n{"not an event"}\n')
+        assert main(["monitor", str(bad), "--check"]) == 1
+
+    def test_serve_bench_flags_reach_bench(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--scale", "5",
+                "--shard-rows", "8",
+                "--cache-shards", "2",
+                # raw's opt-vs-naive latency gate needs the CI scale;
+                # the flag-plumbing check only needs a passing codec
+                "--codec", "u16q",
+                "--out", str(tmp_path / "BENCH_serve.json"),
+                "--events", str(tmp_path / "events.jsonl"),
+                "--request-trace", str(tmp_path / "req.json"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "BENCH_serve.json").exists()
+        assert (tmp_path / "events.jsonl").exists()
+        assert (tmp_path / "req.json").exists()
+        assert main(
+            ["monitor", str(tmp_path / "events.jsonl"), "--check"]
+        ) == 0
