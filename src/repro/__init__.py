@@ -28,7 +28,7 @@ Serving queries out-of-core (see ``docs/serving.md``)::
 """
 
 from ._version import __version__
-from .config import SolverConfig, StoreConfig, load_config
+from .config import SolverConfig, StoreConfig, UpdateConfig, load_config
 from .core import (
     ShardHooks,
     SolverSpec,
@@ -51,7 +51,14 @@ from .core.state import APSPResult
 from .faults import FaultPlan, StoreCorruptionSpec
 from .graphs import CSRGraph, from_edges, load_dataset
 from .order import compute_order, simulate_order
-from .serve import DistStore, QueryEngine, ServeFrontend, solve_to_store
+from .serve import (
+    DistStore,
+    EdgeUpdate,
+    QueryEngine,
+    ServeFrontend,
+    apply_edge_updates,
+    solve_to_store,
+)
 from .simx import MACHINE_I, MACHINE_II, MachineSpec
 from .sort import counting_argsort, multilists_argsort
 from .trace import Trace
@@ -77,6 +84,7 @@ __all__ = [
     "NegativeWeightError",
     "SolverConfig",
     "StoreConfig",
+    "UpdateConfig",
     "load_config",
     "ClusterSpec",
     "simulate_distributed_apsp",
@@ -92,6 +100,8 @@ __all__ = [
     "QueryEngine",
     "ServeFrontend",
     "solve_to_store",
+    "EdgeUpdate",
+    "apply_edge_updates",
     "MACHINE_I",
     "MACHINE_II",
     "MachineSpec",

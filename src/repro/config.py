@@ -58,6 +58,7 @@ __all__ = [
     "SolverConfig",
     "StoreConfig",
     "TelemetryConfig",
+    "UpdateConfig",
     "load_config",
 ]
 
@@ -416,6 +417,51 @@ class TelemetryConfig:
         unknown = set(data) - valid
         if unknown:
             _fail("telemetry", f"unknown field(s): {sorted(unknown)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class UpdateConfig:
+    """Knobs of :func:`repro.serve.apply_edge_updates`.
+
+    Standalone like :class:`StoreConfig`: it shapes the incremental
+    update path (dirty-shard screening, pre-flight verification, old
+    generation retention), not the solve itself.
+    """
+
+    #: certify shards clean via the pinned landmark (ALT) bounds before
+    #: running the exact endpoint-SSSP refinement; disabling skips the
+    #: certificate pass (the exact refinement alone is still sound)
+    prescreen: bool = True
+    #: checksum the whole store before touching it — an update must
+    #: never be layered on top of silent corruption
+    verify_before: bool = True
+    #: delete superseded shard/landmark files of older generations after
+    #: the manifest swap; off by default so live readers keep working
+    prune: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("prescreen", "verify_before", "prune"):
+            value = getattr(self, name)
+            if not isinstance(value, bool):
+                _fail(
+                    f"update.{name}",
+                    f"{name} must be a bool, got {value!r}",
+                )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "UpdateConfig":
+        if not isinstance(data, Mapping):
+            _fail(
+                "update", f"must be a mapping, got {type(data).__name__}"
+            )
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - valid
+        if unknown:
+            _fail("update", f"unknown field(s): {sorted(unknown)}")
         return cls(**data)
 
 

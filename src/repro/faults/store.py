@@ -31,11 +31,17 @@ __all__ = ["StoreCorruptionSpec", "parse_store_corruption"]
 
 @dataclass(frozen=True)
 class StoreCorruptionSpec:
-    """Flip ``nbytes`` seeded-random bytes of shard ``shard``."""
+    """Flip ``nbytes`` seeded-random bytes of one store file.
+
+    ``target="shard"`` (default) damages shard ``shard``;
+    ``target="landmarks"`` damages the pinned landmark file instead
+    (``shard`` is ignored for that target but must still validate).
+    """
 
     shard: int
     nbytes: int = 1
     seed: int = 0
+    target: str = "shard"
 
     def __post_init__(self) -> None:
         if not isinstance(self.shard, int) or isinstance(self.shard, bool) \
@@ -50,6 +56,11 @@ class StoreCorruptionSpec:
             )
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise FaultPlanError(f"seed must be an int, got {self.seed!r}")
+        if self.target not in ("shard", "landmarks"):
+            raise FaultPlanError(
+                f"target must be 'shard' or 'landmarks', "
+                f"got {self.target!r}"
+            )
 
     def offsets(self, payload_size: int) -> np.ndarray:
         """The byte offsets this spec damages in a payload of that size."""
@@ -87,6 +98,14 @@ class StoreCorruptionSpec:
         """
         from pathlib import Path
 
+        if self.target == "landmarks":
+            entry = store.manifest["landmarks"]
+            if not entry["ids"]:
+                raise FaultPlanError(
+                    "spec targets the landmark file but the store pins "
+                    "no landmarks"
+                )
+            return Path(store.path) / entry["file"]
         num_shards = store.num_shards
         if self.shard >= num_shards:
             raise FaultPlanError(
@@ -105,11 +124,14 @@ class StoreCorruptionSpec:
         return self.apply(self.resolve(store))
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"shard": self.shard, "nbytes": self.nbytes, "seed": self.seed}
+        out = {"shard": self.shard, "nbytes": self.nbytes, "seed": self.seed}
+        if self.target != "shard":  # older readers never see the default
+            out["target"] = self.target
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "StoreCorruptionSpec":
-        unknown = set(data) - {"shard", "nbytes", "seed"}
+        unknown = set(data) - {"shard", "nbytes", "seed", "target"}
         if unknown:
             raise FaultPlanError(
                 f"unknown StoreCorruptionSpec fields: {sorted(unknown)}"
@@ -122,6 +144,7 @@ class StoreCorruptionSpec:
 def parse_store_corruption(text: str) -> StoreCorruptionSpec:
     """Parse the compact DSL ``"shard=2,nbytes=4,seed=7"``.
 
+    ``target=landmarks`` aims the flips at the pinned landmark file.
     Mirrors :func:`repro.faults.parse_fault_plan` so the CLI can take
     ``--corrupt shard=0`` with the same look and feel.
     """
@@ -136,6 +159,9 @@ def parse_store_corruption(text: str) -> StoreCorruptionSpec:
             )
         key, _, value = part.partition("=")
         key = key.strip()
+        if key == "target":
+            fields[key] = value.strip()
+            continue
         if key not in ("shard", "nbytes", "seed"):
             raise FaultPlanError(f"unknown store-corruption key {key!r}")
         try:
@@ -145,4 +171,6 @@ def parse_store_corruption(text: str) -> StoreCorruptionSpec:
                 f"store-corruption value for {key!r} must be an int, "
                 f"got {value!r}"
             ) from None
+    if "shard" not in fields and fields.get("target") == "landmarks":
+        fields["shard"] = 0  # unused for this target, but required
     return StoreCorruptionSpec.from_dict(fields)

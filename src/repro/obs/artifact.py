@@ -48,6 +48,14 @@ moving means the replay's latency distribution changed.
 violation counts gate exactly; keys ending in ``burn_rate`` gate
 *upward-only* — burning the error budget faster is the regression,
 burning it slower is an improvement.
+
+``update`` (schema ``/7``, optional) is a flat numeric dict from the
+incremental-update bench (:func:`repro.serve.bench.run_update_smoke`):
+dirty/candidate shard counts, re-solved row totals, store fingerprints
+and the update-vs-rebuild cost ratio.  Every field is deterministic
+and gates exactly; ``update.cost_ratio`` additionally gates
+upward-only (a less incremental update is the regression even when the
+baseline is regenerated with ``--ignore``).
 """
 
 from __future__ import annotations
@@ -77,8 +85,10 @@ __all__ = [
 #:      vs observed error, ALT short-circuit counters, raw-ref replay;
 #:  /6: optional ``serve_latency_hist`` (exact virtual latency
 #:      distribution with certified-error quantiles) and ``serve_slo``
-#:      (error-budget burn rates) sections from the serving telemetry)
-SCHEMA_VERSION = "repro.obs.bench/6"
+#:      (error-budget burn rates) sections from the serving telemetry;
+#:  /7: optional ``update`` section from the incremental-update bench —
+#:      dirty-shard accounting, store fingerprints, cost-vs-rebuild)
+SCHEMA_VERSION = "repro.obs.bench/7"
 
 #: required top-level keys and their expected container types
 _REQUIRED: Dict[str, type] = {
@@ -127,6 +137,7 @@ def build_artifact(
     serve: Optional[Mapping[str, float]] = None,
     serve_latency_hist: Optional[Mapping[str, float]] = None,
     serve_slo: Optional[Mapping[str, float]] = None,
+    update: Optional[Mapping[str, float]] = None,
 ) -> Dict[str, Any]:
     """Assemble one schema-valid artifact dict.
 
@@ -178,6 +189,8 @@ def build_artifact(
         artifact["serve_slo"] = _sorted_numeric(
             dict(serve_slo), "serve_slo"
         )
+    if update is not None:
+        artifact["update"] = _sorted_numeric(dict(update), "update")
     return artifact
 
 
@@ -294,7 +307,7 @@ def validate_artifact(artifact: Any) -> List[str]:
                 f"got {type(value).__name__}"
             )
     for optional in ("trace_summary", "faults", "serve",
-                     "serve_latency_hist", "serve_slo"):
+                     "serve_latency_hist", "serve_slo", "update"):
         section = artifact.get(optional)
         if section is not None and not isinstance(section, Mapping):
             problems.append(
@@ -302,7 +315,8 @@ def validate_artifact(artifact: Any) -> List[str]:
                 f"got {type(section).__name__}"
             )
     for section in ("counters", "timings", "gauges", "trace_summary",
-                    "faults", "serve", "serve_latency_hist", "serve_slo"):
+                    "faults", "serve", "serve_latency_hist", "serve_slo",
+                    "update"):
         values = artifact.get(section)
         if isinstance(values, Mapping):
             for name, value in values.items():

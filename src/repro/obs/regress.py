@@ -49,6 +49,12 @@
   replay burning its error budget faster is a regression; burning
   slower is an improvement and only noted); every other key — the
   objective's own parameters and the violation counts — gates exactly;
+* **update** — the incremental-update bench section (schema ``/7``):
+  everything in it is a pure function of the pinned graph and update
+  batch (dirty-shard counts, re-solved rows, store fingerprints), so
+  every key gates exactly; ``update.cost_ratio`` is additionally
+  flagged when it merely *rises* — a less incremental update is the
+  regression the section exists to catch;
 * **kernel consistency** — artifacts that carry ``kernel.*`` counters
   must satisfy the cross-layer invariants tying kernel-call accounting
   to the per-source ``ops.*`` totals (see
@@ -106,6 +112,11 @@ SERVE_ERROR_SUFFIX = "max_abs_error"
 #: (virtual replay burn rates are deterministic); all other serve_slo
 #: keys and every serve_latency_hist key gate exactly
 SLO_BURN_SUFFIX = "burn_rate"
+
+#: the update section's headline ratio: exact-gated like the rest of
+#: the section, but its failure message calls out the direction — a
+#: higher ratio means updates got *less* incremental
+UPDATE_COST_KEY = "update.cost_ratio"
 
 
 def check_kernel_consistency(
@@ -292,6 +303,13 @@ def compare_artifacts(
     _compare_serve_slo(
         baseline.get("serve_slo"),
         current.get("serve_slo"),
+        ignored,
+        regressions,
+        notes,
+    )
+    _compare_update(
+        baseline.get("update"),
+        current.get("update"),
         ignored,
         regressions,
         notes,
@@ -729,6 +747,64 @@ def _compare_serve_slo(
             )
     for key in sorted(set(cur) - set(base)):
         notes.append(f"slo {key} new in current: {cur[key]:g}")
+
+
+def _compare_update(
+    base: Optional[Mapping[str, float]],
+    cur: Optional[Mapping[str, float]],
+    ignored: set,
+    regressions: List[str],
+    notes: List[str],
+) -> None:
+    """Gate the incremental-update section — everything exact.
+
+    The update bench is a pure function of the pinned graph, update
+    batch and codec: dirty-shard counts, re-solved row totals and the
+    store fingerprints are as deterministic as op counters, so every
+    key gates exactly.  A fingerprint mismatch means the stored
+    *bytes* changed — either an intentional codec/solver change
+    (regenerate the baseline) or broken byte-identity.  The
+    :data:`UPDATE_COST_KEY` failure message additionally names the
+    direction, because a rising cost ratio is the specific regression
+    this section exists to catch: updates doing rebuild-shaped work.
+    """
+    if base is None:
+        if cur:
+            notes.append(
+                "update section new in current (no baseline to gate against)"
+            )
+        return
+    if cur is None:
+        regressions.append(
+            "update section present in baseline but missing from current "
+            "artifact (update bench skipped?)"
+        )
+        return
+    for key in sorted(base):
+        if key in ignored:
+            notes.append(f"update {key}: ignored")
+            continue
+        if key not in cur:
+            regressions.append(f"update {key} missing from current artifact")
+            continue
+        if base[key] != cur[key]:
+            if key == UPDATE_COST_KEY and cur[key] > base[key]:
+                regressions.append(
+                    f"update {key}: {base[key]:g} -> {cur[key]:g} (the "
+                    "update now does more rebuild-shaped work per batch "
+                    "— less incremental is the regression)"
+                )
+            else:
+                direction = "up" if cur[key] > base[key] else "down"
+                regressions.append(
+                    f"update {key}: {base[key]:g} -> {cur[key]:g} "
+                    f"({direction}; the update bench is deterministic and "
+                    "gates exactly)"
+                )
+        elif key.endswith("fingerprint"):
+            notes.append(f"update {key}: {cur[key]:g} (byte-exact, ok)")
+    for key in sorted(set(cur) - set(base)):
+        notes.append(f"update {key} new in current: {cur[key]:g}")
 
 
 def _report(regressions: List[str], notes: List[str], verbose: bool) -> None:

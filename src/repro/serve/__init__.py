@@ -70,6 +70,13 @@ from .telemetry import (
     read_event_log,
 )
 from .traffic import Request, TrafficSpec, generate_trace
+from .update import (
+    EdgeUpdate,
+    UpdateResult,
+    apply_edge_updates,
+    apply_updates_to_graph,
+    parse_edge_updates,
+)
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
@@ -102,4 +109,9 @@ __all__ = [
     "SLOSpec",
     "SLOReport",
     "evaluate_slo",
+    "EdgeUpdate",
+    "UpdateResult",
+    "apply_edge_updates",
+    "apply_updates_to_graph",
+    "parse_edge_updates",
 ]

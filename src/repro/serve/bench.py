@@ -49,10 +49,28 @@ a Perfetto-loadable trace.  The threaded replay is scored against the
 same SLO through the identical code path; its numbers land under
 ``wall.*`` and are never gated.
 
+``--update`` runs the **update-smoke** instead
+(:func:`run_update_smoke`): it builds the store from the *weighted*
+variant of the same graph, applies the pinned edge-update batch
+(:data:`SMOKE_UPDATE_BATCH`: one insert, one reweight, one delete)
+through :func:`~repro.serve.update.apply_edge_updates`, and asserts
+the headline invariants of incremental serving — the updated store is
+**byte-identical** to a from-scratch build of the mutated graph, the
+deterministic row-unit cost is below :data:`UPDATE_COST_GATE` of a
+full rebuild, the landmark prescreen certifies shards clean, a
+:class:`~repro.serve.engine.QueryEngine` holding the old generation
+keeps answering from it until :meth:`refresh` adopts the new one, and
+a corruption drill across an *in-flight* update aborts with the live
+generation intact.  The ``update`` artifact section is gated in CI
+against ``benchmarks/baselines/BENCH_update.json`` (every field exact;
+``update.cost_ratio`` additionally gates upward-only).
+
 Regenerate a baseline after an intentional serving change::
 
     PYTHONPATH=src python -m repro.serve.bench \
         --codec u16q --out benchmarks/baselines/BENCH_serve_u16q.json
+    PYTHONPATH=src python -m repro.serve.bench \
+        --update --out benchmarks/baselines/BENCH_update.json
 
 ``--curve accuracy_latency.json`` instead sweeps every codec and
 writes the accuracy-vs-latency curve artifact
@@ -73,6 +91,7 @@ import numpy as np
 
 from ..exceptions import BenchmarkError, StoreCorruptionError
 from ..faults import StoreCorruptionSpec
+from ..graphs import attach_random_weights
 from ..graphs.rmat import rmat
 from ..obs.artifact import build_artifact, write_artifact
 from ..obs.metrics import MetricsRegistry, use_registry
@@ -82,11 +101,16 @@ from .codecs import codec_names
 from .engine import QueryEngine
 from .replay import ServeCostModel, replay_threaded, replay_virtual
 from .slo import SLOSpec, evaluate_slo
-from .store import solve_to_store
+from .store import DistStore, solve_to_store
 from .telemetry import JsonlSink, TelemetryCollector, export_request_trace
 from .traffic import TrafficSpec, generate_trace
+from .update import (
+    apply_edge_updates,
+    apply_updates_to_graph,
+    parse_edge_updates,
+)
 
-__all__ = ["run_serve_smoke", "run_codec_curve", "main"]
+__all__ = ["run_serve_smoke", "run_update_smoke", "run_codec_curve", "main"]
 
 #: workload identity — bump when any knob below changes so a stale
 #: baseline fails on params instead of on mysterious counters
@@ -130,6 +154,29 @@ SMOKE_SLO = SLOSpec(name="point", threshold=0.005, objective=0.9,
 #: ~6 events/request the 512-request trace emits, so the ring never
 #: evicts and ``--request-trace`` can export any exemplar
 TELEMETRY_CAPACITY = 32768
+
+#: the update-smoke runs on the *weighted* variant of the bench graph
+#: (continuous weights keep the ALT certificates' strict inequalities
+#: generic — no unit-weight ties), seeded so every host sees the same
+#: weights
+UPDATE_WEIGHT_SEED = 7
+
+#: the pinned edge-update batch: one insert ((32, 35) is a non-edge
+#: whose new weight undercuts the old d(32, 35), dirtying two rows in
+#: shard 2 only), one upward reweight of the heavy (16, 27) edge and
+#: one delete of the heaviest hub edge (64, 119) — both provably on no
+#: shortest path, so the landmark prescreen certifies every other
+#: shard clean without touching the solver
+SMOKE_UPDATE_BATCH = "set=32,35,4.681;set=16,27,9.9;del=64,119"
+
+#: the in-flight drill batch (applied on top of the first batch, then
+#: aborted): decreasing (23, 55) well below its old weight guarantees
+#: dirty shards, i.e. pending copy-on-write files to damage
+DRILL_UPDATE_BATCH = "set=23,55,2.5"
+
+#: hard ceiling on the update's deterministic row-unit cost relative
+#: to a full rebuild — the point of incremental updates
+UPDATE_COST_GATE = 0.5
 
 
 def _store_fingerprint(store) -> int:
@@ -599,6 +646,303 @@ def run_serve_smoke(
             tmp.cleanup()
 
 
+def run_update_smoke(
+    *,
+    scale: int = DEFAULT_SCALE,
+    edge_factor: int = DEFAULT_EDGE_FACTOR,
+    seed: int = DEFAULT_SEED,
+    shard_rows: int = DEFAULT_SHARD_ROWS,
+    cache_shards: int = DEFAULT_CACHE_SHARDS,
+    codec: str = "raw",
+    store_dir: Optional[str] = None,
+) -> Tuple[Dict[str, object], MetricsRegistry]:
+    """Run the incremental-update smoke; returns ``(artifact, registry)``.
+
+    Builds a store from the weighted bench graph, applies the pinned
+    :data:`SMOKE_UPDATE_BATCH` through
+    :func:`~repro.serve.update.apply_edge_updates` and asserts, with
+    :class:`~repro.exceptions.BenchmarkError` on any failure:
+
+    * **byte-identity** — the updated store's fingerprint (and byte
+      size) equals a from-scratch :func:`solve_to_store` of the
+      mutated graph;
+    * **incrementality** — the deterministic row-unit cost is below
+      :data:`UPDATE_COST_GATE` of a full rebuild, and the landmark
+      prescreen certified at least one shard clean;
+    * **correctness** — the updated store decodes within its certified
+      error of an exact solve of the mutated graph;
+    * **generation safety** — an engine opened before the update keeps
+      answering from the old generation until
+      :meth:`~repro.serve.engine.QueryEngine.refresh`, which adopts
+      the new one and serves the post-update distances;
+    * **in-flight durability** — a corruption drill that damages a
+      pending copy-on-write file mid-update aborts the swap, leaving
+      the live generation intact on disk and no orphaned files.
+
+    The pinned batch's vertex ids are tuned to the default graph knobs;
+    non-default ``scale``/``seed`` are for exploration only.
+    """
+    base = rmat(
+        scale,
+        edge_factor=edge_factor,
+        seed=seed,
+        name=f"rmat-s{scale}-ef{edge_factor}",
+    )
+    graph = attach_random_weights(base, seed=UPDATE_WEIGHT_SEED)
+    n = graph.num_vertices
+    tmp = None
+    if store_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-update-smoke-")
+        store_dir = tmp.name + "/store"
+    try:
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            t0 = time.perf_counter()
+            store = solve_to_store(
+                graph,
+                store_dir,
+                shard_rows=shard_rows,
+                num_landmarks=DEFAULT_LANDMARKS,
+                codec=codec,
+            )
+            build_wall = time.perf_counter() - t0
+            if store.generation != 0:
+                raise BenchmarkError(
+                    "update smoke: fresh build did not start at "
+                    f"generation 0 (got {store.generation})"
+                )
+            old_fingerprint = _store_fingerprint(store)
+
+            # an engine holding the pre-update generation: it must keep
+            # serving it, unmixed, until it explicitly refreshes
+            engine = QueryEngine(store, cache_shards=cache_shards)
+            updates = parse_edge_updates(SMOKE_UPDATE_BATCH)
+            probe_pairs = sorted(
+                {upd.key for upd in updates}
+                | {(u, u + 1) for u in range(0, n - 1, max(1, n // 8))}
+            )
+            old_answers = {
+                (u, v): float(engine.dist(u, v)) for u, v in probe_pairs
+            }
+
+            t0 = time.perf_counter()
+            result = apply_edge_updates(store, graph, updates)
+            update_wall = time.perf_counter() - t0
+            updated = result.store
+
+        if result.generation != 1 or updated.generation != 1:
+            raise BenchmarkError(
+                "update smoke: expected generation 1 after one update, "
+                f"got result {result.generation} / store "
+                f"{updated.generation}"
+            )
+        if not result.dirty_shards:
+            raise BenchmarkError(
+                "update smoke: the pinned batch dirtied no shards — "
+                "the copy-on-write path was never exercised"
+            )
+        if result.certified_clean_shards <= 0:
+            raise BenchmarkError(
+                "update smoke: the landmark prescreen certified no "
+                "shard clean — the ALT certificates are not engaging"
+            )
+        if result.cost_ratio >= UPDATE_COST_GATE:
+            raise BenchmarkError(
+                f"update smoke: update cost {result.cost_rows} rows is "
+                f"{result.cost_ratio:.3f}x a full rebuild "
+                f"({result.rebuild_rows} rows), not below "
+                f"{UPDATE_COST_GATE}"
+            )
+
+        # byte-identity: the updated store vs a from-scratch build of
+        # the mutated graph — same fingerprint, same size
+        new_graph = apply_updates_to_graph(graph, updates)
+        with use_registry(registry):
+            t0 = time.perf_counter()
+            fresh = solve_to_store(
+                new_graph,
+                store_dir + "-rebuild",
+                shard_rows=shard_rows,
+                num_landmarks=DEFAULT_LANDMARKS,
+                codec=codec,
+            )
+            rebuild_wall = time.perf_counter() - t0
+        updated_fp = _store_fingerprint(updated)
+        rebuild_fp = _store_fingerprint(fresh)
+        if updated_fp != rebuild_fp:
+            raise BenchmarkError(
+                "update smoke: updated store fingerprint "
+                f"{updated_fp:#010x} differs from a from-scratch build "
+                f"of the mutated graph ({rebuild_fp:#010x}) — "
+                "incremental updates must be byte-identical"
+            )
+        if updated.store_bytes() != fresh.store_bytes():
+            raise BenchmarkError(
+                "update smoke: updated store is "
+                f"{updated.store_bytes()} bytes vs rebuild "
+                f"{fresh.store_bytes()}"
+            )
+
+        # correctness of the published bytes vs an exact solve
+        from ..core import solve_apsp
+
+        new_ref = solve_apsp(new_graph, use_flags=False).dist
+        observed = _observed_error(updated, new_ref)
+        if observed > updated.max_abs_error:
+            raise BenchmarkError(
+                f"update smoke: updated store decodes with error "
+                f"{observed:g}, above its certified bound "
+                f"{updated.max_abs_error:g}"
+            )
+
+        # generation safety: the old engine still serves generation 0
+        # answers, then refresh() adopts generation 1 atomically
+        for (u, v), before in old_answers.items():
+            if float(engine.dist(u, v)) != before:
+                raise BenchmarkError(
+                    f"update smoke: engine answer for ({u}, {v}) "
+                    "changed without a refresh — generations are mixing"
+                )
+        with use_registry(registry):
+            adopted = engine.refresh()
+        if adopted != 1:
+            raise BenchmarkError(
+                f"update smoke: refresh adopted generation {adopted}, "
+                "expected 1"
+            )
+        err_budget = updated.max_abs_error
+        swapped = 0
+        for u, v in probe_pairs:
+            got = float(engine.dist(u, v))
+            true = float(new_ref[u, v])
+            if np.isinf(true) != np.isinf(got) or (
+                np.isfinite(true) and abs(got - true) > err_budget
+            ):
+                raise BenchmarkError(
+                    f"update smoke: refreshed engine answers {got:g} "
+                    f"for ({u}, {v}), exact {true:g} — outside the "
+                    f"certified bound {err_budget:g}"
+                )
+            if got != old_answers[(u, v)]:
+                swapped += 1
+        if swapped == 0:
+            raise BenchmarkError(
+                "update smoke: no probed answer changed across the "
+                "update — the batch was a no-op for the probe set"
+            )
+
+        # in-flight corruption drill: damage a pending file after it is
+        # written but before the manifest swap; the update must abort
+        # with the live generation intact and no orphans left behind
+        drill = parse_edge_updates(DRILL_UPDATE_BATCH)
+        drill_gen = updated.generation + 1
+
+        def damage_pending(old_store, new_manifest):
+            suffix = f".g{drill_gen:04d}.bin"
+            for entry in new_manifest["shards"]:
+                if entry["file"].endswith(suffix):
+                    path = old_store.path / entry["file"]
+                    raw = bytearray(path.read_bytes())
+                    raw[0] ^= 0xFF
+                    path.write_bytes(bytes(raw))
+                    return
+            raise BenchmarkError(
+                "update smoke: drill batch produced no pending shard "
+                "files to damage"
+            )
+
+        try:
+            apply_edge_updates(
+                updated, new_graph, drill, pre_swap_hook=damage_pending
+            )
+        except StoreCorruptionError:
+            pass
+        else:
+            raise BenchmarkError(
+                "update smoke: in-flight corruption went undetected — "
+                "the damaged pending file was published"
+            )
+        survivor = DistStore.open(updated.path)
+        if survivor.generation != 1:
+            raise BenchmarkError(
+                "update smoke: aborted update left generation "
+                f"{survivor.generation} on disk, expected 1"
+            )
+        survivor.verify()
+        if _store_fingerprint(survivor) != updated_fp:
+            raise BenchmarkError(
+                "update smoke: aborted update changed the live "
+                "store's bytes"
+            )
+        drill_suffix = f".g{drill_gen:04d}.bin"
+        orphans = [
+            p.name
+            for p in survivor.path.iterdir()
+            if p.name.endswith(drill_suffix)
+        ]
+        if orphans:
+            raise BenchmarkError(
+                f"update smoke: aborted update left orphans {orphans}"
+            )
+
+        update: Dict[str, float] = {
+            "update.generation": float(result.generation),
+            "update.num_updates": float(result.num_updates),
+            "update.endpoints": float(len(result.endpoints)),
+            "update.candidate_shards": float(len(result.candidate_shards)),
+            "update.dirty_shards": float(len(result.dirty_shards)),
+            "update.certified_clean_shards": float(
+                result.certified_clean_shards
+            ),
+            "update.landmarks_rebuilt": float(result.landmarks_rebuilt),
+            "update.rows_resolved": float(result.rows_resolved),
+            "update.landmark_rows_resolved": float(
+                result.landmark_rows_resolved
+            ),
+            "update.cost_rows": float(result.cost_rows),
+            "update.rebuild_rows": float(result.rebuild_rows),
+            "update.cost_ratio": result.cost_ratio,
+            "update.fingerprint": float(updated_fp),
+            "update.rebuild_fingerprint": float(rebuild_fp),
+            "update.pre_update_fingerprint": float(old_fingerprint),
+            "update.store_bytes": float(updated.store_bytes()),
+            "update.observed_max_abs_error": observed,
+            "update.probe_answers_changed": float(swapped),
+            "update.drill_aborted": 1.0,
+        }
+        artifact = build_artifact(
+            "update-smoke",
+            params={
+                "workload_rev": WORKLOAD_REV,
+                "graph": graph.name,
+                "n": int(n),
+                "m": int(graph.num_edges),
+                "rmat_scale": scale,
+                "rmat_edge_factor": edge_factor,
+                "rmat_seed": seed,
+                "weight_seed": UPDATE_WEIGHT_SEED,
+                "shard_rows": shard_rows,
+                "cache_shards": cache_shards,
+                "codec": codec,
+                "num_landmarks": DEFAULT_LANDMARKS,
+                "update_batch": SMOKE_UPDATE_BATCH,
+                "drill_batch": DRILL_UPDATE_BATCH,
+                "cost_gate": UPDATE_COST_GATE,
+            },
+            timings={
+                "wall.store_build": build_wall,
+                "wall.update": update_wall,
+                "wall.rebuild": rebuild_wall,
+            },
+            registry=registry,
+            update=update,
+        )
+        return artifact, registry
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
 #: curve artifact schema (uploaded by CI, never gated)
 CURVE_SCHEMA_VERSION = "repro.serve.curve/1"
 
@@ -674,6 +1018,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "curve JSON here instead of a single artifact",
     )
     parser.add_argument(
+        "--update", action="store_true",
+        help="run the incremental-update smoke (pinned edge-update "
+        "batch, byte-identity and cost gates) instead of the serving "
+        "replay; write its artifact to --out",
+    )
+    parser.add_argument(
         "--events", metavar="PATH", default=None,
         help="write the optimised replay's telemetry event log "
         "(deterministic JSONL, repro.serve.telemetry/1) here",
@@ -697,6 +1047,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache_shards=args.cache_shards,
         epsilon=args.epsilon,
     )
+    if args.update:
+        artifact, _ = run_update_smoke(
+            scale=args.scale,
+            edge_factor=args.edge_factor,
+            seed=args.seed,
+            shard_rows=args.shard_rows,
+            cache_shards=args.cache_shards,
+            codec=args.codec,
+        )
+        path = write_artifact(args.out, artifact)
+        upd = artifact["update"]
+        print(f"wrote {path}")
+        print(
+            "  batch={!r}: dirty={:d}/{:d} shards (certified clean "
+            "{:d}), rows={:d}+{:d}lm, gen={:d}".format(
+                artifact["params"]["update_batch"],
+                int(upd["update.dirty_shards"]),
+                int(upd["update.candidate_shards"])
+                + int(upd["update.certified_clean_shards"]),
+                int(upd["update.certified_clean_shards"]),
+                int(upd["update.rows_resolved"]),
+                int(upd["update.landmark_rows_resolved"]),
+                int(upd["update.generation"]),
+            )
+        )
+        print(
+            "  cost: {:d} row-units vs rebuild {:d} "
+            "(ratio {:.3f} < gate {:g})  bytes identical to rebuild "
+            "(fingerprint {:#010x})".format(
+                int(upd["update.cost_rows"]),
+                int(upd["update.rebuild_rows"]),
+                upd["update.cost_ratio"],
+                artifact["params"]["cost_gate"],
+                int(upd["update.fingerprint"]),
+            )
+        )
+        print("  in-flight corruption drill: aborted cleanly, old "
+              "generation intact")
+        return 0
     if args.curve is not None:
         curve = run_codec_curve(**common)
         with open(args.curve, "w", encoding="utf-8") as fh:

@@ -80,10 +80,14 @@ class QueryEngine:
         self.cache_shards = cache_shards
         self.verify_loads = verify_loads
         self.epsilon = None if epsilon is None else float(epsilon)
-        self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        # cache keys are (generation, shard): after a refresh() adopts
+        # an updated store, rows of the old and new generation can never
+        # collide under one key, so no query ever mixes generations
+        self._cache: "OrderedDict[Tuple[int, int], np.ndarray]" = OrderedDict()
         self._lock = threading.Lock()
-        self._loading: Dict[int, threading.Event] = {}
-        self._landmarks: "np.ndarray | None" = None
+        self._loading: Dict[Tuple[int, int], threading.Event] = {}
+        #: (generation, rows) of the lazily pinned landmark rows
+        self._landmarks: "Tuple[int, np.ndarray] | None" = None
         self.stats: Dict[str, int] = {
             "hits": 0,
             "misses": 0,
@@ -99,21 +103,27 @@ class QueryEngine:
 
     # -- cache ----------------------------------------------------------
 
-    def _get_shard(self, index: int) -> np.ndarray:
-        """Cached shard fetch with single-flight coalescing."""
+    def _get_shard(self, store: DistStore, index: int) -> np.ndarray:
+        """Cached shard fetch with single-flight coalescing.
+
+        ``store`` is the caller's per-query snapshot of ``self.store``
+        (taken once at query entry), so a concurrent :meth:`refresh`
+        never switches generations in the middle of a query.
+        """
+        key = (store.generation, index)
         while True:
             with self._lock:
-                cached = self._cache.get(index)
+                cached = self._cache.get(key)
                 if cached is not None:
-                    self._cache.move_to_end(index)
+                    self._cache.move_to_end(key)
                     self.stats["hits"] += 1
                     _obs.counter_add("serve.cache.hits", 1)
                     _tel.emit("cache_hit", shard=index)
                     return cached
-                event = self._loading.get(index)
+                event = self._loading.get(key)
                 if event is None:
                     event = threading.Event()
-                    self._loading[index] = event
+                    self._loading[key] = event
                     leader = True
                 else:
                     leader = False
@@ -130,26 +140,51 @@ class QueryEngine:
                           time.perf_counter() - waited, shard=index)
                 continue
             try:
-                arr = self.store.load_shard(index, verify=self.verify_loads)
+                arr = store.load_shard(index, verify=self.verify_loads)
             finally:
                 # on load failure the waiters must not hang; they will
                 # retry, elect a new leader and surface the same error
                 with self._lock:
-                    self._loading.pop(index, None)
+                    self._loading.pop(key, None)
                 event.set()
             _tel.emit("cache_miss", shard=index)
             with self._lock:
                 self.stats["misses"] += 1
                 self.stats["shard_loads"] += 1
-                self.stats["bytes_loaded"] += self.store.shard_nbytes(index)
+                self.stats["bytes_loaded"] += store.shard_nbytes(index)
                 _obs.counter_add("serve.cache.misses", 1)
-                self._cache[index] = arr
-                self._cache.move_to_end(index)
+                self._cache[key] = arr
+                self._cache.move_to_end(key)
                 while len(self._cache) > self.cache_shards:
                     self._cache.popitem(last=False)
                     self.stats["evictions"] += 1
                     _obs.counter_add("serve.cache.evictions", 1)
             return arr
+
+    def refresh(self) -> int:
+        """Adopt the store's current on-disk generation; returns it.
+
+        Re-reads the manifest (one atomic file) and swaps the store
+        object under the lock.  In-flight queries keep their old
+        snapshot; later queries see the new generation.  Cached shards
+        of older generations are dropped so the LRU capacity serves
+        live traffic.  Emits a ``store_swap`` telemetry event when the
+        generation actually moved.
+        """
+        new_store = DistStore.open(self.store.path)
+        with self._lock:
+            old_gen = self.store.generation
+            self.store = new_store
+            self._landmarks = None
+            for key in [
+                k for k in self._cache if k[0] != new_store.generation
+            ]:
+                del self._cache[key]
+        if new_store.generation != old_gen:
+            _obs.counter_add("serve.engine.store_swaps", 1)
+            _tel.emit("store_swap", generation=new_store.generation,
+                      previous=old_gen)
+        return new_store.generation
 
     # -- queries --------------------------------------------------------
 
@@ -172,9 +207,10 @@ class QueryEngine:
         """
         self._check_vertex(u, "u")
         self._check_vertex(v, "v")
+        store = self.store  # one generation snapshot for the whole query
         with _obs.span("serve.query.point"):
-            if self.epsilon is not None and self.num_landmarks > 0:
-                lo, hi = self._bounds(u, v)
+            if self.epsilon is not None and len(store.landmark_ids) > 0:
+                lo, hi = self._bounds(u, v, store=store)
                 # lo == hi covers the both-inf case, where hi - lo is nan
                 if lo == hi or hi - lo <= self.epsilon:
                     with self._lock:
@@ -183,17 +219,18 @@ class QueryEngine:
                     _tel.emit("short_circuit", lo=lo, hi=hi,
                               epsilon=self.epsilon)
                     return (lo + hi) / 2.0
-            index = self.store.shard_of(u)
-            start, _ = self.store.shard_span(index)
-            return float(self._get_shard(index)[u - start, v])
+            index = store.shard_of(u)
+            start, _ = store.shard_span(index)
+            return float(self._get_shard(store, index)[u - start, v])
 
     def dist_from(self, u: int) -> np.ndarray:
         """Exact distance row ``d(u, ·)`` as a private copy."""
         self._check_vertex(u, "u")
+        store = self.store
         with _obs.span("serve.query.row"):
-            index = self.store.shard_of(u)
-            start, _ = self.store.shard_span(index)
-            return self._get_shard(index)[u - start].copy()
+            index = store.shard_of(u)
+            start, _ = store.shard_span(index)
+            return self._get_shard(store, index)[u - start].copy()
 
     def top_k(self, u: int, k: int) -> List[Tuple[int, float]]:
         """The ``k`` nearest reachable vertices to ``u`` (excluding ``u``).
@@ -207,17 +244,22 @@ class QueryEngine:
         self._check_vertex(u, "u")
         if not isinstance(k, int) or isinstance(k, bool) or k < 1:
             raise ServeError(f"k must be an int >= 1, got {k!r}")
+        store = self.store
         with _obs.span("serve.query.topk"):
-            index = self.store.shard_of(u)
-            start, _ = self.store.shard_span(index)
-            row = self._get_shard(index)[u - start]
+            index = store.shard_of(u)
+            start, _ = store.shard_span(index)
+            row = self._get_shard(store, index)[u - start]
             reachable = np.flatnonzero((row < INF) & (np.arange(len(row)) != u))
+            vals = row[reachable]
             if len(reachable) > k:
-                part = reachable[np.argpartition(row[reachable], k - 1)[:k]]
-            else:
-                part = reachable
-            order = np.lexsort((part, row[part]))
-            return [(int(part[i]), float(row[part[i]])) for i in order]
+                # keep EVERY candidate at the k-th distance, not an
+                # arbitrary argpartition pick, so a tie group straddling
+                # the boundary resolves by vertex id in the lexsort
+                kth = np.partition(vals, k - 1)[k - 1]
+                keep = vals <= kth
+                reachable, vals = reachable[keep], vals[keep]
+            order = np.lexsort((reachable, vals))[:k]
+            return [(int(reachable[i]), float(vals[i])) for i in order]
 
     def dist_batch(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
         """Answer many point queries with one gather per source shard.
@@ -232,18 +274,19 @@ class QueryEngine:
         out = np.empty(len(pairs), dtype=np.float64)
         if not pairs:
             return out
-        with _obs.span("serve.query.batch"):
+        store = self.store  # one snapshot: the whole batch answers from
+        with _obs.span("serve.query.batch"):  # a single generation
             us = np.fromiter((p[0] for p in pairs), dtype=np.int64,
                              count=len(pairs))
             vs = np.fromiter((p[1] for p in pairs), dtype=np.int64,
                              count=len(pairs))
-            shard_ids = us // self.store.shard_rows
+            shard_ids = us // store.shard_rows
             self.stats["batch_queries"] += len(pairs)
             _obs.counter_add("serve.batch.queries", len(pairs))
             for index in np.unique(shard_ids):
                 mask = shard_ids == index
-                start, _ = self.store.shard_span(int(index))
-                arr = self._get_shard(int(index))
+                start, _ = store.shard_span(int(index))
+                arr = self._get_shard(store, int(index))
                 out[mask] = arr[us[mask] - start, vs[mask]]
                 self.stats["batch_gathers"] += 1
                 _obs.counter_add("serve.batch.gathers", 1)
@@ -257,22 +300,24 @@ class QueryEngine:
     def num_landmarks(self) -> int:
         return len(self.store.landmark_ids)
 
-    def _landmark_rows(self) -> np.ndarray:
-        """Lazily load the pinned landmark rows, once, under the lock."""
-        rows = self._landmarks
-        if rows is None:
-            with self._lock:
-                rows = self._landmarks
-                if rows is None:
-                    rows = self.store.landmark_rows(
-                        verify=self.verify_loads
-                    )
-                    self._landmarks = rows
+    def _landmark_rows(self, store: DistStore) -> np.ndarray:
+        """Lazily load the pinned landmark rows of one generation."""
+        cached = self._landmarks
+        if cached is not None and cached[0] == store.generation:
+            return cached[1]
+        with self._lock:
+            cached = self._landmarks
+            if cached is not None and cached[0] == store.generation:
+                return cached[1]
+            rows = store.landmark_rows(verify=self.verify_loads)
+            self._landmarks = (store.generation, rows)
         return rows
 
-    def _bounds(self, u: int, v: int) -> Tuple[float, float]:
+    def _bounds(
+        self, u: int, v: int, *, store: "DistStore | None" = None
+    ) -> Tuple[float, float]:
         """Uncounted ``(lo, hi)`` — shared by dist() and dist_approx()."""
-        rows = self._landmark_rows()
+        rows = self._landmark_rows(store if store is not None else self.store)
         du, dv = rows[:, u], rows[:, v]
         # both endpoints unreachable from a landmark ⇒ inf - inf = nan;
         # that landmark certifies nothing, so it contributes lo = 0
@@ -295,13 +340,14 @@ class QueryEngine:
         """
         self._check_vertex(u, "u")
         self._check_vertex(v, "v")
-        if self.num_landmarks == 0:
+        store = self.store
+        if len(store.landmark_ids) == 0:
             raise ServeError(
                 "store has no pinned landmarks; approximate answers "
                 "are unavailable (build with num_landmarks > 0)"
             )
         with _obs.span("serve.query.bounds"):
-            return self._bounds(u, v)
+            return self._bounds(u, v, store=store)
 
     def dist_approx(self, u: int, v: int) -> Tuple[float, float]:
         """Degraded-mode answer: the counted form of :meth:`dist_bounds`.
@@ -324,5 +370,6 @@ class QueryEngine:
         return self.stats["hits"] / total if total else 1.0
 
     def cached_shards(self) -> List[int]:
+        """Resident shard indices (of the currently adopted generation)."""
         with self._lock:
-            return list(self._cache)
+            return [index for _, index in self._cache]

@@ -40,6 +40,8 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import shutil
+import tempfile
 import time
 import zlib
 from pathlib import Path
@@ -97,6 +99,12 @@ class DistStore:
         #: store-recommended short-circuit gap for the query engine
         #: (``None`` = disabled); see StoreConfig.epsilon
         self.epsilon = manifest.get("epsilon")
+
+    @property
+    def generation(self) -> int:
+        """Monotonic update counter; 0 for a fresh build (and for any
+        store written before generations existed)."""
+        return int(self.manifest.get("generation", 0))
 
     # -- open / validate ------------------------------------------------
 
@@ -271,7 +279,10 @@ class DistStore:
                 raw = fpath.read_bytes()
             except OSError:
                 raw = b""
-            if _crc32(raw) != lm["crc32"]:
+            expected = len(lm["ids"]) * self.n * _DTYPE.itemsize
+            # same length check load_shard/landmark_rows apply: a
+            # truncated file must report corruption, not just a crc miss
+            if len(raw) != expected or _crc32(raw) != lm["crc32"]:
                 bad.append("landmarks")
         if bad:
             _obs.counter_add("serve.store.corruption_detected", len(bad))
@@ -370,12 +381,14 @@ def _write_landmarks(store: DistStore, graph, cfg) -> None:
         gen.close()
         rows[i] = block[vertex - start]
     raw = np.ascontiguousarray(rows).tobytes()
-    (store.path / store.manifest["landmarks"]["file"]).write_bytes(raw)
+    # verify BEFORE writing: a wrong-graph repair must leave whatever
+    # is on disk untouched instead of installing bytes it then rejects
     if _crc32(raw) != store.manifest["landmarks"]["crc32"]:
         raise StoreError(
             "landmark repair produced different bytes; is this the "
             "graph the store was built from?"
         )
+    (store.path / store.manifest["landmarks"]["file"]).write_bytes(raw)
 
 
 def solve_to_store(
@@ -407,7 +420,7 @@ def solve_to_store(
     pinned into ``landmarks.bin`` (always raw f8) for the serving
     layer's ALT bounds and degraded mode.
     """
-    from ..config import SolverConfig, StoreConfig
+    from ..config import StoreConfig
 
     if store_config is None:
         store_cfg = StoreConfig()
@@ -433,12 +446,43 @@ def solve_to_store(
         # dataclasses.replace re-runs StoreConfig validation
         store_cfg = dataclasses.replace(store_cfg, **overrides)
 
-    from ..core.runner import solve_apsp_shards
-
     path = Path(path)
     if path.exists() and any(path.iterdir()):
         raise StoreError(f"refusing to build a store in non-empty {path}")
-    path.mkdir(parents=True, exist_ok=True)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # build into a hidden temp sibling and rename into place on success:
+    # a crash mid-build leaves the target path absent (only a stray
+    # dot-dir beside it), so a retry is never blocked by partial output
+    build_dir = Path(
+        tempfile.mkdtemp(prefix=f".{path.name}.build-", dir=path.parent)
+    )
+    try:
+        manifest = _build_store_files(
+            graph,
+            build_dir,
+            store_cfg=store_cfg,
+            config=config,
+            kwargs=kwargs,
+        )
+        if path.exists():
+            path.rmdir()  # known empty from the check above
+        os.replace(build_dir, path)
+    except BaseException:
+        shutil.rmtree(build_dir, ignore_errors=True)
+        raise
+    _obs.counter_add("serve.store.builds", 1)
+    return DistStore(path, manifest)
+
+
+def _build_store_files(graph, path, *, store_cfg, config, kwargs):
+    """Solve + encode + write every store file into ``path``.
+
+    Returns the manifest dict (also written to ``path``).  Factored out
+    of :func:`solve_to_store` so the caller owns directory lifecycle
+    (temp-sibling build, atomic rename).
+    """
+    from ..config import SolverConfig
+    from ..core.runner import solve_apsp_shards
 
     if config is None:
         cfg = SolverConfig.from_kwargs(**kwargs)
@@ -498,6 +542,7 @@ def solve_to_store(
         "n": n,
         "shard_rows": min(shard_rows, max(1, n)),
         "num_shards": len(shards),
+        "generation": 0,
         "dtype": _DTYPE.str,
         "codec": store_cfg.codec,
         "codec_params": codec_params,
@@ -513,5 +558,4 @@ def solve_to_store(
         "config": cfg.to_dict(),
     }
     (path / _MANIFEST).write_text(json.dumps(manifest, indent=2) + "\n")
-    _obs.counter_add("serve.store.builds", 1)
-    return DistStore(path, manifest)
+    return manifest

@@ -83,6 +83,7 @@ EVENT_KINDS = (
     "short_circuit",  # ALT bounds answered without shard I/O
     "batch_gather",   # micro-batched gather this request rode in
     "answer",         # final status + latency (+ lo/hi error bar)
+    "store_swap",     # engine adopted a new store generation (updates)
 )
 
 #: event kind → unified repro.trace category for Perfetto export:

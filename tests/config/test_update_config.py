@@ -1,0 +1,58 @@
+"""UpdateConfig: validation and round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import UpdateConfig
+from repro.exceptions import ConfigError
+
+
+@st.composite
+def update_configs(draw):
+    return UpdateConfig(
+        prescreen=draw(st.booleans()),
+        verify_before=draw(st.booleans()),
+        prune=draw(st.booleans()),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=20, deadline=None)
+    @given(update_configs())
+    def test_dict_round_trip_is_identity(self, cfg):
+        assert UpdateConfig.from_dict(cfg.to_dict()) == cfg
+        json.dumps(cfg.to_dict())  # plain JSON, no exotic objects
+
+    def test_defaults(self):
+        cfg = UpdateConfig()
+        assert cfg.prescreen is True
+        assert cfg.verify_before is True
+        assert cfg.prune is False
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        ("field", "build"),
+        [
+            ("update.prescreen", lambda: UpdateConfig(prescreen=1)),
+            ("update.verify_before",
+             lambda: UpdateConfig(verify_before="yes")),
+            ("update.prune", lambda: UpdateConfig(prune=0.0)),
+        ],
+    )
+    def test_bad_values_name_the_field(self, field, build):
+        with pytest.raises(ConfigError, match=field):
+            build()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            UpdateConfig.from_dict({"prescreen": True, "bogus": 1})
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(ConfigError, match="mapping"):
+            UpdateConfig.from_dict([("prescreen", True)])

@@ -143,3 +143,40 @@ class TestDetectionAndRepair:
             store.landmark_rows()
         assert store.repair(graph) == ["landmarks"]
         assert lm_path.read_bytes() == before
+
+    def test_landmark_target_dsl_and_dict_round_trip(self):
+        spec = parse_store_corruption("target=landmarks,nbytes=2,seed=3")
+        assert spec.target == "landmarks"
+        assert spec.shard == 0  # auto-filled, unused for this target
+        assert spec.to_dict() == {
+            "shard": 0, "nbytes": 2, "seed": 3, "target": "landmarks",
+        }
+        assert StoreCorruptionSpec.from_dict(spec.to_dict()) == spec
+        # the default target stays out of the dict for older readers
+        assert "target" not in StoreCorruptionSpec(shard=1).to_dict()
+        with pytest.raises(FaultPlanError):
+            StoreCorruptionSpec(shard=0, target="manifest")
+
+    def test_landmark_target_resolves_and_damages(self, built):
+        store, graph = built
+        spec = StoreCorruptionSpec(shard=0, nbytes=3, seed=4,
+                                   target="landmarks")
+        target = spec.resolve(store)
+        assert target == store.path / store.manifest["landmarks"]["file"]
+        spec.apply_to_store(store)
+        with pytest.raises(StoreCorruptionError) as exc_info:
+            store.verify()
+        assert exc_info.value.shards == ("landmarks",)
+        assert store.repair(graph) == ["landmarks"]
+        store.verify()
+
+    def test_landmark_target_requires_pinned_landmarks(
+        self, small_weighted, tmp_path
+    ):
+        store = solve_to_store(
+            small_weighted, tmp_path / "bare", shard_rows=32,
+            num_landmarks=0,
+        )
+        spec = StoreCorruptionSpec(shard=0, target="landmarks")
+        with pytest.raises(FaultPlanError, match="no landmarks"):
+            spec.resolve(store)

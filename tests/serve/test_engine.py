@@ -44,6 +44,24 @@ class TestQueries:
             assert [v for v, _ in got] == expect
             assert all(d == ref[u, v] for v, d in got)
 
+    def test_top_k_tie_group_straddling_k(self, tmp_path):
+        # star: every leaf is at exactly 1.0 from the hub, leaves are
+        # at exactly 2.0 from each other — tie groups wider than k.
+        # An argpartition-style cutoff keeps an *arbitrary* subset of
+        # the boundary tie group; the contract is smallest-id-first.
+        from repro.graphs import star
+
+        store = solve_to_store(star(9), tmp_path / "ties", shard_rows=4)
+        engine = QueryEngine(store)
+        assert engine.top_k(0, 3) == [(1, 1.0), (2, 1.0), (3, 1.0)]
+        # from a leaf: one neighbour at 1.0, then a 7-way tie at 2.0
+        # straddles every k in 2..7
+        for k in (2, 4, 6):
+            expect = [(0, 1.0)] + [
+                (v, 2.0) for v in range(2, 9) if v != 1
+            ][: k - 1]
+            assert engine.top_k(1, k) == expect
+
     def test_top_k_larger_than_component(self, served):
         store, ref = served
         engine = QueryEngine(store)

@@ -310,3 +310,79 @@ class TestStoreValidation:
         cfg = SolverConfig.from_dict(store.manifest["config"])
         assert cfg.algorithm.use_flags is False
         assert cfg.parallel.backend == "serial"
+
+
+class TestAtomicBuild:
+    def test_mid_build_fault_leaves_target_absent(
+        self, small_weighted, tmp_path, monkeypatch
+    ):
+        import repro.core.runner as runner
+
+        real = runner.solve_apsp_shards
+
+        def exploding(*args, **kwargs):
+            inner = real(*args, **kwargs)
+
+            def wrap():
+                yield next(inner)
+                raise RuntimeError("injected mid-build fault")
+
+            return wrap()
+
+        monkeypatch.setattr(runner, "solve_apsp_shards", exploding)
+        target = tmp_path / "store"
+        with pytest.raises(RuntimeError, match="mid-build"):
+            solve_to_store(small_weighted, target, shard_rows=16)
+        # the build happened in a temp sibling: the target path never
+        # existed, and the sibling is swept on failure
+        assert not target.exists()
+        assert not list(tmp_path.glob(".store.build-*"))
+        # a retry is not blocked by partial output
+        monkeypatch.undo()
+        store = solve_to_store(small_weighted, target, shard_rows=16)
+        store.verify()
+
+
+class TestLandmarkIntegrity:
+    def test_failed_repair_leaves_damaged_file_untouched(
+        self, store_and_ref, tmp_path
+    ):
+        from repro.graphs import attach_random_weights, barabasi_albert
+
+        store, _ = store_and_ref
+        lm_path = store.path / store.manifest["landmarks"]["file"]
+        raw = bytearray(lm_path.read_bytes())
+        raw[0] ^= 0xFF
+        lm_path.write_bytes(bytes(raw))
+        damaged = lm_path.read_bytes()
+        imposter = attach_random_weights(
+            barabasi_albert(store.n, 3, seed=9), seed=77
+        )
+        with pytest.raises(StoreError, match="graph"):
+            store.repair(imposter)
+        # verify-before-write: the failed repair must not have installed
+        # the imposter's landmark bytes over the damaged file
+        assert lm_path.read_bytes() == damaged
+
+    def test_verify_flags_wrong_length_even_with_matching_crc(
+        self, store_and_ref
+    ):
+        from repro.exceptions import StoreCorruptionError
+        from repro.serve.store import _crc32
+
+        store, _ = store_and_ref
+        lm_path = store.path / store.manifest["landmarks"]["file"]
+        padded = lm_path.read_bytes() + b"\x00" * 16
+        lm_path.write_bytes(padded)
+        manifest_path = store.path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["landmarks"]["crc32"] = _crc32(padded)
+        manifest_path.write_text(json.dumps(manifest))
+        reopened = DistStore.open(store.path)
+        # the checksum matches the padded bytes; only the length check
+        # can catch this, both in verify() and on the read path
+        with pytest.raises(StoreCorruptionError) as exc_info:
+            reopened.verify()
+        assert "landmarks" in exc_info.value.shards
+        with pytest.raises(StoreCorruptionError, match="bytes"):
+            reopened.landmark_rows()
