@@ -25,10 +25,26 @@ Serving queries out-of-core (see ``docs/serving.md``)::
     store = solve_to_store(graph, "apsp_store", shard_rows=256)
     engine = QueryEngine(store, cache_shards=8)
     engine.dist(3, 250)    # point query through the LRU shard cache
+
+Multi-node: sharded serving and simulated cluster builds (see
+``docs/distributed.md``)::
+
+    from repro import RoutedEngine, ShardRouter, solve_apsp_cluster
+    router = ShardRouter(4, replication=2)     # consistent-hash ring
+    routed = RoutedEngine(store, router)       # same answers, N nodes
+    from repro.dist import CLUSTER_FAST
+    build = solve_apsp_cluster(graph, CLUSTER_FAST)   # exact + costed
 """
 
 from ._version import __version__
-from .config import SolverConfig, StoreConfig, UpdateConfig, load_config
+from .config import (
+    ServeConfig,
+    SolverConfig,
+    StoreConfig,
+    UpdateConfig,
+    load_config,
+    load_serve_config,
+)
 from .core import (
     ShardHooks,
     SolverSpec,
@@ -46,7 +62,7 @@ from .core import (
     solver_names,
 )
 from .exceptions import NegativeCycleError, NegativeWeightError
-from .dist import ClusterSpec, simulate_distributed_apsp
+from .dist import ClusterSpec, simulate_distributed_apsp, solve_apsp_cluster
 from .core.state import APSPResult
 from .faults import FaultPlan, StoreCorruptionSpec
 from .graphs import CSRGraph, from_edges, load_dataset
@@ -55,7 +71,9 @@ from .serve import (
     DistStore,
     EdgeUpdate,
     QueryEngine,
+    RoutedEngine,
     ServeFrontend,
+    ShardRouter,
     apply_edge_updates,
     solve_to_store,
 )
@@ -82,12 +100,15 @@ __all__ = [
     "solver_names",
     "NegativeCycleError",
     "NegativeWeightError",
+    "ServeConfig",
     "SolverConfig",
     "StoreConfig",
     "UpdateConfig",
     "load_config",
+    "load_serve_config",
     "ClusterSpec",
     "simulate_distributed_apsp",
+    "solve_apsp_cluster",
     "APSPResult",
     "FaultPlan",
     "StoreCorruptionSpec",
@@ -98,7 +119,9 @@ __all__ = [
     "simulate_order",
     "DistStore",
     "QueryEngine",
+    "RoutedEngine",
     "ServeFrontend",
+    "ShardRouter",
     "solve_to_store",
     "EdgeUpdate",
     "apply_edge_updates",

@@ -10,6 +10,7 @@ Subcommands
 ``bench``    — regenerate paper tables/figures (the harness).
 ``store``    — build a sharded on-disk distance store (repro.serve).
 ``query``    — answer point/row/top-k queries from a distance store.
+``dist``     — simulated multi-node cluster build (repro.dist).
 ``serve-bench`` — deterministic query-serving bench (BENCH artifact).
 ``monitor``  — tail / summarize / validate a telemetry event log.
 ``datasets`` — list the dataset registry.
@@ -18,6 +19,10 @@ Subcommands
 ``solve`` accepts ``--config cfg.json`` (a serialized
 :class:`repro.config.SolverConfig`), making a run reproducible from one
 artifact; explicit CLI flags override individual fields of the file.
+``store``, ``query`` and ``serve-bench`` accept the serving analogue
+(a serialized :class:`repro.config.ServeConfig`) the same way, and
+``store`` / ``serve-bench`` can emit the resolved bundle with
+``--save-config``.
 """
 
 from __future__ import annotations
@@ -269,6 +274,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="recommended ALT short-circuit gap recorded in the "
         "manifest (0 = exact-gap only; omit to disable)",
     )
+    store.add_argument(
+        "--config", metavar="PATH", default=None,
+        help="serialized repro.config.ServeConfig; its store group "
+        "supplies the defaults (explicit flags still win)",
+    )
+    store.add_argument(
+        "--save-config", metavar="PATH", default=None,
+        help="write the resolved ServeConfig of this build as JSON",
+    )
 
     update = sub.add_parser(
         "update",
@@ -330,6 +344,64 @@ def build_parser() -> argparse.ArgumentParser:
         "their certified gap is <= EPS (no shard load); overrides the "
         "store's recorded epsilon",
     )
+    query.add_argument(
+        "--config", metavar="PATH", default=None,
+        help="serialized repro.config.ServeConfig for the query "
+        "engine (cache size, epsilon, ...); explicit flags still win",
+    )
+
+    dist = sub.add_parser(
+        "dist",
+        help="simulated multi-node cluster build (repro.dist): "
+        "partition APSP sources across ranks, cost the network",
+    )
+    dsrc = dist.add_mutually_exclusive_group(required=True)
+    dsrc.add_argument("--dataset", choices=dataset_names())
+    dsrc.add_argument("--edgelist", help="path to a SNAP-format edge list")
+    dsrc.add_argument(
+        "--rmat", type=int, metavar="SCALE",
+        help="synthetic R-MAT graph with 2**SCALE vertices (seeded)",
+    )
+    dist.add_argument("--scale", type=int, default=None)
+    dist.add_argument("--seed", type=int, default=42)
+    dist.add_argument("--edge-factor", type=int, default=8)
+    dist.add_argument("--directed", action="store_true")
+    dist.add_argument(
+        "--cluster", choices=("fast", "commodity"), default=None,
+        help="named cluster preset (latency/bandwidth calibration); "
+        "default 'fast' unless --nodes builds a custom spec",
+    )
+    dist.add_argument(
+        "--nodes", type=int, default=None, metavar="N",
+        help="custom cluster: number of nodes (overrides --cluster)",
+    )
+    dist.add_argument(
+        "--threads-per-node", type=int, default=16, metavar="T",
+        help="threads per node for a custom --nodes cluster",
+    )
+    dist.add_argument(
+        "--shard-rows", type=int, default=None,
+        help="rows per shard (default: ceil(n / num_nodes))",
+    )
+    dist.add_argument(
+        "--algorithm", default=None, choices=algorithm_names(),
+        help="per-rank solver from the registry (default parapsp)",
+    )
+    dist.add_argument(
+        "--replication", type=int, default=None, metavar="R",
+        help="also place the build's shards on a consistent-hash ring "
+        "with R replicas and print the per-node placement",
+    )
+    dist.add_argument(
+        "--fault-plan", metavar="DSL", default=None,
+        help="node faults during the build, e.g. "
+        "'kill:worker=1,after=2;stall:worker=0,for=0.1' — recovered "
+        "distances stay bitwise-equal to the fault-free build",
+    )
+    dist.add_argument(
+        "--json", action="store_true",
+        help="print the ClusterBuildResult summary as JSON",
+    )
 
     serve_bench = sub.add_parser(
         "serve-bench",
@@ -362,6 +434,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument(
         "--request-trace", metavar="PATH", default=None,
         help="export the slowest request as a Chrome/Perfetto trace",
+    )
+    serve_bench.add_argument(
+        "--config", metavar="PATH", default=None,
+        help="serialized repro.config.ServeConfig; its store/engine "
+        "fields become the bench defaults (explicit flags still win)",
+    )
+    serve_bench.add_argument(
+        "--save-config", metavar="PATH", default=None,
+        help="write the effective ServeConfig of this bench as JSON",
     )
 
     monitor = sub.add_parser(
@@ -696,19 +777,49 @@ def _cmd_store(args: argparse.Namespace) -> int:
     from .serve import solve_to_store
 
     graph = _solve_graph(args)
+    store_kwargs = dict(
+        shard_rows=args.shard_rows,
+        num_landmarks=args.landmarks,
+        codec=args.codec,
+        epsilon=args.epsilon,
+    )
+    serve_cfg = None
+    if args.config:
+        from .config import load_serve_config
+        from .exceptions import ConfigError
+
+        try:
+            serve_cfg = load_serve_config(args.config)
+        except ConfigError as exc:
+            raise SystemExit(f"repro-apsp store: error: --config: {exc}")
+        # keep only the flags the user actually set, so file fields are
+        # not clobbered by CLI defaults (an explicit flag still wins)
+        cli_defaults = dict(
+            shard_rows=256, num_landmarks=8, codec="raw", epsilon=None,
+        )
+        store_kwargs = {
+            key: value
+            for key, value in store_kwargs.items()
+            if value != cli_defaults[key]
+        }
     t0 = time.perf_counter()
     try:
         store = solve_to_store(
-            graph,
-            args.out,
-            shard_rows=args.shard_rows,
-            num_landmarks=args.landmarks,
-            codec=args.codec,
-            epsilon=args.epsilon,
+            graph, args.out, serve_config=serve_cfg, **store_kwargs
         )
     except ReproError as exc:
         raise SystemExit(f"repro-apsp store: error: {exc}")
     wall = time.perf_counter() - t0
+    if args.save_config:
+        from .config import ServeConfig
+
+        base = serve_cfg if serve_cfg is not None else ServeConfig()
+        resolved = base.with_overrides(
+            **{k: v for k, v in store_kwargs.items() if v is not None}
+        )
+        with open(args.save_config, "w", encoding="utf-8") as fh:
+            fh.write(resolved.to_json(indent=2) + "\n")
+        print(f"config saved : {args.save_config}")
     sizes = [store.shard_nbytes(i) for i in range(store.num_shards)]
     total = sum(sizes)
     raw_equiv = store.n * store.n * 8
@@ -772,9 +883,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from .exceptions import ReproError
     from .serve import DistStore, QueryEngine
 
+    serve_cfg = None
+    if args.config:
+        from .config import load_serve_config
+        from .exceptions import ConfigError
+
+        try:
+            serve_cfg = load_serve_config(args.config)
+        except ConfigError as exc:
+            raise SystemExit(f"repro-apsp query: error: --config: {exc}")
     try:
         store = DistStore.open(args.store)
-        engine = QueryEngine(store, epsilon=args.max_error)
+        engine = QueryEngine(
+            store, epsilon=args.max_error, serve_config=serve_cfg
+        )
         if args.top_k is not None:
             nearest = engine.top_k(args.u, args.top_k)
             print(f"top-{args.top_k} nearest to {args.u}:")
@@ -828,10 +950,100 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         argv += ["--events-sample", str(args.events_sample)]
     if args.request_trace is not None:
         argv += ["--request-trace", args.request_trace]
+    if args.config is not None:
+        argv += ["--config", args.config]
+    if args.save_config is not None:
+        argv += ["--save-config", args.save_config]
     try:
         return serve_bench.main(argv)
     except ReproError as exc:
         raise SystemExit(f"repro-apsp serve-bench: error: {exc}")
+
+
+def _cmd_dist(args: argparse.Namespace) -> int:
+    import json as _json
+    import time
+
+    from .dist import (
+        CLUSTER_COMMODITY,
+        CLUSTER_FAST,
+        ClusterSpec,
+        solve_apsp_cluster,
+    )
+    from .exceptions import ReproError
+
+    graph = _solve_graph(args)
+    if args.nodes is not None:
+        cluster = ClusterSpec(
+            name=f"custom-{args.nodes}x{args.threads_per_node}",
+            num_nodes=args.nodes,
+            threads_per_node=args.threads_per_node,
+        )
+    elif args.cluster == "commodity":
+        cluster = CLUSTER_COMMODITY
+    else:
+        cluster = CLUSTER_FAST
+    fault_plan = None
+    if args.fault_plan:
+        from .exceptions import FaultPlanError
+        from .faults import parse_fault_plan
+
+        try:
+            fault_plan = parse_fault_plan(args.fault_plan)
+        except FaultPlanError as exc:
+            raise SystemExit(f"repro-apsp dist: error: --fault-plan: {exc}")
+    solver_kwargs = {}
+    if args.algorithm is not None:
+        solver_kwargs["algorithm"] = args.algorithm
+    t0 = time.perf_counter()
+    try:
+        result = solve_apsp_cluster(
+            graph,
+            cluster,
+            shard_rows=args.shard_rows,
+            fault_plan=fault_plan,
+            **solver_kwargs,
+        )
+    except ReproError as exc:
+        raise SystemExit(f"repro-apsp dist: error: {exc}")
+    wall = time.perf_counter() - t0
+    placement = None
+    if args.replication is not None:
+        from .serve import ShardRouter
+
+        router = ShardRouter(
+            cluster.num_nodes, replication=args.replication
+        )
+        placement = {
+            str(node): shards
+            for node, shards in sorted(
+                router.placement(result.num_shards).items()
+            )
+        }
+    if args.json:
+        summary = result.to_summary()
+        if placement is not None:
+            summary["placement"] = placement
+        print(_json.dumps(summary, indent=2))
+        return 0
+    print(f"graph     : {graph!r}")
+    print(f"cluster   : {cluster.name} ({cluster.num_nodes} node(s) x "
+          f"{cluster.threads_per_node} thread(s))")
+    print(f"shards    : {result.num_shards} of {result.shard_rows} row(s)")
+    print(f"makespan  : {result.makespan:g} work units "
+          f"(assembly {result.assembly_time:g})")
+    print(f"network   : {result.network_bytes} bytes shuffled")
+    if result.lost_ranks:
+        print(f"faults    : lost rank(s) {list(result.lost_ranks)}; "
+              f"{len(result.recovered_by)} shard(s) re-solved "
+              "(bitwise-equal to the fault-free build)")
+    if placement is not None:
+        print(f"placement : replication {args.replication} over "
+              f"{cluster.num_nodes} node(s)")
+        for node, shards in placement.items():
+            print(f"  node {node}: shards {shards}")
+    print(f"solved in : {wall:.3g} s (simulated cluster, exact answers)")
+    return 0
 
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
@@ -940,6 +1152,13 @@ def _cmd_info(args: argparse.Namespace) -> int:
     ))
     print()
     print("experiments:", ", ".join(experiment_ids()))
+    from .dist import CLUSTER_COMMODITY, CLUSTER_FAST
+
+    clusters = ", ".join(
+        f"{c.name} ({c.num_nodes}x{c.threads_per_node})"
+        for c in (CLUSTER_FAST, CLUSTER_COMMODITY)
+    )
+    print(f"clusters: {clusters} (repro.dist; see docs/distributed.md)")
     return 0
 
 
@@ -955,6 +1174,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "store": _cmd_store,
         "update": _cmd_update,
         "query": _cmd_query,
+        "dist": _cmd_dist,
         "serve-bench": _cmd_serve_bench,
         "monitor": _cmd_monitor,
         "datasets": _cmd_datasets,

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
@@ -59,7 +60,14 @@ __all__ = [
     "StoreConfig",
     "TelemetryConfig",
     "UpdateConfig",
+    "EngineConfig",
+    "AdmissionConfig",
+    "ServeCostConfig",
+    "RoutingConfig",
+    "ServeConfig",
     "load_config",
+    "load_serve_config",
+    "resolve_serve_config",
 ]
 
 #: queue disciplines of :func:`repro.core.modified_dijkstra_sssp`
@@ -691,3 +699,423 @@ def load_config(path: str) -> SolverConfig:
     except OSError as exc:
         _fail("config", f"cannot read {path!r}: {exc}")
     return SolverConfig.from_json(text)
+
+
+# ---------------------------------------------------------------------------
+# ServeConfig — one validated description of the whole serving stack
+# ---------------------------------------------------------------------------
+
+
+def _check_int(field_name: str, value: Any, minimum: int) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) \
+            or value < minimum:
+        _fail(
+            field_name,
+            f"must be an int >= {minimum}, got {value!r}",
+        )
+    return value
+
+
+def _check_nonneg(field_name: str, value: Any) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or not float(value) >= 0 or float(value) == float("inf"):
+        _fail(
+            field_name,
+            f"must be a finite number >= 0, got {value!r}",
+        )
+    return float(value)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Query-engine and virtual-replay knobs of the serving stack.
+
+    These are the levers that trade memory for latency on the read
+    path: the LRU shard-cache size, the virtual server count, and the
+    point micro-batching window of :func:`repro.serve.replay_virtual`.
+    """
+
+    cache_shards: int = 4
+    verify_loads: bool = True
+    num_servers: int = 2
+    batch_window: float = 1e-3
+    batch_max: int = 32
+
+    def __post_init__(self) -> None:
+        _check_int("engine.cache_shards", self.cache_shards, 1)
+        if not isinstance(self.verify_loads, bool):
+            _fail(
+                "engine.verify_loads",
+                f"verify_loads must be a bool, got {self.verify_loads!r}",
+            )
+        _check_int("engine.num_servers", self.num_servers, 1)
+        window = _check_nonneg("engine.batch_window", self.batch_window)
+        object.__setattr__(self, "batch_window", window)
+        _check_int("engine.batch_max", self.batch_max, 1)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EngineConfig":
+        return _serve_group_from_dict("engine", cls, data)
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Per-class in-flight budgets (the admission controller's knobs).
+
+    Mirrors :class:`repro.serve.admission.AdmissionPolicy`, but
+    validates with :class:`~repro.exceptions.ConfigError` naming the
+    field and serializes with the rest of :class:`ServeConfig`;
+    :meth:`to_policy` hands the runtime object to the front end.
+    """
+
+    max_point: int = 64
+    max_row: int = 4
+    max_topk: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("max_point", "max_row", "max_topk"):
+            _check_int(f"admission.{name}", getattr(self, name), 1)
+
+    def to_policy(self):
+        from .serve.admission import AdmissionPolicy
+
+        return AdmissionPolicy(
+            max_point=self.max_point,
+            max_row=self.max_row,
+            max_topk=self.max_topk,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdmissionConfig":
+        return _serve_group_from_dict("admission", cls, data)
+
+
+@dataclass(frozen=True)
+class ServeCostConfig:
+    """Virtual service costs of the replay model, in virtual seconds.
+
+    Field-for-field the knobs of
+    :class:`repro.serve.replay.ServeCostModel`; :meth:`to_model` builds
+    the runtime object.  Kept as a config group so a whole serving
+    scenario (costs included) round-trips through one JSON file.
+    """
+
+    load_base: float = 2e-4
+    load_per_mb: float = 0.064
+    hit_cost: float = 2e-5
+    point_cost: float = 5e-6
+    gather_cost: float = 2e-5
+    row_cost: float = 2e-4
+    topk_cost: float = 3e-4
+    approx_cost: float = 1e-5
+
+    def __post_init__(self) -> None:
+        for f in dataclasses.fields(self):
+            value = _check_nonneg(f"cost.{f.name}", getattr(self, f.name))
+            object.__setattr__(self, f.name, value)
+
+    def to_model(self):
+        from .serve.replay import ServeCostModel
+
+        return ServeCostModel(**dataclasses.asdict(self))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServeCostConfig":
+        return _serve_group_from_dict("cost", cls, data)
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """Multi-node shard-routing topology (:mod:`repro.serve.router`).
+
+    ``num_nodes=1`` is the single-node serving stack of PRs 5–9; more
+    nodes place shards on a consistent-hash ring with ``replication``
+    copies each, ``vnodes`` ring points per node, and a per-node
+    in-flight budget of ``node_budget`` requests served by
+    ``servers_per_node`` virtual servers.
+    """
+
+    num_nodes: int = 1
+    replication: int = 1
+    vnodes: int = 64
+    hash_seed: int = 0
+    node_budget: int = 32
+    servers_per_node: int = 2
+
+    def __post_init__(self) -> None:
+        _check_int("routing.num_nodes", self.num_nodes, 1)
+        _check_int("routing.replication", self.replication, 1)
+        _check_int("routing.vnodes", self.vnodes, 1)
+        if not isinstance(self.hash_seed, int) \
+                or isinstance(self.hash_seed, bool) or self.hash_seed < 0:
+            _fail(
+                "routing.hash_seed",
+                f"hash_seed must be an int >= 0, got {self.hash_seed!r}",
+            )
+        _check_int("routing.node_budget", self.node_budget, 1)
+        _check_int("routing.servers_per_node", self.servers_per_node, 1)
+        if self.replication > self.num_nodes:
+            _fail(
+                "routing.replication",
+                f"replication {self.replication} exceeds num_nodes "
+                f"{self.num_nodes}; a shard cannot have more replicas "
+                "than there are nodes to hold them",
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RoutingConfig":
+        return _serve_group_from_dict("routing", cls, data)
+
+
+#: flat serving kwarg name → (ServeConfig group, field name); the serve
+#: counterpart of :data:`KWARG_MAP`, shared by every serving entry point
+SERVE_KWARG_MAP: Dict[str, Tuple[str, str]] = {
+    "codec": ("store", "codec"),
+    "shard_rows": ("store", "shard_rows"),
+    "num_landmarks": ("store", "num_landmarks"),
+    "epsilon": ("store", "epsilon"),
+    "cache_shards": ("engine", "cache_shards"),
+    "verify_loads": ("engine", "verify_loads"),
+    "num_servers": ("engine", "num_servers"),
+    "batch_window": ("engine", "batch_window"),
+    "batch_max": ("engine", "batch_max"),
+    "max_point": ("admission", "max_point"),
+    "max_row": ("admission", "max_row"),
+    "max_topk": ("admission", "max_topk"),
+    "load_base": ("cost", "load_base"),
+    "load_per_mb": ("cost", "load_per_mb"),
+    "hit_cost": ("cost", "hit_cost"),
+    "point_cost": ("cost", "point_cost"),
+    "gather_cost": ("cost", "gather_cost"),
+    "row_cost": ("cost", "row_cost"),
+    "topk_cost": ("cost", "topk_cost"),
+    "approx_cost": ("cost", "approx_cost"),
+    "telemetry_capacity": ("telemetry", "capacity"),
+    "telemetry_sample": ("telemetry", "sample"),
+    "prescreen": ("update", "prescreen"),
+    "verify_before": ("update", "verify_before"),
+    "prune": ("update", "prune"),
+    "num_nodes": ("routing", "num_nodes"),
+    "replication": ("routing", "replication"),
+    "vnodes": ("routing", "vnodes"),
+    "hash_seed": ("routing", "hash_seed"),
+    "node_budget": ("routing", "node_budget"),
+    "servers_per_node": ("routing", "servers_per_node"),
+}
+
+_SERVE_GROUP_TYPES = {
+    "store": StoreConfig,
+    "engine": EngineConfig,
+    "admission": AdmissionConfig,
+    "cost": ServeCostConfig,
+    "telemetry": TelemetryConfig,
+    "update": UpdateConfig,
+    "routing": RoutingConfig,
+}
+
+
+def _serve_group_from_dict(name: str, kind: type, raw: Any):
+    """Instantiate one ServeConfig sub-config from a plain mapping."""
+    if isinstance(raw, kind):
+        return raw
+    if not isinstance(raw, Mapping):
+        _fail(name, f"must be a mapping, got {type(raw).__name__}")
+    valid = {f.name for f in dataclasses.fields(kind)}
+    unknown = set(raw) - valid
+    if unknown:
+        _fail(name, f"unknown field(s): {sorted(unknown)}")
+    return kind(**raw)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """One complete, validated, serializable serving-stack setup.
+
+    The serving counterpart of :class:`SolverConfig`: the store layout
+    (``store``), the query engine and replay model (``engine``,
+    ``cost``), admission budgets (``admission``), request telemetry
+    (``telemetry``), incremental updates (``update``) and the
+    multi-node routing tier (``routing``) in one frozen object.
+    :func:`repro.serve.solve_to_store`, :class:`repro.serve.QueryEngine`,
+    :class:`repro.serve.ServeFrontend` and the replay entry points all
+    accept one through the shared :func:`resolve_serve_config` shim, so
+    legacy flat kwargs and the config form take a single validation and
+    dispatch path (conflicts warn, explicit kwargs win — the
+    ``SolverConfig`` contract).
+    """
+
+    store: StoreConfig = field(default_factory=StoreConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    cost: ServeCostConfig = field(default_factory=ServeCostConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    update: UpdateConfig = field(default_factory=UpdateConfig)
+    routing: RoutingConfig = field(default_factory=RoutingConfig)
+
+    def __post_init__(self) -> None:
+        for name, kind in _SERVE_GROUP_TYPES.items():
+            value = getattr(self, name)
+            if isinstance(value, Mapping):  # tolerate nested plain dicts
+                value = _serve_group_from_dict(name, kind, value)
+                object.__setattr__(self, name, value)
+            elif not isinstance(value, kind):
+                _fail(
+                    name,
+                    f"must be a {kind.__name__} (or a mapping), "
+                    f"got {type(value).__name__}",
+                )
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_kwargs(cls, **kwargs: Any) -> "ServeConfig":
+        """Build a config from legacy flat serving kwargs."""
+        groups: Dict[str, Dict[str, Any]] = {
+            g: {} for g in _SERVE_GROUP_TYPES
+        }
+        for key, value in kwargs.items():
+            target = SERVE_KWARG_MAP.get(key)
+            if target is None:
+                _fail(
+                    key,
+                    f"unknown serving keyword {key!r}; known: "
+                    f"{', '.join(sorted(SERVE_KWARG_MAP))}",
+                )
+            group, fname = target
+            groups[group][fname] = value
+        return cls(
+            **{
+                group: kind(**groups[group])
+                for group, kind in _SERVE_GROUP_TYPES.items()
+            }
+        )
+
+    def with_overrides(self, **kwargs: Any) -> "ServeConfig":
+        """Copy with some flat kwargs replaced (the shim's merge step)."""
+        patches: Dict[str, Dict[str, Any]] = {}
+        for key, value in kwargs.items():
+            target = SERVE_KWARG_MAP.get(key)
+            if target is None:
+                _fail(key, f"unknown serving keyword {key!r}")
+            group, fname = target
+            patches.setdefault(group, {})[fname] = value
+        replaced = {
+            group: dataclasses.replace(getattr(self, group), **fields)
+            for group, fields in patches.items()
+        }
+        return dataclasses.replace(self, **replaced)
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested plain-JSON dict; inverse of :meth:`from_dict`."""
+        return {
+            group: dataclasses.asdict(getattr(self, group))
+            for group in _SERVE_GROUP_TYPES
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServeConfig":
+        if not isinstance(data, Mapping):
+            _fail(
+                "serve_config",
+                f"must be a mapping, got {type(data).__name__}",
+            )
+        unknown = set(data) - set(_SERVE_GROUP_TYPES)
+        if unknown:
+            _fail("serve_config", f"unknown group(s): {sorted(unknown)}")
+        groups = {}
+        for name, kind in _SERVE_GROUP_TYPES.items():
+            raw = data.get(name)
+            if raw is None:
+                groups[name] = kind()
+            else:
+                groups[name] = _serve_group_from_dict(name, kind, raw)
+        return cls(**groups)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServeConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            _fail("serve_config", f"bad config JSON: {exc}")
+        return cls.from_dict(data)
+
+    def describe(self) -> str:
+        """One-line human summary (CLI banner)."""
+        bits = [
+            f"codec={self.store.codec}",
+            f"shard_rows={self.store.shard_rows}",
+            f"cache_shards={self.engine.cache_shards}",
+        ]
+        if self.store.epsilon is not None:
+            bits.append(f"epsilon={self.store.epsilon:g}")
+        if self.routing.num_nodes > 1:
+            bits.append(
+                f"nodes={self.routing.num_nodes}"
+                f"x{self.routing.replication}"
+            )
+        return " ".join(bits)
+
+
+def resolve_serve_config(
+    config: Any,
+    *,
+    caller: str,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> ServeConfig:
+    """The single dispatch shim behind every serving entry point.
+
+    ``config`` may be a :class:`ServeConfig`, a nested mapping in its
+    ``to_dict`` layout, or ``None``; ``overrides`` holds the flat
+    legacy kwargs the caller's user actually passed.  Passing both a
+    config and conflicting kwargs emits a :class:`DeprecationWarning`
+    (the explicit kwargs win) — the exact contract of
+    :func:`repro.solve_apsp`'s ``SolverConfig`` shim.
+    """
+    overrides = dict(overrides or {})
+    if config is None:
+        return ServeConfig.from_kwargs(**overrides)
+    if isinstance(config, Mapping):
+        config = ServeConfig.from_dict(config)
+    elif not isinstance(config, ServeConfig):
+        raise ConfigError(
+            f"serve_config must be a ServeConfig or a mapping, "
+            f"got {type(config).__name__}",
+            field="serve_config",
+        )
+    if not overrides:
+        return config
+    merged = config.with_overrides(**overrides)
+    if merged != config:
+        warnings.warn(
+            f"{caller} received both serve_config= and conflicting "
+            f"keyword argument(s) {sorted(overrides)}; the explicit "
+            "kwargs win.  Pass one ServeConfig instead.",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return merged
+
+
+def load_serve_config(path: str) -> ServeConfig:
+    """Read a :class:`ServeConfig` from a JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        _fail("serve_config", f"cannot read {path!r}: {exc}")
+    return ServeConfig.from_json(text)

@@ -693,8 +693,8 @@ def _delta_shard_hooks(graph: CSRGraph, cfg) -> ShardHooks:
     resolved = _resolve_delta(graph, cfg)
     dg = DeltaGraph(graph, resolved)
 
-    def sweep_row(g, source, state, cfg) -> None:
-        delta_stepping_sssp(dg, int(source), state.dist[source])
+    def sweep_row(g, source, state, cfg):
+        return delta_stepping_sssp(dg, int(source), state.dist[source])
 
     return ShardHooks(graph, sweep_row)
 

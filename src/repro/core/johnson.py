@@ -211,8 +211,8 @@ def _johnson_shard_hooks(graph: CSRGraph, cfg) -> ShardHooks:
     inner = reweight_graph(graph, h) if reweighted else graph
     _emit_bf_metrics(passes, relaxations, reweighted)
 
-    def sweep_row(g, source, state, cfg) -> None:
-        modified_dijkstra_sssp(
+    def sweep_row(g, source, state, cfg):
+        return modified_dijkstra_sssp(
             g,
             int(source),
             state,

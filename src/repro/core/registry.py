@@ -45,9 +45,11 @@ class ShardHooks:
     ``graph`` is the graph the per-row sweeps actually run on (Johnson
     substitutes its reweighted graph); ``sweep_row(graph, source,
     state, cfg)`` fills ``state.dist[source]`` with that source's
-    distance row; the optional ``finalize(start, block)`` post-processes
-    a completed ``(k, n)`` block in place before it is yielded (Johnson
-    un-reweights there).
+    distance row and returns the sweep's :class:`~repro.types.OpCounts`
+    (the cluster simulation prices each source with them; plain
+    streaming callers may ignore the return value); the optional
+    ``finalize(start, block)`` post-processes a completed ``(k, n)``
+    block in place before it is yielded (Johnson un-reweights there).
     """
 
     graph: object

@@ -78,8 +78,8 @@ def _sweep_shard_hooks(graph: CSRGraph, cfg) -> ShardHooks:
     :func:`solve_apsp_shards`)."""
     from .modified_dijkstra import modified_dijkstra_sssp
 
-    def sweep_row(g, source, state, cfg) -> None:
-        modified_dijkstra_sssp(
+    def sweep_row(g, source, state, cfg):
+        return modified_dijkstra_sssp(
             g,
             int(source),
             state,

@@ -1,5 +1,17 @@
-"""Distributed-memory ParAPSP exploration (paper §7 future work)."""
+"""Distributed-memory ParAPSP (paper §7 future work).
 
+Two complementary models live here:
+
+* :func:`simulate_distributed_apsp` — logical replication: every rank
+  sees the whole matrix, remote rows arrive after a broadcast delay
+  (the *reuse horizon* question);
+* :func:`solve_apsp_cluster` — blocked partitioning per the Spark-APSP
+  study: sources are sharded across ranks, solved through the registry
+  pipeline, and assembled over the α–β network, with node-granularity
+  fault plans and bounded exact recovery (the *systems* question).
+"""
+
+from .build import ClusterBuildResult, solve_apsp_cluster
 from .cluster import CLUSTER_COMMODITY, CLUSTER_FAST, ClusterSpec
 from .simulate import DistributedResult, simulate_distributed_apsp
 
@@ -7,6 +19,8 @@ __all__ = [
     "CLUSTER_COMMODITY",
     "CLUSTER_FAST",
     "ClusterSpec",
+    "ClusterBuildResult",
     "DistributedResult",
     "simulate_distributed_apsp",
+    "solve_apsp_cluster",
 ]

@@ -87,8 +87,12 @@ __all__ = [
 #:      distribution with certified-error quantiles) and ``serve_slo``
 #:      (error-budget burn rates) sections from the serving telemetry;
 #:  /7: optional ``update`` section from the incremental-update bench —
-#:      dirty-shard accounting, store fingerprints, cost-vs-rebuild)
-SCHEMA_VERSION = "repro.obs.bench/7"
+#:      dirty-shard accounting, store fingerprints, cost-vs-rebuild;
+#:  /8: optional ``dist`` section from the multi-node bench — cluster
+#:      build makespan/network volume, routed-serving percentiles for
+#:      skewed vs rebalanced placement, failover/loss event counts and
+#:      the exact routed answer fingerprint)
+SCHEMA_VERSION = "repro.obs.bench/8"
 
 #: required top-level keys and their expected container types
 _REQUIRED: Dict[str, type] = {
@@ -138,6 +142,7 @@ def build_artifact(
     serve_latency_hist: Optional[Mapping[str, float]] = None,
     serve_slo: Optional[Mapping[str, float]] = None,
     update: Optional[Mapping[str, float]] = None,
+    dist: Optional[Mapping[str, float]] = None,
 ) -> Dict[str, Any]:
     """Assemble one schema-valid artifact dict.
 
@@ -191,6 +196,8 @@ def build_artifact(
         )
     if update is not None:
         artifact["update"] = _sorted_numeric(dict(update), "update")
+    if dist is not None:
+        artifact["dist"] = _sorted_numeric(dict(dist), "dist")
     return artifact
 
 
@@ -307,7 +314,7 @@ def validate_artifact(artifact: Any) -> List[str]:
                 f"got {type(value).__name__}"
             )
     for optional in ("trace_summary", "faults", "serve",
-                     "serve_latency_hist", "serve_slo", "update"):
+                     "serve_latency_hist", "serve_slo", "update", "dist"):
         section = artifact.get(optional)
         if section is not None and not isinstance(section, Mapping):
             problems.append(
@@ -316,7 +323,7 @@ def validate_artifact(artifact: Any) -> List[str]:
             )
     for section in ("counters", "timings", "gauges", "trace_summary",
                     "faults", "serve", "serve_latency_hist", "serve_slo",
-                    "update"):
+                    "update", "dist"):
         values = artifact.get(section)
         if isinstance(values, Mapping):
             for name, value in values.items():

@@ -49,6 +49,15 @@
   replay burning its error budget faster is a regression; burning
   slower is an improvement and only noted); every other key — the
   objective's own parameters and the violation counts — gates exactly;
+* **dist** — the multi-node bench section (schema ``/8``): the routed
+  answer fingerprint and every failover / node-loss / recovery event
+  count gate *exactly* (the cluster replay is seeded and virtual-timed,
+  so a changed failover count means the routing machinery changed
+  behaviour); ``*_ms`` routed-serving percentiles and the
+  ``network_bytes`` / makespan volume keys gate *upward* with
+  ``--rtol`` — more bytes over the simulated network or a slower hot
+  shard after rebalancing is the regression the section exists to
+  catch;
 * **update** — the incremental-update bench section (schema ``/7``):
   everything in it is a pure function of the pinned graph and update
   batch (dirty-shard counts, re-solved rows, store fingerprints), so
@@ -112,6 +121,11 @@ SERVE_ERROR_SUFFIX = "max_abs_error"
 #: (virtual replay burn rates are deterministic); all other serve_slo
 #: keys and every serve_latency_hist key gate exactly
 SLO_BURN_SUFFIX = "burn_rate"
+
+#: dist keys with these suffixes gate upward with ``--rtol``: routed
+#: percentile latencies, simulated network volume and cluster-build
+#: makespans are virtual-time magnitudes, not event counts
+DIST_UPWARD_SUFFIXES = ("_ms", "network_bytes", "makespan", "_us")
 
 #: the update section's headline ratio: exact-gated like the rest of
 #: the section, but its failure message calls out the direction — a
@@ -310,6 +324,14 @@ def compare_artifacts(
     _compare_update(
         baseline.get("update"),
         current.get("update"),
+        ignored,
+        regressions,
+        notes,
+    )
+    _compare_dist(
+        baseline.get("dist"),
+        current.get("dist"),
+        rtol,
         ignored,
         regressions,
         notes,
@@ -805,6 +827,82 @@ def _compare_update(
             notes.append(f"update {key}: {cur[key]:g} (byte-exact, ok)")
     for key in sorted(set(cur) - set(base)):
         notes.append(f"update {key} new in current: {cur[key]:g}")
+
+
+def _compare_dist(
+    base: Optional[Mapping[str, float]],
+    cur: Optional[Mapping[str, float]],
+    rtol: float,
+    ignored: set,
+    regressions: List[str],
+    notes: List[str],
+) -> None:
+    """Gate the multi-node bench section.
+
+    The dist bench replays a seeded skewed trace through the
+    consistent-hash router on a virtual cluster, so its event counts
+    (failovers, node losses, saturated rejections, rebalance moves,
+    recovered shards) and the routed *answer fingerprint* gate exactly
+    — a changed fingerprint means routed answers diverged from the
+    single-store ground truth, which is a correctness bug, not a perf
+    tradeoff.  The :data:`DIST_UPWARD_SUFFIXES` magnitudes (routed
+    percentile latencies, simulated ``network_bytes``, cluster-build
+    makespans) gate upward with ``rtol`` like ``virtual.*`` timings.
+    """
+    if base is None:
+        if cur:
+            notes.append(
+                "dist section new in current (no baseline to gate against)"
+            )
+        return
+    if cur is None:
+        regressions.append(
+            "dist section present in baseline but missing from current "
+            "artifact (dist bench skipped?)"
+        )
+        return
+    for key in sorted(base):
+        if key in ignored:
+            notes.append(f"dist {key}: ignored")
+            continue
+        if key not in cur:
+            regressions.append(f"dist {key} missing from current artifact")
+            continue
+        if key.endswith("fingerprint"):
+            if base[key] != cur[key]:
+                regressions.append(
+                    f"dist {key}: {base[key]:g} -> {cur[key]:g} (the "
+                    "routed answer fingerprint gates exactly; routed "
+                    "serving must stay bitwise-identical to the "
+                    "single-node store)"
+                )
+            else:
+                notes.append(f"dist {key}: {cur[key]:g} (byte-exact, ok)")
+        elif key.endswith(DIST_UPWARD_SUFFIXES):
+            limit = base[key] * (1.0 + rtol)
+            if cur[key] > limit:
+                pct = (
+                    (cur[key] - base[key]) / base[key] * 100.0
+                    if base[key]
+                    else float("inf")
+                )
+                regressions.append(
+                    f"dist {key}: {base[key]:g} -> {cur[key]:g} "
+                    f"(+{pct:.1f}%, tolerance {rtol:.0%}; network volume "
+                    "and routed latencies gate upward)"
+                )
+            else:
+                notes.append(
+                    f"dist {key}: {base[key]:g} -> {cur[key]:g} (ok)"
+                )
+        elif base[key] != cur[key]:
+            direction = "up" if cur[key] > base[key] else "down"
+            regressions.append(
+                f"dist {key}: {base[key]:g} -> {cur[key]:g} ({direction}; "
+                "failover/loss/rebalance event counts gate exactly)"
+            )
+    for key in sorted(set(cur) - set(base)):
+        notes.append(f"dist {key} new in current: {cur[key]:g}")
 
 
 def _report(regressions: List[str], notes: List[str], verbose: bool) -> None:

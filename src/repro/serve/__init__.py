@@ -57,6 +57,7 @@ from .codecs import CODECS, ShardCodec, codec_names, get_codec
 from .engine import QueryEngine
 from .replay import ReplayResult, ServeCostModel, replay_threaded, \
     replay_virtual
+from .router import RoutedEngine, ShardRouter
 from .slo import SLOReport, SLOSpec, evaluate_slo
 from .store import STORE_SCHEMA_VERSION, DistStore, solve_to_store
 from .telemetry import (
@@ -87,6 +88,8 @@ __all__ = [
     "codec_names",
     "get_codec",
     "QueryEngine",
+    "ShardRouter",
+    "RoutedEngine",
     "QUERY_CLASSES",
     "AdmissionPolicy",
     "QueryResponse",

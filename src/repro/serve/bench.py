@@ -72,6 +72,24 @@ Regenerate a baseline after an intentional serving change::
     PYTHONPATH=src python -m repro.serve.bench \
         --update --out benchmarks/baselines/BENCH_update.json
 
+``--dist`` runs the **dist-smoke** instead (:func:`run_dist_smoke`):
+the multi-node leg of the bench on a 4-node virtual cluster.  Build
+side, :func:`~repro.dist.solve_apsp_cluster` must produce distances
+bitwise-identical to the single-machine solve both fault-free and
+under the pinned node-granularity :class:`~repro.faults.FaultPlan`
+(one rank killed mid-build, one straggling); serve side, a
+:class:`~repro.serve.router.RoutedEngine` over a consistent-hash
+:class:`~repro.serve.router.ShardRouter` must answer byte-identically
+to a single-node :class:`~repro.serve.engine.QueryEngine` — including
+with a failed node, replication ≥ 2 — and the hot-shard-skewed trace
+(:data:`DIST_TRAFFIC`) replayed through the router must see its p99
+*improve* after :meth:`~repro.serve.router.ShardRouter.rebalance`
+moves the hot shards off the overloaded node.  The ``dist`` artifact
+section is gated in CI against
+``benchmarks/baselines/BENCH_dist.json`` (answer fingerprints and
+failover/loss event counts exact; ``network_bytes``, makespans and
+``*_ms`` percentiles upward-only).
+
 ``--curve accuracy_latency.json`` instead sweeps every codec and
 writes the accuracy-vs-latency curve artifact
 (``repro.serve.curve/1``) that CI uploads.
@@ -89,8 +107,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..dist import CLUSTER_FAST, solve_apsp_cluster
 from ..exceptions import BenchmarkError, StoreCorruptionError
-from ..faults import StoreCorruptionSpec
+from ..faults import FaultPlan, FaultSpec, StoreCorruptionSpec
 from ..graphs import attach_random_weights
 from ..graphs.rmat import rmat
 from ..obs.artifact import build_artifact, write_artifact
@@ -101,6 +120,7 @@ from .codecs import codec_names
 from .engine import QueryEngine
 from .replay import ServeCostModel, replay_threaded, replay_virtual
 from .slo import SLOSpec, evaluate_slo
+from .router import RoutedEngine, ShardRouter
 from .store import DistStore, solve_to_store
 from .telemetry import JsonlSink, TelemetryCollector, export_request_trace
 from .traffic import TrafficSpec, generate_trace
@@ -110,7 +130,13 @@ from .update import (
     parse_edge_updates,
 )
 
-__all__ = ["run_serve_smoke", "run_update_smoke", "run_codec_curve", "main"]
+__all__ = [
+    "run_serve_smoke",
+    "run_update_smoke",
+    "run_dist_smoke",
+    "run_codec_curve",
+    "main",
+]
 
 #: workload identity — bump when any knob below changes so a stale
 #: baseline fails on params instead of on mysterious counters
@@ -177,6 +203,44 @@ DRILL_UPDATE_BATCH = "set=23,55,2.5"
 #: hard ceiling on the update's deterministic row-unit cost relative
 #: to a full rebuild — the point of incremental updates
 UPDATE_COST_GATE = 0.5
+
+#: the dist-smoke's virtual serving cluster / hash-ring geometry:
+#: 4 nodes, every shard on 2 of them, so one node can die with exact
+#: answers still served
+DIST_NODES = 4
+DIST_REPLICATION = 2
+DIST_VNODES = 64
+DIST_HASH_SEED = 0
+DIST_NODE_BUDGET = 32
+DIST_SERVERS_PER_NODE = 2
+DIST_MAX_MOVES = 4
+#: per-node replay cache, sized *below* the shards-per-node of the
+#: skewed placement so the overloaded node visibly thrashes — the
+#: latency signature the rebalance gate measures
+DIST_CACHE_SHARDS = 2
+#: pinned probe pairs for the routed-vs-single exactness cross-check
+DIST_PROBE_SEED = 29
+DIST_PROBE_PAIRS = 128
+
+#: the skewed trace: same Zipf law as :data:`SMOKE_TRAFFIC` with a
+#: hot band one shard wide taking most of the point traffic, at 3× the
+#: rate so cache misses on the overloaded node queue behind each other
+#: — the workload the rebalancer exists for
+DIST_TRAFFIC = TrafficSpec(
+    num_requests=512, rate=6000.0, zipf_s=1.1, seed=13,
+    row_frac=0.02, topk_frac=0.05, topk_k=10,
+    hot_frac=0.6, hot_width=16,
+)
+
+#: the node-granularity build fault plan: rank 1 dies after its second
+#: shard claim (its remaining shards re-solve on the survivors), rank 2
+#: straggles — recovery must stay bitwise-exact
+DIST_FAULT_PLAN = FaultPlan(
+    (
+        FaultSpec(kind="kill", worker=1, after_claims=2),
+        FaultSpec(kind="stall", worker=2, seconds=2.5e4),
+    )
+)
 
 
 def _store_fingerprint(store) -> int:
@@ -943,6 +1007,332 @@ def run_update_smoke(
             tmp.cleanup()
 
 
+def _answer_fingerprint(values: Sequence[float]) -> int:
+    """crc32 over the answers' f8 bytes — one number that changes if
+    any routed answer diverges from the single-node store."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    return zlib.crc32(arr.tobytes()) & 0xFFFFFFFF
+
+
+def run_dist_smoke(
+    *,
+    scale: int = DEFAULT_SCALE,
+    edge_factor: int = DEFAULT_EDGE_FACTOR,
+    seed: int = DEFAULT_SEED,
+    shard_rows: int = DEFAULT_SHARD_ROWS,
+    cache_shards: int = DEFAULT_CACHE_SHARDS,
+    codec: str = "raw",
+    store_dir: Optional[str] = None,
+) -> Tuple[Dict[str, object], MetricsRegistry]:
+    """Run the multi-node smoke; returns ``(artifact, registry)``.
+
+    Asserts, with :class:`~repro.exceptions.BenchmarkError` on any
+    failure:
+
+    * **build exactness** — :func:`~repro.dist.solve_apsp_cluster` on
+      :data:`~repro.dist.CLUSTER_FAST` is bitwise-identical to the
+      single-machine solve, fault-free *and* under
+      :data:`DIST_FAULT_PLAN` (a killed rank whose shards re-solve on
+      the survivors, plus a straggler), with the faulted makespan
+      strictly above the fault-free one;
+    * **routing exactness** — a :class:`~repro.serve.router.RoutedEngine`
+      answers the pinned probe set byte-identically to a single-node
+      :class:`~repro.serve.engine.QueryEngine`, and keeps doing so
+      after the hot shard's primary node is failed (replication covers
+      it; the failover counter must move);
+    * **rebalancing pays** — the hot-shard-skewed :data:`DIST_TRAFFIC`
+      replayed through the router sees a strictly lower p99 after
+      :meth:`~repro.serve.router.ShardRouter.rebalance` moves hot
+      shards to cold nodes (at least one move must happen);
+    * **loss is survivable** — the same trace with the hot node dying
+      mid-replay records exactly one node loss, a nonzero failover
+      count, and still answers every request.
+    """
+    graph = rmat(
+        scale,
+        edge_factor=edge_factor,
+        seed=seed,
+        name=f"rmat-s{scale}-ef{edge_factor}",
+    )
+    n = graph.num_vertices
+    tmp = None
+    if store_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-dist-smoke-")
+        store_dir = tmp.name + "/store"
+    try:
+        registry = MetricsRegistry()
+        from ..core import solve_apsp
+
+        ref = solve_apsp(graph, use_flags=False).dist
+
+        # 1. simulated cluster build: exact fault-free and faulted
+        t0 = time.perf_counter()
+        with use_registry(registry):
+            build = solve_apsp_cluster(
+                graph, CLUSTER_FAST, shard_rows=shard_rows
+            )
+        cluster_wall = time.perf_counter() - t0
+        if not np.array_equal(build.dist, ref):
+            raise BenchmarkError(
+                "dist smoke: cluster build is not bitwise-identical to "
+                "the single-machine solve"
+            )
+        with use_registry(registry):
+            faulted = solve_apsp_cluster(
+                graph,
+                CLUSTER_FAST,
+                shard_rows=shard_rows,
+                fault_plan=DIST_FAULT_PLAN,
+            )
+        if not np.array_equal(faulted.dist, ref):
+            raise BenchmarkError(
+                "dist smoke: faulted cluster build diverged from the "
+                "fault-free distances — recovery is not exact"
+            )
+        if not faulted.lost_ranks or not faulted.recovered_by:
+            raise BenchmarkError(
+                "dist smoke: the pinned fault plan killed no rank "
+                f"(lost={faulted.lost_ranks}, "
+                f"recovered={len(faulted.recovered_by)})"
+            )
+        if faulted.makespan <= build.makespan:
+            raise BenchmarkError(
+                "dist smoke: the faulted build was not slower than the "
+                f"fault-free one ({faulted.makespan:g} vs "
+                f"{build.makespan:g}) — recovery cost vanished"
+            )
+
+        # 2. the serving store + routed-vs-single exactness
+        t0 = time.perf_counter()
+        with use_registry(registry):
+            store = solve_to_store(
+                graph,
+                store_dir,
+                shard_rows=shard_rows,
+                num_landmarks=DEFAULT_LANDMARKS,
+                codec=codec,
+            )
+        store_wall = time.perf_counter() - t0
+        router = ShardRouter(
+            DIST_NODES,
+            replication=DIST_REPLICATION,
+            vnodes=DIST_VNODES,
+            hash_seed=DIST_HASH_SEED,
+        )
+        routed = RoutedEngine(
+            store,
+            router,
+            cache_shards=cache_shards,
+            node_budget=DIST_NODE_BUDGET,
+        )
+        single = QueryEngine(store, cache_shards=cache_shards)
+        rng = np.random.default_rng(DIST_PROBE_SEED)
+        pairs = [
+            (int(u), int(v))
+            for u, v in rng.integers(0, n, size=(DIST_PROBE_PAIRS, 2))
+        ]
+        answers = []
+        for u, v in pairs:
+            got = float(routed.dist(u, v))
+            want = float(single.dist(u, v))
+            if got != want:
+                raise BenchmarkError(
+                    f"dist smoke: routed answer for ({u}, {v}) is "
+                    f"{got!r}, single-node store says {want!r}"
+                )
+            answers.append(got)
+        if not np.array_equal(
+            routed.dist_batch(pairs), single.dist_batch(pairs)
+        ):
+            raise BenchmarkError(
+                "dist smoke: routed dist_batch diverged from the "
+                "single-node engine"
+            )
+        fingerprint = _answer_fingerprint(answers)
+
+        # per-shard request loads of the pinned trace (what a serving
+        # tier's per-shard counters would show) drive both the loss
+        # drill's target and the rebalance
+        trace = generate_trace(DIST_TRAFFIC, n)
+        loads: Dict[int, float] = {s: 0.0 for s in range(store.num_shards)}
+        for req in trace:
+            loads[store.shard_of(req.u)] += 1.0
+        hot_shard = max(loads, key=lambda s: (loads[s], -s))
+        hot_node, _ = router.route(hot_shard)
+
+        # kill the hot shard's primary; replication must keep every
+        # answer byte-identical, via failovers
+        routed.fail_node(hot_node)
+        failover_answers = []
+        for u, v in pairs:
+            got = float(routed.dist(u, v))
+            want = float(single.dist(u, v))
+            if got != want:
+                raise BenchmarkError(
+                    f"dist smoke: answer for ({u}, {v}) changed after "
+                    f"node {hot_node} failed ({got!r} vs {want!r})"
+                )
+            failover_answers.append(got)
+        drill_failovers = int(routed.stats["failovers"])
+        if drill_failovers == 0:
+            raise BenchmarkError(
+                "dist smoke: failing the hot node produced no "
+                "failovers — the probe never touched it?"
+            )
+        if _answer_fingerprint(failover_answers) != fingerprint:
+            raise BenchmarkError(
+                "dist smoke: the answer fingerprint changed across a "
+                "node failure"
+            )
+        routed.restore_node(hot_node)
+
+        # 3. skewed replay vs rebalanced replay: the p99 gate
+        sizes = [store.shard_nbytes(i) for i in range(store.num_shards)]
+        policy = AdmissionPolicy()
+        cost = ServeCostModel()
+
+        def routed_replay(rtr, node_down=()):
+            return replay_virtual(
+                trace, n=n, shard_rows=shard_rows, policy=policy,
+                cost=cost, cache_shards=DIST_CACHE_SHARDS, optimized=True,
+                shard_nbytes=sizes, router=rtr,
+                node_budget=DIST_NODE_BUDGET,
+                servers_per_node=DIST_SERVERS_PER_NODE,
+                node_down=node_down,
+            )
+
+        skew_router = ShardRouter(
+            DIST_NODES,
+            replication=DIST_REPLICATION,
+            vnodes=DIST_VNODES,
+            hash_seed=DIST_HASH_SEED,
+        )
+        skewed = routed_replay(skew_router)
+        if skewed.counters["failovers"] != 0:
+            raise BenchmarkError(
+                "dist smoke: the healthy skewed replay recorded "
+                f"{skewed.counters['failovers']} failovers"
+            )
+        re_router = ShardRouter.from_dict(skew_router.to_dict())
+        moves = re_router.rebalance(loads, max_moves=DIST_MAX_MOVES)
+        if not moves:
+            raise BenchmarkError(
+                "dist smoke: rebalance made no moves on the skewed "
+                "load profile"
+            )
+        rebalanced = routed_replay(re_router)
+        p99_skew = skewed.percentile_latency(99)
+        p99_re = rebalanced.percentile_latency(99)
+        if p99_re >= p99_skew:
+            raise BenchmarkError(
+                f"dist smoke: rebalancing did not improve the hot-shard "
+                f"p99 ({p99_re:g}s vs skewed {p99_skew:g}s)"
+            )
+
+        # 4. node-loss drill: hot node dies mid-trace, traffic fails
+        # over to replicas, every request still gets an outcome
+        loss_router = ShardRouter(
+            DIST_NODES,
+            replication=DIST_REPLICATION,
+            vnodes=DIST_VNODES,
+            hash_seed=DIST_HASH_SEED,
+        )
+        mid = trace[len(trace) // 2].arrival
+        loss = routed_replay(loss_router, node_down=((mid, hot_node),))
+        if loss.counters["node_losses"] != 1:
+            raise BenchmarkError(
+                "dist smoke: the loss drill recorded "
+                f"{loss.counters['node_losses']} node losses, expected 1"
+            )
+        if loss.counters["failovers"] == 0:
+            raise BenchmarkError(
+                "dist smoke: no request failed over after the hot node "
+                "died mid-replay"
+            )
+        outcomes = (
+            loss.counters["admitted"] + loss.counters["degraded"]
+            + loss.counters["shed"]
+        )
+        if outcomes != len(trace):
+            raise BenchmarkError(
+                f"dist smoke: {len(trace)} requests in, {outcomes} "
+                "outcomes out of the loss drill"
+            )
+
+        dist: Dict[str, float] = {
+            "dist.build.makespan": build.makespan,
+            "dist.build.network_bytes": float(build.network_bytes),
+            "dist.build.total_work": build.total_work,
+            "dist.build.num_shards": float(build.num_shards),
+            "dist.fault.makespan": faulted.makespan,
+            "dist.fault.network_bytes": float(faulted.network_bytes),
+            "dist.fault.lost_ranks": float(len(faulted.lost_ranks)),
+            "dist.fault.recovered_shards": float(len(faulted.recovered_by)),
+            "dist.route.answer_fingerprint": float(fingerprint),
+            "dist.route.drill_failovers": float(drill_failovers),
+            "dist.store.fingerprint": float(_store_fingerprint(store)),
+            "dist.skew.p99_ms": p99_skew * 1e3,
+            "dist.skew.mean_ms": skewed.mean_latency() * 1e3,
+            "dist.skew.shard_loads": float(skewed.counters["shard_loads"]),
+            "dist.skew.node_saturated": float(
+                skewed.counters["node_saturated"]
+            ),
+            "dist.rebalanced.moves": float(len(moves)),
+            "dist.rebalanced.p99_ms": p99_re * 1e3,
+            "dist.rebalanced.mean_ms": rebalanced.mean_latency() * 1e3,
+            "dist.rebalanced.shard_loads": float(
+                rebalanced.counters["shard_loads"]
+            ),
+            "dist.loss.p99_ms": loss.percentile_latency(99) * 1e3,
+            "dist.loss.failovers": float(loss.counters["failovers"]),
+            "dist.loss.node_losses": float(loss.counters["node_losses"]),
+            "dist.loss.shard_loads": float(loss.counters["shard_loads"]),
+        }
+        artifact = build_artifact(
+            "dist-smoke",
+            params={
+                "workload_rev": WORKLOAD_REV,
+                "graph": graph.name,
+                "n": int(n),
+                "m": int(graph.num_edges),
+                "rmat_scale": scale,
+                "rmat_edge_factor": edge_factor,
+                "rmat_seed": seed,
+                "shard_rows": shard_rows,
+                "cache_shards": cache_shards,
+                "codec": codec,
+                "num_landmarks": DEFAULT_LANDMARKS,
+                "cluster": CLUSTER_FAST.name,
+                "cluster_nodes": CLUSTER_FAST.num_nodes,
+                "threads_per_node": CLUSTER_FAST.threads_per_node,
+                "num_nodes": DIST_NODES,
+                "replication": DIST_REPLICATION,
+                "vnodes": DIST_VNODES,
+                "hash_seed": DIST_HASH_SEED,
+                "node_budget": DIST_NODE_BUDGET,
+                "servers_per_node": DIST_SERVERS_PER_NODE,
+                "max_moves": DIST_MAX_MOVES,
+                "replay_cache_shards": DIST_CACHE_SHARDS,
+                "traffic_requests": DIST_TRAFFIC.num_requests,
+                "traffic_rate": DIST_TRAFFIC.rate,
+                "traffic_zipf_s": DIST_TRAFFIC.zipf_s,
+                "traffic_seed": DIST_TRAFFIC.seed,
+                "traffic_hot_frac": DIST_TRAFFIC.hot_frac,
+                "traffic_hot_width": DIST_TRAFFIC.hot_width,
+            },
+            timings={
+                "wall.cluster_build": cluster_wall,
+                "wall.store_build": store_wall,
+            },
+            registry=registry,
+            dist=dist,
+        )
+        return artifact, registry
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
 #: curve artifact schema (uploaded by CI, never gated)
 CURVE_SCHEMA_VERSION = "repro.serve.curve/1"
 
@@ -999,18 +1389,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument(
-        "--shard-rows", type=int, default=DEFAULT_SHARD_ROWS
+        "--shard-rows", type=int, default=None,
+        help=f"rows per shard (default {DEFAULT_SHARD_ROWS})",
     )
     parser.add_argument(
-        "--cache-shards", type=int, default=DEFAULT_CACHE_SHARDS
+        "--cache-shards", type=int, default=None,
+        help=f"LRU capacity in shards (default {DEFAULT_CACHE_SHARDS})",
     )
     parser.add_argument(
-        "--codec", choices=codec_names(), default="raw",
-        help="shard codec to build and replay with",
+        "--codec", choices=codec_names(), default=None,
+        help="shard codec to build and replay with (default raw)",
     )
     parser.add_argument(
-        "--epsilon", type=float, default=DEFAULT_EPSILON,
-        help="ALT short-circuit gap (0 = exact-gap only)",
+        "--epsilon", type=float, default=None,
+        help="ALT short-circuit gap (0 = exact-gap only; "
+        f"default {DEFAULT_EPSILON})",
+    )
+    parser.add_argument(
+        "--config", metavar="PATH", default=None,
+        help="serialized repro.config.ServeConfig; its store/engine "
+        "fields become the bench defaults (explicit flags still win)",
+    )
+    parser.add_argument(
+        "--save-config", metavar="PATH", default=None,
+        help="write the effective ServeConfig of this bench as JSON",
     )
     parser.add_argument(
         "--curve", metavar="PATH", default=None,
@@ -1022,6 +1424,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run the incremental-update smoke (pinned edge-update "
         "batch, byte-identity and cost gates) instead of the serving "
         "replay; write its artifact to --out",
+    )
+    parser.add_argument(
+        "--dist", action="store_true",
+        help="run the multi-node smoke (cluster build exactness, "
+        "routed serving vs single store, hot-shard rebalance and "
+        "node-loss drills) instead of the serving replay; write its "
+        "artifact to --out",
     )
     parser.add_argument(
         "--events", metavar="PATH", default=None,
@@ -1039,22 +1448,56 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "exemplar) as a Chrome/Perfetto trace JSON here",
     )
     args = parser.parse_args(argv)
+    cfg = None
+    if args.config is not None:
+        from ..config import load_serve_config
+
+        cfg = load_serve_config(args.config)
+    # explicit flags win over a --config file, which wins over the
+    # bench's pinned defaults (same contract as repro-apsp solve)
+    shard_rows = args.shard_rows if args.shard_rows is not None else (
+        cfg.store.shard_rows if cfg is not None else DEFAULT_SHARD_ROWS
+    )
+    cache_shards = (
+        args.cache_shards if args.cache_shards is not None
+        else cfg.engine.cache_shards if cfg is not None
+        else DEFAULT_CACHE_SHARDS
+    )
+    codec = args.codec if args.codec is not None else (
+        cfg.store.codec if cfg is not None else "raw"
+    )
+    epsilon = args.epsilon if args.epsilon is not None else (
+        cfg.store.epsilon
+        if cfg is not None and cfg.store.epsilon is not None
+        else DEFAULT_EPSILON
+    )
+    if args.save_config is not None:
+        from ..config import ServeConfig
+
+        base = cfg if cfg is not None else ServeConfig()
+        effective = base.with_overrides(
+            shard_rows=shard_rows, cache_shards=cache_shards,
+            codec=codec, epsilon=epsilon,
+        )
+        with open(args.save_config, "w", encoding="utf-8") as fh:
+            fh.write(effective.to_json(indent=2) + "\n")
+        print(f"config saved: {args.save_config}")
     common = dict(
         scale=args.scale,
         edge_factor=args.edge_factor,
         seed=args.seed,
-        shard_rows=args.shard_rows,
-        cache_shards=args.cache_shards,
-        epsilon=args.epsilon,
+        shard_rows=shard_rows,
+        cache_shards=cache_shards,
+        epsilon=epsilon,
     )
     if args.update:
         artifact, _ = run_update_smoke(
             scale=args.scale,
             edge_factor=args.edge_factor,
             seed=args.seed,
-            shard_rows=args.shard_rows,
-            cache_shards=args.cache_shards,
-            codec=args.codec,
+            shard_rows=shard_rows,
+            cache_shards=cache_shards,
+            codec=codec,
         )
         path = write_artifact(args.out, artifact)
         upd = artifact["update"]
@@ -1086,6 +1529,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("  in-flight corruption drill: aborted cleanly, old "
               "generation intact")
         return 0
+    if args.dist:
+        artifact, _ = run_dist_smoke(
+            scale=args.scale,
+            edge_factor=args.edge_factor,
+            seed=args.seed,
+            shard_rows=shard_rows,
+            cache_shards=cache_shards,
+            codec=codec,
+        )
+        path = write_artifact(args.out, artifact)
+        dist = artifact["dist"]
+        print(f"wrote {path}")
+        print(
+            "  build[{}]: makespan={:.0f} (faulted {:.0f}, "
+            "{:d} rank(s) lost, {:d} shard(s) recovered)  "
+            "network={:d}B".format(
+                artifact["params"]["cluster"],
+                dist["dist.build.makespan"],
+                dist["dist.fault.makespan"],
+                int(dist["dist.fault.lost_ranks"]),
+                int(dist["dist.fault.recovered_shards"]),
+                int(dist["dist.build.network_bytes"]),
+            )
+        )
+        print(
+            "  routing[{:d} nodes, rf={:d}]: answers exact "
+            "(fingerprint {:#010x}), {:d} failovers with the hot "
+            "node down".format(
+                artifact["params"]["num_nodes"],
+                artifact["params"]["replication"],
+                int(dist["dist.route.answer_fingerprint"]),
+                int(dist["dist.route.drill_failovers"]),
+            )
+        )
+        print(
+            "  hot-shard p99: skewed={:.3f}ms -> rebalanced={:.3f}ms "
+            "({:d} move(s))  loss drill: {:d} failovers, "
+            "p99={:.3f}ms".format(
+                dist["dist.skew.p99_ms"],
+                dist["dist.rebalanced.p99_ms"],
+                int(dist["dist.rebalanced.moves"]),
+                int(dist["dist.loss.failovers"]),
+                dist["dist.loss.p99_ms"],
+            )
+        )
+        return 0
     if args.curve is not None:
         curve = run_codec_curve(**common)
         with open(args.curve, "w", encoding="utf-8") as fh:
@@ -1110,7 +1599,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         return 0
     artifact, _ = run_serve_smoke(
-        codec=args.codec,
+        codec=codec,
         events_out=args.events,
         events_sample=args.events_sample,
         request_trace_out=args.request_trace,

@@ -35,10 +35,11 @@ histograms work identically over either replay.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,6 +47,7 @@ from ..exceptions import ServeError
 from ..obs.hist import LatencyHistogram
 from ..simx.engine import ThreadClockQueue
 from .admission import AdmissionPolicy, ServeFrontend
+from .engine import QueryEngine
 from .telemetry import TelemetryCollector, make_trace_id
 from .traffic import Request
 
@@ -104,6 +106,8 @@ class ReplayResult:
             "shard_loads": 0, "cache_hits": 0, "coalesced": 0,
             "batches": 0, "gathers": 0,
             "short_circuits": 0, "approx": 0, "bytes_loaded": 0,
+            # multi-node routing (all zero in single-node replays)
+            "failovers": 0, "node_losses": 0, "node_saturated": 0,
         }
     )
     #: cached ascending latency array, invalidated by count change
@@ -219,6 +223,49 @@ class _VirtualCache:
         return ready, False, False
 
 
+def _resolve_replay_config(
+    caller: str,
+    serve_config,
+    *,
+    policy: Optional[AdmissionPolicy],
+    cost: Optional[ServeCostModel],
+    **flat: Any,
+):
+    """One dispatch path for the replay entry points.
+
+    ``policy``/``cost`` objects and flat knob kwargs are translated to
+    :class:`~repro.config.ServeConfig` overrides and merged through
+    :func:`~repro.config.resolve_serve_config` — same conflict rules
+    as every other serving entry point (explicit kwargs win, with a
+    ``DeprecationWarning`` on a genuine conflict).
+    """
+    from ..config import resolve_serve_config
+
+    overrides: Dict[str, Any] = {
+        k: v for k, v in flat.items() if v is not None
+    }
+    if policy is not None:
+        if not isinstance(policy, AdmissionPolicy):
+            raise ServeError(
+                f"policy must be an AdmissionPolicy, "
+                f"got {type(policy).__name__}"
+            )
+        overrides.update(
+            max_point=policy.max_point,
+            max_row=policy.max_row,
+            max_topk=policy.max_topk,
+        )
+    if cost is not None:
+        if not isinstance(cost, ServeCostModel):
+            raise ServeError(
+                f"cost must be a ServeCostModel, got {type(cost).__name__}"
+            )
+        overrides.update(dataclasses.asdict(cost))
+    return resolve_serve_config(
+        serve_config, caller=caller, overrides=overrides
+    )
+
+
 def replay_virtual(
     requests: Sequence[Request],
     *,
@@ -226,15 +273,20 @@ def replay_virtual(
     shard_rows: int,
     policy: Optional[AdmissionPolicy] = None,
     cost: Optional[ServeCostModel] = None,
-    cache_shards: int = 4,
-    num_servers: int = 2,
+    cache_shards: Optional[int] = None,
+    num_servers: Optional[int] = None,
     optimized: bool = True,
-    batch_window: float = 1e-3,
-    batch_max: int = 32,
+    batch_window: Optional[float] = None,
+    batch_max: Optional[int] = None,
     shard_nbytes: Optional[Sequence[int]] = None,
     short_circuits: Optional[Sequence[int]] = None,
     telemetry: Optional[TelemetryCollector] = None,
     codec: str = "raw",
+    serve_config=None,
+    router=None,
+    node_budget: Optional[int] = None,
+    servers_per_node: Optional[int] = None,
+    node_down: Sequence[Tuple[float, int]] = (),
 ) -> ReplayResult:
     """Deterministically replay a trace in virtual time.
 
@@ -262,11 +314,25 @@ def replay_virtual(
     """
     if n < 1 or shard_rows < 1:
         raise ServeError("replay needs n >= 1 and shard_rows >= 1")
-    policy = policy or AdmissionPolicy()
-    cost = cost or ServeCostModel()
+    cfg = _resolve_replay_config(
+        "replay_virtual",
+        serve_config,
+        policy=policy,
+        cost=cost,
+        cache_shards=cache_shards,
+        num_servers=num_servers,
+        batch_window=batch_window,
+        batch_max=batch_max,
+        node_budget=node_budget,
+        servers_per_node=servers_per_node,
+    )
+    policy = cfg.admission.to_policy()
+    cost = cfg.cost.to_model()
+    cache_shards = cfg.engine.cache_shards
+    num_servers = cfg.engine.num_servers
+    batch_window = cfg.engine.batch_window
+    batch_max = cfg.engine.batch_max
     result = ReplayResult()
-    servers = ThreadClockQueue(num_servers)
-    cache = _VirtualCache(cache_shards)
     num_shards = (n + shard_rows - 1) // shard_rows
     if shard_nbytes is None:
         sizes = [
@@ -282,6 +348,29 @@ def replay_virtual(
             )
     loads = [cost.load_cost(b) for b in sizes]
     sc_indices = frozenset(short_circuits or ())
+    if router is not None:
+        return _replay_routed(
+            requests,
+            router=router,
+            shard_rows=shard_rows,
+            policy=policy,
+            cost=cost,
+            cache_shards=cache_shards,
+            servers_per_node=cfg.routing.servers_per_node,
+            node_budget=cfg.routing.node_budget,
+            node_down=node_down,
+            sizes=sizes,
+            loads=loads,
+            sc_indices=sc_indices,
+            optimized=optimized,
+            telemetry=telemetry,
+            codec=codec,
+            result=result,
+        )
+    if node_down:
+        raise ServeError("node_down events need a router= to fail")
+    servers = ThreadClockQueue(num_servers)
+    cache = _VirtualCache(cache_shards)
 
     def note(tid: str, kind: str, t: float, dur: float = 0.0,
              **attrs) -> None:
@@ -423,11 +512,182 @@ def replay_virtual(
     return result
 
 
+def _replay_routed(
+    requests: Sequence[Request],
+    *,
+    router,
+    shard_rows: int,
+    policy: AdmissionPolicy,
+    cost: ServeCostModel,
+    cache_shards: int,
+    servers_per_node: int,
+    node_budget: int,
+    node_down: Sequence[Tuple[float, int]],
+    sizes: Sequence[int],
+    loads: Sequence[float],
+    sc_indices: frozenset,
+    optimized: bool,
+    telemetry: Optional[TelemetryCollector],
+    codec: str,
+    result: ReplayResult,
+) -> ReplayResult:
+    """The multi-node arm of :func:`replay_virtual`.
+
+    Each virtual serve node gets ``servers_per_node`` servers and its
+    own LRU shard cache; every request routes by source shard through
+    the :class:`~repro.serve.router.ShardRouter` (``failovers`` counts
+    requests landing on a non-primary replica).  ``node_down`` is a
+    sorted-or-not sequence of ``(virtual_time, node)`` loss events:
+    at each, the node is failed on the router and its cache dropped —
+    traffic fails over to replicas with cold caches, which is exactly
+    the latency signature real node loss has.  Admission is enforced
+    twice, as in a real deployment: the global per-class budgets, then
+    the per-node in-flight budget (saturated nodes degrade points and
+    shed rows/topk, counted under ``node_saturated``).  Point queries
+    are served individually — cross-node micro-batching would need a
+    scatter/gather tier this model deliberately leaves out.
+    """
+    from .router import ShardRouter
+
+    if not isinstance(router, ShardRouter):
+        raise ServeError(
+            f"router must be a ShardRouter, got {type(router).__name__}"
+        )
+    servers = [
+        ThreadClockQueue(servers_per_node) for _ in range(router.num_nodes)
+    ]
+    caches = [
+        _VirtualCache(cache_shards) for _ in range(router.num_nodes)
+    ]
+    losses = sorted(
+        (float(t), int(node)) for t, node in node_down
+    )
+    next_loss = 0
+
+    def note(tid: str, kind: str, t: float, dur: float = 0.0,
+             **attrs) -> None:
+        if telemetry is not None:
+            telemetry.emit(tid, kind, t, dur, **attrs)
+
+    inflight: Dict[str, List[List[float]]] = {
+        "point": [], "row": [], "topk": [],
+    }
+    node_inflight: List[List[List[float]]] = [
+        [] for _ in range(router.num_nodes)
+    ]
+
+    def depth_of(boxes: List[List[float]], now: float) -> int:
+        alive = [box for box in boxes if box[0] > now]
+        boxes[:] = alive
+        return len(alive)
+
+    def fetch(node: int, shard: int, at: float, tid: str) -> float:
+        if not optimized:
+            result.counters["shard_loads"] += 1
+            result.counters["bytes_loaded"] += sizes[shard]
+            note(tid, "cache_miss", at, shard=shard, node=node)
+            note(tid, "shard_load", at, loads[shard], shard=shard,
+                 nbytes=sizes[shard], codec=codec, node=node)
+            return at + loads[shard]
+        ready, hit, coalesced = caches[node].fetch(shard, at, loads[shard])
+        if hit:
+            result.counters["cache_hits"] += 1
+            note(tid, "cache_hit", at, shard=shard, node=node)
+            if coalesced:
+                result.counters["coalesced"] += 1
+                note(tid, "coalesce_wait", at, ready - at, shard=shard,
+                     node=node)
+        else:
+            result.counters["shard_loads"] += 1
+            result.counters["bytes_loaded"] += sizes[shard]
+            note(tid, "cache_miss", at, shard=shard, node=node)
+            note(tid, "shard_load", at, loads[shard], shard=shard,
+                 nbytes=sizes[shard], codec=codec, node=node)
+        return ready
+
+    for req_index, req in enumerate(requests):
+        while next_loss < len(losses) \
+                and losses[next_loss][0] <= req.arrival:
+            _, lost = losses[next_loss]
+            next_loss += 1
+            router.fail_node(lost)
+            # the node's RAM goes with it: replicas start cold
+            caches[lost] = _VirtualCache(cache_shards)
+            node_inflight[lost] = []
+            result.counters["node_losses"] += 1
+            note(make_trace_id(req_index, "loss", lost, next_loss),
+                 "node_loss", losses[next_loss - 1][0], node=lost)
+        tid = make_trace_id(req_index, req.kind, req.u, req.v)
+        note(tid, "request", req.arrival, klass=req.kind, u=req.u,
+             v=req.v, k=req.k)
+        depth = depth_of(inflight[req.kind], req.arrival)
+        saturated = depth >= policy.limit(req.kind)
+        node = -1
+        if not saturated:
+            shard = req.u // shard_rows
+            node, failover = router.route(shard)
+            if failover:
+                result.counters["failovers"] += 1
+                note(tid, "failover", req.arrival, shard=shard, node=node)
+            node_depth = depth_of(node_inflight[node], req.arrival)
+            if node_depth >= node_budget:
+                saturated = True
+                result.counters["node_saturated"] += 1
+                note(tid, "node_saturated", req.arrival, node=node,
+                     depth=node_depth)
+        if saturated:
+            if req.kind == "point":
+                result.counters["degraded"] += 1
+                note(tid, "degrade", req.arrival, depth=depth)
+                finish = req.arrival + cost.approx_cost
+                note(tid, "answer", finish, cost.approx_cost,
+                     status="degraded", klass="point")
+                result.record("point", cost.approx_cost,
+                              arrival=req.arrival, trace_id=tid)
+            else:
+                result.counters["shed"] += 1
+                note(tid, "shed", req.arrival, depth=depth)
+            continue
+        result.counters["admitted"] += 1
+        note(tid, "admit", req.arrival, depth=depth, node=node)
+        if req.kind == "point" and optimized and req_index in sc_indices:
+            # ALT bounds are pinned on every node — no routing cost
+            result.counters["short_circuits"] += 1
+            note(tid, "short_circuit", req.arrival)
+            finish = req.arrival + cost.approx_cost
+            inflight["point"].append([finish])
+            note(tid, "answer", finish, cost.approx_cost, status="ok",
+                 klass="point")
+            result.record("point", cost.approx_cost,
+                          arrival=req.arrival, trace_id=tid)
+            continue
+        clock, server = servers[node].pop_earliest()
+        start = max(clock, req.arrival)
+        ready = fetch(node, shard, start, tid)
+        if req.kind == "point":
+            finish = ready + cost.point_cost
+        elif req.kind == "row":
+            finish = ready + cost.row_cost
+        else:
+            finish = ready + cost.topk_cost
+        servers[node].advance(server, finish)
+        inflight[req.kind].append([finish])
+        node_inflight[node].append([finish])
+        latency = finish - req.arrival
+        note(tid, "answer", finish, latency, status="ok",
+             klass=req.kind, node=node)
+        result.record(req.kind, latency, arrival=req.arrival,
+                      trace_id=tid)
+    return result
+
+
 def replay_threaded(
     requests: Sequence[Request],
-    frontend: ServeFrontend,
+    frontend: Optional[ServeFrontend] = None,
     *,
     num_threads: int = 4,
+    store=None,
+    serve_config=None,
 ) -> "Tuple[ReplayResult, List[object]]":
     """Push the trace through the real front end on a thread pool.
 
@@ -448,6 +708,41 @@ def replay_threaded(
 
     if num_threads < 1:
         raise ServeError(f"num_threads must be >= 1, got {num_threads!r}")
+    if frontend is None:
+        # construction path: build the whole stack from one ServeConfig
+        # (RoutedEngine when the config asks for more than one node)
+        if store is None:
+            raise ServeError(
+                "replay_threaded needs a frontend= or a store= "
+                "(plus optional serve_config=) to build one from"
+            )
+        cfg = _resolve_replay_config(
+            "replay_threaded", serve_config, policy=None, cost=None
+        )
+        if cfg.routing.num_nodes > 1:
+            from .router import RoutedEngine, ShardRouter
+
+            engine = RoutedEngine(
+                store,
+                ShardRouter(
+                    cfg.routing.num_nodes,
+                    replication=cfg.routing.replication,
+                    vnodes=cfg.routing.vnodes,
+                    hash_seed=cfg.routing.hash_seed,
+                ),
+                cache_shards=cfg.engine.cache_shards,
+                verify_loads=cfg.engine.verify_loads,
+                epsilon=cfg.store.epsilon,
+                node_budget=cfg.routing.node_budget,
+            )
+        else:
+            engine = QueryEngine(
+                store,
+                cache_shards=cfg.engine.cache_shards,
+                verify_loads=cfg.engine.verify_loads,
+                epsilon=cfg.store.epsilon,
+            )
+        frontend = ServeFrontend(engine, policy=cfg.admission.to_policy())
     result = ReplayResult()
 
     def serve(req: Request):
@@ -474,10 +769,13 @@ def replay_threaded(
             result.counters["admitted"] += 1
         result.record(req.kind, elapsed, arrival=req.arrival)
     engine = frontend.engine
-    result.counters["shard_loads"] = engine.stats["shard_loads"]
-    result.counters["cache_hits"] = engine.stats["hits"]
-    result.counters["coalesced"] = engine.stats["coalesced"]
-    result.counters["short_circuits"] = engine.stats["short_circuits"]
-    result.counters["approx"] = engine.stats["approx"]
-    result.counters["bytes_loaded"] = engine.stats["bytes_loaded"]
+    stats = engine.stats  # RoutedEngine aggregates across its nodes
+    result.counters["shard_loads"] = stats["shard_loads"]
+    result.counters["cache_hits"] = stats["hits"]
+    result.counters["coalesced"] = stats["coalesced"]
+    result.counters["short_circuits"] = stats["short_circuits"]
+    result.counters["approx"] = stats["approx"]
+    result.counters["bytes_loaded"] = stats["bytes_loaded"]
+    if "failovers" in stats:
+        result.counters["failovers"] = stats["failovers"]
     return result, responses

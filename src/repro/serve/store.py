@@ -400,6 +400,7 @@ def solve_to_store(
     codec=None,
     epsilon=None,
     store_config=None,
+    serve_config=None,
     config=None,
     **kwargs,
 ) -> DistStore:
@@ -422,16 +423,6 @@ def solve_to_store(
     """
     from ..config import StoreConfig
 
-    if store_config is None:
-        store_cfg = StoreConfig()
-    elif isinstance(store_config, StoreConfig):
-        store_cfg = store_config
-    else:
-        raise ConfigError(
-            f"store_config must be a StoreConfig, "
-            f"got {type(store_config).__name__}",
-            field="store_config",
-        )
     overrides = {
         name: value
         for name, value in (
@@ -442,6 +433,31 @@ def solve_to_store(
         )
         if value is not None
     }
+    if serve_config is not None:
+        # unified ServeConfig path: the store group is the bundle; flat
+        # kwargs still win (DeprecationWarning on genuine conflict)
+        from ..config import resolve_serve_config
+
+        if store_config is not None:
+            raise ConfigError(
+                "pass either store_config= or serve_config=, not both",
+                field="serve_config",
+            )
+        resolved = resolve_serve_config(
+            serve_config, caller="solve_to_store", overrides=overrides
+        )
+        store_cfg = resolved.store
+        overrides = {}
+    elif store_config is None:
+        store_cfg = StoreConfig()
+    elif isinstance(store_config, StoreConfig):
+        store_cfg = store_config
+    else:
+        raise ConfigError(
+            f"store_config must be a StoreConfig, "
+            f"got {type(store_config).__name__}",
+            field="store_config",
+        )
     if overrides:
         # dataclasses.replace re-runs StoreConfig validation
         store_cfg = dataclasses.replace(store_cfg, **overrides)

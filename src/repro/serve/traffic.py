@@ -53,8 +53,28 @@ class TrafficSpec:
     row_frac: float = 0.02
     topk_frac: float = 0.05
     topk_k: int = 10
+    #: fraction of requests redirected into one narrow hot band of
+    #: ``hot_width`` consecutive source ids — models a *hot shard*
+    #: (viral vertex cluster) on top of the global Zipf skew.  The
+    #: default 0.0 draws no extra random numbers, so pre-existing
+    #: seeded traces stay byte-identical.
+    hot_frac: float = 0.0
+    hot_width: int = 0
 
     def __post_init__(self) -> None:
+        if not 0 <= self.hot_frac <= 1:
+            raise ServeError(
+                f"hot_frac must be in [0, 1], got {self.hot_frac!r}"
+            )
+        if not isinstance(self.hot_width, int) \
+                or isinstance(self.hot_width, bool) or self.hot_width < 0:
+            raise ServeError(
+                f"hot_width must be an int >= 0, got {self.hot_width!r}"
+            )
+        if self.hot_frac > 0 and self.hot_width < 1:
+            raise ServeError(
+                "hot_frac > 0 needs hot_width >= 1 (the hot band size)"
+            )
         if not isinstance(self.num_requests, int) \
                 or isinstance(self.num_requests, bool) \
                 or self.num_requests < 1:
@@ -103,9 +123,20 @@ def generate_trace(spec: TrafficSpec, n: int) -> List[Request]:
     )
     us = rng.choice(n, size=spec.num_requests, p=probs)
     vs = rng.choice(n, size=spec.num_requests, p=probs)
+    kinds = rng.random(spec.num_requests)
+    if spec.hot_frac > 0:
+        # hot-shard skew: redirect a slice of sources into one narrow
+        # band of ids.  Drawn AFTER every pre-existing stream so traces
+        # with hot_frac == 0 keep their exact historical bytes.
+        width = min(spec.hot_width, n)
+        hot_start = int(rng.integers(0, n - width + 1))
+        hot_mask = rng.random(spec.num_requests) < spec.hot_frac
+        hot_ids = hot_start + rng.integers(
+            0, width, size=spec.num_requests
+        )
+        us = np.where(hot_mask, hot_ids, us)
     # self-queries are legal but uninteresting; nudge to a neighbour id
     vs = np.where(vs == us, (vs + 1) % n, vs)
-    kinds = rng.random(spec.num_requests)
     out: List[Request] = []
     for i in range(spec.num_requests):
         if kinds[i] < spec.row_frac:

@@ -1,0 +1,237 @@
+"""ShardRouter / RoutedEngine: placement, failover, exactness.
+
+The load-bearing property: routing only decides *which cache warms up*
+— every answer must be bitwise-identical to a single-node QueryEngine
+over the same store, for any node count, replication factor, ring
+seed, node loss, or rebalance pin state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ServeError
+from repro.serve import (
+    QueryEngine,
+    RoutedEngine,
+    ShardRouter,
+    solve_to_store,
+)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, small_weighted):
+    path = tmp_path_factory.mktemp("routed") / "store"
+    return solve_to_store(small_weighted, path, shard_rows=8,
+                          num_landmarks=4)
+
+
+@pytest.fixture(scope="module")
+def single(store):
+    """The single-node reference engine (big cache: pure truth)."""
+    return QueryEngine(store, cache_shards=32)
+
+
+class TestShardRouter:
+    def test_same_seed_same_ring(self):
+        a = ShardRouter(4, replication=2, hash_seed=7)
+        b = ShardRouter(4, replication=2, hash_seed=7)
+        for shard in range(64):
+            assert a.preference(shard) == b.preference(shard)
+
+    def test_different_seed_different_ring(self):
+        a = ShardRouter(4, hash_seed=0)
+        b = ShardRouter(4, hash_seed=1)
+        assert any(
+            a.preference(s) != b.preference(s) for s in range(64)
+        )
+
+    def test_preference_has_replication_distinct_nodes(self):
+        router = ShardRouter(5, replication=3)
+        for shard in range(32):
+            owners = router.preference(shard)
+            assert len(owners) == 3
+            assert len(set(owners)) == 3
+
+    def test_route_fails_over_to_replica(self):
+        router = ShardRouter(3, replication=2)
+        shard = 0
+        primary, backup = router.preference(shard)[:2]
+        assert router.route(shard) == (primary, False)
+        router.fail_node(primary)
+        node, failover = router.route(shard)
+        assert node == backup and failover
+        router.restore_node(primary)
+        assert router.route(shard) == (primary, False)
+
+    def test_route_spills_past_dead_replica_set(self):
+        router = ShardRouter(3, replication=1)
+        shard = 0
+        (primary,) = router.preference(shard)
+        router.fail_node(primary)
+        node, failover = router.route(shard)
+        assert failover and node != primary
+        assert node in router.live_nodes()
+
+    def test_cannot_fail_last_live_node(self):
+        router = ShardRouter(2)
+        router.fail_node(0)
+        with pytest.raises(ServeError, match="last live node"):
+            router.fail_node(1)
+
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            ShardRouter(0)
+        with pytest.raises(ServeError):
+            ShardRouter(2, replication=3)
+        with pytest.raises(ServeError):
+            ShardRouter(2, vnodes=0)
+        with pytest.raises(ServeError):
+            ShardRouter(2).fail_node(9)
+
+    def test_placement_covers_every_shard_once(self):
+        router = ShardRouter(4, replication=2)
+        placement = router.placement(33)
+        seen = sorted(s for shards in placement.values() for s in shards)
+        assert seen == list(range(33))
+
+    def test_rebalance_bounded_and_narrows_spread(self):
+        router = ShardRouter(4, replication=2, hash_seed=3)
+        # one scorching shard, everything else cold
+        loads = {s: 1.0 for s in range(16)}
+        hot_node = router.route(0)[0]
+        for s in range(16):
+            if router.route(s)[0] == hot_node:
+                loads[s] = 100.0
+                break
+        moves = router.rebalance(loads, max_moves=2)
+        assert len(moves) <= 2
+        for shard, src, dst in moves:
+            assert router.route(shard)[0] == dst
+
+    def test_rebalance_is_deterministic(self):
+        loads = {s: float((s * 7) % 13) for s in range(24)}
+        a = ShardRouter(4, replication=2, hash_seed=5)
+        b = ShardRouter(4, replication=2, hash_seed=5)
+        assert a.rebalance(loads) == b.rebalance(loads)
+
+    def test_to_dict_round_trip_preserves_state(self):
+        router = ShardRouter(4, replication=2, vnodes=32, hash_seed=9)
+        router.fail_node(1)
+        router.rebalance({s: float(s) for s in range(16)}, max_moves=2)
+        clone = ShardRouter.from_dict(router.to_dict())
+        assert clone.to_dict() == router.to_dict()
+        for shard in range(16):
+            assert clone.route(shard) == router.route(shard)
+
+
+class TestRoutedExactness:
+    """Routed answers == single-node answers, always."""
+
+    def _probe_pairs(self, n, seed, count=48):
+        rng = np.random.default_rng(seed)
+        return [
+            (int(u), int(v))
+            for u, v in zip(
+                rng.integers(0, n, size=count),
+                rng.integers(0, n, size=count),
+            )
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_nodes=st.integers(min_value=1, max_value=6),
+        data=st.data(),
+    )
+    def test_bitwise_identical_for_any_topology(
+        self, store, single, num_nodes, data
+    ):
+        replication = data.draw(
+            st.integers(min_value=1, max_value=num_nodes)
+        )
+        hash_seed = data.draw(st.integers(min_value=0, max_value=1000))
+        traffic_seed = data.draw(st.integers(min_value=0, max_value=999))
+        router = ShardRouter(
+            num_nodes, replication=replication, hash_seed=hash_seed
+        )
+        routed = RoutedEngine(store, router, cache_shards=2)
+        pairs = self._probe_pairs(store.n, traffic_seed)
+
+        def check():
+            for u, v in pairs[:12]:
+                r, s = routed.dist(u, v), single.dist(u, v)
+                assert r == s or (np.isinf(r) and np.isinf(s))
+            assert np.array_equal(
+                routed.dist_batch(pairs), single.dist_batch(pairs)
+            )
+            u0 = pairs[0][0]
+            assert np.array_equal(
+                routed.dist_from(u0), single.dist_from(u0)
+            )
+            assert routed.top_k(u0, 5) == single.top_k(u0, 5)
+
+        check()
+        # node loss: kill the node serving the first probe, replicas
+        # (or the ring spill) must keep answers identical
+        if num_nodes >= 2:
+            victim = routed.node_of(pairs[0][0])
+            routed.fail_node(victim)
+            check()
+            if replication >= 2:
+                assert routed.stats["failovers"] > 0
+            routed.restore_node(victim)
+        # rebalance pins change placement only, never answers
+        loads = {
+            s: float(ld)
+            for s, ld in enumerate(
+                np.random.default_rng(traffic_seed).integers(
+                    0, 50, size=store.num_shards
+                )
+            )
+        }
+        router.rebalance(loads, max_moves=3)
+        check()
+
+    def test_dist_bounds_and_approx_match(self, store, single):
+        router = ShardRouter(3, replication=2)
+        routed = RoutedEngine(store, router)
+        for u, v in [(0, 7), (13, 40), (55, 2)]:
+            assert routed.dist_bounds(u, v) == single.dist_bounds(u, v)
+            assert routed.dist_approx(u, v) == single.dist_approx(u, v)
+
+    def test_routed_counts_and_budget(self, store):
+        router = ShardRouter(4, replication=2)
+        routed = RoutedEngine(store, router, node_budget=1)
+        pairs = self._probe_pairs(store.n, seed=3, count=32)
+        routed.dist_batch(pairs)
+        assert routed.stats["routed"] == len(pairs)
+        assert routed.stats["failovers"] == 0
+        stats = routed.node_stats()
+        assert len(stats) == 4
+        assert sum(s["hits"] + s["misses"] for s in stats) > 0
+
+    def test_rejects_non_router(self, store):
+        with pytest.raises(ServeError, match="router"):
+            RoutedEngine(store, router="ring")
+
+    def test_refresh_spans_all_nodes(self, store, tmp_path):
+        router = ShardRouter(2)
+        routed = RoutedEngine(store, router)
+        generation = routed.refresh()
+        assert all(
+            e.store.generation == generation for e in routed.engines
+        )
+
+
+class TestRoutedFrontend:
+    def test_frontend_accepts_routed_engine(self, store):
+        from repro.serve import ServeFrontend
+
+        fe = ServeFrontend(RoutedEngine(store, ShardRouter(3)))
+        resp = fe.point(0, 9)
+        assert resp.status == "ok" and not resp.approx
+        single = QueryEngine(store)
+        assert resp.value == single.dist(0, 9)
